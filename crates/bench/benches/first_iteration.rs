@@ -1,0 +1,63 @@
+//! Regenerates the paper's §5.3 warm-up observation: "the first iteration
+//! takes 50% longer time than the subsequent ones" (JIT compilation of
+//! the kernel + cold memory).
+//!
+//! Two sections: the modeled per-iteration profile of the simulated GPUs
+//! (JIT factor 1.5), and a real measurement of the first-vs-steady
+//! iteration on this host (cold caches/page faults produce the same
+//! qualitative effect, usually smaller).
+
+use pic_bench::{measure_nsps, print_banner, BenchConfig, Table};
+use pic_particles::Layout;
+use pic_perfmodel::{GpuModel, Scenario};
+use pic_runtime::{Schedule, Topology};
+
+fn modeled_section() {
+    print_banner(
+        "First-iteration overhead — modeled device profile",
+        "Per-iteration NSPS for 10 iterations; iteration 1 pays JIT + cold memory\n\
+         (paper §5.3: ~50% longer).",
+    );
+    let mut t = Table::new([
+        "Device", "it1", "it2", "it3", "...", "it10", "it1/steady",
+    ]);
+    for gpu in GpuModel::paper_devices() {
+        let profile = gpu.iteration_profile(Scenario::Precalculated, Layout::Soa, 10);
+        t.row([
+            gpu.spec.name.to_string(),
+            format!("{:.2}", profile[0]),
+            format!("{:.2}", profile[1]),
+            format!("{:.2}", profile[2]),
+            "...".to_string(),
+            format!("{:.2}", profile[9]),
+            format!("{:.2}x", profile[0] / profile[9]),
+        ]);
+    }
+    println!("{t}");
+}
+
+fn measured_section(cfg: &BenchConfig) {
+    print_banner(
+        "First-iteration overhead — measured on this host",
+        "Cold caches and first-touch page faults make iteration 1 slower even\n\
+         without a JIT; the effect washes out over many iterations, as the paper notes.",
+    );
+    let topo = Topology::single(1);
+    let mut t = Table::new(["Scenario", "first-iter NSPS", "steady NSPS", "ratio"]);
+    for scenario in Scenario::all() {
+        let run = measure_nsps::<f32>(Layout::Soa, scenario, cfg, &topo, Schedule::StaticChunks);
+        t.row([
+            scenario.to_string(),
+            format!("{:.2}", run.first_iteration_nsps()),
+            format!("{:.2}", run.steady_nsps()),
+            format!("{:.2}x", run.first_iteration_nsps() / run.steady_nsps()),
+        ]);
+    }
+    println!("{t}");
+}
+
+fn main() {
+    let cfg = BenchConfig::from_env();
+    modeled_section();
+    measured_section(&cfg);
+}

@@ -1,0 +1,139 @@
+//! Ablation: grid-field gather — interpolation order (CIC vs TSC) and
+//! grid gather vs direct analytical evaluation.
+//!
+//! The paper's two scenarios bracket the design space (pure array read vs
+//! pure computation); a full PIC code sits in between, gathering from a
+//! grid with a form-factor stencil. This target measures that middle
+//! ground and the accuracy each stencil achieves against the analytical
+//! dipole field.
+
+use pic_bench::{bench_dt, build_ensemble, dipole_wave, print_banner, BenchConfig, Table};
+use pic_boris::{BorisPusher, FieldSource, SharedPushKernel};
+use pic_fields::{EmGrid, FieldSampler, InterpOrder, EB};
+use pic_math::constants::BENCH_WAVELENGTH;
+use pic_math::stats::Summary;
+use pic_math::Vec3;
+use pic_particles::{ParticleAccess, SoaEnsemble, SpeciesTable};
+use pic_runtime::{parallel_sweep, Schedule, Topology};
+use std::time::Instant;
+
+/// Field source that gathers from a grid with the configured stencil.
+#[derive(Clone, Copy)]
+struct GridSource<'a> {
+    grid: &'a EmGrid<f64>,
+}
+
+impl FieldSource<f64> for GridSource<'_> {
+    fn field(&self, _index: usize, pos: Vec3<f64>, _time: f64) -> EB<f64> {
+        self.grid.gather(pos)
+    }
+}
+
+fn dipole_grid(cells: usize, interp: InterpOrder) -> EmGrid<f64> {
+    let l = 1.6 * BENCH_WAVELENGTH;
+    let dims = [cells; 3];
+    let spacing = Vec3::splat(2.0 * l / cells as f64);
+    let mut grid = EmGrid::<f64>::yee(dims, Vec3::splat(-l), spacing);
+    grid.fill_from_sampler(&dipole_wave::<f64>(), 0.1 * bench_dt() * 100.0);
+    grid.interp = interp;
+    grid
+}
+
+fn measure_source<F: FieldSource<f64> + Copy>(source: &F, cfg: &BenchConfig) -> f64 {
+    let table = SpeciesTable::<f64>::with_standard_species();
+    let dt = bench_dt();
+    let topo = Topology::single(1);
+    let mut store: SoaEnsemble<f64> = build_ensemble(cfg.particles, 5);
+    let mut iters = Vec::new();
+    let mut time = 0.0;
+    for _ in 0..cfg.iterations {
+        let start = Instant::now();
+        for _ in 0..cfg.steps_per_iteration {
+            let shared =
+                SharedPushKernel { source, pusher: BorisPusher, table: &table, dt, time };
+            parallel_sweep(&mut store, &topo, Schedule::StaticChunks, |_| shared.to_kernel());
+            time += dt;
+        }
+        iters.push(start.elapsed().as_nanos() as f64);
+    }
+    Summary::of(&iters).mean / cfg.work_per_iteration() as f64
+}
+
+/// RMS relative gather error against the analytical dipole field over the
+/// benchmark sphere.
+fn gather_error(grid: &EmGrid<f64>) -> f64 {
+    let wave = dipole_wave::<f64>();
+    let t = 0.1 * bench_dt() * 100.0;
+    let probe: SoaEnsemble<f64> = build_ensemble(2000, 99);
+    let mut num = 0.0;
+    let mut den = 0.0;
+    for i in 0..probe.len() {
+        let pos = probe.get(i).position;
+        let exact = wave.sample(pos, t);
+        let got = grid.gather(pos);
+        num += (got.e - exact.e).norm2() + (got.b - exact.b).norm2();
+        den += exact.e.norm2() + exact.b.norm2();
+    }
+    (num / den).sqrt()
+}
+
+fn main() {
+    let mut cfg = BenchConfig::from_env();
+    // The gather path is heavier per particle; trim the workload a bit.
+    cfg.particles = (cfg.particles / 2).max(1000);
+    print_banner(
+        "Ablation — grid gather vs analytical evaluation",
+        &format!(
+            "Grid: 48³ Yee cells over the benchmark sphere; {} particles x {} steps x {}\n\
+             iterations, double precision, 1 thread.",
+            cfg.particles, cfg.steps_per_iteration, cfg.iterations
+        ),
+    );
+
+    let cic_grid = dipole_grid(48, InterpOrder::Cic);
+    let tsc_grid = dipole_grid(48, InterpOrder::Tsc);
+
+    let analytical_nsps = {
+        let wave = dipole_wave::<f64>();
+        let source = pic_boris::AnalyticalSource::new(&wave);
+        measure_source(&source, &cfg)
+    };
+    let tabulated = dipole_wave::<f64>().tabulated(6.0 * BENCH_WAVELENGTH, 16384);
+    let tabulated_nsps = {
+        let source = pic_boris::AnalyticalSource::new(&tabulated);
+        measure_source(&source, &cfg)
+    };
+    let cic_nsps = measure_source(&GridSource { grid: &cic_grid }, &cfg);
+    let tsc_nsps = measure_source(&GridSource { grid: &tsc_grid }, &cfg);
+
+    let mut t = Table::new(["Field path", "measured NSPS", "relative cost", "RMS gather error"]);
+    t.row([
+        "analytical (Eq. 14)".to_string(),
+        format!("{analytical_nsps:.2}"),
+        "1.00x".to_string(),
+        "exact".to_string(),
+    ]);
+    t.row([
+        "tabulated radial functions".to_string(),
+        format!("{tabulated_nsps:.2}"),
+        format!("{:.2}x", tabulated_nsps / analytical_nsps),
+        format!("{:.2e}", tabulated.table_error(5000)),
+    ]);
+    t.row([
+        "grid gather, CIC (8 nodes)".to_string(),
+        format!("{cic_nsps:.2}"),
+        format!("{:.2}x", cic_nsps / analytical_nsps),
+        format!("{:.2e}", gather_error(&cic_grid)),
+    ]);
+    t.row([
+        "grid gather, TSC (27 nodes)".to_string(),
+        format!("{tsc_nsps:.2}"),
+        format!("{:.2}x", tsc_nsps / analytical_nsps),
+        format!("{:.2e}", gather_error(&tsc_grid)),
+    ]);
+    println!("{t}");
+    println!(
+        "TSC reads 3.4x the nodes of CIC for a smoother (usually more accurate)\n\
+         gather — the classic form-factor cost/accuracy trade-off (paper §2)."
+    );
+}

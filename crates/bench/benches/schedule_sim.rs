@@ -1,0 +1,52 @@
+//! Ablation: scheduling policies under balanced and unbalanced loads —
+//! the discrete-event version of the paper's §4.3 discussion ("TBB always
+//! uses dynamic scheduling, which can substantially improve performance in
+//! complex unbalanced problems. However, in balanced applications, the
+//! overhead of dynamic scheduling may not be justified").
+
+use pic_bench::{print_banner, Table};
+use pic_perfmodel::sched::workloads;
+use pic_perfmodel::{SchedSim, SimPolicy};
+
+fn main() {
+    print_banner(
+        "Ablation — scheduling policies on a simulated 48-thread runtime",
+        "List-scheduling simulation: per-item service times, per-grain dispatch\n\
+         overhead of 1 µs, 48 workers. Efficiency = work / (threads × makespan).",
+    );
+    let sim = SchedSim::new(48, 1e-6);
+    let n = 48_000;
+    let base = 1e-6; // 1 µs per item
+
+    let cases: Vec<(&str, Vec<f64>)> = vec![
+        ("balanced (benchmark-like)", workloads::balanced(n, base)),
+        ("linear ramp 1x..3x", workloads::ramp(n, base)),
+        ("hotspot: 12.5% of items 10x", workloads::hotspot(n, base, 0.125, 10.0)),
+        ("hotspot: 2% of items 50x", workloads::hotspot(n, base, 0.02, 50.0)),
+    ];
+    let policies = [
+        ("static (OpenMP)", SimPolicy::Static),
+        ("dynamic (TBB/DPC++)", SimPolicy::Dynamic { grain: 125 }),
+        ("guided", SimPolicy::Guided { min_grain: 125 }),
+    ];
+
+    let mut t = Table::new(["Workload", "Policy", "makespan (ms)", "efficiency", "grains"]);
+    for (wname, work) in &cases {
+        for (pname, policy) in policies {
+            let out = sim.run(work, policy);
+            t.row([
+                wname.to_string(),
+                pname.to_string(),
+                format!("{:.3}", out.makespan * 1e3),
+                format!("{:.1}%", 100.0 * out.efficiency),
+                out.grains.to_string(),
+            ]);
+        }
+    }
+    println!("{t}");
+    println!(
+        "Balanced loads: static wins (no dispatch overhead). Unbalanced loads:\n\
+         dynamic/guided recover most of the lost efficiency — the reason the DPC++\n\
+         runtime's always-dynamic behaviour is \"a reasonable price to pay\" (§4.3)."
+    );
+}

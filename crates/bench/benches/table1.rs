@@ -1,0 +1,58 @@
+//! Prints **Table 1** — the hardware parameters of the paper's evaluation
+//! platforms, as encoded in `pic-perfmodel::specs` (the inputs of every
+//! performance model in this reproduction).
+
+use pic_bench::{print_banner, Table};
+use pic_perfmodel::{CpuSpec, GpuSpec};
+
+fn main() {
+    print_banner(
+        "Table 1 — hardware parameters (model inputs)",
+        "These structs drive the Table 2 / Table 3 / Fig. 1 models.",
+    );
+    let cpu = CpuSpec::xeon_8260l_x2();
+    let gpus = [GpuSpec::uhd_p630(), GpuSpec::iris_xe_max()];
+
+    let mut t = Table::new(["Parameter", "2x Xeon 8260L", "P630", "Iris Xe Max"]);
+    t.row([
+        "CPU cores / GPU EUs".to_string(),
+        cpu.total_cores().to_string(),
+        gpus[0].execution_units.to_string(),
+        gpus[1].execution_units.to_string(),
+    ]);
+    t.row([
+        "Clock (base)".to_string(),
+        format!("{:.2} GHz", cpu.base_clock / 1e9),
+        format!("{:.2} GHz", gpus[0].base_clock / 1e9),
+        format!("{:.2} GHz", gpus[1].base_clock / 1e9),
+    ]);
+    t.row([
+        "Clock (boost)".to_string(),
+        format!("{:.2} GHz", cpu.boost_clock / 1e9),
+        format!("{:.2} GHz", gpus[0].boost_clock / 1e9),
+        format!("{:.2} GHz", gpus[1].boost_clock / 1e9),
+    ]);
+    t.row([
+        "Peak FP32".to_string(),
+        format!("{:.2} TFlops", cpu.peak_flops_f32() / 1e12),
+        format!("{:.3} TFlops", gpus[0].peak_flops_f32 / 1e12),
+        format!("{:.1} TFlops", gpus[1].peak_flops_f32 / 1e12),
+    ]);
+    t.row([
+        "Memory bandwidth".to_string(),
+        format!("{:.0} GB/s (2 sockets)", 2.0 * cpu.bw_per_socket / 1e9),
+        format!("{:.0} GB/s (shared DDR4)", gpus[0].mem_bandwidth / 1e9),
+        format!("{:.0} GB/s (LPDDR4X)", gpus[1].mem_bandwidth / 1e9),
+    ]);
+    t.row([
+        "FP64".to_string(),
+        "native".to_string(),
+        if gpus[0].fp64_emulated { "emulated" } else { "native" }.to_string(),
+        if gpus[1].fp64_emulated { "emulated" } else { "native" }.to_string(),
+    ]);
+    println!("{t}");
+    println!(
+        "Paper Table 1 quotes 3.6 / 0.441 / 2.5 TFlops single precision and the same\n\
+         core/EU counts and clocks."
+    );
+}

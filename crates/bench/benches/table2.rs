@@ -1,0 +1,104 @@
+//! Regenerates **Table 2**: NSPS on the CPU platform for 6 implementations
+//! (OpenMP / DPC++ / DPC++ NUMA × AoS / SoA) × 2 scenarios × 2 precisions.
+//!
+//! Output has two sections:
+//! 1. the performance-model prediction for the paper's 2×Xeon 8260L next
+//!    to the published value (the hardware-substituted reproduction), and
+//! 2. measured wall-clock NSPS of the real Rust kernels on *this* host,
+//!    which grounds the functional code but reflects this machine's core
+//!    count and memory system, not the paper's.
+
+use pic_bench::{measure_nsps, print_banner, BenchConfig, Table};
+use pic_particles::Layout;
+use pic_perfmodel::{CpuModel, Parallelization, Precision, Scenario};
+use pic_runtime::{Schedule, Topology};
+
+/// Paper Table 2 values (single source of truth in `pic-perfmodel`).
+const PAPER: [(Layout, Parallelization, [f64; 4]); 6] = pic_perfmodel::report::PAPER_TABLE2;
+
+fn modeled_section() {
+    let model = CpuModel::endeavour();
+    print_banner(
+        "Table 2 — modeled NSPS on 2x Xeon Platinum 8260L (48 cores)",
+        "Model: roofline + scheduling + NUMA locality (pic-perfmodel), calibrated once;\n\
+         every cell is printed next to the paper's published value.",
+    );
+    let mut t = Table::new([
+        "Pattern",
+        "Parallelization",
+        "Precalc float",
+        "Precalc double",
+        "Analyt float",
+        "Analyt double",
+    ]);
+    for (layout, par, paper) in PAPER {
+        let cell = |scenario: Scenario, prec: Precision, reference: f64| {
+            let m = model.table2_cell(scenario, layout, prec, par);
+            pic_bench::fmt_cell(m, reference)
+        };
+        t.row([
+            layout.name().to_string(),
+            par.name().to_string(),
+            cell(Scenario::Precalculated, Precision::F32, paper[0]),
+            cell(Scenario::Precalculated, Precision::F64, paper[1]),
+            cell(Scenario::Analytical, Precision::F32, paper[2]),
+            cell(Scenario::Analytical, Precision::F64, paper[3]),
+        ]);
+    }
+    println!("{t}");
+}
+
+fn measured_section(cfg: &BenchConfig) {
+    let host_threads = std::thread::available_parallelism().map_or(1, |n| n.get());
+    print_banner(
+        "Table 2 (companion) — measured NSPS of the real Rust kernels on THIS host",
+        &format!(
+            "Workload: {} particles x {} steps x {} iterations, {} host thread(s).\n\
+             Absolute values reflect this machine, not the paper's node.",
+            cfg.particles, cfg.steps_per_iteration, cfg.iterations, host_threads
+        ),
+    );
+    let topo = Topology::single(host_threads);
+    let mut t = Table::new([
+        "Pattern",
+        "Schedule",
+        "Precalc float",
+        "Precalc double",
+        "Analyt float",
+        "Analyt double",
+    ]);
+    for layout in [Layout::Aos, Layout::Soa] {
+        for (schedule, name) in [
+            (Schedule::StaticChunks, "static (OpenMP-like)"),
+            (Schedule::dynamic(), "dynamic (TBB-like)"),
+        ] {
+            let cell32 = |scenario| {
+                format!(
+                    "{:.2}",
+                    measure_nsps::<f32>(layout, scenario, cfg, &topo, schedule).nsps()
+                )
+            };
+            let cell64 = |scenario| {
+                format!(
+                    "{:.2}",
+                    measure_nsps::<f64>(layout, scenario, cfg, &topo, schedule).nsps()
+                )
+            };
+            t.row([
+                layout.name().to_string(),
+                name.to_string(),
+                cell32(Scenario::Precalculated),
+                cell64(Scenario::Precalculated),
+                cell32(Scenario::Analytical),
+                cell64(Scenario::Analytical),
+            ]);
+        }
+    }
+    println!("{t}");
+}
+
+fn main() {
+    let cfg = BenchConfig::from_env();
+    modeled_section();
+    measured_section(&cfg);
+}

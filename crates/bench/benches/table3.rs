@@ -1,0 +1,89 @@
+//! Regenerates **Table 3**: NSPS of the DPC++ code on Intel GPUs (UHD
+//! P630, Iris Xe Max) vs the CPU, AoS and SoA, single precision.
+//!
+//! The GPU cells come from the GPU roofline/coalescing model (no Intel
+//! GPU exists in this environment — DESIGN.md §2); the CPU column is the
+//! DPC++ NUMA cell of the CPU model, exactly as the paper compares. A
+//! second section demonstrates the `pic-device` queue path: the same
+//! kernel is *functionally executed* through `Queue::submit_sweep` on
+//! each simulated device and the modeled event times are reported.
+
+use pic_bench::{bench_dt, build_ensemble, dipole_wave, print_banner, Table};
+use pic_boris::{AnalyticalSource, BorisPusher, SharedPushKernel};
+use pic_device::{Device, Queue, SweepProfile};
+use pic_particles::{Layout, ParticleAccess, SoaEnsemble, SpeciesTable};
+use pic_perfmodel::{CpuModel, GpuModel, Parallelization, Precision, Scenario};
+
+/// Paper Table 3 values (single source of truth in `pic-perfmodel`).
+const PAPER: [(Scenario, Layout, [f64; 3]); 4] = pic_perfmodel::report::PAPER_TABLE3;
+
+fn modeled_section() {
+    let cpu = CpuModel::endeavour();
+    let p630 = GpuModel::p630();
+    let iris = GpuModel::iris_xe_max();
+    print_banner(
+        "Table 3 — modeled NSPS on GPUs (single precision)",
+        "GPU cells: roofline + coalescing model; CPU column: DPC++ NUMA cell of\n\
+         the CPU model (as the paper compares). Paper values in parentheses.",
+    );
+    let mut t = Table::new(["Scenario", "Pattern", "CPU", "P630", "Iris Xe Max"]);
+    for (scenario, layout, paper) in PAPER {
+        let cpu_v = cpu.table2_cell(scenario, layout, Precision::F32, Parallelization::DpcppNuma);
+        t.row([
+            scenario.to_string(),
+            layout.to_string(),
+            pic_bench::fmt_cell(cpu_v, paper[0]),
+            pic_bench::fmt_cell(p630.nsps_f32(scenario, layout), paper[1]),
+            pic_bench::fmt_cell(iris.nsps_f32(scenario, layout), paper[2]),
+        ]);
+    }
+    println!("{t}");
+    println!("Shape checks:");
+    for scenario in Scenario::all() {
+        let ratio_p =
+            p630.nsps_f32(scenario, Layout::Aos) / p630.nsps_f32(scenario, Layout::Soa);
+        let ratio_i =
+            iris.nsps_f32(scenario, Layout::Aos) / iris.nsps_f32(scenario, Layout::Soa);
+        println!(
+            "  {scenario}: AoS/SoA = {ratio_p:.2}x on P630, {ratio_i:.2}x on Iris \
+             (paper: ~2x / ~1.5x)"
+        );
+    }
+}
+
+fn queue_section() {
+    print_banner(
+        "Table 3 (companion) — same kernel through the pic-device queues",
+        "Functional execution of the real Boris kernel on each simulated device;\n\
+         events report the modeled device time (steady state, after JIT warm-up).",
+    );
+    let n = 20_000;
+    let table = SpeciesTable::<f32>::with_standard_species();
+    let wave = dipole_wave::<f32>();
+    let source = AnalyticalSource::new(&wave);
+    let dt = bench_dt() as f32;
+
+    let mut t = Table::new(["Device", "modeled NSPS (Analytical, SoA)", "launches"]);
+    for device in [Device::p630(), Device::iris_xe_max()] {
+        let mut queue = Queue::new(device);
+        let mut ens: SoaEnsemble<f32> = build_ensemble(n, 11);
+        let profile = SweepProfile::new(Scenario::Analytical, Layout::Soa, Precision::F32);
+        // Warm-up launch (JIT), then a steady-state one.
+        let shared = SharedPushKernel { source: &source, pusher: BorisPusher, table: &table, dt, time: 0.0 };
+        queue.submit_sweep(&mut ens, profile, |_| shared.to_kernel());
+        let event = queue.submit_sweep(&mut ens, profile, |_| shared.to_kernel());
+        t.row([
+            event.device.clone(),
+            format!("{:.2}", event.ns_per_particle()),
+            queue.launches().to_string(),
+        ]);
+        // The kernel really ran: particles moved.
+        assert!(ens.get(0).momentum.norm() > 0.0);
+    }
+    println!("{t}");
+}
+
+fn main() {
+    modeled_section();
+    queue_section();
+}

@@ -1,0 +1,104 @@
+//! One-shot reproduction driver: prints every *modeled* artifact of the
+//! paper (Tables 1–3, Fig. 1 landmarks, the first-iteration profile) in
+//! one run, without any measurement — handy for CI and for eyeballing the
+//! whole reproduction at once.
+//!
+//! ```text
+//! cargo run --release -p pic-bench --bin reproduce
+//! ```
+//!
+//! The measured companions live in the bench targets (`cargo bench`).
+
+use pic_bench::{fmt_cell, print_banner, Table};
+use pic_particles::Layout;
+use pic_perfmodel::{CpuModel, GpuModel, Parallelization, Precision, Scenario};
+
+fn table2() {
+    let paper = pic_perfmodel::report::PAPER_TABLE2;
+    let m = CpuModel::endeavour();
+    print_banner("Table 2 (modeled)", "NSPS on 2x Xeon 8260L; paper values in parentheses.");
+    let mut t = Table::new([
+        "Pattern", "Parallelization", "P float", "P double", "A float", "A double",
+    ]);
+    for (layout, par, vals) in paper {
+        let c = |s, p, r| fmt_cell(m.table2_cell(s, layout, p, par), r);
+        t.row([
+            layout.name().to_string(),
+            par.name().to_string(),
+            c(Scenario::Precalculated, Precision::F32, vals[0]),
+            c(Scenario::Precalculated, Precision::F64, vals[1]),
+            c(Scenario::Analytical, Precision::F32, vals[2]),
+            c(Scenario::Analytical, Precision::F64, vals[3]),
+        ]);
+    }
+    println!("{t}");
+}
+
+fn fig1() {
+    let m = CpuModel::endeavour();
+    print_banner("Fig. 1 (modeled landmarks)", "Strong scaling, Precalculated, float.");
+    for par in [Parallelization::OpenMp, Parallelization::DpcppNuma] {
+        let s = m.speedup_curve(Scenario::Precalculated, Layout::Aos, Precision::F32, par);
+        println!(
+            "  {par:12}: S(2)={:.2}  S(24)={:.2}  S(48)={:.2}  eff(48)={:.0}%",
+            s[1],
+            s[23],
+            s[47],
+            100.0 * s[47] / 48.0
+        );
+    }
+    println!();
+}
+
+fn table3() {
+    let paper = pic_perfmodel::report::PAPER_TABLE3;
+    let cpu = CpuModel::endeavour();
+    let p630 = GpuModel::p630();
+    let iris = GpuModel::iris_xe_max();
+    print_banner("Table 3 (modeled)", "GPU NSPS, float; paper values in parentheses.");
+    let mut t = Table::new(["Scenario", "Pattern", "CPU", "P630", "Iris Xe Max"]);
+    for (scenario, layout, v) in paper {
+        t.row([
+            scenario.to_string(),
+            layout.to_string(),
+            fmt_cell(
+                cpu.table2_cell(scenario, layout, Precision::F32, Parallelization::DpcppNuma),
+                v[0],
+            ),
+            fmt_cell(p630.nsps_f32(scenario, layout), v[1]),
+            fmt_cell(iris.nsps_f32(scenario, layout), v[2]),
+        ]);
+    }
+    println!("{t}");
+}
+
+fn warmup() {
+    print_banner("§5.3 first-iteration profile (modeled)", "JIT + cold memory factor.");
+    for gpu in GpuModel::paper_devices() {
+        let p = gpu.iteration_profile(Scenario::Precalculated, Layout::Soa, 10);
+        println!(
+            "  {:12}: it1/steady = {:.2}x, amortized over 10 iterations = {:.1}%",
+            gpu.spec.name,
+            p[0] / p[9],
+            100.0 * (p.iter().sum::<f64>() / 10.0 / p[9] - 1.0)
+        );
+    }
+    println!();
+}
+
+fn main() {
+    println!("Reproduction of: Volokitin et al., \"High Performance Implementation of");
+    println!("Boris Particle Pusher on DPC++. A First Look at oneAPI\", PACT 2021.");
+    table2();
+    fig1();
+    table3();
+    warmup();
+    let f = pic_perfmodel::fidelity(&pic_perfmodel::default_report());
+    println!(
+        "Aggregate fidelity over all {} published cells: mean |deviation| = {:.1}%, worst = {:.1}%.",
+        f.cells,
+        100.0 * f.mean_abs_deviation,
+        100.0 * f.worst_abs_deviation
+    );
+    println!("Measured companions: cargo bench -p pic-bench (see EXPERIMENTS.md).");
+}

@@ -1,0 +1,167 @@
+//! Wall-clock NSPS measurement of the real Rust kernels on this host.
+//!
+//! This is the *measured* half of the harness (the modeled half lives in
+//! `pic-perfmodel`): it executes the actual pusher over the actual
+//! benchmark ensemble under a chosen schedule, repeating the paper's
+//! 10-iteration protocol and reporting the paper's NSPS metric.
+
+use crate::scenario::{bench_dt, build_ensemble, dipole_wave, BenchConfig};
+use pic_boris::{
+    AnalyticalSource, BorisPusher, FieldSource, PrecalculatedSource, SharedPushKernel,
+};
+use pic_fields::PrecalculatedFields;
+use pic_math::stats::Summary;
+use pic_math::Real;
+use pic_particles::{AosEnsemble, Layout, ParticleAccess, SoaEnsemble, SpeciesTable};
+use pic_perfmodel::Scenario;
+use pic_runtime::{parallel_sweep, Schedule, Topology};
+use std::time::Instant;
+
+/// Result of one measured configuration.
+#[derive(Clone, Debug, PartialEq)]
+pub struct MeasuredRun {
+    /// Wall time of each measured iteration, nanoseconds.
+    pub iteration_ns: Vec<f64>,
+    /// Particles × steps per iteration.
+    pub work: usize,
+}
+
+impl MeasuredRun {
+    /// The paper's metric: mean iteration time / particles / steps.
+    pub fn nsps(&self) -> f64 {
+        Summary::of(&self.iteration_ns).mean / self.work as f64
+    }
+
+    /// NSPS of the first iteration only (JIT/cold-cache probe, §5.3).
+    pub fn first_iteration_nsps(&self) -> f64 {
+        self.iteration_ns[0] / self.work as f64
+    }
+
+    /// NSPS excluding the first iteration.
+    pub fn steady_nsps(&self) -> f64 {
+        if self.iteration_ns.len() < 2 {
+            return self.nsps();
+        }
+        Summary::of(&self.iteration_ns[1..]).mean / self.work as f64
+    }
+}
+
+/// Measures NSPS for one (layout, scenario) cell of the benchmark with
+/// the real kernels, at precision `R`, under `schedule` on `topology`.
+///
+/// The Precalculated scenario builds its per-particle field array from the
+/// initial positions, once, outside the measured region — mirroring the
+/// paper's setup where scenario 1 "excludes all operations from
+/// measurements except for particle motion".
+pub fn measure_nsps<R: Real>(
+    layout: Layout,
+    scenario: Scenario,
+    cfg: &BenchConfig,
+    topology: &Topology,
+    schedule: Schedule,
+) -> MeasuredRun {
+    match layout {
+        Layout::Aos => {
+            let mut store: AosEnsemble<R> = build_ensemble(cfg.particles, 42);
+            measure_store(&mut store, scenario, cfg, topology, schedule)
+        }
+        Layout::Soa => {
+            let mut store: SoaEnsemble<R> = build_ensemble(cfg.particles, 42);
+            measure_store(&mut store, scenario, cfg, topology, schedule)
+        }
+    }
+}
+
+fn measure_store<R: Real, A: ParticleAccess<R>>(
+    store: &mut A,
+    scenario: Scenario,
+    cfg: &BenchConfig,
+    topology: &Topology,
+    schedule: Schedule,
+) -> MeasuredRun {
+    let table = SpeciesTable::<R>::with_standard_species();
+    let wave = dipole_wave::<R>();
+    let dt = R::from_f64(bench_dt());
+
+    match scenario {
+        Scenario::Analytical => {
+            let source = AnalyticalSource::new(wave);
+            run_iterations(store, &source, &table, dt, cfg, topology, schedule)
+        }
+        Scenario::Precalculated => {
+            let positions: Vec<_> = (0..store.len()).map(|i| store.get(i).position).collect();
+            let pre = PrecalculatedFields::from_sampler(&wave, positions, R::ZERO);
+            let source = PrecalculatedSource::new(&pre);
+            run_iterations(store, &source, &table, dt, cfg, topology, schedule)
+        }
+    }
+}
+
+fn run_iterations<R: Real, A: ParticleAccess<R>, F: FieldSource<R> + Copy>(
+    store: &mut A,
+    source: &F,
+    table: &SpeciesTable<R>,
+    dt: R,
+    cfg: &BenchConfig,
+    topology: &Topology,
+    schedule: Schedule,
+) -> MeasuredRun {
+    let mut iteration_ns = Vec::with_capacity(cfg.iterations);
+    let mut time = R::ZERO;
+    for _ in 0..cfg.iterations {
+        let start = Instant::now();
+        for _ in 0..cfg.steps_per_iteration {
+            let shared = SharedPushKernel {
+                source,
+                pusher: BorisPusher,
+                table,
+                dt,
+                time,
+            };
+            parallel_sweep(store, topology, schedule, |_tid| shared.to_kernel());
+            time += dt;
+        }
+        iteration_ns.push(start.elapsed().as_nanos() as f64);
+    }
+    MeasuredRun { iteration_ns, work: cfg.work_per_iteration() }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn measurement_runs_and_reports_positive_nsps() {
+        let cfg = BenchConfig::quick();
+        let topo = Topology::single(1);
+        for layout in [Layout::Aos, Layout::Soa] {
+            for scenario in Scenario::all() {
+                let run = measure_nsps::<f32>(
+                    layout,
+                    scenario,
+                    &cfg,
+                    &topo,
+                    Schedule::StaticChunks,
+                );
+                assert_eq!(run.iteration_ns.len(), cfg.iterations);
+                assert!(run.nsps() > 0.0, "{layout} {scenario}");
+                assert!(run.steady_nsps() > 0.0);
+                assert!(run.first_iteration_nsps() > 0.0);
+            }
+        }
+    }
+
+    #[test]
+    fn f64_measurement_also_runs() {
+        let cfg = BenchConfig::quick();
+        let run = measure_nsps::<f64>(
+            Layout::Soa,
+            Scenario::Analytical,
+            &cfg,
+            &Topology::single(2),
+            Schedule::dynamic(),
+        );
+        assert!(run.nsps() > 0.0);
+        assert_eq!(run.work, cfg.work_per_iteration());
+    }
+}

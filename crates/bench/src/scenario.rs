@@ -1,0 +1,137 @@
+//! Benchmark workload builders matching the paper's setup (§5.2).
+//!
+//! "Initially electrons are at rest and distributed uniformly within the
+//! sphere with radius r = 0.6λ. In each experiment 10⁷ particles were
+//! simulated, the equations of motion were integrated over 10³ time steps
+//! ('iteration'), 10 successive iterations were measured."
+//!
+//! The defaults below scale the particle count and step count down so the
+//! harness completes on a laptop-class host; `PIC_BENCH_PARTICLES`,
+//! `PIC_BENCH_STEPS` and `PIC_BENCH_ITERS` restore any scale up to the
+//! paper's 10⁷ × 10³ × 10.
+
+use pic_fields::DipoleStandingWave;
+use pic_math::constants::{BENCH_OMEGA, BENCH_POWER, BENCH_WAVELENGTH};
+use pic_math::{Real, Vec3};
+use pic_particles::init::{fill_sphere_at_rest, SphereDist};
+use pic_particles::{ParticleStore, SpeciesTable};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Workload sizing for one harness run.
+#[derive(Clone, Copy, Debug, Eq, PartialEq)]
+pub struct BenchConfig {
+    /// Number of macroparticles (paper: 10⁷).
+    pub particles: usize,
+    /// Pusher steps per measured iteration (paper: 10³).
+    pub steps_per_iteration: usize,
+    /// Measured iterations (paper: 10).
+    pub iterations: usize,
+}
+
+impl BenchConfig {
+    /// Default harness scale: 10⁵ particles × 50 steps × 5 iterations.
+    pub fn default_scale() -> BenchConfig {
+        BenchConfig { particles: 100_000, steps_per_iteration: 50, iterations: 5 }
+    }
+
+    /// Tiny scale for unit tests.
+    pub fn quick() -> BenchConfig {
+        BenchConfig { particles: 2_000, steps_per_iteration: 5, iterations: 3 }
+    }
+
+    /// The paper's full scale (≈ 10¹¹ particle-steps; hours on one core).
+    pub fn paper_scale() -> BenchConfig {
+        BenchConfig { particles: 10_000_000, steps_per_iteration: 1_000, iterations: 10 }
+    }
+
+    /// Reads the scale from `PIC_BENCH_PARTICLES` / `PIC_BENCH_STEPS` /
+    /// `PIC_BENCH_ITERS`, falling back to [`default_scale`](Self::default_scale).
+    pub fn from_env() -> BenchConfig {
+        let read = |key: &str, dflt: usize| -> usize {
+            std::env::var(key)
+                .ok()
+                .and_then(|v| v.parse().ok())
+                .unwrap_or(dflt)
+        };
+        let d = BenchConfig::default_scale();
+        BenchConfig {
+            particles: read("PIC_BENCH_PARTICLES", d.particles),
+            steps_per_iteration: read("PIC_BENCH_STEPS", d.steps_per_iteration),
+            iterations: read("PIC_BENCH_ITERS", d.iterations),
+        }
+    }
+
+    /// Total particle-steps of one measured iteration.
+    pub fn work_per_iteration(&self) -> usize {
+        self.particles * self.steps_per_iteration
+    }
+}
+
+/// The benchmark field: the 0.1 PW standing m-dipole wave (paper Eq. 14).
+pub fn dipole_wave<R: Real>() -> DipoleStandingWave<R> {
+    DipoleStandingWave::new(BENCH_POWER, BENCH_OMEGA)
+}
+
+/// The benchmark time step: 1/100 of the wave period (small enough for
+/// sub-cell motion and accurate gyration at the benchmark intensity).
+pub fn bench_dt() -> f64 {
+    2.0 * std::f64::consts::PI / BENCH_OMEGA / 100.0
+}
+
+/// Builds the paper's initial ensemble: `n` electrons at rest, uniform in
+/// a sphere of radius 0.6λ, deterministic for a given `seed`.
+pub fn build_ensemble<R: Real, S: ParticleStore<R>>(n: usize, seed: u64) -> S {
+    let mut store = S::default();
+    fill_sphere_at_rest(
+        &mut store,
+        n,
+        &SphereDist { center: Vec3::zero(), radius: 0.6 * BENCH_WAVELENGTH },
+        1.0,
+        SpeciesTable::<R>::ELECTRON,
+        &mut StdRng::seed_from_u64(seed),
+    );
+    store
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pic_particles::{AosEnsemble, ParticleAccess, SoaEnsemble};
+
+    #[test]
+    fn config_scales() {
+        let q = BenchConfig::quick();
+        assert_eq!(q.work_per_iteration(), 10_000);
+        let p = BenchConfig::paper_scale();
+        assert_eq!(p.particles, 10_000_000);
+        assert_eq!(p.steps_per_iteration, 1_000);
+    }
+
+    #[test]
+    fn env_overrides() {
+        std::env::set_var("PIC_BENCH_PARTICLES", "1234");
+        let c = BenchConfig::from_env();
+        assert_eq!(c.particles, 1234);
+        std::env::remove_var("PIC_BENCH_PARTICLES");
+        let d = BenchConfig::from_env();
+        assert_eq!(d.particles, BenchConfig::default_scale().particles);
+    }
+
+    #[test]
+    fn ensembles_are_deterministic_and_layout_agnostic() {
+        let a: AosEnsemble<f64> = build_ensemble(100, 7);
+        let s: SoaEnsemble<f64> = build_ensemble(100, 7);
+        for i in 0..100 {
+            assert_eq!(a.get(i), s.get(i));
+        }
+        let a2: AosEnsemble<f64> = build_ensemble(100, 8);
+        assert_ne!(a.get(0), a2.get(0));
+    }
+
+    #[test]
+    fn dt_resolves_the_wave_period() {
+        let period = 2.0 * std::f64::consts::PI / BENCH_OMEGA;
+        assert!((bench_dt() * 100.0 - period).abs() < 1e-20);
+    }
+}

@@ -1,0 +1,198 @@
+//! Trajectory recording for selected particles.
+//!
+//! The paper's physics study (§5.2) characterizes *ensemble* escape rates;
+//! understanding individual dynamics (gyration, ponderomotive drift,
+//! trapping) needs per-particle trajectories. This recorder samples chosen
+//! particles every N steps without touching the hot loop.
+
+use pic_math::{Real, Vec3};
+use pic_particles::ParticleAccess;
+
+/// One trajectory sample.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct TrajectorySample<R> {
+    /// Simulation time, s.
+    pub time: f64,
+    /// Particle position, cm.
+    pub position: Vec3<R>,
+    /// Particle momentum, g·cm/s.
+    pub momentum: Vec3<R>,
+    /// Lorentz factor.
+    pub gamma: R,
+}
+
+/// Records the state of selected particles at a fixed step cadence.
+///
+/// # Example
+///
+/// ```
+/// use pic_boris::trajectory::TrajectoryRecorder;
+/// use pic_particles::{AosEnsemble, Particle, ParticleStore};
+///
+/// let ens = AosEnsemble::<f64>::from_particles(
+///     (0..10).map(|_| Particle::default()));
+/// let mut rec = TrajectoryRecorder::new(vec![0, 5], 2);
+/// for step in 0..6 {
+///     rec.record(&ens, step as f64 * 1.0e-15);
+/// }
+/// assert_eq!(rec.samples(0).len(), 3); // steps 0, 2, 4
+/// ```
+#[derive(Clone, Debug)]
+pub struct TrajectoryRecorder<R> {
+    indices: Vec<usize>,
+    every: usize,
+    calls: usize,
+    tracks: Vec<Vec<TrajectorySample<R>>>,
+}
+
+impl<R: Real> TrajectoryRecorder<R> {
+    /// Creates a recorder tracking the given particle indices, sampling
+    /// every `every`-th call to [`record`](Self::record).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `every` is zero.
+    pub fn new(indices: Vec<usize>, every: usize) -> TrajectoryRecorder<R> {
+        assert!(every > 0, "TrajectoryRecorder: zero cadence");
+        let tracks = vec![Vec::new(); indices.len()];
+        TrajectoryRecorder { indices, every, calls: 0, tracks }
+    }
+
+    /// Number of tracked particles.
+    pub fn tracked(&self) -> usize {
+        self.indices.len()
+    }
+
+    /// Samples the store if this call falls on the cadence. Call once per
+    /// simulation step.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a tracked index is out of range for `store`.
+    pub fn record<A: ParticleAccess<R>>(&mut self, store: &A, time: f64) {
+        if self.calls % self.every == 0 {
+            for (t, &i) in self.indices.iter().enumerate() {
+                let p = store.get(i);
+                self.tracks[t].push(TrajectorySample {
+                    time,
+                    position: p.position,
+                    momentum: p.momentum,
+                    gamma: p.gamma,
+                });
+            }
+        }
+        self.calls += 1;
+    }
+
+    /// The recorded track of the `t`-th tracked particle.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `t >= tracked()`.
+    pub fn samples(&self, t: usize) -> &[TrajectorySample<R>] {
+        &self.tracks[t]
+    }
+
+    /// Total path length of track `t` (sum of segment lengths), cm.
+    pub fn path_length(&self, t: usize) -> f64 {
+        self.tracks[t]
+            .windows(2)
+            .map(|w| (w[1].position.to_f64() - w[0].position.to_f64()).norm())
+            .sum()
+    }
+
+    /// Largest distance of track `t` from its first sample, cm.
+    pub fn max_excursion(&self, t: usize) -> f64 {
+        let Some(first) = self.tracks[t].first() else {
+            return 0.0;
+        };
+        let origin = first.position.to_f64();
+        self.tracks[t]
+            .iter()
+            .map(|s| (s.position.to_f64() - origin).norm())
+            .fold(0.0, f64::max)
+    }
+
+    /// Peak Lorentz factor seen on track `t` (1 for an empty track).
+    pub fn max_gamma(&self, t: usize) -> f64 {
+        self.tracks[t]
+            .iter()
+            .map(|s| s.gamma.to_f64())
+            .fold(1.0, f64::max)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::boris::BorisPusher;
+    use crate::pusher::Pusher;
+    use pic_fields::EB;
+    use pic_math::constants::{ELECTRON_MASS, ELEMENTARY_CHARGE, LIGHT_VELOCITY};
+    use pic_particles::{AosEnsemble, Particle, ParticleStore, Species, SpeciesId};
+
+    #[test]
+    fn cadence_and_counts() {
+        let ens = AosEnsemble::<f64>::from_particles((0..5).map(|_| Particle::default()));
+        let mut rec = TrajectoryRecorder::new(vec![1, 3], 3);
+        for step in 0..10 {
+            rec.record(&ens, step as f64);
+        }
+        assert_eq!(rec.tracked(), 2);
+        // Steps 0, 3, 6, 9.
+        assert_eq!(rec.samples(0).len(), 4);
+        assert_eq!(rec.samples(1).len(), 4);
+        assert_eq!(rec.samples(0)[2].time, 6.0);
+    }
+
+    #[test]
+    fn gyration_path_length_matches_circumference() {
+        let sp = Species::<f64>::electron();
+        let b = 1.0e3;
+        let field = EB::new(pic_math::Vec3::zero(), pic_math::Vec3::new(0.0, 0.0, b));
+        let p_mag = 1e-2 * ELECTRON_MASS * LIGHT_VELOCITY;
+        let mut ens = AosEnsemble::<f64>::from_particles([Particle::new(
+            pic_math::Vec3::zero(),
+            pic_math::Vec3::new(p_mag, 0.0, 0.0),
+            1.0,
+            SpeciesId(0),
+            sp.mass,
+        )]);
+        let gamma = ens.get(0).gamma;
+        let omega_c = ELEMENTARY_CHARGE * b / (ELECTRON_MASS * LIGHT_VELOCITY * gamma);
+        let period = 2.0 * std::f64::consts::PI / omega_c;
+        let steps = 720;
+        let dt = period / steps as f64;
+
+        let mut rec = TrajectoryRecorder::new(vec![0], 1);
+        for step in 0..steps {
+            rec.record(&ens, step as f64 * dt);
+            let mut p = ens.get(0);
+            BorisPusher.push(&mut p, &field, &sp, dt);
+            ens.set(0, &p);
+        }
+        // One full circle: path ≈ 2π r_L with r_L = p c/(eB).
+        let r_l = p_mag * LIGHT_VELOCITY / (ELEMENTARY_CHARGE * b);
+        let expect = 2.0 * std::f64::consts::PI * r_l;
+        let got = rec.path_length(0);
+        assert!((got - expect).abs() / expect < 1e-2, "path {got} vs {expect}");
+        // Max excursion ≈ the diameter.
+        let exc = rec.max_excursion(0);
+        assert!((exc - 2.0 * r_l).abs() / (2.0 * r_l) < 2e-2, "excursion {exc}");
+        assert!(rec.max_gamma(0) >= 1.0);
+    }
+
+    #[test]
+    fn empty_track_edge_cases() {
+        let rec = TrajectoryRecorder::<f64>::new(vec![0], 1);
+        assert_eq!(rec.path_length(0), 0.0);
+        assert_eq!(rec.max_excursion(0), 0.0);
+        assert_eq!(rec.max_gamma(0), 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "zero cadence")]
+    fn zero_cadence_panics() {
+        let _ = TrajectoryRecorder::<f64>::new(vec![0], 0);
+    }
+}

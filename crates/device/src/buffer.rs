@@ -1,0 +1,220 @@
+//! Buffers and accessors — the *other* DPC++ memory-management model
+//! (paper §4.2: "buffers, which allow us to define regions of memory that
+//! can be used on the device, and accessors, which allow us to plan access
+//! to data and their movement between devices").
+//!
+//! The paper chose USM instead; this module completes the pair so both
+//! styles can be compared. The buffer tracks which side (host/device)
+//! holds a valid copy and counts the transfers a real runtime would issue,
+//! so tests can assert data-movement plans.
+
+/// Where an accessor runs.
+#[derive(Clone, Copy, Debug, Eq, Hash, PartialEq)]
+pub enum Target {
+    /// Host-side access.
+    Host,
+    /// Device-side access.
+    Device,
+}
+
+/// Declared access intent (drives the coherence traffic).
+#[derive(Clone, Copy, Debug, Eq, Hash, PartialEq)]
+pub enum AccessMode {
+    /// Read only: needs a valid copy, keeps both copies valid.
+    Read,
+    /// Write only (discard): needs no transfer, invalidates the other side.
+    Write,
+    /// Read and write: needs a valid copy, invalidates the other side.
+    ReadWrite,
+}
+
+/// A SYCL-like buffer: owned data plus a two-sided validity protocol.
+///
+/// # Example
+///
+/// ```
+/// use pic_device::buffer::{AccessMode, Buffer, Target};
+///
+/// let mut buf = Buffer::from_vec(vec![1.0_f32; 512]);
+/// {
+///     let mut acc = buf.accessor(Target::Device, AccessMode::ReadWrite);
+///     acc.as_mut_slice()[0] = 2.0;     // "kernel" writes on the device
+/// }
+/// assert_eq!(buf.transfers(), 1);      // host → device copy
+/// let host = buf.accessor(Target::Host, AccessMode::Read);
+/// assert_eq!(host.as_slice()[0], 2.0);
+/// drop(host);
+/// assert_eq!(buf.transfers(), 2);      // device → host copy
+/// ```
+#[derive(Debug)]
+pub struct Buffer<T> {
+    data: Vec<T>,
+    valid_host: bool,
+    valid_device: bool,
+    transfers: usize,
+}
+
+impl<T: Clone + Default> Buffer<T> {
+    /// Allocates `len` default elements (valid on the host).
+    pub fn new(len: usize) -> Buffer<T> {
+        Buffer::from_vec(vec![T::default(); len])
+    }
+}
+
+impl<T> Buffer<T> {
+    /// Wraps existing host data.
+    pub fn from_vec(data: Vec<T>) -> Buffer<T> {
+        Buffer { data, valid_host: true, valid_device: false, transfers: 0 }
+    }
+
+    /// Number of elements.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// `true` when the buffer holds no elements.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Host↔device copies issued so far.
+    pub fn transfers(&self) -> usize {
+        self.transfers
+    }
+
+    /// Consumes the buffer, returning the data (synchronizing back to the
+    /// host first, as SYCL buffer destruction does).
+    pub fn into_inner(mut self) -> Vec<T> {
+        if !self.valid_host {
+            self.transfers += 1;
+        }
+        self.data
+    }
+
+    /// Creates an accessor, issuing whatever transfer the declared target
+    /// and mode require.
+    pub fn accessor(&mut self, target: Target, mode: AccessMode) -> Accessor<'_, T> {
+        let valid_here = match target {
+            Target::Host => self.valid_host,
+            Target::Device => self.valid_device,
+        };
+        if mode != AccessMode::Write && !valid_here {
+            // Need the current contents: copy from the other side.
+            self.transfers += 1;
+        }
+        match target {
+            Target::Host => self.valid_host = true,
+            Target::Device => self.valid_device = true,
+        }
+        if mode != AccessMode::Read {
+            // This side will mutate: the other copy becomes stale.
+            match target {
+                Target::Host => self.valid_device = false,
+                Target::Device => self.valid_host = false,
+            }
+        }
+        Accessor { data: &mut self.data, mode }
+    }
+}
+
+/// A borrowed view of a buffer with a declared access mode.
+#[derive(Debug)]
+pub struct Accessor<'a, T> {
+    data: &'a mut Vec<T>,
+    mode: AccessMode,
+}
+
+impl<T> Accessor<'_, T> {
+    /// The declared access mode.
+    pub fn mode(&self) -> AccessMode {
+        self.mode
+    }
+
+    /// Read view.
+    pub fn as_slice(&self) -> &[T] {
+        self.data
+    }
+
+    /// Write view.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the accessor was created with [`AccessMode::Read`].
+    pub fn as_mut_slice(&mut self) -> &mut [T] {
+        assert!(
+            self.mode != AccessMode::Read,
+            "as_mut_slice on a read-only accessor"
+        );
+        self.data
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn read_after_device_write_copies_back_once() {
+        let mut buf = Buffer::from_vec(vec![0u32; 16]);
+        {
+            let mut d = buf.accessor(Target::Device, AccessMode::ReadWrite);
+            d.as_mut_slice()[3] = 7;
+        }
+        assert_eq!(buf.transfers(), 1);
+        {
+            let h = buf.accessor(Target::Host, AccessMode::Read);
+            assert_eq!(h.as_slice()[3], 7);
+        }
+        assert_eq!(buf.transfers(), 2);
+        // A second host read needs no further transfer.
+        let _ = buf.accessor(Target::Host, AccessMode::Read);
+        assert_eq!(buf.transfers(), 2);
+    }
+
+    #[test]
+    fn discard_write_skips_the_upload() {
+        let mut buf = Buffer::from_vec(vec![1u8; 8]);
+        {
+            let mut d = buf.accessor(Target::Device, AccessMode::Write);
+            d.as_mut_slice().fill(9);
+        }
+        // Write-only access never copies host → device.
+        assert_eq!(buf.transfers(), 0);
+        let h = buf.accessor(Target::Host, AccessMode::Read);
+        assert_eq!(h.as_slice(), &[9; 8]);
+    }
+
+    #[test]
+    fn repeated_device_kernels_reuse_the_copy() {
+        let mut buf = Buffer::from_vec(vec![0f64; 4]);
+        for _ in 0..5 {
+            let mut d = buf.accessor(Target::Device, AccessMode::ReadWrite);
+            d.as_mut_slice()[0] += 1.0;
+        }
+        // One upload, no round trips between kernels — the locality the
+        // buffer/accessor model gives a scheduler for free.
+        assert_eq!(buf.transfers(), 1);
+        assert_eq!(buf.accessor(Target::Host, AccessMode::Read).as_slice()[0], 5.0);
+    }
+
+    #[test]
+    fn into_inner_synchronizes() {
+        let mut buf = Buffer::from_vec(vec![1i64, 2, 3]);
+        {
+            let mut d = buf.accessor(Target::Device, AccessMode::ReadWrite);
+            d.as_mut_slice()[2] = 33;
+        }
+        let transfers_before = buf.transfers();
+        let v = buf.into_inner();
+        assert_eq!(v, vec![1, 2, 33]);
+        let _ = transfers_before;
+    }
+
+    #[test]
+    #[should_panic(expected = "read-only accessor")]
+    fn read_accessor_refuses_mutation() {
+        let mut buf = Buffer::<u8>::new(4);
+        let mut a = buf.accessor(Target::Host, AccessMode::Read);
+        let _ = a.as_mut_slice();
+    }
+}

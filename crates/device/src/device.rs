@@ -1,0 +1,176 @@
+//! Execution targets.
+
+use pic_perfmodel::GpuModel;
+use pic_runtime::{Schedule, Topology};
+
+/// How a device executes kernels.
+#[derive(Clone, Debug)]
+pub enum Backend {
+    /// Real execution on host threads through `pic-runtime`.
+    HostCpu {
+        /// Thread/NUMA layout of the host.
+        topology: Topology,
+        /// Scheduling policy (the DPC++ CPU runtime uses dynamic/TBB).
+        schedule: Schedule,
+    },
+    /// Functional execution on the host, with elapsed time reported from
+    /// the GPU performance model (hardware-substitution per DESIGN.md).
+    SimulatedGpu {
+        /// The modeled device.
+        model: GpuModel,
+    },
+}
+
+/// An execution target a [`crate::Queue`] can be bound to — the analogue
+/// of a SYCL `device`.
+///
+/// # Example
+///
+/// ```
+/// use pic_device::Device;
+///
+/// let gpu = Device::iris_xe_max();
+/// assert!(gpu.is_gpu());
+/// assert_eq!(gpu.name(), "Iris Xe Max");
+///
+/// let cpu = Device::host_default();
+/// assert!(!cpu.is_gpu());
+/// ```
+#[derive(Clone, Debug)]
+pub struct Device {
+    name: String,
+    backend: Backend,
+}
+
+impl Device {
+    /// A host CPU device with an explicit topology and schedule.
+    pub fn host(topology: Topology, schedule: Schedule) -> Device {
+        Device {
+            name: format!(
+                "Host CPU ({} threads, {})",
+                topology.total_threads(),
+                schedule.paper_name()
+            ),
+            backend: Backend::HostCpu { topology, schedule },
+        }
+    }
+
+    /// The host CPU with auto-detected thread count and dynamic
+    /// scheduling — what a default SYCL CPU selector would give.
+    pub fn host_default() -> Device {
+        Device::host(Topology::default(), Schedule::dynamic())
+    }
+
+    /// The simulated Intel UHD P630.
+    pub fn p630() -> Device {
+        Device::simulated_gpu(GpuModel::p630())
+    }
+
+    /// The simulated Intel Iris Xe Max.
+    pub fn iris_xe_max() -> Device {
+        Device::simulated_gpu(GpuModel::iris_xe_max())
+    }
+
+    /// A simulated GPU from an arbitrary model.
+    pub fn simulated_gpu(model: GpuModel) -> Device {
+        Device { name: model.spec.name.to_string(), backend: Backend::SimulatedGpu { model } }
+    }
+
+    /// Human-readable device name (Table 1 names for the paper GPUs).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// `true` for (simulated) GPU devices.
+    pub fn is_gpu(&self) -> bool {
+        matches!(self.backend, Backend::SimulatedGpu { .. })
+    }
+
+    /// The execution backend.
+    pub fn backend(&self) -> &Backend {
+        &self.backend
+    }
+
+    /// Enumerates the devices of the paper's evaluation: the host plus the
+    /// two Intel GPUs — the analogue of `sycl::device::get_devices()`.
+    pub fn enumerate() -> Vec<Device> {
+        vec![Device::host_default(), Device::p630(), Device::iris_xe_max()]
+    }
+
+    /// Selects a device by name: `"host"`, `"p630"` or `"iris"`
+    /// (case-insensitive). The analogue of SYCL's selector mechanism.
+    ///
+    /// # Errors
+    ///
+    /// Returns the unrecognized name as `Err` so callers can report it.
+    pub fn select(name: &str) -> Result<Device, String> {
+        match name.to_ascii_lowercase().as_str() {
+            "host" | "cpu" => Ok(Device::host_default()),
+            "p630" => Ok(Device::p630()),
+            "iris" | "iris_xe_max" => Ok(Device::iris_xe_max()),
+            other => Err(other.to_string()),
+        }
+    }
+
+    /// Selects the device named by the `PIC_DEVICE` environment variable
+    /// (the analogue of `ONEAPI_DEVICE_SELECTOR`), defaulting to the host.
+    pub fn from_env() -> Device {
+        std::env::var("PIC_DEVICE")
+            .ok()
+            .and_then(|name| Device::select(&name).ok())
+            .unwrap_or_else(Device::host_default)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_devices_have_table1_names() {
+        assert_eq!(Device::p630().name(), "P630");
+        assert_eq!(Device::iris_xe_max().name(), "Iris Xe Max");
+    }
+
+    #[test]
+    fn host_names_include_configuration() {
+        let d = Device::host(Topology::uniform(2, 24), Schedule::numa());
+        assert!(d.name().contains("48"));
+        assert!(d.name().contains("NUMA"));
+        assert!(!d.is_gpu());
+    }
+
+    #[test]
+    fn enumerate_lists_host_first() {
+        let devices = Device::enumerate();
+        assert_eq!(devices.len(), 3);
+        assert!(!devices[0].is_gpu());
+        assert!(devices[1].is_gpu());
+        assert!(devices[2].is_gpu());
+    }
+
+    #[test]
+    fn select_by_name() {
+        assert_eq!(Device::select("P630").unwrap().name(), "P630");
+        assert_eq!(Device::select("iris").unwrap().name(), "Iris Xe Max");
+        assert!(!Device::select("host").unwrap().is_gpu());
+        assert_eq!(Device::select("fpga").unwrap_err(), "fpga");
+    }
+
+    #[test]
+    fn env_selector_defaults_to_host() {
+        std::env::remove_var("PIC_DEVICE");
+        assert!(!Device::from_env().is_gpu());
+        std::env::set_var("PIC_DEVICE", "iris");
+        assert_eq!(Device::from_env().name(), "Iris Xe Max");
+        std::env::remove_var("PIC_DEVICE");
+    }
+
+    #[test]
+    fn backend_matches_kind() {
+        match Device::p630().backend() {
+            Backend::SimulatedGpu { model } => assert_eq!(model.spec.name, "P630"),
+            other => panic!("unexpected backend {other:?}"),
+        }
+    }
+}

@@ -1,0 +1,212 @@
+//! Dependency-graph execution timelines (in-order vs out-of-order queues).
+//!
+//! SYCL queues come in two flavours: *in-order* (each kernel waits for the
+//! previous one — what the paper's port uses) and *out-of-order* (kernels
+//! declare dependencies, and independent ones may overlap — what the
+//! buffer/accessor model of §4.2 builds implicitly). The physical devices
+//! here are simulated, so overlap is a *timeline* property: this module
+//! computes modeled start/finish times for a kernel DAG over a device with
+//! a given number of concurrent execution slots, letting tests and benches
+//! quantify what out-of-order submission would buy.
+
+/// Identifier of a submitted task within a [`TaskTimeline`].
+#[derive(Clone, Copy, Debug, Eq, Hash, Ord, PartialEq, PartialOrd)]
+pub struct TaskId(usize);
+
+/// Queue ordering semantics.
+#[derive(Clone, Copy, Debug, Eq, PartialEq)]
+pub enum Ordering {
+    /// Every task depends on the previously submitted one.
+    InOrder,
+    /// Tasks only wait for their declared dependencies (and a free slot).
+    OutOfOrder,
+}
+
+#[derive(Clone, Copy, Debug)]
+struct Task {
+    start: f64,
+    finish: f64,
+}
+
+/// A modeled execution timeline for kernels submitted to a device with
+/// `slots` concurrent execution resources.
+///
+/// # Example
+///
+/// ```
+/// use pic_device::graph::{Ordering, TaskTimeline};
+///
+/// // Two independent 1-ms kernels on a 2-slot out-of-order device.
+/// let mut tl = TaskTimeline::new(Ordering::OutOfOrder, 2);
+/// let a = tl.submit(1e-3, &[]);
+/// let b = tl.submit(1e-3, &[]);
+/// assert_eq!(tl.finish_time(a), tl.finish_time(b)); // they overlap
+/// assert_eq!(tl.makespan(), 1e-3);
+/// ```
+#[derive(Clone, Debug)]
+pub struct TaskTimeline {
+    ordering: Ordering,
+    slot_free: Vec<f64>,
+    tasks: Vec<Task>,
+}
+
+impl TaskTimeline {
+    /// Creates a timeline.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `slots` is zero.
+    pub fn new(ordering: Ordering, slots: usize) -> TaskTimeline {
+        assert!(slots > 0, "TaskTimeline: zero slots");
+        TaskTimeline {
+            ordering,
+            slot_free: vec![0.0; slots],
+            tasks: Vec::new(),
+        }
+    }
+
+    /// Submits a task of `duration` seconds depending on `deps`, returning
+    /// its id. Dependencies must have been submitted earlier.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `duration` is negative or a dependency id is unknown.
+    pub fn submit(&mut self, duration: f64, deps: &[TaskId]) -> TaskId {
+        assert!(duration >= 0.0, "TaskTimeline: negative duration");
+        let mut ready = 0.0f64;
+        for d in deps {
+            ready = ready.max(self.tasks[d.0].finish);
+        }
+        if self.ordering == Ordering::InOrder {
+            if let Some(last) = self.tasks.last() {
+                ready = ready.max(last.finish);
+            }
+        }
+        // Earliest-free slot (greedy list scheduling).
+        let (slot, free_at) = self
+            .slot_free
+            .iter()
+            .copied()
+            .enumerate()
+            .min_by(|a, b| a.1.partial_cmp(&b.1).expect("finite times"))
+            .expect("slots > 0");
+        let start = ready.max(free_at);
+        let finish = start + duration;
+        self.slot_free[slot] = finish;
+        self.tasks.push(Task { start, finish });
+        TaskId(self.tasks.len() - 1)
+    }
+
+    /// Modeled start time of a task, s.
+    pub fn start_time(&self, id: TaskId) -> f64 {
+        self.tasks[id.0].start
+    }
+
+    /// Modeled finish time of a task, s.
+    pub fn finish_time(&self, id: TaskId) -> f64 {
+        self.tasks[id.0].finish
+    }
+
+    /// Completion time of the whole DAG so far, s.
+    pub fn makespan(&self) -> f64 {
+        self.tasks.iter().map(|t| t.finish).fold(0.0, f64::max)
+    }
+
+    /// Number of submitted tasks.
+    pub fn len(&self) -> usize {
+        self.tasks.len()
+    }
+
+    /// `true` when nothing has been submitted.
+    pub fn is_empty(&self) -> bool {
+        self.tasks.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn in_order_serializes_everything() {
+        let mut tl = TaskTimeline::new(Ordering::InOrder, 4);
+        let a = tl.submit(1.0, &[]);
+        let b = tl.submit(2.0, &[]);
+        let c = tl.submit(3.0, &[]);
+        assert_eq!(tl.start_time(b), tl.finish_time(a));
+        assert_eq!(tl.start_time(c), tl.finish_time(b));
+        assert_eq!(tl.makespan(), 6.0);
+    }
+
+    #[test]
+    fn out_of_order_overlaps_independent_tasks() {
+        let mut tl = TaskTimeline::new(Ordering::OutOfOrder, 3);
+        let ids: Vec<TaskId> = (0..3).map(|_| tl.submit(2.0, &[])).collect();
+        for id in &ids {
+            assert_eq!(tl.start_time(*id), 0.0);
+        }
+        assert_eq!(tl.makespan(), 2.0);
+    }
+
+    #[test]
+    fn dependencies_are_respected_out_of_order() {
+        let mut tl = TaskTimeline::new(Ordering::OutOfOrder, 4);
+        let upload = tl.submit(1.0, &[]);
+        let kernel = tl.submit(5.0, &[upload]);
+        let independent = tl.submit(2.0, &[]);
+        let download = tl.submit(1.0, &[kernel]);
+        assert_eq!(tl.start_time(kernel), 1.0);
+        assert_eq!(tl.start_time(independent), 0.0); // overlaps the chain
+        assert_eq!(tl.start_time(download), 6.0);
+        assert_eq!(tl.makespan(), 7.0);
+    }
+
+    #[test]
+    fn limited_slots_throttle_parallelism() {
+        let mut tl = TaskTimeline::new(Ordering::OutOfOrder, 2);
+        for _ in 0..4 {
+            tl.submit(1.0, &[]);
+        }
+        // 4 unit tasks on 2 slots: two waves.
+        assert_eq!(tl.makespan(), 2.0);
+        assert_eq!(tl.len(), 4);
+    }
+
+    #[test]
+    fn double_buffering_pipeline() {
+        // The classic overlap the paper's USM port forgoes: copy/compute
+        // pipelining. Two buffers: copyᵢ can overlap computeᵢ₋₁.
+        let copy = 1.0;
+        let compute = 2.0;
+        let n = 5;
+
+        // In-order (the paper's structure): (copy + compute) per step.
+        let mut serial = TaskTimeline::new(Ordering::InOrder, 2);
+        for _ in 0..n {
+            let c = serial.submit(copy, &[]);
+            serial.submit(compute, &[c]);
+        }
+        assert_eq!(serial.makespan(), n as f64 * (copy + compute));
+
+        // Out-of-order: copies are independent of the compute chain (they
+        // fill the other buffer), computes serialize among themselves and
+        // wait for their copy.
+        let mut pipelined = TaskTimeline::new(Ordering::OutOfOrder, 2);
+        let mut prev_compute: Option<TaskId> = None;
+        for _ in 0..n {
+            let c = pipelined.submit(copy, &[]);
+            let mut deps = vec![c];
+            deps.extend(prev_compute);
+            prev_compute = Some(pipelined.submit(compute, &deps));
+        }
+        // Copies hide under computes: makespan = copy + n·compute.
+        assert!((pipelined.makespan() - (copy + n as f64 * compute)).abs() < 1e-12);
+        assert!(pipelined.makespan() < serial.makespan());
+    }
+
+    #[test]
+    #[should_panic(expected = "zero slots")]
+    fn zero_slots_panics() {
+        let _ = TaskTimeline::new(Ordering::InOrder, 0);
+    }
+}

@@ -1,0 +1,35 @@
+//! A SYCL/oneAPI-like heterogeneous execution layer (paper §4.2).
+//!
+//! The paper ports the pusher to DPC++ by (1) allocating particles with
+//! Unified Shared Memory, (2) submitting a `parallel_for` kernel to a
+//! queue bound to a device, and (3) letting the runtime JIT the kernel for
+//! that device at first launch. This crate mirrors those concepts:
+//!
+//! * [`Device`] — an execution target: the host CPU (backed by the real
+//!   `pic-runtime` thread pool) or a *simulated* Intel GPU (the kernel
+//!   executes functionally on the host; elapsed time is modeled by
+//!   `pic-perfmodel`, since no Intel GPU exists in this environment — see
+//!   DESIGN.md §2).
+//! * [`UsmBuffer`] — a unified-shared-memory allocation with explicit
+//!   host/device/shared semantics and migration accounting (the model the
+//!   paper chose).
+//! * [`Buffer`]/[`Accessor`] — the buffer/accessor model the paper
+//!   describes as the alternative, with transfer accounting.
+//! * [`Queue`] — kernel submission with profiling [`Event`]s, including
+//!   the first-launch JIT penalty the paper measures (§5.3).
+
+#![warn(missing_docs)]
+
+pub mod buffer;
+pub mod device;
+pub mod graph;
+pub mod event;
+pub mod queue;
+pub mod usm;
+
+pub use buffer::{AccessMode, Accessor, Buffer, Target};
+pub use device::{Backend, Device};
+pub use graph::{Ordering, TaskId, TaskTimeline};
+pub use event::Event;
+pub use queue::{Queue, SweepProfile};
+pub use usm::{AllocKind, UsmBuffer};

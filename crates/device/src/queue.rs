@@ -1,0 +1,239 @@
+//! Kernel submission queues (the analogue of `sycl::queue`).
+
+use crate::device::{Backend, Device};
+use crate::event::Event;
+use crate::graph::{Ordering, TaskTimeline};
+use pic_math::Real;
+use pic_particles::{ParticleAccess, ParticleKernel};
+use pic_perfmodel::{Precision, Scenario};
+use pic_runtime::parallel_sweep;
+use std::time::Instant;
+
+/// What the submitted sweep does, for the performance model: which
+/// benchmark scenario, which data layout, which precision.
+#[derive(Clone, Copy, Debug, Eq, Hash, PartialEq)]
+pub struct SweepProfile {
+    /// Field scenario (Precalculated / Analytical).
+    pub scenario: Scenario,
+    /// Particle data layout.
+    pub layout: pic_particles::Layout,
+    /// Floating-point precision.
+    pub precision: Precision,
+}
+
+impl SweepProfile {
+    /// Creates a profile.
+    pub fn new(
+        scenario: Scenario,
+        layout: pic_particles::Layout,
+        precision: Precision,
+    ) -> SweepProfile {
+        SweepProfile { scenario, layout, precision }
+    }
+}
+
+/// An in-order queue bound to a [`Device`].
+///
+/// On the host backend, submissions run on real threads via
+/// `pic-runtime`. On a simulated GPU, the kernel executes functionally on
+/// the host (results are exact) and the event reports the modeled device
+/// time — with the first launch paying the JIT factor the paper measures
+/// in §5.3.
+///
+/// # Example
+///
+/// ```
+/// use pic_device::{Device, Queue, SweepProfile};
+/// use pic_particles::{AosEnsemble, DynKernel, Particle, ParticleAccess, ParticleStore,
+///                     ParticleView, Layout};
+/// use pic_perfmodel::{Precision, Scenario};
+///
+/// let mut q = Queue::new(Device::p630());
+/// let mut ens = AosEnsemble::<f32>::from_particles((0..64).map(|_| Particle::default()));
+/// let profile = SweepProfile::new(Scenario::Analytical, Layout::Aos, Precision::F32);
+/// let e = q.submit_sweep(&mut ens, profile, |_| DynKernel(
+///     |_i, v: &mut dyn ParticleView<f32>| v.set_weight(1.0)));
+/// assert!(e.first_launch);
+/// assert!(e.modeled_ns.unwrap() > 0.0);
+/// assert_eq!(ens.get(63).weight, 1.0);
+/// ```
+#[derive(Clone, Debug)]
+pub struct Queue {
+    device: Device,
+    launches: usize,
+    timeline: TaskTimeline,
+}
+
+impl Queue {
+    /// Creates a queue bound to `device` with a cold (un-JITted) state.
+    /// The queue is in-order, like the paper's DPC++ port.
+    pub fn new(device: Device) -> Queue {
+        Queue {
+            device,
+            launches: 0,
+            timeline: TaskTimeline::new(Ordering::InOrder, 1),
+        }
+    }
+
+    /// The modeled execution timeline of everything submitted so far
+    /// (kernel durations are the modeled device times on simulated GPUs,
+    /// measured wall times on the host).
+    pub fn timeline(&self) -> &TaskTimeline {
+        &self.timeline
+    }
+
+    /// Total modeled busy time of the queue, seconds.
+    pub fn total_time(&self) -> f64 {
+        self.timeline.makespan()
+    }
+
+    /// The bound device.
+    pub fn device(&self) -> &Device {
+        &self.device
+    }
+
+    /// Number of kernels launched so far.
+    pub fn launches(&self) -> usize {
+        self.launches
+    }
+
+    /// Submits one particle sweep and waits for it (in-order queue).
+    ///
+    /// `factory(tid)` builds the per-worker kernel, exactly as in
+    /// [`pic_runtime::parallel_sweep`].
+    pub fn submit_sweep<R, A, K, F>(
+        &mut self,
+        store: &mut A,
+        profile: SweepProfile,
+        factory: F,
+    ) -> Event
+    where
+        R: Real,
+        A: ParticleAccess<R>,
+        K: ParticleKernel<R> + Send,
+        F: Fn(usize) -> K + Sync,
+    {
+        let n = store.len();
+        let first_launch = self.launches == 0;
+        let start = Instant::now();
+        let modeled_ns = match self.device.backend() {
+            Backend::HostCpu { topology, schedule } => {
+                parallel_sweep(store, topology, *schedule, factory);
+                None
+            }
+            Backend::SimulatedGpu { model } => {
+                // Functional execution: identical arithmetic, host threads.
+                let mut kernel = factory(0);
+                store.for_each_mut(&mut kernel);
+                let steady = model.nsps(profile.scenario, profile.layout, profile.precision);
+                let factor = if first_launch {
+                    model.cal.first_iteration_factor
+                } else {
+                    1.0
+                };
+                Some(steady * factor * n as f64)
+            }
+        };
+        self.launches += 1;
+        let event = Event {
+            device: self.device.name().to_string(),
+            wall: start.elapsed(),
+            modeled_ns,
+            particles: n,
+            first_launch,
+        };
+        self.timeline.submit(event.time_ns() * 1e-9, &[]);
+        event
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pic_math::Vec3;
+    use pic_particles::{
+        AosEnsemble, DynKernel, Layout, Particle, ParticleStore, ParticleView, SoaEnsemble,
+    };
+    use pic_runtime::{Schedule, Topology};
+
+    fn ensemble(n: usize) -> AosEnsemble<f32> {
+        AosEnsemble::from_particles((0..n).map(|i| {
+            Particle::at_rest(Vec3::new(i as f32, 0.0, 0.0), 0.0, pic_particles::SpeciesId(0))
+        }))
+    }
+
+    fn bump(
+        _tid: usize,
+    ) -> DynKernel<impl FnMut(usize, &mut dyn ParticleView<f32>)> {
+        DynKernel(|_i, v: &mut dyn ParticleView<f32>| {
+            let w = v.weight();
+            v.set_weight(w + 1.0);
+        })
+    }
+
+    fn profile() -> SweepProfile {
+        SweepProfile::new(Scenario::Precalculated, Layout::Aos, Precision::F32)
+    }
+
+    #[test]
+    fn host_queue_runs_on_runtime() {
+        let mut q = Queue::new(Device::host(Topology::uniform(2, 2), Schedule::dynamic()));
+        let mut ens = ensemble(500);
+        let e = q.submit_sweep(&mut ens, profile(), bump);
+        assert_eq!(e.particles, 500);
+        assert!(e.modeled_ns.is_none());
+        assert!(e.first_launch);
+        for i in 0..500 {
+            assert_eq!(ens.get(i).weight, 1.0);
+        }
+    }
+
+    #[test]
+    fn gpu_results_match_host_results_exactly() {
+        let mut host_ens = ensemble(333);
+        let mut gpu_ens = ensemble(333);
+        let mut host_q = Queue::new(Device::host(Topology::single(2), Schedule::dynamic()));
+        let mut gpu_q = Queue::new(Device::p630());
+        host_q.submit_sweep(&mut host_ens, profile(), bump);
+        gpu_q.submit_sweep(&mut gpu_ens, profile(), bump);
+        assert_eq!(host_ens, gpu_ens);
+    }
+
+    #[test]
+    fn first_launch_pays_jit_factor() {
+        let mut q = Queue::new(Device::iris_xe_max());
+        let mut ens = ensemble(1000);
+        let e1 = q.submit_sweep(&mut ens, profile(), bump);
+        let e2 = q.submit_sweep(&mut ens, profile(), bump);
+        let e3 = q.submit_sweep(&mut ens, profile(), bump);
+        assert!(e1.first_launch && !e2.first_launch && !e3.first_launch);
+        let ratio = e1.modeled_ns.unwrap() / e2.modeled_ns.unwrap();
+        assert!((ratio - 1.5).abs() < 1e-12, "ratio = {ratio}");
+        assert_eq!(e2.modeled_ns, e3.modeled_ns);
+        assert_eq!(q.launches(), 3);
+    }
+
+    #[test]
+    fn timeline_accumulates_submissions_in_order() {
+        let mut q = Queue::new(Device::p630());
+        let mut ens = ensemble(1_000);
+        let e1 = q.submit_sweep(&mut ens, profile(), bump);
+        let e2 = q.submit_sweep(&mut ens, profile(), bump);
+        assert_eq!(q.timeline().len(), 2);
+        let expect = (e1.time_ns() + e2.time_ns()) * 1e-9;
+        assert!((q.total_time() - expect).abs() < 1e-15);
+    }
+
+    #[test]
+    fn modeled_nsps_matches_model() {
+        let mut q = Queue::new(Device::p630());
+        let mut ens: SoaEnsemble<f32> =
+            (0..200).map(|_| Particle::default()).collect();
+        let prof = SweepProfile::new(Scenario::Analytical, Layout::Soa, Precision::F32);
+        q.submit_sweep(&mut ens, prof, bump); // warm up JIT
+        let e = q.submit_sweep(&mut ens, prof, bump);
+        let expect = pic_perfmodel::GpuModel::p630()
+            .nsps(Scenario::Analytical, Layout::Soa, Precision::F32);
+        assert!((e.ns_per_particle() - expect).abs() < 1e-9);
+    }
+}

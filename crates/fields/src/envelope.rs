@@ -1,0 +1,158 @@
+//! Temporal envelopes: pulsed variants of any field source.
+//!
+//! The paper's physical setting is a *pulsed* multi-PW m-dipole wave that
+//! "can ionize matter at its leading edge and pull unbound electrons to
+//! the wave focus" (§5.2); the benchmark itself uses the steady standing
+//! wave. This module supplies the pulse machinery: an [`Envelope`] scales
+//! a carrier [`FieldSampler`] by a slowly varying amplitude (the standard
+//! slowly-varying-envelope approximation — exact Maxwell consistency holds
+//! in the limit of envelopes long compared to the carrier period).
+
+use crate::sampler::{FieldSampler, EB};
+use pic_math::{Real, Vec3};
+
+/// A time-dependent amplitude factor in `[0, 1]`.
+pub trait Envelope: Send + Sync {
+    /// Amplitude multiplier at time `t` (seconds).
+    fn amplitude(&self, t: f64) -> f64;
+}
+
+/// Constant unit amplitude (continuous wave).
+#[derive(Clone, Copy, Debug, Default, Eq, PartialEq)]
+pub struct ConstantEnvelope;
+
+impl Envelope for ConstantEnvelope {
+    fn amplitude(&self, _t: f64) -> f64 {
+        1.0
+    }
+}
+
+/// Gaussian pulse `exp(−(t−t₀)²/(2σ²))`.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct GaussianEnvelope {
+    /// Pulse centre, s.
+    pub center: f64,
+    /// Standard deviation σ, s.
+    pub sigma: f64,
+}
+
+impl Envelope for GaussianEnvelope {
+    fn amplitude(&self, t: f64) -> f64 {
+        let d = (t - self.center) / self.sigma;
+        (-0.5 * d * d).exp()
+    }
+}
+
+/// Smooth sin² turn-on: 0 before `start`, 1 after `start + rise`.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Sin2Ramp {
+    /// Ramp start, s.
+    pub start: f64,
+    /// Ramp duration, s.
+    pub rise: f64,
+}
+
+impl Envelope for Sin2Ramp {
+    fn amplitude(&self, t: f64) -> f64 {
+        if t <= self.start {
+            0.0
+        } else if t >= self.start + self.rise {
+            1.0
+        } else {
+            let x = (t - self.start) / self.rise;
+            let s = (0.5 * std::f64::consts::PI * x).sin();
+            s * s
+        }
+    }
+}
+
+/// A carrier field scaled by an envelope.
+///
+/// # Example
+///
+/// ```
+/// use pic_fields::envelope::{Enveloped, Sin2Ramp};
+/// use pic_fields::{FieldSampler, UniformFields};
+/// use pic_math::Vec3;
+///
+/// let pulsed = Enveloped {
+///     carrier: UniformFields::<f64>::electric(Vec3::new(2.0, 0.0, 0.0)),
+///     envelope: Sin2Ramp { start: 0.0, rise: 1.0e-15 },
+/// };
+/// assert_eq!(pulsed.sample(Vec3::zero(), 0.0).e.x, 0.0);       // before ramp
+/// assert_eq!(pulsed.sample(Vec3::zero(), 2.0e-15).e.x, 2.0);   // after ramp
+/// ```
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Enveloped<S, E> {
+    /// The underlying field.
+    pub carrier: S,
+    /// The temporal envelope.
+    pub envelope: E,
+}
+
+impl<R: Real, S: FieldSampler<R>, E: Envelope> FieldSampler<R> for Enveloped<S, E> {
+    #[inline]
+    fn sample(&self, pos: Vec3<R>, time: R) -> EB<R> {
+        let f = self.carrier.sample(pos, time);
+        let a = R::from_f64(self.envelope.amplitude(time.to_f64()));
+        EB { e: f.e * a, b: f.b * a }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dipole::DipoleStandingWave;
+    use crate::uniform::UniformFields;
+    use pic_math::constants::{BENCH_OMEGA, BENCH_POWER};
+
+    #[test]
+    fn constant_envelope_is_identity() {
+        let wave = DipoleStandingWave::<f64>::new(BENCH_POWER, BENCH_OMEGA);
+        let pulsed = Enveloped { carrier: wave, envelope: ConstantEnvelope };
+        let pos = Vec3::new(1e-5, -2e-5, 3e-5);
+        let t = 0.4 / BENCH_OMEGA;
+        assert_eq!(pulsed.sample(pos, t), wave.sample(pos, t));
+    }
+
+    #[test]
+    fn gaussian_envelope_peaks_at_center() {
+        let env = GaussianEnvelope { center: 5.0e-15, sigma: 2.0e-15 };
+        assert_eq!(env.amplitude(5.0e-15), 1.0);
+        assert!(env.amplitude(0.0) < 0.05);
+        assert!(env.amplitude(1.0e-14) < 0.05);
+        // Symmetric.
+        assert!((env.amplitude(3.0e-15) - env.amplitude(7.0e-15)).abs() < 1e-15);
+    }
+
+    #[test]
+    fn sin2_ramp_is_monotone_and_smooth() {
+        let env = Sin2Ramp { start: 1.0e-15, rise: 4.0e-15 };
+        assert_eq!(env.amplitude(0.0), 0.0);
+        assert_eq!(env.amplitude(1.0e-15), 0.0);
+        assert_eq!(env.amplitude(5.0e-15), 1.0);
+        assert_eq!(env.amplitude(9.0e-15), 1.0);
+        // Half amplitude at the ramp midpoint: sin²(π/4) = 1/2.
+        assert!((env.amplitude(3.0e-15) - 0.5).abs() < 1e-12);
+        let mut prev = 0.0;
+        for i in 0..=40 {
+            let a = env.amplitude(1.0e-15 + 4.0e-15 * i as f64 / 40.0);
+            assert!(a >= prev - 1e-15);
+            prev = a;
+        }
+    }
+
+    #[test]
+    fn envelope_scales_both_fields() {
+        let carrier =
+            UniformFields::<f32>::new(Vec3::new(2.0, 0.0, 0.0), Vec3::new(0.0, 4.0, 0.0));
+        let pulsed = Enveloped {
+            carrier,
+            envelope: GaussianEnvelope { center: 0.0, sigma: 1.0 },
+        };
+        let f = pulsed.sample(Vec3::zero(), 1.0f32);
+        let a = (-0.5f64).exp() as f32;
+        assert!((f.e.x - 2.0 * a).abs() < 1e-6);
+        assert!((f.b.y - 4.0 * a).abs() < 1e-6);
+    }
+}

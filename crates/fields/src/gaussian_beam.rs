@@ -1,0 +1,192 @@
+//! Paraxial focused Gaussian beam.
+//!
+//! The m-dipole wave is the *ultimate* focusing limit (paper §5.2,
+//! Ref. \[24]); real experiments mostly use focused Gaussian beams. This source
+//! provides the standard paraxial TEM₀₀ mode so examples and tests can
+//! compare dynamics in the two focusing geometries.
+//!
+//! Fields (propagation +z, polarization x, Gaussian units):
+//!
+//! ```text
+//! E_x = E₀ (w₀/w) exp(−ρ²/w²) cos(kz − ωt + kρ²/(2R) − ψ)
+//! B_y = E_x  (plane-wave relation; valid to leading paraxial order)
+//! ```
+//!
+//! with waist `w(z) = w₀√(1+(z/z_R)²)`, Gouy phase `ψ = atan(z/z_R)`,
+//! curvature `R(z) = z(1+(z_R/z)²)` and Rayleigh range `z_R = kw₀²/2`.
+
+use crate::sampler::{FieldSampler, EB};
+use pic_math::constants::LIGHT_VELOCITY;
+use pic_math::{Real, Vec3};
+
+/// A paraxial x-polarized Gaussian beam focused at the origin, propagating
+/// along +z.
+///
+/// # Example
+///
+/// ```
+/// use pic_fields::{FieldSampler, GaussianBeam};
+/// use pic_math::Vec3;
+///
+/// let beam = GaussianBeam::<f64>::new(1.0, 2.1e15, 2.0e-4);
+/// let on_axis = beam.sample(Vec3::zero(), 0.0);
+/// let off_axis = beam.sample(Vec3::new(4.0e-4, 0.0, 0.0), 0.0);
+/// assert!(on_axis.e.x.abs() > off_axis.e.x.abs());
+/// ```
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct GaussianBeam<R> {
+    amplitude: R,
+    omega: R,
+    waist: R,
+}
+
+impl<R: Real> GaussianBeam<R> {
+    /// Creates a beam with peak focal field `amplitude` (statvolt/cm),
+    /// angular frequency `omega` (s⁻¹) and waist radius `waist` (cm).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `omega` or `waist` is not positive, or if the waist is
+    /// below a wavelength (the paraxial expansion breaks down there — use
+    /// [`crate::DipoleStandingWave`] for tight focusing).
+    pub fn new(amplitude: f64, omega: f64, waist: f64) -> GaussianBeam<R> {
+        assert!(omega > 0.0, "GaussianBeam: non-positive omega");
+        assert!(waist > 0.0, "GaussianBeam: non-positive waist");
+        let wavelength = 2.0 * std::f64::consts::PI * LIGHT_VELOCITY / omega;
+        assert!(
+            waist >= wavelength,
+            "GaussianBeam: waist {waist} below a wavelength {wavelength}; paraxial \
+             approximation invalid"
+        );
+        GaussianBeam {
+            amplitude: R::from_f64(amplitude),
+            omega: R::from_f64(omega),
+            waist: R::from_f64(waist),
+        }
+    }
+
+    /// Wave number k = ω/c, cm⁻¹.
+    pub fn wave_number(&self) -> R {
+        self.omega / R::from_f64(LIGHT_VELOCITY)
+    }
+
+    /// Rayleigh range z_R = k w₀²/2, cm.
+    pub fn rayleigh_range(&self) -> R {
+        self.wave_number() * self.waist * self.waist * R::HALF
+    }
+
+    /// Beam radius w(z), cm.
+    pub fn radius_at(&self, z: R) -> R {
+        let zr = self.rayleigh_range();
+        self.waist * (R::ONE + (z / zr) * (z / zr)).sqrt()
+    }
+}
+
+impl<R: Real> FieldSampler<R> for GaussianBeam<R> {
+    #[inline]
+    fn sample(&self, pos: Vec3<R>, time: R) -> EB<R> {
+        let k = self.wave_number();
+        let zr = self.rayleigh_range();
+        let z = pos.z;
+        let rho2 = pos.x * pos.x + pos.y * pos.y;
+        let w = self.radius_at(z);
+        let w_ratio = self.waist / w;
+        let envelope = self.amplitude * w_ratio * (-(rho2 / (w * w))).exp();
+        // Gouy phase and wavefront curvature.
+        let gouy = atan(z / zr);
+        let curvature_phase = if z == R::ZERO {
+            R::ZERO
+        } else {
+            let r_curv = z * (R::ONE + (zr / z) * (zr / z));
+            k * rho2 / (R::TWO * r_curv)
+        };
+        let phase = k * z - self.omega * time + curvature_phase - gouy;
+        let ex = envelope * phase.cos();
+        EB {
+            e: Vec3::new(ex, R::ZERO, R::ZERO),
+            b: Vec3::new(R::ZERO, ex, R::ZERO),
+        }
+    }
+}
+
+/// `atan` via `f64` (the [`Real`] trait does not carry inverse trig; a
+/// double-precision detour is exact for `f32` and loses nothing for
+/// `f64`).
+#[inline]
+fn atan<R: Real>(x: R) -> R {
+    R::from_f64(x.to_f64().atan())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn beam() -> GaussianBeam<f64> {
+        GaussianBeam::new(5.0, 2.1e15, 3.0e-4)
+    }
+
+    #[test]
+    fn peak_is_at_the_focus() {
+        let b = beam();
+        let focus = b.sample(Vec3::zero(), 0.0).e.x;
+        assert!((focus - 5.0).abs() < 1e-12);
+        for &(x, z) in &[(1e-4, 0.0), (0.0, 5e-3), (2e-4, 1e-3)] {
+            let f = b.sample(Vec3::new(x, 0.0, z), 0.0).e.x.abs();
+            assert!(f < 5.0, "field at ({x},{z}) = {f}");
+        }
+    }
+
+    #[test]
+    fn waist_growth_follows_rayleigh_law() {
+        let b = beam();
+        let zr = b.rayleigh_range();
+        assert!((b.radius_at(zr) - 3.0e-4 * 2.0f64.sqrt()).abs() < 1e-10);
+        assert!((b.radius_at(0.0) - 3.0e-4).abs() < 1e-18);
+        // On-axis amplitude halves in intensity at z_R: E ∝ 1/√2.
+        // Scan a carrier period for the envelope maximum.
+        let mut max_e = 0.0f64;
+        for i in 0..200 {
+            let t = i as f64 / 200.0 * 2.0 * std::f64::consts::PI / 2.1e15;
+            max_e = max_e.max(b.sample(Vec3::new(0.0, 0.0, zr), t).e.x.abs());
+        }
+        assert!((max_e - 5.0 / 2.0f64.sqrt()).abs() / 5.0 < 0.01, "E(z_R) = {max_e}");
+    }
+
+    #[test]
+    fn transverse_profile_is_gaussian() {
+        let b = beam();
+        let w0 = 3.0e-4;
+        let e0 = b.sample(Vec3::zero(), 0.0).e.x;
+        let e1 = b.sample(Vec3::new(w0, 0.0, 0.0), 0.0).e.x;
+        assert!((e1 / e0 - (-1.0f64).exp()).abs() < 1e-12);
+        // Axisymmetric.
+        let ey = b.sample(Vec3::new(0.0, w0, 0.0), 0.0).e.x;
+        assert!((e1 - ey).abs() < 1e-15);
+    }
+
+    #[test]
+    fn propagates_along_z_at_c() {
+        let b = beam();
+        let t0 = 1.0e-15;
+        let a = b.sample(Vec3::zero(), 0.0).e.x;
+        let c = b.sample(Vec3::new(0.0, 0.0, LIGHT_VELOCITY * t0), t0).e.x;
+        // Far inside the Rayleigh range the carrier just translates
+        // (envelope and Gouy drift are higher order).
+        assert!((a - c).abs() / a.abs() < 1e-3);
+    }
+
+    #[test]
+    fn e_and_b_are_plane_wave_related() {
+        let b = beam();
+        let f = b.sample(Vec3::new(1e-4, -2e-4, 3e-3), 0.7e-15);
+        assert_eq!(f.e.x, f.b.y);
+        assert_eq!(f.e.y, 0.0);
+        assert_eq!(f.b.x, 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "paraxial")]
+    fn subwavelength_waist_panics() {
+        let _ = GaussianBeam::<f64>::new(1.0, 2.1e15, 1.0e-5);
+    }
+}

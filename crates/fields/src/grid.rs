@@ -1,0 +1,599 @@
+//! Grid-stored fields with particle–grid interpolation.
+//!
+//! The PIC method keeps **E** and **B** on a spatial grid (paper §2); each
+//! particle gathers field values from nearby nodes according to its form
+//! factor. This module provides:
+//!
+//! * [`ScalarGrid`] — one scalar lattice with an arbitrary stagger offset,
+//!   periodic or clamped boundaries, CIC/TSC gather and CIC scatter;
+//! * [`EmGrid`] — the six staggered component lattices of a Yee grid (or a
+//!   collocated variant), usable as a [`FieldSampler`] snapshot.
+
+use crate::sampler::{FieldSampler, EB};
+use pic_math::{Real, Vec3};
+
+/// Stagger offset of a lattice relative to the cell corner, in fractions
+/// of the cell size (components are 0 or ½ for Yee lattices).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Stagger(pub Vec3<f64>);
+
+impl Stagger {
+    /// Cell-corner (unstaggered) lattice.
+    pub const fn node() -> Stagger {
+        Stagger(Vec3 { x: 0.0, y: 0.0, z: 0.0 })
+    }
+
+    /// Offset by half a cell along the given axes.
+    pub fn half(x: bool, y: bool, z: bool) -> Stagger {
+        Stagger(Vec3 {
+            x: if x { 0.5 } else { 0.0 },
+            y: if y { 0.5 } else { 0.0 },
+            z: if z { 0.5 } else { 0.0 },
+        })
+    }
+}
+
+/// Particle–grid interpolation order (the macroparticle form factor).
+#[derive(Clone, Copy, Debug, Eq, Hash, PartialEq)]
+pub enum InterpOrder {
+    /// Cloud-in-cell: linear, 8 nodes.
+    Cic,
+    /// Triangular-shaped cloud: quadratic, 27 nodes.
+    Tsc,
+}
+
+/// One scalar field component on a regular, possibly staggered lattice.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ScalarGrid<R> {
+    dims: [usize; 3],
+    min: Vec3<f64>,
+    spacing: Vec3<f64>,
+    stagger: Stagger,
+    periodic: bool,
+    data: Vec<R>,
+}
+
+impl<R: Real> ScalarGrid<R> {
+    /// Creates a zero-filled lattice over the domain `[min, min + dims·Δ)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any dimension is zero or any spacing is non-positive.
+    pub fn new(
+        dims: [usize; 3],
+        min: Vec3<f64>,
+        spacing: Vec3<f64>,
+        stagger: Stagger,
+        periodic: bool,
+    ) -> ScalarGrid<R> {
+        assert!(dims.iter().all(|&d| d > 0), "ScalarGrid: zero dimension");
+        assert!(
+            spacing.x > 0.0 && spacing.y > 0.0 && spacing.z > 0.0,
+            "ScalarGrid: non-positive spacing"
+        );
+        ScalarGrid {
+            dims,
+            min,
+            spacing,
+            stagger,
+            periodic,
+            data: vec![R::ZERO; dims[0] * dims[1] * dims[2]],
+        }
+    }
+
+    /// Lattice dimensions (number of nodes per axis).
+    pub fn dims(&self) -> [usize; 3] {
+        self.dims
+    }
+
+    /// Cell spacing, cm.
+    pub fn spacing(&self) -> Vec3<f64> {
+        self.spacing
+    }
+
+    /// Lower corner of the (unstaggered) domain, cm.
+    pub fn domain_min(&self) -> Vec3<f64> {
+        self.min
+    }
+
+    /// Physical position of node `(i, j, k)`, stagger included.
+    pub fn node_position(&self, i: usize, j: usize, k: usize) -> Vec3<f64> {
+        Vec3::new(
+            self.min.x + (i as f64 + self.stagger.0.x) * self.spacing.x,
+            self.min.y + (j as f64 + self.stagger.0.y) * self.spacing.y,
+            self.min.z + (k as f64 + self.stagger.0.z) * self.spacing.z,
+        )
+    }
+
+    #[inline(always)]
+    fn wrap(&self, i: isize, axis: usize) -> usize {
+        let n = self.dims[axis] as isize;
+        if self.periodic {
+            (((i % n) + n) % n) as usize
+        } else {
+            i.clamp(0, n - 1) as usize
+        }
+    }
+
+    /// Linear index of node `(i, j, k)` (x-fastest).
+    #[inline(always)]
+    pub fn index(&self, i: usize, j: usize, k: usize) -> usize {
+        debug_assert!(i < self.dims[0] && j < self.dims[1] && k < self.dims[2]);
+        (k * self.dims[1] + j) * self.dims[0] + i
+    }
+
+    /// Value at node `(i, j, k)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if an index is out of range.
+    #[inline(always)]
+    pub fn get(&self, i: usize, j: usize, k: usize) -> R {
+        self.data[self.index(i, j, k)]
+    }
+
+    /// Mutable value at node `(i, j, k)`.
+    #[inline(always)]
+    pub fn at_mut(&mut self, i: usize, j: usize, k: usize) -> &mut R {
+        let idx = self.index(i, j, k);
+        &mut self.data[idx]
+    }
+
+    /// The raw node data (x-fastest order).
+    pub fn data(&self) -> &[R] {
+        &self.data
+    }
+
+    /// The raw node data, mutable.
+    pub fn data_mut(&mut self) -> &mut [R] {
+        &mut self.data
+    }
+
+    /// Sets every node to `v`.
+    pub fn fill(&mut self, v: R) {
+        self.data.fill(v);
+    }
+
+    /// A zero-filled lattice with the same geometry (dimensions, spacing,
+    /// stagger, boundary handling) — e.g. a current-accumulation target
+    /// matching a field component.
+    pub fn clone_zeroed(&self) -> ScalarGrid<R> {
+        ScalarGrid {
+            dims: self.dims,
+            min: self.min,
+            spacing: self.spacing,
+            stagger: self.stagger,
+            periodic: self.periodic,
+            data: vec![R::ZERO; self.data.len()],
+        }
+    }
+
+    /// Fills the lattice from a function of node position.
+    pub fn fill_with(&mut self, mut f: impl FnMut(Vec3<f64>) -> R) {
+        for k in 0..self.dims[2] {
+            for j in 0..self.dims[1] {
+                for i in 0..self.dims[0] {
+                    let idx = self.index(i, j, k);
+                    self.data[idx] = f(self.node_position(i, j, k));
+                }
+            }
+        }
+    }
+
+    /// Fractional node coordinates of a physical position.
+    #[inline(always)]
+    fn frac_coords(&self, pos: Vec3<f64>) -> Vec3<f64> {
+        Vec3::new(
+            (pos.x - self.min.x) / self.spacing.x - self.stagger.0.x,
+            (pos.y - self.min.y) / self.spacing.y - self.stagger.0.y,
+            (pos.z - self.min.z) / self.spacing.z - self.stagger.0.z,
+        )
+    }
+
+    /// Gathers the value at `pos` with cloud-in-cell (trilinear) weights.
+    pub fn sample_cic(&self, pos: Vec3<f64>) -> R {
+        let s = self.frac_coords(pos);
+        let base = Vec3::new(s.x.floor(), s.y.floor(), s.z.floor());
+        let w = s - base;
+        let (i0, j0, k0) = (base.x as isize, base.y as isize, base.z as isize);
+        let wx = [1.0 - w.x, w.x];
+        let wy = [1.0 - w.y, w.y];
+        let wz = [1.0 - w.z, w.z];
+        let mut acc = 0.0f64;
+        for (dk, &cz) in wz.iter().enumerate() {
+            let k = self.wrap(k0 + dk as isize, 2);
+            for (dj, &cy) in wy.iter().enumerate() {
+                let j = self.wrap(j0 + dj as isize, 1);
+                let cyz = cy * cz;
+                for (di, &cx) in wx.iter().enumerate() {
+                    let i = self.wrap(i0 + di as isize, 0);
+                    acc += cx * cyz * self.get(i, j, k).to_f64();
+                }
+            }
+        }
+        R::from_f64(acc)
+    }
+
+    /// Gathers the value at `pos` with triangular-shaped-cloud (quadratic)
+    /// weights.
+    pub fn sample_tsc(&self, pos: Vec3<f64>) -> R {
+        let s = self.frac_coords(pos);
+        let center = Vec3::new(s.x.round(), s.y.round(), s.z.round());
+        let d = s - center;
+        let (i0, j0, k0) = (center.x as isize, center.y as isize, center.z as isize);
+        let wx = tsc_weights(d.x);
+        let wy = tsc_weights(d.y);
+        let wz = tsc_weights(d.z);
+        let mut acc = 0.0f64;
+        for (dk, &cz) in wz.iter().enumerate() {
+            let k = self.wrap(k0 + dk as isize - 1, 2);
+            for (dj, &cy) in wy.iter().enumerate() {
+                let j = self.wrap(j0 + dj as isize - 1, 1);
+                let cyz = cy * cz;
+                for (di, &cx) in wx.iter().enumerate() {
+                    let i = self.wrap(i0 + di as isize - 1, 0);
+                    acc += cx * cyz * self.get(i, j, k).to_f64();
+                }
+            }
+        }
+        R::from_f64(acc)
+    }
+
+    /// Scatters `value` onto the lattice at `pos` with CIC weights (the
+    /// adjoint of [`sample_cic`](Self::sample_cic); used by charge/current
+    /// deposition).
+    pub fn deposit_cic(&mut self, pos: Vec3<f64>, value: R) {
+        let s = self.frac_coords(pos);
+        let base = Vec3::new(s.x.floor(), s.y.floor(), s.z.floor());
+        let w = s - base;
+        let (i0, j0, k0) = (base.x as isize, base.y as isize, base.z as isize);
+        let wx = [1.0 - w.x, w.x];
+        let wy = [1.0 - w.y, w.y];
+        let wz = [1.0 - w.z, w.z];
+        for (dk, &cz) in wz.iter().enumerate() {
+            let k = self.wrap(k0 + dk as isize, 2);
+            for (dj, &cy) in wy.iter().enumerate() {
+                let j = self.wrap(j0 + dj as isize, 1);
+                let cyz = cy * cz;
+                for (di, &cx) in wx.iter().enumerate() {
+                    let i = self.wrap(i0 + di as isize, 0);
+                    let idx = self.index(i, j, k);
+                    self.data[idx] += value * R::from_f64(cx * cyz);
+                }
+            }
+        }
+    }
+
+    /// Sum over all nodes (diagnostics: total deposited charge, …).
+    pub fn total(&self) -> f64 {
+        self.data.iter().map(|v| v.to_f64()).sum()
+    }
+}
+
+/// Quadratic (TSC) per-axis weights for the three nodes around the centre,
+/// given the signed distance `d ∈ [−½, ½]` from the nearest node.
+#[inline(always)]
+fn tsc_weights(d: f64) -> [f64; 3] {
+    [
+        0.5 * (0.5 - d) * (0.5 - d),
+        0.75 - d * d,
+        0.5 * (0.5 + d) * (0.5 + d),
+    ]
+}
+
+/// The six electromagnetic component lattices.
+///
+/// [`EmGrid::yee`] staggers them in the standard FDTD arrangement; the
+/// collocated variant puts everything at cell corners (used when the grid
+/// is just a field snapshot, as in the paper's Precalculated scenario).
+#[derive(Clone, Debug, PartialEq)]
+pub struct EmGrid<R> {
+    /// Eₓ lattice.
+    pub ex: ScalarGrid<R>,
+    /// E_y lattice.
+    pub ey: ScalarGrid<R>,
+    /// E_z lattice.
+    pub ez: ScalarGrid<R>,
+    /// Bₓ lattice.
+    pub bx: ScalarGrid<R>,
+    /// B_y lattice.
+    pub by: ScalarGrid<R>,
+    /// B_z lattice.
+    pub bz: ScalarGrid<R>,
+    /// Interpolation order used when sampling.
+    pub interp: InterpOrder,
+}
+
+impl<R: Real> EmGrid<R> {
+    /// Creates a Yee-staggered grid: E components on edge centres, B
+    /// components on face centres.
+    pub fn yee(dims: [usize; 3], min: Vec3<f64>, spacing: Vec3<f64>) -> EmGrid<R> {
+        let g = |st: Stagger| ScalarGrid::new(dims, min, spacing, st, true);
+        EmGrid {
+            ex: g(Stagger::half(true, false, false)),
+            ey: g(Stagger::half(false, true, false)),
+            ez: g(Stagger::half(false, false, true)),
+            bx: g(Stagger::half(false, true, true)),
+            by: g(Stagger::half(true, false, true)),
+            bz: g(Stagger::half(true, true, false)),
+            interp: InterpOrder::Cic,
+        }
+    }
+
+    /// Creates a collocated (all components at cell corners) grid.
+    pub fn collocated(dims: [usize; 3], min: Vec3<f64>, spacing: Vec3<f64>) -> EmGrid<R> {
+        let g = |_: ()| ScalarGrid::new(dims, min, spacing, Stagger::node(), true);
+        EmGrid {
+            ex: g(()),
+            ey: g(()),
+            ez: g(()),
+            bx: g(()),
+            by: g(()),
+            bz: g(()),
+            interp: InterpOrder::Cic,
+        }
+    }
+
+    /// Lattice dimensions.
+    pub fn dims(&self) -> [usize; 3] {
+        self.ex.dims()
+    }
+
+    /// Cell spacing, cm.
+    pub fn spacing(&self) -> Vec3<f64> {
+        self.ex.spacing()
+    }
+
+    /// Fills all six lattices from an analytical sampler at time `t`.
+    pub fn fill_from_sampler<S: FieldSampler<R>>(&mut self, sampler: &S, t: R) {
+        let comps: [(&mut ScalarGrid<R>, fn(&EB<R>) -> R); 6] = [
+            (&mut self.ex, |f| f.e.x),
+            (&mut self.ey, |f| f.e.y),
+            (&mut self.ez, |f| f.e.z),
+            (&mut self.bx, |f| f.b.x),
+            (&mut self.by, |f| f.b.y),
+            (&mut self.bz, |f| f.b.z),
+        ];
+        for (grid, pick) in comps {
+            grid.fill_with(|pos| pick(&sampler.sample(Vec3::from_f64(pos), t)));
+        }
+    }
+
+    /// Gathers (**E**, **B**) at a position with the configured
+    /// interpolation order.
+    pub fn gather(&self, pos: Vec3<f64>) -> EB<R> {
+        let pick = |g: &ScalarGrid<R>| match self.interp {
+            InterpOrder::Cic => g.sample_cic(pos),
+            InterpOrder::Tsc => g.sample_tsc(pos),
+        };
+        EB {
+            e: Vec3::new(pick(&self.ex), pick(&self.ey), pick(&self.ez)),
+            b: Vec3::new(pick(&self.bx), pick(&self.by), pick(&self.bz)),
+        }
+    }
+
+    /// Total electromagnetic field energy ∑ (E² + B²)/8π · ΔV, erg
+    /// (collocated approximation; adequate for diagnostics).
+    pub fn field_energy(&self) -> f64 {
+        let dv = self.spacing().x * self.spacing().y * self.spacing().z;
+        let sum2 = |g: &ScalarGrid<R>| -> f64 {
+            g.data().iter().map(|v| v.to_f64() * v.to_f64()).sum::<f64>()
+        };
+        (sum2(&self.ex)
+            + sum2(&self.ey)
+            + sum2(&self.ez)
+            + sum2(&self.bx)
+            + sum2(&self.by)
+            + sum2(&self.bz))
+            * dv
+            / (8.0 * std::f64::consts::PI)
+    }
+}
+
+/// Sampling an `EmGrid` ignores `time`: the grid is a snapshot, matching
+/// the paper's Precalculated-Fields scenario where field values are fixed
+/// during the measured iterations.
+impl<R: Real> FieldSampler<R> for EmGrid<R> {
+    fn sample(&self, pos: Vec3<R>, _time: R) -> EB<R> {
+        self.gather(pos.to_f64())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::uniform::UniformFields;
+
+    fn unit_grid(periodic: bool) -> ScalarGrid<f64> {
+        ScalarGrid::new(
+            [8, 8, 8],
+            Vec3::zero(),
+            Vec3::splat(1.0),
+            Stagger::node(),
+            periodic,
+        )
+    }
+
+    #[test]
+    fn tsc_weights_sum_to_one() {
+        for &d in &[-0.5, -0.3, 0.0, 0.2, 0.5] {
+            let w = tsc_weights(d);
+            assert!((w.iter().sum::<f64>() - 1.0).abs() < 1e-14, "d = {d}");
+            assert!(w.iter().all(|&x| x >= 0.0));
+        }
+    }
+
+    #[test]
+    fn node_positions_respect_stagger() {
+        let g = ScalarGrid::<f64>::new(
+            [4, 4, 4],
+            Vec3::new(10.0, 0.0, 0.0),
+            Vec3::splat(2.0),
+            Stagger::half(true, false, false),
+            true,
+        );
+        assert_eq!(g.node_position(0, 0, 0), Vec3::new(11.0, 0.0, 0.0));
+        assert_eq!(g.node_position(1, 1, 0), Vec3::new(13.0, 2.0, 0.0));
+    }
+
+    #[test]
+    fn cic_reproduces_node_values() {
+        let mut g = unit_grid(true);
+        g.fill_with(|p| p.x + 2.0 * p.y + 3.0 * p.z);
+        // At a node, CIC returns the node value exactly.
+        let v = g.sample_cic(Vec3::new(3.0, 2.0, 5.0));
+        assert!((v - (3.0 + 4.0 + 15.0)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn cic_is_exact_for_linear_fields() {
+        let mut g = unit_grid(true);
+        g.fill_with(|p| 2.0 * p.x - p.y + 0.5 * p.z + 7.0);
+        // Interior point, away from the periodic seam.
+        let pos = Vec3::new(3.25, 4.75, 2.5);
+        let expect = 2.0 * pos.x - pos.y + 0.5 * pos.z + 7.0;
+        assert!((g.sample_cic(pos) - expect).abs() < 1e-12);
+    }
+
+    #[test]
+    fn tsc_is_exact_for_linear_fields() {
+        let mut g = unit_grid(true);
+        g.fill_with(|p| -1.5 * p.x + 0.25 * p.y + p.z);
+        let pos = Vec3::new(3.3, 4.1, 2.9);
+        let expect = -1.5 * pos.x + 0.25 * pos.y + pos.z;
+        assert!((g.sample_tsc(pos) - expect).abs() < 1e-12);
+    }
+
+    #[test]
+    fn periodic_wrap_vs_clamp() {
+        let mut gp = unit_grid(true);
+        let mut gc = unit_grid(false);
+        gp.fill_with(|p| p.x);
+        gc.fill_with(|p| p.x);
+        // Sampling past the last node: periodic blends with node 0, clamped
+        // repeats the edge.
+        let pos = Vec3::new(7.5, 0.0, 0.0);
+        let vp = gp.sample_cic(pos);
+        let vc = gc.sample_cic(pos);
+        assert!((vp - (0.5 * 7.0 + 0.5 * 0.0)).abs() < 1e-12);
+        assert!((vc - 7.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn deposit_is_adjoint_of_sample() {
+        // Depositing unit charge then sampling a linear function equals
+        // evaluating the function at the deposit point (CIC is exact for
+        // linear moments).
+        let mut g = unit_grid(true);
+        let pos = Vec3::new(2.3, 4.6, 1.9);
+        g.deposit_cic(pos, 1.0);
+        assert!((g.total() - 1.0).abs() < 1e-12);
+        // First moment along x: ∑ x_i w_i = x (away from the seam).
+        let mut mx = 0.0;
+        for k in 0..8 {
+            for j in 0..8 {
+                for i in 0..8 {
+                    mx += g.get(i, j, k) * i as f64;
+                }
+            }
+        }
+        assert!((mx - pos.x).abs() < 1e-12);
+    }
+
+    #[test]
+    fn deposit_conserves_total_across_periodic_seam() {
+        let mut g = unit_grid(true);
+        g.deposit_cic(Vec3::new(7.9, 7.9, 7.9), 2.5);
+        assert!((g.total() - 2.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn yee_grid_staggering() {
+        let g = EmGrid::<f64>::yee([4, 4, 4], Vec3::zero(), Vec3::splat(1.0));
+        assert_eq!(g.ex.node_position(0, 0, 0), Vec3::new(0.5, 0.0, 0.0));
+        assert_eq!(g.ey.node_position(0, 0, 0), Vec3::new(0.0, 0.5, 0.0));
+        assert_eq!(g.bx.node_position(0, 0, 0), Vec3::new(0.0, 0.5, 0.5));
+        assert_eq!(g.bz.node_position(0, 0, 0), Vec3::new(0.5, 0.5, 0.0));
+    }
+
+    #[test]
+    fn fill_from_sampler_and_gather_uniform() {
+        let mut g = EmGrid::<f64>::yee([6, 6, 6], Vec3::zero(), Vec3::splat(0.5));
+        let f = UniformFields::new(Vec3::new(1.0, 2.0, 3.0), Vec3::new(4.0, 5.0, 6.0));
+        g.fill_from_sampler(&f, 0.0);
+        let v = g.gather(Vec3::new(1.234, 0.777, 2.001));
+        assert!((v.e - f.e).norm() < 1e-12);
+        assert!((v.b - f.b).norm() < 1e-12);
+        assert_eq!(g.dims(), [6, 6, 6]);
+    }
+
+    #[test]
+    fn field_energy_of_uniform_field() {
+        let mut g = EmGrid::<f64>::collocated([4, 4, 4], Vec3::zero(), Vec3::splat(1.0));
+        let f = UniformFields::<f64>::electric(Vec3::new(2.0, 0.0, 0.0));
+        g.fill_from_sampler(&f, 0.0);
+        // 64 nodes · E²/8π · ΔV.
+        let expect = 64.0 * 4.0 / (8.0 * std::f64::consts::PI);
+        assert!((g.field_energy() - expect).abs() < 1e-10);
+    }
+
+    mod properties {
+        use super::*;
+        use proptest::prelude::*;
+
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(64))]
+
+            /// CIC deposit weights are a partition of unity at any point.
+            #[test]
+            fn deposit_conserves_any_charge(
+                x in -20.0f64..20.0, y in -20.0f64..20.0, z in -20.0f64..20.0,
+                q in -5.0f64..5.0,
+            ) {
+                let mut g = unit_grid(true);
+                g.deposit_cic(Vec3::new(x, y, z), q);
+                prop_assert!((g.total() - q).abs() < 1e-12 * q.abs().max(1.0));
+            }
+
+            /// Both stencils reproduce a constant field anywhere.
+            #[test]
+            fn constant_field_sampled_exactly(
+                x in 0.0f64..8.0, y in 0.0f64..8.0, z in 0.0f64..8.0,
+                c in -10.0f64..10.0,
+            ) {
+                let mut g = unit_grid(true);
+                g.fill(c);
+                prop_assert!((g.sample_cic(Vec3::new(x, y, z)) - c).abs() < 1e-12);
+                prop_assert!((g.sample_tsc(Vec3::new(x, y, z)) - c).abs() < 1e-12);
+            }
+
+            /// Gather is the adjoint of scatter: for any two points,
+            /// sample(deposit(δ_a))(b) == sample(deposit(δ_b))(a).
+            #[test]
+            fn gather_scatter_adjointness(
+                ax in 1.0f64..7.0, ay in 1.0f64..7.0, az in 1.0f64..7.0,
+                bx in 1.0f64..7.0, by in 1.0f64..7.0, bz in 1.0f64..7.0,
+            ) {
+                let a = Vec3::new(ax, ay, az);
+                let b = Vec3::new(bx, by, bz);
+                let mut ga = unit_grid(true);
+                ga.deposit_cic(a, 1.0);
+                let mut gb = unit_grid(true);
+                gb.deposit_cic(b, 1.0);
+                prop_assert!((ga.sample_cic(b) - gb.sample_cic(a)).abs() < 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "zero dimension")]
+    fn zero_dims_panic() {
+        let _ = ScalarGrid::<f64>::new(
+            [0, 4, 4],
+            Vec3::zero(),
+            Vec3::splat(1.0),
+            Stagger::node(),
+            true,
+        );
+    }
+}

@@ -1,0 +1,36 @@
+//! Electromagnetic field sources for the Boris-pusher reproduction.
+//!
+//! The paper's two benchmark scenarios (§5.2) differ only in where the
+//! field values come from:
+//!
+//! * **Analytical Fields** — evaluated from closed formulas at each
+//!   particle position; here the standing m-dipole wave of Eq. (14)
+//!   ([`dipole::DipoleStandingWave`]) plus simpler sources (uniform,
+//!   crossed, plane wave) used by tests and examples.
+//! * **Precalculated Fields** — loaded from a per-particle array
+//!   ([`precalc::PrecalculatedFields`]) computed once in advance.
+//!
+//! For the full PIC substrate the crate also provides grid-based field
+//! storage with CIC/TSC interpolation ([`grid`]).
+
+#![warn(missing_docs)]
+
+pub mod dipole;
+pub mod dipole_pulse;
+pub mod envelope;
+pub mod gaussian_beam;
+pub mod grid;
+pub mod plane_wave;
+pub mod precalc;
+pub mod sampler;
+pub mod uniform;
+
+pub use dipole::{DipoleStandingWave, TabulatedDipoleWave};
+pub use dipole_pulse::DipolePulse;
+pub use envelope::{ConstantEnvelope, Enveloped, Envelope, GaussianEnvelope, Sin2Ramp};
+pub use gaussian_beam::GaussianBeam;
+pub use grid::{EmGrid, InterpOrder, ScalarGrid, Stagger};
+pub use plane_wave::PlaneWave;
+pub use precalc::PrecalculatedFields;
+pub use sampler::{FieldSampler, EB};
+pub use uniform::UniformFields;

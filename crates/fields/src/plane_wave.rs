@@ -1,0 +1,186 @@
+//! Linearly polarized plane electromagnetic wave.
+
+use crate::sampler::{FieldSampler, EB};
+use pic_math::constants::LIGHT_VELOCITY;
+use pic_math::{Real, Vec3};
+
+/// A linearly polarized plane wave
+/// `E = E₀·pol·cos(k·r − ωt + φ)`, `B = n × E`,
+/// propagating along the unit vector `n` with `k = ω/c · n`.
+///
+/// In vacuum, |E| = |B| in Gaussian units, which the constructor enforces
+/// by construction.
+///
+/// # Example
+///
+/// ```
+/// use pic_fields::{FieldSampler, PlaneWave};
+/// use pic_math::Vec3;
+///
+/// // x-propagating, y-polarized wave.
+/// let w = PlaneWave::new(1.0_f64, 2.1e15, Vec3::new(1.0, 0.0, 0.0),
+///                        Vec3::new(0.0, 1.0, 0.0), 0.0);
+/// let f = w.sample(Vec3::zero(), 0.0);
+/// assert!((f.e.y - 1.0).abs() < 1e-12);  // E along polarization
+/// assert!((f.b.z - 1.0).abs() < 1e-12);  // B = n × E
+/// ```
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct PlaneWave<R> {
+    amplitude: R,
+    omega: R,
+    direction: Vec3<R>,
+    polarization: Vec3<R>,
+    phase: R,
+}
+
+impl<R: Real> PlaneWave<R> {
+    /// Creates a plane wave.
+    ///
+    /// `direction` and `polarization` are normalized internally; the
+    /// component of `polarization` along `direction` is removed so the wave
+    /// is always transverse.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `direction` is zero, or if `polarization` is parallel to
+    /// `direction` (no transverse component).
+    pub fn new(
+        amplitude: R,
+        omega: R,
+        direction: Vec3<R>,
+        polarization: Vec3<R>,
+        phase: R,
+    ) -> PlaneWave<R> {
+        assert!(direction.norm() > R::ZERO, "PlaneWave: zero direction");
+        let n = direction.normalized();
+        let transverse = polarization - n * polarization.dot(n);
+        assert!(
+            transverse.norm() > R::ZERO,
+            "PlaneWave: polarization parallel to direction"
+        );
+        PlaneWave {
+            amplitude,
+            omega,
+            direction: n,
+            polarization: transverse.normalized(),
+            phase,
+        }
+    }
+
+    /// Wave angular frequency ω, s⁻¹.
+    pub fn omega(&self) -> R {
+        self.omega
+    }
+
+    /// Wave number k = ω/c, cm⁻¹.
+    pub fn wave_number(&self) -> R {
+        self.omega / R::from_f64(LIGHT_VELOCITY)
+    }
+
+    /// Wavelength 2π/k, cm.
+    pub fn wavelength(&self) -> R {
+        R::TWO * R::PI / self.wave_number()
+    }
+
+    /// Peak field amplitude E₀.
+    pub fn amplitude(&self) -> R {
+        self.amplitude
+    }
+}
+
+impl<R: Real> FieldSampler<R> for PlaneWave<R> {
+    #[inline]
+    fn sample(&self, pos: Vec3<R>, time: R) -> EB<R> {
+        let k = self.wave_number();
+        let arg = k * self.direction.dot(pos) - self.omega * time + self.phase;
+        let e = self.polarization * (self.amplitude * arg.cos());
+        let b = self.direction.cross(e);
+        EB { e, b }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn wave() -> PlaneWave<f64> {
+        PlaneWave::new(
+            2.0,
+            2.1e15,
+            Vec3::new(0.0, 0.0, 1.0),
+            Vec3::new(1.0, 0.0, 0.0),
+            0.0,
+        )
+    }
+
+    #[test]
+    fn transverse_and_equal_magnitude() {
+        let w = wave();
+        for &(z, t) in &[(0.0, 0.0), (1e-4, 1e-15), (3e-4, 7e-15)] {
+            let f = w.sample(Vec3::new(0.0, 0.0, z), t);
+            assert!(f.e.dot(Vec3::new(0.0, 0.0, 1.0)).abs() < 1e-12);
+            assert!(f.b.dot(Vec3::new(0.0, 0.0, 1.0)).abs() < 1e-12);
+            assert!((f.e.norm() - f.b.norm()).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn propagates_at_light_speed() {
+        // The field at (0, t0) equals the field at (c·t0 ẑ, 2·t0)… shifted
+        // by one propagation time.
+        let w = wave();
+        let t0 = 3.3e-16;
+        let a = w.sample(Vec3::zero(), 0.0);
+        let b = w.sample(Vec3::new(0.0, 0.0, LIGHT_VELOCITY * t0), t0);
+        assert!((a.e.x - b.e.x).abs() < 1e-9);
+    }
+
+    #[test]
+    fn wavelength_matches_omega() {
+        let w = wave();
+        let lam = w.wavelength();
+        assert!((lam / pic_math::constants::MICRON - 0.897).abs() < 0.01);
+    }
+
+    #[test]
+    fn polarization_is_orthogonalized() {
+        // A polarization with a longitudinal component gets projected.
+        let w = PlaneWave::new(
+            1.0_f64,
+            1e15,
+            Vec3::new(0.0, 0.0, 1.0),
+            Vec3::new(1.0, 0.0, 5.0),
+            0.0,
+        );
+        let f = w.sample(Vec3::zero(), 0.0);
+        assert!(f.e.z.abs() < 1e-12);
+        assert!((f.e.x - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "parallel to direction")]
+    fn longitudinal_polarization_panics() {
+        let _ = PlaneWave::new(
+            1.0_f64,
+            1e15,
+            Vec3::new(0.0, 0.0, 1.0),
+            Vec3::new(0.0, 0.0, 2.0),
+            0.0,
+        );
+    }
+
+    #[test]
+    fn phase_shifts_the_field() {
+        let base = wave();
+        let shifted = PlaneWave::new(
+            2.0,
+            2.1e15,
+            Vec3::new(0.0, 0.0, 1.0),
+            Vec3::new(1.0, 0.0, 0.0),
+            std::f64::consts::PI,
+        );
+        let a = base.sample(Vec3::zero(), 0.0).e.x;
+        let b = shifted.sample(Vec3::zero(), 0.0).e.x;
+        assert!((a + b).abs() < 1e-12);
+    }
+}

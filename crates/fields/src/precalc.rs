@@ -1,0 +1,171 @@
+//! Per-particle precalculated field arrays — the paper's first benchmark
+//! scenario (§5.2: "all field values are precalculated and stored in the
+//! corresponding array").
+//!
+//! The arrays are stored SoA (one column per component), so the memory
+//! traffic of the Precalculated scenario matches the paper's description:
+//! an extra data array "comparable in size to the ensemble of particles"
+//! that must be streamed from RAM on every step.
+
+use crate::sampler::{FieldSampler, EB};
+use pic_math::{Real, Vec3};
+
+/// Precomputed (**E**, **B**) values, one entry per particle.
+///
+/// # Example
+///
+/// ```
+/// use pic_fields::{PrecalculatedFields, UniformFields};
+/// use pic_math::Vec3;
+///
+/// let src = UniformFields::<f64>::magnetic(Vec3::new(0.0, 0.0, 1.0));
+/// let positions = vec![Vec3::zero(), Vec3::splat(1.0)];
+/// let pre = PrecalculatedFields::from_sampler(&src, positions.iter().copied(), 0.0);
+/// assert_eq!(pre.len(), 2);
+/// assert_eq!(pre.get(1).b.z, 1.0);
+/// ```
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct PrecalculatedFields<R> {
+    ex: Vec<R>,
+    ey: Vec<R>,
+    ez: Vec<R>,
+    bx: Vec<R>,
+    by: Vec<R>,
+    bz: Vec<R>,
+}
+
+impl<R: Real> PrecalculatedFields<R> {
+    /// Creates an empty array.
+    pub fn new() -> PrecalculatedFields<R> {
+        PrecalculatedFields::default()
+    }
+
+    /// Creates an array of `n` zero field values.
+    pub fn zeros(n: usize) -> PrecalculatedFields<R> {
+        PrecalculatedFields {
+            ex: vec![R::ZERO; n],
+            ey: vec![R::ZERO; n],
+            ez: vec![R::ZERO; n],
+            bx: vec![R::ZERO; n],
+            by: vec![R::ZERO; n],
+            bz: vec![R::ZERO; n],
+        }
+    }
+
+    /// Precomputes field values from `sampler` at the given particle
+    /// positions and time — the setup phase of the paper's scenario 1.
+    pub fn from_sampler<S, I>(sampler: &S, positions: I, time: R) -> PrecalculatedFields<R>
+    where
+        S: FieldSampler<R>,
+        I: IntoIterator<Item = Vec3<R>>,
+    {
+        let mut out = PrecalculatedFields::new();
+        for pos in positions {
+            out.push(sampler.sample(pos, time));
+        }
+        out
+    }
+
+    /// Appends one field value.
+    pub fn push(&mut self, f: EB<R>) {
+        self.ex.push(f.e.x);
+        self.ey.push(f.e.y);
+        self.ez.push(f.e.z);
+        self.bx.push(f.b.x);
+        self.by.push(f.b.y);
+        self.bz.push(f.b.z);
+    }
+
+    /// Number of stored values.
+    pub fn len(&self) -> usize {
+        self.ex.len()
+    }
+
+    /// `true` when no values are stored.
+    pub fn is_empty(&self) -> bool {
+        self.ex.is_empty()
+    }
+
+    /// Field value for particle `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= len()`.
+    #[inline(always)]
+    pub fn get(&self, i: usize) -> EB<R> {
+        EB {
+            e: Vec3::new(self.ex[i], self.ey[i], self.ez[i]),
+            b: Vec3::new(self.bx[i], self.by[i], self.bz[i]),
+        }
+    }
+
+    /// Overwrites the field value for particle `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= len()`.
+    pub fn set(&mut self, i: usize, f: EB<R>) {
+        self.ex[i] = f.e.x;
+        self.ey[i] = f.e.y;
+        self.ez[i] = f.e.z;
+        self.bx[i] = f.b.x;
+        self.by[i] = f.b.y;
+        self.bz[i] = f.b.z;
+    }
+
+    /// Bytes of memory the arrays occupy — the extra RAM traffic that makes
+    /// the Precalculated scenario memory-bound (paper §5.3, conclusion 5).
+    pub fn memory_bytes(&self) -> usize {
+        6 * self.len() * R::BYTES
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dipole::DipoleStandingWave;
+    use pic_math::constants::{BENCH_OMEGA, BENCH_POWER, BENCH_WAVELENGTH};
+
+    #[test]
+    fn push_get_set_roundtrip() {
+        let mut pre = PrecalculatedFields::<f32>::new();
+        let f = EB::new(Vec3::new(1.0, 2.0, 3.0), Vec3::new(4.0, 5.0, 6.0));
+        pre.push(EB::zero());
+        pre.push(f);
+        assert_eq!(pre.len(), 2);
+        assert_eq!(pre.get(1), f);
+        pre.set(0, f);
+        assert_eq!(pre.get(0), f);
+        assert!(!pre.is_empty());
+    }
+
+    #[test]
+    fn zeros_are_zero() {
+        let pre = PrecalculatedFields::<f64>::zeros(10);
+        assert_eq!(pre.len(), 10);
+        assert_eq!(pre.get(7), EB::zero());
+    }
+
+    #[test]
+    fn from_sampler_matches_direct_evaluation() {
+        let wave = DipoleStandingWave::<f64>::new(BENCH_POWER, BENCH_OMEGA);
+        let t = 0.2 / BENCH_OMEGA;
+        let positions: Vec<Vec3<f64>> = (0..20)
+            .map(|i| Vec3::splat(0.01 * BENCH_WAVELENGTH * i as f64))
+            .collect();
+        let pre = PrecalculatedFields::from_sampler(&wave, positions.iter().copied(), t);
+        for (i, &pos) in positions.iter().enumerate() {
+            assert_eq!(pre.get(i), wave.sample(pos, t), "particle {i}");
+        }
+    }
+
+    #[test]
+    fn memory_footprint_matches_paper_accounting() {
+        // 6 components per particle: 24 B in float, 48 B in double —
+        // "comparable in size to the ensemble of particles" (34/66 B).
+        let f32_pre = PrecalculatedFields::<f32>::zeros(100);
+        let f64_pre = PrecalculatedFields::<f64>::zeros(100);
+        assert_eq!(f32_pre.memory_bytes(), 2400);
+        assert_eq!(f64_pre.memory_bytes(), 4800);
+    }
+}

@@ -1,0 +1,72 @@
+//! Uniform (constant in space and time) fields — the standard test source
+//! for pusher verification (gyration, E-acceleration, E×B drift).
+
+use crate::sampler::{FieldSampler, EB};
+use pic_math::{Real, Vec3};
+
+/// A spatially and temporally constant electromagnetic field.
+///
+/// # Example
+///
+/// ```
+/// use pic_fields::{FieldSampler, UniformFields};
+/// use pic_math::Vec3;
+///
+/// let f = UniformFields::magnetic(Vec3::new(0.0_f64, 0.0, 1.0e3));
+/// let v = f.sample(Vec3::splat(123.0), 4.56);
+/// assert_eq!(v.e, Vec3::zero());
+/// assert_eq!(v.b.z, 1.0e3);
+/// ```
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct UniformFields<R> {
+    /// The constant electric field.
+    pub e: Vec3<R>,
+    /// The constant magnetic field.
+    pub b: Vec3<R>,
+}
+
+impl<R: Real> UniformFields<R> {
+    /// Creates a uniform field from both vectors.
+    pub fn new(e: Vec3<R>, b: Vec3<R>) -> UniformFields<R> {
+        UniformFields { e, b }
+    }
+
+    /// A purely electric uniform field.
+    pub fn electric(e: Vec3<R>) -> UniformFields<R> {
+        UniformFields { e, b: Vec3::zero() }
+    }
+
+    /// A purely magnetic uniform field.
+    pub fn magnetic(b: Vec3<R>) -> UniformFields<R> {
+        UniformFields { e: Vec3::zero(), b }
+    }
+}
+
+impl<R: Real> FieldSampler<R> for UniformFields<R> {
+    #[inline(always)]
+    fn sample(&self, _pos: Vec3<R>, _time: R) -> EB<R> {
+        EB { e: self.e, b: self.b }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constructors() {
+        let e = Vec3::new(1.0_f32, 2.0, 3.0);
+        let b = Vec3::new(4.0, 5.0, 6.0);
+        assert_eq!(UniformFields::new(e, b).sample(Vec3::zero(), 0.0), EB::new(e, b));
+        assert_eq!(UniformFields::electric(e).b, Vec3::zero());
+        assert_eq!(UniformFields::magnetic(b).e, Vec3::zero());
+    }
+
+    #[test]
+    fn independent_of_position_and_time() {
+        let f = UniformFields::new(Vec3::new(1.0_f64, 0.0, 0.0), Vec3::new(0.0, 1.0, 0.0));
+        let a = f.sample(Vec3::zero(), 0.0);
+        let b = f.sample(Vec3::splat(1e10), 1e10);
+        assert_eq!(a, b);
+    }
+}

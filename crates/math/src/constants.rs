@@ -1,0 +1,82 @@
+//! Physical constants in Gaussian (CGS) units, as used by Hi-Chi.
+//!
+//! The paper's equations (Maxwell's equations with `4π J`, the Lorentz force
+//! with `v × B / c`) are written in Gaussian units; all quantities in this
+//! reproduction follow the same convention:
+//!
+//! * length — centimetres, time — seconds, mass — grams,
+//! * charge — statcoulombs, field — statvolt/cm (E and B share units).
+
+/// Speed of light, cm/s.
+pub const LIGHT_VELOCITY: f64 = 2.99792458e10;
+
+/// Elementary charge, statC (esu).
+pub const ELEMENTARY_CHARGE: f64 = 4.80320427e-10;
+
+/// Electron rest mass, g.
+pub const ELECTRON_MASS: f64 = 9.1093837015e-28;
+
+/// Proton rest mass, g.
+pub const PROTON_MASS: f64 = 1.67262192369e-24;
+
+/// Electron charge (negative), statC.
+pub const ELECTRON_CHARGE: f64 = -ELEMENTARY_CHARGE;
+
+/// Electron rest energy m_e c², erg.
+pub const ELECTRON_REST_ENERGY: f64 = ELECTRON_MASS * LIGHT_VELOCITY * LIGHT_VELOCITY;
+
+/// One electron-volt, erg.
+pub const EV: f64 = 1.602176634e-12;
+
+/// One watt, erg/s.
+pub const WATT: f64 = 1.0e7;
+
+/// One petawatt, erg/s.
+pub const PETAWATT: f64 = 1.0e22;
+
+/// One micrometre, cm.
+pub const MICRON: f64 = 1.0e-4;
+
+/// One femtosecond, s.
+pub const FEMTOSECOND: f64 = 1.0e-15;
+
+/// Benchmark wave frequency ω₀ = 2.1×10¹⁵ s⁻¹ (paper §5.2).
+pub const BENCH_OMEGA: f64 = 2.1e15;
+
+/// Benchmark wavelength λ = 2πc/ω₀ ≈ 0.9 µm, in cm (paper §5.2).
+pub const BENCH_WAVELENGTH: f64 = 2.0 * std::f64::consts::PI * LIGHT_VELOCITY / BENCH_OMEGA;
+
+/// Benchmark wave power P = 0.1 PW, erg/s (paper §5.2).
+pub const BENCH_POWER: f64 = 0.1 * PETAWATT;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn wavelength_matches_paper() {
+        // Paper §5.2: ω₀ = 2.1e15 s⁻¹ corresponds to λ = 0.9 µm.
+        let lambda_um = BENCH_WAVELENGTH / MICRON;
+        assert!((lambda_um - 0.9).abs() < 0.01, "λ = {lambda_um} µm");
+    }
+
+    #[test]
+    fn rest_energy_is_511_kev() {
+        let kev = ELECTRON_REST_ENERGY / EV / 1e3;
+        assert!((kev - 511.0).abs() < 0.5, "m_e c² = {kev} keV");
+    }
+
+    #[test]
+    fn petawatt_conversion() {
+        assert_eq!(PETAWATT, 1e15 * WATT);
+        assert_eq!(BENCH_POWER, 1e21);
+    }
+
+    #[test]
+    fn classical_electron_radius_sanity() {
+        // r_e = e²/(m_e c²) ≈ 2.8179e-13 cm — a cross-check that the charge,
+        // mass and c values are mutually consistent in CGS.
+        let re = ELEMENTARY_CHARGE * ELEMENTARY_CHARGE / ELECTRON_REST_ENERGY;
+        assert!((re - 2.8179e-13).abs() / 2.8179e-13 < 1e-3, "r_e = {re}");
+    }
+}

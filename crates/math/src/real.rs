@@ -1,0 +1,290 @@
+//! The floating-point abstraction (`FP` in the paper's Hi-Chi code).
+//!
+//! The paper (§3) stresses that Hi-Chi "can easily switch between using
+//! single and double precision data types" by abstracting the scalar type
+//! as `FP`. [`Real`] is the Rust equivalent: a sealed trait implemented for
+//! exactly `f32` and `f64`, carrying every scalar operation the pushers,
+//! field evaluators and solvers need.
+
+use std::fmt::{Debug, Display, LowerExp};
+use std::iter::Sum;
+use std::ops::{Add, AddAssign, Div, DivAssign, Mul, MulAssign, Neg, Rem, Sub, SubAssign};
+
+mod private {
+    /// Prevents downstream implementations so new methods can be added
+    /// without a breaking change (C-SEALED).
+    pub trait Sealed {}
+    impl Sealed for f32 {}
+    impl Sealed for f64 {}
+}
+
+/// Abstraction over `f32`/`f64`, mirroring the paper's `FP` typedef.
+///
+/// This trait is sealed: it is implemented for `f32` and `f64` only and
+/// cannot be implemented outside this crate.
+///
+/// # Example
+///
+/// ```
+/// use pic_math::Real;
+///
+/// fn kinetic_energy<R: Real>(gamma: R, mc2: R) -> R {
+///     (gamma - R::ONE) * mc2
+/// }
+/// assert_eq!(kinetic_energy(2.0_f32, 1.0), 1.0);
+/// assert_eq!(kinetic_energy(2.0_f64, 1.0), 1.0);
+/// ```
+pub trait Real:
+    Copy
+    + Clone
+    + Debug
+    + Display
+    + LowerExp
+    + Default
+    + PartialEq
+    + PartialOrd
+    + Send
+    + Sync
+    + 'static
+    + Add<Output = Self>
+    + Sub<Output = Self>
+    + Mul<Output = Self>
+    + Div<Output = Self>
+    + Rem<Output = Self>
+    + Neg<Output = Self>
+    + AddAssign
+    + SubAssign
+    + MulAssign
+    + DivAssign
+    + Sum
+    + private::Sealed
+{
+    /// Additive identity.
+    const ZERO: Self;
+    /// Multiplicative identity.
+    const ONE: Self;
+    /// The constant 2.
+    const TWO: Self;
+    /// The constant 1/2.
+    const HALF: Self;
+    /// Archimedes' constant π.
+    const PI: Self;
+    /// Machine epsilon of the underlying type.
+    const EPSILON: Self;
+    /// Largest finite value.
+    const MAX: Self;
+    /// Number of bytes in the in-memory representation (4 or 8).
+    const BYTES: usize;
+    /// Human-readable name matching the paper's tables: `"float"`/`"double"`.
+    const NAME: &'static str;
+
+    /// Lossy conversion from `f64` (used for literals and constants).
+    fn from_f64(x: f64) -> Self;
+    /// Lossless widening to `f64` (used by diagnostics and statistics).
+    fn to_f64(self) -> f64;
+    /// Conversion from an index or count.
+    fn from_usize(n: usize) -> Self;
+
+    /// Square root.
+    fn sqrt(self) -> Self;
+    /// Absolute value.
+    fn abs(self) -> Self;
+    /// Sine (radians).
+    fn sin(self) -> Self;
+    /// Cosine (radians).
+    fn cos(self) -> Self;
+    /// Simultaneous sine and cosine.
+    fn sin_cos(self) -> (Self, Self);
+    /// Exponential.
+    fn exp(self) -> Self;
+    /// Natural logarithm.
+    fn ln(self) -> Self;
+    /// Fused multiply-add `self * a + b`.
+    fn mul_add(self, a: Self, b: Self) -> Self;
+    /// Integer power.
+    fn powi(self, n: i32) -> Self;
+    /// Reciprocal `1/self`.
+    fn recip(self) -> Self;
+    /// Largest integer ≤ `self`.
+    fn floor(self) -> Self;
+    /// Rounds half away from zero.
+    fn round(self) -> Self;
+    /// Minimum of two values (propagates the non-NaN operand).
+    fn min(self, other: Self) -> Self;
+    /// Maximum of two values (propagates the non-NaN operand).
+    fn max(self, other: Self) -> Self;
+    /// `true` if the value is finite.
+    fn is_finite(self) -> bool;
+    /// `true` if the value is NaN.
+    fn is_nan(self) -> bool;
+
+    /// Clamps into `[lo, hi]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics in debug builds if `lo > hi`.
+    fn clamp(self, lo: Self, hi: Self) -> Self {
+        debug_assert!(lo <= hi, "clamp: lo > hi");
+        self.max(lo).min(hi)
+    }
+}
+
+macro_rules! impl_real {
+    ($t:ty, $name:expr, $bytes:expr, $pi:expr) => {
+        impl Real for $t {
+            const ZERO: Self = 0.0;
+            const ONE: Self = 1.0;
+            const TWO: Self = 2.0;
+            const HALF: Self = 0.5;
+            const PI: Self = $pi;
+            const EPSILON: Self = <$t>::EPSILON;
+            const MAX: Self = <$t>::MAX;
+            const BYTES: usize = $bytes;
+            const NAME: &'static str = $name;
+
+            #[inline(always)]
+            fn from_f64(x: f64) -> Self {
+                x as $t
+            }
+            #[inline(always)]
+            fn to_f64(self) -> f64 {
+                self as f64
+            }
+            #[inline(always)]
+            fn from_usize(n: usize) -> Self {
+                n as $t
+            }
+            #[inline(always)]
+            fn sqrt(self) -> Self {
+                self.sqrt()
+            }
+            #[inline(always)]
+            fn abs(self) -> Self {
+                self.abs()
+            }
+            #[inline(always)]
+            fn sin(self) -> Self {
+                self.sin()
+            }
+            #[inline(always)]
+            fn cos(self) -> Self {
+                self.cos()
+            }
+            #[inline(always)]
+            fn sin_cos(self) -> (Self, Self) {
+                self.sin_cos()
+            }
+            #[inline(always)]
+            fn exp(self) -> Self {
+                self.exp()
+            }
+            #[inline(always)]
+            fn ln(self) -> Self {
+                self.ln()
+            }
+            #[inline(always)]
+            fn mul_add(self, a: Self, b: Self) -> Self {
+                self.mul_add(a, b)
+            }
+            #[inline(always)]
+            fn powi(self, n: i32) -> Self {
+                self.powi(n)
+            }
+            #[inline(always)]
+            fn recip(self) -> Self {
+                self.recip()
+            }
+            #[inline(always)]
+            fn floor(self) -> Self {
+                self.floor()
+            }
+            #[inline(always)]
+            fn round(self) -> Self {
+                self.round()
+            }
+            #[inline(always)]
+            fn min(self, other: Self) -> Self {
+                self.min(other)
+            }
+            #[inline(always)]
+            fn max(self, other: Self) -> Self {
+                self.max(other)
+            }
+            #[inline(always)]
+            fn is_finite(self) -> bool {
+                self.is_finite()
+            }
+            #[inline(always)]
+            fn is_nan(self) -> bool {
+                self.is_nan()
+            }
+        }
+    };
+}
+
+impl_real!(f32, "float", 4, std::f32::consts::PI);
+impl_real!(f64, "double", 8, std::f64::consts::PI);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip<R: Real>() {
+        assert_eq!(R::from_f64(0.0), R::ZERO);
+        assert_eq!(R::from_f64(1.0), R::ONE);
+        assert_eq!(R::ONE + R::ONE, R::TWO);
+        assert_eq!(R::ONE / R::TWO, R::HALF);
+        assert_eq!(R::from_usize(7).to_f64(), 7.0);
+    }
+
+    #[test]
+    fn identities_f32() {
+        roundtrip::<f32>();
+    }
+
+    #[test]
+    fn identities_f64() {
+        roundtrip::<f64>();
+    }
+
+    #[test]
+    fn names_match_paper_tables() {
+        assert_eq!(f32::NAME, "float");
+        assert_eq!(f64::NAME, "double");
+        assert_eq!(f32::BYTES, 4);
+        assert_eq!(f64::BYTES, 8);
+    }
+
+    #[test]
+    fn trig_and_sqrt() {
+        fn check<R: Real>(tol: f64) {
+            let x = R::from_f64(0.7);
+            let (s, c) = x.sin_cos();
+            assert!((s.to_f64() - 0.7f64.sin()).abs() < tol);
+            assert!((c.to_f64() - 0.7f64.cos()).abs() < tol);
+            assert!(((s * s + c * c).to_f64() - 1.0).abs() < tol);
+            assert!((R::from_f64(2.0).sqrt().to_f64() - 2.0f64.sqrt()).abs() < tol);
+        }
+        check::<f32>(1e-6);
+        check::<f64>(1e-14);
+    }
+
+    #[test]
+    fn clamp_orders() {
+        assert_eq!(5.0f64.clamp(0.0, 1.0), 1.0);
+        assert_eq!((-5.0f64).clamp(0.0, 1.0), 0.0);
+        assert_eq!(0.5f32.clamp(0.0, 1.0), 0.5);
+    }
+
+    #[test]
+    fn mul_add_matches() {
+        let r = 2.0f64.mul_add(3.0, 4.0);
+        assert_eq!(r, 10.0);
+    }
+
+    #[test]
+    fn min_max_behave() {
+        assert_eq!(Real::min(1.0f32, 2.0), 1.0);
+        assert_eq!(Real::max(1.0f32, 2.0), 2.0);
+    }
+}

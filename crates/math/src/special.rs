@@ -1,0 +1,228 @@
+//! Radial functions of the standing m-dipole wave (paper Eq. 15).
+//!
+//! The benchmark field (paper §5.2) is built from three radial functions
+//!
+//! ```text
+//! f1(x) = sin(x)/x² − cos(x)/x                                  (= j₁(x))
+//! f2(x) = (3/x³ − 1/x)·sin(x) − 3·cos(x)/x²                     (= j₂(x))
+//! f3(x) = (1/x − 1/x³)·sin(x) + cos(x)/x²                       (= j₀(x) − j₁(x)/x)
+//! ```
+//!
+//! with `x = kR`. Near the focus (`x → 0`) the closed forms suffer
+//! catastrophic cancellation — e.g. `f2` subtracts two `O(1/x³)` terms to
+//! produce an `O(x²)` result — so for small `x` we evaluate the power
+//! series instead, iterating the term recurrence to machine precision.
+
+use crate::real::Real;
+
+/// Below this argument the series expansions are used instead of the
+/// closed forms. At `x = 1` both branches agree to ~10⁻¹⁴ relative in
+/// double precision, so the hand-over is seamless.
+pub const SERIES_THRESHOLD: f64 = 1.0;
+
+#[inline]
+fn series<R: Real>(x: R, first: R, ratio: impl Fn(usize) -> f64) -> R {
+    // Sums first · Σ tₙ with t₀ = 1, tₙ₊₁ = −tₙ·x²/ratio(n), until the terms
+    // stop contributing.
+    let x2 = x * x;
+    let mut term = R::ONE;
+    let mut sum = R::ONE;
+    for n in 0..32 {
+        term = -term * x2 / R::from_f64(ratio(n));
+        let next = sum + term;
+        if next == sum {
+            break;
+        }
+        sum = next;
+    }
+    first * sum
+}
+
+/// Spherical Bessel function j₀(x) = sin(x)/x, continuous at 0.
+///
+/// # Example
+///
+/// ```
+/// use pic_math::special::j0;
+/// assert_eq!(j0(0.0_f64), 1.0);
+/// assert!((j0(3.0_f64) - 3.0f64.sin() / 3.0).abs() < 1e-15);
+/// ```
+#[inline]
+pub fn j0<R: Real>(x: R) -> R {
+    if x.abs().to_f64() < SERIES_THRESHOLD {
+        // j0 = Σ (−1)ⁿ x²ⁿ/(2n+1)!  ⇒ ratio (2n+2)(2n+3)
+        series(x, R::ONE, |n| ((2 * n + 2) * (2 * n + 3)) as f64)
+    } else {
+        x.sin() / x
+    }
+}
+
+/// Dipole radial function f₁(x) = sin(x)/x² − cos(x)/x (paper Eq. 15; = j₁).
+///
+/// # Example
+///
+/// ```
+/// use pic_math::special::f1;
+/// // Leading behaviour near the focus: f1(x) ≈ x/3.
+/// assert!((f1(1e-4_f64) - 1e-4 / 3.0).abs() < 1e-12);
+/// ```
+#[inline]
+pub fn f1<R: Real>(x: R) -> R {
+    if x.abs().to_f64() < SERIES_THRESHOLD {
+        // j1 = (x/3)·Σ tₙ with ratio (2n+2)(2n+5)
+        series(x, x / R::from_f64(3.0), |n| ((2 * n + 2) * (2 * n + 5)) as f64)
+    } else {
+        let (s, c) = x.sin_cos();
+        s / (x * x) - c / x
+    }
+}
+
+/// Dipole radial function f₂(x) = (3/x³ − 1/x)·sin(x) − 3cos(x)/x² (= j₂).
+///
+/// # Example
+///
+/// ```
+/// use pic_math::special::f2;
+/// // Leading behaviour near the focus: f2(x) ≈ x²/15.
+/// assert!((f2(1e-3_f64) - 1e-6 / 15.0).abs() < 1e-13);
+/// ```
+#[inline]
+pub fn f2<R: Real>(x: R) -> R {
+    if x.abs().to_f64() < SERIES_THRESHOLD {
+        // j2 = (x²/15)·Σ tₙ with ratio (2n+2)(2n+7)
+        series(x, x * x / R::from_f64(15.0), |n| ((2 * n + 2) * (2 * n + 7)) as f64)
+    } else {
+        let (s, c) = x.sin_cos();
+        let inv = x.recip();
+        let inv2 = inv * inv;
+        (R::from_f64(3.0) * inv2 * inv - inv) * s - R::from_f64(3.0) * c * inv2
+    }
+}
+
+/// Dipole radial function f₃(x) = (1/x − 1/x³)·sin(x) + cos(x)/x² (Eq. 15).
+///
+/// Equals j₀(x) − j₁(x)/x; tends to 2/3 at the focus.
+///
+/// # Example
+///
+/// ```
+/// use pic_math::special::f3;
+/// assert!((f3(1e-6_f64) - 2.0 / 3.0).abs() < 1e-12);
+/// ```
+#[inline]
+pub fn f3<R: Real>(x: R) -> R {
+    if x.abs().to_f64() < SERIES_THRESHOLD {
+        // f3 = Σ (−1)ⁿ aₙ x²ⁿ, aₙ = 1/(2n+1)! − 1/(j₁ denom). The first few
+        // coefficients are 2/3, 2/15, 1/140, 1/5670, 1/399168, 1/43243200;
+        // the term ratio aₙ₊₁/aₙ = (2n+5) / ((2n+2)(2n+3)(2n+7)/(2n+... ))
+        // has no compact closed form, so sum the two constituent series.
+        j0(x) - if x == R::ZERO { R::from_f64(1.0 / 3.0) } else { f1(x) / x }
+    } else {
+        let (s, c) = x.sin_cos();
+        let inv = x.recip();
+        let inv2 = inv * inv;
+        (inv - inv2 * inv) * s + c * inv2
+    }
+}
+
+/// f₁(x)/x, continuous at the focus (limit 1/3). Needed because the dipole
+/// field components divide by `R` (paper Eq. 14).
+#[inline]
+pub fn f1_over_x<R: Real>(x: R) -> R {
+    if x.abs().to_f64() < SERIES_THRESHOLD {
+        series(x, R::from_f64(1.0 / 3.0), |n| ((2 * n + 2) * (2 * n + 5)) as f64)
+    } else {
+        f1(x) / x
+    }
+}
+
+/// f₂(x)/x², continuous at the focus (limit 1/15). Needed because the
+/// magnetic components of the dipole field divide by `R²` (paper Eq. 14).
+#[inline]
+pub fn f2_over_x2<R: Real>(x: R) -> R {
+    if x.abs().to_f64() < SERIES_THRESHOLD {
+        series(x, R::from_f64(1.0 / 15.0), |n| ((2 * n + 2) * (2 * n + 7)) as f64)
+    } else {
+        f2(x) / (x * x)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Closed forms evaluated in f64 well away from the cancellation zone.
+    fn f1_ref(x: f64) -> f64 {
+        x.sin() / (x * x) - x.cos() / x
+    }
+    fn f2_ref(x: f64) -> f64 {
+        (3.0 / x.powi(3) - 1.0 / x) * x.sin() - 3.0 * x.cos() / (x * x)
+    }
+    fn f3_ref(x: f64) -> f64 {
+        (1.0 / x - 1.0 / x.powi(3)) * x.sin() + x.cos() / (x * x)
+    }
+
+    #[test]
+    fn series_matches_closed_form_at_handover() {
+        // Both branches must agree near the threshold from either side.
+        for &x in &[0.5, 0.8, 0.99, 1.01, 1.5, 3.0] {
+            assert!((f1(x) - f1_ref(x)).abs() < 1e-13, "f1({x})");
+            assert!((f2(x) - f2_ref(x)).abs() < 1e-13, "f2({x})");
+            assert!((f3(x) - f3_ref(x)).abs() < 1e-13, "f3({x})");
+        }
+    }
+
+    #[test]
+    fn limits_at_focus() {
+        assert_eq!(f1(0.0_f64), 0.0);
+        assert_eq!(f2(0.0_f64), 0.0);
+        assert!((f3(0.0_f64) - 2.0 / 3.0).abs() < 1e-15);
+        assert!((f1_over_x(0.0_f64) - 1.0 / 3.0).abs() < 1e-15);
+        assert!((f2_over_x2(0.0_f64) - 1.0 / 15.0).abs() < 1e-15);
+        assert_eq!(j0(0.0_f64), 1.0);
+    }
+
+    #[test]
+    fn no_cancellation_blowup_in_f32() {
+        // The closed form of f2 in f32 loses everything below x ~ 3e-2;
+        // the series branch must stay accurate.
+        for &x in &[1e-6_f32, 1e-4, 1e-2, 0.1, 0.5, 0.9] {
+            let exact = f2(x as f64) as f32;
+            let got = f2(x);
+            let denom = exact.abs().max(1e-30);
+            assert!(
+                (got - exact).abs() / denom < 1e-5,
+                "f2({x}) = {got}, want {exact}"
+            );
+        }
+    }
+
+    #[test]
+    fn f3_is_j0_minus_j1_over_x() {
+        for &x in &[0.3_f64, 0.7, 2.0, 5.0] {
+            let expect = j0(x) - f1(x) / x;
+            assert!((f3(x) - expect).abs() < 1e-14, "x = {x}");
+        }
+    }
+
+    #[test]
+    fn odd_even_symmetry() {
+        // f1 is odd; f2, f3 and j0 are even.
+        for &x in &[0.2_f64, 0.9, 2.5] {
+            assert!((f1(-x) + f1(x)).abs() < 1e-15);
+            assert!((f2(-x) - f2(x)).abs() < 1e-15);
+            assert!((f3(-x) - f3(x)).abs() < 1e-15);
+            assert!((j0(-x) - j0(x)).abs() < 1e-15);
+        }
+    }
+
+    #[test]
+    fn asymptotics_far_from_focus() {
+        // For large x the functions decay like 1/x.
+        for &x in &[50.0_f64, 500.0] {
+            assert!(f1(x).abs() < 2.0 / x);
+            assert!(f2(x).abs() < 2.0 / x);
+            assert!(f3(x).abs() < 2.0 / x);
+        }
+    }
+}

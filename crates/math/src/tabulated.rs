@@ -1,0 +1,185 @@
+//! Tabulated dipole radial functions — the classic optimization of the
+//! Analytical-Fields scenario.
+//!
+//! The paper's analytical scenario recomputes sin/cos-heavy radial
+//! functions for every particle every step. A standard trade (used in
+//! production PIC codes when the field shape is fixed) is to tabulate
+//! f₁(x)/x, f₂(x)/x² and f₃(x) once on a fine radial grid and linearly
+//! interpolate — swapping transcendentals for two loads and a fused
+//! multiply-add, i.e. moving the kernel *down* the roofline toward the
+//! Precalculated scenario. [`RadialTable`] implements that trade with a
+//! measurable accuracy bound.
+
+use crate::real::Real;
+use crate::special::{f1_over_x, f2_over_x2, f3};
+
+/// Linear-interpolation tables of the three dipole radial functions over
+/// `[0, x_max]`.
+///
+/// # Example
+///
+/// ```
+/// use pic_math::tabulated::RadialTable;
+/// use pic_math::special;
+///
+/// let table = RadialTable::<f64>::new(20.0, 4096);
+/// let x = 3.7;
+/// assert!((table.f3(x) - special::f3(x)).abs() < 1e-5);
+/// ```
+#[derive(Clone, Debug, PartialEq)]
+pub struct RadialTable<R> {
+    x_max: R,
+    inv_dx: R,
+    f1x: Vec<R>,
+    f2x2: Vec<R>,
+    f3: Vec<R>,
+}
+
+impl<R: Real> RadialTable<R> {
+    /// Builds tables with `nodes` samples over `[0, x_max]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x_max` is not positive or `nodes < 2`.
+    pub fn new(x_max: f64, nodes: usize) -> RadialTable<R> {
+        assert!(x_max > 0.0, "RadialTable: non-positive x_max");
+        assert!(nodes >= 2, "RadialTable: need at least 2 nodes");
+        let dx = x_max / (nodes - 1) as f64;
+        let sample = |f: fn(f64) -> f64| -> Vec<R> {
+            (0..nodes).map(|i| R::from_f64(f(i as f64 * dx))).collect()
+        };
+        RadialTable {
+            x_max: R::from_f64(x_max),
+            inv_dx: R::from_f64(1.0 / dx),
+            f1x: sample(f1_over_x::<f64>),
+            f2x2: sample(f2_over_x2::<f64>),
+            f3: sample(f3::<f64>),
+        }
+    }
+
+    /// Upper end of the tabulated range.
+    pub fn x_max(&self) -> R {
+        self.x_max
+    }
+
+    /// Number of table nodes.
+    pub fn nodes(&self) -> usize {
+        self.f1x.len()
+    }
+
+    #[inline(always)]
+    fn lookup(&self, table: &[R], x: R) -> R {
+        // Clamp into range; arguments beyond x_max evaluate at the edge
+        // (callers size x_max to cover their domain).
+        let s = x.abs() * self.inv_dx;
+        let base = s.floor().min(R::from_usize(table.len() - 2));
+        let frac = (s - base).clamp(R::ZERO, R::ONE);
+        let i = base.to_f64() as usize;
+        table[i] + (table[i + 1] - table[i]) * frac
+    }
+
+    /// Interpolated f₁(x)/x (even function; |x| is used).
+    #[inline(always)]
+    pub fn f1_over_x(&self, x: R) -> R {
+        self.lookup(&self.f1x, x)
+    }
+
+    /// Interpolated f₂(x)/x².
+    #[inline(always)]
+    pub fn f2_over_x2(&self, x: R) -> R {
+        self.lookup(&self.f2x2, x)
+    }
+
+    /// Interpolated f₃(x).
+    #[inline(always)]
+    pub fn f3(&self, x: R) -> R {
+        self.lookup(&self.f3, x)
+    }
+
+    /// Worst absolute interpolation error against the direct evaluation,
+    /// probed at `probes` midpoints (the worst case for linear
+    /// interpolation).
+    pub fn max_error(&self, probes: usize) -> f64 {
+        let mut worst = 0.0f64;
+        for i in 0..probes {
+            let x = (i as f64 + 0.5) / probes as f64 * self.x_max.to_f64();
+            let xr = R::from_f64(x);
+            worst = worst
+                .max((self.f1_over_x(xr).to_f64() - f1_over_x(x)).abs())
+                .max((self.f2_over_x2(xr).to_f64() - f2_over_x2(x)).abs())
+                .max((self.f3(xr).to_f64() - f3(x)).abs());
+        }
+        worst
+    }
+
+    /// Memory footprint of the tables, bytes — what the optimization adds
+    /// to the working set.
+    pub fn memory_bytes(&self) -> usize {
+        3 * self.nodes() * R::BYTES
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn interpolation_is_accurate_at_fine_resolution() {
+        let t = RadialTable::<f64>::new(20.0, 8192);
+        assert!(t.max_error(5000) < 1e-6, "max error {}", t.max_error(5000));
+    }
+
+    #[test]
+    fn error_shrinks_quadratically_with_nodes() {
+        // Linear interpolation: halving dx quarters the error.
+        let coarse = RadialTable::<f64>::new(10.0, 512).max_error(2000);
+        let fine = RadialTable::<f64>::new(10.0, 1024).max_error(2000);
+        let ratio = coarse / fine;
+        assert!((3.0..5.5).contains(&ratio), "ratio {ratio}");
+    }
+
+    #[test]
+    fn exact_at_nodes() {
+        let t = RadialTable::<f64>::new(8.0, 33);
+        let dx = 8.0 / 32.0;
+        for i in 0..33 {
+            let x = i as f64 * dx;
+            assert!((t.f3(x) - f3(x)).abs() < 1e-15, "node {i}");
+        }
+    }
+
+    #[test]
+    fn focus_limits_are_preserved() {
+        let t = RadialTable::<f64>::new(20.0, 4096);
+        assert!((t.f1_over_x(0.0) - 1.0 / 3.0).abs() < 1e-12);
+        assert!((t.f2_over_x2(0.0) - 1.0 / 15.0).abs() < 1e-12);
+        assert!((t.f3(0.0) - 2.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn negative_arguments_use_even_symmetry() {
+        let t = RadialTable::<f64>::new(20.0, 4096);
+        assert_eq!(t.f3(-3.0), t.f3(3.0));
+        assert_eq!(t.f1_over_x(-1.5), t.f1_over_x(1.5));
+    }
+
+    #[test]
+    fn beyond_range_clamps_to_edge() {
+        let t = RadialTable::<f64>::new(5.0, 256);
+        let edge = t.f3(5.0);
+        assert_eq!(t.f3(50.0), edge);
+    }
+
+    #[test]
+    fn works_in_single_precision() {
+        let t = RadialTable::<f32>::new(20.0, 4096);
+        assert!((t.f3(2.0f32) - f3(2.0f64) as f32).abs() < 1e-4);
+        assert_eq!(t.memory_bytes(), 3 * 4096 * 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 2 nodes")]
+    fn too_few_nodes_panics() {
+        let _ = RadialTable::<f64>::new(1.0, 1);
+    }
+}

@@ -1,0 +1,376 @@
+//! Three-component vectors (the paper's `FP3` type).
+
+use crate::real::Real;
+use std::fmt;
+use std::ops::{Add, AddAssign, Div, DivAssign, Index, IndexMut, Mul, MulAssign, Neg, Sub,
+               SubAssign};
+
+/// A 3-vector over a [`Real`] scalar — the analogue of Hi-Chi's `FP3`.
+///
+/// The fields are public in the "C struct" spirit: `Vec3` is a passive
+/// compound value with no invariants to protect.
+///
+/// # Example
+///
+/// ```
+/// use pic_math::Vec3;
+///
+/// let e = Vec3::new(1.0_f64, 0.0, 0.0);
+/// let b = Vec3::new(0.0, 1.0, 0.0);
+/// assert_eq!(e.cross(b), Vec3::new(0.0, 0.0, 1.0));
+/// assert_eq!(e.dot(b), 0.0);
+/// ```
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct Vec3<R> {
+    /// x-component.
+    pub x: R,
+    /// y-component.
+    pub y: R,
+    /// z-component.
+    pub z: R,
+}
+
+impl<R: Real> Vec3<R> {
+    /// The zero vector.
+    pub const fn zero() -> Self
+    where
+        R: Real,
+    {
+        // `R::ZERO` is not usable in a `const fn` over a trait, so zero()
+        // is implemented via Default in `new_zero`; keep this const for the
+        // concrete aliases below.
+        Vec3 { x: R::ZERO, y: R::ZERO, z: R::ZERO }
+    }
+
+    /// Creates a vector from components.
+    #[inline(always)]
+    pub fn new(x: R, y: R, z: R) -> Self {
+        Vec3 { x, y, z }
+    }
+
+    /// A vector with all three components equal to `v`.
+    #[inline(always)]
+    pub fn splat(v: R) -> Self {
+        Vec3 { x: v, y: v, z: v }
+    }
+
+    /// Dot product.
+    #[inline(always)]
+    pub fn dot(self, o: Self) -> R {
+        self.x * o.x + self.y * o.y + self.z * o.z
+    }
+
+    /// Cross product.
+    #[inline(always)]
+    pub fn cross(self, o: Self) -> Self {
+        Vec3 {
+            x: self.y * o.z - self.z * o.y,
+            y: self.z * o.x - self.x * o.z,
+            z: self.x * o.y - self.y * o.x,
+        }
+    }
+
+    /// Squared Euclidean norm.
+    #[inline(always)]
+    pub fn norm2(self) -> R {
+        self.dot(self)
+    }
+
+    /// Euclidean norm.
+    #[inline(always)]
+    pub fn norm(self) -> R {
+        self.norm2().sqrt()
+    }
+
+    /// Unit vector in the same direction, or zero if the norm underflows.
+    #[inline]
+    pub fn normalized(self) -> Self {
+        let n = self.norm();
+        if n > R::ZERO {
+            self / n
+        } else {
+            Vec3::splat(R::ZERO)
+        }
+    }
+
+    /// Component-wise product (Hadamard).
+    #[inline(always)]
+    pub fn hadamard(self, o: Self) -> Self {
+        Vec3 { x: self.x * o.x, y: self.y * o.y, z: self.z * o.z }
+    }
+
+    /// Component-wise minimum.
+    #[inline]
+    pub fn min(self, o: Self) -> Self {
+        Vec3 { x: self.x.min(o.x), y: self.y.min(o.y), z: self.z.min(o.z) }
+    }
+
+    /// Component-wise maximum.
+    #[inline]
+    pub fn max(self, o: Self) -> Self {
+        Vec3 { x: self.x.max(o.x), y: self.y.max(o.y), z: self.z.max(o.z) }
+    }
+
+    /// Largest absolute component.
+    #[inline]
+    pub fn max_abs(self) -> R {
+        self.x.abs().max(self.y.abs()).max(self.z.abs())
+    }
+
+    /// `true` when every component is finite.
+    #[inline]
+    pub fn is_finite(self) -> bool {
+        self.x.is_finite() && self.y.is_finite() && self.z.is_finite()
+    }
+
+    /// Fused multiply-add: `self * a + b`, component-wise.
+    #[inline(always)]
+    pub fn mul_add(self, a: R, b: Self) -> Self {
+        Vec3 {
+            x: self.x.mul_add(a, b.x),
+            y: self.y.mul_add(a, b.y),
+            z: self.z.mul_add(a, b.z),
+        }
+    }
+
+    /// Widens each component to `f64` (for diagnostics).
+    #[inline]
+    pub fn to_f64(self) -> Vec3<f64> {
+        Vec3 { x: self.x.to_f64(), y: self.y.to_f64(), z: self.z.to_f64() }
+    }
+
+    /// Converts each component from `f64` (for literals and setup code).
+    #[inline]
+    pub fn from_f64(v: Vec3<f64>) -> Self {
+        Vec3 { x: R::from_f64(v.x), y: R::from_f64(v.y), z: R::from_f64(v.z) }
+    }
+
+    /// The components as a fixed-size array `[x, y, z]`.
+    #[inline]
+    pub fn to_array(self) -> [R; 3] {
+        [self.x, self.y, self.z]
+    }
+}
+
+impl<R: Real> From<[R; 3]> for Vec3<R> {
+    #[inline]
+    fn from(a: [R; 3]) -> Self {
+        Vec3 { x: a[0], y: a[1], z: a[2] }
+    }
+}
+
+impl<R: Real> From<Vec3<R>> for [R; 3] {
+    #[inline]
+    fn from(v: Vec3<R>) -> Self {
+        v.to_array()
+    }
+}
+
+impl<R: Real> Index<usize> for Vec3<R> {
+    type Output = R;
+
+    /// # Panics
+    ///
+    /// Panics if `i > 2`.
+    #[inline]
+    fn index(&self, i: usize) -> &R {
+        match i {
+            0 => &self.x,
+            1 => &self.y,
+            2 => &self.z,
+            _ => panic!("Vec3 index out of range: {i}"),
+        }
+    }
+}
+
+impl<R: Real> IndexMut<usize> for Vec3<R> {
+    #[inline]
+    fn index_mut(&mut self, i: usize) -> &mut R {
+        match i {
+            0 => &mut self.x,
+            1 => &mut self.y,
+            2 => &mut self.z,
+            _ => panic!("Vec3 index out of range: {i}"),
+        }
+    }
+}
+
+impl<R: Real> fmt::Display for Vec3<R> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "({}, {}, {})", self.x, self.y, self.z)
+    }
+}
+
+impl<R: Real> Add for Vec3<R> {
+    type Output = Self;
+    #[inline(always)]
+    fn add(self, o: Self) -> Self {
+        Vec3 { x: self.x + o.x, y: self.y + o.y, z: self.z + o.z }
+    }
+}
+
+impl<R: Real> Sub for Vec3<R> {
+    type Output = Self;
+    #[inline(always)]
+    fn sub(self, o: Self) -> Self {
+        Vec3 { x: self.x - o.x, y: self.y - o.y, z: self.z - o.z }
+    }
+}
+
+impl<R: Real> Neg for Vec3<R> {
+    type Output = Self;
+    #[inline(always)]
+    fn neg(self) -> Self {
+        Vec3 { x: -self.x, y: -self.y, z: -self.z }
+    }
+}
+
+impl<R: Real> Mul<R> for Vec3<R> {
+    type Output = Self;
+    #[inline(always)]
+    fn mul(self, s: R) -> Self {
+        Vec3 { x: self.x * s, y: self.y * s, z: self.z * s }
+    }
+}
+
+impl<R: Real> Div<R> for Vec3<R> {
+    type Output = Self;
+    #[inline(always)]
+    fn div(self, s: R) -> Self {
+        Vec3 { x: self.x / s, y: self.y / s, z: self.z / s }
+    }
+}
+
+impl<R: Real> AddAssign for Vec3<R> {
+    #[inline(always)]
+    fn add_assign(&mut self, o: Self) {
+        *self = *self + o;
+    }
+}
+
+impl<R: Real> SubAssign for Vec3<R> {
+    #[inline(always)]
+    fn sub_assign(&mut self, o: Self) {
+        *self = *self - o;
+    }
+}
+
+impl<R: Real> MulAssign<R> for Vec3<R> {
+    #[inline(always)]
+    fn mul_assign(&mut self, s: R) {
+        *self = *self * s;
+    }
+}
+
+impl<R: Real> DivAssign<R> for Vec3<R> {
+    #[inline(always)]
+    fn div_assign(&mut self, s: R) {
+        *self = *self / s;
+    }
+}
+
+impl<R: Real> Sum for Vec3<R> {
+    fn sum<I: Iterator<Item = Self>>(iter: I) -> Self {
+        iter.fold(Vec3::splat(R::ZERO), |a, b| a + b)
+    }
+}
+
+use std::iter::Sum;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn arithmetic() {
+        let a = Vec3::new(1.0_f64, 2.0, 3.0);
+        let b = Vec3::new(4.0, 5.0, 6.0);
+        assert_eq!(a + b, Vec3::new(5.0, 7.0, 9.0));
+        assert_eq!(b - a, Vec3::new(3.0, 3.0, 3.0));
+        assert_eq!(a * 2.0, Vec3::new(2.0, 4.0, 6.0));
+        assert_eq!(b / 2.0, Vec3::new(2.0, 2.5, 3.0));
+        assert_eq!(-a, Vec3::new(-1.0, -2.0, -3.0));
+    }
+
+    #[test]
+    fn assign_ops() {
+        let mut v = Vec3::new(1.0_f32, 1.0, 1.0);
+        v += Vec3::splat(1.0);
+        v -= Vec3::new(0.0, 1.0, 0.0);
+        v *= 3.0;
+        v /= 2.0;
+        assert_eq!(v, Vec3::new(3.0, 1.5, 3.0));
+    }
+
+    #[test]
+    fn dot_cross_identities() {
+        let a = Vec3::new(1.0_f64, 2.0, 3.0);
+        let b = Vec3::new(-2.0, 0.5, 4.0);
+        // a × b is orthogonal to both operands.
+        let c = a.cross(b);
+        assert!(c.dot(a).abs() < 1e-12);
+        assert!(c.dot(b).abs() < 1e-12);
+        // Lagrange identity |a×b|² = |a|²|b|² − (a·b)².
+        let lhs = c.norm2();
+        let rhs = a.norm2() * b.norm2() - a.dot(b) * a.dot(b);
+        assert!((lhs - rhs).abs() < 1e-9);
+    }
+
+    #[test]
+    fn norms() {
+        let v = Vec3::new(3.0_f64, 4.0, 0.0);
+        assert_eq!(v.norm2(), 25.0);
+        assert_eq!(v.norm(), 5.0);
+        let u = v.normalized();
+        assert!((u.norm() - 1.0).abs() < 1e-15);
+        assert_eq!(Vec3::<f64>::zero().normalized(), Vec3::zero());
+    }
+
+    #[test]
+    fn indexing() {
+        let mut v = Vec3::new(1.0_f64, 2.0, 3.0);
+        assert_eq!(v[0], 1.0);
+        v[2] = 9.0;
+        assert_eq!(v.z, 9.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn index_out_of_range_panics() {
+        let v = Vec3::new(1.0_f64, 2.0, 3.0);
+        let _ = v[3];
+    }
+
+    #[test]
+    fn conversions() {
+        let v = Vec3::from([1.0_f32, 2.0, 3.0]);
+        let a: [f32; 3] = v.into();
+        assert_eq!(a, [1.0, 2.0, 3.0]);
+        let w: Vec3<f32> = Vec3::from_f64(v.to_f64());
+        assert_eq!(w, v);
+    }
+
+    #[test]
+    fn mul_add_and_hadamard() {
+        let a = Vec3::new(1.0_f64, 2.0, 3.0);
+        let b = Vec3::new(10.0, 20.0, 30.0);
+        assert_eq!(a.mul_add(2.0, b), Vec3::new(12.0, 24.0, 36.0));
+        assert_eq!(a.hadamard(b), Vec3::new(10.0, 40.0, 90.0));
+    }
+
+    #[test]
+    fn min_max_abs() {
+        let a = Vec3::new(-5.0_f64, 2.0, 3.0);
+        let b = Vec3::new(1.0, -2.0, 4.0);
+        assert_eq!(a.min(b), Vec3::new(-5.0, -2.0, 3.0));
+        assert_eq!(a.max(b), Vec3::new(1.0, 2.0, 4.0));
+        assert_eq!(a.max_abs(), 5.0);
+    }
+
+    #[test]
+    fn sum_of_vectors() {
+        let vs = [Vec3::new(1.0_f64, 0.0, 0.0), Vec3::new(0.0, 2.0, 0.0)];
+        let s: Vec3<f64> = vs.into_iter().sum();
+        assert_eq!(s, Vec3::new(1.0, 2.0, 0.0));
+    }
+}

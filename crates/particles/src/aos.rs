@@ -1,0 +1,366 @@
+//! Array-of-structures ensemble (paper §3, the `AoS` pattern).
+
+use crate::particle::Particle;
+use crate::view::{Layout, ParticleAccess, ParticleStore};
+use pic_math::Real;
+
+/// The AoS ensemble: a single contiguous array of [`Particle`] records,
+/// matching the paper's "array of objects" pattern. Preserves per-particle
+/// memory locality; vector loads become strided (paper §3's trade-off).
+///
+/// # Example
+///
+/// ```
+/// use pic_particles::{AosEnsemble, Particle, ParticleAccess, ParticleStore};
+///
+/// let mut ens = AosEnsemble::<f64>::new();
+/// ens.push(Particle::default());
+/// ens.push(Particle::default());
+/// let chunks = ens.split_mut(1);
+/// assert_eq!(chunks.len(), 2);
+/// ```
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct AosEnsemble<R> {
+    items: Vec<Particle<R>>,
+}
+
+impl<R: Real> AosEnsemble<R> {
+    /// Creates an empty ensemble.
+    pub fn new() -> AosEnsemble<R> {
+        AosEnsemble { items: Vec::new() }
+    }
+
+    /// Creates an empty ensemble with room for `capacity` particles.
+    pub fn with_capacity(capacity: usize) -> AosEnsemble<R> {
+        AosEnsemble { items: Vec::with_capacity(capacity) }
+    }
+
+    /// Borrows the backing records.
+    pub fn as_slice(&self) -> &[Particle<R>] {
+        &self.items
+    }
+
+    /// Mutably borrows the backing records.
+    pub fn as_mut_slice(&mut self) -> &mut [Particle<R>] {
+        &mut self.items
+    }
+
+    /// Consumes the ensemble, returning the backing vector.
+    pub fn into_inner(self) -> Vec<Particle<R>> {
+        self.items
+    }
+}
+
+impl<R: Real> From<Vec<Particle<R>>> for AosEnsemble<R> {
+    fn from(items: Vec<Particle<R>>) -> Self {
+        AosEnsemble { items }
+    }
+}
+
+impl<R: Real> FromIterator<Particle<R>> for AosEnsemble<R> {
+    fn from_iter<I: IntoIterator<Item = Particle<R>>>(iter: I) -> Self {
+        AosEnsemble { items: iter.into_iter().collect() }
+    }
+}
+
+impl<R: Real> Extend<Particle<R>> for AosEnsemble<R> {
+    fn extend<I: IntoIterator<Item = Particle<R>>>(&mut self, iter: I) {
+        self.items.extend(iter);
+    }
+}
+
+/// A disjoint mutable chunk of an [`AosEnsemble`], produced by
+/// [`ParticleAccess::split_mut`] for the parallel runtime.
+#[derive(Debug)]
+pub struct AosChunkMut<'a, R> {
+    offset: usize,
+    items: &'a mut [Particle<R>],
+}
+
+impl<'a, R: Real> AosChunkMut<'a, R> {
+    /// Borrows the chunk's records.
+    pub fn as_slice(&self) -> &[Particle<R>] {
+        self.items
+    }
+
+    /// Mutably borrows the chunk's records.
+    pub fn as_mut_slice(&mut self) -> &mut [Particle<R>] {
+        self.items
+    }
+}
+
+fn split_aos<'a, R: Real>(
+    base: usize,
+    mut items: &'a mut [Particle<R>],
+    sizes: &[usize],
+) -> Vec<AosChunkMut<'a, R>> {
+    assert_eq!(
+        sizes.iter().sum::<usize>(),
+        items.len(),
+        "split_sizes_mut: sizes must sum to the collection length"
+    );
+    let mut out = Vec::new();
+    let mut offset = 0usize;
+    for &size in sizes {
+        if size == 0 {
+            continue;
+        }
+        let (head, tail) = items.split_at_mut(size);
+        out.push(AosChunkMut { offset: base + offset, items: head });
+        offset += size;
+        items = tail;
+    }
+    out
+}
+
+impl<R: Real> ParticleAccess<R> for AosEnsemble<R> {
+    type ViewMut<'v>
+        = &'v mut Particle<R>
+    where
+        Self: 'v;
+    type ChunkMut<'v>
+        = AosChunkMut<'v, R>
+    where
+        Self: 'v;
+
+    fn layout(&self) -> Layout {
+        Layout::Aos
+    }
+
+    fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    #[inline(always)]
+    fn get(&self, i: usize) -> Particle<R> {
+        self.items[i]
+    }
+
+    #[inline(always)]
+    fn set(&mut self, i: usize, p: &Particle<R>) {
+        self.items[i] = *p;
+    }
+
+    #[inline(always)]
+    fn view_mut(&mut self, i: usize) -> Self::ViewMut<'_> {
+        &mut self.items[i]
+    }
+
+    #[inline]
+    fn for_each_mut<K: crate::view::ParticleKernel<R>>(&mut self, kernel: &mut K) {
+        for (i, p) in self.items.iter_mut().enumerate() {
+            kernel.apply(i, p);
+        }
+    }
+
+    fn split_sizes_mut(&mut self, sizes: &[usize]) -> Vec<Self::ChunkMut<'_>> {
+        split_aos(0, &mut self.items, sizes)
+    }
+}
+
+impl<'c, R: Real> ParticleAccess<R> for AosChunkMut<'c, R> {
+    type ViewMut<'v>
+        = &'v mut Particle<R>
+    where
+        Self: 'v;
+    type ChunkMut<'v>
+        = AosChunkMut<'v, R>
+    where
+        Self: 'v;
+
+    fn layout(&self) -> Layout {
+        Layout::Aos
+    }
+
+    fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    fn base_index(&self) -> usize {
+        self.offset
+    }
+
+    #[inline(always)]
+    fn get(&self, i: usize) -> Particle<R> {
+        self.items[i]
+    }
+
+    #[inline(always)]
+    fn set(&mut self, i: usize, p: &Particle<R>) {
+        self.items[i] = *p;
+    }
+
+    #[inline(always)]
+    fn view_mut(&mut self, i: usize) -> Self::ViewMut<'_> {
+        &mut self.items[i]
+    }
+
+    #[inline]
+    fn for_each_mut<K: crate::view::ParticleKernel<R>>(&mut self, kernel: &mut K) {
+        let base = self.offset;
+        for (i, p) in self.items.iter_mut().enumerate() {
+            kernel.apply(base + i, p);
+        }
+    }
+
+    fn split_sizes_mut(&mut self, sizes: &[usize]) -> Vec<Self::ChunkMut<'_>> {
+        split_aos(self.offset, self.items, sizes)
+    }
+}
+
+impl<R: Real> ParticleStore<R> for AosEnsemble<R> {
+    fn push(&mut self, p: Particle<R>) {
+        self.items.push(p);
+    }
+
+    fn clear(&mut self) {
+        self.items.clear();
+    }
+
+    fn reserve(&mut self, additional: usize) {
+        self.items.reserve(additional);
+    }
+
+    fn swap_remove(&mut self, i: usize) -> Particle<R> {
+        self.items.swap_remove(i)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::species::SpeciesId;
+    use crate::view::ParticleView;
+    use pic_math::Vec3;
+
+    fn sample(n: usize) -> AosEnsemble<f64> {
+        (0..n)
+            .map(|i| Particle {
+                position: Vec3::new(i as f64, 0.0, 0.0),
+                momentum: Vec3::zero(),
+                weight: 1.0,
+                gamma: 1.0,
+                species: SpeciesId(0),
+            })
+            .collect()
+    }
+
+    #[test]
+    fn push_get_set_roundtrip() {
+        let mut ens = AosEnsemble::<f64>::new();
+        let p = Particle::at_rest(Vec3::new(1.0, 2.0, 3.0), 5.0, SpeciesId(3));
+        ens.push(p);
+        assert_eq!(ens.get(0), p);
+        let q = Particle::at_rest(Vec3::zero(), 7.0, SpeciesId(1));
+        ens.set(0, &q);
+        assert_eq!(ens.get(0), q);
+    }
+
+    #[test]
+    fn for_each_mut_visits_all_in_order() {
+        let mut ens = sample(10);
+        let mut seen = Vec::new();
+        let mut kernel = crate::view::DynKernel(|i: usize, v: &mut dyn ParticleView<f64>| {
+            seen.push(i);
+            let mut pos = v.position();
+            pos.y = 1.0;
+            v.set_position(pos);
+        });
+        ens.for_each_mut(&mut kernel);
+        drop(kernel);
+        assert_eq!(seen, (0..10).collect::<Vec<_>>());
+        assert!(ens.as_slice().iter().all(|p| p.position.y == 1.0));
+    }
+
+    #[test]
+    fn chunk_for_each_passes_global_indices() {
+        let mut ens = sample(7);
+        let mut chunks = ens.split_mut(3);
+        let mut seen = Vec::new();
+        for c in &mut chunks {
+            let mut kernel = crate::view::DynKernel(|i: usize, _: &mut dyn ParticleView<f64>| {
+                seen.push(i);
+            });
+            c.for_each_mut(&mut kernel);
+        }
+        assert_eq!(seen, (0..7).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn split_mut_covers_disjointly() {
+        let mut ens = sample(10);
+        let chunks = ens.split_mut(3);
+        assert_eq!(chunks.len(), 4);
+        let sizes: Vec<usize> = chunks.iter().map(|c| c.len()).collect();
+        assert_eq!(sizes, vec![3, 3, 3, 1]);
+        let offsets: Vec<usize> = chunks.iter().map(|c| c.base_index()).collect();
+        assert_eq!(offsets, vec![0, 3, 6, 9]);
+    }
+
+    #[test]
+    fn chunk_mutation_reaches_parent() {
+        let mut ens = sample(6);
+        {
+            let mut chunks = ens.split_mut(2);
+            for c in &mut chunks {
+                let n = c.len();
+                for i in 0..n {
+                    let global = c.base_index() + i;
+                    let v = c.view_mut(i);
+                    v.set_weight(global as f64);
+                }
+            }
+        }
+        for (i, p) in ens.as_slice().iter().enumerate() {
+            assert_eq!(p.weight, i as f64);
+        }
+    }
+
+    #[test]
+    fn nested_split() {
+        let mut ens = sample(8);
+        let mut top = ens.split_mut(4);
+        let sub = top[1].split_mut(2);
+        assert_eq!(sub.len(), 2);
+        assert_eq!(sub[0].base_index(), 4);
+        assert_eq!(sub[1].base_index(), 6);
+    }
+
+    #[test]
+    fn retain_drops_failing_particles() {
+        let mut ens = sample(10);
+        let removed = ens.retain(|p| p.position.x < 5.0);
+        assert_eq!(removed, 5);
+        assert_eq!(ens.len(), 5);
+        assert!(ens.as_slice().iter().all(|p| p.position.x < 5.0));
+        // Keeping everything is a no-op.
+        assert_eq!(ens.retain(|_| true), 0);
+        // Dropping everything empties the store.
+        assert_eq!(ens.retain(|_| false), 5);
+        assert!(ens.is_empty());
+    }
+
+    #[test]
+    fn swap_remove_keeps_rest() {
+        let mut ens = sample(4);
+        let removed = ens.swap_remove(1);
+        assert_eq!(removed.position.x, 1.0);
+        assert_eq!(ens.len(), 3);
+        assert_eq!(ens.get(1).position.x, 3.0); // last swapped in
+    }
+
+    #[test]
+    #[should_panic(expected = "chunk_size must be positive")]
+    fn zero_chunk_size_panics() {
+        let mut ens = sample(2);
+        let _ = ens.split_mut(0);
+    }
+
+    #[test]
+    fn collect_and_extend() {
+        let mut ens: AosEnsemble<f64> = sample(2).into_inner().into_iter().collect();
+        ens.extend(sample(3).into_inner());
+        assert_eq!(ens.len(), 5);
+        assert_eq!(ens.to_particles().len(), 5);
+    }
+}

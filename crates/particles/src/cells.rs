@@ -1,0 +1,284 @@
+//! Per-cell particle storage — the *first* ensemble organization the paper
+//! describes (§3): "each cell stores its own array of particles. This
+//! representation has many advantages, but it requires handling the
+//! movement of particles between cells, which causes an additional
+//! overhead."
+//!
+//! Hi-Chi (and this reproduction's benchmark path) uses the second
+//! organization — one global array with periodic sorting — but the
+//! comparison baseline deserves a real implementation: [`CellEnsemble`]
+//! keeps one `Vec<Particle>` per cell and exposes the migration step whose
+//! cost is the organization's defining trade-off.
+
+use crate::particle::Particle;
+use crate::sort::CellGrid;
+use crate::view::ParticleKernel;
+use pic_math::Real;
+
+/// A particle ensemble stored as one array per grid cell.
+///
+/// # Example
+///
+/// ```
+/// use pic_math::Vec3;
+/// use pic_particles::cells::CellEnsemble;
+/// use pic_particles::sort::CellGrid;
+/// use pic_particles::{Particle, SpeciesId};
+///
+/// let grid = CellGrid::new(Vec3::zero(), Vec3::splat(4.0), [4, 4, 4]);
+/// let mut ens = CellEnsemble::<f64>::new(grid);
+/// ens.push(Particle::at_rest(Vec3::splat(0.5), 1.0, SpeciesId(0)));
+/// assert_eq!(ens.len(), 1);
+/// assert_eq!(ens.cell_len(0), 1); // cell (0,0,0)
+/// ```
+#[derive(Clone, Debug)]
+pub struct CellEnsemble<R> {
+    grid: CellGrid,
+    cells: Vec<Vec<Particle<R>>>,
+}
+
+impl<R: Real> CellEnsemble<R> {
+    /// Creates an empty ensemble over `grid`.
+    pub fn new(grid: CellGrid) -> CellEnsemble<R> {
+        let cells = vec![Vec::new(); grid.cell_count()];
+        CellEnsemble { grid, cells }
+    }
+
+    /// The sorting grid.
+    pub fn grid(&self) -> &CellGrid {
+        &self.grid
+    }
+
+    /// Total number of particles.
+    pub fn len(&self) -> usize {
+        self.cells.iter().map(Vec::len).sum()
+    }
+
+    /// `true` when no particle is stored.
+    pub fn is_empty(&self) -> bool {
+        self.cells.iter().all(Vec::is_empty)
+    }
+
+    /// Number of cells.
+    pub fn cell_count(&self) -> usize {
+        self.cells.len()
+    }
+
+    /// Particles currently in cell `c`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `c` is out of range.
+    pub fn cell_len(&self, c: usize) -> usize {
+        self.cells[c].len()
+    }
+
+    /// Borrow of one cell's particles.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `c` is out of range.
+    pub fn cell(&self, c: usize) -> &[Particle<R>] {
+        &self.cells[c]
+    }
+
+    /// Inserts a particle into the cell containing its position.
+    pub fn push(&mut self, p: Particle<R>) {
+        let c = self.grid.cell_index(p.position.to_f64());
+        self.cells[c].push(p);
+    }
+
+    /// Builds a per-cell ensemble from owned records.
+    pub fn from_particles<I: IntoIterator<Item = Particle<R>>>(
+        grid: CellGrid,
+        iter: I,
+    ) -> CellEnsemble<R> {
+        let mut ens = CellEnsemble::new(grid);
+        for p in iter {
+            ens.push(p);
+        }
+        ens
+    }
+
+    /// Copies all particles out, cell by cell.
+    pub fn to_particles(&self) -> Vec<Particle<R>> {
+        self.cells.iter().flatten().copied().collect()
+    }
+
+    /// Applies `kernel` to every particle (cell-major order; indices are
+    /// running global indices in that order).
+    pub fn for_each_mut<K: ParticleKernel<R>>(&mut self, kernel: &mut K) {
+        let mut index = 0usize;
+        for cell in &mut self.cells {
+            for p in cell.iter_mut() {
+                kernel.apply(index, p);
+                index += 1;
+            }
+        }
+    }
+
+    /// Moves every particle whose position left its cell into the correct
+    /// cell, returning how many migrated — the per-step overhead this
+    /// organization pays instead of the global array's periodic sort.
+    pub fn migrate(&mut self) -> usize {
+        let mut moved = Vec::new();
+        for c in 0..self.cells.len() {
+            let mut i = 0;
+            while i < self.cells[c].len() {
+                let target = self.grid.cell_index(self.cells[c][i].position.to_f64());
+                if target != c {
+                    moved.push((target, self.cells[c].swap_remove(i)));
+                } else {
+                    i += 1;
+                }
+            }
+        }
+        let count = moved.len();
+        for (target, p) in moved {
+            self.cells[target].push(p);
+        }
+        count
+    }
+
+    /// `true` when every particle is stored in the cell containing its
+    /// position (the invariant [`migrate`](Self::migrate) restores).
+    pub fn is_consistent(&self) -> bool {
+        self.cells.iter().enumerate().all(|(c, cell)| {
+            cell.iter()
+                .all(|p| self.grid.cell_index(p.position.to_f64()) == c)
+        })
+    }
+
+    /// Occupancy statistics `(min, mean, max)` particles per cell.
+    pub fn occupancy(&self) -> (usize, f64, usize) {
+        let min = self.cells.iter().map(Vec::len).min().unwrap_or(0);
+        let max = self.cells.iter().map(Vec::len).max().unwrap_or(0);
+        let mean = self.len() as f64 / self.cell_count() as f64;
+        (min, mean, max)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::aos::AosEnsemble;
+    use crate::species::SpeciesId;
+    use crate::view::{DynKernel, ParticleAccess, ParticleView};
+    use pic_math::Vec3;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn grid() -> CellGrid {
+        CellGrid::new(Vec3::zero(), Vec3::splat(8.0), [8, 8, 8])
+    }
+
+    fn random_particles(n: usize, seed: u64) -> Vec<Particle<f64>> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        (0..n)
+            .map(|i| {
+                let mut p = Particle::at_rest(
+                    Vec3::new(
+                        rng.gen_range(0.0..8.0),
+                        rng.gen_range(0.0..8.0),
+                        rng.gen_range(0.0..8.0),
+                    ),
+                    1.0,
+                    SpeciesId(0),
+                );
+                p.weight = i as f64;
+                p
+            })
+            .collect()
+    }
+
+    #[test]
+    fn push_routes_to_the_right_cell() {
+        let mut ens = CellEnsemble::<f64>::new(grid());
+        ens.push(Particle::at_rest(Vec3::new(7.5, 0.5, 0.5), 1.0, SpeciesId(0)));
+        assert_eq!(ens.len(), 1);
+        assert_eq!(ens.cell_len(7), 1);
+        assert!(ens.is_consistent());
+    }
+
+    #[test]
+    fn holds_the_same_multiset_as_a_global_array() {
+        let particles = random_particles(500, 1);
+        let ens = CellEnsemble::from_particles(grid(), particles.clone());
+        assert_eq!(ens.len(), 500);
+        let mut a: Vec<f64> = ens.to_particles().iter().map(|p| p.weight).collect();
+        let mut b: Vec<f64> = particles.iter().map(|p| p.weight).collect();
+        a.sort_by(|x, y| x.partial_cmp(y).unwrap());
+        b.sort_by(|x, y| x.partial_cmp(y).unwrap());
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn migration_restores_consistency_after_motion() {
+        let mut ens = CellEnsemble::from_particles(grid(), random_particles(400, 2));
+        // Move every particle by +0.6 cells in x (periodic wrap by hand).
+        let mut kernel = DynKernel(|_i, v: &mut dyn ParticleView<f64>| {
+            let mut pos = v.position();
+            pos.x = (pos.x + 0.6) % 8.0;
+            v.set_position(pos);
+        });
+        ens.for_each_mut(&mut kernel);
+        assert!(!ens.is_consistent());
+        let migrated = ens.migrate();
+        assert!(ens.is_consistent());
+        // With a 0.6-cell shift, roughly 60% of particles change cell.
+        let frac = migrated as f64 / ens.len() as f64;
+        assert!((0.4..0.8).contains(&frac), "migrated fraction {frac}");
+        // Nothing lost.
+        assert_eq!(ens.len(), 400);
+    }
+
+    #[test]
+    fn migrate_is_idempotent() {
+        let mut ens = CellEnsemble::from_particles(grid(), random_particles(100, 3));
+        assert_eq!(ens.migrate(), 0);
+        assert_eq!(ens.migrate(), 0);
+    }
+
+    #[test]
+    fn kernel_results_match_global_array() {
+        // The same order-independent kernel applied to both organizations
+        // produces the same multiset of particles.
+        let particles = random_particles(300, 4);
+        let mut cell_ens = CellEnsemble::from_particles(grid(), particles.clone());
+        let mut aos: AosEnsemble<f64> = particles.into_iter().collect();
+
+        let mut k1 = DynKernel(|_i, v: &mut dyn ParticleView<f64>| {
+            let pos = v.position();
+            v.set_gamma(1.0 + pos.norm2());
+        });
+        cell_ens.for_each_mut(&mut k1);
+        let mut k2 = DynKernel(|_i, v: &mut dyn ParticleView<f64>| {
+            let pos = v.position();
+            v.set_gamma(1.0 + pos.norm2());
+        });
+        aos.for_each_mut(&mut k2);
+
+        let mut a: Vec<(f64, f64)> = cell_ens
+            .to_particles()
+            .iter()
+            .map(|p| (p.weight, p.gamma))
+            .collect();
+        let mut b: Vec<(f64, f64)> =
+            aos.as_slice().iter().map(|p| (p.weight, p.gamma)).collect();
+        a.sort_by(|x, y| x.partial_cmp(y).unwrap());
+        b.sort_by(|x, y| x.partial_cmp(y).unwrap());
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn occupancy_stats() {
+        let ens = CellEnsemble::from_particles(grid(), random_particles(512, 5));
+        let (min, mean, max) = ens.occupancy();
+        assert!((mean - 1.0).abs() < 1e-12);
+        assert!(min <= 1 && max >= 1);
+        assert!(!ens.is_empty());
+        assert_eq!(ens.cell_count(), 512);
+        assert_eq!(ens.grid().cell_count(), 512);
+        assert!(!ens.cell(0).is_empty() || ens.cell_len(0) == 0);
+    }
+}

@@ -1,0 +1,286 @@
+//! Initial particle distributions.
+//!
+//! The paper's benchmark (§5.2) starts from "electrons at rest, distributed
+//! uniformly within the sphere with radius r = 0.6λ". This module provides
+//! that distribution plus the usual PIC initialisations (uniform box,
+//! Maxwellian momenta) used by the full simulation substrate.
+
+use crate::particle::{lorentz_gamma, Particle};
+use crate::species::{Species, SpeciesId};
+use crate::view::ParticleStore;
+use pic_math::constants::LIGHT_VELOCITY;
+use pic_math::{Real, Vec3};
+use rand::Rng;
+
+/// A uniform-density sphere.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct SphereDist {
+    /// Sphere centre, cm.
+    pub center: Vec3<f64>,
+    /// Sphere radius, cm.
+    pub radius: f64,
+}
+
+/// An axis-aligned uniform-density box.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct BoxDist {
+    /// Lower corner, cm.
+    pub min: Vec3<f64>,
+    /// Upper corner, cm.
+    pub max: Vec3<f64>,
+}
+
+/// Samples a point uniformly inside a sphere (exact inverse-CDF sampling:
+/// radius ∝ u^(1/3), direction isotropic).
+pub fn sample_sphere<G: Rng + ?Sized>(dist: &SphereDist, rng: &mut G) -> Vec3<f64> {
+    let dir = sample_unit_vector(rng);
+    let r = dist.radius * rng.gen::<f64>().powf(1.0 / 3.0);
+    dist.center + dir * r
+}
+
+/// Samples an isotropic unit vector (Marsaglia's method on the sphere).
+pub fn sample_unit_vector<G: Rng + ?Sized>(rng: &mut G) -> Vec3<f64> {
+    loop {
+        let x = rng.gen::<f64>() * 2.0 - 1.0;
+        let y = rng.gen::<f64>() * 2.0 - 1.0;
+        let z = rng.gen::<f64>() * 2.0 - 1.0;
+        let n2 = x * x + y * y + z * z;
+        if n2 > 1e-12 && n2 <= 1.0 {
+            let inv = n2.sqrt().recip();
+            return Vec3::new(x * inv, y * inv, z * inv);
+        }
+    }
+}
+
+/// Samples a point uniformly inside a box.
+pub fn sample_box<G: Rng + ?Sized>(dist: &BoxDist, rng: &mut G) -> Vec3<f64> {
+    Vec3::new(
+        rng.gen_range(dist.min.x..dist.max.x),
+        rng.gen_range(dist.min.y..dist.max.y),
+        rng.gen_range(dist.min.z..dist.max.z),
+    )
+}
+
+/// Samples a standard normal variate (Box–Muller; `rand_distr` is not a
+/// permitted dependency, so the transform is implemented here).
+pub fn sample_standard_normal<G: Rng + ?Sized>(rng: &mut G) -> f64 {
+    let u1: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
+    let u2: f64 = rng.gen();
+    (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
+}
+
+/// Fills `store` with `n` particles of `species` at rest, uniformly
+/// distributed in `sphere` — the paper's benchmark initial condition.
+pub fn fill_sphere_at_rest<R, S, G>(
+    store: &mut S,
+    n: usize,
+    sphere: &SphereDist,
+    weight: f64,
+    species: SpeciesId,
+    rng: &mut G,
+) where
+    R: Real,
+    S: ParticleStore<R>,
+    G: Rng + ?Sized,
+{
+    store.reserve(n);
+    for _ in 0..n {
+        let pos = sample_sphere(sphere, rng);
+        store.push(Particle::at_rest(
+            Vec3::from_f64(pos),
+            R::from_f64(weight),
+            species,
+        ));
+    }
+}
+
+/// Fills `store` with `n` particles uniformly distributed in `bounds` with
+/// non-relativistic Maxwellian momenta of temperature `temperature_erg`
+/// (momentum spread per axis: √(m·k_B T), with the temperature given in
+/// energy units).
+pub fn fill_box_maxwellian<R, S, G>(
+    store: &mut S,
+    n: usize,
+    bounds: &BoxDist,
+    temperature_erg: f64,
+    weight: f64,
+    species_id: SpeciesId,
+    species: &Species<R>,
+    rng: &mut G,
+) where
+    R: Real,
+    S: ParticleStore<R>,
+    G: Rng + ?Sized,
+{
+    let sigma = (species.mass.to_f64() * temperature_erg).sqrt();
+    store.reserve(n);
+    for _ in 0..n {
+        let pos = sample_box(bounds, rng);
+        let p = Vec3::new(
+            sigma * sample_standard_normal(rng),
+            sigma * sample_standard_normal(rng),
+            sigma * sample_standard_normal(rng),
+        );
+        let momentum = Vec3::<R>::from_f64(p);
+        store.push(Particle::new(
+            Vec3::from_f64(pos),
+            momentum,
+            R::from_f64(weight),
+            species_id,
+            species.mass,
+        ));
+    }
+}
+
+/// Fills `store` with a cold drifting beam: `n` particles in `bounds`, all
+/// with momentum `gamma_beta · m c` along `direction`.
+pub fn fill_box_beam<R, S, G>(
+    store: &mut S,
+    n: usize,
+    bounds: &BoxDist,
+    gamma_beta: f64,
+    direction: Vec3<f64>,
+    weight: f64,
+    species_id: SpeciesId,
+    species: &Species<R>,
+    rng: &mut G,
+) where
+    R: Real,
+    S: ParticleStore<R>,
+    G: Rng + ?Sized,
+{
+    let mc = species.mass.to_f64() * LIGHT_VELOCITY;
+    let p = direction.normalized() * (gamma_beta * mc);
+    let momentum = Vec3::<R>::from_f64(p);
+    let gamma = lorentz_gamma(momentum, species.mass);
+    store.reserve(n);
+    for _ in 0..n {
+        let pos = sample_box(bounds, rng);
+        store.push(Particle {
+            position: Vec3::from_f64(pos),
+            momentum,
+            weight: R::from_f64(weight),
+            gamma,
+            species: species_id,
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::aos::AosEnsemble;
+    use crate::soa::SoaEnsemble;
+    use crate::species::SpeciesTable;
+    use crate::view::ParticleAccess;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    const EL: SpeciesId = SpeciesTable::<f64>::ELECTRON;
+
+    #[test]
+    fn sphere_points_inside_radius() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let d = SphereDist { center: Vec3::new(1.0, 2.0, 3.0), radius: 0.5 };
+        for _ in 0..1000 {
+            let p = sample_sphere(&d, &mut rng);
+            assert!((p - d.center).norm() <= d.radius + 1e-12);
+        }
+    }
+
+    #[test]
+    fn sphere_radius_distribution_is_uniform_density() {
+        // For uniform density, the fraction of points with r < R/2 is 1/8.
+        let mut rng = StdRng::seed_from_u64(2);
+        let d = SphereDist { center: Vec3::zero(), radius: 1.0 };
+        let n = 20000;
+        let inside = (0..n)
+            .filter(|_| sample_sphere(&d, &mut rng).norm() < 0.5)
+            .count();
+        let frac = inside as f64 / n as f64;
+        assert!((frac - 0.125).abs() < 0.01, "frac = {frac}");
+    }
+
+    #[test]
+    fn unit_vectors_are_isotropic() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let n = 20000;
+        let mean: Vec3<f64> =
+            (0..n).map(|_| sample_unit_vector(&mut rng)).sum::<Vec3<f64>>() / n as f64;
+        assert!(mean.norm() < 0.02, "mean = {mean}");
+    }
+
+    #[test]
+    fn normal_sampler_moments() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let n = 50000;
+        let xs: Vec<f64> = (0..n).map(|_| sample_standard_normal(&mut rng)).collect();
+        let mean = xs.iter().sum::<f64>() / n as f64;
+        let var = xs.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / (n - 1) as f64;
+        assert!(mean.abs() < 0.02, "mean = {mean}");
+        assert!((var - 1.0).abs() < 0.03, "var = {var}");
+    }
+
+    #[test]
+    fn fill_sphere_matches_paper_setup() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let lambda = pic_math::constants::BENCH_WAVELENGTH;
+        let d = SphereDist { center: Vec3::zero(), radius: 0.6 * lambda };
+        let mut ens = SoaEnsemble::<f32>::new();
+        fill_sphere_at_rest(&mut ens, 500, &d, 1.0, EL, &mut rng);
+        assert_eq!(ens.len(), 500);
+        for i in 0..ens.len() {
+            let p = ens.get(i);
+            assert_eq!(p.momentum, Vec3::zero());
+            assert_eq!(p.gamma, 1.0);
+            assert!(p.position.to_f64().norm() <= 0.6 * lambda * 1.0001);
+        }
+    }
+
+    #[test]
+    fn seeded_fills_are_deterministic_across_layouts() {
+        let d = SphereDist { center: Vec3::zero(), radius: 1.0 };
+        let mut aos = AosEnsemble::<f64>::new();
+        let mut soa = SoaEnsemble::<f64>::new();
+        fill_sphere_at_rest(&mut aos, 100, &d, 1.0, EL, &mut StdRng::seed_from_u64(9));
+        fill_sphere_at_rest(&mut soa, 100, &d, 1.0, EL, &mut StdRng::seed_from_u64(9));
+        for i in 0..100 {
+            assert_eq!(aos.get(i), soa.get(i));
+        }
+    }
+
+    #[test]
+    fn maxwellian_fill_has_expected_spread() {
+        let mut rng = StdRng::seed_from_u64(6);
+        let table = SpeciesTable::<f64>::with_standard_species();
+        let e = *table.get(EL);
+        let bounds = BoxDist { min: Vec3::zero(), max: Vec3::splat(1.0) };
+        let temp = 1.0e-9; // erg, nonrelativistic for electrons
+        let mut ens = AosEnsemble::<f64>::new();
+        fill_box_maxwellian(&mut ens, 20000, &bounds, temp, 1.0, EL, &e, &mut rng);
+        let sigma2 = e.mass.to_f64() * temp;
+        let var = ens
+            .as_slice()
+            .iter()
+            .map(|p| p.momentum.x * p.momentum.x)
+            .sum::<f64>()
+            / ens.len() as f64;
+        assert!((var / sigma2 - 1.0).abs() < 0.05, "var ratio = {}", var / sigma2);
+    }
+
+    #[test]
+    fn beam_fill_is_monoenergetic() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let table = SpeciesTable::<f64>::with_standard_species();
+        let e = *table.get(EL);
+        let bounds = BoxDist { min: Vec3::zero(), max: Vec3::splat(1.0) };
+        let mut ens = AosEnsemble::<f64>::new();
+        fill_box_beam(&mut ens, 50, &bounds, 3.0, Vec3::new(0.0, 0.0, 2.0), 1.0, EL, &e, &mut rng);
+        let expect_gamma = (1.0f64 + 9.0).sqrt();
+        for p in ens.as_slice() {
+            assert!((p.gamma - expect_gamma).abs() < 1e-12);
+            assert_eq!(p.momentum.x, 0.0);
+            assert!(p.momentum.z > 0.0);
+        }
+    }
+}

@@ -1,0 +1,213 @@
+//! Ensemble snapshots: plain-text export/import.
+//!
+//! Hi-Chi's Python layer handles I/O in the original project; downstream
+//! users of this library still need to move ensembles in and out (seeding
+//! from external tools, checkpointing long runs, plotting). The format is
+//! deliberately trivial: one header line, then one whitespace-separated
+//! line per particle — readable by `numpy.loadtxt` and by this module's
+//! [`read_ensemble`].
+
+use crate::particle::Particle;
+use crate::species::SpeciesId;
+use crate::view::{ParticleAccess, ParticleStore};
+use pic_math::{Real, Vec3};
+use std::io::{self, BufRead, Write};
+
+/// The header line written before the particle records.
+pub const HEADER: &str = "# x y z px py pz weight gamma species";
+
+/// Writes an ensemble as text (full `f64` precision, round-trip safe).
+///
+/// # Errors
+///
+/// Propagates any I/O error from `out`.
+///
+/// # Example
+///
+/// ```
+/// use pic_particles::io::{read_ensemble, write_ensemble};
+/// use pic_particles::{AosEnsemble, Particle, ParticleStore};
+///
+/// # fn main() -> std::io::Result<()> {
+/// let ens = AosEnsemble::<f64>::from_particles(
+///     (0..3).map(|_| Particle::default()));
+/// let mut buf = Vec::new();
+/// write_ensemble(&ens, &mut buf)?;
+/// let back: AosEnsemble<f64> = read_ensemble(buf.as_slice())?;
+/// assert_eq!(ens, back);
+/// # Ok(())
+/// # }
+/// ```
+pub fn write_ensemble<R, A, W>(store: &A, out: &mut W) -> io::Result<()>
+where
+    R: Real,
+    A: ParticleAccess<R>,
+    W: Write,
+{
+    writeln!(out, "{HEADER}")?;
+    for i in 0..store.len() {
+        let p = store.get(i);
+        let pos = p.position.to_f64();
+        let mom = p.momentum.to_f64();
+        writeln!(
+            out,
+            "{:e} {:e} {:e} {:e} {:e} {:e} {:e} {:e} {}",
+            pos.x,
+            pos.y,
+            pos.z,
+            mom.x,
+            mom.y,
+            mom.z,
+            p.weight.to_f64(),
+            p.gamma.to_f64(),
+            p.species.0
+        )?;
+    }
+    Ok(())
+}
+
+/// Reads an ensemble written by [`write_ensemble`]. Lines starting with
+/// `#` and blank lines are skipped.
+///
+/// # Errors
+///
+/// Returns `InvalidData` for malformed records, otherwise propagates I/O
+/// errors.
+pub fn read_ensemble<R, S, I>(input: I) -> io::Result<S>
+where
+    R: Real,
+    S: ParticleStore<R>,
+    I: io::Read,
+{
+    let mut store = S::default();
+    let reader = io::BufReader::new(input);
+    for (lineno, line) in reader.lines().enumerate() {
+        let line = line?;
+        let trimmed = line.trim();
+        if trimmed.is_empty() || trimmed.starts_with('#') {
+            continue;
+        }
+        let fields: Vec<&str> = trimmed.split_whitespace().collect();
+        if fields.len() != 9 {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("line {}: expected 9 fields, got {}", lineno + 1, fields.len()),
+            ));
+        }
+        let num = |s: &str| -> io::Result<f64> {
+            s.parse().map_err(|e| {
+                io::Error::new(
+                    io::ErrorKind::InvalidData,
+                    format!("line {}: bad number {s:?}: {e}", lineno + 1),
+                )
+            })
+        };
+        let species: u16 = fields[8].parse().map_err(|e| {
+            io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("line {}: bad species id: {e}", lineno + 1),
+            )
+        })?;
+        store.push(Particle {
+            position: Vec3::from_f64(Vec3::new(num(fields[0])?, num(fields[1])?, num(fields[2])?)),
+            momentum: Vec3::from_f64(Vec3::new(num(fields[3])?, num(fields[4])?, num(fields[5])?)),
+            weight: R::from_f64(num(fields[6])?),
+            gamma: R::from_f64(num(fields[7])?),
+            species: SpeciesId(species),
+        });
+    }
+    Ok(store)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::aos::AosEnsemble;
+    use crate::soa::SoaEnsemble;
+    use pic_math::constants::{ELECTRON_MASS, LIGHT_VELOCITY};
+
+    fn sample() -> AosEnsemble<f64> {
+        (0..25)
+            .map(|i| {
+                Particle::new(
+                    Vec3::new(i as f64 * 1.7e-5, -3.3e-4, 2.0e-6 * i as f64),
+                    Vec3::splat((i as f64 - 12.0) * 1e-18),
+                    1.0 + i as f64,
+                    SpeciesId((i % 3) as u16),
+                    ELECTRON_MASS,
+                )
+            })
+            .collect()
+    }
+
+    #[test]
+    fn roundtrip_is_exact_f64() {
+        let ens = sample();
+        let mut buf = Vec::new();
+        write_ensemble(&ens, &mut buf).unwrap();
+        let back: AosEnsemble<f64> = read_ensemble(buf.as_slice()).unwrap();
+        assert_eq!(ens, back);
+    }
+
+    #[test]
+    fn roundtrip_across_layouts() {
+        let ens = sample();
+        let mut buf = Vec::new();
+        write_ensemble(&ens, &mut buf).unwrap();
+        let soa: SoaEnsemble<f64> = read_ensemble(buf.as_slice()).unwrap();
+        for i in 0..ens.len() {
+            assert_eq!(ens.get(i), soa.get(i));
+        }
+    }
+
+    #[test]
+    fn header_and_comments_are_skipped() {
+        let text = format!(
+            "{HEADER}\n\n# a comment\n1 2 3 4e-18 5e-18 6e-18 2.5 1.0 1\n"
+        );
+        let ens: AosEnsemble<f64> = read_ensemble(text.as_bytes()).unwrap();
+        assert_eq!(ens.len(), 1);
+        let p = ens.get(0);
+        assert_eq!(p.position, Vec3::new(1.0, 2.0, 3.0));
+        assert_eq!(p.weight, 2.5);
+        assert_eq!(p.species, SpeciesId(1));
+    }
+
+    #[test]
+    fn malformed_line_is_invalid_data() {
+        let err = read_ensemble::<f64, AosEnsemble<f64>, _>(
+            "1 2 3\n".as_bytes(),
+        )
+        .unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+        let err2 = read_ensemble::<f64, AosEnsemble<f64>, _>(
+            "1 2 3 4 5 6 7 8 not-a-species\n".as_bytes(),
+        )
+        .unwrap_err();
+        assert_eq!(err2.kind(), io::ErrorKind::InvalidData);
+    }
+
+    #[test]
+    fn f32_roundtrip_within_precision() {
+        let mc = (ELECTRON_MASS * LIGHT_VELOCITY) as f32;
+        let ens: SoaEnsemble<f32> = (0..5)
+            .map(|i| {
+                Particle::new(
+                    Vec3::new(i as f32 * 0.1, 0.0, 0.0),
+                    Vec3::new(mc, 0.0, 0.0),
+                    1.0,
+                    SpeciesId(0),
+                    ELECTRON_MASS as f32,
+                )
+            })
+            .collect();
+        let mut buf = Vec::new();
+        write_ensemble(&ens, &mut buf).unwrap();
+        let back: SoaEnsemble<f32> = read_ensemble(buf.as_slice()).unwrap();
+        for i in 0..ens.len() {
+            let a = ens.get(i);
+            let b = back.get(i);
+            assert!((a.momentum - b.momentum).norm() <= 1e-6 * a.momentum.norm());
+        }
+    }
+}

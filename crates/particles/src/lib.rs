@@ -1,0 +1,58 @@
+//! Particle data structures for the Boris-pusher reproduction.
+//!
+//! The paper (§3) describes the Hi-Chi particle representation and the two
+//! ensemble layouts it compares:
+//!
+//! * [`Particle`] — the per-particle record: position, momentum, weight,
+//!   Lorentz γ and a species index (the paper's `short type`).
+//! * [`SpeciesTable`] — the single-copy table of per-type mass/charge.
+//! * [`AosEnsemble`] — *array of structures* layout.
+//! * [`SoaEnsemble`] — *structure of arrays* layout.
+//! * [`ParticleView`] — the proxy abstraction (paper's `ParticleProxy`)
+//!   that lets one generic kernel run over either layout.
+//! * [`init`] — initial distributions (the benchmark's uniform sphere of
+//!   electrons at rest, Maxwellian momenta, …).
+//! * [`sort`] — periodic cell sorting for cache locality (paper §3 notes
+//!   Hi-Chi stores one global array and "periodically sorts" it).
+//!
+//! # Example
+//!
+//! ```
+//! use pic_particles::{AosEnsemble, ParticleAccess, SpeciesTable};
+//! use pic_particles::init::{self, SphereDist};
+//! use pic_math::Vec3;
+//! use rand::SeedableRng;
+//!
+//! let mut rng = rand::rngs::StdRng::seed_from_u64(42);
+//! let mut ens = AosEnsemble::<f64>::new();
+//! init::fill_sphere_at_rest(
+//!     &mut ens,
+//!     1000,
+//!     &SphereDist { center: Vec3::zero(), radius: 1.0e-4 },
+//!     1.0,
+//!     SpeciesTable::<f64>::ELECTRON,
+//!     &mut rng,
+//! );
+//! assert_eq!(ens.len(), 1000);
+//! assert!(ens.get(0).position.norm() <= 1.0e-4);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod aos;
+pub mod cells;
+pub mod init;
+pub mod io;
+pub mod particle;
+pub mod soa;
+pub mod sort;
+pub mod species;
+pub mod thinning;
+pub mod view;
+
+pub use aos::{AosChunkMut, AosEnsemble};
+pub use cells::CellEnsemble;
+pub use particle::Particle;
+pub use soa::{SoaChunkMut, SoaEnsemble, SoaRefMut};
+pub use species::{Species, SpeciesId, SpeciesTable};
+pub use view::{DynKernel, Layout, ParticleAccess, ParticleKernel, ParticleStore, ParticleView};

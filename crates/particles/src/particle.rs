@@ -1,0 +1,180 @@
+//! The per-particle record (paper §3, `class Particle`).
+
+use crate::species::{Species, SpeciesId};
+use pic_math::constants::LIGHT_VELOCITY;
+use pic_math::{Real, Vec3};
+
+/// One macroparticle, matching the paper's `Particle` class field-for-field:
+/// position, momentum, weight, Lorentz γ and a species index.
+///
+/// Fields are public: like the C++ original this is a passive record; the
+/// γ-consistency invariant is maintained by the pushers, which recompute γ
+/// whenever they change the momentum (see [`lorentz_gamma`]).
+///
+/// # Example
+///
+/// ```
+/// use pic_particles::{Particle, Species, SpeciesTable};
+/// use pic_math::Vec3;
+///
+/// let e = Species::<f64>::electron();
+/// let p = Particle::at_rest(Vec3::zero(), 1.0, SpeciesTable::<f64>::ELECTRON);
+/// assert_eq!(p.gamma, 1.0);
+/// assert_eq!(p.velocity(&e), Vec3::zero());
+/// ```
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct Particle<R> {
+    /// Position (x, y, z), cm.
+    pub position: Vec3<R>,
+    /// Momentum (pₓ, p_y, p_z), g·cm/s.
+    pub momentum: Vec3<R>,
+    /// Macroparticle weight (number of real particles represented).
+    pub weight: R,
+    /// Lorentz factor γ = √(1 + (p/mc)²), cached alongside the momentum.
+    pub gamma: R,
+    /// Species index into a [`crate::SpeciesTable`].
+    pub species: SpeciesId,
+}
+
+/// Computes the Lorentz factor γ = √(1 + (p/mc)²).
+///
+/// The ratio `p/(mc)` is formed *before* squaring so that single-precision
+/// CGS momenta (~10⁻¹⁷ g·cm/s for an electron) never underflow when squared.
+#[inline(always)]
+pub fn lorentz_gamma<R: Real>(momentum: Vec3<R>, mass: R) -> R {
+    let inv_mc = (mass * R::from_f64(LIGHT_VELOCITY)).recip();
+    let u = momentum * inv_mc;
+    (R::ONE + u.norm2()).sqrt()
+}
+
+impl<R: Real> Particle<R> {
+    /// Creates a particle with a consistent cached γ.
+    pub fn new(
+        position: Vec3<R>,
+        momentum: Vec3<R>,
+        weight: R,
+        species: SpeciesId,
+        mass: R,
+    ) -> Particle<R> {
+        Particle {
+            position,
+            momentum,
+            weight,
+            gamma: lorentz_gamma(momentum, mass),
+            species,
+        }
+    }
+
+    /// Creates a particle at rest (γ = 1) at `position`.
+    pub fn at_rest(position: Vec3<R>, weight: R, species: SpeciesId) -> Particle<R> {
+        Particle {
+            position,
+            momentum: Vec3::zero(),
+            weight,
+            gamma: R::ONE,
+            species,
+        }
+    }
+
+    /// Velocity v = p / (γ m), cm/s.
+    #[inline]
+    pub fn velocity(&self, species: &Species<R>) -> Vec3<R> {
+        self.momentum / (self.gamma * species.mass)
+    }
+
+    /// Kinetic energy (γ − 1) m c², erg.
+    #[inline]
+    pub fn kinetic_energy(&self, species: &Species<R>) -> R {
+        (self.gamma - R::ONE) * species.rest_energy()
+    }
+
+    /// Recomputes the cached γ from the current momentum.
+    #[inline]
+    pub fn refresh_gamma(&mut self, mass: R) {
+        self.gamma = lorentz_gamma(self.momentum, mass);
+    }
+
+    /// Speed as a fraction of c, |v|/c ∈ [0, 1).
+    #[inline]
+    pub fn beta(&self, species: &Species<R>) -> R {
+        let c = R::from_f64(LIGHT_VELOCITY);
+        self.velocity(species).norm() / c
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::species::SpeciesTable;
+    use pic_math::constants::{ELECTRON_MASS, LIGHT_VELOCITY};
+
+    #[test]
+    fn gamma_at_rest_is_one() {
+        let g = lorentz_gamma(Vec3::<f64>::zero(), ELECTRON_MASS);
+        assert_eq!(g, 1.0);
+    }
+
+    #[test]
+    fn gamma_matches_analytic() {
+        // p = mc ⇒ γ = √2.
+        let mc = ELECTRON_MASS * LIGHT_VELOCITY;
+        let g = lorentz_gamma(Vec3::new(mc, 0.0, 0.0), ELECTRON_MASS);
+        assert!((g - 2.0f64.sqrt()).abs() < 1e-14);
+    }
+
+    #[test]
+    fn gamma_does_not_underflow_in_f32() {
+        // A slow electron: p = 1e-3·mc ≈ 2.7e-20 g·cm/s. Squaring that in
+        // f32 before dividing would underflow to a subnormal; forming the
+        // ratio first keeps full precision.
+        let mc = (ELECTRON_MASS * LIGHT_VELOCITY) as f32;
+        let p = Vec3::new(1e-3 * mc, 0.0, 0.0);
+        let g = lorentz_gamma(p, ELECTRON_MASS as f32);
+        let expect = (1.0f64 + 1e-6).sqrt() as f32;
+        assert!((g - expect).abs() < 1e-7, "γ = {g}, want {expect}");
+    }
+
+    #[test]
+    fn velocity_of_relativistic_particle_saturates_below_c() {
+        let e = Species::<f64>::electron();
+        let mc = ELECTRON_MASS * LIGHT_VELOCITY;
+        let p = Particle::new(
+            Vec3::zero(),
+            Vec3::new(100.0 * mc, 0.0, 0.0),
+            1.0,
+            SpeciesTable::<f64>::ELECTRON,
+            e.mass,
+        );
+        let beta = p.beta(&e);
+        assert!(beta < 1.0);
+        assert!(beta > 0.9999, "β = {beta}");
+    }
+
+    #[test]
+    fn kinetic_energy_nonrelativistic_limit() {
+        // For p ≪ mc, (γ−1)mc² ≈ p²/2m.
+        let e = Species::<f64>::electron();
+        let mc = ELECTRON_MASS * LIGHT_VELOCITY;
+        let px = 1e-3 * mc;
+        let p = Particle::new(
+            Vec3::zero(),
+            Vec3::new(px, 0.0, 0.0),
+            1.0,
+            SpeciesTable::<f64>::ELECTRON,
+            e.mass,
+        );
+        let classical = px * px / (2.0 * e.mass);
+        let rel = p.kinetic_energy(&e);
+        assert!((rel - classical).abs() / classical < 1e-5);
+    }
+
+    #[test]
+    fn refresh_gamma_restores_invariant() {
+        let e = Species::<f64>::electron();
+        let mut p = Particle::at_rest(Vec3::zero(), 1.0, SpeciesTable::<f64>::ELECTRON);
+        p.momentum = Vec3::new(ELECTRON_MASS * LIGHT_VELOCITY, 0.0, 0.0);
+        assert_eq!(p.gamma, 1.0); // stale
+        p.refresh_gamma(e.mass);
+        assert!((p.gamma - 2.0f64.sqrt()).abs() < 1e-14);
+    }
+}

@@ -1,0 +1,380 @@
+//! Periodic particle sorting for cache locality (paper §3).
+//!
+//! Hi-Chi stores the whole ensemble in one array and "periodically sorts the
+//! array of particles in order to improve cache locality". This module
+//! provides the two usual orderings:
+//!
+//! * linear **cell index** on a regular grid (counting sort, O(n)), and
+//! * **Morton (Z-order) code** sorting, which also keeps neighbouring cells
+//!   close in memory.
+
+use crate::view::{ParticleAccess, ParticleStore};
+use pic_math::{Real, Vec3};
+
+/// A regular grid of sorting cells over an axis-aligned domain.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct CellGrid {
+    /// Lower corner of the domain, cm.
+    pub min: Vec3<f64>,
+    /// Upper corner of the domain, cm.
+    pub max: Vec3<f64>,
+    /// Number of cells along each axis.
+    pub cells: [usize; 3],
+}
+
+impl CellGrid {
+    /// Creates a grid.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any extent is non-positive or any cell count is zero.
+    pub fn new(min: Vec3<f64>, max: Vec3<f64>, cells: [usize; 3]) -> CellGrid {
+        assert!(
+            max.x > min.x && max.y > min.y && max.z > min.z,
+            "CellGrid: empty domain"
+        );
+        assert!(
+            cells.iter().all(|&c| c > 0),
+            "CellGrid: zero cells along an axis"
+        );
+        CellGrid { min, max, cells }
+    }
+
+    /// Total number of cells.
+    pub fn cell_count(&self) -> usize {
+        self.cells[0] * self.cells[1] * self.cells[2]
+    }
+
+    /// Integer cell coordinates of a position (clamped into the domain).
+    pub fn cell_coords(&self, pos: Vec3<f64>) -> [usize; 3] {
+        let mut out = [0usize; 3];
+        let min = self.min.to_array();
+        let max = self.max.to_array();
+        let p = pos.to_array();
+        for d in 0..3 {
+            let frac = (p[d] - min[d]) / (max[d] - min[d]);
+            let i = (frac * self.cells[d] as f64).floor();
+            out[d] = (i.max(0.0) as usize).min(self.cells[d] - 1);
+        }
+        out
+    }
+
+    /// Linear (x-fastest) cell index of a position.
+    pub fn cell_index(&self, pos: Vec3<f64>) -> usize {
+        let [i, j, k] = self.cell_coords(pos);
+        (k * self.cells[1] + j) * self.cells[0] + i
+    }
+
+    /// Morton (Z-order) code of a position's cell.
+    pub fn morton_index(&self, pos: Vec3<f64>) -> u64 {
+        let [i, j, k] = self.cell_coords(pos);
+        morton3(i as u32, j as u32, k as u32)
+    }
+}
+
+/// Interleaves the low 21 bits of three coordinates into a Morton code.
+pub fn morton3(x: u32, y: u32, z: u32) -> u64 {
+    fn spread(v: u32) -> u64 {
+        // Spreads the low 21 bits of v so that there are two zero bits
+        // between consecutive input bits (standard magic-number dilation).
+        let mut x = (v as u64) & 0x1f_ffff;
+        x = (x | (x << 32)) & 0x1f00000000ffff;
+        x = (x | (x << 16)) & 0x1f0000ff0000ff;
+        x = (x | (x << 8)) & 0x100f00f00f00f00f;
+        x = (x | (x << 4)) & 0x10c30c30c30c30c3;
+        x = (x | (x << 2)) & 0x1249249249249249;
+        x
+    }
+    spread(x) | (spread(y) << 1) | (spread(z) << 2)
+}
+
+/// Sorts the ensemble by linear cell index using a counting sort (stable,
+/// O(n + cells)). This is the "periodic sort" step of Hi-Chi's single-array
+/// ensemble organisation.
+pub fn sort_by_cell<R: Real, S: ParticleStore<R>>(store: &mut S, grid: &CellGrid) {
+    let n = store.len();
+    if n <= 1 {
+        return;
+    }
+    let mut keys = Vec::with_capacity(n);
+    for i in 0..n {
+        keys.push(grid.cell_index(store.get(i).position.to_f64()));
+    }
+    let mut counts = vec![0usize; grid.cell_count() + 1];
+    for &k in &keys {
+        counts[k + 1] += 1;
+    }
+    for c in 1..counts.len() {
+        counts[c] += counts[c - 1];
+    }
+    let particles = store.to_particles();
+    let mut next = counts;
+    for (p, &k) in particles.iter().zip(&keys) {
+        store.set(next[k], p);
+        next[k] += 1;
+    }
+}
+
+/// Sorts the ensemble by Morton code (comparison sort, O(n log n)).
+pub fn sort_by_morton<R: Real, S: ParticleStore<R>>(store: &mut S, grid: &CellGrid) {
+    let n = store.len();
+    if n <= 1 {
+        return;
+    }
+    let mut order: Vec<(u64, usize)> = (0..n)
+        .map(|i| (grid.morton_index(store.get(i).position.to_f64()), i))
+        .collect();
+    order.sort_by_key(|&(key, idx)| (key, idx));
+    let particles = store.to_particles();
+    for (dst, &(_, src)) in order.iter().enumerate() {
+        store.set(dst, &particles[src]);
+    }
+}
+
+/// Schedules the "periodic" in Hi-Chi's periodic sorting: counts steps and
+/// triggers a cell sort every `interval` calls.
+///
+/// # Example
+///
+/// ```
+/// use pic_math::Vec3;
+/// use pic_particles::sort::{CellGrid, PeriodicSorter};
+/// use pic_particles::{AosEnsemble, Particle, ParticleStore};
+///
+/// let grid = CellGrid::new(Vec3::zero(), Vec3::splat(4.0), [4, 4, 4]);
+/// let mut sorter = PeriodicSorter::new(grid, 10);
+/// let mut ens = AosEnsemble::<f64>::from_particles(
+///     (0..5).map(|_| Particle::default()));
+/// let mut sorts = 0;
+/// for _step in 0..25 {
+///     if sorter.maybe_sort(&mut ens) {
+///         sorts += 1;
+///     }
+/// }
+/// assert_eq!(sorts, 2); // after steps 10 and 20
+/// ```
+#[derive(Clone, Debug)]
+pub struct PeriodicSorter {
+    grid: CellGrid,
+    interval: usize,
+    steps: usize,
+    sorts: usize,
+}
+
+impl PeriodicSorter {
+    /// Creates a sorter that sorts every `interval` steps.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `interval` is zero.
+    pub fn new(grid: CellGrid, interval: usize) -> PeriodicSorter {
+        assert!(interval > 0, "PeriodicSorter: zero interval");
+        PeriodicSorter { grid, interval, steps: 0, sorts: 0 }
+    }
+
+    /// Counts one step; sorts (and returns `true`) on every
+    /// `interval`-th call.
+    pub fn maybe_sort<R: Real, S: ParticleStore<R>>(&mut self, store: &mut S) -> bool {
+        self.steps += 1;
+        if self.steps % self.interval == 0 {
+            sort_by_cell(store, &self.grid);
+            self.sorts += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Number of sorts performed so far.
+    pub fn sorts(&self) -> usize {
+        self.sorts
+    }
+
+    /// Steps counted so far.
+    pub fn steps(&self) -> usize {
+        self.steps
+    }
+}
+
+/// Measures how well an ensemble is cell-ordered: the fraction of adjacent
+/// particle pairs whose cell index does not decrease. 1.0 ⇔ fully sorted.
+pub fn cell_order_fraction<R: Real, S: ParticleAccess<R>>(store: &S, grid: &CellGrid) -> f64 {
+    let n = store.len();
+    if n < 2 {
+        return 1.0;
+    }
+    let mut ordered = 0usize;
+    let mut prev = grid.cell_index(store.get(0).position.to_f64());
+    for i in 1..n {
+        let k = grid.cell_index(store.get(i).position.to_f64());
+        if k >= prev {
+            ordered += 1;
+        }
+        prev = k;
+    }
+    ordered as f64 / (n - 1) as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::aos::AosEnsemble;
+    use crate::init::{sample_box, BoxDist};
+    use crate::particle::Particle;
+    use crate::soa::SoaEnsemble;
+    use crate::species::SpeciesId;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn grid() -> CellGrid {
+        CellGrid::new(Vec3::zero(), Vec3::splat(1.0), [4, 4, 4])
+    }
+
+    fn random_ensemble<S: ParticleStore<f64>>(n: usize, seed: u64) -> S {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let bounds = BoxDist { min: Vec3::zero(), max: Vec3::splat(1.0) };
+        let mut s = S::default();
+        for i in 0..n {
+            let mut p = Particle::at_rest(sample_box(&bounds, &mut rng), 1.0, SpeciesId(0));
+            p.weight = i as f64; // tag to track identity through the sort
+            s.push(p);
+        }
+        s
+    }
+
+    #[test]
+    fn cell_index_corners() {
+        let g = grid();
+        assert_eq!(g.cell_index(Vec3::zero()), 0);
+        assert_eq!(g.cell_index(Vec3::splat(0.999)), 63);
+        // Out-of-domain positions clamp instead of panicking.
+        assert_eq!(g.cell_index(Vec3::splat(5.0)), 63);
+        assert_eq!(g.cell_index(Vec3::splat(-5.0)), 0);
+    }
+
+    #[test]
+    fn cell_index_is_x_fastest() {
+        let g = grid();
+        let dx = 0.25;
+        let a = g.cell_index(Vec3::new(0.1, 0.1, 0.1));
+        let b = g.cell_index(Vec3::new(0.1 + dx, 0.1, 0.1));
+        let c = g.cell_index(Vec3::new(0.1, 0.1 + dx, 0.1));
+        let d = g.cell_index(Vec3::new(0.1, 0.1, 0.1 + dx));
+        assert_eq!(b, a + 1);
+        assert_eq!(c, a + 4);
+        assert_eq!(d, a + 16);
+    }
+
+    #[test]
+    fn morton3_small_values() {
+        assert_eq!(morton3(0, 0, 0), 0);
+        assert_eq!(morton3(1, 0, 0), 0b001);
+        assert_eq!(morton3(0, 1, 0), 0b010);
+        assert_eq!(morton3(0, 0, 1), 0b100);
+        assert_eq!(morton3(1, 1, 1), 0b111);
+        assert_eq!(morton3(2, 0, 0), 0b001000);
+        // x = 11b → bits 0,3; y = 101b → bits 1,7; z = 001b → bit 2.
+        assert_eq!(morton3(3, 5, 1), 0b1000_1111);
+    }
+
+    #[test]
+    fn morton3_is_monotonic_per_axis() {
+        for v in 0..64u32 {
+            assert!(morton3(v + 1, 0, 0) > morton3(v, 0, 0));
+            assert!(morton3(0, v + 1, 0) > morton3(0, v, 0));
+            assert!(morton3(0, 0, v + 1) > morton3(0, 0, v));
+        }
+    }
+
+    #[test]
+    fn counting_sort_orders_cells_aos() {
+        let mut ens: AosEnsemble<f64> = random_ensemble(500, 11);
+        let g = grid();
+        assert!(cell_order_fraction(&ens, &g) < 0.9);
+        sort_by_cell(&mut ens, &g);
+        assert_eq!(cell_order_fraction(&ens, &g), 1.0);
+        assert_eq!(ens.len(), 500);
+    }
+
+    #[test]
+    fn counting_sort_orders_cells_soa() {
+        let mut ens: SoaEnsemble<f64> = random_ensemble(500, 12);
+        let g = grid();
+        sort_by_cell(&mut ens, &g);
+        assert_eq!(cell_order_fraction(&ens, &g), 1.0);
+    }
+
+    #[test]
+    fn counting_sort_preserves_multiset() {
+        let mut ens: AosEnsemble<f64> = random_ensemble(200, 13);
+        let g = grid();
+        let mut before: Vec<f64> = ens.as_slice().iter().map(|p| p.weight).collect();
+        sort_by_cell(&mut ens, &g);
+        let mut after: Vec<f64> = ens.as_slice().iter().map(|p| p.weight).collect();
+        before.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        after.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        assert_eq!(before, after);
+    }
+
+    #[test]
+    fn counting_sort_is_stable() {
+        // Two particles in the same cell keep their relative order.
+        let g = grid();
+        let mut ens = AosEnsemble::<f64>::new();
+        for (i, x) in [0.9, 0.05, 0.06, 0.07].iter().enumerate() {
+            let mut p = Particle::at_rest(Vec3::new(*x, 0.0, 0.0), 1.0, SpeciesId(0));
+            p.weight = i as f64;
+            ens.push(p);
+        }
+        sort_by_cell(&mut ens, &g);
+        let weights: Vec<f64> = ens.as_slice().iter().map(|p| p.weight).collect();
+        assert_eq!(weights, vec![1.0, 2.0, 3.0, 0.0]);
+    }
+
+    #[test]
+    fn morton_sort_orders_by_morton_code() {
+        let mut ens: SoaEnsemble<f64> = random_ensemble(300, 14);
+        let g = grid();
+        sort_by_morton(&mut ens, &g);
+        let mut prev = 0u64;
+        for i in 0..ens.len() {
+            let code = g.morton_index(ens.get(i).position.to_f64());
+            assert!(code >= prev);
+            prev = code;
+        }
+    }
+
+    #[test]
+    fn sorting_tiny_ensembles_is_a_noop() {
+        let g = grid();
+        let mut empty = AosEnsemble::<f64>::new();
+        sort_by_cell(&mut empty, &g);
+        sort_by_morton(&mut empty, &g);
+        assert!(empty.is_empty());
+        assert_eq!(cell_order_fraction(&empty, &g), 1.0);
+    }
+
+    #[test]
+    fn periodic_sorter_counts_and_sorts() {
+        let g = grid();
+        let mut sorter = PeriodicSorter::new(g, 5);
+        let mut ens: AosEnsemble<f64> = random_ensemble(200, 21);
+        assert!(cell_order_fraction(&ens, &g) < 0.9);
+        let mut fired = 0;
+        for _ in 0..12 {
+            if sorter.maybe_sort(&mut ens) {
+                fired += 1;
+                assert_eq!(cell_order_fraction(&ens, &g), 1.0);
+            }
+        }
+        assert_eq!(fired, 2);
+        assert_eq!(sorter.sorts(), 2);
+        assert_eq!(sorter.steps(), 12);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty domain")]
+    fn degenerate_grid_panics() {
+        let _ = CellGrid::new(Vec3::zero(), Vec3::zero(), [1, 1, 1]);
+    }
+}

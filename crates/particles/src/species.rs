@@ -1,0 +1,203 @@
+//! Particle species: the single-copy mass/charge table (paper §3).
+//!
+//! The paper stores an integer `type` per particle; "parameters
+//! corresponding to particles of different types are stored in a separate
+//! table in a single copy". [`SpeciesTable`] is that table.
+
+use pic_math::constants;
+use pic_math::Real;
+
+/// Index of a species in a [`SpeciesTable`] — the paper's `short type`
+/// particle field.
+#[derive(Clone, Copy, Debug, Default, Eq, Hash, Ord, PartialEq, PartialOrd)]
+pub struct SpeciesId(pub u16);
+
+/// Physical parameters of one particle species in CGS units.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Species<R> {
+    /// Rest mass, g.
+    pub mass: R,
+    /// Charge (signed), statC.
+    pub charge: R,
+}
+
+impl<R: Real> Species<R> {
+    /// Electron: m = mₑ, q = −e.
+    pub fn electron() -> Species<R> {
+        Species {
+            mass: R::from_f64(constants::ELECTRON_MASS),
+            charge: R::from_f64(constants::ELECTRON_CHARGE),
+        }
+    }
+
+    /// Positron: m = mₑ, q = +e.
+    pub fn positron() -> Species<R> {
+        Species {
+            mass: R::from_f64(constants::ELECTRON_MASS),
+            charge: R::from_f64(constants::ELEMENTARY_CHARGE),
+        }
+    }
+
+    /// Proton: m = m_p, q = +e.
+    pub fn proton() -> Species<R> {
+        Species {
+            mass: R::from_f64(constants::PROTON_MASS),
+            charge: R::from_f64(constants::ELEMENTARY_CHARGE),
+        }
+    }
+
+    /// Charge-to-mass ratio q/m, statC/g.
+    pub fn charge_to_mass(&self) -> R {
+        self.charge / self.mass
+    }
+
+    /// Rest energy mc², erg.
+    pub fn rest_energy(&self) -> R {
+        let c = R::from_f64(constants::LIGHT_VELOCITY);
+        self.mass * c * c
+    }
+}
+
+/// The single-copy table mapping [`SpeciesId`] → [`Species`].
+///
+/// # Example
+///
+/// ```
+/// use pic_particles::{Species, SpeciesTable};
+///
+/// let mut table = SpeciesTable::<f64>::with_standard_species();
+/// let muon = table.register(Species { mass: 1.8835e-25, charge: -4.80320427e-10 });
+/// assert!(table.get(muon).mass > table.get(SpeciesTable::<f64>::ELECTRON).mass);
+/// ```
+#[derive(Clone, Debug, PartialEq)]
+pub struct SpeciesTable<R> {
+    entries: Vec<Species<R>>,
+}
+
+impl<R: Real> SpeciesTable<R> {
+    /// Id of the electron in a table built by
+    /// [`with_standard_species`](Self::with_standard_species).
+    pub const ELECTRON: SpeciesId = SpeciesId(0);
+    /// Id of the positron in a standard table.
+    pub const POSITRON: SpeciesId = SpeciesId(1);
+    /// Id of the proton in a standard table.
+    pub const PROTON: SpeciesId = SpeciesId(2);
+
+    /// Creates an empty table.
+    pub fn new() -> SpeciesTable<R> {
+        SpeciesTable { entries: Vec::new() }
+    }
+
+    /// Creates a table pre-populated with electron, positron and proton at
+    /// the fixed ids [`ELECTRON`](Self::ELECTRON), [`POSITRON`](Self::POSITRON),
+    /// [`PROTON`](Self::PROTON).
+    pub fn with_standard_species() -> SpeciesTable<R> {
+        SpeciesTable {
+            entries: vec![Species::electron(), Species::positron(), Species::proton()],
+        }
+    }
+
+    /// Registers a new species and returns its id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the table already holds `u16::MAX` species.
+    pub fn register(&mut self, species: Species<R>) -> SpeciesId {
+        assert!(
+            self.entries.len() < u16::MAX as usize,
+            "species table full ({} entries)",
+            self.entries.len()
+        );
+        let id = SpeciesId(self.entries.len() as u16);
+        self.entries.push(species);
+        id
+    }
+
+    /// Looks up a species by id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` was not issued by this table.
+    #[inline]
+    pub fn get(&self, id: SpeciesId) -> &Species<R> {
+        &self.entries[id.0 as usize]
+    }
+
+    /// Number of registered species.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// `true` when no species is registered.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Iterates over `(id, species)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (SpeciesId, &Species<R>)> {
+        self.entries
+            .iter()
+            .enumerate()
+            .map(|(i, s)| (SpeciesId(i as u16), s))
+    }
+}
+
+impl<R: Real> Default for SpeciesTable<R> {
+    fn default() -> Self {
+        SpeciesTable::with_standard_species()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn standard_table_layout() {
+        let t = SpeciesTable::<f64>::with_standard_species();
+        assert_eq!(t.len(), 3);
+        assert_eq!(t.get(SpeciesTable::<f64>::ELECTRON), &Species::electron());
+        assert_eq!(t.get(SpeciesTable::<f64>::POSITRON), &Species::positron());
+        assert_eq!(t.get(SpeciesTable::<f64>::PROTON), &Species::proton());
+    }
+
+    #[test]
+    fn electron_and_positron_mirror_charges() {
+        let e = Species::<f64>::electron();
+        let p = Species::<f64>::positron();
+        assert_eq!(e.mass, p.mass);
+        assert_eq!(e.charge, -p.charge);
+        assert!(e.charge < 0.0);
+    }
+
+    #[test]
+    fn proton_is_heavier() {
+        let e = Species::<f64>::electron();
+        let p = Species::<f64>::proton();
+        let ratio = p.mass / e.mass;
+        assert!((ratio - 1836.15).abs() < 0.5, "m_p/m_e = {ratio}");
+    }
+
+    #[test]
+    fn register_issues_sequential_ids() {
+        let mut t = SpeciesTable::<f32>::new();
+        let a = t.register(Species::electron());
+        let b = t.register(Species::proton());
+        assert_eq!(a, SpeciesId(0));
+        assert_eq!(b, SpeciesId(1));
+        assert_eq!(t.iter().count(), 2);
+    }
+
+    #[test]
+    fn rest_energy_electron() {
+        let e = Species::<f64>::electron();
+        assert!((e.rest_energy() - pic_math::constants::ELECTRON_REST_ENERGY).abs() < 1e-10);
+    }
+
+    #[test]
+    #[should_panic]
+    fn get_unknown_id_panics() {
+        let t = SpeciesTable::<f64>::new();
+        let _ = t.get(SpeciesId(5));
+    }
+}

@@ -1,0 +1,247 @@
+//! Particle population control: thinning and merging.
+//!
+//! Long laser–plasma runs produce ever more macroparticles (ionization,
+//! pair cascades — the physics behind the paper's vacuum-breakdown
+//! programme); production PIC codes periodically *resample* the ensemble
+//! to keep the push cost bounded. Two standard schemes:
+//!
+//! * [`thin_random`] — unbiased random thinning: keep each particle with
+//!   probability `keep`, re-weighting survivors by `1/keep`. Conserves
+//!   every moment of the distribution in expectation.
+//! * [`merge_pairs`] — deterministic pairwise merging within sorting
+//!   cells: two particles become one carrying the summed weight and the
+//!   weight-averaged position/momentum. Conserves charge and momentum
+//!   exactly (energy only approximately — documented trade-off).
+
+use crate::particle::{lorentz_gamma, Particle};
+use crate::sort::CellGrid;
+use crate::species::SpeciesTable;
+use crate::view::ParticleStore;
+use pic_math::Real;
+use rand::Rng;
+
+/// Randomly thins the ensemble: each particle survives with probability
+/// `keep`; survivors' weights are scaled by `1/keep` so all distribution
+/// moments are preserved in expectation. Returns the number removed.
+///
+/// # Panics
+///
+/// Panics if `keep` is not in `(0, 1]`.
+pub fn thin_random<R, S, G>(store: &mut S, keep: f64, rng: &mut G) -> usize
+where
+    R: Real,
+    S: ParticleStore<R>,
+    G: Rng + ?Sized,
+{
+    assert!(keep > 0.0 && keep <= 1.0, "thin_random: keep must be in (0, 1]");
+    let scale = R::from_f64(1.0 / keep);
+    let mut removed = 0;
+    let mut i = 0;
+    while i < store.len() {
+        if rng.gen::<f64>() < keep {
+            let mut p = store.get(i);
+            p.weight *= scale;
+            store.set(i, &p);
+            i += 1;
+        } else {
+            store.swap_remove(i);
+            removed += 1;
+        }
+    }
+    removed
+}
+
+/// Merges same-species particle pairs within each sorting cell: each pair
+/// is replaced by one particle at the weight-averaged position with the
+/// summed momentum-weighted... precisely:
+///
+/// * weight: `w = w₁ + w₂` (charge conserved exactly),
+/// * momentum: `p = (w₁p₁ + w₂p₂)/w`, each merged particle carrying `w`
+///   (total momentum conserved exactly),
+/// * position: weight-averaged (dipole moment of the pair preserved),
+/// * γ recomputed from the merged momentum (kinetic energy is *not*
+///   exactly conserved — merging is lossy by construction).
+///
+/// Odd particles per cell are left untouched. Returns the number of
+/// particles removed.
+pub fn merge_pairs<R, S>(
+    store: &mut S,
+    grid: &CellGrid,
+    table: &SpeciesTable<R>,
+) -> usize
+where
+    R: Real,
+    S: ParticleStore<R>,
+{
+    // Bucket indices by (cell, species).
+    let n = store.len();
+    let mut buckets: std::collections::HashMap<(usize, u16), Vec<usize>> =
+        std::collections::HashMap::new();
+    for i in 0..n {
+        let p = store.get(i);
+        let cell = grid.cell_index(p.position.to_f64());
+        buckets.entry((cell, p.species.0)).or_default().push(i);
+    }
+
+    // Build the merged ensemble.
+    let mut merged: Vec<Particle<R>> = Vec::with_capacity(n);
+    let mut removed = 0;
+    for ((_, species), indices) in buckets {
+        let mass = table.get(crate::species::SpeciesId(species)).mass;
+        let mut it = indices.chunks_exact(2);
+        for pair in &mut it {
+            let a = store.get(pair[0]);
+            let b = store.get(pair[1]);
+            let w = a.weight + b.weight;
+            let inv_w = w.recip();
+            let momentum = (a.momentum * a.weight + b.momentum * b.weight) * inv_w;
+            let position = (a.position * a.weight + b.position * b.weight) * inv_w;
+            merged.push(Particle {
+                position,
+                momentum,
+                weight: w,
+                gamma: lorentz_gamma(momentum, mass),
+                species: a.species,
+            });
+            removed += 1;
+        }
+        for &i in it.remainder() {
+            merged.push(store.get(i));
+        }
+    }
+
+    store.clear();
+    for p in merged {
+        store.push(p);
+    }
+    removed
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::aos::AosEnsemble;
+    use crate::init::{sample_box, BoxDist};
+    use crate::soa::SoaEnsemble;
+    use crate::species::SpeciesId;
+    use crate::view::ParticleAccess;
+    use pic_math::constants::{ELECTRON_MASS, LIGHT_VELOCITY};
+    use pic_math::Vec3;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn random_ensemble<S: ParticleStore<f64>>(n: usize, seed: u64) -> S {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let bounds = BoxDist { min: Vec3::zero(), max: Vec3::splat(8.0) };
+        let mc = ELECTRON_MASS * LIGHT_VELOCITY;
+        S::from_particles((0..n).map(|_| {
+            Particle::new(
+                sample_box(&bounds, &mut rng),
+                Vec3::new(
+                    rng.gen_range(-1.0..1.0) * mc,
+                    rng.gen_range(-1.0..1.0) * mc,
+                    rng.gen_range(-1.0..1.0) * mc,
+                ),
+                rng.gen_range(0.5..2.0),
+                SpeciesId(0),
+                ELECTRON_MASS,
+            )
+        }))
+    }
+
+    fn total_weight<A: ParticleAccess<f64>>(s: &A) -> f64 {
+        (0..s.len()).map(|i| s.get(i).weight.to_f64()).sum()
+    }
+
+    fn total_momentum<A: ParticleAccess<f64>>(s: &A) -> Vec3<f64> {
+        (0..s.len()).fold(Vec3::zero(), |acc, i| {
+            let p = s.get(i);
+            acc + p.momentum.to_f64() * p.weight.to_f64()
+        })
+    }
+
+    #[test]
+    fn thinning_preserves_weight_statistically() {
+        let mut ens: AosEnsemble<f64> = random_ensemble(20_000, 1);
+        let w0 = total_weight(&ens);
+        let mut rng = StdRng::seed_from_u64(2);
+        let removed = thin_random(&mut ens, 0.25, &mut rng);
+        let kept_frac = ens.len() as f64 / 20_000.0;
+        assert!((kept_frac - 0.25).abs() < 0.02, "kept {kept_frac}");
+        assert_eq!(removed + ens.len(), 20_000);
+        let w1 = total_weight(&ens);
+        assert!((w1 - w0).abs() / w0 < 0.03, "weight drift {}", (w1 - w0) / w0);
+    }
+
+    #[test]
+    fn thinning_with_keep_one_is_identity() {
+        let mut ens: SoaEnsemble<f64> = random_ensemble(100, 3);
+        let before = ens.to_particles();
+        let removed = thin_random(&mut ens, 1.0, &mut StdRng::seed_from_u64(4));
+        assert_eq!(removed, 0);
+        assert_eq!(ens.to_particles(), before);
+    }
+
+    #[test]
+    fn merge_conserves_charge_and_momentum_exactly() {
+        let grid = CellGrid::new(Vec3::zero(), Vec3::splat(8.0), [4, 4, 4]);
+        let table = SpeciesTable::<f64>::with_standard_species();
+        let mut ens: AosEnsemble<f64> = random_ensemble(501, 5);
+        let w0 = total_weight(&ens);
+        let p0 = total_momentum(&ens);
+        let removed = merge_pairs(&mut ens, &grid, &table);
+        assert!(removed > 150, "merged {removed}");
+        assert_eq!(ens.len(), 501 - removed);
+        let w1 = total_weight(&ens);
+        let p1 = total_momentum(&ens);
+        assert!((w1 - w0).abs() / w0 < 1e-12);
+        assert!((p1 - p0).norm() / p0.norm().max(1e-30) < 1e-9);
+        // γ caches stay consistent.
+        for i in 0..ens.len() {
+            let p = ens.get(i);
+            let expect = lorentz_gamma(p.momentum, ELECTRON_MASS);
+            assert!((p.gamma - expect).abs() / expect < 1e-12);
+        }
+    }
+
+    #[test]
+    fn merge_keeps_particles_near_their_cell() {
+        let grid = CellGrid::new(Vec3::zero(), Vec3::splat(8.0), [8, 8, 8]);
+        let table = SpeciesTable::<f64>::with_standard_species();
+        let mut ens: SoaEnsemble<f64> = random_ensemble(400, 6);
+        merge_pairs(&mut ens, &grid, &table);
+        // Weight-averaged positions of two same-cell particles stay inside
+        // the (convex) cell.
+        for i in 0..ens.len() {
+            let pos = ens.get(i).position;
+            assert!((0.0..8.0).contains(&pos.x));
+            assert!((0.0..8.0).contains(&pos.y));
+            assert!((0.0..8.0).contains(&pos.z));
+        }
+    }
+
+    #[test]
+    fn merge_on_singletons_is_identity() {
+        let grid = CellGrid::new(Vec3::zero(), Vec3::splat(8.0), [8, 8, 8]);
+        let table = SpeciesTable::<f64>::with_standard_species();
+        // One particle per far-apart cell: nothing to merge.
+        let mut ens = AosEnsemble::<f64>::new();
+        for i in 0..4 {
+            ens.push(Particle::at_rest(
+                Vec3::new(i as f64 * 2.0 + 0.5, 0.5, 0.5),
+                1.0,
+                SpeciesId(0),
+            ));
+        }
+        let removed = merge_pairs(&mut ens, &grid, &table);
+        assert_eq!(removed, 0);
+        assert_eq!(ens.len(), 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "keep must be in")]
+    fn bad_keep_fraction_panics() {
+        let mut ens: AosEnsemble<f64> = random_ensemble(10, 7);
+        let _ = thin_random(&mut ens, 0.0, &mut StdRng::seed_from_u64(8));
+    }
+}

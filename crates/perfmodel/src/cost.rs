@@ -1,0 +1,216 @@
+//! Per-particle cost descriptors of the Boris kernel.
+//!
+//! Byte counts follow the real data structures (paper §3 and
+//! `pic-particles`): a particle record is 36 B in single precision / 72 B
+//! in double after alignment; the SoA kernel touches only the columns it
+//! uses; the Precalculated scenario streams six extra field components per
+//! particle. Flop counts are flop-*equivalents*: transcendental and
+//! divide/sqrt operations are weighted by their typical vector-unit
+//! reciprocal throughput.
+
+use pic_particles::Layout;
+
+/// Floating-point precision of a run (the paper's `FP` switch).
+#[derive(Clone, Copy, Debug, Eq, Hash, PartialEq)]
+pub enum Precision {
+    /// 32-bit `float`.
+    F32,
+    /// 64-bit `double`.
+    F64,
+}
+
+impl Precision {
+    /// Bytes per scalar.
+    pub fn bytes(self) -> usize {
+        match self {
+            Precision::F32 => 4,
+            Precision::F64 => 8,
+        }
+    }
+
+    /// Name as printed in the paper's tables.
+    pub fn name(self) -> &'static str {
+        match self {
+            Precision::F32 => "float",
+            Precision::F64 => "double",
+        }
+    }
+}
+
+impl std::fmt::Display for Precision {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// The paper's two benchmark scenarios (§5.2).
+#[derive(Clone, Copy, Debug, Eq, Hash, PartialEq)]
+pub enum Scenario {
+    /// Field values pre-stored in a per-particle array.
+    Precalculated,
+    /// Field values computed from the m-dipole formulas at each particle.
+    Analytical,
+}
+
+impl Scenario {
+    /// Name as printed in the paper's tables.
+    pub fn name(self) -> &'static str {
+        match self {
+            Scenario::Precalculated => "Precalculated Fields",
+            Scenario::Analytical => "Analytical Fields",
+        }
+    }
+
+    /// All scenarios, in the paper's column order.
+    pub fn all() -> [Scenario; 2] {
+        [Scenario::Precalculated, Scenario::Analytical]
+    }
+}
+
+impl std::fmt::Display for Scenario {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Per-particle, per-step resource demand of the push kernel.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct KernelCost {
+    /// DRAM bytes read per particle per step.
+    pub bytes_read: f64,
+    /// DRAM bytes written per particle per step.
+    pub bytes_written: f64,
+    /// Flop-equivalents per particle per step (transcendentals weighted).
+    pub flops: f64,
+}
+
+impl KernelCost {
+    /// Total DRAM traffic per particle per step.
+    pub fn bytes_total(&self) -> f64 {
+        self.bytes_read + self.bytes_written
+    }
+
+    /// Arithmetic intensity, flop-equivalents per byte.
+    pub fn intensity(&self) -> f64 {
+        self.flops / self.bytes_total()
+    }
+}
+
+/// Flop-equivalents of the Boris momentum + position update: ~50 mul/add,
+/// two square roots (≈8 each), a division (≈8). Matches an operation count
+/// of `BorisPusher::rotate_kick` + `advance_position`.
+pub const BORIS_FLOPS: f64 = 80.0;
+
+/// Flop-equivalents of one m-dipole field evaluation: a sincos pair
+/// (≈50 in vectorized libm), two square roots, several divisions and ~40
+/// mul/adds across f₁/f₂/f₃ and the component assembly.
+pub const DIPOLE_FLOPS: f64 = 150.0;
+
+/// Cost descriptor of the benchmark kernel for one configuration.
+///
+/// # Example
+///
+/// ```
+/// use pic_perfmodel::{KernelCost, Precision, Scenario};
+/// use pic_particles::Layout;
+///
+/// let aos = KernelCost::boris(Scenario::Precalculated, Layout::Aos, Precision::F32);
+/// let soa = KernelCost::boris(Scenario::Precalculated, Layout::Soa, Precision::F32);
+/// // AoS streams whole records; SoA only the used columns.
+/// assert!(aos.bytes_total() > soa.bytes_total());
+/// ```
+impl KernelCost {
+    /// Builds the cost descriptor for the benchmark Boris kernel.
+    pub fn boris(scenario: Scenario, layout: Layout, precision: Precision) -> KernelCost {
+        let s = precision.bytes() as f64;
+        // Particle traffic.
+        let (p_read, p_write) = match layout {
+            // The whole aligned record streams through the core and the
+            // dirtied line is written back: 9 scalar-equivalents
+            // (position 3, momentum 3, weight, γ, padded type).
+            Layout::Aos => (9.0 * s, 9.0 * s),
+            // Only the used columns move: read position+momentum+type,
+            // write position+momentum+γ.
+            Layout::Soa => (6.0 * s + 2.0, 7.0 * s),
+        };
+        // Field traffic: 6 components read in the Precalculated scenario.
+        let field_read = match scenario {
+            Scenario::Precalculated => 6.0 * s,
+            Scenario::Analytical => 0.0,
+        };
+        let flops = match scenario {
+            Scenario::Precalculated => BORIS_FLOPS,
+            Scenario::Analytical => BORIS_FLOPS + DIPOLE_FLOPS,
+        };
+        KernelCost {
+            bytes_read: p_read + field_read,
+            bytes_written: p_write,
+            flops,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn aos_record_size_matches_paper() {
+        // Paper §3: 36 B per particle in single precision, 72 B in double
+        // (after alignment). Read + write = twice that.
+        let f32_cost = KernelCost::boris(Scenario::Analytical, Layout::Aos, Precision::F32);
+        assert_eq!(f32_cost.bytes_read, 36.0);
+        assert_eq!(f32_cost.bytes_written, 36.0);
+        let f64_cost = KernelCost::boris(Scenario::Analytical, Layout::Aos, Precision::F64);
+        assert_eq!(f64_cost.bytes_total(), 144.0);
+    }
+
+    #[test]
+    fn precalculated_adds_six_components() {
+        for &(layout, prec) in &[
+            (Layout::Aos, Precision::F32),
+            (Layout::Soa, Precision::F64),
+        ] {
+            let pre = KernelCost::boris(Scenario::Precalculated, layout, prec);
+            let ana = KernelCost::boris(Scenario::Analytical, layout, prec);
+            assert_eq!(
+                pre.bytes_read - ana.bytes_read,
+                6.0 * prec.bytes() as f64
+            );
+            assert_eq!(pre.bytes_written, ana.bytes_written);
+        }
+    }
+
+    #[test]
+    fn analytical_is_more_compute_intense() {
+        let pre = KernelCost::boris(Scenario::Precalculated, Layout::Soa, Precision::F32);
+        let ana = KernelCost::boris(Scenario::Analytical, Layout::Soa, Precision::F32);
+        assert!(ana.intensity() > 2.0 * pre.intensity());
+        assert_eq!(ana.flops, BORIS_FLOPS + DIPOLE_FLOPS);
+    }
+
+    #[test]
+    fn double_doubles_the_traffic() {
+        let f32_cost = KernelCost::boris(Scenario::Precalculated, Layout::Aos, Precision::F32);
+        let f64_cost = KernelCost::boris(Scenario::Precalculated, Layout::Aos, Precision::F64);
+        assert_eq!(f64_cost.bytes_total(), 2.0 * f32_cost.bytes_total());
+    }
+
+    #[test]
+    fn soa_moves_fewer_bytes_than_aos() {
+        for scenario in Scenario::all() {
+            for prec in [Precision::F32, Precision::F64] {
+                let aos = KernelCost::boris(scenario, Layout::Aos, prec);
+                let soa = KernelCost::boris(scenario, Layout::Soa, prec);
+                assert!(soa.bytes_total() < aos.bytes_total());
+            }
+        }
+    }
+
+    #[test]
+    fn display_names() {
+        assert_eq!(Precision::F32.to_string(), "float");
+        assert_eq!(Precision::F64.to_string(), "double");
+        assert_eq!(Scenario::Precalculated.to_string(), "Precalculated Fields");
+    }
+}

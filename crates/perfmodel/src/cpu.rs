@@ -1,0 +1,445 @@
+//! Roofline + scheduling + NUMA-locality model of the CPU platform.
+//!
+//! The modeled quantity is the paper's NSPS metric (nanoseconds per
+//! particle per step). One configuration is characterized by its
+//! [`KernelCost`] and the execution mode:
+//!
+//! * memory time = bytes / achievable bandwidth, where the bandwidth grows
+//!   with thread count until each socket's DRAM saturates (this produces
+//!   Fig. 1's per-socket knee);
+//! * compute time = flop-equivalents / achieved vector throughput (with an
+//!   AoS gather/scatter penalty);
+//! * the step time is the roofline max of the two, times a mode factor:
+//!   OpenMP = 1; DPC++ NUMA = small runtime overhead that shrinks with
+//!   thread count (its serial slowness is what makes the paper's Fig. 1
+//!   DPC++ curve super-linear at first); plain DPC++ additionally loses
+//!   NUMA locality, inflating every step (paper §4.3, Table 2).
+//!
+//! Calibration constants live in [`CpuCalibration`]; each is an
+//! independently meaningful hardware-efficiency fraction, not a per-cell
+//! fudge: the same eight numbers reproduce all 24 Table-2 cells within
+//! ±30 % and the Fig. 1 curve shapes.
+
+use crate::cost::{KernelCost, Precision, Scenario};
+use crate::specs::CpuSpec;
+use pic_particles::Layout;
+
+/// The paper's three CPU execution modes (Table 2 rows).
+#[derive(Clone, Copy, Debug, Eq, Hash, PartialEq)]
+pub enum Parallelization {
+    /// OpenMP reference: static schedule, first-touch NUMA locality.
+    OpenMp,
+    /// DPC++ on TBB, no NUMA pinning: dynamic chunks roam across sockets.
+    Dpcpp,
+    /// DPC++ with `DPCPP_CPU_PLACES=numa_domains`.
+    DpcppNuma,
+}
+
+impl Parallelization {
+    /// Name as printed in the paper's tables.
+    pub fn name(self) -> &'static str {
+        match self {
+            Parallelization::OpenMp => "OpenMP",
+            Parallelization::Dpcpp => "DPC++",
+            Parallelization::DpcppNuma => "DPC++ NUMA",
+        }
+    }
+
+    /// All modes in the paper's row order.
+    pub fn all() -> [Parallelization; 3] {
+        [
+            Parallelization::OpenMp,
+            Parallelization::Dpcpp,
+            Parallelization::DpcppNuma,
+        ]
+    }
+}
+
+impl std::fmt::Display for Parallelization {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Efficiency fractions calibrated once against the paper's Table 2.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct CpuCalibration {
+    /// Fraction of theoretical socket DRAM bandwidth a fully loaded socket
+    /// sustains on this streaming kernel (STREAM-like workloads reach
+    /// 60–70 % on Cascade Lake).
+    pub socket_bw_eff: f64,
+    /// Achievable DRAM bandwidth of a single core, B/s (limited by
+    /// outstanding-miss capacity, ~6 GB/s on this kernel).
+    pub per_core_bw: f64,
+    /// SoA drives 9+ concurrent streams vs AoS's one, costing some DRAM
+    /// page locality.
+    pub soa_stream_eff: f64,
+    /// Fraction of peak FMA throughput the vectorized kernel achieves
+    /// (transcendental-heavy code lands well below 10 %).
+    pub vec_eff: f64,
+    /// Compute-side AoS gather/scatter penalty, single precision
+    /// (16-lane gathers are expensive).
+    pub aos_gather_eff_f32: f64,
+    /// Compute-side AoS penalty, double precision (8-lane gathers hurt
+    /// less).
+    pub aos_gather_eff_f64: f64,
+    /// Residual DPC++/TBB overhead at full thread count.
+    pub dpcpp_numa_factor: f64,
+    /// Extra serial inefficiency of the DPC++ runtime that fades as 1/t —
+    /// the cause of the super-linear start of Fig. 1's DPC++ curve.
+    pub dpcpp_serial_beta: f64,
+    /// Slowdown of plain DPC++ (no NUMA pinning) from remote-socket
+    /// traffic and lost cache locality.
+    pub dpcpp_remote_factor: f64,
+}
+
+impl Default for CpuCalibration {
+    fn default() -> CpuCalibration {
+        CpuCalibration {
+            socket_bw_eff: 0.643,
+            per_core_bw: 6.1e9,
+            soa_stream_eff: 0.88,
+            vec_eff: 0.073,
+            aos_gather_eff_f32: 0.75,
+            aos_gather_eff_f64: 0.9,
+            dpcpp_numa_factor: 1.05,
+            dpcpp_serial_beta: 0.15,
+            dpcpp_remote_factor: 1.5,
+        }
+    }
+}
+
+/// The CPU performance model (Table 2, Fig. 1).
+///
+/// # Example
+///
+/// ```
+/// use pic_particles::Layout;
+/// use pic_perfmodel::{CpuModel, Parallelization, Precision, Scenario};
+///
+/// let model = CpuModel::endeavour();
+/// let omp = model.nsps(Scenario::Precalculated, Layout::Aos, Precision::F32,
+///                      Parallelization::OpenMp, 48);
+/// // Paper Table 2 reports 0.53 NSPS for this cell.
+/// assert!((omp - 0.53).abs() / 0.53 < 0.3);
+/// ```
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct CpuModel {
+    /// Hardware parameters (Table 1).
+    pub spec: CpuSpec,
+    /// Calibration constants.
+    pub cal: CpuCalibration,
+}
+
+impl CpuModel {
+    /// The paper's Endeavour node with default calibration.
+    pub fn endeavour() -> CpuModel {
+        CpuModel { spec: CpuSpec::xeon_8260l_x2(), cal: CpuCalibration::default() }
+    }
+
+    /// Achievable DRAM bandwidth with `threads` workers placed compactly
+    /// (socket 0 fills first), B/s.
+    pub fn bandwidth_at(&self, threads: usize, layout: Layout) -> f64 {
+        let mut remaining = threads.min(self.spec.total_cores());
+        let mut bw = 0.0;
+        for _ in 0..self.spec.sockets {
+            let cores = remaining.min(self.spec.cores_per_socket);
+            remaining -= cores;
+            let socket_cap = self.spec.bw_per_socket * self.cal.socket_bw_eff;
+            bw += (cores as f64 * self.cal.per_core_bw).min(socket_cap);
+        }
+        match layout {
+            Layout::Aos => bw,
+            Layout::Soa => bw * self.cal.soa_stream_eff,
+        }
+    }
+
+    /// Achieved flop-equivalent throughput with `threads` workers, flop/s.
+    pub fn flop_rate_at(&self, threads: usize, layout: Layout, precision: Precision) -> f64 {
+        let t = threads.min(self.spec.total_cores());
+        let lanes = match precision {
+            Precision::F32 => self.spec.simd_f32,
+            Precision::F64 => self.spec.simd_f32 / 2,
+        };
+        let layout_eff = match (layout, precision) {
+            (Layout::Soa, _) => 1.0,
+            (Layout::Aos, Precision::F32) => self.cal.aos_gather_eff_f32,
+            (Layout::Aos, Precision::F64) => self.cal.aos_gather_eff_f64,
+        };
+        t as f64
+            * self.spec.clock_at(t)
+            * 2.0
+            * self.spec.fma_units as f64
+            * lanes as f64
+            * self.cal.vec_eff
+            * layout_eff
+    }
+
+    /// Modeled NSPS (ns per particle per step) for one Table-2 cell at a
+    /// given thread count.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `threads` is zero.
+    pub fn nsps(
+        &self,
+        scenario: Scenario,
+        layout: Layout,
+        precision: Precision,
+        par: Parallelization,
+        threads: usize,
+    ) -> f64 {
+        assert!(threads > 0, "nsps: zero threads");
+        let cost = KernelCost::boris(scenario, layout, precision);
+        let mem_ns = cost.bytes_total() / self.bandwidth_at(threads, layout) * 1e9;
+        let comp_ns = cost.flops / self.flop_rate_at(threads, layout, precision) * 1e9;
+        let base = mem_ns.max(comp_ns);
+        match par {
+            Parallelization::OpenMp => base,
+            Parallelization::DpcppNuma => {
+                base * self.cal.dpcpp_numa_factor
+                    * (1.0 + self.cal.dpcpp_serial_beta / threads as f64)
+            }
+            Parallelization::Dpcpp => {
+                base * self.cal.dpcpp_numa_factor
+                    * (1.0 + self.cal.dpcpp_serial_beta / threads as f64)
+                    * self.cal.dpcpp_remote_factor
+            }
+        }
+    }
+
+    /// Throughput gain of running two hyper-threads per core on this
+    /// memory-bound kernel. The paper found "employing 96 threads is
+    /// empirically the best" on the 48-core node: SMT overlaps memory
+    /// stalls, worth a few percent when bandwidth-bound.
+    pub fn smt_gain(&self) -> f64 {
+        1.08
+    }
+
+    /// NSPS with two hyper-threads per core (the paper's best OpenMP
+    /// configuration): the core-count roofline divided by the SMT gain.
+    pub fn nsps_smt(
+        &self,
+        scenario: Scenario,
+        layout: Layout,
+        precision: Precision,
+        par: Parallelization,
+        cores: usize,
+    ) -> f64 {
+        self.nsps(scenario, layout, precision, par, cores) / self.smt_gain()
+    }
+
+    /// Full-machine NSPS (all 48 cores) — the Table 2 cell.
+    pub fn table2_cell(
+        &self,
+        scenario: Scenario,
+        layout: Layout,
+        precision: Precision,
+        par: Parallelization,
+    ) -> f64 {
+        self.nsps(scenario, layout, precision, par, self.spec.total_cores())
+    }
+
+    /// Strong-scaling speedup S(t) = NSPS(1)/NSPS(t) for t = 1..=cores —
+    /// the Fig. 1 curves.
+    pub fn speedup_curve(
+        &self,
+        scenario: Scenario,
+        layout: Layout,
+        precision: Precision,
+        par: Parallelization,
+    ) -> Vec<f64> {
+        let base = self.nsps(scenario, layout, precision, par, 1);
+        (1..=self.spec.total_cores())
+            .map(|t| base / self.nsps(scenario, layout, precision, par, t))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const TOL: f64 = 0.30;
+
+    /// Paper Table 2, in (layout, parallelization) → [P f32, P f64, A f32,
+    /// A f64] order.
+    fn paper_table2() -> Vec<(Layout, Parallelization, [f64; 4])> {
+        use Layout::*;
+        use Parallelization::*;
+        vec![
+            (Aos, OpenMp, [0.53, 0.98, 0.58, 0.84]),
+            (Aos, Dpcpp, [0.78, 1.54, 1.02, 1.48]),
+            (Aos, DpcppNuma, [0.54, 0.99, 0.54, 0.89]),
+            (Soa, OpenMp, [0.50, 1.06, 0.43, 0.76]),
+            (Soa, Dpcpp, [0.85, 1.49, 0.77, 1.31]),
+            (Soa, DpcppNuma, [0.58, 1.20, 0.60, 0.90]),
+        ]
+    }
+
+    #[test]
+    fn every_table2_cell_within_band() {
+        let m = CpuModel::endeavour();
+        for (layout, par, vals) in paper_table2() {
+            let configs = [
+                (Scenario::Precalculated, Precision::F32, vals[0]),
+                (Scenario::Precalculated, Precision::F64, vals[1]),
+                (Scenario::Analytical, Precision::F32, vals[2]),
+                (Scenario::Analytical, Precision::F64, vals[3]),
+            ];
+            for (scenario, prec, paper) in configs {
+                let model = m.table2_cell(scenario, layout, prec, par);
+                let rel = (model - paper).abs() / paper;
+                assert!(
+                    rel < TOL,
+                    "{layout} {par} {scenario} {prec}: model {model:.3} vs paper {paper} \
+                     ({:+.0}%)",
+                    100.0 * (model - paper) / paper
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn qualitative_orderings_of_table2() {
+        let m = CpuModel::endeavour();
+        for scenario in Scenario::all() {
+            for layout in [Layout::Aos, Layout::Soa] {
+                for prec in [Precision::F32, Precision::F64] {
+                    let omp = m.table2_cell(scenario, layout, prec, Parallelization::OpenMp);
+                    let plain = m.table2_cell(scenario, layout, prec, Parallelization::Dpcpp);
+                    let numa = m.table2_cell(scenario, layout, prec, Parallelization::DpcppNuma);
+                    // Conclusion 1: NUMA pinning matters a lot for DPC++.
+                    assert!(plain > 1.3 * numa, "{scenario} {layout} {prec}");
+                    // Conclusion 2: DPC++ NUMA within ~15% of OpenMP.
+                    assert!(numa < 1.15 * omp && numa > 0.85 * omp);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn double_costs_roughly_twice_float_in_precalculated() {
+        // Conclusion 4: memory-bound scenario scales with the data size.
+        let m = CpuModel::endeavour();
+        for layout in [Layout::Aos, Layout::Soa] {
+            let f = m.table2_cell(
+                Scenario::Precalculated, layout, Precision::F32, Parallelization::OpenMp);
+            let d = m.table2_cell(
+                Scenario::Precalculated, layout, Precision::F64, Parallelization::OpenMp);
+            let ratio = d / f;
+            assert!((1.8..2.2).contains(&ratio), "ratio = {ratio}");
+        }
+    }
+
+    #[test]
+    fn analytical_double_is_cheaper_than_precalculated_double() {
+        // Conclusion 5: "in double precision, the scenario with analytical
+        // computations runs a little faster".
+        let m = CpuModel::endeavour();
+        for par in Parallelization::all() {
+            for layout in [Layout::Aos, Layout::Soa] {
+                let pre = m.table2_cell(Scenario::Precalculated, layout, Precision::F64, par);
+                let ana = m.table2_cell(Scenario::Analytical, layout, Precision::F64, par);
+                assert!(ana < pre, "{par} {layout}: {ana} !< {pre}");
+            }
+        }
+    }
+
+    #[test]
+    fn aos_soa_close_on_cpu() {
+        // Conclusion 3: layout has almost no effect on CPU — within ~35%.
+        let m = CpuModel::endeavour();
+        for scenario in Scenario::all() {
+            for prec in [Precision::F32, Precision::F64] {
+                let aos =
+                    m.table2_cell(scenario, Layout::Aos, prec, Parallelization::OpenMp);
+                let soa =
+                    m.table2_cell(scenario, Layout::Soa, prec, Parallelization::OpenMp);
+                let ratio = aos / soa;
+                assert!((0.65..1.55).contains(&ratio), "{scenario} {prec}: {ratio}");
+            }
+        }
+    }
+
+    #[test]
+    fn fig1_openmp_shape() {
+        let m = CpuModel::endeavour();
+        let s = m.speedup_curve(
+            Scenario::Precalculated, Layout::Aos, Precision::F32, Parallelization::OpenMp);
+        // Near-linear at the start.
+        assert!((s[1] - 2.0).abs() < 0.2, "S(2) = {}", s[1]);
+        assert!(s[3] > 3.5, "S(4) = {}", s[3]);
+        // Socket-0 bandwidth saturates before 24 cores: plateau.
+        assert!(s[23] < 16.0, "S(24) = {}", s[23]);
+        // Second socket resumes the scaling.
+        assert!(s[47] > 1.7 * s[23], "S(48) = {} vs S(24) = {}", s[47], s[23]);
+        // Overall speedup lands in the paper's ~60% efficiency region.
+        assert!((24.0..38.0).contains(&s[47]), "S(48) = {}", s[47]);
+        // Monotone non-decreasing.
+        for w in s.windows(2) {
+            assert!(w[1] >= w[0] - 1e-9);
+        }
+    }
+
+    #[test]
+    fn fig1_dpcpp_numa_is_superlinear_at_first() {
+        let m = CpuModel::endeavour();
+        let s = m.speedup_curve(
+            Scenario::Precalculated, Layout::Aos, Precision::F32, Parallelization::DpcppNuma);
+        // Super-linear acceleration at the beginning (paper §5.3): the
+        // 1-core DPC++ baseline is slow.
+        assert!(s[1] > 2.0, "S(2) = {}", s[1]);
+        assert!(s[3] > 4.0, "S(4) = {}", s[3]);
+        // ~63% strong-scaling efficiency at 48 cores.
+        let eff = s[47] / 48.0;
+        assert!((0.5..0.8).contains(&eff), "eff(48) = {eff}");
+    }
+
+    #[test]
+    fn dpcpp_numa_and_openmp_absolute_times_converge() {
+        // Paper: "the overall run times for OpenMP and DPC++ NUMA versions
+        // are close to each other" at full core count.
+        let m = CpuModel::endeavour();
+        let omp = m.nsps(Scenario::Precalculated, Layout::Aos, Precision::F32,
+                         Parallelization::OpenMp, 48);
+        let numa = m.nsps(Scenario::Precalculated, Layout::Aos, Precision::F32,
+                          Parallelization::DpcppNuma, 48);
+        assert!((numa / omp - 1.0).abs() < 0.12, "ratio = {}", numa / omp);
+    }
+
+    #[test]
+    fn bandwidth_saturates_per_socket() {
+        let m = CpuModel::endeavour();
+        let b1 = m.bandwidth_at(1, Layout::Aos);
+        let b24 = m.bandwidth_at(24, Layout::Aos);
+        let b48 = m.bandwidth_at(48, Layout::Aos);
+        assert!((b1 - 6.1e9).abs() < 1e6);
+        // One socket caps below 24 × per-core.
+        assert!(b24 < 24.0 * 6.1e9);
+        assert!((b48 - 2.0 * b24).abs() / b48 < 1e-12);
+        // More threads than cores do not add bandwidth.
+        assert_eq!(m.bandwidth_at(96, Layout::Aos), b48);
+    }
+
+    #[test]
+    fn smt_helps_but_modestly() {
+        // Paper §5.3: hyper-threading (96 threads on 48 cores) improves
+        // performance — by a single-digit percentage, not a doubling.
+        let m = CpuModel::endeavour();
+        let plain = m.nsps(Scenario::Precalculated, Layout::Aos, Precision::F32,
+                           Parallelization::OpenMp, 48);
+        let smt = m.nsps_smt(Scenario::Precalculated, Layout::Aos, Precision::F32,
+                             Parallelization::OpenMp, 48);
+        assert!(smt < plain);
+        assert!(smt > 0.85 * plain);
+    }
+
+    #[test]
+    #[should_panic(expected = "zero threads")]
+    fn zero_threads_panics() {
+        let m = CpuModel::endeavour();
+        let _ = m.nsps(Scenario::Analytical, Layout::Aos, Precision::F32,
+                       Parallelization::OpenMp, 0);
+    }
+}

@@ -1,0 +1,174 @@
+//! Roofline analysis: classify kernels as memory- or compute-bound.
+//!
+//! The paper's Table 2 discussion rests on one diagnosis — "the problem is
+//! memory bound" (conclusion 5) — and the scenario comparison is exactly a
+//! walk along the roofline: Precalculated lowers arithmetic intensity
+//! (more bytes), Analytical raises it (more flops). This module makes the
+//! analysis explicit and testable.
+
+use crate::cost::KernelCost;
+
+/// A machine roofline: peak compute vs peak memory throughput.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Roofline {
+    /// Peak (achievable) arithmetic throughput, flop/s.
+    pub peak_flops: f64,
+    /// Peak (achievable) memory bandwidth, B/s.
+    pub peak_bandwidth: f64,
+}
+
+/// Which resource bounds a kernel on a given machine.
+#[derive(Clone, Copy, Debug, Eq, PartialEq)]
+pub enum Bound {
+    /// Performance limited by DRAM bandwidth.
+    Memory,
+    /// Performance limited by arithmetic throughput.
+    Compute,
+}
+
+impl Roofline {
+    /// Creates a roofline.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either peak is not positive.
+    pub fn new(peak_flops: f64, peak_bandwidth: f64) -> Roofline {
+        assert!(
+            peak_flops > 0.0 && peak_bandwidth > 0.0,
+            "Roofline: peaks must be positive"
+        );
+        Roofline { peak_flops, peak_bandwidth }
+    }
+
+    /// The machine balance: the arithmetic intensity (flop/byte) at the
+    /// roofline ridge. Kernels below it are memory-bound.
+    pub fn machine_balance(&self) -> f64 {
+        self.peak_flops / self.peak_bandwidth
+    }
+
+    /// Attainable throughput (flop/s) at arithmetic intensity `ai`
+    /// (flop/byte): `min(peak_flops, ai·peak_bandwidth)`.
+    pub fn attainable_flops(&self, ai: f64) -> f64 {
+        self.peak_flops.min(ai * self.peak_bandwidth)
+    }
+
+    /// Classifies a kernel cost.
+    pub fn bound_of(&self, cost: &KernelCost) -> Bound {
+        if cost.intensity() < self.machine_balance() {
+            Bound::Memory
+        } else {
+            Bound::Compute
+        }
+    }
+
+    /// Predicted execution time for `n` kernel instances, seconds — the
+    /// roofline max of the memory and compute times.
+    pub fn time(&self, cost: &KernelCost, n: usize) -> f64 {
+        let mem = n as f64 * cost.bytes_total() / self.peak_bandwidth;
+        let comp = n as f64 * cost.flops / self.peak_flops;
+        mem.max(comp)
+    }
+
+    /// Fraction of the limiting resource's peak that the *other* resource
+    /// reaches (1.0 at the ridge). Low values mean the kernel is far from
+    /// balanced.
+    pub fn balance_ratio(&self, cost: &KernelCost) -> f64 {
+        let mem = cost.bytes_total() / self.peak_bandwidth;
+        let comp = cost.flops / self.peak_flops;
+        if mem >= comp {
+            comp / mem
+        } else {
+            mem / comp
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cost::{Precision, Scenario};
+    use crate::cpu::CpuModel;
+    use crate::gpu::GpuModel;
+    use pic_particles::Layout;
+
+    fn endeavour_roofline() -> Roofline {
+        // Achieved (calibrated) peaks of the CPU model at 48 cores, f32.
+        let m = CpuModel::endeavour();
+        Roofline::new(
+            m.flop_rate_at(48, Layout::Soa, Precision::F32),
+            m.bandwidth_at(48, Layout::Aos),
+        )
+    }
+
+    #[test]
+    fn benchmark_is_memory_bound_in_the_precalculated_scenario() {
+        // Paper conclusion 5: "the problem is memory bound".
+        let r = endeavour_roofline();
+        let pre = KernelCost::boris(Scenario::Precalculated, Layout::Aos, Precision::F32);
+        assert_eq!(r.bound_of(&pre), Bound::Memory);
+        // The analytical scenario climbs toward (or past) the ridge.
+        let ana = KernelCost::boris(Scenario::Analytical, Layout::Aos, Precision::F32);
+        assert!(ana.intensity() > pre.intensity() * 3.0);
+    }
+
+    #[test]
+    fn machine_balance_is_in_a_plausible_hpc_range() {
+        let r = endeavour_roofline();
+        // Achieved-flops/achieved-bandwidth for Cascade Lake lands at a
+        // few flops per byte.
+        let mb = r.machine_balance();
+        assert!((0.5..20.0).contains(&mb), "machine balance {mb}");
+    }
+
+    #[test]
+    fn attainable_follows_the_two_regimes() {
+        let r = Roofline::new(100.0, 10.0); // balance = 10 flop/B
+        assert_eq!(r.attainable_flops(1.0), 10.0); // slanted roof
+        assert_eq!(r.attainable_flops(10.0), 100.0); // ridge
+        assert_eq!(r.attainable_flops(1000.0), 100.0); // flat roof
+    }
+
+    #[test]
+    fn time_matches_cpu_model_roofline() {
+        // The standalone roofline with the CPU model's achieved peaks must
+        // reproduce the model's own NSPS for the OpenMP row.
+        let m = CpuModel::endeavour();
+        for scenario in Scenario::all() {
+            let cost = KernelCost::boris(scenario, Layout::Aos, Precision::F32);
+            let r = Roofline::new(
+                m.flop_rate_at(48, Layout::Aos, Precision::F32),
+                m.bandwidth_at(48, Layout::Aos),
+            );
+            let nsps_roofline = r.time(&cost, 1) * 1e9;
+            let nsps_model = m.nsps(
+                scenario,
+                Layout::Aos,
+                Precision::F32,
+                crate::cpu::Parallelization::OpenMp,
+                48,
+            );
+            assert!(
+                (nsps_roofline - nsps_model).abs() / nsps_model < 1e-12,
+                "{scenario}: {nsps_roofline} vs {nsps_model}"
+            );
+        }
+    }
+
+    #[test]
+    fn gpu_precalculated_is_deep_in_the_memory_regime() {
+        let gpu = GpuModel::p630();
+        let r = Roofline::new(
+            gpu.spec.peak_flops_f32 * gpu.cal.comp_eff,
+            gpu.spec.mem_bandwidth * gpu.cal.mem_eff,
+        );
+        let pre = KernelCost::boris(Scenario::Precalculated, Layout::Soa, Precision::F32);
+        assert_eq!(r.bound_of(&pre), Bound::Memory);
+        assert!(r.balance_ratio(&pre) < 0.5, "{}", r.balance_ratio(&pre));
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_peak_panics() {
+        let _ = Roofline::new(0.0, 1.0);
+    }
+}

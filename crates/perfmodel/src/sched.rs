@@ -1,0 +1,282 @@
+//! Discrete-event simulation of the scheduling policies.
+//!
+//! The paper (§4.3) motivates TBB's dynamic scheduling: "TBB always uses
+//! dynamic scheduling, which can substantially improve performance in
+//! complex unbalanced problems. However, in balanced applications, the
+//! overhead of dynamic scheduling may not be justified." The analytic CPU
+//! model treats these as calibrated constants; this module *derives* the
+//! effect from first principles with a list-scheduling simulation over
+//! per-item service times, so the trade-off can be explored for arbitrary
+//! load shapes (see the `schedule_sim` bench target).
+
+use std::collections::BinaryHeap;
+
+/// Scheduling policy of the simulated runtime.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum SimPolicy {
+    /// Contiguous blocks, one per thread, assigned up front (OpenMP
+    /// static).
+    Static,
+    /// A shared queue of fixed-size grains (TBB/DPC++ dynamic).
+    Dynamic {
+        /// Items per grain.
+        grain: usize,
+    },
+    /// A shared queue of geometrically shrinking grains (OpenMP guided).
+    Guided {
+        /// Smallest grain.
+        min_grain: usize,
+    },
+}
+
+/// The simulated runtime: a thread count and a per-grain dispatch cost
+/// (queue pop + cache warm-up), seconds.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct SchedSim {
+    /// Worker threads.
+    pub threads: usize,
+    /// Fixed cost a thread pays for every grain it acquires, s.
+    pub dispatch_overhead: f64,
+}
+
+/// Outcome of one simulated sweep.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct SchedOutcome {
+    /// Wall-clock makespan, s.
+    pub makespan: f64,
+    /// Parallel efficiency: total work / (threads × makespan).
+    pub efficiency: f64,
+    /// Number of grains dispatched.
+    pub grains: usize,
+}
+
+impl SchedSim {
+    /// Creates a simulator.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `threads` is zero or the overhead is negative.
+    pub fn new(threads: usize, dispatch_overhead: f64) -> SchedSim {
+        assert!(threads > 0, "SchedSim: zero threads");
+        assert!(dispatch_overhead >= 0.0, "SchedSim: negative overhead");
+        SchedSim { threads, dispatch_overhead }
+    }
+
+    /// Simulates one sweep over items with the given per-item service
+    /// times (seconds).
+    pub fn run(&self, service: &[f64], policy: SimPolicy) -> SchedOutcome {
+        let total: f64 = service.iter().sum();
+        if service.is_empty() {
+            return SchedOutcome { makespan: 0.0, efficiency: 1.0, grains: 0 };
+        }
+        let grain_bounds = self.grain_bounds(service.len(), policy);
+        let makespan = self.greedy_makespan(service, &grain_bounds, policy);
+        SchedOutcome {
+            makespan,
+            efficiency: total / (self.threads as f64 * makespan),
+            grains: grain_bounds.len(),
+        }
+    }
+
+    /// Produces `(start, end)` item ranges for the policy's grains.
+    fn grain_bounds(&self, items: usize, policy: SimPolicy) -> Vec<(usize, usize)> {
+        let mut bounds = Vec::new();
+        match policy {
+            SimPolicy::Static => {
+                let block = items.div_ceil(self.threads);
+                let mut start = 0;
+                while start < items {
+                    let end = (start + block).min(items);
+                    bounds.push((start, end));
+                    start = end;
+                }
+            }
+            SimPolicy::Dynamic { grain } => {
+                let g = grain.max(1);
+                let mut start = 0;
+                while start < items {
+                    let end = (start + g).min(items);
+                    bounds.push((start, end));
+                    start = end;
+                }
+            }
+            SimPolicy::Guided { min_grain } => {
+                let floor = min_grain.max(1);
+                let mut start = 0;
+                while start < items {
+                    let remaining = items - start;
+                    let g = (remaining / (2 * self.threads)).max(floor).min(remaining);
+                    bounds.push((start, start + g));
+                    start += g;
+                }
+            }
+        }
+        bounds
+    }
+
+    /// Greedy list scheduling: for the static policy each block is pinned
+    /// to its thread; for queue policies the next grain goes to the thread
+    /// that frees up first — exactly the behaviour of a work queue.
+    fn greedy_makespan(
+        &self,
+        service: &[f64],
+        bounds: &[(usize, usize)],
+        policy: SimPolicy,
+    ) -> f64 {
+        let grain_time = |(s, e): (usize, usize)| -> f64 {
+            self.dispatch_overhead + service[s..e].iter().sum::<f64>()
+        };
+        match policy {
+            SimPolicy::Static => bounds
+                .iter()
+                .map(|&b| grain_time(b))
+                .fold(0.0, f64::max),
+            _ => {
+                // Min-heap of thread finish times (Reverse ordering via
+                // negation to stay with f64).
+                #[derive(PartialEq)]
+                struct T(f64);
+                impl Eq for T {}
+                impl PartialOrd for T {
+                    fn partial_cmp(&self, o: &T) -> Option<std::cmp::Ordering> {
+                        Some(self.cmp(o))
+                    }
+                }
+                impl Ord for T {
+                    fn cmp(&self, o: &T) -> std::cmp::Ordering {
+                        // Reversed: smallest finish time pops first.
+                        o.0.partial_cmp(&self.0).expect("finite times")
+                    }
+                }
+                let mut heap: BinaryHeap<T> =
+                    (0..self.threads).map(|_| T(0.0)).collect();
+                for &b in bounds {
+                    let T(free_at) = heap.pop().expect("threads > 0");
+                    heap.push(T(free_at + grain_time(b)));
+                }
+                heap.into_iter().map(|T(t)| t).fold(0.0, f64::max)
+            }
+        }
+    }
+}
+
+/// Synthetic per-item service-time shapes for experiments.
+pub mod workloads {
+    /// Uniform cost per item.
+    pub fn balanced(items: usize, cost: f64) -> Vec<f64> {
+        vec![cost; items]
+    }
+
+    /// Cost ramps linearly from `cost` to `3·cost` across the range.
+    pub fn ramp(items: usize, cost: f64) -> Vec<f64> {
+        (0..items)
+            .map(|i| cost * (1.0 + 2.0 * i as f64 / items.max(1) as f64))
+            .collect()
+    }
+
+    /// A hotspot: the first `hot_fraction` of items cost `factor`× more —
+    /// e.g. particles inside the laser focus doing field evaluations with
+    /// more series terms.
+    pub fn hotspot(items: usize, cost: f64, hot_fraction: f64, factor: f64) -> Vec<f64> {
+        let hot = (items as f64 * hot_fraction) as usize;
+        (0..items)
+            .map(|i| if i < hot { cost * factor } else { cost })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::workloads::*;
+    use super::*;
+
+    const OH: f64 = 1e-7;
+
+    #[test]
+    fn balanced_static_is_near_optimal() {
+        let sim = SchedSim::new(8, OH);
+        let work = balanced(8000, 1e-6);
+        let st = sim.run(&work, SimPolicy::Static);
+        assert!(st.efficiency > 0.99, "eff = {}", st.efficiency);
+        assert_eq!(st.grains, 8);
+    }
+
+    #[test]
+    fn balanced_dynamic_pays_dispatch_overhead() {
+        // Paper §4.3: "in balanced applications, the overhead of dynamic
+        // scheduling may not be justified".
+        let sim = SchedSim::new(8, 5e-6);
+        let work = balanced(8000, 1e-6);
+        let st = sim.run(&work, SimPolicy::Static);
+        let dy = sim.run(&work, SimPolicy::Dynamic { grain: 50 });
+        assert!(dy.makespan > st.makespan, "{} vs {}", dy.makespan, st.makespan);
+    }
+
+    #[test]
+    fn imbalanced_dynamic_beats_static_substantially() {
+        // Paper §4.3: dynamic "can substantially improve performance in
+        // complex unbalanced problems".
+        let sim = SchedSim::new(8, OH);
+        let work = hotspot(8000, 1e-6, 0.125, 10.0); // thread 0's block is hot
+        let st = sim.run(&work, SimPolicy::Static);
+        let dy = sim.run(&work, SimPolicy::Dynamic { grain: 50 });
+        assert!(
+            st.makespan > 1.5 * dy.makespan,
+            "static {} vs dynamic {}",
+            st.makespan,
+            dy.makespan
+        );
+        assert!(dy.efficiency > 0.9);
+    }
+
+    #[test]
+    fn guided_uses_fewer_grains_than_dynamic() {
+        let sim = SchedSim::new(8, OH);
+        let work = ramp(8000, 1e-6);
+        let dy = sim.run(&work, SimPolicy::Dynamic { grain: 50 });
+        let gd = sim.run(&work, SimPolicy::Guided { min_grain: 50 });
+        assert!(gd.grains < dy.grains, "{} vs {}", gd.grains, dy.grains);
+        // Still balances the ramp well.
+        assert!(gd.efficiency > 0.9, "eff = {}", gd.efficiency);
+    }
+
+    #[test]
+    fn makespan_bounds_hold() {
+        let sim = SchedSim::new(4, 0.0);
+        let work = ramp(1000, 1e-6);
+        let total: f64 = work.iter().sum();
+        for policy in [
+            SimPolicy::Static,
+            SimPolicy::Dynamic { grain: 10 },
+            SimPolicy::Guided { min_grain: 10 },
+        ] {
+            let out = sim.run(&work, policy);
+            assert!(out.makespan >= total / 4.0 - 1e-12, "{policy:?}");
+            assert!(out.makespan <= total + 1e-12, "{policy:?}");
+            assert!(out.efficiency <= 1.0 + 1e-12);
+        }
+    }
+
+    #[test]
+    fn empty_workload() {
+        let sim = SchedSim::new(4, OH);
+        let out = sim.run(&[], SimPolicy::Static);
+        assert_eq!(out.makespan, 0.0);
+        assert_eq!(out.grains, 0);
+    }
+
+    #[test]
+    fn single_thread_makespan_is_total_plus_overheads() {
+        let sim = SchedSim::new(1, 1e-6);
+        let work = balanced(100, 1e-6);
+        let out = sim.run(&work, SimPolicy::Dynamic { grain: 10 });
+        let expect = 100.0 * 1e-6 + 10.0 * 1e-6;
+        assert!((out.makespan - expect).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "zero threads")]
+    fn zero_threads_panics() {
+        let _ = SchedSim::new(0, 0.0);
+    }
+}

@@ -1,0 +1,208 @@
+//! Calibration sensitivity analysis.
+//!
+//! The CPU model reproduces 24 published cells from nine efficiency
+//! constants. A fair question: is that genuine modeling or nine free knobs
+//! overfitting 24 numbers? This module answers it quantitatively — each
+//! knob is perturbed individually and the aggregate fidelity re-evaluated.
+//! The tests assert that (a) the default calibration is near-optimal under
+//! single-knob perturbations, (b) the knob physical reasoning says must
+//! dominate a memory-bound Table 2 — the socket bandwidth efficiency —
+//! indeed ranks first, and (c) the two knobs that barely move Table 2
+//! (per-core bandwidth, serial β) are exactly the ones that control
+//! Fig. 1, where they do move the curve. No dead parameters, no slack.
+
+use crate::cpu::{CpuCalibration, CpuModel};
+use crate::report::{fidelity, table2_cells};
+
+/// The perturbable calibration constants.
+#[derive(Clone, Copy, Debug, Eq, PartialEq)]
+pub enum Knob {
+    /// Fraction of theoretical socket bandwidth achieved.
+    SocketBwEff,
+    /// Single-core achievable bandwidth.
+    PerCoreBw,
+    /// SoA multi-stream penalty.
+    SoaStreamEff,
+    /// Achieved fraction of peak flops.
+    VecEff,
+    /// AoS gather penalty, f32.
+    AosGatherF32,
+    /// AoS gather penalty, f64.
+    AosGatherF64,
+    /// Residual DPC++ NUMA overhead.
+    DpcppNumaFactor,
+    /// DPC++ serial inefficiency (1/t term).
+    DpcppSerialBeta,
+    /// Plain-DPC++ remote-traffic slowdown.
+    DpcppRemoteFactor,
+}
+
+impl Knob {
+    /// All knobs.
+    pub fn all() -> [Knob; 9] {
+        [
+            Knob::SocketBwEff,
+            Knob::PerCoreBw,
+            Knob::SoaStreamEff,
+            Knob::VecEff,
+            Knob::AosGatherF32,
+            Knob::AosGatherF64,
+            Knob::DpcppNumaFactor,
+            Knob::DpcppSerialBeta,
+            Knob::DpcppRemoteFactor,
+        ]
+    }
+
+    /// Human-readable name.
+    pub fn name(self) -> &'static str {
+        match self {
+            Knob::SocketBwEff => "socket_bw_eff",
+            Knob::PerCoreBw => "per_core_bw",
+            Knob::SoaStreamEff => "soa_stream_eff",
+            Knob::VecEff => "vec_eff",
+            Knob::AosGatherF32 => "aos_gather_eff_f32",
+            Knob::AosGatherF64 => "aos_gather_eff_f64",
+            Knob::DpcppNumaFactor => "dpcpp_numa_factor",
+            Knob::DpcppSerialBeta => "dpcpp_serial_beta",
+            Knob::DpcppRemoteFactor => "dpcpp_remote_factor",
+        }
+    }
+
+    /// Returns a calibration with this knob multiplied by `factor`.
+    pub fn scaled(self, base: CpuCalibration, factor: f64) -> CpuCalibration {
+        let mut c = base;
+        match self {
+            Knob::SocketBwEff => c.socket_bw_eff *= factor,
+            Knob::PerCoreBw => c.per_core_bw *= factor,
+            Knob::SoaStreamEff => c.soa_stream_eff *= factor,
+            Knob::VecEff => c.vec_eff *= factor,
+            Knob::AosGatherF32 => c.aos_gather_eff_f32 *= factor,
+            Knob::AosGatherF64 => c.aos_gather_eff_f64 *= factor,
+            Knob::DpcppNumaFactor => c.dpcpp_numa_factor *= factor,
+            Knob::DpcppSerialBeta => c.dpcpp_serial_beta *= factor,
+            Knob::DpcppRemoteFactor => c.dpcpp_remote_factor *= factor,
+        }
+        c
+    }
+}
+
+/// Mean |deviation| of Table 2 under a given calibration.
+pub fn table2_fidelity(cal: CpuCalibration) -> f64 {
+    let model = CpuModel { spec: crate::specs::CpuSpec::xeon_8260l_x2(), cal };
+    fidelity(&table2_cells(&model)).mean_abs_deviation
+}
+
+/// Sensitivity of one knob: the *increase* in mean |deviation| when the
+/// knob is scaled by `factor` (negative would mean the perturbation
+/// improves the fit).
+pub fn knob_sensitivity(knob: Knob, factor: f64) -> f64 {
+    let base = table2_fidelity(CpuCalibration::default());
+    table2_fidelity(knob.scaled(CpuCalibration::default(), factor)) - base
+}
+
+/// Full sensitivity table for ±`delta` relative perturbations, sorted by
+/// impact (worst direction per knob, descending).
+pub fn sensitivity_ranking(delta: f64) -> Vec<(Knob, f64)> {
+    let mut out: Vec<(Knob, f64)> = Knob::all()
+        .into_iter()
+        .map(|k| {
+            let up = knob_sensitivity(k, 1.0 + delta);
+            let down = knob_sensitivity(k, 1.0 - delta);
+            (k, up.max(down))
+        })
+        .collect();
+    out.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("finite sensitivities"));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_calibration_is_near_optimal() {
+        // No single ±40% knob change may improve the fit by more than one
+        // percentage point of mean deviation — i.e. the constants are not
+        // arbitrary slack soaking up error.
+        let base = table2_fidelity(CpuCalibration::default());
+        for knob in Knob::all() {
+            for factor in [0.6, 1.4] {
+                let perturbed = table2_fidelity(knob.scaled(CpuCalibration::default(), factor));
+                assert!(
+                    perturbed > base - 0.01,
+                    "{} × {factor} improves fit: {perturbed:.4} vs {base:.4}",
+                    knob.name()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn physically_dominant_knobs_rank_highest() {
+        // The kernel is memory-bound: socket bandwidth must be the single
+        // most sensitive constant for Table 2, and the two scaling-only
+        // knobs (per-core bandwidth, the serial-inefficiency β) the least —
+        // Table 2 is measured at 48 cores where neither binds.
+        let ranking = sensitivity_ranking(0.4);
+        assert_eq!(ranking[0].0.name(), "socket_bw_eff", "{ranking:?}");
+        let tail: Vec<&str> = ranking.iter().rev().take(2).map(|(k, _)| k.name()).collect();
+        assert!(tail.contains(&"per_core_bw"), "{ranking:?}");
+        assert!(tail.contains(&"dpcpp_serial_beta"), "{ranking:?}");
+    }
+
+    #[test]
+    fn every_knob_matters_somewhere() {
+        // Seven knobs move Table 2; the other two exist for Fig. 1 and
+        // must move *it*: per_core_bw sets the 1-core NSPS, the serial β
+        // sets the super-linearity of the DPC++ curve.
+        use crate::cost::{Precision, Scenario};
+        use crate::cpu::Parallelization;
+        use pic_particles::Layout;
+
+        for (knob, worst) in sensitivity_ranking(0.4) {
+            if matches!(knob, Knob::PerCoreBw | Knob::DpcppSerialBeta) {
+                continue; // checked below against Fig. 1
+            }
+            assert!(
+                worst > 0.005,
+                "{} appears to be a dead knob for Table 2 (Δ = {worst:.4})",
+                knob.name()
+            );
+        }
+
+        let fig1_metric = |cal: CpuCalibration| -> (f64, f64) {
+            let m = CpuModel { spec: crate::specs::CpuSpec::xeon_8260l_x2(), cal };
+            let one_core = m.nsps(
+                Scenario::Precalculated, Layout::Aos, Precision::F32,
+                Parallelization::OpenMp, 1);
+            let s = m.speedup_curve(
+                Scenario::Precalculated, Layout::Aos, Precision::F32,
+                Parallelization::DpcppNuma);
+            (one_core, s[1])
+        };
+        let (base_t1, base_s2) = fig1_metric(CpuCalibration::default());
+        let (t1, _) = fig1_metric(Knob::PerCoreBw.scaled(CpuCalibration::default(), 1.4));
+        assert!(
+            (t1 - base_t1).abs() / base_t1 > 0.2,
+            "per_core_bw does not move the 1-core time"
+        );
+        let (_, s2) = fig1_metric(Knob::DpcppSerialBeta.scaled(CpuCalibration::default(), 2.0));
+        assert!(
+            (s2 - base_s2).abs() > 0.02,
+            "serial β does not move the super-linearity: {s2} vs {base_s2}"
+        );
+    }
+
+    #[test]
+    fn sensitivity_is_monotone_in_perturbation_size() {
+        for knob in [Knob::SocketBwEff, Knob::VecEff, Knob::DpcppRemoteFactor] {
+            let small = knob_sensitivity(knob, 1.2);
+            let large = knob_sensitivity(knob, 1.5);
+            assert!(
+                large >= small - 1e-12,
+                "{}: Δ(1.5) = {large:.4} < Δ(1.2) = {small:.4}",
+                knob.name()
+            );
+        }
+    }
+}

@@ -1,0 +1,162 @@
+//! Parallel reductions over particle ensembles (read-only sweeps).
+//!
+//! Diagnostics (total energy, momentum, escape counts) visit every
+//! particle without mutating it; this module parallelizes them with the
+//! same topology abstraction as the mutating sweep.
+
+use crate::topology::Topology;
+use pic_math::Real;
+use pic_particles::{Particle, ParticleAccess};
+
+/// Computes `reduce(map(p₀), map(p₁), …)` over all particles in parallel:
+/// `map` converts one particle to a partial value, `combine` merges two
+/// partials, `identity` is the empty value.
+///
+/// `combine` must be associative and commutative (thread partials merge in
+/// thread-id order, but particle order inside a partial is the storage
+/// order of that thread's contiguous range).
+///
+/// # Example
+///
+/// ```
+/// use pic_particles::{AosEnsemble, Particle, ParticleStore};
+/// use pic_runtime::{parallel_reduce, Topology};
+///
+/// let ens = AosEnsemble::<f64>::from_particles(
+///     (0..100).map(|_| Particle { weight: 2.0, ..Particle::default() }));
+/// let total_weight = parallel_reduce(
+///     &ens,
+///     &Topology::uniform(2, 2),
+///     0.0,
+///     |p| p.weight,
+///     |a, b| a + b,
+/// );
+/// assert_eq!(total_weight, 200.0);
+/// ```
+pub fn parallel_reduce<R, A, T, M, C>(
+    store: &A,
+    topology: &Topology,
+    identity: T,
+    map: M,
+    combine: C,
+) -> T
+where
+    R: Real,
+    A: ParticleAccess<R> + Sync,
+    T: Clone + Send,
+    M: Fn(Particle<R>) -> T + Sync,
+    C: Fn(T, T) -> T + Sync,
+{
+    let n = store.len();
+    let threads = topology.total_threads().min(n.max(1));
+    if threads <= 1 {
+        let mut acc = identity;
+        for i in 0..n {
+            acc = combine(acc, map(store.get(i)));
+        }
+        return acc;
+    }
+
+    let block = n.div_ceil(threads);
+    let partials: Vec<T> = crossbeam::thread::scope(|scope| {
+        let handles: Vec<_> = (0..threads)
+            .map(|tid| {
+                let identity = identity.clone();
+                let map = &map;
+                let combine = &combine;
+                scope.spawn(move |_| {
+                    let start = tid * block;
+                    let end = ((tid + 1) * block).min(n);
+                    let mut acc = identity;
+                    for i in start..end {
+                        acc = combine(acc, map(store.get(i)));
+                    }
+                    acc
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().expect("worker panicked")).collect()
+    })
+    .expect("scope panicked");
+
+    partials.into_iter().fold(identity, combine)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pic_math::Vec3;
+    use pic_particles::{AosEnsemble, ParticleStore, SoaEnsemble, SpeciesId};
+
+    fn ensemble<S: ParticleStore<f64>>(n: usize) -> S {
+        S::from_particles((0..n).map(|i| {
+            let mut p = Particle::at_rest(
+                Vec3::new(i as f64, 0.0, 0.0),
+                (i + 1) as f64,
+                SpeciesId(0),
+            );
+            p.gamma = 1.0 + i as f64 * 1e-3;
+            p
+        }))
+    }
+
+    #[test]
+    fn sum_matches_serial() {
+        let ens: AosEnsemble<f64> = ensemble(1001);
+        let serial: f64 = (0..ens.len()).map(|i| ens.get(i).weight).sum();
+        for topo in [Topology::single(1), Topology::single(4), Topology::uniform(2, 3)] {
+            let par = parallel_reduce(&ens, &topo, 0.0, |p| p.weight, |a, b| a + b);
+            assert!((par - serial).abs() < 1e-9, "{topo:?}");
+        }
+    }
+
+    #[test]
+    fn max_reduction() {
+        let ens: SoaEnsemble<f64> = ensemble(257);
+        let max_gamma =
+            parallel_reduce(&ens, &Topology::single(4), 0.0, |p| p.gamma, f64::max);
+        assert!((max_gamma - (1.0 + 256.0 * 1e-3)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn vector_accumulation() {
+        let ens: AosEnsemble<f64> = ensemble(64);
+        let com = parallel_reduce(
+            &ens,
+            &Topology::uniform(2, 2),
+            Vec3::<f64>::zero(),
+            |p| p.position,
+            |a, b| a + b,
+        );
+        assert_eq!(com.x, (0..64).sum::<usize>() as f64);
+    }
+
+    #[test]
+    fn empty_store_returns_identity() {
+        let ens = AosEnsemble::<f64>::new();
+        let v = parallel_reduce(&ens, &Topology::single(8), 42.0, |p| p.weight, |a, b| a + b);
+        assert_eq!(v, 42.0);
+    }
+
+    #[test]
+    fn more_threads_than_particles() {
+        let ens: AosEnsemble<f64> = ensemble(3);
+        let sum = parallel_reduce(&ens, &Topology::single(16), 0.0, |p| p.weight, |a, b| a + b);
+        assert_eq!(sum, 6.0);
+    }
+
+    #[test]
+    fn count_reduction_with_tuples() {
+        let ens: SoaEnsemble<f64> = ensemble(100);
+        // (count, weighted sum) in one pass.
+        let (count, wsum) = parallel_reduce(
+            &ens,
+            &Topology::uniform(2, 2),
+            (0usize, 0.0f64),
+            |p| (1, p.weight * p.gamma),
+            |a, b| (a.0 + b.0, a.1 + b.1),
+        );
+        assert_eq!(count, 100);
+        assert!(wsum > 0.0);
+    }
+}

@@ -1,0 +1,441 @@
+//! The parallel particle sweep.
+
+use crate::schedule::Schedule;
+use crate::topology::Topology;
+use crossbeam::queue::SegQueue;
+use pic_math::Real;
+use pic_particles::{ParticleAccess, ParticleKernel};
+
+/// Per-thread accounting of one sweep.
+#[derive(Clone, Copy, Debug, Default, Eq, PartialEq)]
+pub struct ThreadReport {
+    /// Global thread id.
+    pub thread: usize,
+    /// NUMA domain the thread belongs to.
+    pub domain: usize,
+    /// Work items (grains/blocks) this thread executed.
+    pub chunks: usize,
+    /// Particles this thread processed.
+    pub particles: usize,
+}
+
+/// Accounting of one sweep across all threads.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct SweepReport {
+    /// One entry per worker thread, ordered by thread id.
+    pub threads: Vec<ThreadReport>,
+}
+
+impl SweepReport {
+    /// Total particles processed (must equal the ensemble size).
+    pub fn total_particles(&self) -> usize {
+        self.threads.iter().map(|t| t.particles).sum()
+    }
+
+    /// Total work items executed.
+    pub fn total_chunks(&self) -> usize {
+        self.threads.iter().map(|t| t.chunks).sum()
+    }
+
+    /// Load imbalance: the busiest thread's particle count divided by the
+    /// mean (1.0 = perfectly balanced; returns 1.0 for empty sweeps).
+    pub fn imbalance(&self) -> f64 {
+        let total = self.total_particles();
+        if total == 0 || self.threads.is_empty() {
+            return 1.0;
+        }
+        let mean = total as f64 / self.threads.len() as f64;
+        let max = self.threads.iter().map(|t| t.particles).max().unwrap_or(0);
+        max as f64 / mean
+    }
+}
+
+/// Applies a kernel to every particle under the given schedule.
+///
+/// `kernel_factory(tid)` builds each worker thread's private kernel
+/// (kernels are stateful — `apply` takes `&mut self` — so they cannot be
+/// shared). Worker `tid` belongs to NUMA domain `topology.domain_of(tid)`.
+///
+/// Under [`Schedule::NumaDomains`] the particle range is partitioned into
+/// per-domain contiguous sections proportional to domain thread counts,
+/// and threads only execute grains of their own section — the runtime
+/// analogue of `DPCPP_CPU_PLACES=numa_domains` (paper §4.3).
+///
+/// # Example
+///
+/// ```
+/// use pic_particles::{AosEnsemble, Particle, ParticleStore, ParticleAccess, DynKernel,
+///                     ParticleView};
+/// use pic_runtime::{parallel_sweep, Schedule, Topology};
+///
+/// let mut ens = AosEnsemble::<f64>::from_particles(
+///     (0..100).map(|_| Particle::default()));
+/// let report = parallel_sweep(
+///     &mut ens,
+///     &Topology::uniform(2, 2),
+///     Schedule::dynamic(),
+///     |_tid| DynKernel(|_i, v: &mut dyn ParticleView<f64>| {
+///         let w = v.weight();
+///         v.set_weight(w + 1.0);
+///     }),
+/// );
+/// assert_eq!(report.total_particles(), 100);
+/// assert_eq!(ens.get(42).weight, 1.0);
+/// ```
+pub fn parallel_sweep<R, A, K, F>(
+    store: &mut A,
+    topology: &Topology,
+    schedule: Schedule,
+    kernel_factory: F,
+) -> SweepReport
+where
+    R: Real,
+    A: ParticleAccess<R>,
+    K: ParticleKernel<R> + Send,
+    F: Fn(usize) -> K + Sync,
+{
+    let n = store.len();
+    let threads = topology.total_threads();
+
+    // Serial fast path: one thread, no queues, no spawning.
+    if threads == 1 {
+        let mut kernel = kernel_factory(0);
+        store.for_each_mut(&mut kernel);
+        return SweepReport {
+            threads: vec![ThreadReport { thread: 0, domain: 0, chunks: 1, particles: n }],
+        };
+    }
+
+    match schedule {
+        Schedule::StaticChunks => {
+            let chunk_size = n.div_ceil(threads).max(1);
+            let chunks = store.split_mut(chunk_size);
+            // Chunk i goes to thread i — OpenMP static.
+            let reports: Vec<ThreadReport> = crossbeam::thread::scope(|scope| {
+                let handles: Vec<_> = chunks
+                    .into_iter()
+                    .enumerate()
+                    .map(|(tid, mut chunk)| {
+                        let factory = &kernel_factory;
+                        scope.spawn(move |_| {
+                            let particles = chunk.len();
+                            let mut kernel = factory(tid);
+                            chunk.for_each_mut(&mut kernel);
+                            ThreadReport {
+                                thread: tid,
+                                domain: topology.domain_of(tid),
+                                chunks: 1,
+                                particles,
+                            }
+                        })
+                    })
+                    .collect();
+                handles.into_iter().map(|h| h.join().expect("worker panicked")).collect()
+            })
+            .expect("scope panicked");
+            let mut threads_vec = reports;
+            // Threads beyond the chunk count did no work but still appear.
+            for tid in threads_vec.len()..threads {
+                threads_vec.push(ThreadReport {
+                    thread: tid,
+                    domain: topology.domain_of(tid),
+                    chunks: 0,
+                    particles: 0,
+                });
+            }
+            SweepReport { threads: threads_vec }
+        }
+
+        Schedule::Dynamic { grain } => {
+            let grain = Schedule::resolve_grain(grain, n, threads);
+            let queue = SegQueue::new();
+            for chunk in store.split_mut(grain) {
+                queue.push(chunk);
+            }
+            run_queued(topology, &kernel_factory, |_domain| Some(&queue))
+        }
+
+        Schedule::Guided { min_grain } => {
+            // Decreasing chunk sizes, consumed from a shared queue.
+            let sizes = Schedule::guided_sizes(n, threads, min_grain);
+            let queue = SegQueue::new();
+            for chunk in store.split_sizes_mut(&sizes) {
+                queue.push(chunk);
+            }
+            run_queued(topology, &kernel_factory, |_domain| Some(&queue))
+        }
+
+        Schedule::NumaDomains { grain } => {
+            let grain = Schedule::resolve_grain(grain, n, threads);
+            let mut chunks = store.split_mut(grain);
+            // Assign contiguous grain runs to domains proportionally.
+            let shares = topology.partition_items(chunks.len());
+            let queues: Vec<SegQueue<A::ChunkMut<'_>>> =
+                (0..topology.domains()).map(|_| SegQueue::new()).collect();
+            // Distribute from the back to keep pop order irrelevant.
+            for (d, &share) in shares.iter().enumerate().rev() {
+                for chunk in chunks.split_off(chunks.len() - share) {
+                    queues[d].push(chunk);
+                }
+            }
+            debug_assert!(chunks.is_empty());
+            run_queued(topology, &kernel_factory, |domain| queues.get(domain))
+        }
+    }
+}
+
+/// Spawns one worker per topology thread; each drains the queue returned
+/// by `queue_of` for its domain.
+fn run_queued<'q, R, C, K, F, Q>(
+    topology: &Topology,
+    kernel_factory: &F,
+    queue_of: Q,
+) -> SweepReport
+where
+    R: Real,
+    C: ParticleAccess<R> + 'q,
+    K: ParticleKernel<R> + Send,
+    F: Fn(usize) -> K + Sync,
+    Q: Fn(usize) -> Option<&'q SegQueue<C>> + Sync,
+{
+    let threads = topology.total_threads();
+    let reports: Vec<ThreadReport> = crossbeam::thread::scope(|scope| {
+        let handles: Vec<_> = (0..threads)
+            .map(|tid| {
+                let queue_of = &queue_of;
+                scope.spawn(move |_| {
+                    let domain = topology.domain_of(tid);
+                    let mut report = ThreadReport { thread: tid, domain, chunks: 0, particles: 0 };
+                    if let Some(queue) = queue_of(domain) {
+                        let mut kernel = kernel_factory(tid);
+                        while let Some(mut chunk) = queue.pop() {
+                            report.chunks += 1;
+                            report.particles += chunk.len();
+                            chunk.for_each_mut(&mut kernel);
+                        }
+                    }
+                    report
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().expect("worker panicked")).collect()
+    })
+    .expect("scope panicked");
+    SweepReport { threads: reports }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pic_math::Vec3;
+    use pic_particles::{
+        AosEnsemble, DynKernel, Particle, ParticleStore, ParticleView, SoaEnsemble, SpeciesId,
+    };
+
+    fn ensemble<S: ParticleStore<f64>>(n: usize) -> S {
+        S::from_particles((0..n).map(|i| {
+            let mut p = Particle::at_rest(Vec3::new(i as f64, 0.0, 0.0), 0.0, SpeciesId(0));
+            p.gamma = 1.0;
+            p
+        }))
+    }
+
+    fn increment_kernel(
+        _tid: usize,
+    ) -> DynKernel<impl FnMut(usize, &mut dyn ParticleView<f64>)> {
+        DynKernel(|_i, v: &mut dyn ParticleView<f64>| {
+            let w = v.weight();
+            v.set_weight(w + 1.0);
+        })
+    }
+
+    fn check_each_particle_once<S: ParticleStore<f64>>(schedule: Schedule, topo: Topology) {
+        let mut ens: S = ensemble(1003);
+        let report = parallel_sweep(&mut ens, &topo, schedule, increment_kernel);
+        assert_eq!(report.total_particles(), 1003, "{schedule:?}");
+        for i in 0..ens.len() {
+            assert_eq!(ens.get(i).weight, 1.0, "particle {i} under {schedule:?}");
+        }
+        assert_eq!(report.threads.len(), topo.total_threads());
+    }
+
+    #[test]
+    fn static_processes_every_particle_aos() {
+        check_each_particle_once::<AosEnsemble<f64>>(
+            Schedule::StaticChunks,
+            Topology::uniform(2, 2),
+        );
+    }
+
+    #[test]
+    fn dynamic_processes_every_particle_aos() {
+        check_each_particle_once::<AosEnsemble<f64>>(Schedule::dynamic(), Topology::uniform(2, 2));
+    }
+
+    #[test]
+    fn numa_processes_every_particle_aos() {
+        check_each_particle_once::<AosEnsemble<f64>>(Schedule::numa(), Topology::uniform(2, 2));
+    }
+
+    #[test]
+    fn all_schedules_process_every_particle_soa() {
+        for schedule in [
+            Schedule::StaticChunks,
+            Schedule::dynamic(),
+            Schedule::guided(),
+            Schedule::numa(),
+        ] {
+            check_each_particle_once::<SoaEnsemble<f64>>(schedule, Topology::uniform(2, 3));
+        }
+    }
+
+    #[test]
+    fn guided_processes_every_particle_aos() {
+        check_each_particle_once::<AosEnsemble<f64>>(
+            Schedule::Guided { min_grain: 10 },
+            Topology::uniform(2, 2),
+        );
+    }
+
+    #[test]
+    fn guided_sizes_decrease_and_cover() {
+        let sizes = Schedule::guided_sizes(1000, 4, 25);
+        assert_eq!(sizes.iter().sum::<usize>(), 1000);
+        assert_eq!(sizes[0], 125); // 1000/(2·4)
+        for w in sizes.windows(2) {
+            assert!(w[1] <= w[0], "{sizes:?}");
+        }
+        assert!(*sizes.last().unwrap() >= 1);
+        assert!(sizes[sizes.len() - 2] >= 25);
+        // Degenerate cases.
+        assert!(Schedule::guided_sizes(0, 4, 10).is_empty());
+        assert_eq!(Schedule::guided_sizes(3, 8, 0), vec![1, 1, 1]);
+    }
+
+    #[test]
+    fn serial_fast_path() {
+        check_each_particle_once::<AosEnsemble<f64>>(Schedule::dynamic(), Topology::single(1));
+    }
+
+    #[test]
+    fn static_balances_particle_counts() {
+        let mut ens: AosEnsemble<f64> = ensemble(1000);
+        let topo = Topology::single(4);
+        let report = parallel_sweep(&mut ens, &topo, Schedule::StaticChunks, increment_kernel);
+        for t in &report.threads {
+            assert_eq!(t.particles, 250, "{report:?}");
+            assert_eq!(t.chunks, 1);
+        }
+    }
+
+    #[test]
+    fn dynamic_splits_into_many_grains() {
+        let mut ens: AosEnsemble<f64> = ensemble(1024);
+        let topo = Topology::single(4);
+        let report = parallel_sweep(
+            &mut ens,
+            &topo,
+            Schedule::Dynamic { grain: 32 },
+            increment_kernel,
+        );
+        assert_eq!(report.total_chunks(), 32);
+        assert_eq!(report.total_particles(), 1024);
+    }
+
+    #[test]
+    fn numa_confines_particles_to_their_domain() {
+        // Tag every particle with the processing thread's domain, then
+        // check the tag matches the proportional partition.
+        let n = 800;
+        let mut ens: AosEnsemble<f64> = ensemble(n);
+        let topo = Topology::uniform(2, 2);
+        let topo2 = topo.clone();
+        parallel_sweep(
+            &mut ens,
+            &topo,
+            Schedule::NumaDomains { grain: 25 },
+            move |tid| {
+                let domain = topo2.domain_of(tid) as f64;
+                DynKernel(move |_i, v: &mut dyn ParticleView<f64>| {
+                    v.set_weight(domain + 1.0);
+                })
+            },
+        );
+        // Domain 0 owns the first half of the grains ⇒ the first half of
+        // the particles (uniform 2×2 topology, 32 grains).
+        for i in 0..n {
+            let expect = if i < n / 2 { 1.0 } else { 2.0 };
+            assert_eq!(ens.get(i).weight, expect, "particle {i}");
+        }
+    }
+
+    #[test]
+    fn results_identical_across_schedules() {
+        // The sweep applies an order-independent per-particle op, so all
+        // three schedules must produce identical ensembles.
+        let run = |schedule: Schedule| -> Vec<Particle<f64>> {
+            let mut ens: SoaEnsemble<f64> = ensemble(257);
+            parallel_sweep(&mut ens, &Topology::uniform(2, 2), schedule, |_tid| {
+                DynKernel(|i, v: &mut dyn ParticleView<f64>| {
+                    let p = v.position();
+                    v.set_position(p + Vec3::new(0.0, i as f64, 1.0));
+                    v.set_gamma(1.0 + i as f64 * 1e-3);
+                })
+            });
+            ens.to_particles()
+        };
+        let a = run(Schedule::StaticChunks);
+        let b = run(Schedule::dynamic());
+        let c = run(Schedule::numa());
+        assert_eq!(a, b);
+        assert_eq!(b, c);
+    }
+
+    #[test]
+    fn imbalance_metric() {
+        let mut ens: AosEnsemble<f64> = ensemble(1000);
+        let report = parallel_sweep(
+            &mut ens,
+            &Topology::single(4),
+            Schedule::StaticChunks,
+            increment_kernel,
+        );
+        assert!((report.imbalance() - 1.0).abs() < 1e-12);
+        // An empty report defaults to balanced.
+        assert_eq!(SweepReport::default().imbalance(), 1.0);
+        // A lopsided synthetic report.
+        let lopsided = SweepReport {
+            threads: vec![
+                ThreadReport { thread: 0, domain: 0, chunks: 1, particles: 900 },
+                ThreadReport { thread: 1, domain: 0, chunks: 1, particles: 100 },
+            ],
+        };
+        assert!((lopsided.imbalance() - 1.8).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_ensemble() {
+        let mut ens: AosEnsemble<f64> = ensemble(0);
+        for schedule in [Schedule::StaticChunks, Schedule::dynamic(), Schedule::numa()] {
+            let report =
+                parallel_sweep(&mut ens, &Topology::uniform(2, 2), schedule, increment_kernel);
+            assert_eq!(report.total_particles(), 0, "{schedule:?}");
+        }
+    }
+
+    #[test]
+    fn fewer_particles_than_threads() {
+        let mut ens: AosEnsemble<f64> = ensemble(3);
+        let report = parallel_sweep(
+            &mut ens,
+            &Topology::single(8),
+            Schedule::StaticChunks,
+            increment_kernel,
+        );
+        assert_eq!(report.total_particles(), 3);
+        assert_eq!(report.threads.len(), 8);
+        for i in 0..3 {
+            assert_eq!(ens.get(i).weight, 1.0);
+        }
+    }
+}

@@ -1,0 +1,194 @@
+//! Absorbing field boundaries (damping layers).
+//!
+//! Periodic boundaries recycle outgoing radiation; open systems (a laser
+//! leaving the box, escaping relativistic particles' wakes) need the
+//! boundary to *absorb*. This module implements the masked-damping
+//! absorber used by many PIC codes: after every field step, the fields in
+//! a boundary shell of `width` cells are multiplied by a smooth profile
+//! < 1, so outgoing waves decay over several cells instead of reflecting
+//! off a hard wall. (A full PML is sharper per cell; the masked damper is
+//! what Hi-Chi-class codes typically ship first, and its reflection
+//! coefficient is measured by this module's tests.)
+
+use pic_fields::{EmGrid, ScalarGrid};
+use pic_math::Real;
+
+/// A damping layer along selected axes.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Absorber {
+    width: usize,
+    strength: f64,
+    axes: [bool; 3],
+}
+
+impl Absorber {
+    /// Creates an absorber of `width` cells with damping `strength`
+    /// (fraction removed per step at the outermost cell; 0.3–0.5 works
+    /// well), active on the selected axes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `width` is zero or `strength` is outside `(0, 1]`.
+    pub fn new(width: usize, strength: f64, axes: [bool; 3]) -> Absorber {
+        assert!(width > 0, "Absorber: zero width");
+        assert!(
+            strength > 0.0 && strength <= 1.0,
+            "Absorber: strength must be in (0, 1]"
+        );
+        Absorber { width, strength, axes }
+    }
+
+    /// An absorber on all six faces.
+    pub fn all_faces(width: usize, strength: f64) -> Absorber {
+        Absorber::new(width, strength, [true, true, true])
+    }
+
+    /// Layer width in cells.
+    pub fn width(&self) -> usize {
+        self.width
+    }
+
+    /// Damping factor applied at depth `d` cells from the wall (d = 0 is
+    /// the outermost cell): a smooth quadratic ramp
+    /// `1 − strength·((width−d)/width)²`.
+    pub fn factor(&self, depth: usize) -> f64 {
+        if depth >= self.width {
+            return 1.0;
+        }
+        let x = (self.width - depth) as f64 / self.width as f64;
+        1.0 - self.strength * x * x
+    }
+
+    /// Applies one damping pass to all six field components.
+    pub fn apply<R: Real>(&self, grid: &mut EmGrid<R>) {
+        for comp in [
+            &mut grid.ex,
+            &mut grid.ey,
+            &mut grid.ez,
+            &mut grid.bx,
+            &mut grid.by,
+            &mut grid.bz,
+        ] {
+            self.apply_component(comp);
+        }
+    }
+
+    fn apply_component<R: Real>(&self, g: &mut ScalarGrid<R>) {
+        let [nx, ny, nz] = g.dims();
+        let dims = [nx, ny, nz];
+        for k in 0..nz {
+            for j in 0..ny {
+                for i in 0..nx {
+                    let idx = [i, j, k];
+                    let mut f = 1.0;
+                    for a in 0..3 {
+                        if !self.axes[a] {
+                            continue;
+                        }
+                        let depth = idx[a].min(dims[a] - 1 - idx[a]);
+                        f *= self.factor(depth);
+                    }
+                    if f < 1.0 {
+                        let v = g.at_mut(i, j, k);
+                        *v *= R::from_f64(f);
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::yee::{zero_current, YeeSolver};
+    use pic_math::constants::LIGHT_VELOCITY;
+    use pic_math::Vec3;
+
+    #[test]
+    fn factor_profile_is_smooth_and_bounded() {
+        let a = Absorber::all_faces(8, 0.4);
+        assert!((a.factor(0) - 0.6).abs() < 1e-12); // strongest at the wall
+        assert_eq!(a.factor(8), 1.0); // interior untouched
+        assert_eq!(a.factor(100), 1.0);
+        for d in 0..8 {
+            assert!(a.factor(d) <= a.factor(d + 1) + 1e-15);
+            assert!(a.factor(d) > 0.0);
+        }
+    }
+
+    #[test]
+    fn interior_fields_are_untouched() {
+        let mut g = EmGrid::<f64>::yee([32, 8, 8], Vec3::zero(), Vec3::splat(1.0));
+        g.ey.fill(2.0);
+        let a = Absorber::new(4, 0.5, [true, false, false]);
+        a.apply(&mut g);
+        // Center of the x-range is beyond the layer.
+        assert_eq!(g.ey.get(16, 4, 4), 2.0);
+        // Outermost cells are damped.
+        assert!(g.ey.get(0, 4, 4) < 2.0);
+        assert!(g.ey.get(31, 4, 4) < 2.0);
+        // y/z walls inactive.
+        assert_eq!(g.ey.get(16, 0, 0), 2.0);
+    }
+
+    /// A rightward pulse hits the absorbing wall: the energy must leave
+    /// the box instead of reflecting.
+    #[test]
+    fn outgoing_pulse_is_absorbed() {
+        let nx = 128;
+        let dx = 1.0;
+        let mut g = EmGrid::<f64>::yee([nx, 4, 4], Vec3::zero(), Vec3::splat(dx));
+        // A compact rightward-propagating pulse (Ey, Bz in phase) centred
+        // at x = 40 with width 8.
+        let shape = |x: f64| (-((x - 40.0) / 8.0).powi(2)).exp()
+            * (2.0 * std::f64::consts::PI * x / 16.0).sin();
+        g.ey.fill_with(|p| shape(p.x));
+        g.bz.fill_with(|p| shape(p.x));
+        let current = zero_current(&g);
+        let dt = 0.5 * YeeSolver::courant_limit(&g);
+        let solver = YeeSolver::new(dt);
+        let absorber = Absorber::new(16, 0.25, [true, false, false]);
+
+        let e0 = g.field_energy();
+        // Propagate long enough for the pulse to reach and enter the far
+        // absorber (~90 cells of travel).
+        let steps = (120.0 * dx / (LIGHT_VELOCITY * dt)) as usize;
+        for _ in 0..steps {
+            solver.step(&mut g, &current);
+            absorber.apply(&mut g);
+        }
+        let e1 = g.field_energy();
+        assert!(
+            e1 < 0.02 * e0,
+            "pulse energy not absorbed: {e1:.3e} of {e0:.3e} remains"
+        );
+    }
+
+    /// Compare against the periodic (no absorber) run: without damping the
+    /// pulse wraps and the energy stays.
+    #[test]
+    fn without_absorber_energy_persists() {
+        let nx = 128;
+        let mut g = EmGrid::<f64>::yee([nx, 4, 4], Vec3::zero(), Vec3::splat(1.0));
+        let shape = |x: f64| (-((x - 40.0) / 8.0).powi(2)).exp()
+            * (2.0 * std::f64::consts::PI * x / 16.0).sin();
+        g.ey.fill_with(|p| shape(p.x));
+        g.bz.fill_with(|p| shape(p.x));
+        let current = zero_current(&g);
+        let dt = 0.5 * YeeSolver::courant_limit(&g);
+        let solver = YeeSolver::new(dt);
+        let e0 = g.field_energy();
+        let steps = (120.0 / (LIGHT_VELOCITY * dt)) as usize;
+        for _ in 0..steps {
+            solver.step(&mut g, &current);
+        }
+        assert!(g.field_energy() > 0.8 * e0);
+    }
+
+    #[test]
+    #[should_panic(expected = "strength")]
+    fn invalid_strength_panics() {
+        let _ = Absorber::all_faces(4, 1.5);
+    }
+}

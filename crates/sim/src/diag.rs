@@ -1,0 +1,168 @@
+//! Conservation-law diagnostics for PIC runs.
+
+use crate::deposit::deposit_charge;
+use pic_fields::{EmGrid, ScalarGrid, Stagger};
+use pic_math::Real;
+use pic_particles::{ParticleAccess, SpeciesTable};
+
+/// Field/particle energy bookkeeping, erg.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct EnergyReport {
+    /// Electromagnetic field energy ∑(E²+B²)/8π·ΔV.
+    pub field: f64,
+    /// Particle kinetic energy ∑w(γ−1)mc².
+    pub kinetic: f64,
+}
+
+impl EnergyReport {
+    /// Total energy.
+    pub fn total(&self) -> f64 {
+        self.field + self.kinetic
+    }
+}
+
+/// Maximum residual of Gauss's law, `max |∇·E − 4π(ρ − ρ̄)|`, normalized
+/// by `max |4πρ|` (with `ρ̄` the mean charge density standing in for the
+/// neutralizing immobile ion background of a periodic plasma). Returns 0
+/// for a system with no charge.
+pub fn gauss_residual<R, A>(
+    grid: &EmGrid<R>,
+    particles: &A,
+    table: &SpeciesTable<R>,
+) -> f64
+where
+    R: Real,
+    A: ParticleAccess<R>,
+{
+    let dims = grid.dims();
+    let d = grid.spacing();
+    let mut rho = ScalarGrid::<R>::new(
+        dims,
+        grid.ex.domain_min(),
+        d,
+        Stagger::node(),
+        true,
+    );
+    deposit_charge(particles, table, &mut rho);
+    let mean = rho.total() / (dims[0] * dims[1] * dims[2]) as f64;
+
+    let four_pi = 4.0 * std::f64::consts::PI;
+    let mut max_resid = 0.0f64;
+    let mut scale = 0.0f64;
+    let [nx, ny, nz] = dims;
+    for k in 0..nz {
+        let km = (k + nz - 1) % nz;
+        for j in 0..ny {
+            let jm = (j + ny - 1) % ny;
+            for i in 0..nx {
+                let im = (i + nx - 1) % nx;
+                // Yee divergence at the cell corner.
+                let div = (grid.ex.get(i, j, k).to_f64() - grid.ex.get(im, j, k).to_f64())
+                    / d.x
+                    + (grid.ey.get(i, j, k).to_f64() - grid.ey.get(i, jm, k).to_f64()) / d.y
+                    + (grid.ez.get(i, j, k).to_f64() - grid.ez.get(i, j, km).to_f64()) / d.z;
+                let rhs = four_pi * (rho.get(i, j, k).to_f64() - mean);
+                max_resid = max_resid.max((div - rhs).abs());
+                scale = scale.max(four_pi * rho.get(i, j, k).to_f64().abs());
+            }
+        }
+    }
+    if scale == 0.0 {
+        max_resid
+    } else {
+        max_resid / scale
+    }
+}
+
+/// Amplitude of longitudinal Fourier mode `m` of a scalar lattice: the
+/// lattice is averaged over y/z, FFT'd along x, and `|ĉ_m|/nx` returned
+/// (so a field `A·sin(2πmx/L)` reports `A/2`). Used to follow single-mode
+/// growth (e.g. the two-stream instability) without eyeballing energies.
+///
+/// # Panics
+///
+/// Panics if `nx` is not a power of two or `mode >= nx`.
+pub fn longitudinal_mode_amplitude<R: Real>(g: &ScalarGrid<R>, mode: usize) -> f64 {
+    use crate::fft::{fft, Complex};
+    let [nx, ny, nz] = g.dims();
+    assert!(mode < nx, "mode {mode} out of range for nx = {nx}");
+    let mut row = vec![Complex::ZERO; nx];
+    for i in 0..nx {
+        let mut mean = 0.0;
+        for k in 0..nz {
+            for j in 0..ny {
+                mean += g.get(i, j, k).to_f64();
+            }
+        }
+        row[i] = Complex::new(mean / (ny * nz) as f64, 0.0);
+    }
+    fft(&mut row, false);
+    row[mode].abs() / nx as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pic_math::Vec3;
+    use pic_particles::{AosEnsemble, Particle, ParticleStore, SpeciesId};
+
+    #[test]
+    fn energy_report_totals() {
+        let e = EnergyReport { field: 2.0, kinetic: 3.0 };
+        assert_eq!(e.total(), 5.0);
+        assert_eq!(EnergyReport::default().total(), 0.0);
+    }
+
+    #[test]
+    fn gauss_residual_zero_for_empty_vacuum() {
+        let grid = EmGrid::<f64>::yee([4, 4, 4], Vec3::zero(), Vec3::splat(1.0));
+        let particles = AosEnsemble::<f64>::new();
+        let table = SpeciesTable::with_standard_species();
+        assert_eq!(gauss_residual(&grid, &particles, &table), 0.0);
+    }
+
+    #[test]
+    fn mode_amplitude_extracts_single_modes() {
+        let mut g = ScalarGrid::<f64>::new(
+            [16, 4, 4],
+            Vec3::zero(),
+            Vec3::splat(1.0),
+            Stagger::node(),
+            true,
+        );
+        let k3 = 2.0 * std::f64::consts::PI * 3.0 / 16.0;
+        g.fill_with(|p| 5.0 * (k3 * p.x).sin() + 1.0);
+        // Mode 3 carries amplitude 5 → |ĉ|/n = 2.5; mode 0 the offset.
+        assert!((longitudinal_mode_amplitude(&g, 3) - 2.5).abs() < 1e-12);
+        assert!((longitudinal_mode_amplitude(&g, 0) - 1.0).abs() < 1e-12);
+        assert!(longitudinal_mode_amplitude(&g, 5) < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn mode_out_of_range_panics() {
+        let g = ScalarGrid::<f64>::new(
+            [8, 2, 2],
+            Vec3::zero(),
+            Vec3::splat(1.0),
+            Stagger::node(),
+            true,
+        );
+        let _ = longitudinal_mode_amplitude(&g, 8);
+    }
+
+    #[test]
+    fn gauss_residual_detects_inconsistency() {
+        // A charge with no matching E field violates Gauss's law.
+        let grid = EmGrid::<f64>::yee([4, 4, 4], Vec3::zero(), Vec3::splat(1.0));
+        let mut particles = AosEnsemble::<f64>::new();
+        particles.push(Particle::at_rest(
+            Vec3::splat(2.0),
+            1.0,
+            SpeciesId(0),
+        ));
+        let table = SpeciesTable::with_standard_species();
+        let resid = gauss_residual(&grid, &particles, &table);
+        assert!(resid > 0.1, "residual {resid}");
+    }
+}

@@ -1,0 +1,376 @@
+//! In-place radix-2 complex FFT, 1D and 3D.
+//!
+//! Written from scratch (the dependency policy does not allow an FFT
+//! crate): iterative Cooley–Tukey with bit-reversal permutation. Lengths
+//! must be powers of two. The inverse transform is normalized by `1/N` so
+//! `ifft(fft(x)) == x`.
+
+use std::ops::{Add, AddAssign, Mul, Neg, Sub};
+
+/// A double-precision complex number (the solver's spectral workspace).
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct Complex {
+    /// Real part.
+    pub re: f64,
+    /// Imaginary part.
+    pub im: f64,
+}
+
+impl Complex {
+    /// The complex zero.
+    pub const ZERO: Complex = Complex { re: 0.0, im: 0.0 };
+    /// The imaginary unit.
+    pub const I: Complex = Complex { re: 0.0, im: 1.0 };
+
+    /// Creates a complex number.
+    pub const fn new(re: f64, im: f64) -> Complex {
+        Complex { re, im }
+    }
+
+    /// e^{iθ}.
+    pub fn cis(theta: f64) -> Complex {
+        let (s, c) = theta.sin_cos();
+        Complex { re: c, im: s }
+    }
+
+    /// Complex conjugate.
+    pub fn conj(self) -> Complex {
+        Complex { re: self.re, im: -self.im }
+    }
+
+    /// Squared magnitude.
+    pub fn norm2(self) -> f64 {
+        self.re * self.re + self.im * self.im
+    }
+
+    /// Magnitude.
+    pub fn abs(self) -> f64 {
+        self.norm2().sqrt()
+    }
+
+    /// Multiplication by a real scalar.
+    pub fn scale(self, s: f64) -> Complex {
+        Complex { re: self.re * s, im: self.im * s }
+    }
+}
+
+impl Add for Complex {
+    type Output = Complex;
+    fn add(self, o: Complex) -> Complex {
+        Complex { re: self.re + o.re, im: self.im + o.im }
+    }
+}
+
+impl AddAssign for Complex {
+    fn add_assign(&mut self, o: Complex) {
+        *self = *self + o;
+    }
+}
+
+impl Sub for Complex {
+    type Output = Complex;
+    fn sub(self, o: Complex) -> Complex {
+        Complex { re: self.re - o.re, im: self.im - o.im }
+    }
+}
+
+impl Mul for Complex {
+    type Output = Complex;
+    fn mul(self, o: Complex) -> Complex {
+        Complex {
+            re: self.re * o.re - self.im * o.im,
+            im: self.re * o.im + self.im * o.re,
+        }
+    }
+}
+
+impl Neg for Complex {
+    type Output = Complex;
+    fn neg(self) -> Complex {
+        Complex { re: -self.re, im: -self.im }
+    }
+}
+
+/// In-place 1D FFT (forward for `inverse = false`).
+///
+/// # Panics
+///
+/// Panics if the length is not a power of two.
+pub fn fft(data: &mut [Complex], inverse: bool) {
+    let n = data.len();
+    assert!(n.is_power_of_two(), "fft: length {n} is not a power of two");
+    if n <= 1 {
+        return;
+    }
+    // Bit-reversal permutation.
+    let bits = n.trailing_zeros();
+    for i in 0..n {
+        let j = i.reverse_bits() >> (usize::BITS - bits);
+        if i < j {
+            data.swap(i, j);
+        }
+    }
+    // Butterflies.
+    let sign = if inverse { 1.0 } else { -1.0 };
+    let mut len = 2;
+    while len <= n {
+        let ang = sign * 2.0 * std::f64::consts::PI / len as f64;
+        let wlen = Complex::cis(ang);
+        for start in (0..n).step_by(len) {
+            let mut w = Complex::new(1.0, 0.0);
+            for off in 0..len / 2 {
+                let a = data[start + off];
+                let b = data[start + off + len / 2] * w;
+                data[start + off] = a + b;
+                data[start + off + len / 2] = a - b;
+                w = w * wlen;
+            }
+        }
+        len <<= 1;
+    }
+    if inverse {
+        let inv = 1.0 / n as f64;
+        for v in data {
+            *v = v.scale(inv);
+        }
+    }
+}
+
+/// In-place 3D FFT over an x-fastest array of shape `dims`.
+///
+/// # Panics
+///
+/// Panics if `data.len() != dims[0]·dims[1]·dims[2]` or any dimension is
+/// not a power of two.
+pub fn fft3(data: &mut [Complex], dims: [usize; 3], inverse: bool) {
+    let [nx, ny, nz] = dims;
+    assert_eq!(data.len(), nx * ny * nz, "fft3: shape mismatch");
+    // Along x: contiguous rows.
+    for row in data.chunks_mut(nx) {
+        fft(row, inverse);
+    }
+    // Along y.
+    let mut scratch = vec![Complex::ZERO; ny.max(nz)];
+    for k in 0..nz {
+        for i in 0..nx {
+            for j in 0..ny {
+                scratch[j] = data[(k * ny + j) * nx + i];
+            }
+            fft(&mut scratch[..ny], inverse);
+            for j in 0..ny {
+                data[(k * ny + j) * nx + i] = scratch[j];
+            }
+        }
+    }
+    // Along z.
+    for j in 0..ny {
+        for i in 0..nx {
+            for k in 0..nz {
+                scratch[k] = data[(k * ny + j) * nx + i];
+            }
+            fft(&mut scratch[..nz], inverse);
+            for k in 0..nz {
+                data[(k * ny + j) * nx + i] = scratch[k];
+            }
+        }
+    }
+}
+
+/// The discrete wavenumber (rad per unit length) of FFT bin `i` out of
+/// `n`, for a domain of physical length `n·dx`: bins above `n/2` are
+/// negative frequencies.
+pub fn wavenumber(i: usize, n: usize, dx: f64) -> f64 {
+    let signed = if i <= n / 2 { i as isize } else { i as isize - n as isize };
+    2.0 * std::f64::consts::PI * signed as f64 / (n as f64 * dx)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn close(a: Complex, b: Complex, tol: f64) -> bool {
+        (a - b).abs() <= tol
+    }
+
+    #[test]
+    fn dft_of_delta_is_flat() {
+        let mut x = vec![Complex::ZERO; 8];
+        x[0] = Complex::new(1.0, 0.0);
+        fft(&mut x, false);
+        for v in &x {
+            assert!(close(*v, Complex::new(1.0, 0.0), 1e-12));
+        }
+    }
+
+    #[test]
+    fn dft_of_single_mode() {
+        // x[n] = e^{2πi·3n/16} transforms to a delta at bin 3.
+        let n = 16;
+        let mut x: Vec<Complex> = (0..n)
+            .map(|i| Complex::cis(2.0 * std::f64::consts::PI * 3.0 * i as f64 / n as f64))
+            .collect();
+        fft(&mut x, false);
+        for (i, v) in x.iter().enumerate() {
+            let expect = if i == 3 { n as f64 } else { 0.0 };
+            assert!((v.re - expect).abs() < 1e-9 && v.im.abs() < 1e-9, "bin {i}: {v:?}");
+        }
+    }
+
+    #[test]
+    fn roundtrip_restores_input() {
+        let orig: Vec<Complex> = (0..64)
+            .map(|i| Complex::new((i as f64).sin(), (i as f64 * 0.7).cos()))
+            .collect();
+        let mut x = orig.clone();
+        fft(&mut x, false);
+        fft(&mut x, true);
+        for (a, b) in x.iter().zip(&orig) {
+            assert!(close(*a, *b, 1e-12));
+        }
+    }
+
+    #[test]
+    fn parseval_identity() {
+        let x: Vec<Complex> = (0..32)
+            .map(|i| Complex::new((i as f64 * 1.3).sin(), (i as f64 * 0.31).cos()))
+            .collect();
+        let time_energy: f64 = x.iter().map(|v| v.norm2()).sum();
+        let mut f = x;
+        fft(&mut f, false);
+        let freq_energy: f64 = f.iter().map(|v| v.norm2()).sum::<f64>() / 32.0;
+        assert!((time_energy - freq_energy).abs() / time_energy < 1e-12);
+    }
+
+    #[test]
+    fn matches_naive_dft() {
+        let n = 16;
+        let x: Vec<Complex> = (0..n)
+            .map(|i| Complex::new((i as f64).cos(), 0.3 * i as f64))
+            .collect();
+        let mut fast = x.clone();
+        fft(&mut fast, false);
+        for k in 0..n {
+            let mut acc = Complex::ZERO;
+            for (i, v) in x.iter().enumerate() {
+                acc += *v
+                    * Complex::cis(-2.0 * std::f64::consts::PI * (k * i) as f64 / n as f64);
+            }
+            assert!(close(fast[k], acc, 1e-9), "bin {k}");
+        }
+    }
+
+    #[test]
+    fn fft3_roundtrip() {
+        let dims = [8, 4, 2];
+        let orig: Vec<Complex> = (0..64)
+            .map(|i| Complex::new(i as f64, (i * i % 7) as f64))
+            .collect();
+        let mut x = orig.clone();
+        fft3(&mut x, dims, false);
+        fft3(&mut x, dims, true);
+        for (a, b) in x.iter().zip(&orig) {
+            assert!(close(*a, *b, 1e-10));
+        }
+    }
+
+    #[test]
+    fn fft3_separable_mode() {
+        // A pure 3D plane-wave mode lands in a single bin.
+        let dims = [4, 4, 4];
+        let (mx, my, mz) = (1usize, 2usize, 3usize);
+        let mut x = vec![Complex::ZERO; 64];
+        for k in 0..4 {
+            for j in 0..4 {
+                for i in 0..4 {
+                    let phase = 2.0 * std::f64::consts::PI
+                        * (mx * i + my * j + mz * k) as f64
+                        / 4.0;
+                    x[(k * 4 + j) * 4 + i] = Complex::cis(phase);
+                }
+            }
+        }
+        fft3(&mut x, dims, false);
+        for k in 0..4 {
+            for j in 0..4 {
+                for i in 0..4 {
+                    let v = x[(k * 4 + j) * 4 + i];
+                    let expect = if (i, j, k) == (mx, my, mz) { 64.0 } else { 0.0 };
+                    assert!(
+                        (v.re - expect).abs() < 1e-9 && v.im.abs() < 1e-9,
+                        "bin ({i},{j},{k}): {v:?}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn wavenumbers_are_symmetric() {
+        let n = 8;
+        let dx = 0.5;
+        assert_eq!(wavenumber(0, n, dx), 0.0);
+        assert!(wavenumber(1, n, dx) > 0.0);
+        assert_eq!(wavenumber(7, n, dx), -wavenumber(1, n, dx));
+        // Nyquist.
+        let nyq = wavenumber(4, n, dx);
+        assert!((nyq - std::f64::consts::PI / dx).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn non_power_of_two_panics() {
+        let mut x = vec![Complex::ZERO; 6];
+        fft(&mut x, false);
+    }
+
+    mod properties {
+        use super::*;
+        use proptest::prelude::*;
+
+        fn arb_signal(max_log2: u32) -> impl Strategy<Value = Vec<Complex>> {
+            (0..=max_log2).prop_flat_map(|k| {
+                prop::collection::vec(
+                    (-100.0f64..100.0, -100.0f64..100.0)
+                        .prop_map(|(re, im)| Complex::new(re, im)),
+                    1usize << k,
+                )
+            })
+        }
+
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(48))]
+
+            #[test]
+            fn roundtrip_any_power_of_two(x in arb_signal(7)) {
+                let mut y = x.clone();
+                fft(&mut y, false);
+                fft(&mut y, true);
+                for (a, b) in y.iter().zip(&x) {
+                    prop_assert!((*a - *b).abs() < 1e-9);
+                }
+            }
+
+            #[test]
+            fn linearity(a in arb_signal(5), s in -5.0f64..5.0) {
+                // FFT(s·a) = s·FFT(a)
+                let mut lhs: Vec<Complex> = a.iter().map(|v| v.scale(s)).collect();
+                fft(&mut lhs, false);
+                let mut rhs = a.clone();
+                fft(&mut rhs, false);
+                for (l, r) in lhs.iter().zip(&rhs) {
+                    prop_assert!((*l - r.scale(s)).abs() < 1e-8);
+                }
+            }
+
+            #[test]
+            fn parseval_any_signal(x in arb_signal(6)) {
+                let n = x.len() as f64;
+                let time: f64 = x.iter().map(|v| v.norm2()).sum();
+                let mut f = x.clone();
+                fft(&mut f, false);
+                let freq: f64 = f.iter().map(|v| v.norm2()).sum::<f64>() / n;
+                prop_assert!((time - freq).abs() <= 1e-9 * time.max(1.0));
+            }
+        }
+    }
+}

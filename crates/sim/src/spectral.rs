@@ -1,0 +1,290 @@
+//! Spectral (PSATD-style) Maxwell solver — the "FFT-based technique" the
+//! paper mentions alongside FDTD (§2).
+//!
+//! Works on a *collocated* grid: all six components at cell corners. In
+//! k-space, Maxwell's equations in Gaussian units become per-mode ODEs
+//!
+//! ```text
+//! dÊ/dt =  i c k×B̂ − 4πĴ
+//! dB̂/dt = −i c k×Ê
+//! ```
+//!
+//! which are integrated *exactly* over one step assuming Ĵ constant: the
+//! transverse part rotates with phase θ = c|k|Δt, the longitudinal part
+//! integrates the current directly. In vacuum the propagation is exact to
+//! machine precision for any Δt — no Courant restriction and no numerical
+//! dispersion, which the tests verify against the FDTD solver.
+
+use crate::fft::{fft3, wavenumber, Complex};
+use pic_fields::{EmGrid, ScalarGrid};
+use pic_math::constants::LIGHT_VELOCITY;
+use pic_math::Real;
+
+/// The spectral field solver.
+#[derive(Clone, Debug, PartialEq)]
+pub struct SpectralSolver {
+    dt: f64,
+    dims: [usize; 3],
+    spacing: [f64; 3],
+}
+
+impl SpectralSolver {
+    /// Creates a solver for a collocated grid with the given geometry.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `dt` is not positive or any dimension is not a power of
+    /// two (FFT requirement).
+    pub fn new(dt: f64, grid: &EmGrid<impl Real>) -> SpectralSolver {
+        assert!(dt > 0.0, "SpectralSolver: non-positive dt");
+        let dims = grid.dims();
+        assert!(
+            dims.iter().all(|d| d.is_power_of_two()),
+            "SpectralSolver: dimensions {dims:?} must be powers of two"
+        );
+        let sp = grid.spacing();
+        SpectralSolver { dt, dims, spacing: [sp.x, sp.y, sp.z] }
+    }
+
+    /// The time step, s.
+    pub fn dt(&self) -> f64 {
+        self.dt
+    }
+
+    /// Advances **E**, **B** by one full step with the given current
+    /// (components on the same collocated lattice).
+    pub fn step<R: Real>(&self, grid: &mut EmGrid<R>, current: &[ScalarGrid<R>; 3]) {
+        let n = self.dims[0] * self.dims[1] * self.dims[2];
+        let to_c = |g: &ScalarGrid<R>| -> Vec<Complex> {
+            g.data().iter().map(|v| Complex::new(v.to_f64(), 0.0)).collect()
+        };
+        let mut e = [to_c(&grid.ex), to_c(&grid.ey), to_c(&grid.ez)];
+        let mut b = [to_c(&grid.bx), to_c(&grid.by), to_c(&grid.bz)];
+        let mut j = [to_c(&current[0]), to_c(&current[1]), to_c(&current[2])];
+        for f in e.iter_mut().chain(b.iter_mut()).chain(j.iter_mut()) {
+            fft3(f, self.dims, false);
+        }
+
+        let c = LIGHT_VELOCITY;
+        let four_pi = 4.0 * std::f64::consts::PI;
+        let [nx, ny, nz] = self.dims;
+        for kz in 0..nz {
+            for ky in 0..ny {
+                for kx in 0..nx {
+                    let idx = (kz * ny + ky) * nx + kx;
+                    let kv = [
+                        wavenumber(kx, nx, self.spacing[0]),
+                        wavenumber(ky, ny, self.spacing[1]),
+                        wavenumber(kz, nz, self.spacing[2]),
+                    ];
+                    let k0 = (kv[0] * kv[0] + kv[1] * kv[1] + kv[2] * kv[2]).sqrt();
+                    let ev = [e[0][idx], e[1][idx], e[2][idx]];
+                    let bv = [b[0][idx], b[1][idx], b[2][idx]];
+                    let jv = [j[0][idx], j[1][idx], j[2][idx]];
+
+                    let (ev2, bv2) = if k0 == 0.0 {
+                        // k = 0: dE/dt = −4πJ, B constant.
+                        (
+                            [
+                                ev[0] - jv[0].scale(four_pi * self.dt),
+                                ev[1] - jv[1].scale(four_pi * self.dt),
+                                ev[2] - jv[2].scale(four_pi * self.dt),
+                            ],
+                            bv,
+                        )
+                    } else {
+                        let khat = [kv[0] / k0, kv[1] / k0, kv[2] / k0];
+                        let theta = c * k0 * self.dt;
+                        let (s, cth) = theta.sin_cos();
+
+                        // Longitudinal/transverse split.
+                        let dotc = |v: &[Complex; 3]| {
+                            v[0].scale(khat[0]) + v[1].scale(khat[1]) + v[2].scale(khat[2])
+                        };
+                        let long = |v: &[Complex; 3]| -> [Complex; 3] {
+                            let d = dotc(v);
+                            [d.scale(khat[0]), d.scale(khat[1]), d.scale(khat[2])]
+                        };
+                        let sub = |a: &[Complex; 3], bb: &[Complex; 3]| {
+                            [a[0] - bb[0], a[1] - bb[1], a[2] - bb[2]]
+                        };
+                        let cross = |v: &[Complex; 3]| -> [Complex; 3] {
+                            [
+                                v[2].scale(khat[1]) - v[1].scale(khat[2]),
+                                v[0].scale(khat[2]) - v[2].scale(khat[0]),
+                                v[1].scale(khat[0]) - v[0].scale(khat[1]),
+                            ]
+                        };
+
+                        let el = long(&ev);
+                        let et = sub(&ev, &el);
+                        let bl = long(&bv);
+                        let bt = sub(&bv, &bl);
+                        let jl = long(&jv);
+                        let jt = sub(&jv, &jl);
+
+                        // k̂ × X (X complex 3-vector).
+                        let kxb = cross(&bt);
+                        let kxe = cross(&et);
+                        let kxj = cross(&jt);
+
+                        let i_s = Complex::new(0.0, s);
+                        let j_coef = four_pi * s / (c * k0);
+                        let jb_coef = four_pi * (1.0 - cth) / (c * k0);
+
+                        let mut e_new = [Complex::ZERO; 3];
+                        let mut b_new = [Complex::ZERO; 3];
+                        for a in 0..3 {
+                            // Transverse rotation + current source.
+                            e_new[a] = et[a].scale(cth) + i_s * kxb[a]
+                                - jt[a].scale(j_coef)
+                                // Longitudinal: E integrates −4πJ_L.
+                                + el[a]
+                                - jl[a].scale(four_pi * self.dt);
+                            b_new[a] = bt[a].scale(cth) - i_s * kxe[a]
+                                + Complex::new(0.0, jb_coef) * kxj[a]
+                                + bl[a];
+                        }
+                        (e_new, b_new)
+                    };
+
+                    for a in 0..3 {
+                        e[a][idx] = ev2[a];
+                        b[a][idx] = bv2[a];
+                    }
+                }
+            }
+        }
+
+        for f in e.iter_mut().chain(b.iter_mut()) {
+            fft3(f, self.dims, true);
+        }
+        let write = |g: &mut ScalarGrid<R>, src: &[Complex]| {
+            for (dst, v) in g.data_mut().iter_mut().zip(src) {
+                *dst = R::from_f64(v.re);
+            }
+        };
+        write(&mut grid.ex, &e[0]);
+        write(&mut grid.ey, &e[1]);
+        write(&mut grid.ez, &e[2]);
+        write(&mut grid.bx, &b[0]);
+        write(&mut grid.by, &b[1]);
+        write(&mut grid.bz, &b[2]);
+        let _ = n;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::yee::{zero_current, YeeSolver};
+    use pic_math::Vec3;
+
+    fn wave_grid(nx: usize) -> (EmGrid<f64>, f64) {
+        let lx = 32.0;
+        let dx = lx / nx as f64;
+        let mut g = EmGrid::<f64>::collocated([nx, 4, 4], Vec3::zero(), Vec3::splat(dx));
+        let k = 2.0 * std::f64::consts::PI / lx;
+        g.ey.fill_with(|p| (k * p.x).sin());
+        g.bz.fill_with(|p| (k * p.x).sin());
+        (g, lx)
+    }
+
+    #[test]
+    fn vacuum_wave_is_exact_even_with_large_steps() {
+        let (mut g, lx) = wave_grid(32);
+        let current = zero_current(&g);
+        // A step far beyond any FDTD Courant limit.
+        let dt = 2.0 * lx / LIGHT_VELOCITY / 7.0;
+        let solver = SpectralSolver::new(dt, &g);
+        for _ in 0..7 {
+            solver.step(&mut g, &current);
+        }
+        // After exactly two periods the wave must be back, to rounding.
+        let k = 2.0 * std::f64::consts::PI / lx;
+        for i in 0..32 {
+            let x = g.ey.node_position(i, 0, 0).x;
+            let expect = (k * x).sin();
+            assert!(
+                (g.ey.get(i, 0, 0) - expect).abs() < 1e-9,
+                "node {i}: {} vs {expect}",
+                g.ey.get(i, 0, 0)
+            );
+        }
+    }
+
+    #[test]
+    fn energy_is_conserved_in_vacuum() {
+        let (mut g, lx) = wave_grid(16);
+        let current = zero_current(&g);
+        let solver = SpectralSolver::new(0.13 * lx / LIGHT_VELOCITY, &g);
+        let e0 = g.field_energy();
+        for _ in 0..50 {
+            solver.step(&mut g, &current);
+        }
+        assert!((g.field_energy() - e0).abs() / e0 < 1e-9);
+    }
+
+    #[test]
+    fn uniform_current_matches_analytic() {
+        let mut g = EmGrid::<f64>::collocated([8, 8, 8], Vec3::zero(), Vec3::splat(1.0));
+        let mut current = zero_current(&g);
+        current[1].fill(3.0);
+        let dt = 1e-12;
+        let solver = SpectralSolver::new(dt, &g);
+        solver.step(&mut g, &current);
+        let expect = -4.0 * std::f64::consts::PI * 3.0 * dt;
+        for v in g.ey.data() {
+            assert!((v - expect).abs() < 1e-15 * expect.abs());
+        }
+        assert!(g.bx.data().iter().all(|&v| v.abs() < 1e-20));
+    }
+
+    #[test]
+    fn agrees_with_fdtd_at_small_steps() {
+        // Both solvers propagate the same initial wave; at a small step
+        // the FDTD result converges to the spectral (exact) one.
+        let nx = 64;
+        let lx = 32.0;
+        let dx = lx / nx as f64;
+        let make = |yee: bool| -> EmGrid<f64> {
+            let mut g = if yee {
+                EmGrid::<f64>::yee([nx, 4, 4], Vec3::zero(), Vec3::splat(dx))
+            } else {
+                EmGrid::<f64>::collocated([nx, 4, 4], Vec3::zero(), Vec3::splat(dx))
+            };
+            let k = 2.0 * std::f64::consts::PI / lx;
+            g.ey.fill_with(|p| (k * p.x).sin());
+            g.bz.fill_with(|p| (k * p.x).sin());
+            g
+        };
+        let mut fdtd = make(true);
+        let mut spec = make(false);
+        let current_f = zero_current(&fdtd);
+        let current_s = zero_current(&spec);
+        let dt = 0.05 * YeeSolver::courant_limit(&fdtd);
+        let steps = 40;
+        let yee = YeeSolver::new(dt);
+        let sp = SpectralSolver::new(dt, &spec);
+        for _ in 0..steps {
+            yee.step(&mut fdtd, &current_f);
+            sp.step(&mut spec, &current_s);
+        }
+        // Compare Ey at matching positions (Ey is y-staggered in Yee, but
+        // the wave only varies along x, so values at equal x agree).
+        let mut max_err = 0.0f64;
+        for i in 0..nx {
+            let a = fdtd.ey.get(i, 1, 1);
+            let b = spec.ey.get(i, 1, 1);
+            max_err = max_err.max((a - b).abs());
+        }
+        assert!(max_err < 5e-3, "FDTD/spectral divergence {max_err}");
+    }
+
+    #[test]
+    #[should_panic(expected = "powers of two")]
+    fn non_power_of_two_grid_panics() {
+        let g = EmGrid::<f64>::collocated([6, 4, 4], Vec3::zero(), Vec3::splat(1.0));
+        let _ = SpectralSolver::new(1e-12, &g);
+    }
+}

@@ -1,0 +1,284 @@
+//! FDTD Maxwell solver on the staggered Yee grid (paper Eq. 1–2).
+//!
+//! Gaussian units, periodic boundaries:
+//!
+//! ```text
+//! ∂E/∂t =  c ∇×B − 4πJ
+//! ∂B/∂t = −c ∇×E
+//! ```
+//!
+//! The standard leapfrog arrangement advances **B** by two half steps
+//! around the **E** update, so both fields are available at integer times
+//! for the particle gather.
+
+use pic_fields::{EmGrid, ScalarGrid};
+use pic_math::constants::LIGHT_VELOCITY;
+use pic_math::Real;
+
+/// The FDTD solver. Holds no state beyond the time step; all field state
+/// lives in the [`EmGrid`].
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct YeeSolver {
+    dt: f64,
+}
+
+impl YeeSolver {
+    /// Creates a solver with time step `dt` (seconds).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `dt` is not positive.
+    pub fn new(dt: f64) -> YeeSolver {
+        assert!(dt > 0.0, "YeeSolver: non-positive dt");
+        YeeSolver { dt }
+    }
+
+    /// The time step, s.
+    pub fn dt(&self) -> f64 {
+        self.dt
+    }
+
+    /// The Courant limit for a given grid spacing:
+    /// `c·dt ≤ 1/√(1/dx² + 1/dy² + 1/dz²)`.
+    pub fn courant_limit(grid: &EmGrid<impl Real>) -> f64 {
+        let d = grid.spacing();
+        let inv = 1.0 / (d.x * d.x) + 1.0 / (d.y * d.y) + 1.0 / (d.z * d.z);
+        1.0 / (LIGHT_VELOCITY * inv.sqrt())
+    }
+
+    /// `true` when `dt` satisfies the Courant condition on `grid`.
+    pub fn is_stable(&self, grid: &EmGrid<impl Real>) -> bool {
+        self.dt <= Self::courant_limit(grid)
+    }
+
+    /// Advances **B** by `dt/2` (∂B/∂t = −c∇×E).
+    pub fn advance_b_half<R: Real>(&self, grid: &mut EmGrid<R>) {
+        let half = 0.5 * self.dt;
+        let c = LIGHT_VELOCITY;
+        let d = grid.spacing();
+        let [nx, ny, nz] = grid.dims();
+        // (∇×E)ₓ at the Bx point (i, j+½, k+½):
+        //   (Ez(j+1) − Ez(j))/dy − (Ey(k+1) − Ey(k))/dz, wrapping
+        //   periodically.
+        for k in 0..nz {
+            let kp = (k + 1) % nz;
+            for j in 0..ny {
+                let jp = (j + 1) % ny;
+                for i in 0..nx {
+                    let ip = (i + 1) % nx;
+                    let curl_x = (grid.ez.get(i, jp, k).to_f64()
+                        - grid.ez.get(i, j, k).to_f64())
+                        / d.y
+                        - (grid.ey.get(i, j, kp).to_f64() - grid.ey.get(i, j, k).to_f64())
+                            / d.z;
+                    let curl_y = (grid.ex.get(i, j, kp).to_f64()
+                        - grid.ex.get(i, j, k).to_f64())
+                        / d.z
+                        - (grid.ez.get(ip, j, k).to_f64() - grid.ez.get(i, j, k).to_f64())
+                            / d.x;
+                    let curl_z = (grid.ey.get(ip, j, k).to_f64()
+                        - grid.ey.get(i, j, k).to_f64())
+                        / d.x
+                        - (grid.ex.get(i, jp, k).to_f64() - grid.ex.get(i, j, k).to_f64())
+                            / d.y;
+                    add(&mut grid.bx, i, j, k, -c * half * curl_x);
+                    add(&mut grid.by, i, j, k, -c * half * curl_y);
+                    add(&mut grid.bz, i, j, k, -c * half * curl_z);
+                }
+            }
+        }
+    }
+
+    /// Advances **E** by `dt` (∂E/∂t = c∇×B − 4πJ). `current` supplies the
+    /// three J components on the E-staggered lattices (pass zero-filled
+    /// grids for vacuum).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the current lattices do not match the field dimensions.
+    pub fn advance_e<R: Real>(
+        &self,
+        grid: &mut EmGrid<R>,
+        current: &[ScalarGrid<R>; 3],
+    ) {
+        assert_eq!(current[0].dims(), grid.dims(), "current/field shape mismatch");
+        let c = LIGHT_VELOCITY;
+        let four_pi = 4.0 * std::f64::consts::PI;
+        let d = grid.spacing();
+        let [nx, ny, nz] = grid.dims();
+        // (∇×B)ₓ at the Ex point (i+½, j, k):
+        //   (Bz(j) − Bz(j−1))/dy − (By(k) − By(k−1))/dz.
+        for k in 0..nz {
+            let km = (k + nz - 1) % nz;
+            for j in 0..ny {
+                let jm = (j + ny - 1) % ny;
+                for i in 0..nx {
+                    let im = (i + nx - 1) % nx;
+                    let curl_x = (grid.bz.get(i, j, k).to_f64()
+                        - grid.bz.get(i, jm, k).to_f64())
+                        / d.y
+                        - (grid.by.get(i, j, k).to_f64() - grid.by.get(i, j, km).to_f64())
+                            / d.z;
+                    let curl_y = (grid.bx.get(i, j, k).to_f64()
+                        - grid.bx.get(i, j, km).to_f64())
+                        / d.z
+                        - (grid.bz.get(i, j, k).to_f64() - grid.bz.get(im, j, k).to_f64())
+                            / d.x;
+                    let curl_z = (grid.by.get(i, j, k).to_f64()
+                        - grid.by.get(im, j, k).to_f64())
+                        / d.x
+                        - (grid.bx.get(i, j, k).to_f64() - grid.bx.get(i, jm, k).to_f64())
+                            / d.y;
+                    add(
+                        &mut grid.ex,
+                        i,
+                        j,
+                        k,
+                        self.dt * (c * curl_x - four_pi * current[0].get(i, j, k).to_f64()),
+                    );
+                    add(
+                        &mut grid.ey,
+                        i,
+                        j,
+                        k,
+                        self.dt * (c * curl_y - four_pi * current[1].get(i, j, k).to_f64()),
+                    );
+                    add(
+                        &mut grid.ez,
+                        i,
+                        j,
+                        k,
+                        self.dt * (c * curl_z - four_pi * current[2].get(i, j, k).to_f64()),
+                    );
+                }
+            }
+        }
+    }
+
+    /// One full leapfrog field step: B half, E full (with current), B
+    /// half.
+    pub fn step<R: Real>(&self, grid: &mut EmGrid<R>, current: &[ScalarGrid<R>; 3]) {
+        self.advance_b_half(grid);
+        self.advance_e(grid, current);
+        self.advance_b_half(grid);
+    }
+}
+
+#[inline(always)]
+fn add<R: Real>(g: &mut ScalarGrid<R>, i: usize, j: usize, k: usize, dv: f64) {
+    let v = g.at_mut(i, j, k);
+    *v += R::from_f64(dv);
+}
+
+/// Zero current lattices matching a grid's E staggering (for vacuum runs
+/// and as the accumulation target of the deposition schemes).
+pub fn zero_current<R: Real>(grid: &EmGrid<R>) -> [ScalarGrid<R>; 3] {
+    [grid.ex.clone_zeroed(), grid.ey.clone_zeroed(), grid.ez.clone_zeroed()]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pic_math::Vec3;
+
+    /// A y-polarized plane wave on an x-periodic grid:
+    /// Ey = E0 sin(kx), Bz = E0 sin(kx) propagates in +x at c.
+    fn plane_wave_grid(nx: usize) -> EmGrid<f64> {
+        let lx = 64.0; // cm
+        let dx = lx / nx as f64;
+        let mut g = EmGrid::<f64>::yee([nx, 4, 4], Vec3::zero(), Vec3::new(dx, dx, dx));
+        let k = 2.0 * std::f64::consts::PI / lx;
+        g.ey.fill_with(|p| (k * p.x).sin());
+        g.bz.fill_with(|p| (k * p.x).sin());
+        g
+    }
+
+    #[test]
+    fn courant_limit_is_enforceable() {
+        let g = plane_wave_grid(32);
+        let limit = YeeSolver::courant_limit(&g);
+        assert!(YeeSolver::new(0.9 * limit).is_stable(&g));
+        assert!(!YeeSolver::new(1.1 * limit).is_stable(&g));
+    }
+
+    #[test]
+    fn vacuum_wave_propagates_at_c() {
+        let nx = 64;
+        let lx = 64.0;
+        let mut g = plane_wave_grid(nx);
+        let current = zero_current(&g);
+        let dt = 0.5 * YeeSolver::courant_limit(&g);
+        let solver = YeeSolver::new(dt);
+        // Advance one full period: the wave returns to its start.
+        let period = lx / LIGHT_VELOCITY;
+        let steps = (period / dt).round() as usize;
+        let actual_t = steps as f64 * dt;
+        for _ in 0..steps {
+            solver.step(&mut g, &current);
+        }
+        // Compare against the analytic translation by c·t.
+        let k = 2.0 * std::f64::consts::PI / lx;
+        let mut max_err = 0.0f64;
+        for i in 0..nx {
+            let x = g.ey.node_position(i, 0, 0).x;
+            let expect = (k * (x - LIGHT_VELOCITY * actual_t)).sin();
+            let got = g.ey.get(i, 0, 0);
+            max_err = max_err.max((got - expect).abs());
+        }
+        // Second-order dispersion error over one period.
+        assert!(max_err < 0.05, "max field error {max_err}");
+    }
+
+    #[test]
+    fn vacuum_energy_is_conserved() {
+        let mut g = plane_wave_grid(32);
+        let current = zero_current(&g);
+        let dt = 0.4 * YeeSolver::courant_limit(&g);
+        let solver = YeeSolver::new(dt);
+        let e0 = g.field_energy();
+        for _ in 0..200 {
+            solver.step(&mut g, &current);
+        }
+        let e1 = g.field_energy();
+        assert!((e1 - e0).abs() / e0 < 1e-2, "energy drift {}", (e1 - e0) / e0);
+    }
+
+    #[test]
+    fn uniform_current_drives_uniform_e() {
+        // With B = 0 and uniform J, E decreases linearly: ΔE = −4πJ·dt.
+        let mut g = EmGrid::<f64>::yee([8, 8, 8], Vec3::zero(), Vec3::splat(1.0));
+        let mut current = zero_current(&g);
+        current[0].fill(2.0);
+        let solver = YeeSolver::new(1e-12);
+        solver.step(&mut g, &current);
+        solver.step(&mut g, &current);
+        let expect = -4.0 * std::f64::consts::PI * 2.0 * 2e-12;
+        for i in 0..8 {
+            let v = g.ex.get(i, 3, 5);
+            assert!((v - expect).abs() < 1e-18 * expect.abs().max(1.0), "Ex = {v}");
+        }
+        // B stays zero for a curl-free E.
+        assert!(g.bx.data().iter().all(|&b| b == 0.0));
+    }
+
+    #[test]
+    fn static_uniform_fields_are_stationary() {
+        let mut g = EmGrid::<f64>::yee([8, 8, 8], Vec3::zero(), Vec3::splat(1.0));
+        g.ex.fill(3.0);
+        g.bz.fill(-2.0);
+        let current = zero_current(&g);
+        let solver = YeeSolver::new(1e-12);
+        for _ in 0..10 {
+            solver.step(&mut g, &current);
+        }
+        assert!(g.ex.data().iter().all(|&v| (v - 3.0).abs() < 1e-12));
+        assert!(g.bz.data().iter().all(|&v| (v + 2.0).abs() < 1e-12));
+        assert!(g.ey.data().iter().all(|&v| v.abs() < 1e-12));
+    }
+
+    #[test]
+    #[should_panic(expected = "non-positive dt")]
+    fn zero_dt_panics() {
+        let _ = YeeSolver::new(0.0);
+    }
+}

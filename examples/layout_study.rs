@@ -1,0 +1,65 @@
+//! AoS vs SoA on this host: the paper's §3 data-layout comparison, live.
+//!
+//! ```text
+//! cargo run --release --example layout_study
+//! ```
+//!
+//! Runs the benchmark kernel over both layouts and both scenarios,
+//! measures wall-clock NSPS, and verifies that the trajectories are
+//! bitwise identical (the proxy abstraction guarantees the same
+//! arithmetic regardless of storage).
+
+use pic_bench::{measure_nsps, BenchConfig};
+use pic_bench::{bench_dt, build_ensemble, dipole_wave};
+use pic_boris::{AnalyticalSource, BorisPusher, PushKernel};
+use pic_particles::{AosEnsemble, Layout, ParticleAccess, SoaEnsemble, SpeciesTable};
+use pic_perfmodel::Scenario;
+use pic_runtime::{Schedule, Topology};
+
+fn main() {
+    let cfg = BenchConfig {
+        particles: 50_000,
+        steps_per_iteration: 20,
+        iterations: 4,
+    };
+    let topo = Topology::default();
+
+    println!(
+        "layout study: {} particles x {} steps x {} iterations, float, {} thread(s)\n",
+        cfg.particles,
+        cfg.steps_per_iteration,
+        cfg.iterations,
+        topo.total_threads()
+    );
+    println!("{:<22} {:>10} {:>10}", "configuration", "AoS NSPS", "SoA NSPS");
+    for scenario in Scenario::all() {
+        let aos =
+            measure_nsps::<f32>(Layout::Aos, scenario, &cfg, &topo, Schedule::dynamic()).nsps();
+        let soa =
+            measure_nsps::<f32>(Layout::Soa, scenario, &cfg, &topo, Schedule::dynamic()).nsps();
+        println!("{:<22} {aos:>10.2} {soa:>10.2}", scenario.to_string());
+    }
+
+    // Trajectory parity: the proxy abstraction makes the kernels
+    // arithmetic-identical across layouts.
+    let table = SpeciesTable::<f64>::with_standard_species();
+    let wave = dipole_wave::<f64>();
+    let dt = bench_dt();
+    let mut aos: AosEnsemble<f64> = build_ensemble(5_000, 123);
+    let mut soa: SoaEnsemble<f64> = build_ensemble(5_000, 123);
+    let mut ka = PushKernel::new(AnalyticalSource::new(&wave), BorisPusher, &table, dt);
+    let mut ks = PushKernel::new(AnalyticalSource::new(&wave), BorisPusher, &table, dt);
+    for _ in 0..50 {
+        aos.for_each_mut(&mut ka);
+        ka.advance_time();
+        soa.for_each_mut(&mut ks);
+        ks.advance_time();
+    }
+    let identical = (0..aos.len()).all(|i| aos.get(i) == soa.get(i));
+    println!("\ntrajectories bitwise identical across layouts after 50 steps: {identical}");
+    assert!(identical);
+    println!(
+        "\nOn CPUs the paper finds the layouts nearly equivalent (memory-bound kernel);\n\
+         on GPUs SoA wins by ≥1.5-2x — run `cargo bench -p pic-bench --bench table3`."
+    );
+}

@@ -1,0 +1,59 @@
+//! Quickstart: push one electron around a magnetic field line.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+//!
+//! Demonstrates the smallest possible use of the library: a species table,
+//! a particle, a uniform field and the Boris pusher, with the two
+//! invariants the scheme guarantees (|p| preservation in a pure magnetic
+//! field, cyclotron frequency).
+
+use pic_boris::{BorisPusher, Pusher};
+use pic_fields::{FieldSampler, UniformFields};
+use pic_math::constants::{ELECTRON_MASS, ELEMENTARY_CHARGE, LIGHT_VELOCITY};
+use pic_math::Vec3;
+use pic_particles::{Particle, SpeciesTable};
+
+fn main() {
+    let table = SpeciesTable::<f64>::with_standard_species();
+    let electron = *table.get(SpeciesTable::<f64>::ELECTRON);
+
+    // A 1 kG field along z and an electron with p ⊥ B.
+    let b_gauss = 1.0e3;
+    let field = UniformFields::magnetic(Vec3::new(0.0, 0.0, b_gauss));
+    let p0 = 1.0e-2 * ELECTRON_MASS * LIGHT_VELOCITY; // β ≈ 0.01
+    let mut p = Particle::new(
+        Vec3::zero(),
+        Vec3::new(p0, 0.0, 0.0),
+        1.0,
+        SpeciesTable::<f64>::ELECTRON,
+        electron.mass,
+    );
+
+    // Integrate one cyclotron period with 200 steps.
+    let omega_c = ELEMENTARY_CHARGE * b_gauss / (ELECTRON_MASS * LIGHT_VELOCITY * p.gamma);
+    let period = 2.0 * std::f64::consts::PI / omega_c;
+    let steps = 200;
+    let dt = period / steps as f64;
+
+    println!("electron in B = {b_gauss} G:");
+    println!("  cyclotron period  : {:.3e} s", period);
+    println!("  expected gyroradius: {:.3e} cm", p0 * LIGHT_VELOCITY / (ELEMENTARY_CHARGE * b_gauss));
+
+    let mut max_y: f64 = 0.0;
+    for step in 0..steps {
+        let eb = field.sample(p.position, dt * step as f64);
+        BorisPusher.push(&mut p, &eb, &electron, dt);
+        max_y = max_y.max(p.position.y.abs());
+    }
+
+    println!("  orbit diameter     : {:.3e} cm (from max |y|)", max_y);
+    println!("  |p| relative drift : {:.2e}  (Boris preserves |p| exactly)",
+             (p.momentum.norm() - p0).abs() / p0);
+    println!("  closure error      : {:.3e} cm (distance from start after one period)",
+             p.position.norm());
+
+    assert!((p.momentum.norm() - p0).abs() / p0 < 1e-12);
+    println!("done.");
+}

@@ -1,0 +1,80 @@
+//! Integration: the oneAPI-like device layer against the rest of the
+//! stack — functional parity across devices and sane modeled timings.
+
+use pic_bench::{bench_dt, build_ensemble, dipole_wave};
+use pic_boris::{AnalyticalSource, BorisPusher, SharedPushKernel};
+use pic_device::{Device, Event, Queue, SweepProfile};
+use pic_particles::{Layout, ParticleAccess, SoaEnsemble, SpeciesTable};
+use pic_perfmodel::{Precision, Scenario};
+use pic_runtime::{Schedule, Topology};
+
+fn run_on(device: Device, steps: usize) -> (SoaEnsemble<f32>, Vec<Event>) {
+    let table = SpeciesTable::<f32>::with_standard_species();
+    let wave = dipole_wave::<f32>();
+    let source = AnalyticalSource::new(&wave);
+    let dt = bench_dt() as f32;
+    let profile = SweepProfile::new(Scenario::Analytical, Layout::Soa, Precision::F32);
+    let mut queue = Queue::new(device);
+    let mut ens: SoaEnsemble<f32> = build_ensemble(4_000, 31);
+    let mut events = Vec::new();
+    let mut time = 0.0f32;
+    for _ in 0..steps {
+        let shared =
+            SharedPushKernel { source: &source, pusher: BorisPusher, table: &table, dt, time };
+        events.push(queue.submit_sweep(&mut ens, profile, |_| shared.to_kernel()));
+        time += dt;
+    }
+    (ens, events)
+}
+
+#[test]
+fn all_devices_compute_identical_trajectories() {
+    let (host, _) = run_on(Device::host(Topology::uniform(2, 2), Schedule::numa()), 10);
+    let (p630, _) = run_on(Device::p630(), 10);
+    let (iris, _) = run_on(Device::iris_xe_max(), 10);
+    for i in 0..host.len() {
+        assert_eq!(host.get(i), p630.get(i), "P630 diverged at particle {i}");
+        assert_eq!(host.get(i), iris.get(i), "Iris diverged at particle {i}");
+    }
+}
+
+#[test]
+fn modeled_timings_order_like_table3() {
+    let (_, p630_events) = run_on(Device::p630(), 3);
+    let (_, iris_events) = run_on(Device::iris_xe_max(), 3);
+    // Steady-state events (skip the JIT launch).
+    let p = p630_events[1].ns_per_particle();
+    let i = iris_events[1].ns_per_particle();
+    assert!(p > i, "P630 ({p}) should be slower than Iris ({i})");
+    // And the first launch pays the warm-up on both devices.
+    assert!(p630_events[0].ns_per_particle() > p);
+    assert!(iris_events[0].ns_per_particle() > i);
+    assert!(p630_events[0].first_launch);
+    assert!(!p630_events[1].first_launch);
+}
+
+#[test]
+fn host_events_measure_wall_clock() {
+    let (_, events) = run_on(Device::host_default(), 2);
+    for e in &events {
+        assert!(e.modeled_ns.is_none());
+        assert!(e.wall.as_nanos() > 0);
+        assert_eq!(e.particles, 4_000);
+    }
+}
+
+#[test]
+fn usm_buffers_track_migrations_across_a_kernel_cycle() {
+    use pic_device::{AllocKind, UsmBuffer};
+    // Model the paper's USM pattern: host fills, device computes, host
+    // reads back — two migrations for a shared allocation.
+    let mut buf = UsmBuffer::<f32>::new(AllocKind::Shared, 1024);
+    for (i, v) in buf.host_mut().iter_mut().enumerate() {
+        *v = i as f32;
+    }
+    let on_device: f32 = buf.device().iter().sum();
+    assert!(on_device > 0.0);
+    let back = buf.host()[1023];
+    assert_eq!(back, 1023.0);
+    assert_eq!(buf.migrations(), 2);
+}

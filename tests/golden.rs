@@ -1,0 +1,69 @@
+//! Golden-value regression tests: exact double-precision values recorded
+//! from the verified build (the one whose physics tests — Maxwell
+//! consistency, |p| preservation, ω_p, continuity — all pass). Any change
+//! to the arithmetic of the pusher, the field evaluation, or the special
+//! functions shows up here first. The band is 1e-12 relative (not
+//! bitwise), so legitimate reorderings don't break the build while real
+//! regressions do.
+
+use pic_boris::{BorisPusher, Pusher};
+use pic_fields::{DipoleStandingWave, FieldSampler, EB};
+use pic_math::constants::{BENCH_OMEGA, BENCH_POWER, ELECTRON_MASS};
+use pic_math::special;
+use pic_math::Vec3;
+use pic_particles::{Particle, Species, SpeciesId};
+
+fn assert_close(got: f64, want: f64, what: &str) {
+    let denom = want.abs().max(1e-300);
+    assert!(
+        (got - want).abs() / denom < 1e-12,
+        "{what}: got {got:.17e}, golden {want:.17e}"
+    );
+}
+
+#[test]
+fn golden_special_functions() {
+    // x = 0.5 exercises the series branch; 1.5 and 5.0 the closed forms.
+    assert_close(special::f1(0.5), 1.62537030636066560e-1, "f1(0.5)");
+    assert_close(special::f2(0.5), 1.63711066079934124e-2, "f2(0.5)");
+    assert_close(special::f3(0.5), 6.33777015936272892e-1, "f3(0.5)");
+    assert_close(special::f1(1.5), 3.96172970712222239e-1, "f1(1.5)");
+    assert_close(special::f2(1.5), 1.27349283688408227e-1, "f2(1.5)");
+    assert_close(special::f3(1.5), 4.00881343927888101e-1, "f3(1.5)");
+    assert_close(special::f1(5.0), -9.50894080791707952e-2, "f1(5.0)");
+    assert_close(special::f2(5.0), 1.34731210085125203e-1, "f2(5.0)");
+    assert_close(special::f3(5.0), -1.72766973316793526e-1, "f3(5.0)");
+}
+
+#[test]
+fn golden_dipole_field_values() {
+    let wave = DipoleStandingWave::<f64>::new(BENCH_POWER, BENCH_OMEGA);
+    let f = wave.sample(Vec3::new(2.0e-5, -1.5e-5, 3.0e-5), 2.5e-16);
+    assert_close(f.e.x, 5.72460115215737343e9, "Ex");
+    assert_close(f.e.y, 7.63280153620983219e9, "Ey");
+    assert_eq!(f.e.z, 0.0, "Ez is identically zero for the m-dipole wave");
+    assert_close(f.b.x, -2.46269504192363167e9, "Bx");
+    assert_close(f.b.y, 1.84702128144272351e9, "By");
+    assert_close(f.b.z, -3.74614038875455046e9, "Bz");
+}
+
+#[test]
+fn golden_boris_step() {
+    let sp = Species::<f64>::electron();
+    let field = EB::new(Vec3::new(1.0e6, 0.0, 0.0), Vec3::new(0.0, 0.0, 1.0e7));
+    let mut p = Particle::new(
+        Vec3::zero(),
+        Vec3::new(1.0e-17, 2.0e-17, -5.0e-18),
+        1.0,
+        SpeciesId(0),
+        ELECTRON_MASS,
+    );
+    BorisPusher.push(&mut p, &field, &sp, 1.0e-15);
+    assert_close(p.momentum.x, 6.74357575568894127e-18, "px");
+    assert_close(p.momentum.y, 2.11301184230189554e-17, "py");
+    assert_close(p.momentum.z, -5.00000000000000036e-18, "pz");
+    assert_close(p.position.x, 5.68920794989777829e-6, "x");
+    assert_close(p.position.y, 1.78263938998694633e-5, "y");
+    assert_close(p.position.z, -4.21824278098923313e-6, "z");
+    assert_close(p.gamma, 1.30121612571138257e0, "gamma");
+}

@@ -1,0 +1,116 @@
+//! Property-based integration tests: the layout abstraction and the
+//! pushers under randomized inputs.
+
+use pic_boris::{AnalyticalSource, BorisPusher, HigueraCaryPusher, PushKernel, Pusher, VayPusher};
+use pic_fields::UniformFields;
+use pic_math::constants::{ELECTRON_MASS, LIGHT_VELOCITY};
+use pic_math::Vec3;
+use pic_particles::{
+    AosEnsemble, Particle, ParticleAccess, ParticleStore, SoaEnsemble, Species, SpeciesId,
+    SpeciesTable,
+};
+use proptest::prelude::*;
+
+fn arb_vec3(scale: f64) -> impl Strategy<Value = Vec3<f64>> {
+    (
+        -scale..scale,
+        -scale..scale,
+        -scale..scale,
+    )
+        .prop_map(|(x, y, z)| Vec3::new(x, y, z))
+}
+
+fn arb_particle() -> impl Strategy<Value = Particle<f64>> {
+    let mc = ELECTRON_MASS * LIGHT_VELOCITY;
+    (arb_vec3(1e-3), arb_vec3(5.0), 0.1f64..10.0).prop_map(move |(pos, u, w)| {
+        Particle::new(pos, u * mc, w, SpeciesId(0), ELECTRON_MASS)
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn aos_and_soa_stay_bitwise_identical(
+        particles in prop::collection::vec(arb_particle(), 1..40),
+        e in arb_vec3(1e3),
+        b in arb_vec3(1e5),
+        steps in 1usize..10,
+    ) {
+        let table = SpeciesTable::<f64>::with_standard_species();
+        let field = UniformFields::new(e, b);
+        let mut aos: AosEnsemble<f64> = particles.iter().copied().collect();
+        let mut soa: SoaEnsemble<f64> = particles.iter().copied().collect();
+        let dt = 1e-13;
+        let mut ka = PushKernel::new(AnalyticalSource::new(field), BorisPusher, &table, dt);
+        let mut ks = PushKernel::new(AnalyticalSource::new(field), BorisPusher, &table, dt);
+        for _ in 0..steps {
+            aos.for_each_mut(&mut ka);
+            ka.advance_time();
+            soa.for_each_mut(&mut ks);
+            ks.advance_time();
+        }
+        for i in 0..aos.len() {
+            prop_assert_eq!(aos.get(i), soa.get(i));
+        }
+    }
+
+    #[test]
+    fn split_and_merge_preserve_state(
+        particles in prop::collection::vec(arb_particle(), 1..60),
+        chunk in 1usize..20,
+    ) {
+        let mut ens: SoaEnsemble<f64> = particles.iter().copied().collect();
+        let before = ens.to_particles();
+        // Splitting alone must not disturb anything.
+        let total: usize = ens.split_mut(chunk).iter().map(|c| c.len()).sum();
+        prop_assert_eq!(total, before.len());
+        prop_assert_eq!(ens.to_particles(), before);
+    }
+
+    #[test]
+    fn all_pushers_preserve_gamma_floor(
+        p in arb_particle(),
+        e in arb_vec3(1e3),
+        b in arb_vec3(1e5),
+    ) {
+        let sp = Species::<f64>::electron();
+        let field = pic_fields::EB::new(e, b);
+        for (name, result) in [
+            ("boris", { let mut q = p; BorisPusher.push(&mut q, &field, &sp, 1e-13); q }),
+            ("vay", { let mut q = p; VayPusher.push(&mut q, &field, &sp, 1e-13); q }),
+            ("hc", { let mut q = p; HigueraCaryPusher.push(&mut q, &field, &sp, 1e-13); q }),
+        ] {
+            prop_assert!(result.gamma >= 1.0, "{name}: γ = {}", result.gamma);
+            prop_assert!(result.momentum.is_finite(), "{name}");
+            prop_assert!(result.position.is_finite(), "{name}");
+            // γ cache invariant.
+            let expect = pic_particles::particle::lorentz_gamma(result.momentum, sp.mass);
+            prop_assert!((result.gamma - expect).abs() / expect < 1e-12, "{name}");
+        }
+    }
+
+    #[test]
+    fn pushers_agree_to_second_order(
+        p in arb_particle(),
+        e in arb_vec3(1e2),
+        b in arb_vec3(1e4),
+    ) {
+        // For a small step, Boris, Vay and HC differ at O(dt³) — their
+        // pairwise distance must be far below the step displacement.
+        let sp = Species::<f64>::electron();
+        let field = pic_fields::EB::new(e, b);
+        let dt = 1e-16;
+        let mut pb = p;
+        let mut pv = p;
+        let mut ph = p;
+        BorisPusher.push(&mut pb, &field, &sp, dt);
+        VayPusher.push(&mut pv, &field, &sp, dt);
+        HigueraCaryPusher.push(&mut ph, &field, &sp, dt);
+        let step = (pb.momentum - p.momentum).norm();
+        if step > 0.0 {
+            prop_assert!((pb.momentum - pv.momentum).norm() < 1e-4 * step);
+            prop_assert!((pb.momentum - ph.momentum).norm() < 1e-4 * step);
+        }
+    }
+}

@@ -1,0 +1,165 @@
+//! Integration: the performance models reproduce the paper's headline
+//! claims through the public API (the per-cell bands live in the
+//! `pic-perfmodel` unit tests; here we pin the *conclusions* the paper
+//! draws from Tables 2–3 and Fig. 1).
+
+use pic_particles::Layout;
+use pic_perfmodel::{CpuModel, GpuModel, Parallelization, Precision, Scenario};
+
+#[test]
+fn conclusion_dpcpp_is_about_ten_percent_behind_openmp() {
+    // Abstract: "on CPUs the resulting DPC++ code is only ~10% on average
+    // inferior to the optimized C++ code" (with NUMA pinning).
+    let m = CpuModel::endeavour();
+    let mut ratios = Vec::new();
+    for scenario in Scenario::all() {
+        for layout in [Layout::Aos, Layout::Soa] {
+            for prec in [Precision::F32, Precision::F64] {
+                let omp = m.table2_cell(scenario, layout, prec, Parallelization::OpenMp);
+                let numa = m.table2_cell(scenario, layout, prec, Parallelization::DpcppNuma);
+                ratios.push(numa / omp);
+            }
+        }
+    }
+    let mean = ratios.iter().sum::<f64>() / ratios.len() as f64;
+    assert!(
+        (1.0..1.15).contains(&mean),
+        "mean DPC++ NUMA / OpenMP = {mean:.3}"
+    );
+}
+
+#[test]
+fn conclusion_numa_pinning_is_the_big_lever() {
+    // Table 2: plain DPC++ loses ~1.5x across the board; pinning recovers
+    // it.
+    let m = CpuModel::endeavour();
+    for scenario in Scenario::all() {
+        let plain = m.table2_cell(scenario, Layout::Aos, Precision::F32, Parallelization::Dpcpp);
+        let numa =
+            m.table2_cell(scenario, Layout::Aos, Precision::F32, Parallelization::DpcppNuma);
+        let gain = plain / numa;
+        assert!((1.3..1.8).contains(&gain), "{scenario}: NUMA gain {gain:.2}");
+    }
+}
+
+#[test]
+fn conclusion_layout_is_minor_on_cpu_major_on_gpu() {
+    let cpu = CpuModel::endeavour();
+    let cpu_ratio = cpu.table2_cell(
+        Scenario::Precalculated,
+        Layout::Aos,
+        Precision::F32,
+        Parallelization::DpcppNuma,
+    ) / cpu.table2_cell(
+        Scenario::Precalculated,
+        Layout::Soa,
+        Precision::F32,
+        Parallelization::DpcppNuma,
+    );
+    assert!((0.7..1.5).contains(&cpu_ratio), "CPU AoS/SoA = {cpu_ratio:.2}");
+
+    for gpu in GpuModel::paper_devices() {
+        let gpu_ratio = gpu.nsps_f32(Scenario::Precalculated, Layout::Aos)
+            / gpu.nsps_f32(Scenario::Precalculated, Layout::Soa);
+        assert!(
+            gpu_ratio > 1.4,
+            "{}: AoS/SoA = {gpu_ratio:.2} should be decisive",
+            gpu.spec.name
+        );
+    }
+}
+
+#[test]
+fn conclusion_gpus_track_their_peak_capability_ratios() {
+    // Conclusion §6: "2 Xeon CPUs are ahead of desktop GPUs only in
+    // accordance with the difference in peak performance capabilities."
+    let cpu = CpuModel::endeavour();
+    let cpu_t = cpu.table2_cell(
+        Scenario::Analytical,
+        Layout::Soa,
+        Precision::F32,
+        Parallelization::DpcppNuma,
+    );
+    let p630 = GpuModel::p630();
+    let iris = GpuModel::iris_xe_max();
+    let slow_p = p630.nsps_f32(Scenario::Analytical, Layout::Soa) / cpu_t;
+    let slow_i = iris.nsps_f32(Scenario::Analytical, Layout::Soa) / cpu_t;
+    // P630 has ~8x less peak than the node, Iris ~1.4x less; the observed
+    // slowdowns must stay well under those deficits (the paper's point:
+    // performance is "reasonable" with zero GPU tuning).
+    assert!(slow_p < 8.0, "P630 slowdown {slow_p:.1}");
+    assert!(slow_i < 3.0, "Iris slowdown {slow_i:.1}");
+    assert!(slow_p > slow_i);
+}
+
+#[test]
+fn fig1_shapes_from_public_api() {
+    let m = CpuModel::endeavour();
+    let omp = m.speedup_curve(
+        Scenario::Precalculated,
+        Layout::Aos,
+        Precision::F32,
+        Parallelization::OpenMp,
+    );
+    let numa = m.speedup_curve(
+        Scenario::Precalculated,
+        Layout::Aos,
+        Precision::F32,
+        Parallelization::DpcppNuma,
+    );
+    assert_eq!(omp.len(), 48);
+    // OpenMP: linear start; NUMA: super-linear start.
+    assert!(omp[1] <= 2.0 + 1e-9);
+    assert!(numa[1] > 2.0);
+    // Both end in the same ~60% efficiency region with close absolute
+    // performance.
+    let omp_abs = m.nsps(
+        Scenario::Precalculated, Layout::Aos, Precision::F32, Parallelization::OpenMp, 48);
+    let numa_abs = m.nsps(
+        Scenario::Precalculated, Layout::Aos, Precision::F32, Parallelization::DpcppNuma, 48);
+    assert!((numa_abs / omp_abs - 1.0).abs() < 0.15);
+}
+
+#[test]
+fn first_iteration_penalty_shows_in_the_profile() {
+    for gpu in GpuModel::paper_devices() {
+        let profile = gpu.iteration_profile(Scenario::Analytical, Layout::Aos, 10);
+        let steady = profile[5];
+        let ratio = profile[0] / steady;
+        assert!((1.4..1.6).contains(&ratio), "{}: {ratio}", gpu.spec.name);
+        // "Considering that we perform a lot of iterations, this effect
+        // does not have a significant impact": amortized over 10
+        // iterations the overhead is ~5%.
+        let mean = profile.iter().sum::<f64>() / 10.0;
+        assert!(mean / steady < 1.06);
+    }
+}
+
+#[test]
+fn reproduction_report_is_queryable_and_tight() {
+    let cells = pic_perfmodel::default_report();
+    assert_eq!(cells.len(), 36);
+    // Specific cells are addressable by label.
+    let omp_p_f32 = cells
+        .iter()
+        .find(|c| c.label == "AoS/OpenMP/Precalculated Fields/float")
+        .expect("cell present");
+    assert_eq!(omp_p_f32.paper, 0.53);
+    assert!(omp_p_f32.deviation().abs() < 0.05);
+    // Aggregate fidelity matches the headline in EXPERIMENTS.md.
+    let f = pic_perfmodel::fidelity(&cells);
+    assert!(f.mean_abs_deviation < 0.10, "mean = {}", f.mean_abs_deviation);
+}
+
+#[test]
+fn hyperthreading_gain_is_modest_as_the_paper_reports() {
+    // §5.3: "employing 96 threads is empirically the best" — a gain, but
+    // Table 2 itself shows no 2x anywhere, so the SMT model must be small.
+    let m = CpuModel::endeavour();
+    let plain = m.nsps(
+        Scenario::Precalculated, Layout::Aos, Precision::F32, Parallelization::OpenMp, 48);
+    let smt = m.nsps_smt(
+        Scenario::Precalculated, Layout::Aos, Precision::F32, Parallelization::OpenMp, 48);
+    let gain = plain / smt;
+    assert!((1.02..1.2).contains(&gain), "SMT gain {gain}");
+}
