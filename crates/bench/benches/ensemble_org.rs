@@ -62,10 +62,7 @@ fn main() {
 
     // --- organization 2: per-cell arrays + per-step migration ---
     let seed: AosEnsemble<f64> = build_ensemble(cfg.particles, 42);
-    let mut cells = CellEnsemble::from_particles(
-        grid,
-        (0..seed.len()).map(|i| seed.get(i)),
-    );
+    let mut cells = CellEnsemble::from_particles(grid, (0..seed.len()).map(|i| seed.get(i)));
     let mut cell_push_ns = Vec::new();
     let mut migrate_ns = Vec::new();
     let mut migrated_total = 0usize;
@@ -88,7 +85,12 @@ fn main() {
     let cell_push = Summary::of(&cell_push_ns).mean / cfg.work_per_iteration() as f64;
     let cell_migrate = Summary::of(&migrate_ns).mean / cfg.work_per_iteration() as f64;
 
-    let mut t = Table::new(["Organization", "push NSPS", "bookkeeping NSPS", "total NSPS"]);
+    let mut t = Table::new([
+        "Organization",
+        "push NSPS",
+        "bookkeeping NSPS",
+        "total NSPS",
+    ]);
     t.row([
         "global array + sort".to_string(),
         format!("{global_push:.2}"),

@@ -64,7 +64,13 @@ fn main() {
         ("DPC++ NUMA SoA", &numa_soa),
     ]);
 
-    let mut t = Table::new(["cores", "OpenMP AoS", "OpenMP SoA", "DPC++ NUMA AoS", "DPC++ NUMA SoA"]);
+    let mut t = Table::new([
+        "cores",
+        "OpenMP AoS",
+        "OpenMP SoA",
+        "DPC++ NUMA AoS",
+        "DPC++ NUMA SoA",
+    ]);
     for &c in &[1usize, 2, 4, 8, 12, 16, 20, 24, 32, 40, 48] {
         t.row([
             c.to_string(),

@@ -18,9 +18,7 @@ fn modeled_section() {
         "Per-iteration NSPS for 10 iterations; iteration 1 pays JIT + cold memory\n\
          (paper §5.3: ~50% longer).",
     );
-    let mut t = Table::new([
-        "Device", "it1", "it2", "it3", "...", "it10", "it1/steady",
-    ]);
+    let mut t = Table::new(["Device", "it1", "it2", "it3", "...", "it10", "it1/steady"]);
     for gpu in GpuModel::paper_devices() {
         let profile = gpu.iteration_profile(Scenario::Precalculated, Layout::Soa, 10);
         t.row([

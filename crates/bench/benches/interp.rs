@@ -49,9 +49,16 @@ fn measure_source<F: FieldSource<f64> + Copy>(source: &F, cfg: &BenchConfig) -> 
     for _ in 0..cfg.iterations {
         let start = Instant::now();
         for _ in 0..cfg.steps_per_iteration {
-            let shared =
-                SharedPushKernel { source, pusher: BorisPusher, table: &table, dt, time };
-            parallel_sweep(&mut store, &topo, Schedule::StaticChunks, |_| shared.to_kernel());
+            let shared = SharedPushKernel {
+                source,
+                pusher: BorisPusher,
+                table: &table,
+                dt,
+                time,
+            };
+            parallel_sweep(&mut store, &topo, Schedule::StaticChunks, |_| {
+                shared.to_kernel()
+            });
             time += dt;
         }
         iters.push(start.elapsed().as_nanos() as f64);
@@ -106,7 +113,12 @@ fn main() {
     let cic_nsps = measure_source(&GridSource { grid: &cic_grid }, &cfg);
     let tsc_nsps = measure_source(&GridSource { grid: &tsc_grid }, &cfg);
 
-    let mut t = Table::new(["Field path", "measured NSPS", "relative cost", "RMS gather error"]);
+    let mut t = Table::new([
+        "Field path",
+        "measured NSPS",
+        "relative cost",
+        "RMS gather error",
+    ]);
     t.row([
         "analytical (Eq. 14)".to_string(),
         format!("{analytical_nsps:.2}"),

@@ -7,9 +7,7 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use pic_bench::{bench_dt, build_ensemble, dipole_wave};
-use pic_boris::{
-    AnalyticalSource, BatchBorisKernel, BorisPusher, PrecalculatedSource, PushKernel,
-};
+use pic_boris::{AnalyticalSource, BatchBorisKernel, BorisPusher, PrecalculatedSource, PushKernel};
 use pic_fields::PrecalculatedFields;
 use pic_math::Real;
 use pic_particles::{AosEnsemble, ParticleAccess, SoaEnsemble, SpeciesTable};
@@ -92,7 +90,9 @@ fn bench_batch(c: &mut Criterion) {
     group.throughput(Throughput::Elements(N as u64));
 
     let mut scalar: SoaEnsemble<f64> = build_ensemble(N, 2);
-    group.bench_function("scalar", |b| b.iter(|| sweep_analytical(&mut scalar, &table)));
+    group.bench_function("scalar", |b| {
+        b.iter(|| sweep_analytical(&mut scalar, &table))
+    });
 
     let mut blocked: SoaEnsemble<f64> = build_ensemble(N, 2);
     group.bench_function("batch8", |b| {

@@ -33,9 +33,16 @@ fn measure_pusher<P: Pusher<f64> + Copy>(pusher: P, cfg: &BenchConfig) -> f64 {
     for _ in 0..cfg.iterations {
         let start = Instant::now();
         for _ in 0..cfg.steps_per_iteration {
-            let shared =
-                SharedPushKernel { source: &source, pusher, table: &table, dt, time };
-            parallel_sweep(&mut store, &topo, Schedule::StaticChunks, |_| shared.to_kernel());
+            let shared = SharedPushKernel {
+                source: &source,
+                pusher,
+                table: &table,
+                dt,
+                time,
+            };
+            parallel_sweep(&mut store, &topo, Schedule::StaticChunks, |_| {
+                shared.to_kernel()
+            });
             time += dt;
         }
         iters.push(start.elapsed().as_nanos() as f64);
@@ -82,7 +89,12 @@ fn main() {
     let vay_err = drift_error(VayPusher::kick);
     let hc_err = drift_error(HigueraCaryPusher::kick);
 
-    let mut t = Table::new(["Pusher", "measured NSPS", "relative cost", "E×B drift error"]);
+    let mut t = Table::new([
+        "Pusher",
+        "measured NSPS",
+        "relative cost",
+        "E×B drift error",
+    ]);
     for (name, nsps, err) in [
         ("Boris", boris_nsps, boris_err),
         ("Vay", vay_nsps, vay_err),

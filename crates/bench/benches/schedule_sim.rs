@@ -21,8 +21,14 @@ fn main() {
     let cases: Vec<(&str, Vec<f64>)> = vec![
         ("balanced (benchmark-like)", workloads::balanced(n, base)),
         ("linear ramp 1x..3x", workloads::ramp(n, base)),
-        ("hotspot: 12.5% of items 10x", workloads::hotspot(n, base, 0.125, 10.0)),
-        ("hotspot: 2% of items 50x", workloads::hotspot(n, base, 0.02, 50.0)),
+        (
+            "hotspot: 12.5% of items 10x",
+            workloads::hotspot(n, base, 0.125, 10.0),
+        ),
+        (
+            "hotspot: 2% of items 50x",
+            workloads::hotspot(n, base, 0.02, 50.0),
+        ),
     ];
     let policies = [
         ("static (OpenMP)", SimPolicy::Static),
@@ -30,7 +36,13 @@ fn main() {
         ("guided", SimPolicy::Guided { min_grain: 125 }),
     ];
 
-    let mut t = Table::new(["Workload", "Policy", "makespan (ms)", "efficiency", "grains"]);
+    let mut t = Table::new([
+        "Workload",
+        "Policy",
+        "makespan (ms)",
+        "efficiency",
+        "grains",
+    ]);
     for (wname, work) in &cases {
         for (pname, policy) in policies {
             let out = sim.run(work, policy);

@@ -47,8 +47,18 @@ fn main() {
     t.row([
         "FP64".to_string(),
         "native".to_string(),
-        if gpus[0].fp64_emulated { "emulated" } else { "native" }.to_string(),
-        if gpus[1].fp64_emulated { "emulated" } else { "native" }.to_string(),
+        if gpus[0].fp64_emulated {
+            "emulated"
+        } else {
+            "native"
+        }
+        .to_string(),
+        if gpus[1].fp64_emulated {
+            "emulated"
+        } else {
+            "native"
+        }
+        .to_string(),
     ]);
     println!("{t}");
     println!(

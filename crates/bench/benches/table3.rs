@@ -40,10 +40,8 @@ fn modeled_section() {
     println!("{t}");
     println!("Shape checks:");
     for scenario in Scenario::all() {
-        let ratio_p =
-            p630.nsps_f32(scenario, Layout::Aos) / p630.nsps_f32(scenario, Layout::Soa);
-        let ratio_i =
-            iris.nsps_f32(scenario, Layout::Aos) / iris.nsps_f32(scenario, Layout::Soa);
+        let ratio_p = p630.nsps_f32(scenario, Layout::Aos) / p630.nsps_f32(scenario, Layout::Soa);
+        let ratio_i = iris.nsps_f32(scenario, Layout::Aos) / iris.nsps_f32(scenario, Layout::Soa);
         println!(
             "  {scenario}: AoS/SoA = {ratio_p:.2}x on P630, {ratio_i:.2}x on Iris \
              (paper: ~2x / ~1.5x)"
@@ -69,7 +67,13 @@ fn queue_section() {
         let mut ens: SoaEnsemble<f32> = build_ensemble(n, 11);
         let profile = SweepProfile::new(Scenario::Analytical, Layout::Soa, Precision::F32);
         // Warm-up launch (JIT), then a steady-state one.
-        let shared = SharedPushKernel { source: &source, pusher: BorisPusher, table: &table, dt, time: 0.0 };
+        let shared = SharedPushKernel {
+            source: &source,
+            pusher: BorisPusher,
+            table: &table,
+            dt,
+            time: 0.0,
+        };
         queue.submit_sweep(&mut ens, profile, |_| shared.to_kernel());
         let event = queue.submit_sweep(&mut ens, profile, |_| shared.to_kernel());
         t.row([

@@ -7,18 +7,37 @@
 //! cargo run --release -p pic-bench --bin reproduce
 //! ```
 //!
+//! With `--emit-metrics` it additionally *measures* the real kernels on
+//! this host (every layout × scenario at single precision, under the
+//! three paper schedules) and writes the full telemetry to
+//! `BENCH_<label>.json` (JSON-lines, one `BenchRecord` per
+//! configuration; see EXPERIMENTS.md). `--label <name>` sets the file
+//! label (default `host`); workload scale follows `PIC_BENCH_PARTICLES`
+//! / `PIC_BENCH_STEPS` / `PIC_BENCH_ITERS`. Feed two such files to the
+//! `regress` binary to gate performance changes.
+//!
 //! The measured companions live in the bench targets (`cargo bench`).
 
-use pic_bench::{fmt_cell, print_banner, Table};
+use pic_bench::{bench_record, fmt_cell, measure_nsps, print_banner, BenchConfig, Table};
 use pic_particles::Layout;
 use pic_perfmodel::{CpuModel, GpuModel, Parallelization, Precision, Scenario};
+use pic_runtime::{Schedule, Topology};
+use std::process::ExitCode;
 
 fn table2() {
     let paper = pic_perfmodel::report::PAPER_TABLE2;
     let m = CpuModel::endeavour();
-    print_banner("Table 2 (modeled)", "NSPS on 2x Xeon 8260L; paper values in parentheses.");
+    print_banner(
+        "Table 2 (modeled)",
+        "NSPS on 2x Xeon 8260L; paper values in parentheses.",
+    );
     let mut t = Table::new([
-        "Pattern", "Parallelization", "P float", "P double", "A float", "A double",
+        "Pattern",
+        "Parallelization",
+        "P float",
+        "P double",
+        "A float",
+        "A double",
     ]);
     for (layout, par, vals) in paper {
         let c = |s, p, r| fmt_cell(m.table2_cell(s, layout, p, par), r);
@@ -36,7 +55,10 @@ fn table2() {
 
 fn fig1() {
     let m = CpuModel::endeavour();
-    print_banner("Fig. 1 (modeled landmarks)", "Strong scaling, Precalculated, float.");
+    print_banner(
+        "Fig. 1 (modeled landmarks)",
+        "Strong scaling, Precalculated, float.",
+    );
     for par in [Parallelization::OpenMp, Parallelization::DpcppNuma] {
         let s = m.speedup_curve(Scenario::Precalculated, Layout::Aos, Precision::F32, par);
         println!(
@@ -55,7 +77,10 @@ fn table3() {
     let cpu = CpuModel::endeavour();
     let p630 = GpuModel::p630();
     let iris = GpuModel::iris_xe_max();
-    print_banner("Table 3 (modeled)", "GPU NSPS, float; paper values in parentheses.");
+    print_banner(
+        "Table 3 (modeled)",
+        "GPU NSPS, float; paper values in parentheses.",
+    );
     let mut t = Table::new(["Scenario", "Pattern", "CPU", "P630", "Iris Xe Max"]);
     for (scenario, layout, v) in paper {
         t.row([
@@ -73,7 +98,10 @@ fn table3() {
 }
 
 fn warmup() {
-    print_banner("§5.3 first-iteration profile (modeled)", "JIT + cold memory factor.");
+    print_banner(
+        "§5.3 first-iteration profile (modeled)",
+        "JIT + cold memory factor.",
+    );
     for gpu in GpuModel::paper_devices() {
         let p = gpu.iteration_profile(Scenario::Precalculated, Layout::Soa, 10);
         println!(
@@ -86,7 +114,85 @@ fn warmup() {
     println!();
 }
 
-fn main() {
+/// Measures every layout × scenario cell at single precision under the
+/// three paper schedules and writes `BENCH_<label>.json`.
+fn emit_metrics(label: &str) -> std::io::Result<std::path::PathBuf> {
+    let cfg = BenchConfig::from_env();
+    let threads = std::thread::available_parallelism()
+        .map_or(2, |n| n.get())
+        .min(8);
+    // Split the threads over two pseudo-domains so the NUMA schedule is
+    // exercised even on single-socket hosts.
+    let topology = if threads >= 2 {
+        Topology::uniform(2, threads / 2)
+    } else {
+        Topology::single(1)
+    };
+    let schedules = [
+        Schedule::StaticChunks,
+        Schedule::dynamic(),
+        Schedule::numa(),
+    ];
+    let mut records = Vec::new();
+    print_banner(
+        "Measured metrics",
+        "Real kernels on this host; steady-state NSPS per configuration.",
+    );
+    for layout in [Layout::Aos, Layout::Soa] {
+        for scenario in Scenario::all() {
+            for schedule in schedules {
+                let run = measure_nsps::<f32>(layout, scenario, &cfg, &topology, schedule);
+                let rec = bench_record(
+                    label,
+                    layout,
+                    scenario,
+                    Precision::F32,
+                    schedule,
+                    &topology,
+                    &cfg,
+                    &run,
+                );
+                println!(
+                    "  {:<4} {:<20} {:<10} steady {:8.2} ns  warmup {:8.2} ns  imbalance {:.3}",
+                    rec.layout,
+                    rec.scenario,
+                    rec.schedule,
+                    rec.steady_nsps,
+                    rec.warmup_nsps,
+                    rec.imbalance
+                );
+                records.push(rec);
+            }
+        }
+    }
+    let path = std::path::PathBuf::from(format!("BENCH_{label}.json"));
+    pic_telemetry::write_records(&path, &records)?;
+    Ok(path)
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut emit = false;
+    let mut label = String::from("host");
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--emit-metrics" => emit = true,
+            "--label" => match it.next() {
+                Some(l) => label = l.clone(),
+                None => {
+                    eprintln!("--label requires a value");
+                    return ExitCode::from(2);
+                }
+            },
+            other => {
+                eprintln!("unknown argument '{other}'");
+                eprintln!("usage: reproduce [--emit-metrics] [--label <name>]");
+                return ExitCode::from(2);
+            }
+        }
+    }
+
     println!("Reproduction of: Volokitin et al., \"High Performance Implementation of");
     println!("Boris Particle Pusher on DPC++. A First Look at oneAPI\", PACT 2021.");
     table2();
@@ -101,4 +207,15 @@ fn main() {
         100.0 * f.worst_abs_deviation
     );
     println!("Measured companions: cargo bench -p pic-bench (see EXPERIMENTS.md).");
+
+    if emit {
+        match emit_metrics(&label) {
+            Ok(path) => println!("Telemetry written to {}.", path.display()),
+            Err(e) => {
+                eprintln!("failed to write metrics: {e}");
+                return ExitCode::from(2);
+            }
+        }
+    }
+    ExitCode::SUCCESS
 }

@@ -1,0 +1,148 @@
+//! Turning a measured run into a persisted [`BenchRecord`].
+//!
+//! This is where the three telemetry sources meet: the wall-clock
+//! iteration series from [`crate::measure`], the per-thread sweep totals
+//! from the runtime's registry, and the static kernel tallies/roofline
+//! prediction from `pic-boris`/`pic-perfmodel`. The `reproduce
+//! --emit-metrics` flag and the regression-gate tests both build records
+//! through here so artifacts stay schema-consistent.
+
+use crate::measure::MeasuredRun;
+use crate::scenario::BenchConfig;
+use pic_boris::{BorisPusher, Pusher};
+use pic_particles::Layout;
+use pic_perfmodel::{CpuModel, KernelCost, Parallelization, Precision, Scenario};
+use pic_runtime::{Schedule, Topology};
+use pic_telemetry::{BenchRecord, SCHEMA_VERSION};
+
+/// Maps a runtime schedule onto the paper's parallelization row used for
+/// the model prediction (guided has no paper row; it behaves like the
+/// dynamic DPC++/TBB mode).
+pub fn parallelization_of(schedule: Schedule) -> Parallelization {
+    match schedule {
+        Schedule::StaticChunks => Parallelization::OpenMp,
+        Schedule::Dynamic { .. } | Schedule::Guided { .. } => Parallelization::Dpcpp,
+        Schedule::NumaDomains { .. } => Parallelization::DpcppNuma,
+    }
+}
+
+/// Assembles the full provenance record for one measured configuration.
+///
+/// The model prediction uses the paper's CPU (2×24-core Xeon 8260L) at
+/// this run's thread count, so `model_ratio` reads as "this host vs the
+/// paper's machine" rather than a same-host residual.
+#[allow(clippy::too_many_arguments)]
+pub fn bench_record(
+    label: &str,
+    layout: Layout,
+    scenario: Scenario,
+    precision: Precision,
+    schedule: Schedule,
+    topology: &Topology,
+    cfg: &BenchConfig,
+    run: &MeasuredRun,
+) -> BenchRecord {
+    let threads = topology.total_threads();
+    let cost = KernelCost::boris(scenario, layout, precision);
+    let tally = Pusher::<f64>::tally(&BorisPusher);
+    let model = CpuModel::endeavour();
+    let model_nsps = model.nsps(
+        scenario,
+        layout,
+        precision,
+        parallelization_of(schedule),
+        threads.clamp(1, model.spec.sockets * model.spec.cores_per_socket),
+    );
+    let steady_nsps = run.steady_nsps();
+    BenchRecord {
+        schema: SCHEMA_VERSION,
+        label: label.to_string(),
+        layout: layout.name().to_string(),
+        scenario: scenario.name().to_string(),
+        precision: precision.name().to_string(),
+        schedule: schedule.paper_name().to_string(),
+        threads: threads as u64,
+        domains: topology.domains() as u64,
+        particles: cfg.particles as u64,
+        steps_per_iteration: cfg.steps_per_iteration as u64,
+        iterations: run.iteration_ns.len() as u64,
+        iteration_ns: run.iteration_ns.clone(),
+        warmup_nsps: run.first_iteration_nsps(),
+        steady_nsps,
+        mean_nsps: run.nsps(),
+        imbalance: run.imbalance(),
+        time_imbalance: run.time_imbalance(),
+        thread_stats: run.thread_stats.clone(),
+        flops_per_particle: tally.flop_equivalents(),
+        bytes_per_particle: cost.bytes_total(),
+        model_nsps,
+        model_ratio: if model_nsps > 0.0 {
+            steady_nsps / model_nsps
+        } else {
+            0.0
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::measure::measure_nsps;
+
+    #[test]
+    fn record_carries_full_provenance() {
+        let cfg = BenchConfig::quick();
+        let topo = Topology::uniform(2, 2);
+        let schedule = Schedule::numa();
+        let run = measure_nsps::<f32>(Layout::Soa, Scenario::Precalculated, &cfg, &topo, schedule);
+        let rec = bench_record(
+            "test",
+            Layout::Soa,
+            Scenario::Precalculated,
+            Precision::F32,
+            schedule,
+            &topo,
+            &cfg,
+            &run,
+        );
+        assert_eq!(rec.schema, SCHEMA_VERSION);
+        assert_eq!(rec.layout, "SoA");
+        assert_eq!(rec.schedule, "DPC++ NUMA");
+        assert_eq!(rec.threads, 4);
+        assert_eq!(rec.domains, 2);
+        assert_eq!(rec.iteration_ns.len(), cfg.iterations);
+        assert!(rec.steady_nsps > 0.0 && rec.warmup_nsps > 0.0);
+        // Sweep accounting: the per-thread totals cover every particle of
+        // every step of every iteration.
+        let total: u64 = rec.thread_stats.iter().map(|t| t.particles).sum();
+        let expect = (cfg.particles * cfg.steps_per_iteration * cfg.iterations) as u64;
+        assert_eq!(total, expect);
+        assert!(rec.imbalance >= 1.0);
+        assert!(rec.time_imbalance >= 1.0);
+        assert!(rec.flops_per_particle > 0.0 && rec.bytes_per_particle > 0.0);
+        assert!(rec.model_nsps > 0.0 && rec.model_ratio > 0.0);
+        // The record survives its own serialization.
+        let back = BenchRecord::from_json(&rec.to_json()).unwrap();
+        assert_eq!(back, rec);
+    }
+
+    #[test]
+    fn schedules_map_to_paper_rows() {
+        assert_eq!(
+            parallelization_of(Schedule::StaticChunks),
+            Parallelization::OpenMp
+        );
+        assert_eq!(
+            parallelization_of(Schedule::dynamic()),
+            Parallelization::Dpcpp
+        );
+        assert_eq!(
+            parallelization_of(Schedule::guided()),
+            Parallelization::Dpcpp
+        );
+        assert_eq!(
+            parallelization_of(Schedule::numa()),
+            Parallelization::DpcppNuma
+        );
+    }
+}

@@ -27,10 +27,12 @@
 
 #![warn(missing_docs)]
 
+pub mod emit;
 pub mod measure;
 pub mod scenario;
 pub mod table;
 
+pub use emit::{bench_record, parallelization_of};
 pub use measure::{measure_nsps, MeasuredRun};
 pub use scenario::{bench_dt, build_ensemble, dipole_wave, BenchConfig};
 pub use table::{fmt_cell, print_banner, Table};

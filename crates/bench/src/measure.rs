@@ -15,6 +15,7 @@ use pic_math::Real;
 use pic_particles::{AosEnsemble, Layout, ParticleAccess, SoaEnsemble, SpeciesTable};
 use pic_perfmodel::Scenario;
 use pic_runtime::{parallel_sweep, Schedule, Topology};
+use pic_telemetry::{Registry, ThreadStat};
 use std::time::Instant;
 
 /// Result of one measured configuration.
@@ -24,6 +25,10 @@ pub struct MeasuredRun {
     pub iteration_ns: Vec<f64>,
     /// Particles × steps per iteration.
     pub work: usize,
+    /// Per-thread totals accumulated over every sweep of the run, ordered
+    /// by thread id (busy time is 0 when `pic-runtime` is built without
+    /// its `telemetry` feature).
+    pub thread_stats: Vec<ThreadStat>,
 }
 
 impl MeasuredRun {
@@ -44,6 +49,34 @@ impl MeasuredRun {
         }
         Summary::of(&self.iteration_ns[1..]).mean / self.work as f64
     }
+
+    /// The full per-iteration NSPS series, in run order.
+    pub fn nsps_series(&self) -> Vec<f64> {
+        self.iteration_ns
+            .iter()
+            .map(|&ns| ns / self.work as f64)
+            .collect()
+    }
+
+    /// Particle-count load imbalance over the whole run: busiest thread /
+    /// mean (1.0 = balanced or unthreaded).
+    pub fn imbalance(&self) -> f64 {
+        stat_imbalance(&self.thread_stats, |t| t.particles)
+    }
+
+    /// Busy-time load imbalance over the whole run (1.0 when untimed).
+    pub fn time_imbalance(&self) -> f64 {
+        stat_imbalance(&self.thread_stats, |t| t.busy_ns)
+    }
+}
+
+fn stat_imbalance(stats: &[ThreadStat], field: impl Fn(&ThreadStat) -> u64) -> f64 {
+    let total: u64 = stats.iter().map(&field).sum();
+    if total == 0 || stats.is_empty() {
+        return 1.0;
+    }
+    let mean = total as f64 / stats.len() as f64;
+    stats.iter().map(&field).max().unwrap_or(0) as f64 / mean
 }
 
 /// Measures NSPS for one (layout, scenario) cell of the benchmark with
@@ -107,6 +140,8 @@ fn run_iterations<R: Real, A: ParticleAccess<R>, F: FieldSource<R> + Copy>(
     schedule: Schedule,
 ) -> MeasuredRun {
     let mut iteration_ns = Vec::with_capacity(cfg.iterations);
+    let registry = Registry::new(topology.total_threads());
+    let mut domains = vec![0usize; topology.total_threads()];
     let mut time = R::ZERO;
     for _ in 0..cfg.iterations {
         let start = Instant::now();
@@ -118,12 +153,32 @@ fn run_iterations<R: Real, A: ParticleAccess<R>, F: FieldSource<R> + Copy>(
                 dt,
                 time,
             };
-            parallel_sweep(store, topology, schedule, |_tid| shared.to_kernel());
+            let report = parallel_sweep(store, topology, schedule, |_tid| shared.to_kernel());
+            report.record_into(&registry);
+            for t in &report.threads {
+                domains[t.thread] = t.domain;
+            }
             time += dt;
         }
         iteration_ns.push(start.elapsed().as_nanos() as f64);
     }
-    MeasuredRun { iteration_ns, work: cfg.work_per_iteration() }
+    let thread_stats = registry
+        .totals()
+        .into_iter()
+        .enumerate()
+        .map(|(tid, t)| ThreadStat {
+            thread: tid as u64,
+            domain: domains[tid] as u64,
+            chunks: t.chunks,
+            particles: t.particles,
+            busy_ns: t.busy_ns,
+        })
+        .collect();
+    MeasuredRun {
+        iteration_ns,
+        work: cfg.work_per_iteration(),
+        thread_stats,
+    }
 }
 
 #[cfg(test)]
@@ -136,13 +191,8 @@ mod tests {
         let topo = Topology::single(1);
         for layout in [Layout::Aos, Layout::Soa] {
             for scenario in Scenario::all() {
-                let run = measure_nsps::<f32>(
-                    layout,
-                    scenario,
-                    &cfg,
-                    &topo,
-                    Schedule::StaticChunks,
-                );
+                let run =
+                    measure_nsps::<f32>(layout, scenario, &cfg, &topo, Schedule::StaticChunks);
                 assert_eq!(run.iteration_ns.len(), cfg.iterations);
                 assert!(run.nsps() > 0.0, "{layout} {scenario}");
                 assert!(run.steady_nsps() > 0.0);

@@ -32,17 +32,29 @@ pub struct BenchConfig {
 impl BenchConfig {
     /// Default harness scale: 10⁵ particles × 50 steps × 5 iterations.
     pub fn default_scale() -> BenchConfig {
-        BenchConfig { particles: 100_000, steps_per_iteration: 50, iterations: 5 }
+        BenchConfig {
+            particles: 100_000,
+            steps_per_iteration: 50,
+            iterations: 5,
+        }
     }
 
     /// Tiny scale for unit tests.
     pub fn quick() -> BenchConfig {
-        BenchConfig { particles: 2_000, steps_per_iteration: 5, iterations: 3 }
+        BenchConfig {
+            particles: 2_000,
+            steps_per_iteration: 5,
+            iterations: 3,
+        }
     }
 
     /// The paper's full scale (≈ 10¹¹ particle-steps; hours on one core).
     pub fn paper_scale() -> BenchConfig {
-        BenchConfig { particles: 10_000_000, steps_per_iteration: 1_000, iterations: 10 }
+        BenchConfig {
+            particles: 10_000_000,
+            steps_per_iteration: 1_000,
+            iterations: 10,
+        }
     }
 
     /// Reads the scale from `PIC_BENCH_PARTICLES` / `PIC_BENCH_STEPS` /
@@ -86,7 +98,10 @@ pub fn build_ensemble<R: Real, S: ParticleStore<R>>(n: usize, seed: u64) -> S {
     fill_sphere_at_rest(
         &mut store,
         n,
-        &SphereDist { center: Vec3::zero(), radius: 0.6 * BENCH_WAVELENGTH },
+        &SphereDist {
+            center: Vec3::zero(),
+            radius: 0.6 * BENCH_WAVELENGTH,
+        },
         1.0,
         SpeciesTable::<R>::ELECTRON,
         &mut StdRng::seed_from_u64(seed),

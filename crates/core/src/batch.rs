@@ -34,7 +34,12 @@ pub struct BatchBorisKernel<'a, R, F> {
 impl<'a, R: Real, F: FieldSource<R>> BatchBorisKernel<'a, R, F> {
     /// Creates a blocked kernel.
     pub fn new(source: &'a F, table: &'a SpeciesTable<R>, dt: R, time: R) -> Self {
-        BatchBorisKernel { source, table, dt, time }
+        BatchBorisKernel {
+            source,
+            table,
+            dt,
+            time,
+        }
     }
 
     /// Advances every particle in `store` by one step.
@@ -146,7 +151,10 @@ struct TailKernel<'a, 'b, R, F> {
 impl<R: Real, F: FieldSource<R>> pic_particles::ParticleKernel<R> for TailKernel<'_, '_, R, F> {
     #[inline(always)]
     fn apply<V: pic_particles::ParticleView<R>>(&mut self, index: usize, view: &mut V) {
-        let field = self.inner.source.field(index, view.position(), self.inner.time);
+        let field = self
+            .inner
+            .source
+            .field(index, view.position(), self.inner.time);
         let species = self.inner.table.get(view.species());
         BorisPusher.push(view, &field, species, self.inner.dt);
     }
@@ -168,7 +176,10 @@ mod tests {
         fill_sphere_at_rest(
             &mut s,
             n,
-            &SphereDist { center: Vec3::zero(), radius: 0.6 * BENCH_WAVELENGTH },
+            &SphereDist {
+                center: Vec3::zero(),
+                radius: 0.6 * BENCH_WAVELENGTH,
+            },
             1.0,
             SpeciesTable::<f64>::ELECTRON,
             &mut StdRng::seed_from_u64(5),
@@ -254,9 +265,9 @@ mod tests {
         for _ in 0..25 {
             bk.sweep(&mut ens);
         }
-        for i in 0..ens.len() {
+        for (i, before) in norms.iter().enumerate() {
             let n = ens.get(i).momentum.norm();
-            assert!((n - norms[i]).abs() / norms[i] < 1e-12);
+            assert!((n - before).abs() / before < 1e-12);
         }
     }
 }

@@ -1,7 +1,8 @@
 //! The conventional Boris pusher (paper §2, Eqs. 9–13; Boris 1970).
 
 use crate::pusher::{
-    advance_position, gamma_of_u, half_kick_coef, momentum_from_u, u_from_momentum, Pusher,
+    advance_position, gamma_of_u, half_kick_coef, momentum_from_u, u_from_momentum, OpTally,
+    Pusher, SHARED_TALLY,
 };
 use pic_fields::EB;
 use pic_math::{Real, Vec3};
@@ -60,6 +61,19 @@ impl<R: Real> Pusher<R> for BorisPusher {
 
     fn name(&self) -> &'static str {
         "Boris"
+    }
+
+    fn tally(&self) -> OpTally {
+        // rotate_kick: two mul_add kicks (2×3m+3a), γⁿ (3m+3a+√),
+        // t = B·(ε/γⁿ) (÷+3m), s (3m+2a norm², 1a, ÷, 3m), two
+        // cross-and-add rotations (2×6m+6a).
+        SHARED_TALLY.combine(OpTally {
+            adds: 27,
+            muls: 30,
+            divs: 2,
+            sqrts: 1,
+            ..OpTally::default()
+        })
     }
 }
 
@@ -244,8 +258,7 @@ mod tests {
             BorisPusher.push(&mut p64, &field64, &sp64, 1e-13);
             BorisPusher.push(&mut p32, &field32, &sp32, 1e-13);
         }
-        let rel = (p64.momentum.norm() - p32.momentum.to_f64().norm()).abs()
-            / p64.momentum.norm();
+        let rel = (p64.momentum.norm() - p32.momentum.to_f64().norm()).abs() / p64.momentum.norm();
         assert!(rel < 1e-4, "precision divergence {rel}");
     }
 

@@ -4,10 +4,7 @@ use pic_math::{Real, Vec3};
 use pic_particles::{ParticleAccess, SpeciesTable};
 
 /// Total kinetic energy ∑ wᵢ(γᵢ − 1)mᵢc², erg.
-pub fn kinetic_energy<R: Real, A: ParticleAccess<R>>(
-    store: &A,
-    table: &SpeciesTable<R>,
-) -> f64 {
+pub fn kinetic_energy<R: Real, A: ParticleAccess<R>>(store: &A, table: &SpeciesTable<R>) -> f64 {
     let mut total = 0.0;
     for i in 0..store.len() {
         let p = store.get(i);
@@ -236,7 +233,7 @@ mod tests {
         let h = gamma_spectrum(&ens, 10, 2.0);
         assert!((h.total() - 3.0).abs() < 1e-12);
         assert_eq!(h.peak_bin(), 0); // the heavier γ=1 population
-        // √2 ≈ 1.414 → bin 4 of [1,2).
+                                     // √2 ≈ 1.414 → bin 4 of [1,2).
         assert_eq!(h.counts[4], 1.0);
     }
 

@@ -6,7 +6,8 @@
 //! the scheme volume-preserving and giving the correct E×B drift.
 
 use crate::pusher::{
-    advance_position, gamma_of_u, half_kick_coef, momentum_from_u, u_from_momentum, Pusher,
+    advance_position, gamma_of_u, half_kick_coef, momentum_from_u, u_from_momentum, OpTally,
+    Pusher, SHARED_TALLY,
 };
 use pic_fields::EB;
 use pic_math::{Real, Vec3};
@@ -57,6 +58,20 @@ impl<R: Real> Pusher<R> for HigueraCaryPusher {
 
     fn name(&self) -> &'static str {
         "Higuera-Cary"
+    }
+
+    fn tally(&self) -> OpTally {
+        // kick: Boris's structure with the centred-γ quartic replacing the
+        // plain γⁿ: kicks+rotations as Boris (24m+24a), τ (3m),
+        // γ′²/τ²/u·τ/σ (9m+7a), quartic γ (4m+3a+2√), t (÷+3m),
+        // s (6m+3a+÷).
+        SHARED_TALLY.combine(OpTally {
+            adds: 32,
+            muls: 43,
+            divs: 2,
+            sqrts: 2,
+            ..OpTally::default()
+        })
     }
 }
 

@@ -98,7 +98,13 @@ pub struct PushKernel<'a, R, F, P> {
 impl<'a, R: Real, F, P> PushKernel<'a, R, F, P> {
     /// Creates a kernel starting at simulation time 0.
     pub fn new(source: F, pusher: P, table: &'a SpeciesTable<R>, dt: R) -> Self {
-        PushKernel { source, pusher, table, dt, time: R::ZERO }
+        PushKernel {
+            source,
+            pusher,
+            table,
+            dt,
+            time: R::ZERO,
+        }
     }
 
     /// Time step Δt, s.
@@ -188,9 +194,7 @@ mod tests {
     use pic_fields::{DipoleStandingWave, UniformFields};
     use pic_math::constants::{BENCH_OMEGA, BENCH_POWER, BENCH_WAVELENGTH};
     use pic_particles::init::{fill_sphere_at_rest, SphereDist};
-    use pic_particles::{
-        AosEnsemble, ParticleAccess, ParticleStore, SoaEnsemble, SpeciesTable,
-    };
+    use pic_particles::{AosEnsemble, ParticleAccess, ParticleStore, SoaEnsemble, SpeciesTable};
     use rand::rngs::StdRng;
     use rand::SeedableRng;
 
@@ -199,7 +203,10 @@ mod tests {
         fill_sphere_at_rest(
             &mut s,
             n,
-            &SphereDist { center: Vec3::zero(), radius: 0.6 * BENCH_WAVELENGTH },
+            &SphereDist {
+                center: Vec3::zero(),
+                radius: 0.6 * BENCH_WAVELENGTH,
+            },
             1.0,
             SpeciesTable::<f64>::ELECTRON,
             &mut StdRng::seed_from_u64(77),
@@ -234,12 +241,8 @@ mod tests {
         let table = SpeciesTable::<f64>::with_standard_species();
         let mut pre = PrecalculatedFields::<f64>::zeros(3);
         pre.set(2, EB::new(Vec3::new(1e-2, 0.0, 0.0), Vec3::zero()));
-        let mut kernel = PushKernel::new(
-            PrecalculatedSource::new(&pre),
-            BorisPusher,
-            &table,
-            1e-13,
-        );
+        let mut kernel =
+            PushKernel::new(PrecalculatedSource::new(&pre), BorisPusher, &table, 1e-13);
         let mut ens: AosEnsemble<f64> = bench_ensemble(3);
         ens.for_each_mut(&mut kernel);
         // Only particle 2 sees a nonzero field.

@@ -52,8 +52,9 @@ pub mod vay;
 pub use batch::BatchBorisKernel;
 pub use boris::BorisPusher;
 pub use higuera::HigueraCaryPusher;
-pub use kernel::{AnalyticalSource, FieldSource, PrecalculatedSource, PushKernel,
-                 SharedPushKernel};
-pub use pusher::Pusher;
+pub use kernel::{
+    AnalyticalSource, FieldSource, PrecalculatedSource, PushKernel, SharedPushKernel,
+};
+pub use pusher::{OpTally, Pusher};
 pub use radiation::RadiationReactionPusher;
 pub use vay::VayPusher;

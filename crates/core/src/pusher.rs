@@ -16,7 +16,88 @@ pub trait Pusher<R: Real>: Send + Sync {
 
     /// Name used in benchmark tables and diagnostics.
     fn name(&self) -> &'static str;
+
+    /// Static per-particle per-step operation tally of `push`, counted
+    /// with loop-invariant species constants (ε, mc, 1/mc) hoisted — the
+    /// form the vectorized benchmark loop actually executes. Feeds the
+    /// telemetry layer and is reconciled against `pic-perfmodel`'s
+    /// roofline constants by that crate's tests.
+    fn tally(&self) -> OpTally;
 }
+
+/// Hand-counted per-particle per-step operations of one `push` call.
+///
+/// Divisions and square roots are kept separate because their reciprocal
+/// throughput on the paper's CPUs is roughly [`OpTally::DIV_WEIGHT`] times
+/// an add or multiply; [`OpTally::flop_equivalents`] folds them in with
+/// that weight, matching the convention of `pic_perfmodel::KernelCost`.
+#[derive(Clone, Copy, Debug, Default, Eq, PartialEq)]
+pub struct OpTally {
+    /// Additions and subtractions (fused multiply-adds count one here and
+    /// one in `muls`).
+    pub adds: u32,
+    /// Multiplications.
+    pub muls: u32,
+    /// Divisions and reciprocals.
+    pub divs: u32,
+    /// Square roots.
+    pub sqrts: u32,
+    /// Scalars loaded per particle (particle state + field components).
+    pub scalars_read: u32,
+    /// Scalars stored per particle.
+    pub scalars_written: u32,
+}
+
+impl OpTally {
+    /// Flop-equivalent weight of one division or square root.
+    pub const DIV_WEIGHT: f64 = 8.0;
+
+    /// Total flop-equivalents, with divisions and square roots weighted by
+    /// [`OpTally::DIV_WEIGHT`].
+    pub fn flop_equivalents(&self) -> f64 {
+        f64::from(self.adds + self.muls) + f64::from(self.divs + self.sqrts) * OpTally::DIV_WEIGHT
+    }
+
+    /// Bytes read per particle per step at the given scalar width.
+    pub fn bytes_read(&self, scalar_bytes: usize) -> f64 {
+        f64::from(self.scalars_read) * scalar_bytes as f64
+    }
+
+    /// Bytes written per particle per step at the given scalar width.
+    pub fn bytes_written(&self, scalar_bytes: usize) -> f64 {
+        f64::from(self.scalars_written) * scalar_bytes as f64
+    }
+
+    /// Element-wise sum — used by decorating pushers. Memory traffic adds
+    /// too: the decorator's extra loads/stores are real even when the data
+    /// is cache-hot.
+    pub fn combine(self, other: OpTally) -> OpTally {
+        OpTally {
+            adds: self.adds + other.adds,
+            muls: self.muls + other.muls,
+            divs: self.divs + other.divs,
+            sqrts: self.sqrts + other.sqrts,
+            scalars_read: self.scalars_read + other.scalars_read,
+            scalars_written: self.scalars_written + other.scalars_written,
+        }
+    }
+}
+
+/// Tally of the plumbing every integrator shares: u = p·(1/mc), the final
+/// γ(u), p = u·mc, and the leapfrog position step. Loads are position,
+/// momentum and the six field components; stores are momentum, γ and
+/// position.
+pub const SHARED_TALLY: OpTally = OpTally {
+    // gamma_of_u (3a) + position update (3a).
+    adds: 6,
+    // u scale (3) + γ norm² (3) + p scale (3) + v = p·(dt/(γm)) (1+3+3).
+    muls: 16,
+    // 1/(γm) in the position update.
+    divs: 1,
+    sqrts: 1,
+    scalars_read: 12,
+    scalars_written: 7,
+};
 
 /// Advances the position by one leapfrog step: `x += v·dt` with
 /// `v = p/(γm)` (paper Eq. 7). Shared by all pushers.
@@ -65,6 +146,50 @@ mod tests {
     use super::*;
     use pic_math::constants::{ELECTRON_MASS, ELEMENTARY_CHARGE};
     use pic_particles::{Particle, SpeciesId};
+
+    #[test]
+    fn tallies_reflect_algorithm_complexity() {
+        use crate::{BorisPusher, HigueraCaryPusher, RadiationReactionPusher, VayPusher};
+        let boris = Pusher::<f64>::tally(&BorisPusher).flop_equivalents();
+        let vay = Pusher::<f64>::tally(&VayPusher).flop_equivalents();
+        let hc = Pusher::<f64>::tally(&HigueraCaryPusher).flop_equivalents();
+        let ll =
+            Pusher::<f64>::tally(&RadiationReactionPusher::new(BorisPusher)).flop_equivalents();
+        // Boris is the cheapest scheme; Vay's quartic + velocity average
+        // costs the most of the three; a decorator only adds work.
+        assert!(boris < hc && hc < vay, "boris={boris} hc={hc} vay={vay}");
+        assert!(ll > boris);
+        // All pushers move the same particle state and field components.
+        for t in [
+            Pusher::<f64>::tally(&BorisPusher),
+            Pusher::<f64>::tally(&VayPusher),
+            Pusher::<f64>::tally(&HigueraCaryPusher),
+        ] {
+            assert_eq!(t.scalars_read, 12);
+            assert_eq!(t.scalars_written, 7);
+        }
+    }
+
+    #[test]
+    fn tally_arithmetic() {
+        let t = OpTally {
+            adds: 10,
+            muls: 20,
+            divs: 2,
+            sqrts: 1,
+            scalars_read: 4,
+            scalars_written: 3,
+        };
+        assert_eq!(
+            t.flop_equivalents(),
+            10.0 + 20.0 + 3.0 * OpTally::DIV_WEIGHT
+        );
+        assert_eq!(t.bytes_read(4), 16.0);
+        assert_eq!(t.bytes_written(8), 24.0);
+        let sum = t.combine(t);
+        assert_eq!(sum.muls, 40);
+        assert_eq!(sum.scalars_read, 8);
+    }
 
     #[test]
     fn u_roundtrip() {

@@ -15,7 +15,7 @@
 //! In a pure magnetic field this reproduces the synchrotron power
 //! `P = (2/3) r_e² c γ² β² B⊥²` for γ ≫ 1, which the tests verify.
 
-use crate::pusher::Pusher;
+use crate::pusher::{OpTally, Pusher};
 use pic_fields::EB;
 use pic_math::constants::LIGHT_VELOCITY;
 use pic_math::{Real, Vec3};
@@ -84,6 +84,21 @@ impl<R: Real, P: Pusher<R>> Pusher<R> for RadiationReactionPusher<P> {
     fn name(&self) -> &'static str {
         "Boris+LL"
     }
+
+    fn tally(&self) -> OpTally {
+        // Landau–Lifshitz correction on top of the base step: γ(p)
+        // (6m+3a+√), β (5m+÷), E+β×B (6m+6a), the two invariant terms
+        // (7m+5a), force assembly (6m), p += F·dt and the γ refresh
+        // (6m+6a+√). Operands are cache-hot after the base push, so no
+        // extra memory traffic.
+        self.inner.tally().combine(OpTally {
+            adds: 20,
+            muls: 36,
+            divs: 1,
+            sqrts: 2,
+            ..OpTally::default()
+        })
+    }
 }
 
 #[cfg(test)]
@@ -121,8 +136,7 @@ mod tests {
         let f = landau_lifshitz_force(p.momentum, &field, &sp);
         let beta = p.velocity(&sp).norm() / LIGHT_VELOCITY;
         let power = -f.dot(p.velocity(&sp)); // energy loss rate, erg/s
-        let expect = 2.0 / 3.0 * R_E * R_E * LIGHT_VELOCITY
-            * gamma * gamma * beta.powi(4) * b * b;
+        let expect = 2.0 / 3.0 * R_E * R_E * LIGHT_VELOCITY * gamma * gamma * beta.powi(4) * b * b;
         assert!(
             (power - expect).abs() / expect < 1e-6,
             "P = {power:.4e}, expected {expect:.4e}"
@@ -158,8 +172,7 @@ mod tests {
         }
         // Compare with the analytic loss rate at the initial state.
         let beta = (1.0f64 - 1.0 / (gamma0 * gamma0)).sqrt();
-        let power = 2.0 / 3.0 * R_E * R_E * LIGHT_VELOCITY
-            * gamma0 * gamma0 * beta.powi(4) * b * b;
+        let power = 2.0 / 3.0 * R_E * R_E * LIGHT_VELOCITY * gamma0 * gamma0 * beta.powi(4) * b * b;
         let expected_dgamma = power * dt * steps as f64 / ELECTRON_REST_ENERGY;
         let measured_dgamma = gamma0 - p.gamma;
         assert!(

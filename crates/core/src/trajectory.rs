@@ -55,7 +55,12 @@ impl<R: Real> TrajectoryRecorder<R> {
     pub fn new(indices: Vec<usize>, every: usize) -> TrajectoryRecorder<R> {
         assert!(every > 0, "TrajectoryRecorder: zero cadence");
         let tracks = vec![Vec::new(); indices.len()];
-        TrajectoryRecorder { indices, every, calls: 0, tracks }
+        TrajectoryRecorder {
+            indices,
+            every,
+            calls: 0,
+            tracks,
+        }
     }
 
     /// Number of tracked particles.
@@ -70,7 +75,7 @@ impl<R: Real> TrajectoryRecorder<R> {
     ///
     /// Panics if a tracked index is out of range for `store`.
     pub fn record<A: ParticleAccess<R>>(&mut self, store: &A, time: f64) {
-        if self.calls % self.every == 0 {
+        if self.calls.is_multiple_of(self.every) {
             for (t, &i) in self.indices.iter().enumerate() {
                 let p = store.get(i);
                 self.tracks[t].push(TrajectorySample {
@@ -175,10 +180,16 @@ mod tests {
         let r_l = p_mag * LIGHT_VELOCITY / (ELEMENTARY_CHARGE * b);
         let expect = 2.0 * std::f64::consts::PI * r_l;
         let got = rec.path_length(0);
-        assert!((got - expect).abs() / expect < 1e-2, "path {got} vs {expect}");
+        assert!(
+            (got - expect).abs() / expect < 1e-2,
+            "path {got} vs {expect}"
+        );
         // Max excursion ≈ the diameter.
         let exc = rec.max_excursion(0);
-        assert!((exc - 2.0 * r_l).abs() / (2.0 * r_l) < 2e-2, "excursion {exc}");
+        assert!(
+            (exc - 2.0 * r_l).abs() / (2.0 * r_l) < 2e-2,
+            "excursion {exc}"
+        );
         assert!(rec.max_gamma(0) >= 1.0);
     }
 

@@ -6,7 +6,8 @@
 //! rotation in the magnetic substep.
 
 use crate::pusher::{
-    advance_position, gamma_of_u, half_kick_coef, momentum_from_u, u_from_momentum, Pusher,
+    advance_position, gamma_of_u, half_kick_coef, momentum_from_u, u_from_momentum, OpTally,
+    Pusher, SHARED_TALLY,
 };
 use pic_fields::EB;
 use pic_math::{Real, Vec3};
@@ -55,6 +56,19 @@ impl<R: Real> Pusher<R> for VayPusher {
 
     fn name(&self) -> &'static str {
         "Vay"
+    }
+
+    fn tally(&self) -> OpTally {
+        // kick: τ (3m), γⁿ (3m+3a+√), u′ (13m+9a+÷), u·τ (3m+2a),
+        // γ′² (3m+3a), τ² (3m+2a), σ (1a), quartic γ (4m+3a+2√),
+        // t = τ/γ (÷+3m), s (3m+3a+÷), final average (15m+11a).
+        SHARED_TALLY.combine(OpTally {
+            adds: 37,
+            muls: 53,
+            divs: 3,
+            sqrts: 3,
+            ..OpTally::default()
+        })
     }
 }
 

@@ -64,7 +64,12 @@ impl<T: Clone + Default> Buffer<T> {
 impl<T> Buffer<T> {
     /// Wraps existing host data.
     pub fn from_vec(data: Vec<T>) -> Buffer<T> {
-        Buffer { data, valid_host: true, valid_device: false, transfers: 0 }
+        Buffer {
+            data,
+            valid_host: true,
+            valid_device: false,
+            transfers: 0,
+        }
     }
 
     /// Number of elements.
@@ -113,7 +118,10 @@ impl<T> Buffer<T> {
                 Target::Device => self.valid_host = false,
             }
         }
-        Accessor { data: &mut self.data, mode }
+        Accessor {
+            data: &mut self.data,
+            mode,
+        }
     }
 }
 
@@ -194,7 +202,10 @@ mod tests {
         // One upload, no round trips between kernels — the locality the
         // buffer/accessor model gives a scheduler for free.
         assert_eq!(buf.transfers(), 1);
-        assert_eq!(buf.accessor(Target::Host, AccessMode::Read).as_slice()[0], 5.0);
+        assert_eq!(
+            buf.accessor(Target::Host, AccessMode::Read).as_slice()[0],
+            5.0
+        );
     }
 
     #[test]

@@ -73,7 +73,10 @@ impl Device {
 
     /// A simulated GPU from an arbitrary model.
     pub fn simulated_gpu(model: GpuModel) -> Device {
-        Device { name: model.spec.name.to_string(), backend: Backend::SimulatedGpu { model } }
+        Device {
+            name: model.spec.name.to_string(),
+            backend: Backend::SimulatedGpu { model },
+        }
     }
 
     /// Human-readable device name (Table 1 names for the paper GPUs).
@@ -94,7 +97,11 @@ impl Device {
     /// Enumerates the devices of the paper's evaluation: the host plus the
     /// two Intel GPUs — the analogue of `sycl::device::get_devices()`.
     pub fn enumerate() -> Vec<Device> {
-        vec![Device::host_default(), Device::p630(), Device::iris_xe_max()]
+        vec![
+            Device::host_default(),
+            Device::p630(),
+            Device::iris_xe_max(),
+        ]
     }
 
     /// Selects a device by name: `"host"`, `"p630"` or `"iris"`

@@ -23,7 +23,7 @@ impl Event {
     /// Kernel time in nanoseconds: the modeled time on simulated devices,
     /// the measured wall time on the host.
     pub fn time_ns(&self) -> f64 {
-        self.modeled_ns.unwrap_or_else(|| self.wall.as_nanos() as f64)
+        self.modeled_ns.unwrap_or(self.wall.as_nanos() as f64)
     }
 
     /// Nanoseconds per particle for this sweep (the per-step NSPS

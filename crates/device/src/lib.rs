@@ -22,14 +22,14 @@
 
 pub mod buffer;
 pub mod device;
-pub mod graph;
 pub mod event;
+pub mod graph;
 pub mod queue;
 pub mod usm;
 
 pub use buffer::{AccessMode, Accessor, Buffer, Target};
 pub use device::{Backend, Device};
-pub use graph::{Ordering, TaskId, TaskTimeline};
 pub use event::Event;
+pub use graph::{Ordering, TaskId, TaskTimeline};
 pub use queue::{Queue, SweepProfile};
 pub use usm::{AllocKind, UsmBuffer};

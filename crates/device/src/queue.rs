@@ -28,7 +28,11 @@ impl SweepProfile {
         layout: pic_particles::Layout,
         precision: Precision,
     ) -> SweepProfile {
-        SweepProfile { scenario, layout, precision }
+        SweepProfile {
+            scenario,
+            layout,
+            precision,
+        }
     }
 }
 
@@ -158,13 +162,15 @@ mod tests {
 
     fn ensemble(n: usize) -> AosEnsemble<f32> {
         AosEnsemble::from_particles((0..n).map(|i| {
-            Particle::at_rest(Vec3::new(i as f32, 0.0, 0.0), 0.0, pic_particles::SpeciesId(0))
+            Particle::at_rest(
+                Vec3::new(i as f32, 0.0, 0.0),
+                0.0,
+                pic_particles::SpeciesId(0),
+            )
         }))
     }
 
-    fn bump(
-        _tid: usize,
-    ) -> DynKernel<impl FnMut(usize, &mut dyn ParticleView<f32>)> {
+    fn bump(_tid: usize) -> DynKernel<impl FnMut(usize, &mut dyn ParticleView<f32>)> {
         DynKernel(|_i, v: &mut dyn ParticleView<f32>| {
             let w = v.weight();
             v.set_weight(w + 1.0);
@@ -227,13 +233,12 @@ mod tests {
     #[test]
     fn modeled_nsps_matches_model() {
         let mut q = Queue::new(Device::p630());
-        let mut ens: SoaEnsemble<f32> =
-            (0..200).map(|_| Particle::default()).collect();
+        let mut ens: SoaEnsemble<f32> = (0..200).map(|_| Particle::default()).collect();
         let prof = SweepProfile::new(Scenario::Analytical, Layout::Soa, Precision::F32);
         q.submit_sweep(&mut ens, prof, bump); // warm up JIT
         let e = q.submit_sweep(&mut ens, prof, bump);
-        let expect = pic_perfmodel::GpuModel::p630()
-            .nsps(Scenario::Analytical, Layout::Soa, Precision::F32);
+        let expect =
+            pic_perfmodel::GpuModel::p630().nsps(Scenario::Analytical, Layout::Soa, Precision::F32);
         assert!((e.ns_per_particle() - expect).abs() < 1e-9);
     }
 }

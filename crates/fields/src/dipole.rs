@@ -218,11 +218,7 @@ mod tests {
         h: f64,
     ) -> Vec3<f64> {
         let d = |axis: usize, comp: usize| partial(w, pos, t, axis, |f| field(f)[comp], h);
-        Vec3::new(
-            d(1, 2) - d(2, 1),
-            d(2, 0) - d(0, 2),
-            d(0, 1) - d(1, 0),
-        )
+        Vec3::new(d(1, 2) - d(2, 1), d(2, 0) - d(0, 2), d(0, 1) - d(1, 0))
     }
 
     fn test_points() -> Vec<Vec3<f64>> {
@@ -273,8 +269,7 @@ mod tests {
         let dt = 1e-4 / BENCH_OMEGA;
         for pos in test_points() {
             let curl_e = curl(&w, pos, t, |f| f.e, h);
-            let db_dt =
-                (w.sample(pos, t + dt).b - w.sample(pos, t - dt).b) / (2.0 * dt);
+            let db_dt = (w.sample(pos, t + dt).b - w.sample(pos, t - dt).b) / (2.0 * dt);
             let rhs = -db_dt / LIGHT_VELOCITY;
             let scale = curl_e.norm().max(rhs.norm()).max(1e-30);
             assert!(
@@ -294,8 +289,7 @@ mod tests {
         let dt = 1e-4 / BENCH_OMEGA;
         for pos in test_points() {
             let curl_b = curl(&w, pos, t, |f| f.b, h);
-            let de_dt =
-                (w.sample(pos, t + dt).e - w.sample(pos, t - dt).e) / (2.0 * dt);
+            let de_dt = (w.sample(pos, t + dt).e - w.sample(pos, t - dt).e) / (2.0 * dt);
             let rhs = de_dt / LIGHT_VELOCITY;
             let scale = curl_b.norm().max(rhs.norm()).max(1e-30);
             assert!(

@@ -75,7 +75,11 @@ impl<R: Real> DipolePulse<R> {
         let mut weights = Vec::with_capacity(n);
         let mut total = 0.0;
         for i in 0..n {
-            let frac = if n == 1 { 0.0 } else { -1.0 + 2.0 * i as f64 / (n - 1) as f64 };
+            let frac = if n == 1 {
+                0.0
+            } else {
+                -1.0 + 2.0 * i as f64 / (n - 1) as f64
+            };
             let omega = omega0 + span * frac;
             let w = (-(omega - omega0).powi(2) / (2.0 * sigma_omega * sigma_omega)).exp();
             weights.push((omega, w));
@@ -90,7 +94,11 @@ impl<R: Real> DipolePulse<R> {
                 )
             })
             .collect();
-        DipolePulse { components, duration, omega0 }
+        DipolePulse {
+            components,
+            duration,
+            omega0,
+        }
     }
 
     /// Number of spectral components.

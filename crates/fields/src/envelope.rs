@@ -95,7 +95,10 @@ impl<R: Real, S: FieldSampler<R>, E: Envelope> FieldSampler<R> for Enveloped<S, 
     fn sample(&self, pos: Vec3<R>, time: R) -> EB<R> {
         let f = self.carrier.sample(pos, time);
         let a = R::from_f64(self.envelope.amplitude(time.to_f64()));
-        EB { e: f.e * a, b: f.b * a }
+        EB {
+            e: f.e * a,
+            b: f.b * a,
+        }
     }
 }
 
@@ -109,7 +112,10 @@ mod tests {
     #[test]
     fn constant_envelope_is_identity() {
         let wave = DipoleStandingWave::<f64>::new(BENCH_POWER, BENCH_OMEGA);
-        let pulsed = Enveloped { carrier: wave, envelope: ConstantEnvelope };
+        let pulsed = Enveloped {
+            carrier: wave,
+            envelope: ConstantEnvelope,
+        };
         let pos = Vec3::new(1e-5, -2e-5, 3e-5);
         let t = 0.4 / BENCH_OMEGA;
         assert_eq!(pulsed.sample(pos, t), wave.sample(pos, t));
@@ -117,7 +123,10 @@ mod tests {
 
     #[test]
     fn gaussian_envelope_peaks_at_center() {
-        let env = GaussianEnvelope { center: 5.0e-15, sigma: 2.0e-15 };
+        let env = GaussianEnvelope {
+            center: 5.0e-15,
+            sigma: 2.0e-15,
+        };
         assert_eq!(env.amplitude(5.0e-15), 1.0);
         assert!(env.amplitude(0.0) < 0.05);
         assert!(env.amplitude(1.0e-14) < 0.05);
@@ -127,7 +136,10 @@ mod tests {
 
     #[test]
     fn sin2_ramp_is_monotone_and_smooth() {
-        let env = Sin2Ramp { start: 1.0e-15, rise: 4.0e-15 };
+        let env = Sin2Ramp {
+            start: 1.0e-15,
+            rise: 4.0e-15,
+        };
         assert_eq!(env.amplitude(0.0), 0.0);
         assert_eq!(env.amplitude(1.0e-15), 0.0);
         assert_eq!(env.amplitude(5.0e-15), 1.0);
@@ -144,11 +156,13 @@ mod tests {
 
     #[test]
     fn envelope_scales_both_fields() {
-        let carrier =
-            UniformFields::<f32>::new(Vec3::new(2.0, 0.0, 0.0), Vec3::new(0.0, 4.0, 0.0));
+        let carrier = UniformFields::<f32>::new(Vec3::new(2.0, 0.0, 0.0), Vec3::new(0.0, 4.0, 0.0));
         let pulsed = Enveloped {
             carrier,
-            envelope: GaussianEnvelope { center: 0.0, sigma: 1.0 },
+            envelope: GaussianEnvelope {
+                center: 0.0,
+                sigma: 1.0,
+            },
         };
         let f = pulsed.sample(Vec3::zero(), 1.0f32);
         let a = (-0.5f64).exp() as f32;

@@ -149,7 +149,10 @@ mod tests {
             let t = i as f64 / 200.0 * 2.0 * std::f64::consts::PI / 2.1e15;
             max_e = max_e.max(b.sample(Vec3::new(0.0, 0.0, zr), t).e.x.abs());
         }
-        assert!((max_e - 5.0 / 2.0f64.sqrt()).abs() / 5.0 < 0.01, "E(z_R) = {max_e}");
+        assert!(
+            (max_e - 5.0 / 2.0f64.sqrt()).abs() / 5.0 < 0.01,
+            "E(z_R) = {max_e}"
+        );
     }
 
     #[test]

@@ -20,7 +20,11 @@ pub struct Stagger(pub Vec3<f64>);
 impl Stagger {
     /// Cell-corner (unstaggered) lattice.
     pub const fn node() -> Stagger {
-        Stagger(Vec3 { x: 0.0, y: 0.0, z: 0.0 })
+        Stagger(Vec3 {
+            x: 0.0,
+            y: 0.0,
+            z: 0.0,
+        })
     }
 
     /// Offset by half a cell along the given axes.
@@ -346,7 +350,8 @@ impl<R: Real> EmGrid<R> {
 
     /// Fills all six lattices from an analytical sampler at time `t`.
     pub fn fill_from_sampler<S: FieldSampler<R>>(&mut self, sampler: &S, t: R) {
-        let comps: [(&mut ScalarGrid<R>, fn(&EB<R>) -> R); 6] = [
+        type Comp<'a, R> = (&'a mut ScalarGrid<R>, fn(&EB<R>) -> R);
+        let comps: [Comp<R>; 6] = [
             (&mut self.ex, |f| f.e.x),
             (&mut self.ey, |f| f.e.y),
             (&mut self.ez, |f| f.e.z),
@@ -377,7 +382,10 @@ impl<R: Real> EmGrid<R> {
     pub fn field_energy(&self) -> f64 {
         let dv = self.spacing().x * self.spacing().y * self.spacing().z;
         let sum2 = |g: &ScalarGrid<R>| -> f64 {
-            g.data().iter().map(|v| v.to_f64() * v.to_f64()).sum::<f64>()
+            g.data()
+                .iter()
+                .map(|v| v.to_f64() * v.to_f64())
+                .sum::<f64>()
         };
         (sum2(&self.ex)
             + sum2(&self.ey)

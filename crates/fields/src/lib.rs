@@ -27,7 +27,7 @@ pub mod uniform;
 
 pub use dipole::{DipoleStandingWave, TabulatedDipoleWave};
 pub use dipole_pulse::DipolePulse;
-pub use envelope::{ConstantEnvelope, Enveloped, Envelope, GaussianEnvelope, Sin2Ramp};
+pub use envelope::{ConstantEnvelope, Envelope, Enveloped, GaussianEnvelope, Sin2Ramp};
 pub use gaussian_beam::GaussianBeam;
 pub use grid::{EmGrid, InterpOrder, ScalarGrid, Stagger};
 pub use plane_wave::PlaneWave;

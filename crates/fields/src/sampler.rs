@@ -15,7 +15,10 @@ pub struct EB<R> {
 impl<R: Real> EB<R> {
     /// A zero field.
     pub fn zero() -> EB<R> {
-        EB { e: Vec3::zero(), b: Vec3::zero() }
+        EB {
+            e: Vec3::zero(),
+            b: Vec3::zero(),
+        }
     }
 
     /// Creates a field value from its two vectors.

@@ -45,7 +45,10 @@ impl<R: Real> UniformFields<R> {
 impl<R: Real> FieldSampler<R> for UniformFields<R> {
     #[inline(always)]
     fn sample(&self, _pos: Vec3<R>, _time: R) -> EB<R> {
-        EB { e: self.e, b: self.b }
+        EB {
+            e: self.e,
+            b: self.b,
+        }
     }
 }
 
@@ -57,7 +60,10 @@ mod tests {
     fn constructors() {
         let e = Vec3::new(1.0_f32, 2.0, 3.0);
         let b = Vec3::new(4.0, 5.0, 6.0);
-        assert_eq!(UniformFields::new(e, b).sample(Vec3::zero(), 0.0), EB::new(e, b));
+        assert_eq!(
+            UniformFields::new(e, b).sample(Vec3::zero(), 0.0),
+            EB::new(e, b)
+        );
         assert_eq!(UniformFields::electric(e).b, Vec3::zero());
         assert_eq!(UniformFields::magnetic(b).e, Vec3::zero());
     }

@@ -70,7 +70,9 @@ pub fn j0<R: Real>(x: R) -> R {
 pub fn f1<R: Real>(x: R) -> R {
     if x.abs().to_f64() < SERIES_THRESHOLD {
         // j1 = (x/3)·Σ tₙ with ratio (2n+2)(2n+5)
-        series(x, x / R::from_f64(3.0), |n| ((2 * n + 2) * (2 * n + 5)) as f64)
+        series(x, x / R::from_f64(3.0), |n| {
+            ((2 * n + 2) * (2 * n + 5)) as f64
+        })
     } else {
         let (s, c) = x.sin_cos();
         s / (x * x) - c / x
@@ -90,7 +92,9 @@ pub fn f1<R: Real>(x: R) -> R {
 pub fn f2<R: Real>(x: R) -> R {
     if x.abs().to_f64() < SERIES_THRESHOLD {
         // j2 = (x²/15)·Σ tₙ with ratio (2n+2)(2n+7)
-        series(x, x * x / R::from_f64(15.0), |n| ((2 * n + 2) * (2 * n + 7)) as f64)
+        series(x, x * x / R::from_f64(15.0), |n| {
+            ((2 * n + 2) * (2 * n + 7)) as f64
+        })
     } else {
         let (s, c) = x.sin_cos();
         let inv = x.recip();
@@ -116,7 +120,12 @@ pub fn f3<R: Real>(x: R) -> R {
         // coefficients are 2/3, 2/15, 1/140, 1/5670, 1/399168, 1/43243200;
         // the term ratio aₙ₊₁/aₙ = (2n+5) / ((2n+2)(2n+3)(2n+7)/(2n+... ))
         // has no compact closed form, so sum the two constituent series.
-        j0(x) - if x == R::ZERO { R::from_f64(1.0 / 3.0) } else { f1(x) / x }
+        j0(x)
+            - if x == R::ZERO {
+                R::from_f64(1.0 / 3.0)
+            } else {
+                f1(x) / x
+            }
     } else {
         let (s, c) = x.sin_cos();
         let inv = x.recip();
@@ -130,7 +139,9 @@ pub fn f3<R: Real>(x: R) -> R {
 #[inline]
 pub fn f1_over_x<R: Real>(x: R) -> R {
     if x.abs().to_f64() < SERIES_THRESHOLD {
-        series(x, R::from_f64(1.0 / 3.0), |n| ((2 * n + 2) * (2 * n + 5)) as f64)
+        series(x, R::from_f64(1.0 / 3.0), |n| {
+            ((2 * n + 2) * (2 * n + 5)) as f64
+        })
     } else {
         f1(x) / x
     }
@@ -141,7 +152,9 @@ pub fn f1_over_x<R: Real>(x: R) -> R {
 #[inline]
 pub fn f2_over_x2<R: Real>(x: R) -> R {
     if x.abs().to_f64() < SERIES_THRESHOLD {
-        series(x, R::from_f64(1.0 / 15.0), |n| ((2 * n + 2) * (2 * n + 7)) as f64)
+        series(x, R::from_f64(1.0 / 15.0), |n| {
+            ((2 * n + 2) * (2 * n + 7)) as f64
+        })
     } else {
         f2(x) / (x * x)
     }

@@ -6,9 +6,7 @@
 //! `a₀ = eE/(m_e ω c)`. This module converts between those conventions so
 //! the examples and benches can speak the paper's language.
 
-use crate::constants::{
-    ELECTRON_MASS, ELEMENTARY_CHARGE, LIGHT_VELOCITY, WATT,
-};
+use crate::constants::{ELECTRON_MASS, ELEMENTARY_CHARGE, LIGHT_VELOCITY, WATT};
 
 /// Converts a field amplitude (statvolt/cm) and angular frequency (s⁻¹)
 /// to the normalized amplitude `a₀ = eE/(m_e ω c)`.
@@ -47,8 +45,7 @@ pub fn critical_density(omega: f64) -> f64 {
 /// Electron plasma frequency (rad/s) of density `n` (cm⁻³):
 /// `ω_p = √(4π n e²/m_e)`.
 pub fn plasma_frequency(density: f64) -> f64 {
-    (4.0 * std::f64::consts::PI * density * ELEMENTARY_CHARGE * ELEMENTARY_CHARGE
-        / ELECTRON_MASS)
+    (4.0 * std::f64::consts::PI * density * ELEMENTARY_CHARGE * ELEMENTARY_CHARGE / ELECTRON_MASS)
         .sqrt()
 }
 

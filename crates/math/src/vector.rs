@@ -2,8 +2,9 @@
 
 use crate::real::Real;
 use std::fmt;
-use std::ops::{Add, AddAssign, Div, DivAssign, Index, IndexMut, Mul, MulAssign, Neg, Sub,
-               SubAssign};
+use std::ops::{
+    Add, AddAssign, Div, DivAssign, Index, IndexMut, Mul, MulAssign, Neg, Sub, SubAssign,
+};
 
 /// A 3-vector over a [`Real`] scalar — the analogue of Hi-Chi's `FP3`.
 ///
@@ -39,7 +40,11 @@ impl<R: Real> Vec3<R> {
         // `R::ZERO` is not usable in a `const fn` over a trait, so zero()
         // is implemented via Default in `new_zero`; keep this const for the
         // concrete aliases below.
-        Vec3 { x: R::ZERO, y: R::ZERO, z: R::ZERO }
+        Vec3 {
+            x: R::ZERO,
+            y: R::ZERO,
+            z: R::ZERO,
+        }
     }
 
     /// Creates a vector from components.
@@ -96,19 +101,31 @@ impl<R: Real> Vec3<R> {
     /// Component-wise product (Hadamard).
     #[inline(always)]
     pub fn hadamard(self, o: Self) -> Self {
-        Vec3 { x: self.x * o.x, y: self.y * o.y, z: self.z * o.z }
+        Vec3 {
+            x: self.x * o.x,
+            y: self.y * o.y,
+            z: self.z * o.z,
+        }
     }
 
     /// Component-wise minimum.
     #[inline]
     pub fn min(self, o: Self) -> Self {
-        Vec3 { x: self.x.min(o.x), y: self.y.min(o.y), z: self.z.min(o.z) }
+        Vec3 {
+            x: self.x.min(o.x),
+            y: self.y.min(o.y),
+            z: self.z.min(o.z),
+        }
     }
 
     /// Component-wise maximum.
     #[inline]
     pub fn max(self, o: Self) -> Self {
-        Vec3 { x: self.x.max(o.x), y: self.y.max(o.y), z: self.z.max(o.z) }
+        Vec3 {
+            x: self.x.max(o.x),
+            y: self.y.max(o.y),
+            z: self.z.max(o.z),
+        }
     }
 
     /// Largest absolute component.
@@ -136,13 +153,21 @@ impl<R: Real> Vec3<R> {
     /// Widens each component to `f64` (for diagnostics).
     #[inline]
     pub fn to_f64(self) -> Vec3<f64> {
-        Vec3 { x: self.x.to_f64(), y: self.y.to_f64(), z: self.z.to_f64() }
+        Vec3 {
+            x: self.x.to_f64(),
+            y: self.y.to_f64(),
+            z: self.z.to_f64(),
+        }
     }
 
     /// Converts each component from `f64` (for literals and setup code).
     #[inline]
     pub fn from_f64(v: Vec3<f64>) -> Self {
-        Vec3 { x: R::from_f64(v.x), y: R::from_f64(v.y), z: R::from_f64(v.z) }
+        Vec3 {
+            x: R::from_f64(v.x),
+            y: R::from_f64(v.y),
+            z: R::from_f64(v.z),
+        }
     }
 
     /// The components as a fixed-size array `[x, y, z]`.
@@ -155,7 +180,11 @@ impl<R: Real> Vec3<R> {
 impl<R: Real> From<[R; 3]> for Vec3<R> {
     #[inline]
     fn from(a: [R; 3]) -> Self {
-        Vec3 { x: a[0], y: a[1], z: a[2] }
+        Vec3 {
+            x: a[0],
+            y: a[1],
+            z: a[2],
+        }
     }
 }
 
@@ -205,7 +234,11 @@ impl<R: Real> Add for Vec3<R> {
     type Output = Self;
     #[inline(always)]
     fn add(self, o: Self) -> Self {
-        Vec3 { x: self.x + o.x, y: self.y + o.y, z: self.z + o.z }
+        Vec3 {
+            x: self.x + o.x,
+            y: self.y + o.y,
+            z: self.z + o.z,
+        }
     }
 }
 
@@ -213,7 +246,11 @@ impl<R: Real> Sub for Vec3<R> {
     type Output = Self;
     #[inline(always)]
     fn sub(self, o: Self) -> Self {
-        Vec3 { x: self.x - o.x, y: self.y - o.y, z: self.z - o.z }
+        Vec3 {
+            x: self.x - o.x,
+            y: self.y - o.y,
+            z: self.z - o.z,
+        }
     }
 }
 
@@ -221,7 +258,11 @@ impl<R: Real> Neg for Vec3<R> {
     type Output = Self;
     #[inline(always)]
     fn neg(self) -> Self {
-        Vec3 { x: -self.x, y: -self.y, z: -self.z }
+        Vec3 {
+            x: -self.x,
+            y: -self.y,
+            z: -self.z,
+        }
     }
 }
 
@@ -229,7 +270,11 @@ impl<R: Real> Mul<R> for Vec3<R> {
     type Output = Self;
     #[inline(always)]
     fn mul(self, s: R) -> Self {
-        Vec3 { x: self.x * s, y: self.y * s, z: self.z * s }
+        Vec3 {
+            x: self.x * s,
+            y: self.y * s,
+            z: self.z * s,
+        }
     }
 }
 
@@ -237,7 +282,11 @@ impl<R: Real> Div<R> for Vec3<R> {
     type Output = Self;
     #[inline(always)]
     fn div(self, s: R) -> Self {
-        Vec3 { x: self.x / s, y: self.y / s, z: self.z / s }
+        Vec3 {
+            x: self.x / s,
+            y: self.y / s,
+            z: self.z / s,
+        }
     }
 }
 

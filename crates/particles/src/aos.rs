@@ -32,7 +32,9 @@ impl<R: Real> AosEnsemble<R> {
 
     /// Creates an empty ensemble with room for `capacity` particles.
     pub fn with_capacity(capacity: usize) -> AosEnsemble<R> {
-        AosEnsemble { items: Vec::with_capacity(capacity) }
+        AosEnsemble {
+            items: Vec::with_capacity(capacity),
+        }
     }
 
     /// Borrows the backing records.
@@ -59,7 +61,9 @@ impl<R: Real> From<Vec<Particle<R>>> for AosEnsemble<R> {
 
 impl<R: Real> FromIterator<Particle<R>> for AosEnsemble<R> {
     fn from_iter<I: IntoIterator<Item = Particle<R>>>(iter: I) -> Self {
-        AosEnsemble { items: iter.into_iter().collect() }
+        AosEnsemble {
+            items: iter.into_iter().collect(),
+        }
     }
 }
 
@@ -106,7 +110,10 @@ fn split_aos<'a, R: Real>(
             continue;
         }
         let (head, tail) = items.split_at_mut(size);
-        out.push(AosChunkMut { offset: base + offset, items: head });
+        out.push(AosChunkMut {
+            offset: base + offset,
+            items: head,
+        });
         offset += size;
         items = tail;
     }
@@ -267,7 +274,6 @@ mod tests {
             v.set_position(pos);
         });
         ens.for_each_mut(&mut kernel);
-        drop(kernel);
         assert_eq!(seen, (0..10).collect::<Vec<_>>());
         assert!(ens.as_slice().iter().all(|p| p.position.y == 1.0));
     }

@@ -194,7 +194,11 @@ mod tests {
     #[test]
     fn push_routes_to_the_right_cell() {
         let mut ens = CellEnsemble::<f64>::new(grid());
-        ens.push(Particle::at_rest(Vec3::new(7.5, 0.5, 0.5), 1.0, SpeciesId(0)));
+        ens.push(Particle::at_rest(
+            Vec3::new(7.5, 0.5, 0.5),
+            1.0,
+            SpeciesId(0),
+        ));
         assert_eq!(ens.len(), 1);
         assert_eq!(ens.cell_len(7), 1);
         assert!(ens.is_consistent());
@@ -263,8 +267,7 @@ mod tests {
             .iter()
             .map(|p| (p.weight, p.gamma))
             .collect();
-        let mut b: Vec<(f64, f64)> =
-            aos.as_slice().iter().map(|p| (p.weight, p.gamma)).collect();
+        let mut b: Vec<(f64, f64)> = aos.as_slice().iter().map(|p| (p.weight, p.gamma)).collect();
         a.sort_by(|x, y| x.partial_cmp(y).unwrap());
         b.sort_by(|x, y| x.partial_cmp(y).unwrap());
         assert_eq!(a, b);

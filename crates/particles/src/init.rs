@@ -98,6 +98,7 @@ pub fn fill_sphere_at_rest<R, S, G>(
 /// non-relativistic Maxwellian momenta of temperature `temperature_erg`
 /// (momentum spread per axis: √(m·k_B T), with the temperature given in
 /// energy units).
+#[allow(clippy::too_many_arguments)]
 pub fn fill_box_maxwellian<R, S, G>(
     store: &mut S,
     n: usize,
@@ -134,6 +135,7 @@ pub fn fill_box_maxwellian<R, S, G>(
 
 /// Fills `store` with a cold drifting beam: `n` particles in `bounds`, all
 /// with momentum `gamma_beta · m c` along `direction`.
+#[allow(clippy::too_many_arguments)]
 pub fn fill_box_beam<R, S, G>(
     store: &mut S,
     n: usize,
@@ -181,7 +183,10 @@ mod tests {
     #[test]
     fn sphere_points_inside_radius() {
         let mut rng = StdRng::seed_from_u64(1);
-        let d = SphereDist { center: Vec3::new(1.0, 2.0, 3.0), radius: 0.5 };
+        let d = SphereDist {
+            center: Vec3::new(1.0, 2.0, 3.0),
+            radius: 0.5,
+        };
         for _ in 0..1000 {
             let p = sample_sphere(&d, &mut rng);
             assert!((p - d.center).norm() <= d.radius + 1e-12);
@@ -192,7 +197,10 @@ mod tests {
     fn sphere_radius_distribution_is_uniform_density() {
         // For uniform density, the fraction of points with r < R/2 is 1/8.
         let mut rng = StdRng::seed_from_u64(2);
-        let d = SphereDist { center: Vec3::zero(), radius: 1.0 };
+        let d = SphereDist {
+            center: Vec3::zero(),
+            radius: 1.0,
+        };
         let n = 20000;
         let inside = (0..n)
             .filter(|_| sample_sphere(&d, &mut rng).norm() < 0.5)
@@ -205,8 +213,10 @@ mod tests {
     fn unit_vectors_are_isotropic() {
         let mut rng = StdRng::seed_from_u64(3);
         let n = 20000;
-        let mean: Vec3<f64> =
-            (0..n).map(|_| sample_unit_vector(&mut rng)).sum::<Vec3<f64>>() / n as f64;
+        let mean: Vec3<f64> = (0..n)
+            .map(|_| sample_unit_vector(&mut rng))
+            .sum::<Vec3<f64>>()
+            / n as f64;
         assert!(mean.norm() < 0.02, "mean = {mean}");
     }
 
@@ -225,7 +235,10 @@ mod tests {
     fn fill_sphere_matches_paper_setup() {
         let mut rng = StdRng::seed_from_u64(5);
         let lambda = pic_math::constants::BENCH_WAVELENGTH;
-        let d = SphereDist { center: Vec3::zero(), radius: 0.6 * lambda };
+        let d = SphereDist {
+            center: Vec3::zero(),
+            radius: 0.6 * lambda,
+        };
         let mut ens = SoaEnsemble::<f32>::new();
         fill_sphere_at_rest(&mut ens, 500, &d, 1.0, EL, &mut rng);
         assert_eq!(ens.len(), 500);
@@ -239,7 +252,10 @@ mod tests {
 
     #[test]
     fn seeded_fills_are_deterministic_across_layouts() {
-        let d = SphereDist { center: Vec3::zero(), radius: 1.0 };
+        let d = SphereDist {
+            center: Vec3::zero(),
+            radius: 1.0,
+        };
         let mut aos = AosEnsemble::<f64>::new();
         let mut soa = SoaEnsemble::<f64>::new();
         fill_sphere_at_rest(&mut aos, 100, &d, 1.0, EL, &mut StdRng::seed_from_u64(9));
@@ -254,7 +270,10 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(6);
         let table = SpeciesTable::<f64>::with_standard_species();
         let e = *table.get(EL);
-        let bounds = BoxDist { min: Vec3::zero(), max: Vec3::splat(1.0) };
+        let bounds = BoxDist {
+            min: Vec3::zero(),
+            max: Vec3::splat(1.0),
+        };
         let temp = 1.0e-9; // erg, nonrelativistic for electrons
         let mut ens = AosEnsemble::<f64>::new();
         fill_box_maxwellian(&mut ens, 20000, &bounds, temp, 1.0, EL, &e, &mut rng);
@@ -265,7 +284,11 @@ mod tests {
             .map(|p| p.momentum.x * p.momentum.x)
             .sum::<f64>()
             / ens.len() as f64;
-        assert!((var / sigma2 - 1.0).abs() < 0.05, "var ratio = {}", var / sigma2);
+        assert!(
+            (var / sigma2 - 1.0).abs() < 0.05,
+            "var ratio = {}",
+            var / sigma2
+        );
     }
 
     #[test]
@@ -273,9 +296,22 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(7);
         let table = SpeciesTable::<f64>::with_standard_species();
         let e = *table.get(EL);
-        let bounds = BoxDist { min: Vec3::zero(), max: Vec3::splat(1.0) };
+        let bounds = BoxDist {
+            min: Vec3::zero(),
+            max: Vec3::splat(1.0),
+        };
         let mut ens = AosEnsemble::<f64>::new();
-        fill_box_beam(&mut ens, 50, &bounds, 3.0, Vec3::new(0.0, 0.0, 2.0), 1.0, EL, &e, &mut rng);
+        fill_box_beam(
+            &mut ens,
+            50,
+            &bounds,
+            3.0,
+            Vec3::new(0.0, 0.0, 2.0),
+            1.0,
+            EL,
+            &e,
+            &mut rng,
+        );
         let expect_gamma = (1.0f64 + 9.0).sqrt();
         for p in ens.as_slice() {
             assert!((p.gamma - expect_gamma).abs() < 1e-12);

@@ -91,7 +91,11 @@ where
         if fields.len() != 9 {
             return Err(io::Error::new(
                 io::ErrorKind::InvalidData,
-                format!("line {}: expected 9 fields, got {}", lineno + 1, fields.len()),
+                format!(
+                    "line {}: expected 9 fields, got {}",
+                    lineno + 1,
+                    fields.len()
+                ),
             ));
         }
         let num = |s: &str| -> io::Result<f64> {
@@ -162,9 +166,7 @@ mod tests {
 
     #[test]
     fn header_and_comments_are_skipped() {
-        let text = format!(
-            "{HEADER}\n\n# a comment\n1 2 3 4e-18 5e-18 6e-18 2.5 1.0 1\n"
-        );
+        let text = format!("{HEADER}\n\n# a comment\n1 2 3 4e-18 5e-18 6e-18 2.5 1.0 1\n");
         let ens: AosEnsemble<f64> = read_ensemble(text.as_bytes()).unwrap();
         assert_eq!(ens.len(), 1);
         let p = ens.get(0);
@@ -175,15 +177,11 @@ mod tests {
 
     #[test]
     fn malformed_line_is_invalid_data() {
-        let err = read_ensemble::<f64, AosEnsemble<f64>, _>(
-            "1 2 3\n".as_bytes(),
-        )
-        .unwrap_err();
+        let err = read_ensemble::<f64, AosEnsemble<f64>, _>("1 2 3\n".as_bytes()).unwrap_err();
         assert_eq!(err.kind(), io::ErrorKind::InvalidData);
-        let err2 = read_ensemble::<f64, AosEnsemble<f64>, _>(
-            "1 2 3 4 5 6 7 8 not-a-species\n".as_bytes(),
-        )
-        .unwrap_err();
+        let err2 =
+            read_ensemble::<f64, AosEnsemble<f64>, _>("1 2 3 4 5 6 7 8 not-a-species\n".as_bytes())
+                .unwrap_err();
         assert_eq!(err2.kind(), io::ErrorKind::InvalidData);
     }
 

@@ -169,14 +169,19 @@ impl PeriodicSorter {
     /// Panics if `interval` is zero.
     pub fn new(grid: CellGrid, interval: usize) -> PeriodicSorter {
         assert!(interval > 0, "PeriodicSorter: zero interval");
-        PeriodicSorter { grid, interval, steps: 0, sorts: 0 }
+        PeriodicSorter {
+            grid,
+            interval,
+            steps: 0,
+            sorts: 0,
+        }
     }
 
     /// Counts one step; sorts (and returns `true`) on every
     /// `interval`-th call.
     pub fn maybe_sort<R: Real, S: ParticleStore<R>>(&mut self, store: &mut S) -> bool {
         self.steps += 1;
-        if self.steps % self.interval == 0 {
+        if self.steps.is_multiple_of(self.interval) {
             sort_by_cell(store, &self.grid);
             self.sorts += 1;
             true
@@ -232,7 +237,10 @@ mod tests {
 
     fn random_ensemble<S: ParticleStore<f64>>(n: usize, seed: u64) -> S {
         let mut rng = StdRng::seed_from_u64(seed);
-        let bounds = BoxDist { min: Vec3::zero(), max: Vec3::splat(1.0) };
+        let bounds = BoxDist {
+            min: Vec3::zero(),
+            max: Vec3::splat(1.0),
+        };
         let mut s = S::default();
         for i in 0..n {
             let mut p = Particle::at_rest(sample_box(&bounds, &mut rng), 1.0, SpeciesId(0));

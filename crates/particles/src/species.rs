@@ -85,7 +85,9 @@ impl<R: Real> SpeciesTable<R> {
 
     /// Creates an empty table.
     pub fn new() -> SpeciesTable<R> {
-        SpeciesTable { entries: Vec::new() }
+        SpeciesTable {
+            entries: Vec::new(),
+        }
     }
 
     /// Creates a table pre-populated with electron, positron and proton at

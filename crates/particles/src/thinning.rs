@@ -33,7 +33,10 @@ where
     S: ParticleStore<R>,
     G: Rng + ?Sized,
 {
-    assert!(keep > 0.0 && keep <= 1.0, "thin_random: keep must be in (0, 1]");
+    assert!(
+        keep > 0.0 && keep <= 1.0,
+        "thin_random: keep must be in (0, 1]"
+    );
     let scale = R::from_f64(1.0 / keep);
     let mut removed = 0;
     let mut i = 0;
@@ -64,11 +67,7 @@ where
 ///
 /// Odd particles per cell are left untouched. Returns the number of
 /// particles removed.
-pub fn merge_pairs<R, S>(
-    store: &mut S,
-    grid: &CellGrid,
-    table: &SpeciesTable<R>,
-) -> usize
+pub fn merge_pairs<R, S>(store: &mut S, grid: &CellGrid, table: &SpeciesTable<R>) -> usize
 where
     R: Real,
     S: ParticleStore<R>,
@@ -132,7 +131,10 @@ mod tests {
 
     fn random_ensemble<S: ParticleStore<f64>>(n: usize, seed: u64) -> S {
         let mut rng = StdRng::seed_from_u64(seed);
-        let bounds = BoxDist { min: Vec3::zero(), max: Vec3::splat(8.0) };
+        let bounds = BoxDist {
+            min: Vec3::zero(),
+            max: Vec3::splat(8.0),
+        };
         let mc = ELECTRON_MASS * LIGHT_VELOCITY;
         S::from_particles((0..n).map(|_| {
             Particle::new(
@@ -170,7 +172,11 @@ mod tests {
         assert!((kept_frac - 0.25).abs() < 0.02, "kept {kept_frac}");
         assert_eq!(removed + ens.len(), 20_000);
         let w1 = total_weight(&ens);
-        assert!((w1 - w0).abs() / w0 < 0.03, "weight drift {}", (w1 - w0) / w0);
+        assert!(
+            (w1 - w0).abs() / w0 < 0.03,
+            "weight drift {}",
+            (w1 - w0) / w0
+        );
     }
 
     #[test]

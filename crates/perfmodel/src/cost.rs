@@ -167,16 +167,10 @@ mod tests {
 
     #[test]
     fn precalculated_adds_six_components() {
-        for &(layout, prec) in &[
-            (Layout::Aos, Precision::F32),
-            (Layout::Soa, Precision::F64),
-        ] {
+        for &(layout, prec) in &[(Layout::Aos, Precision::F32), (Layout::Soa, Precision::F64)] {
             let pre = KernelCost::boris(Scenario::Precalculated, layout, prec);
             let ana = KernelCost::boris(Scenario::Analytical, layout, prec);
-            assert_eq!(
-                pre.bytes_read - ana.bytes_read,
-                6.0 * prec.bytes() as f64
-            );
+            assert_eq!(pre.bytes_read - ana.bytes_read, 6.0 * prec.bytes() as f64);
             assert_eq!(pre.bytes_written, ana.bytes_written);
         }
     }
@@ -212,5 +206,56 @@ mod tests {
         assert_eq!(Precision::F32.to_string(), "float");
         assert_eq!(Precision::F64.to_string(), "double");
         assert_eq!(Scenario::Precalculated.to_string(), "Precalculated Fields");
+    }
+
+    /// Reconciles the hand-counted pusher tallies (`pic_boris::OpTally`)
+    /// against this crate's static constants. The two are independent
+    /// estimates of the same kernel: `BORIS_FLOPS` models the vectorized
+    /// C++ loop coarsely ("~50 mul/add"), the tally counts the Rust
+    /// implementation operation by operation, so they are required to
+    /// agree in magnitude (within 2×), not digit for digit.
+    mod tally_reconciliation {
+        use super::*;
+        use pic_boris::{BorisPusher, HigueraCaryPusher, Pusher, VayPusher};
+
+        #[test]
+        fn boris_tally_matches_model_flops_in_magnitude() {
+            let tally = Pusher::<f64>::tally(&BorisPusher).flop_equivalents();
+            let ratio = tally / BORIS_FLOPS;
+            assert!(
+                (0.5..=2.0).contains(&ratio),
+                "tally {tally} vs BORIS_FLOPS {BORIS_FLOPS} (ratio {ratio:.2})"
+            );
+        }
+
+        #[test]
+        fn alternative_pushers_stay_within_the_boris_model_band() {
+            // Vay and Higuera–Cary replace the rotation, not the memory
+            // pattern: the model's flops constant must remain a magnitude
+            // estimate for them too.
+            for tally in [
+                Pusher::<f64>::tally(&VayPusher),
+                Pusher::<f64>::tally(&HigueraCaryPusher),
+            ] {
+                let ratio = tally.flop_equivalents() / BORIS_FLOPS;
+                assert!((0.5..=3.0).contains(&ratio), "ratio {ratio:.2}");
+            }
+        }
+
+        #[test]
+        fn tally_traffic_matches_soa_cost_model() {
+            // The SoA cost model streams exactly the columns the pusher
+            // touches, so the byte counts must line up scalar for scalar
+            // (the model adds 2 B for the one-byte type tag read and the
+            // Precalculated field array; the tally counts the same six
+            // field components as reads).
+            let t = Pusher::<f64>::tally(&BorisPusher);
+            for prec in [Precision::F32, Precision::F64] {
+                let s = prec.bytes();
+                let cost = KernelCost::boris(Scenario::Precalculated, Layout::Soa, prec);
+                assert_eq!(cost.bytes_written, t.bytes_written(s));
+                assert_eq!(cost.bytes_read - 2.0, t.bytes_read(s));
+            }
+        }
     }
 }

@@ -134,7 +134,10 @@ pub struct CpuModel {
 impl CpuModel {
     /// The paper's Endeavour node with default calibration.
     pub fn endeavour() -> CpuModel {
-        CpuModel { spec: CpuSpec::xeon_8260l_x2(), cal: CpuCalibration::default() }
+        CpuModel {
+            spec: CpuSpec::xeon_8260l_x2(),
+            cal: CpuCalibration::default(),
+        }
     }
 
     /// Achievable DRAM bandwidth with `threads` workers placed compactly
@@ -324,9 +327,17 @@ mod tests {
         let m = CpuModel::endeavour();
         for layout in [Layout::Aos, Layout::Soa] {
             let f = m.table2_cell(
-                Scenario::Precalculated, layout, Precision::F32, Parallelization::OpenMp);
+                Scenario::Precalculated,
+                layout,
+                Precision::F32,
+                Parallelization::OpenMp,
+            );
             let d = m.table2_cell(
-                Scenario::Precalculated, layout, Precision::F64, Parallelization::OpenMp);
+                Scenario::Precalculated,
+                layout,
+                Precision::F64,
+                Parallelization::OpenMp,
+            );
             let ratio = d / f;
             assert!((1.8..2.2).contains(&ratio), "ratio = {ratio}");
         }
@@ -352,10 +363,8 @@ mod tests {
         let m = CpuModel::endeavour();
         for scenario in Scenario::all() {
             for prec in [Precision::F32, Precision::F64] {
-                let aos =
-                    m.table2_cell(scenario, Layout::Aos, prec, Parallelization::OpenMp);
-                let soa =
-                    m.table2_cell(scenario, Layout::Soa, prec, Parallelization::OpenMp);
+                let aos = m.table2_cell(scenario, Layout::Aos, prec, Parallelization::OpenMp);
+                let soa = m.table2_cell(scenario, Layout::Soa, prec, Parallelization::OpenMp);
                 let ratio = aos / soa;
                 assert!((0.65..1.55).contains(&ratio), "{scenario} {prec}: {ratio}");
             }
@@ -366,14 +375,23 @@ mod tests {
     fn fig1_openmp_shape() {
         let m = CpuModel::endeavour();
         let s = m.speedup_curve(
-            Scenario::Precalculated, Layout::Aos, Precision::F32, Parallelization::OpenMp);
+            Scenario::Precalculated,
+            Layout::Aos,
+            Precision::F32,
+            Parallelization::OpenMp,
+        );
         // Near-linear at the start.
         assert!((s[1] - 2.0).abs() < 0.2, "S(2) = {}", s[1]);
         assert!(s[3] > 3.5, "S(4) = {}", s[3]);
         // Socket-0 bandwidth saturates before 24 cores: plateau.
         assert!(s[23] < 16.0, "S(24) = {}", s[23]);
         // Second socket resumes the scaling.
-        assert!(s[47] > 1.7 * s[23], "S(48) = {} vs S(24) = {}", s[47], s[23]);
+        assert!(
+            s[47] > 1.7 * s[23],
+            "S(48) = {} vs S(24) = {}",
+            s[47],
+            s[23]
+        );
         // Overall speedup lands in the paper's ~60% efficiency region.
         assert!((24.0..38.0).contains(&s[47]), "S(48) = {}", s[47]);
         // Monotone non-decreasing.
@@ -386,7 +404,11 @@ mod tests {
     fn fig1_dpcpp_numa_is_superlinear_at_first() {
         let m = CpuModel::endeavour();
         let s = m.speedup_curve(
-            Scenario::Precalculated, Layout::Aos, Precision::F32, Parallelization::DpcppNuma);
+            Scenario::Precalculated,
+            Layout::Aos,
+            Precision::F32,
+            Parallelization::DpcppNuma,
+        );
         // Super-linear acceleration at the beginning (paper §5.3): the
         // 1-core DPC++ baseline is slow.
         assert!(s[1] > 2.0, "S(2) = {}", s[1]);
@@ -401,10 +423,20 @@ mod tests {
         // Paper: "the overall run times for OpenMP and DPC++ NUMA versions
         // are close to each other" at full core count.
         let m = CpuModel::endeavour();
-        let omp = m.nsps(Scenario::Precalculated, Layout::Aos, Precision::F32,
-                         Parallelization::OpenMp, 48);
-        let numa = m.nsps(Scenario::Precalculated, Layout::Aos, Precision::F32,
-                          Parallelization::DpcppNuma, 48);
+        let omp = m.nsps(
+            Scenario::Precalculated,
+            Layout::Aos,
+            Precision::F32,
+            Parallelization::OpenMp,
+            48,
+        );
+        let numa = m.nsps(
+            Scenario::Precalculated,
+            Layout::Aos,
+            Precision::F32,
+            Parallelization::DpcppNuma,
+            48,
+        );
         assert!((numa / omp - 1.0).abs() < 0.12, "ratio = {}", numa / omp);
     }
 
@@ -427,10 +459,20 @@ mod tests {
         // Paper §5.3: hyper-threading (96 threads on 48 cores) improves
         // performance — by a single-digit percentage, not a doubling.
         let m = CpuModel::endeavour();
-        let plain = m.nsps(Scenario::Precalculated, Layout::Aos, Precision::F32,
-                           Parallelization::OpenMp, 48);
-        let smt = m.nsps_smt(Scenario::Precalculated, Layout::Aos, Precision::F32,
-                             Parallelization::OpenMp, 48);
+        let plain = m.nsps(
+            Scenario::Precalculated,
+            Layout::Aos,
+            Precision::F32,
+            Parallelization::OpenMp,
+            48,
+        );
+        let smt = m.nsps_smt(
+            Scenario::Precalculated,
+            Layout::Aos,
+            Precision::F32,
+            Parallelization::OpenMp,
+            48,
+        );
         assert!(smt < plain);
         assert!(smt > 0.85 * plain);
     }
@@ -439,7 +481,12 @@ mod tests {
     #[should_panic(expected = "zero threads")]
     fn zero_threads_panics() {
         let m = CpuModel::endeavour();
-        let _ = m.nsps(Scenario::Analytical, Layout::Aos, Precision::F32,
-                       Parallelization::OpenMp, 0);
+        let _ = m.nsps(
+            Scenario::Analytical,
+            Layout::Aos,
+            Precision::F32,
+            Parallelization::OpenMp,
+            0,
+        );
     }
 }

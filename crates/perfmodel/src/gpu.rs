@@ -136,7 +136,13 @@ impl GpuModel {
     ) -> Vec<f64> {
         let steady = self.nsps_f32(scenario, layout);
         (0..iterations)
-            .map(|i| if i == 0 { steady * self.cal.first_iteration_factor } else { steady })
+            .map(|i| {
+                if i == 0 {
+                    steady * self.cal.first_iteration_factor
+                } else {
+                    steady
+                }
+            })
             .collect()
     }
 }
@@ -202,21 +208,30 @@ mod tests {
         // larger: e.g. 4.76/0.54 ≈ 8.8 for the P630 Precalculated cell).
         for scenario in Scenario::all() {
             let cpu_soa = cpu.table2_cell(
-                scenario, Layout::Soa, Precision::F32, Parallelization::DpcppNuma);
+                scenario,
+                Layout::Soa,
+                Precision::F32,
+                Parallelization::DpcppNuma,
+            );
             let fp = p630.nsps_f32(scenario, Layout::Soa) / cpu_soa;
             let fi = iris.nsps_f32(scenario, Layout::Soa) / cpu_soa;
             assert!((2.5..5.5).contains(&fp), "P630/{scenario}: {fp:.2}");
             assert!((1.2..3.2).contains(&fi), "Iris/{scenario}: {fi:.2}");
             // AoS is worse than SoA on the devices but still bounded.
             let cpu_aos = cpu.table2_cell(
-                scenario, Layout::Aos, Precision::F32, Parallelization::DpcppNuma);
+                scenario,
+                Layout::Aos,
+                Precision::F32,
+                Parallelization::DpcppNuma,
+            );
             let fp_aos = p630.nsps_f32(scenario, Layout::Aos) / cpu_aos;
-            assert!((5.0..12.0).contains(&fp_aos), "P630 AoS/{scenario}: {fp_aos:.2}");
+            assert!(
+                (5.0..12.0).contains(&fp_aos),
+                "P630 AoS/{scenario}: {fp_aos:.2}"
+            );
             // And Iris is the faster of the two devices everywhere.
             for layout in [Layout::Aos, Layout::Soa] {
-                assert!(
-                    iris.nsps_f32(scenario, layout) < p630.nsps_f32(scenario, layout)
-                );
+                assert!(iris.nsps_f32(scenario, layout) < p630.nsps_f32(scenario, layout));
             }
         }
     }

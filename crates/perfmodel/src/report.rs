@@ -31,12 +31,36 @@ impl Cell {
 /// The paper's published Table 2, row-major
 /// (layout, parallelization) → [P f32, P f64, A f32, A f64].
 pub const PAPER_TABLE2: [(Layout, Parallelization, [f64; 4]); 6] = [
-    (Layout::Aos, Parallelization::OpenMp, [0.53, 0.98, 0.58, 0.84]),
-    (Layout::Aos, Parallelization::Dpcpp, [0.78, 1.54, 1.02, 1.48]),
-    (Layout::Aos, Parallelization::DpcppNuma, [0.54, 0.99, 0.54, 0.89]),
-    (Layout::Soa, Parallelization::OpenMp, [0.50, 1.06, 0.43, 0.76]),
-    (Layout::Soa, Parallelization::Dpcpp, [0.85, 1.49, 0.77, 1.31]),
-    (Layout::Soa, Parallelization::DpcppNuma, [0.58, 1.20, 0.60, 0.90]),
+    (
+        Layout::Aos,
+        Parallelization::OpenMp,
+        [0.53, 0.98, 0.58, 0.84],
+    ),
+    (
+        Layout::Aos,
+        Parallelization::Dpcpp,
+        [0.78, 1.54, 1.02, 1.48],
+    ),
+    (
+        Layout::Aos,
+        Parallelization::DpcppNuma,
+        [0.54, 0.99, 0.54, 0.89],
+    ),
+    (
+        Layout::Soa,
+        Parallelization::OpenMp,
+        [0.50, 1.06, 0.43, 0.76],
+    ),
+    (
+        Layout::Soa,
+        Parallelization::Dpcpp,
+        [0.85, 1.49, 0.77, 1.31],
+    ),
+    (
+        Layout::Soa,
+        Parallelization::DpcppNuma,
+        [0.58, 1.20, 0.60, 0.90],
+    ),
 ];
 
 /// The paper's published Table 3 (single precision):
@@ -123,7 +147,11 @@ pub fn fidelity(cells: &[Cell]) -> Fidelity {
 pub fn default_report() -> Vec<Cell> {
     let cpu = CpuModel::endeavour();
     let mut cells = table2_cells(&cpu);
-    cells.extend(table3_cells(&cpu, &GpuModel::p630(), &GpuModel::iris_xe_max()));
+    cells.extend(table3_cells(
+        &cpu,
+        &GpuModel::p630(),
+        &GpuModel::iris_xe_max(),
+    ));
     cells
 }
 
@@ -148,8 +176,16 @@ mod tests {
         // published cells, one calibration lands within 11% on average and
         // 25% worst-case.
         let f = fidelity(&default_report());
-        assert!(f.mean_abs_deviation < 0.12, "mean |dev| = {:.3}", f.mean_abs_deviation);
-        assert!(f.worst_abs_deviation < 0.30, "worst |dev| = {:.3}", f.worst_abs_deviation);
+        assert!(
+            f.mean_abs_deviation < 0.12,
+            "mean |dev| = {:.3}",
+            f.mean_abs_deviation
+        );
+        assert!(
+            f.worst_abs_deviation < 0.30,
+            "worst |dev| = {:.3}",
+            f.worst_abs_deviation
+        );
         assert_eq!(f.cells, 36);
     }
 
@@ -162,9 +198,17 @@ mod tests {
 
     #[test]
     fn deviation_signs_are_meaningful() {
-        let c = Cell { label: "x".into(), modeled: 1.1, paper: 1.0 };
+        let c = Cell {
+            label: "x".into(),
+            modeled: 1.1,
+            paper: 1.0,
+        };
         assert!((c.deviation() - 0.1).abs() < 1e-12);
-        let c2 = Cell { label: "y".into(), modeled: 0.9, paper: 1.0 };
+        let c2 = Cell {
+            label: "y".into(),
+            modeled: 0.9,
+            paper: 1.0,
+        };
         assert!(c2.deviation() < 0.0);
     }
 

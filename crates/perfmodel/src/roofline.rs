@@ -37,7 +37,10 @@ impl Roofline {
             peak_flops > 0.0 && peak_bandwidth > 0.0,
             "Roofline: peaks must be positive"
         );
-        Roofline { peak_flops, peak_bandwidth }
+        Roofline {
+            peak_flops,
+            peak_bandwidth,
+        }
     }
 
     /// The machine balance: the arithmetic intensity (flop/byte) at the

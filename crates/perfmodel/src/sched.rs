@@ -59,7 +59,10 @@ impl SchedSim {
     pub fn new(threads: usize, dispatch_overhead: f64) -> SchedSim {
         assert!(threads > 0, "SchedSim: zero threads");
         assert!(dispatch_overhead >= 0.0, "SchedSim: negative overhead");
-        SchedSim { threads, dispatch_overhead }
+        SchedSim {
+            threads,
+            dispatch_overhead,
+        }
     }
 
     /// Simulates one sweep over items with the given per-item service
@@ -67,7 +70,11 @@ impl SchedSim {
     pub fn run(&self, service: &[f64], policy: SimPolicy) -> SchedOutcome {
         let total: f64 = service.iter().sum();
         if service.is_empty() {
-            return SchedOutcome { makespan: 0.0, efficiency: 1.0, grains: 0 };
+            return SchedOutcome {
+                makespan: 0.0,
+                efficiency: 1.0,
+                grains: 0,
+            };
         }
         let grain_bounds = self.grain_bounds(service.len(), policy);
         let makespan = self.greedy_makespan(service, &grain_bounds, policy);
@@ -127,10 +134,7 @@ impl SchedSim {
             self.dispatch_overhead + service[s..e].iter().sum::<f64>()
         };
         match policy {
-            SimPolicy::Static => bounds
-                .iter()
-                .map(|&b| grain_time(b))
-                .fold(0.0, f64::max),
+            SimPolicy::Static => bounds.iter().map(|&b| grain_time(b)).fold(0.0, f64::max),
             _ => {
                 // Min-heap of thread finish times (Reverse ordering via
                 // negation to stay with f64).
@@ -148,8 +152,7 @@ impl SchedSim {
                         o.0.partial_cmp(&self.0).expect("finite times")
                     }
                 }
-                let mut heap: BinaryHeap<T> =
-                    (0..self.threads).map(|_| T(0.0)).collect();
+                let mut heap: BinaryHeap<T> = (0..self.threads).map(|_| T(0.0)).collect();
                 for &b in bounds {
                     let T(free_at) = heap.pop().expect("threads > 0");
                     heap.push(T(free_at + grain_time(b)));
@@ -209,7 +212,12 @@ mod tests {
         let work = balanced(8000, 1e-6);
         let st = sim.run(&work, SimPolicy::Static);
         let dy = sim.run(&work, SimPolicy::Dynamic { grain: 50 });
-        assert!(dy.makespan > st.makespan, "{} vs {}", dy.makespan, st.makespan);
+        assert!(
+            dy.makespan > st.makespan,
+            "{} vs {}",
+            dy.makespan,
+            st.makespan
+        );
     }
 
     #[test]

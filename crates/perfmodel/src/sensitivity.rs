@@ -88,7 +88,10 @@ impl Knob {
 
 /// Mean |deviation| of Table 2 under a given calibration.
 pub fn table2_fidelity(cal: CpuCalibration) -> f64 {
-    let model = CpuModel { spec: crate::specs::CpuSpec::xeon_8260l_x2(), cal };
+    let model = CpuModel {
+        spec: crate::specs::CpuSpec::xeon_8260l_x2(),
+        cal,
+    };
     fidelity(&table2_cells(&model)).mean_abs_deviation
 }
 
@@ -145,7 +148,12 @@ mod tests {
         // Table 2 is measured at 48 cores where neither binds.
         let ranking = sensitivity_ranking(0.4);
         assert_eq!(ranking[0].0.name(), "socket_bw_eff", "{ranking:?}");
-        let tail: Vec<&str> = ranking.iter().rev().take(2).map(|(k, _)| k.name()).collect();
+        let tail: Vec<&str> = ranking
+            .iter()
+            .rev()
+            .take(2)
+            .map(|(k, _)| k.name())
+            .collect();
         assert!(tail.contains(&"per_core_bw"), "{ranking:?}");
         assert!(tail.contains(&"dpcpp_serial_beta"), "{ranking:?}");
     }
@@ -171,13 +179,23 @@ mod tests {
         }
 
         let fig1_metric = |cal: CpuCalibration| -> (f64, f64) {
-            let m = CpuModel { spec: crate::specs::CpuSpec::xeon_8260l_x2(), cal };
+            let m = CpuModel {
+                spec: crate::specs::CpuSpec::xeon_8260l_x2(),
+                cal,
+            };
             let one_core = m.nsps(
-                Scenario::Precalculated, Layout::Aos, Precision::F32,
-                Parallelization::OpenMp, 1);
+                Scenario::Precalculated,
+                Layout::Aos,
+                Precision::F32,
+                Parallelization::OpenMp,
+                1,
+            );
             let s = m.speedup_curve(
-                Scenario::Precalculated, Layout::Aos, Precision::F32,
-                Parallelization::DpcppNuma);
+                Scenario::Precalculated,
+                Layout::Aos,
+                Precision::F32,
+                Parallelization::DpcppNuma,
+            );
             (one_core, s[1])
         };
         let (base_t1, base_s2) = fig1_metric(CpuCalibration::default());

@@ -75,7 +75,10 @@ where
                 })
             })
             .collect();
-        handles.into_iter().map(|h| h.join().expect("worker panicked")).collect()
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("worker panicked"))
+            .collect()
     })
     .expect("scope panicked");
 
@@ -90,11 +93,8 @@ mod tests {
 
     fn ensemble<S: ParticleStore<f64>>(n: usize) -> S {
         S::from_particles((0..n).map(|i| {
-            let mut p = Particle::at_rest(
-                Vec3::new(i as f64, 0.0, 0.0),
-                (i + 1) as f64,
-                SpeciesId(0),
-            );
+            let mut p =
+                Particle::at_rest(Vec3::new(i as f64, 0.0, 0.0), (i + 1) as f64, SpeciesId(0));
             p.gamma = 1.0 + i as f64 * 1e-3;
             p
         }))
@@ -104,7 +104,11 @@ mod tests {
     fn sum_matches_serial() {
         let ens: AosEnsemble<f64> = ensemble(1001);
         let serial: f64 = (0..ens.len()).map(|i| ens.get(i).weight).sum();
-        for topo in [Topology::single(1), Topology::single(4), Topology::uniform(2, 3)] {
+        for topo in [
+            Topology::single(1),
+            Topology::single(4),
+            Topology::uniform(2, 3),
+        ] {
             let par = parallel_reduce(&ens, &topo, 0.0, |p| p.weight, |a, b| a + b);
             assert!((par - serial).abs() < 1e-9, "{topo:?}");
         }
@@ -113,8 +117,7 @@ mod tests {
     #[test]
     fn max_reduction() {
         let ens: SoaEnsemble<f64> = ensemble(257);
-        let max_gamma =
-            parallel_reduce(&ens, &Topology::single(4), 0.0, |p| p.gamma, f64::max);
+        let max_gamma = parallel_reduce(&ens, &Topology::single(4), 0.0, |p| p.gamma, f64::max);
         assert!((max_gamma - (1.0 + 256.0 * 1e-3)).abs() < 1e-12);
     }
 

@@ -110,7 +110,10 @@ mod tests {
     #[test]
     fn grain_resolution() {
         assert_eq!(Schedule::resolve_grain(128, 1_000_000, 48), 128);
-        assert_eq!(Schedule::resolve_grain(0, 1_000_000, 48), 1_000_000 / (8 * 48));
+        assert_eq!(
+            Schedule::resolve_grain(0, 1_000_000, 48),
+            1_000_000 / (8 * 48)
+        );
         // Tiny inputs never produce a zero grain.
         assert_eq!(Schedule::resolve_grain(0, 3, 48), 1);
         assert_eq!(Schedule::resolve_grain(0, 0, 0), 1);

@@ -17,6 +17,9 @@ pub struct ThreadReport {
     pub chunks: usize,
     /// Particles this thread processed.
     pub particles: usize,
+    /// Wall time this thread spent inside kernel work, nanoseconds.
+    /// Always 0 unless the `telemetry` feature is enabled.
+    pub busy_ns: u64,
 }
 
 /// Accounting of one sweep across all threads.
@@ -48,6 +51,52 @@ impl SweepReport {
         let max = self.threads.iter().map(|t| t.particles).max().unwrap_or(0);
         max as f64 / mean
     }
+
+    /// Total kernel busy time across all threads, nanoseconds (0 unless
+    /// the `telemetry` feature is enabled).
+    pub fn total_busy_ns(&self) -> u64 {
+        self.threads.iter().map(|t| t.busy_ns).sum()
+    }
+
+    /// Busy-time load imbalance: the busiest thread's kernel time divided
+    /// by the mean (1.0 = perfectly balanced; 1.0 when untimed or empty).
+    pub fn time_imbalance(&self) -> f64 {
+        let total = self.total_busy_ns();
+        if total == 0 || self.threads.is_empty() {
+            return 1.0;
+        }
+        let mean = total as f64 / self.threads.len() as f64;
+        let max = self.threads.iter().map(|t| t.busy_ns).max().unwrap_or(0);
+        max as f64 / mean
+    }
+
+    /// Drains this report into a telemetry registry, accumulating each
+    /// thread's totals into its slot. The registry must have at least as
+    /// many slots as the report has threads.
+    #[cfg(feature = "telemetry")]
+    pub fn record_into(&self, registry: &pic_telemetry::Registry) {
+        for t in &self.threads {
+            registry
+                .handle(t.thread)
+                .add(t.chunks as u64, t.particles as u64, t.busy_ns);
+        }
+    }
+}
+
+/// Times `f`, returning its wall time in nanoseconds alongside its
+/// output. Compiles to a bare call when telemetry is disabled.
+#[cfg(feature = "telemetry")]
+#[inline]
+fn timed<T>(f: impl FnOnce() -> T) -> (u64, T) {
+    let start = std::time::Instant::now();
+    let out = f();
+    (start.elapsed().as_nanos() as u64, out)
+}
+
+#[cfg(not(feature = "telemetry"))]
+#[inline(always)]
+fn timed<T>(f: impl FnOnce() -> T) -> (u64, T) {
+    (0, f())
 }
 
 /// Applies a kernel to every particle under the given schedule.
@@ -100,9 +149,15 @@ where
     // Serial fast path: one thread, no queues, no spawning.
     if threads == 1 {
         let mut kernel = kernel_factory(0);
-        store.for_each_mut(&mut kernel);
+        let (busy_ns, ()) = timed(|| store.for_each_mut(&mut kernel));
         return SweepReport {
-            threads: vec![ThreadReport { thread: 0, domain: 0, chunks: 1, particles: n }],
+            threads: vec![ThreadReport {
+                thread: 0,
+                domain: 0,
+                chunks: 1,
+                particles: n,
+                busy_ns,
+            }],
         };
     }
 
@@ -120,17 +175,21 @@ where
                         scope.spawn(move |_| {
                             let particles = chunk.len();
                             let mut kernel = factory(tid);
-                            chunk.for_each_mut(&mut kernel);
+                            let (busy_ns, ()) = timed(|| chunk.for_each_mut(&mut kernel));
                             ThreadReport {
                                 thread: tid,
                                 domain: topology.domain_of(tid),
                                 chunks: 1,
                                 particles,
+                                busy_ns,
                             }
                         })
                     })
                     .collect();
-                handles.into_iter().map(|h| h.join().expect("worker panicked")).collect()
+                handles
+                    .into_iter()
+                    .map(|h| h.join().expect("worker panicked"))
+                    .collect()
             })
             .expect("scope panicked");
             let mut threads_vec = reports;
@@ -141,9 +200,12 @@ where
                     domain: topology.domain_of(tid),
                     chunks: 0,
                     particles: 0,
+                    busy_ns: 0,
                 });
             }
-            SweepReport { threads: threads_vec }
+            SweepReport {
+                threads: threads_vec,
+            }
         }
 
         Schedule::Dynamic { grain } => {
@@ -205,20 +267,28 @@ where
                 let queue_of = &queue_of;
                 scope.spawn(move |_| {
                     let domain = topology.domain_of(tid);
-                    let mut report = ThreadReport { thread: tid, domain, chunks: 0, particles: 0 };
+                    let mut report = ThreadReport {
+                        thread: tid,
+                        domain,
+                        ..ThreadReport::default()
+                    };
                     if let Some(queue) = queue_of(domain) {
                         let mut kernel = kernel_factory(tid);
                         while let Some(mut chunk) = queue.pop() {
                             report.chunks += 1;
                             report.particles += chunk.len();
-                            chunk.for_each_mut(&mut kernel);
+                            let (busy_ns, ()) = timed(|| chunk.for_each_mut(&mut kernel));
+                            report.busy_ns += busy_ns;
                         }
                     }
                     report
                 })
             })
             .collect();
-        handles.into_iter().map(|h| h.join().expect("worker panicked")).collect()
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("worker panicked"))
+            .collect()
     })
     .expect("scope panicked");
     SweepReport { threads: reports }
@@ -240,9 +310,7 @@ mod tests {
         }))
     }
 
-    fn increment_kernel(
-        _tid: usize,
-    ) -> DynKernel<impl FnMut(usize, &mut dyn ParticleView<f64>)> {
+    fn increment_kernel(_tid: usize) -> DynKernel<impl FnMut(usize, &mut dyn ParticleView<f64>)> {
         DynKernel(|_i, v: &mut dyn ParticleView<f64>| {
             let w = v.weight();
             v.set_weight(w + 1.0);
@@ -406,19 +474,102 @@ mod tests {
         // A lopsided synthetic report.
         let lopsided = SweepReport {
             threads: vec![
-                ThreadReport { thread: 0, domain: 0, chunks: 1, particles: 900 },
-                ThreadReport { thread: 1, domain: 0, chunks: 1, particles: 100 },
+                ThreadReport {
+                    thread: 0,
+                    domain: 0,
+                    chunks: 1,
+                    particles: 900,
+                    busy_ns: 0,
+                },
+                ThreadReport {
+                    thread: 1,
+                    domain: 0,
+                    chunks: 1,
+                    particles: 100,
+                    busy_ns: 0,
+                },
             ],
         };
         assert!((lopsided.imbalance() - 1.8).abs() < 1e-12);
     }
 
     #[test]
+    fn time_imbalance_metric() {
+        // Untimed (or telemetry-off) reports default to balanced.
+        assert_eq!(SweepReport::default().time_imbalance(), 1.0);
+        let report = SweepReport {
+            threads: vec![
+                ThreadReport {
+                    thread: 0,
+                    domain: 0,
+                    chunks: 1,
+                    particles: 500,
+                    busy_ns: 3000,
+                },
+                ThreadReport {
+                    thread: 1,
+                    domain: 0,
+                    chunks: 1,
+                    particles: 500,
+                    busy_ns: 1000,
+                },
+            ],
+        };
+        assert_eq!(report.total_busy_ns(), 4000);
+        assert!((report.time_imbalance() - 1.5).abs() < 1e-12);
+    }
+
+    #[cfg(feature = "telemetry")]
+    #[test]
+    fn sweep_times_kernel_work() {
+        let mut ens: AosEnsemble<f64> = ensemble(50_000);
+        for schedule in [
+            Schedule::StaticChunks,
+            Schedule::dynamic(),
+            Schedule::numa(),
+        ] {
+            let report = parallel_sweep(&mut ens, &Topology::uniform(2, 2), schedule, |_tid| {
+                DynKernel(|_i, v: &mut dyn ParticleView<f64>| {
+                    let w = v.weight();
+                    v.set_weight(w.sin() + 1.0);
+                })
+            });
+            assert!(report.total_busy_ns() > 0, "{schedule:?}: {report:?}");
+        }
+    }
+
+    #[cfg(feature = "telemetry")]
+    #[test]
+    fn report_drains_into_registry() {
+        let registry = pic_telemetry::Registry::new(4);
+        let mut ens: AosEnsemble<f64> = ensemble(1000);
+        let topo = Topology::single(4);
+        let r1 = parallel_sweep(&mut ens, &topo, Schedule::StaticChunks, increment_kernel);
+        r1.record_into(&registry);
+        let r2 = parallel_sweep(&mut ens, &topo, Schedule::StaticChunks, increment_kernel);
+        r2.record_into(&registry);
+        let grand = registry.grand_totals();
+        assert_eq!(grand.particles, 2000);
+        assert_eq!(grand.chunks, (r1.total_chunks() + r2.total_chunks()) as u64);
+        assert_eq!(grand.busy_ns, r1.total_busy_ns() + r2.total_busy_ns());
+        // Per-thread attribution is preserved, not pooled.
+        assert_eq!(registry.totals()[2].particles, 500);
+    }
+
+    #[test]
     fn empty_ensemble() {
         let mut ens: AosEnsemble<f64> = ensemble(0);
-        for schedule in [Schedule::StaticChunks, Schedule::dynamic(), Schedule::numa()] {
-            let report =
-                parallel_sweep(&mut ens, &Topology::uniform(2, 2), schedule, increment_kernel);
+        for schedule in [
+            Schedule::StaticChunks,
+            Schedule::dynamic(),
+            Schedule::numa(),
+        ] {
+            let report = parallel_sweep(
+                &mut ens,
+                &Topology::uniform(2, 2),
+                schedule,
+                increment_kernel,
+            );
             assert_eq!(report.total_particles(), 0, "{schedule:?}");
         }
     }

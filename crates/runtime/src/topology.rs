@@ -29,7 +29,9 @@ impl Topology {
     /// Panics if `threads` is zero.
     pub fn single(threads: usize) -> Topology {
         assert!(threads > 0, "Topology: zero threads");
-        Topology { threads_per_domain: vec![threads] }
+        Topology {
+            threads_per_domain: vec![threads],
+        }
     }
 
     /// `domains` domains of `threads_per_domain` workers each.
@@ -39,7 +41,9 @@ impl Topology {
     /// Panics if either argument is zero.
     pub fn uniform(domains: usize, threads_per_domain: usize) -> Topology {
         assert!(domains > 0 && threads_per_domain > 0, "Topology: zero size");
-        Topology { threads_per_domain: vec![threads_per_domain; domains] }
+        Topology {
+            threads_per_domain: vec![threads_per_domain; domains],
+        }
     }
 
     /// A topology with explicit per-domain thread counts.
@@ -88,7 +92,10 @@ impl Topology {
                 return d;
             }
         }
-        panic!("thread id {tid} out of range ({} threads)", self.total_threads());
+        panic!(
+            "thread id {tid} out of range ({} threads)",
+            self.total_threads()
+        );
     }
 
     /// Splits `items` work items into per-domain shares proportional to

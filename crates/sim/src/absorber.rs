@@ -35,7 +35,11 @@ impl Absorber {
             strength > 0.0 && strength <= 1.0,
             "Absorber: strength must be in (0, 1]"
         );
-        Absorber { width, strength, axes }
+        Absorber {
+            width,
+            strength,
+            axes,
+        }
     }
 
     /// An absorber on all six faces.
@@ -141,8 +145,9 @@ mod tests {
         let mut g = EmGrid::<f64>::yee([nx, 4, 4], Vec3::zero(), Vec3::splat(dx));
         // A compact rightward-propagating pulse (Ey, Bz in phase) centred
         // at x = 40 with width 8.
-        let shape = |x: f64| (-((x - 40.0) / 8.0).powi(2)).exp()
-            * (2.0 * std::f64::consts::PI * x / 16.0).sin();
+        let shape = |x: f64| {
+            (-((x - 40.0) / 8.0).powi(2)).exp() * (2.0 * std::f64::consts::PI * x / 16.0).sin()
+        };
         g.ey.fill_with(|p| shape(p.x));
         g.bz.fill_with(|p| shape(p.x));
         let current = zero_current(&g);
@@ -171,8 +176,9 @@ mod tests {
     fn without_absorber_energy_persists() {
         let nx = 128;
         let mut g = EmGrid::<f64>::yee([nx, 4, 4], Vec3::zero(), Vec3::splat(1.0));
-        let shape = |x: f64| (-((x - 40.0) / 8.0).powi(2)).exp()
-            * (2.0 * std::f64::consts::PI * x / 16.0).sin();
+        let shape = |x: f64| {
+            (-((x - 40.0) / 8.0).powi(2)).exp() * (2.0 * std::f64::consts::PI * x / 16.0).sin()
+        };
         g.ey.fill_with(|p| shape(p.x));
         g.bz.fill_with(|p| shape(p.x));
         let current = zero_current(&g);

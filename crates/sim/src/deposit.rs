@@ -23,11 +23,8 @@ fn hat(d: f64) -> f64 {
 
 /// Deposits charge density `ρ` (statC/cm³) with CIC weights onto an
 /// unstaggered lattice.
-pub fn deposit_charge<R, A>(
-    store: &A,
-    table: &SpeciesTable<R>,
-    rho: &mut ScalarGrid<R>,
-) where
+pub fn deposit_charge<R, A>(store: &A, table: &SpeciesTable<R>, rho: &mut ScalarGrid<R>)
+where
     R: Real,
     A: ParticleAccess<R>,
 {
@@ -56,14 +53,17 @@ pub fn deposit_current_cic<R, A>(
     R: Real,
     A: ParticleAccess<R>,
 {
-    assert_eq!(old_positions.len(), store.len(), "old_positions length mismatch");
+    assert_eq!(
+        old_positions.len(),
+        store.len(),
+        "old_positions length mismatch"
+    );
     let d = j[0].spacing();
     let inv_v = 1.0 / (d.x * d.y * d.z);
     let extent = domain_extent(&j[0]);
-    for i in 0..store.len() {
+    for (i, &x0) in old_positions.iter().enumerate() {
         let p = store.get(i);
-        let x1 = unwrap_near(p.position.to_f64(), old_positions[i], extent);
-        let x0 = old_positions[i];
+        let x1 = unwrap_near(p.position.to_f64(), x0, extent);
         let v = (x1 - x0) / dt;
         let mid = (x0 + x1) * 0.5;
         let qw = table.get(p.species).charge.to_f64() * p.weight.to_f64() * inv_v;
@@ -93,16 +93,19 @@ pub fn deposit_current_esirkepov<R, A>(
     R: Real,
     A: ParticleAccess<R>,
 {
-    assert_eq!(old_positions.len(), store.len(), "old_positions length mismatch");
+    assert_eq!(
+        old_positions.len(),
+        store.len(),
+        "old_positions length mismatch"
+    );
     let d = j[0].spacing();
     let min = j[0].domain_min();
     let inv_v = 1.0 / (d.x * d.y * d.z);
     let dims = j[0].dims();
     let extent = domain_extent(&j[0]);
 
-    for pi in 0..store.len() {
+    for (pi, &x0) in old_positions.iter().enumerate() {
         let p = store.get(pi);
-        let x0 = old_positions[pi];
         let x1 = unwrap_near(p.position.to_f64(), x0, extent);
         let qw = table.get(p.species).charge.to_f64() * p.weight.to_f64();
 
@@ -251,7 +254,13 @@ mod tests {
     const EL: SpeciesId = SpeciesTable::<f64>::ELECTRON;
 
     fn rho_grid() -> ScalarGrid<f64> {
-        ScalarGrid::new([8, 8, 8], Vec3::zero(), Vec3::splat(1.0), Stagger::node(), true)
+        ScalarGrid::new(
+            [8, 8, 8],
+            Vec3::zero(),
+            Vec3::splat(1.0),
+            Stagger::node(),
+            true,
+        )
     }
 
     fn current_grids() -> [ScalarGrid<f64>; 3] {
@@ -345,13 +354,12 @@ mod tests {
         // ρ before and after.
         let mut rho0 = rho_grid();
         let mut rho1 = rho_grid();
-        let before = AosEnsemble::from_particles(old_positions.iter().enumerate().map(
-            |(i, &x)| {
+        let before =
+            AosEnsemble::from_particles(old_positions.iter().enumerate().map(|(i, &x)| {
                 let mut p = ens.get(i);
                 p.position = x;
                 p
-            },
-        ));
+            }));
         deposit_charge(&before, &table, &mut rho0);
         deposit_charge(&ens, &table, &mut rho1);
 

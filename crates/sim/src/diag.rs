@@ -25,24 +25,14 @@ impl EnergyReport {
 /// by `max |4πρ|` (with `ρ̄` the mean charge density standing in for the
 /// neutralizing immobile ion background of a periodic plasma). Returns 0
 /// for a system with no charge.
-pub fn gauss_residual<R, A>(
-    grid: &EmGrid<R>,
-    particles: &A,
-    table: &SpeciesTable<R>,
-) -> f64
+pub fn gauss_residual<R, A>(grid: &EmGrid<R>, particles: &A, table: &SpeciesTable<R>) -> f64
 where
     R: Real,
     A: ParticleAccess<R>,
 {
     let dims = grid.dims();
     let d = grid.spacing();
-    let mut rho = ScalarGrid::<R>::new(
-        dims,
-        grid.ex.domain_min(),
-        d,
-        Stagger::node(),
-        true,
-    );
+    let mut rho = ScalarGrid::<R>::new(dims, grid.ex.domain_min(), d, Stagger::node(), true);
     deposit_charge(particles, table, &mut rho);
     let mean = rho.total() / (dims[0] * dims[1] * dims[2]) as f64;
 
@@ -57,8 +47,7 @@ where
             for i in 0..nx {
                 let im = (i + nx - 1) % nx;
                 // Yee divergence at the cell corner.
-                let div = (grid.ex.get(i, j, k).to_f64() - grid.ex.get(im, j, k).to_f64())
-                    / d.x
+                let div = (grid.ex.get(i, j, k).to_f64() - grid.ex.get(im, j, k).to_f64()) / d.x
                     + (grid.ey.get(i, j, k).to_f64() - grid.ey.get(i, jm, k).to_f64()) / d.y
                     + (grid.ez.get(i, j, k).to_f64() - grid.ez.get(i, j, km).to_f64()) / d.z;
                 let rhs = four_pi * (rho.get(i, j, k).to_f64() - mean);
@@ -87,14 +76,14 @@ pub fn longitudinal_mode_amplitude<R: Real>(g: &ScalarGrid<R>, mode: usize) -> f
     let [nx, ny, nz] = g.dims();
     assert!(mode < nx, "mode {mode} out of range for nx = {nx}");
     let mut row = vec![Complex::ZERO; nx];
-    for i in 0..nx {
+    for (i, cell) in row.iter_mut().enumerate() {
         let mut mean = 0.0;
         for k in 0..nz {
             for j in 0..ny {
                 mean += g.get(i, j, k).to_f64();
             }
         }
-        row[i] = Complex::new(mean / (ny * nz) as f64, 0.0);
+        *cell = Complex::new(mean / (ny * nz) as f64, 0.0);
     }
     fft(&mut row, false);
     row[mode].abs() / nx as f64
@@ -108,7 +97,10 @@ mod tests {
 
     #[test]
     fn energy_report_totals() {
-        let e = EnergyReport { field: 2.0, kinetic: 3.0 };
+        let e = EnergyReport {
+            field: 2.0,
+            kinetic: 3.0,
+        };
         assert_eq!(e.total(), 5.0);
         assert_eq!(EnergyReport::default().total(), 0.0);
     }
@@ -156,11 +148,7 @@ mod tests {
         // A charge with no matching E field violates Gauss's law.
         let grid = EmGrid::<f64>::yee([4, 4, 4], Vec3::zero(), Vec3::splat(1.0));
         let mut particles = AosEnsemble::<f64>::new();
-        particles.push(Particle::at_rest(
-            Vec3::splat(2.0),
-            1.0,
-            SpeciesId(0),
-        ));
+        particles.push(Particle::at_rest(Vec3::splat(2.0), 1.0, SpeciesId(0)));
         let table = SpeciesTable::with_standard_species();
         let resid = gauss_residual(&grid, &particles, &table);
         assert!(resid > 0.1, "residual {resid}");

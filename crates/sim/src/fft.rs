@@ -35,7 +35,10 @@ impl Complex {
 
     /// Complex conjugate.
     pub fn conj(self) -> Complex {
-        Complex { re: self.re, im: -self.im }
+        Complex {
+            re: self.re,
+            im: -self.im,
+        }
     }
 
     /// Squared magnitude.
@@ -50,14 +53,20 @@ impl Complex {
 
     /// Multiplication by a real scalar.
     pub fn scale(self, s: f64) -> Complex {
-        Complex { re: self.re * s, im: self.im * s }
+        Complex {
+            re: self.re * s,
+            im: self.im * s,
+        }
     }
 }
 
 impl Add for Complex {
     type Output = Complex;
     fn add(self, o: Complex) -> Complex {
-        Complex { re: self.re + o.re, im: self.im + o.im }
+        Complex {
+            re: self.re + o.re,
+            im: self.im + o.im,
+        }
     }
 }
 
@@ -70,7 +79,10 @@ impl AddAssign for Complex {
 impl Sub for Complex {
     type Output = Complex;
     fn sub(self, o: Complex) -> Complex {
-        Complex { re: self.re - o.re, im: self.im - o.im }
+        Complex {
+            re: self.re - o.re,
+            im: self.im - o.im,
+        }
     }
 }
 
@@ -87,7 +99,10 @@ impl Mul for Complex {
 impl Neg for Complex {
     type Output = Complex;
     fn neg(self) -> Complex {
-        Complex { re: -self.re, im: -self.im }
+        Complex {
+            re: -self.re,
+            im: -self.im,
+        }
     }
 }
 
@@ -180,7 +195,11 @@ pub fn fft3(data: &mut [Complex], dims: [usize; 3], inverse: bool) {
 /// `n`, for a domain of physical length `n·dx`: bins above `n/2` are
 /// negative frequencies.
 pub fn wavenumber(i: usize, n: usize, dx: f64) -> f64 {
-    let signed = if i <= n / 2 { i as isize } else { i as isize - n as isize };
+    let signed = if i <= n / 2 {
+        i as isize
+    } else {
+        i as isize - n as isize
+    };
     2.0 * std::f64::consts::PI * signed as f64 / (n as f64 * dx)
 }
 
@@ -212,7 +231,10 @@ mod tests {
         fft(&mut x, false);
         for (i, v) in x.iter().enumerate() {
             let expect = if i == 3 { n as f64 } else { 0.0 };
-            assert!((v.re - expect).abs() < 1e-9 && v.im.abs() < 1e-9, "bin {i}: {v:?}");
+            assert!(
+                (v.re - expect).abs() < 1e-9 && v.im.abs() < 1e-9,
+                "bin {i}: {v:?}"
+            );
         }
     }
 
@@ -249,13 +271,12 @@ mod tests {
             .collect();
         let mut fast = x.clone();
         fft(&mut fast, false);
-        for k in 0..n {
+        for (k, bin) in fast.iter().enumerate() {
             let mut acc = Complex::ZERO;
             for (i, v) in x.iter().enumerate() {
-                acc += *v
-                    * Complex::cis(-2.0 * std::f64::consts::PI * (k * i) as f64 / n as f64);
+                acc += *v * Complex::cis(-2.0 * std::f64::consts::PI * (k * i) as f64 / n as f64);
             }
-            assert!(close(fast[k], acc, 1e-9), "bin {k}");
+            assert!(close(*bin, acc, 1e-9), "bin {k}");
         }
     }
 
@@ -282,9 +303,8 @@ mod tests {
         for k in 0..4 {
             for j in 0..4 {
                 for i in 0..4 {
-                    let phase = 2.0 * std::f64::consts::PI
-                        * (mx * i + my * j + mz * k) as f64
-                        / 4.0;
+                    let phase =
+                        2.0 * std::f64::consts::PI * (mx * i + my * j + mz * k) as f64 / 4.0;
                     x[(k * 4 + j) * 4 + i] = Complex::cis(phase);
                 }
             }
@@ -330,8 +350,7 @@ mod tests {
         fn arb_signal(max_log2: u32) -> impl Strategy<Value = Vec<Complex>> {
             (0..=max_log2).prop_flat_map(|k| {
                 prop::collection::vec(
-                    (-100.0f64..100.0, -100.0f64..100.0)
-                        .prop_map(|(re, im)| Complex::new(re, im)),
+                    (-100.0f64..100.0, -100.0f64..100.0).prop_map(|(re, im)| Complex::new(re, im)),
                     1usize << k,
                 )
             })

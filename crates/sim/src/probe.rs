@@ -27,7 +27,11 @@ impl<R: Real> FieldProbe<R> {
         assert!(!positions.is_empty(), "FieldProbe: no positions");
         assert!(dt > 0.0, "FieldProbe: non-positive dt");
         let samples = vec![Vec::new(); positions.len()];
-        FieldProbe { positions, dt, samples }
+        FieldProbe {
+            positions,
+            dt,
+            samples,
+        }
     }
 
     /// Number of probe points.
@@ -89,7 +93,10 @@ impl<R: Real> FieldProbe<R> {
     ///
     /// Panics if fewer than 4 samples were recorded.
     pub fn dominant_frequency(&self, p: usize, component: impl Fn(&EB<R>) -> R) -> f64 {
-        let series: Vec<f64> = self.samples[p].iter().map(|f| component(f).to_f64()).collect();
+        let series: Vec<f64> = self.samples[p]
+            .iter()
+            .map(|f| component(f).to_f64())
+            .collect();
         let n = series.len();
         assert!(n >= 4, "dominant_frequency: need at least 4 samples");
         let mean = series.iter().sum::<f64>() / n as f64;
@@ -123,10 +130,7 @@ mod tests {
         for s in 0..steps {
             let t = s as f64 * dt;
             let mut g = EmGrid::<f64>::collocated([4, 4, 4], Vec3::zero(), Vec3::splat(1.0));
-            let f = UniformFields::new(
-                Vec3::new((omega * t).sin() * 3.0, 0.0, 0.0),
-                Vec3::zero(),
-            );
+            let f = UniformFields::new(Vec3::new((omega * t).sin() * 3.0, 0.0, 0.0), Vec3::zero());
             g.fill_from_sampler(&f, 0.0);
             probe.record(&g);
         }

@@ -367,11 +367,7 @@ mod tests {
     /// Builds a cold uniform electron plasma (quiet start: one particle at
     /// each cell centre) with uniform drift velocity `v0x`, tuned to
     /// oscillate at `omega_p`.
-    fn plasma_sim<S: ParticleStore<f64>>(
-        omega_p: f64,
-        v0x: f64,
-        dt: f64,
-    ) -> PicSimulation<f64, S> {
+    fn plasma_sim<S: ParticleStore<f64>>(omega_p: f64, v0x: f64, dt: f64) -> PicSimulation<f64, S> {
         plasma_sim_with(omega_p, v0x, dt, FieldSolverKind::Fdtd)
     }
 
@@ -446,7 +442,11 @@ mod tests {
                 crossings.push(i as f64 - b / (b - a));
             }
         }
-        assert!(crossings.len() >= 4, "too few crossings: {}", crossings.len());
+        assert!(
+            crossings.len() >= 4,
+            "too few crossings: {}",
+            crossings.len()
+        );
         let intervals: Vec<f64> = crossings.windows(2).map(|w| w[1] - w[0]).collect();
         let half_period = intervals.iter().sum::<f64>() / intervals.len() as f64;
         std::f64::consts::PI / (half_period * dt)
@@ -474,7 +474,11 @@ mod tests {
                 crossings.push(i as f64 - b / (b - a));
             }
         }
-        assert!(crossings.len() >= 4, "too few crossings: {}", crossings.len());
+        assert!(
+            crossings.len() >= 4,
+            "too few crossings: {}",
+            crossings.len()
+        );
         let intervals: Vec<f64> = crossings.windows(2).map(|w| w[1] - w[0]).collect();
         let half_period_steps = intervals.iter().sum::<f64>() / intervals.len() as f64;
         let omega_measured = std::f64::consts::PI / (half_period_steps * dt);
@@ -541,8 +545,8 @@ mod tests {
             dt: 1e-12,
             scheme: CurrentScheme::Cic,
             boundary: ParticleBoundary::Periodic,
-        solver: FieldSolverKind::Fdtd,
-        interp: pic_fields::InterpOrder::Cic,
+            solver: FieldSolverKind::Fdtd,
+            interp: pic_fields::InterpOrder::Cic,
         };
         let mut sim = PicSimulation::new(
             params,
@@ -563,8 +567,8 @@ mod tests {
             dt: 1e-12,
             scheme: CurrentScheme::Esirkepov,
             boundary: ParticleBoundary::Periodic,
-        solver: FieldSolverKind::Fdtd,
-        interp: pic_fields::InterpOrder::Cic,
+            solver: FieldSolverKind::Fdtd,
+            interp: pic_fields::InterpOrder::Cic,
         };
         let mut particles = AosEnsemble::<f64>::new();
         // A fast particle that will cross the boundary.
@@ -576,8 +580,7 @@ mod tests {
             EL,
             ELECTRON_MASS,
         ));
-        let mut sim =
-            PicSimulation::new(params, particles, SpeciesTable::with_standard_species());
+        let mut sim = PicSimulation::new(params, particles, SpeciesTable::with_standard_species());
         sim.run(50);
         let pos = sim.particles().get(0).position;
         assert!((0.0..4.0).contains(&pos.x), "x = {}", pos.x);
@@ -631,8 +634,12 @@ mod tests {
         // at the same ω_p the FDTD run shows.
         let omega_p = 6.0e9;
         let dt = 1.0e-11;
-        let mut sim: PicSimulation<f64, AosEnsemble<f64>> =
-            plasma_sim_with(omega_p, 1e-3 * LIGHT_VELOCITY, dt, FieldSolverKind::Spectral);
+        let mut sim: PicSimulation<f64, AosEnsemble<f64>> = plasma_sim_with(
+            omega_p,
+            1e-3 * LIGHT_VELOCITY,
+            dt,
+            FieldSolverKind::Spectral,
+        );
         let steps = 320;
         let mut ex_history = Vec::with_capacity(steps);
         for _ in 0..steps {
@@ -665,8 +672,8 @@ mod tests {
             dt: 1e-12,
             scheme: CurrentScheme::Esirkepov,
             boundary: ParticleBoundary::Reflecting,
-        solver: FieldSolverKind::Fdtd,
-        interp: pic_fields::InterpOrder::Cic,
+            solver: FieldSolverKind::Fdtd,
+            interp: pic_fields::InterpOrder::Cic,
         };
         let mut particles = AosEnsemble::<f64>::new();
         let px = 10.0 * ELECTRON_MASS * LIGHT_VELOCITY; // β ≈ 0.995
@@ -677,8 +684,7 @@ mod tests {
             EL,
             ELECTRON_MASS,
         ));
-        let mut sim =
-            PicSimulation::new(params, particles, SpeciesTable::with_standard_species());
+        let mut sim = PicSimulation::new(params, particles, SpeciesTable::with_standard_species());
         // After a few steps the particle must have bounced: still inside,
         // momentum reversed along x, |p| unchanged (self-fields from one
         // particle are negligible over this horizon).
@@ -700,8 +706,8 @@ mod tests {
             dt: 1.0, // absurdly large
             scheme: CurrentScheme::Cic,
             boundary: ParticleBoundary::Periodic,
-        solver: FieldSolverKind::Fdtd,
-        interp: pic_fields::InterpOrder::Cic,
+            solver: FieldSolverKind::Fdtd,
+            interp: pic_fields::InterpOrder::Cic,
         };
         let _ = PicSimulation::new(
             params,

@@ -43,7 +43,11 @@ impl SpectralSolver {
             "SpectralSolver: dimensions {dims:?} must be powers of two"
         );
         let sp = grid.spacing();
-        SpectralSolver { dt, dims, spacing: [sp.x, sp.y, sp.z] }
+        SpectralSolver {
+            dt,
+            dims,
+            spacing: [sp.x, sp.y, sp.z],
+        }
     }
 
     /// The time step, s.
@@ -56,7 +60,10 @@ impl SpectralSolver {
     pub fn step<R: Real>(&self, grid: &mut EmGrid<R>, current: &[ScalarGrid<R>; 3]) {
         let n = self.dims[0] * self.dims[1] * self.dims[2];
         let to_c = |g: &ScalarGrid<R>| -> Vec<Complex> {
-            g.data().iter().map(|v| Complex::new(v.to_f64(), 0.0)).collect()
+            g.data()
+                .iter()
+                .map(|v| Complex::new(v.to_f64(), 0.0))
+                .collect()
         };
         let mut e = [to_c(&grid.ex), to_c(&grid.ey), to_c(&grid.ez)];
         let mut b = [to_c(&grid.bx), to_c(&grid.by), to_c(&grid.bz)];

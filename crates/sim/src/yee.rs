@@ -66,21 +66,15 @@ impl YeeSolver {
                 let jp = (j + 1) % ny;
                 for i in 0..nx {
                     let ip = (i + 1) % nx;
-                    let curl_x = (grid.ez.get(i, jp, k).to_f64()
-                        - grid.ez.get(i, j, k).to_f64())
+                    let curl_x = (grid.ez.get(i, jp, k).to_f64() - grid.ez.get(i, j, k).to_f64())
                         / d.y
-                        - (grid.ey.get(i, j, kp).to_f64() - grid.ey.get(i, j, k).to_f64())
-                            / d.z;
-                    let curl_y = (grid.ex.get(i, j, kp).to_f64()
-                        - grid.ex.get(i, j, k).to_f64())
+                        - (grid.ey.get(i, j, kp).to_f64() - grid.ey.get(i, j, k).to_f64()) / d.z;
+                    let curl_y = (grid.ex.get(i, j, kp).to_f64() - grid.ex.get(i, j, k).to_f64())
                         / d.z
-                        - (grid.ez.get(ip, j, k).to_f64() - grid.ez.get(i, j, k).to_f64())
-                            / d.x;
-                    let curl_z = (grid.ey.get(ip, j, k).to_f64()
-                        - grid.ey.get(i, j, k).to_f64())
+                        - (grid.ez.get(ip, j, k).to_f64() - grid.ez.get(i, j, k).to_f64()) / d.x;
+                    let curl_z = (grid.ey.get(ip, j, k).to_f64() - grid.ey.get(i, j, k).to_f64())
                         / d.x
-                        - (grid.ex.get(i, jp, k).to_f64() - grid.ex.get(i, j, k).to_f64())
-                            / d.y;
+                        - (grid.ex.get(i, jp, k).to_f64() - grid.ex.get(i, j, k).to_f64()) / d.y;
                     add(&mut grid.bx, i, j, k, -c * half * curl_x);
                     add(&mut grid.by, i, j, k, -c * half * curl_y);
                     add(&mut grid.bz, i, j, k, -c * half * curl_z);
@@ -96,12 +90,12 @@ impl YeeSolver {
     /// # Panics
     ///
     /// Panics if the current lattices do not match the field dimensions.
-    pub fn advance_e<R: Real>(
-        &self,
-        grid: &mut EmGrid<R>,
-        current: &[ScalarGrid<R>; 3],
-    ) {
-        assert_eq!(current[0].dims(), grid.dims(), "current/field shape mismatch");
+    pub fn advance_e<R: Real>(&self, grid: &mut EmGrid<R>, current: &[ScalarGrid<R>; 3]) {
+        assert_eq!(
+            current[0].dims(),
+            grid.dims(),
+            "current/field shape mismatch"
+        );
         let c = LIGHT_VELOCITY;
         let four_pi = 4.0 * std::f64::consts::PI;
         let d = grid.spacing();
@@ -114,21 +108,15 @@ impl YeeSolver {
                 let jm = (j + ny - 1) % ny;
                 for i in 0..nx {
                     let im = (i + nx - 1) % nx;
-                    let curl_x = (grid.bz.get(i, j, k).to_f64()
-                        - grid.bz.get(i, jm, k).to_f64())
+                    let curl_x = (grid.bz.get(i, j, k).to_f64() - grid.bz.get(i, jm, k).to_f64())
                         / d.y
-                        - (grid.by.get(i, j, k).to_f64() - grid.by.get(i, j, km).to_f64())
-                            / d.z;
-                    let curl_y = (grid.bx.get(i, j, k).to_f64()
-                        - grid.bx.get(i, j, km).to_f64())
+                        - (grid.by.get(i, j, k).to_f64() - grid.by.get(i, j, km).to_f64()) / d.z;
+                    let curl_y = (grid.bx.get(i, j, k).to_f64() - grid.bx.get(i, j, km).to_f64())
                         / d.z
-                        - (grid.bz.get(i, j, k).to_f64() - grid.bz.get(im, j, k).to_f64())
-                            / d.x;
-                    let curl_z = (grid.by.get(i, j, k).to_f64()
-                        - grid.by.get(im, j, k).to_f64())
+                        - (grid.bz.get(i, j, k).to_f64() - grid.bz.get(im, j, k).to_f64()) / d.x;
+                    let curl_z = (grid.by.get(i, j, k).to_f64() - grid.by.get(im, j, k).to_f64())
                         / d.x
-                        - (grid.bx.get(i, j, k).to_f64() - grid.bx.get(i, jm, k).to_f64())
-                            / d.y;
+                        - (grid.bx.get(i, j, k).to_f64() - grid.bx.get(i, jm, k).to_f64()) / d.y;
                     add(
                         &mut grid.ex,
                         i,
@@ -173,7 +161,11 @@ fn add<R: Real>(g: &mut ScalarGrid<R>, i: usize, j: usize, k: usize, dv: f64) {
 /// Zero current lattices matching a grid's E staggering (for vacuum runs
 /// and as the accumulation target of the deposition schemes).
 pub fn zero_current<R: Real>(grid: &EmGrid<R>) -> [ScalarGrid<R>; 3] {
-    [grid.ex.clone_zeroed(), grid.ey.clone_zeroed(), grid.ez.clone_zeroed()]
+    [
+        grid.ex.clone_zeroed(),
+        grid.ey.clone_zeroed(),
+        grid.ez.clone_zeroed(),
+    ]
 }
 
 #[cfg(test)]
@@ -240,7 +232,11 @@ mod tests {
             solver.step(&mut g, &current);
         }
         let e1 = g.field_energy();
-        assert!((e1 - e0).abs() / e0 < 1e-2, "energy drift {}", (e1 - e0) / e0);
+        assert!(
+            (e1 - e0).abs() / e0 < 1e-2,
+            "energy drift {}",
+            (e1 - e0) / e0
+        );
     }
 
     #[test]
@@ -255,7 +251,10 @@ mod tests {
         let expect = -4.0 * std::f64::consts::PI * 2.0 * 2e-12;
         for i in 0..8 {
             let v = g.ex.get(i, 3, 5);
-            assert!((v - expect).abs() < 1e-18 * expect.abs().max(1.0), "Ex = {v}");
+            assert!(
+                (v - expect).abs() < 1e-18 * expect.abs().max(1.0),
+                "Ex = {v}"
+            );
         }
         // B stays zero for a curl-free E.
         assert!(g.bx.data().iter().all(|&b| b == 0.0));

@@ -13,9 +13,7 @@ use pic_math::constants::{ELECTRON_MASS, ELEMENTARY_CHARGE, LIGHT_VELOCITY};
 use pic_math::units::plasma_frequency;
 use pic_math::Vec3;
 use pic_particles::{Particle, ParticleStore, SoaEnsemble, SpeciesTable};
-use pic_sim::{
-    CurrentScheme, FieldSolverKind, ParticleBoundary, PicParams, PicSimulation,
-};
+use pic_sim::{CurrentScheme, FieldSolverKind, ParticleBoundary, PicParams, PicSimulation};
 
 /// Builds a pulse-vs-slab experiment and returns the fraction of the
 /// pulse energy found beyond the slab after it would have crossed.
@@ -66,14 +64,13 @@ fn transmitted_fraction(density_ratio: f64) -> f64 {
         scheme: CurrentScheme::Esirkepov,
         boundary: ParticleBoundary::Periodic,
         solver: FieldSolverKind::Fdtd,
-    interp: pic_fields::InterpOrder::Cic,
+        interp: pic_fields::InterpOrder::Cic,
     };
     let mut sim = PicSimulation::new(params, electrons, SpeciesTable::with_standard_species());
 
     // Rightward pulse: Ey, Bz in phase, Gaussian envelope, centred at 30.
     let shape = move |x: f64| {
-        (-((x - 30.0) / 8.0).powi(2)).exp()
-            * (2.0 * std::f64::consts::PI * x / wavelength).sin()
+        (-((x - 30.0) / 8.0).powi(2)).exp() * (2.0 * std::f64::consts::PI * x / wavelength).sin()
     };
     sim.grid_mut().ey.fill_with(|p| shape(p.x));
     sim.grid_mut().bz.fill_with(|p| shape(p.x));

@@ -75,8 +75,8 @@ fn two_stream_instability_grows_at_the_plasma_rate() {
         dt,
         scheme: CurrentScheme::Esirkepov,
         boundary: ParticleBoundary::Periodic,
-    solver: pic_sim::FieldSolverKind::Fdtd,
-    interp: pic_fields::InterpOrder::Cic,
+        solver: pic_sim::FieldSolverKind::Fdtd,
+        interp: pic_fields::InterpOrder::Cic,
     };
     assert!(dt < 1.9e-11, "stay under the Courant limit: dt = {dt}");
     let mut sim = PicSimulation::new(params, electrons, SpeciesTable::with_standard_species());
@@ -114,9 +114,12 @@ fn two_stream_instability_grows_at_the_plasma_rate() {
     // slowed on average.
     let table = sim.table().clone();
     let kinetic = pic_boris::diag::kinetic_energy(sim.particles(), &table);
-    let initial_kinetic =
-        2.0 * particles_per_beam as f64 * weight * (gamma0 - 1.0) * ELECTRON_MASS
-            * LIGHT_VELOCITY
-            * LIGHT_VELOCITY;
+    let initial_kinetic = 2.0
+        * particles_per_beam as f64
+        * weight
+        * (gamma0 - 1.0)
+        * ELECTRON_MASS
+        * LIGHT_VELOCITY
+        * LIGHT_VELOCITY;
     assert!(kinetic < initial_kinetic, "{kinetic} !< {initial_kinetic}");
 }

@@ -1,0 +1,383 @@
+//! The versioned `BenchRecord` schema and its JSON-lines persistence.
+//!
+//! One [`BenchRecord`] captures everything one measured benchmark
+//! configuration produced: the identity of the cell (layout, scenario,
+//! precision, schedule, topology, workload), the full per-iteration NSPS
+//! series with its warmup/steady split, per-thread work totals from the
+//! sweep telemetry, load imbalance, the kernel's flop/byte tallies, and
+//! the roofline model's prediction for reconciliation.
+//!
+//! Files are JSON-lines: one record per line, so artifacts concatenate
+//! and `grep`/`jq` cleanly. The `schema` field gates evolution: readers
+//! reject records from a newer major schema instead of misreading them.
+
+use crate::json::{parse, ParseError, Value};
+use std::io::{self, BufRead, Write};
+use std::path::Path;
+
+/// Current schema version written by this crate.
+pub const SCHEMA_VERSION: u64 = 1;
+
+/// Per-thread totals of one measured run (all sweeps of all iterations).
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct ThreadStat {
+    /// Global thread id.
+    pub thread: u64,
+    /// NUMA domain of the thread.
+    pub domain: u64,
+    /// Work items the thread executed.
+    pub chunks: u64,
+    /// Particles the thread processed.
+    pub particles: u64,
+    /// Wall time the thread spent in kernel work, nanoseconds.
+    pub busy_ns: u64,
+}
+
+/// One measured benchmark configuration, ready for persistence.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct BenchRecord {
+    /// Schema version ([`SCHEMA_VERSION`] when written by this build).
+    pub schema: u64,
+    /// Human-chosen label of the emitting run (`BENCH_<label>.json`).
+    pub label: String,
+    /// Particle layout: `"AoS"` or `"SoA"`.
+    pub layout: String,
+    /// Benchmark scenario (paper §5.2), e.g. `"Precalculated Fields"`.
+    pub scenario: String,
+    /// Floating-point precision: `"float"` or `"double"`.
+    pub precision: String,
+    /// Schedule name (paper naming), e.g. `"OpenMP"` or `"DPC++ NUMA"`.
+    pub schedule: String,
+    /// Worker threads used.
+    pub threads: u64,
+    /// NUMA domains of the topology.
+    pub domains: u64,
+    /// Macroparticles in the ensemble.
+    pub particles: u64,
+    /// Pusher steps per measured iteration.
+    pub steps_per_iteration: u64,
+    /// Measured iterations (first one is warmup).
+    pub iterations: u64,
+    /// Wall time of every iteration, nanoseconds, in run order.
+    pub iteration_ns: Vec<f64>,
+    /// NSPS of the first (warmup/JIT/cold-cache) iteration.
+    pub warmup_nsps: f64,
+    /// Mean NSPS excluding the first iteration — the headline number and
+    /// the quantity the regression gate compares.
+    pub steady_nsps: f64,
+    /// Mean NSPS over all iterations.
+    pub mean_nsps: f64,
+    /// Particle-count load imbalance: busiest thread / mean (1.0 ideal).
+    pub imbalance: f64,
+    /// Busy-time load imbalance: busiest thread's busy time / mean.
+    pub time_imbalance: f64,
+    /// Per-thread totals, ordered by thread id.
+    pub thread_stats: Vec<ThreadStat>,
+    /// Kernel flop-equivalents per particle per step (pusher tally).
+    pub flops_per_particle: f64,
+    /// Kernel DRAM bytes per particle per step (pusher tally).
+    pub bytes_per_particle: f64,
+    /// Roofline-model NSPS prediction for this host/config (0 when the
+    /// model has no calibration for the host).
+    pub model_nsps: f64,
+    /// `steady_nsps / model_nsps` (0 when no prediction).
+    pub model_ratio: f64,
+}
+
+impl BenchRecord {
+    /// The identity key used to match records across two files: every
+    /// field that names the configuration, none that measures it.
+    pub fn key(&self) -> String {
+        format!(
+            "{}|{}|{}|{}|t{}|d{}|n{}|s{}",
+            self.layout,
+            self.scenario,
+            self.precision,
+            self.schedule,
+            self.threads,
+            self.domains,
+            self.particles,
+            self.steps_per_iteration,
+        )
+    }
+
+    /// Serializes to one JSON line (no trailing newline).
+    pub fn to_json(&self) -> String {
+        let num = |x: f64| Value::Num(x);
+        let int = |x: u64| Value::Num(x as f64);
+        Value::obj([
+            ("schema", int(self.schema)),
+            ("label", Value::Str(self.label.clone())),
+            ("layout", Value::Str(self.layout.clone())),
+            ("scenario", Value::Str(self.scenario.clone())),
+            ("precision", Value::Str(self.precision.clone())),
+            ("schedule", Value::Str(self.schedule.clone())),
+            ("threads", int(self.threads)),
+            ("domains", int(self.domains)),
+            ("particles", int(self.particles)),
+            ("steps_per_iteration", int(self.steps_per_iteration)),
+            ("iterations", int(self.iterations)),
+            (
+                "iteration_ns",
+                Value::Arr(self.iteration_ns.iter().map(|&x| Value::Num(x)).collect()),
+            ),
+            ("warmup_nsps", num(self.warmup_nsps)),
+            ("steady_nsps", num(self.steady_nsps)),
+            ("mean_nsps", num(self.mean_nsps)),
+            ("imbalance", num(self.imbalance)),
+            ("time_imbalance", num(self.time_imbalance)),
+            (
+                "thread_stats",
+                Value::Arr(
+                    self.thread_stats
+                        .iter()
+                        .map(|t| {
+                            Value::obj([
+                                ("thread", int(t.thread)),
+                                ("domain", int(t.domain)),
+                                ("chunks", int(t.chunks)),
+                                ("particles", int(t.particles)),
+                                ("busy_ns", int(t.busy_ns)),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+            ("flops_per_particle", num(self.flops_per_particle)),
+            ("bytes_per_particle", num(self.bytes_per_particle)),
+            ("model_nsps", num(self.model_nsps)),
+            ("model_ratio", num(self.model_ratio)),
+        ])
+        .to_json()
+    }
+
+    /// Parses one JSON line.
+    pub fn from_json(line: &str) -> Result<BenchRecord, RecordError> {
+        let v = parse(line)?;
+        let schema = field_u64(&v, "schema")?;
+        if schema > SCHEMA_VERSION {
+            return Err(RecordError::Schema(schema));
+        }
+        let stat = |sv: &Value| -> Result<ThreadStat, RecordError> {
+            Ok(ThreadStat {
+                thread: field_u64(sv, "thread")?,
+                domain: field_u64(sv, "domain")?,
+                chunks: field_u64(sv, "chunks")?,
+                particles: field_u64(sv, "particles")?,
+                busy_ns: field_u64(sv, "busy_ns")?,
+            })
+        };
+        Ok(BenchRecord {
+            schema,
+            label: field_str(&v, "label")?,
+            layout: field_str(&v, "layout")?,
+            scenario: field_str(&v, "scenario")?,
+            precision: field_str(&v, "precision")?,
+            schedule: field_str(&v, "schedule")?,
+            threads: field_u64(&v, "threads")?,
+            domains: field_u64(&v, "domains")?,
+            particles: field_u64(&v, "particles")?,
+            steps_per_iteration: field_u64(&v, "steps_per_iteration")?,
+            iterations: field_u64(&v, "iterations")?,
+            iteration_ns: field_arr(&v, "iteration_ns")?
+                .iter()
+                .map(|x| x.as_f64().ok_or(RecordError::Field("iteration_ns")))
+                .collect::<Result<_, _>>()?,
+            warmup_nsps: field_f64(&v, "warmup_nsps")?,
+            steady_nsps: field_f64(&v, "steady_nsps")?,
+            mean_nsps: field_f64(&v, "mean_nsps")?,
+            imbalance: field_f64(&v, "imbalance")?,
+            time_imbalance: field_f64(&v, "time_imbalance")?,
+            thread_stats: field_arr(&v, "thread_stats")?
+                .iter()
+                .map(stat)
+                .collect::<Result<_, _>>()?,
+            flops_per_particle: field_f64(&v, "flops_per_particle")?,
+            bytes_per_particle: field_f64(&v, "bytes_per_particle")?,
+            model_nsps: field_f64(&v, "model_nsps")?,
+            model_ratio: field_f64(&v, "model_ratio")?,
+        })
+    }
+}
+
+fn field_u64(v: &Value, key: &'static str) -> Result<u64, RecordError> {
+    v.get(key)
+        .and_then(Value::as_u64)
+        .ok_or(RecordError::Field(key))
+}
+
+fn field_f64(v: &Value, key: &'static str) -> Result<f64, RecordError> {
+    v.get(key)
+        .and_then(Value::as_f64)
+        .ok_or(RecordError::Field(key))
+}
+
+fn field_str(v: &Value, key: &'static str) -> Result<String, RecordError> {
+    v.get(key)
+        .and_then(Value::as_str)
+        .map(str::to_owned)
+        .ok_or(RecordError::Field(key))
+}
+
+fn field_arr<'v>(v: &'v Value, key: &'static str) -> Result<&'v [Value], RecordError> {
+    v.get(key)
+        .and_then(Value::as_arr)
+        .ok_or(RecordError::Field(key))
+}
+
+/// Error produced when loading records.
+#[derive(Debug)]
+pub enum RecordError {
+    /// The line is not valid JSON.
+    Json(ParseError),
+    /// The record is from an unknown, newer schema version.
+    Schema(u64),
+    /// A required field is missing or has the wrong type.
+    Field(&'static str),
+    /// The file could not be read.
+    Io(io::Error),
+}
+
+impl From<ParseError> for RecordError {
+    fn from(e: ParseError) -> RecordError {
+        RecordError::Json(e)
+    }
+}
+
+impl From<io::Error> for RecordError {
+    fn from(e: io::Error) -> RecordError {
+        RecordError::Io(e)
+    }
+}
+
+impl std::fmt::Display for RecordError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RecordError::Json(e) => write!(f, "{e}"),
+            RecordError::Schema(v) => write!(
+                f,
+                "record has schema version {v}, this build reads up to {SCHEMA_VERSION}"
+            ),
+            RecordError::Field(k) => write!(f, "missing or mistyped field '{k}'"),
+            RecordError::Io(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for RecordError {}
+
+/// Writes `records` to `path` as JSON-lines (one record per line).
+pub fn write_records(path: &Path, records: &[BenchRecord]) -> io::Result<()> {
+    let mut file = io::BufWriter::new(std::fs::File::create(path)?);
+    for r in records {
+        writeln!(file, "{}", r.to_json())?;
+    }
+    file.flush()
+}
+
+/// Reads every record from the JSON-lines file at `path`, skipping blank
+/// lines.
+pub fn read_records(path: &Path) -> Result<Vec<BenchRecord>, RecordError> {
+    let file = io::BufReader::new(std::fs::File::open(path)?);
+    let mut out = Vec::new();
+    for line in file.lines() {
+        let line = line?;
+        if line.trim().is_empty() {
+            continue;
+        }
+        out.push(BenchRecord::from_json(&line)?);
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+pub(crate) fn sample_record(label: &str, steady_nsps: f64) -> BenchRecord {
+    BenchRecord {
+        schema: SCHEMA_VERSION,
+        label: label.into(),
+        layout: "SoA".into(),
+        scenario: "Precalculated Fields".into(),
+        precision: "float".into(),
+        schedule: "DPC++".into(),
+        threads: 4,
+        domains: 2,
+        particles: 100_000,
+        steps_per_iteration: 50,
+        iterations: 3,
+        iteration_ns: vec![3.2e8, 2.9e8, 2.8e8],
+        warmup_nsps: 64.0,
+        steady_nsps,
+        mean_nsps: steady_nsps * 1.05,
+        imbalance: 1.02,
+        time_imbalance: 1.1,
+        thread_stats: (0..4)
+            .map(|t| ThreadStat {
+                thread: t,
+                domain: t / 2,
+                chunks: 12,
+                particles: 25_000,
+                busy_ns: 7_000_000 + t * 11,
+            })
+            .collect(),
+        flops_per_particle: 80.0,
+        bytes_per_particle: 54.0,
+        model_nsps: 0.0,
+        model_ratio: 0.0,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn record_round_trips_exactly() {
+        let r = sample_record("rt", 57.25);
+        let line = r.to_json();
+        assert!(!line.contains('\n'));
+        let back = BenchRecord::from_json(&line).unwrap();
+        assert_eq!(back, r);
+    }
+
+    #[test]
+    fn key_identifies_configuration_not_measurement() {
+        let a = sample_record("a", 10.0);
+        let mut b = sample_record("b", 99.0);
+        b.iteration_ns = vec![1.0];
+        assert_eq!(a.key(), b.key());
+        let mut c = sample_record("a", 10.0);
+        c.layout = "AoS".into();
+        assert_ne!(a.key(), c.key());
+    }
+
+    #[test]
+    fn newer_schema_is_rejected() {
+        let mut r = sample_record("future", 1.0);
+        r.schema = SCHEMA_VERSION + 1;
+        let err = BenchRecord::from_json(&r.to_json()).unwrap_err();
+        assert!(
+            matches!(err, RecordError::Schema(v) if v == SCHEMA_VERSION + 1),
+            "{err}"
+        );
+    }
+
+    #[test]
+    fn missing_field_is_reported_by_name() {
+        let err = BenchRecord::from_json(r#"{"schema": 1}"#).unwrap_err();
+        assert!(err.to_string().contains("label"), "{err}");
+    }
+
+    #[test]
+    fn file_round_trip_json_lines() {
+        let dir = std::env::temp_dir().join("pic_telemetry_record_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("BENCH_test.json");
+        let records = vec![sample_record("one", 50.0), sample_record("two", 60.0)];
+        write_records(&path, &records).unwrap();
+        let text = std::fs::read_to_string(&path).unwrap();
+        assert_eq!(text.lines().count(), 2, "one record per line");
+        let back = read_records(&path).unwrap();
+        assert_eq!(back, records);
+        std::fs::remove_file(&path).unwrap();
+    }
+}

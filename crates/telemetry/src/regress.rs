@@ -1,0 +1,229 @@
+//! The NSPS regression comparator.
+//!
+//! Compares two [`BenchRecord`] sets — a committed baseline and a fresh
+//! candidate — configuration by configuration (matched on
+//! [`BenchRecord::key`]). NSPS is time per unit of work, so *lower is
+//! better*: a configuration regresses when the candidate's steady-state
+//! NSPS exceeds the baseline's by more than the threshold fraction.
+
+use crate::record::BenchRecord;
+
+/// One matched configuration's baseline/candidate comparison.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Comparison {
+    /// Configuration key ([`BenchRecord::key`]).
+    pub key: String,
+    /// Baseline steady-state NSPS.
+    pub baseline_nsps: f64,
+    /// Candidate steady-state NSPS.
+    pub candidate_nsps: f64,
+    /// Fractional change: `candidate / baseline - 1` (positive = slower).
+    pub delta: f64,
+    /// Whether the slowdown exceeds the threshold.
+    pub regressed: bool,
+}
+
+/// The outcome of comparing two record sets.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct RegressReport {
+    /// Every configuration present in both sets, in baseline order.
+    pub comparisons: Vec<Comparison>,
+    /// Keys present only in the baseline (coverage lost).
+    pub missing: Vec<String>,
+    /// Keys present only in the candidate (new coverage).
+    pub new: Vec<String>,
+    /// The threshold the comparisons were judged against.
+    pub threshold: f64,
+}
+
+impl RegressReport {
+    /// True when no matched configuration regressed. Missing
+    /// configurations are reported but do not fail the gate; a disappeared
+    /// benchmark is a coverage question, not a slowdown.
+    pub fn passed(&self) -> bool {
+        self.comparisons.iter().all(|c| !c.regressed)
+    }
+
+    /// The regressed subset of [`RegressReport::comparisons`].
+    pub fn regressions(&self) -> Vec<&Comparison> {
+        self.comparisons.iter().filter(|c| c.regressed).collect()
+    }
+
+    /// Renders the report as the human-readable table the `regress`
+    /// binary prints.
+    pub fn render(&self) -> String {
+        use std::fmt::Write;
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "{:<44} {:>10} {:>10} {:>8}  verdict",
+            "configuration", "base nsps", "cand nsps", "delta"
+        );
+        for c in &self.comparisons {
+            let verdict = if c.regressed {
+                "REGRESSED"
+            } else if c.delta < 0.0 {
+                "improved"
+            } else {
+                "ok"
+            };
+            let _ = writeln!(
+                out,
+                "{:<44} {:>10.3} {:>10.3} {:>+7.1}%  {}",
+                c.key,
+                c.baseline_nsps,
+                c.candidate_nsps,
+                c.delta * 100.0,
+                verdict
+            );
+        }
+        for k in &self.missing {
+            let _ = writeln!(out, "{k:<44} missing from candidate");
+        }
+        for k in &self.new {
+            let _ = writeln!(out, "{k:<44} new in candidate");
+        }
+        let n_reg = self.regressions().len();
+        let _ = writeln!(
+            out,
+            "{} configuration(s) compared, {} regression(s) at threshold {:.0}%",
+            self.comparisons.len(),
+            n_reg,
+            self.threshold * 100.0
+        );
+        out
+    }
+}
+
+/// Compares `candidate` against `baseline` at the given fractional
+/// `threshold` (0.10 = fail on >10% slowdown). Records are matched on
+/// [`BenchRecord::key`]; when a key appears more than once on a side the
+/// last record wins (later lines in a JSON-lines file supersede earlier
+/// ones).
+pub fn compare(
+    baseline: &[BenchRecord],
+    candidate: &[BenchRecord],
+    threshold: f64,
+) -> RegressReport {
+    let lookup = |set: &[BenchRecord], key: &str| -> Option<usize> {
+        set.iter().rposition(|r| r.key() == key)
+    };
+
+    let mut report = RegressReport {
+        threshold,
+        ..Default::default()
+    };
+    let mut seen = Vec::new();
+    for b in baseline {
+        let key = b.key();
+        if seen.contains(&key) {
+            continue;
+        }
+        seen.push(key.clone());
+        // Honor last-wins on the baseline side too.
+        let b = &baseline[lookup(baseline, &key).unwrap()];
+        match lookup(candidate, &key) {
+            Some(ci) => {
+                let c = &candidate[ci];
+                let delta = if b.steady_nsps > 0.0 {
+                    c.steady_nsps / b.steady_nsps - 1.0
+                } else {
+                    0.0
+                };
+                report.comparisons.push(Comparison {
+                    key,
+                    baseline_nsps: b.steady_nsps,
+                    candidate_nsps: c.steady_nsps,
+                    delta,
+                    regressed: delta > threshold,
+                });
+            }
+            None => report.missing.push(key),
+        }
+    }
+    for c in candidate {
+        let key = c.key();
+        if !seen.contains(&key) && !report.new.contains(&key) {
+            report.new.push(key);
+        }
+    }
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::record::sample_record;
+
+    #[test]
+    fn identical_records_pass() {
+        let base = vec![sample_record("a", 50.0)];
+        let report = compare(&base, &base, 0.10);
+        assert!(report.passed());
+        assert_eq!(report.comparisons.len(), 1);
+        assert_eq!(report.comparisons[0].delta, 0.0);
+        assert!(report.missing.is_empty() && report.new.is_empty());
+    }
+
+    #[test]
+    fn two_x_slowdown_fails_gate() {
+        let base = vec![sample_record("base", 50.0)];
+        let cand = vec![sample_record("cand", 100.0)];
+        let report = compare(&base, &cand, 0.10);
+        assert!(!report.passed());
+        let regs = report.regressions();
+        assert_eq!(regs.len(), 1);
+        assert!((regs[0].delta - 1.0).abs() < 1e-12, "{:?}", regs[0]);
+    }
+
+    #[test]
+    fn slowdown_within_threshold_passes() {
+        let base = vec![sample_record("base", 100.0)];
+        let cand = vec![sample_record("cand", 109.0)];
+        assert!(compare(&base, &cand, 0.10).passed());
+        // ...but a tighter threshold catches it.
+        assert!(!compare(&base, &cand, 0.05).passed());
+    }
+
+    #[test]
+    fn improvement_never_fails() {
+        let base = vec![sample_record("base", 100.0)];
+        let cand = vec![sample_record("cand", 10.0)];
+        let report = compare(&base, &cand, 0.10);
+        assert!(report.passed());
+        assert!(report.comparisons[0].delta < 0.0);
+    }
+
+    #[test]
+    fn missing_and_new_keys_are_reported_not_failed() {
+        let mut only_base = sample_record("b", 50.0);
+        only_base.layout = "AoS".into();
+        let mut only_cand = sample_record("c", 50.0);
+        only_cand.threads = 8;
+        let base = vec![sample_record("b", 50.0), only_base.clone()];
+        let cand = vec![sample_record("c", 50.0), only_cand.clone()];
+        let report = compare(&base, &cand, 0.10);
+        assert!(report.passed());
+        assert_eq!(report.missing, vec![only_base.key()]);
+        assert_eq!(report.new, vec![only_cand.key()]);
+    }
+
+    #[test]
+    fn duplicate_keys_last_record_wins() {
+        let base = vec![sample_record("old", 200.0), sample_record("new", 50.0)];
+        let cand = vec![sample_record("c", 52.0)];
+        let report = compare(&base, &cand, 0.10);
+        assert_eq!(report.comparisons.len(), 1);
+        assert_eq!(report.comparisons[0].baseline_nsps, 50.0);
+        assert!(report.passed());
+    }
+
+    #[test]
+    fn render_mentions_regressions() {
+        let base = vec![sample_record("b", 50.0)];
+        let cand = vec![sample_record("c", 100.0)];
+        let text = compare(&base, &cand, 0.10).render();
+        assert!(text.contains("REGRESSED"), "{text}");
+        assert!(text.contains("1 regression(s)"), "{text}");
+    }
+}

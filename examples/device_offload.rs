@@ -20,17 +20,19 @@ fn main() {
     let n = 50_000;
     let steps = 5;
     let table = SpeciesTable::<f32>::with_standard_species();
-    let wave = pic_fields::DipoleStandingWave::<f32>::new(
-        pic_math::constants::BENCH_POWER,
-        BENCH_OMEGA,
-    );
+    let wave =
+        pic_fields::DipoleStandingWave::<f32>::new(pic_math::constants::BENCH_POWER, BENCH_OMEGA);
     let source = AnalyticalSource::new(&wave);
     let dt = (2.0 * std::f64::consts::PI / BENCH_OMEGA / 100.0) as f32;
     let profile = SweepProfile::new(Scenario::Analytical, Layout::Soa, Precision::F32);
 
     println!("devices visible to the runtime:");
     for d in Device::enumerate() {
-        println!("  - {}{}", d.name(), if d.is_gpu() { " [simulated GPU]" } else { "" });
+        println!(
+            "  - {}{}",
+            d.name(),
+            if d.is_gpu() { " [simulated GPU]" } else { "" }
+        );
     }
     println!();
 
@@ -65,7 +67,11 @@ fn main() {
                 Some(_) => println!(
                     "  step {i}: modeled {:6.2} ns/particle{}",
                     e.ns_per_particle(),
-                    if e.first_launch { "  (first launch: JIT)" } else { "" }
+                    if e.first_launch {
+                        "  (first launch: JIT)"
+                    } else {
+                        ""
+                    }
                 ),
                 None => println!(
                     "  step {i}: measured {:6.2} ns/particle (host wall clock)",
@@ -85,6 +91,8 @@ fn main() {
         }
         println!();
     }
-    println!("every device ran the same kernel on the same data — the portability the paper \
-              demonstrates with DPC++.");
+    println!(
+        "every device ran the same kernel on the same data — the portability the paper \
+              demonstrates with DPC++."
+    );
 }

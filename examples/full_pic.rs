@@ -51,8 +51,8 @@ fn main() {
         dt,
         scheme: CurrentScheme::Esirkepov,
         boundary: pic_sim::ParticleBoundary::Periodic,
-    solver: pic_sim::FieldSolverKind::Fdtd,
-    interp: pic_fields::InterpOrder::Cic,
+        solver: pic_sim::FieldSolverKind::Fdtd,
+        interp: pic_fields::InterpOrder::Cic,
     };
     let mut sim = PicSimulation::new(params, electrons, SpeciesTable::with_standard_species());
 
@@ -82,11 +82,19 @@ fn main() {
     let omega_measured = std::f64::consts::PI / (half_period * dt);
 
     let e_final = sim.energy().total();
-    println!("measured ω   = {omega_measured:.3e} rad/s ({:+.2}% vs theory)",
-             100.0 * (omega_measured - omega_p) / omega_p);
-    println!("energy drift = {:+.2}% over {steps} steps", 100.0 * (e_final - e_initial) / e_initial);
-    println!("field energy = {:.3e} erg, kinetic = {:.3e} erg",
-             sim.energy().field, sim.energy().kinetic);
+    println!(
+        "measured ω   = {omega_measured:.3e} rad/s ({:+.2}% vs theory)",
+        100.0 * (omega_measured - omega_p) / omega_p
+    );
+    println!(
+        "energy drift = {:+.2}% over {steps} steps",
+        100.0 * (e_final - e_initial) / e_initial
+    );
+    println!(
+        "field energy = {:.3e} erg, kinetic = {:.3e} erg",
+        sim.energy().field,
+        sim.energy().kinetic
+    );
 
     // A rough ASCII trace of the oscillation.
     println!("\nmean Ex(t):");

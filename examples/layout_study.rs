@@ -9,8 +9,8 @@
 //! bitwise identical (the proxy abstraction guarantees the same
 //! arithmetic regardless of storage).
 
-use pic_bench::{measure_nsps, BenchConfig};
 use pic_bench::{bench_dt, build_ensemble, dipole_wave};
+use pic_bench::{measure_nsps, BenchConfig};
 use pic_boris::{AnalyticalSource, BorisPusher, PushKernel};
 use pic_particles::{AosEnsemble, Layout, ParticleAccess, SoaEnsemble, SpeciesTable};
 use pic_perfmodel::Scenario;
@@ -31,7 +31,10 @@ fn main() {
         cfg.iterations,
         topo.total_threads()
     );
-    println!("{:<22} {:>10} {:>10}", "configuration", "AoS NSPS", "SoA NSPS");
+    println!(
+        "{:<22} {:>10} {:>10}",
+        "configuration", "AoS NSPS", "SoA NSPS"
+    );
     for scenario in Scenario::all() {
         let aos =
             measure_nsps::<f32>(Layout::Aos, scenario, &cfg, &topo, Schedule::dynamic()).nsps();

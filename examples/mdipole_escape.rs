@@ -35,7 +35,10 @@ fn main() {
     fill_sphere_at_rest(
         &mut electrons,
         n,
-        &SphereDist { center: Vec3::zero(), radius },
+        &SphereDist {
+            center: Vec3::zero(),
+            radius,
+        },
         1.0,
         SpeciesTable::<f64>::ELECTRON,
         &mut StdRng::seed_from_u64(2021),
@@ -72,7 +75,12 @@ fn main() {
     // Final γ spectrum (weighted, 12 bins).
     let spectrum = gamma_spectrum(&electrons, 12, 1.2 * max_gamma(&electrons));
     println!("\nfinal γ spectrum:");
-    let peak = spectrum.counts.iter().cloned().fold(0.0f64, f64::max).max(1.0);
+    let peak = spectrum
+        .counts
+        .iter()
+        .cloned()
+        .fold(0.0f64, f64::max)
+        .max(1.0);
     for (i, &c) in spectrum.counts.iter().enumerate() {
         let bar = "#".repeat((c / peak * 40.0) as usize);
         println!("  γ ≈ {:>6.1}  {:>6.0}  {bar}", spectrum.bin_center(i), c);

@@ -32,7 +32,10 @@ fn main() {
     let beam = GaussianBeam::<f64>::new(peak_field, BENCH_OMEGA, 3.0 * MICRON);
     let pulse = Enveloped {
         carrier: beam,
-        envelope: GaussianEnvelope { center: 40.0e-15, sigma: 8.5e-15 },
+        envelope: GaussianEnvelope {
+            center: 40.0e-15,
+            sigma: 8.5e-15,
+        },
     };
 
     // A counter-propagating 50 MeV electron bunch (γ ≈ 100) heading into
@@ -43,7 +46,7 @@ fn main() {
         &mut bunch,
         n,
         &BoxDist {
-            min: Vec3::new(-1.0 * MICRON, -1.0 * MICRON, 4.0 * MICRON),
+            min: Vec3::new(-MICRON, -MICRON, 4.0 * MICRON),
             max: Vec3::new(1.0 * MICRON, 1.0 * MICRON, 6.0 * MICRON),
         },
         -100.0, // γβ along −z
@@ -82,8 +85,14 @@ fn main() {
 
     let (g_plain, g_rr) = (mean_gamma(&bunch), mean_gamma(&bunch_rr));
     println!("after {steps} steps ({:.0} fs):", steps as f64 * dt * 1e15);
-    println!("  mean γ  without RR: {g_plain:8.2}   max γ: {:.1}", max_gamma(&bunch));
-    println!("  mean γ  with    RR: {g_rr:8.2}   max γ: {:.1}", max_gamma(&bunch_rr));
+    println!(
+        "  mean γ  without RR: {g_plain:8.2}   max γ: {:.1}",
+        max_gamma(&bunch)
+    );
+    println!(
+        "  mean γ  with    RR: {g_rr:8.2}   max γ: {:.1}",
+        max_gamma(&bunch_rr)
+    );
     println!(
         "  radiative energy loss: {:.1}% of the bunch kinetic energy",
         100.0 * (g_plain - g_rr) / (g_plain - 1.0)

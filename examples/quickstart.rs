@@ -39,7 +39,10 @@ fn main() {
 
     println!("electron in B = {b_gauss} G:");
     println!("  cyclotron period  : {:.3e} s", period);
-    println!("  expected gyroradius: {:.3e} cm", p0 * LIGHT_VELOCITY / (ELEMENTARY_CHARGE * b_gauss));
+    println!(
+        "  expected gyroradius: {:.3e} cm",
+        p0 * LIGHT_VELOCITY / (ELEMENTARY_CHARGE * b_gauss)
+    );
 
     let mut max_y: f64 = 0.0;
     for step in 0..steps {
@@ -49,10 +52,14 @@ fn main() {
     }
 
     println!("  orbit diameter     : {:.3e} cm (from max |y|)", max_y);
-    println!("  |p| relative drift : {:.2e}  (Boris preserves |p| exactly)",
-             (p.momentum.norm() - p0).abs() / p0);
-    println!("  closure error      : {:.3e} cm (distance from start after one period)",
-             p.position.norm());
+    println!(
+        "  |p| relative drift : {:.2e}  (Boris preserves |p| exactly)",
+        (p.momentum.norm() - p0).abs() / p0
+    );
+    println!(
+        "  closure error      : {:.3e} cm (distance from start after one period)",
+        p.position.norm()
+    );
 
     assert!((p.momentum.norm() - p0).abs() / p0 < 1e-12);
     println!("done.");

@@ -19,8 +19,13 @@ fn run_on(device: Device, steps: usize) -> (SoaEnsemble<f32>, Vec<Event>) {
     let mut events = Vec::new();
     let mut time = 0.0f32;
     for _ in 0..steps {
-        let shared =
-            SharedPushKernel { source: &source, pusher: BorisPusher, table: &table, dt, time };
+        let shared = SharedPushKernel {
+            source: &source,
+            pusher: BorisPusher,
+            table: &table,
+            dt,
+            time,
+        };
         events.push(queue.submit_sweep(&mut ens, profile, |_| shared.to_kernel()));
         time += dt;
     }

@@ -6,6 +6,10 @@
 //! bitwise), so legitimate reorderings don't break the build while real
 //! regressions do.
 
+// The golden constants are recorded with every digit the reference build
+// printed; keep them verbatim rather than rounding to f64's shortest form.
+#![allow(clippy::excessive_precision)]
+
 use pic_boris::{BorisPusher, Pusher};
 use pic_fields::{DipoleStandingWave, FieldSampler, EB};
 use pic_math::constants::{BENCH_OMEGA, BENCH_POWER, ELECTRON_MASS};

@@ -1,7 +1,10 @@
 //! Property-based integration tests: the layout abstraction and the
 //! pushers under randomized inputs.
 
-use pic_boris::{AnalyticalSource, BorisPusher, HigueraCaryPusher, PushKernel, Pusher, VayPusher};
+use pic_boris::{
+    AnalyticalSource, BorisPusher, HigueraCaryPusher, PushKernel, Pusher, SharedPushKernel,
+    VayPusher,
+};
 use pic_fields::UniformFields;
 use pic_math::constants::{ELECTRON_MASS, LIGHT_VELOCITY};
 use pic_math::Vec3;
@@ -9,22 +12,17 @@ use pic_particles::{
     AosEnsemble, Particle, ParticleAccess, ParticleStore, SoaEnsemble, Species, SpeciesId,
     SpeciesTable,
 };
+use pic_runtime::{parallel_sweep, Schedule, Topology};
 use proptest::prelude::*;
 
 fn arb_vec3(scale: f64) -> impl Strategy<Value = Vec3<f64>> {
-    (
-        -scale..scale,
-        -scale..scale,
-        -scale..scale,
-    )
-        .prop_map(|(x, y, z)| Vec3::new(x, y, z))
+    (-scale..scale, -scale..scale, -scale..scale).prop_map(|(x, y, z)| Vec3::new(x, y, z))
 }
 
 fn arb_particle() -> impl Strategy<Value = Particle<f64>> {
     let mc = ELECTRON_MASS * LIGHT_VELOCITY;
-    (arb_vec3(1e-3), arb_vec3(5.0), 0.1f64..10.0).prop_map(move |(pos, u, w)| {
-        Particle::new(pos, u * mc, w, SpeciesId(0), ELECTRON_MASS)
-    })
+    (arb_vec3(1e-3), arb_vec3(5.0), 0.1f64..10.0)
+        .prop_map(move |(pos, u, w)| Particle::new(pos, u * mc, w, SpeciesId(0), ELECTRON_MASS))
 }
 
 proptest! {
@@ -111,6 +109,114 @@ proptest! {
         if step > 0.0 {
             prop_assert!((pb.momentum - pv.momentum).norm() < 1e-4 * step);
             prop_assert!((pb.momentum - ph.momentum).norm() < 1e-4 * step);
+        }
+    }
+
+    #[test]
+    fn pusher_disagreement_vanishes_at_second_order_in_weak_fields(
+        p in arb_particle(),
+        e in arb_vec3(1e1),
+        b in arb_vec3(1e3),
+    ) {
+        // The three schemes share the O(dt²)-accurate solution and differ
+        // only in the magnetic substep, so their one-step disagreement is
+        // O(dt³): halving dt in the weak-field limit must shrink it ~8×.
+        // Tolerating down to 4× absorbs the subdominant terms.
+        let sp = Species::<f64>::electron();
+        let field = pic_fields::EB::new(e, b);
+        let disagreement = |dt: f64| -> f64 {
+            let mut pb = p;
+            let mut pv = p;
+            let mut ph = p;
+            BorisPusher.push(&mut pb, &field, &sp, dt);
+            VayPusher.push(&mut pv, &field, &sp, dt);
+            HigueraCaryPusher.push(&mut ph, &field, &sp, dt);
+            (pb.momentum - pv.momentum)
+                .norm()
+                .max((pb.momentum - ph.momentum).norm())
+                .max((pv.momentum - ph.momentum).norm())
+        };
+        let coarse = disagreement(2e-13);
+        let fine = disagreement(1e-13);
+        // Only judge the ratio when the coarse disagreement is far enough
+        // above rounding for the cubic term to dominate.
+        let floor = 1e5 * f64::EPSILON * p.momentum.norm().max(ELECTRON_MASS * LIGHT_VELOCITY);
+        if coarse > floor {
+            prop_assert!(
+                fine < coarse / 4.0,
+                "disagreement fell {}x, want >= 4x (coarse {coarse:.3e}, fine {fine:.3e})",
+                coarse / fine
+            );
+        }
+    }
+
+    #[test]
+    fn layouts_stay_bitwise_identical_under_parallel_sweep(
+        particles in prop::collection::vec(arb_particle(), 1..80),
+        e in arb_vec3(1e3),
+        b in arb_vec3(1e5),
+        pusher_idx in 0usize..3,
+        schedule_idx in 0usize..4,
+        steps in 1usize..6,
+    ) {
+        // The same kernel through the threaded sweep must treat AoS and
+        // SoA identically bit for bit, for every pusher and schedule: the
+        // sweep only partitions index ranges, and per-particle updates are
+        // independent, so thread interleaving cannot change results.
+        let table = SpeciesTable::<f64>::with_standard_species();
+        let field = UniformFields::new(e, b);
+        let schedule = [
+            Schedule::StaticChunks,
+            Schedule::dynamic(),
+            Schedule::guided(),
+            Schedule::numa(),
+        ][schedule_idx];
+        let topo = Topology::uniform(2, 2);
+        let dt = 1e-13;
+
+        #[allow(clippy::too_many_arguments)]
+        fn trajectories<A: ParticleAccess<f64> + ParticleStore<f64>>(
+            particles: &[Particle<f64>],
+            field: UniformFields<f64>,
+            table: &SpeciesTable<f64>,
+            pusher_idx: usize,
+            schedule: Schedule,
+            topo: &Topology,
+            dt: f64,
+            steps: usize,
+        ) -> Vec<Particle<f64>> {
+            let mut ens = A::from_particles(particles.iter().copied());
+            let mut time = 0.0;
+            for _ in 0..steps {
+                let source = AnalyticalSource::new(field);
+                macro_rules! sweep {
+                    ($pusher:expr) => {{
+                        let shared = SharedPushKernel {
+                            source: &source,
+                            pusher: $pusher,
+                            table,
+                            dt,
+                            time,
+                        };
+                        parallel_sweep(&mut ens, topo, schedule, |_tid| shared.to_kernel());
+                    }};
+                }
+                match pusher_idx {
+                    0 => sweep!(BorisPusher),
+                    1 => sweep!(VayPusher),
+                    _ => sweep!(HigueraCaryPusher),
+                }
+                time += dt;
+            }
+            ens.to_particles()
+        }
+
+        let aos = trajectories::<AosEnsemble<f64>>(
+            &particles, field, &table, pusher_idx, schedule, &topo, dt, steps);
+        let soa = trajectories::<SoaEnsemble<f64>>(
+            &particles, field, &table, pusher_idx, schedule, &topo, dt, steps);
+        for (i, (a, s)) in aos.iter().zip(&soa).enumerate() {
+            prop_assert_eq!(a, s, "particle {} diverged between layouts", i);
         }
     }
 }

@@ -34,11 +34,23 @@ fn conclusion_numa_pinning_is_the_big_lever() {
     // it.
     let m = CpuModel::endeavour();
     for scenario in Scenario::all() {
-        let plain = m.table2_cell(scenario, Layout::Aos, Precision::F32, Parallelization::Dpcpp);
-        let numa =
-            m.table2_cell(scenario, Layout::Aos, Precision::F32, Parallelization::DpcppNuma);
+        let plain = m.table2_cell(
+            scenario,
+            Layout::Aos,
+            Precision::F32,
+            Parallelization::Dpcpp,
+        );
+        let numa = m.table2_cell(
+            scenario,
+            Layout::Aos,
+            Precision::F32,
+            Parallelization::DpcppNuma,
+        );
         let gain = plain / numa;
-        assert!((1.3..1.8).contains(&gain), "{scenario}: NUMA gain {gain:.2}");
+        assert!(
+            (1.3..1.8).contains(&gain),
+            "{scenario}: NUMA gain {gain:.2}"
+        );
     }
 }
 
@@ -56,7 +68,10 @@ fn conclusion_layout_is_minor_on_cpu_major_on_gpu() {
         Precision::F32,
         Parallelization::DpcppNuma,
     );
-    assert!((0.7..1.5).contains(&cpu_ratio), "CPU AoS/SoA = {cpu_ratio:.2}");
+    assert!(
+        (0.7..1.5).contains(&cpu_ratio),
+        "CPU AoS/SoA = {cpu_ratio:.2}"
+    );
 
     for gpu in GpuModel::paper_devices() {
         let gpu_ratio = gpu.nsps_f32(Scenario::Precalculated, Layout::Aos)
@@ -114,9 +129,19 @@ fn fig1_shapes_from_public_api() {
     // Both end in the same ~60% efficiency region with close absolute
     // performance.
     let omp_abs = m.nsps(
-        Scenario::Precalculated, Layout::Aos, Precision::F32, Parallelization::OpenMp, 48);
+        Scenario::Precalculated,
+        Layout::Aos,
+        Precision::F32,
+        Parallelization::OpenMp,
+        48,
+    );
     let numa_abs = m.nsps(
-        Scenario::Precalculated, Layout::Aos, Precision::F32, Parallelization::DpcppNuma, 48);
+        Scenario::Precalculated,
+        Layout::Aos,
+        Precision::F32,
+        Parallelization::DpcppNuma,
+        48,
+    );
     assert!((numa_abs / omp_abs - 1.0).abs() < 0.15);
 }
 
@@ -148,7 +173,11 @@ fn reproduction_report_is_queryable_and_tight() {
     assert!(omp_p_f32.deviation().abs() < 0.05);
     // Aggregate fidelity matches the headline in EXPERIMENTS.md.
     let f = pic_perfmodel::fidelity(&cells);
-    assert!(f.mean_abs_deviation < 0.10, "mean = {}", f.mean_abs_deviation);
+    assert!(
+        f.mean_abs_deviation < 0.10,
+        "mean = {}",
+        f.mean_abs_deviation
+    );
 }
 
 #[test]
@@ -157,9 +186,19 @@ fn hyperthreading_gain_is_modest_as_the_paper_reports() {
     // Table 2 itself shows no 2x anywhere, so the SMT model must be small.
     let m = CpuModel::endeavour();
     let plain = m.nsps(
-        Scenario::Precalculated, Layout::Aos, Precision::F32, Parallelization::OpenMp, 48);
+        Scenario::Precalculated,
+        Layout::Aos,
+        Precision::F32,
+        Parallelization::OpenMp,
+        48,
+    );
     let smt = m.nsps_smt(
-        Scenario::Precalculated, Layout::Aos, Precision::F32, Parallelization::OpenMp, 48);
+        Scenario::Precalculated,
+        Layout::Aos,
+        Precision::F32,
+        Parallelization::OpenMp,
+        48,
+    );
     let gain = plain / smt;
     assert!((1.02..1.2).contains(&gain), "SMT gain {gain}");
 }

@@ -93,8 +93,12 @@ fn single_and_double_precision_agree_statistically() {
         let table = SpeciesTable::<f32>::with_standard_species();
         let wave = dipole_wave::<f32>();
         let mut ens: AosEnsemble<f32> = build_ensemble(3_000, 1);
-        let mut kernel =
-            PushKernel::new(AnalyticalSource::new(&wave), BorisPusher, &table, dt64 as f32);
+        let mut kernel = PushKernel::new(
+            AnalyticalSource::new(&wave),
+            BorisPusher,
+            &table,
+            dt64 as f32,
+        );
         for _ in 0..steps {
             ens.for_each_mut(&mut kernel);
             kernel.advance_time();
@@ -144,8 +148,8 @@ fn full_pic_loop_remains_neutral_and_stable() {
         dt: 1e-11,
         scheme: CurrentScheme::Esirkepov,
         boundary: pic_sim::ParticleBoundary::Periodic,
-    solver: pic_sim::FieldSolverKind::Fdtd,
-    interp: pic_fields::InterpOrder::Cic,
+        solver: pic_sim::FieldSolverKind::Fdtd,
+        interp: pic_fields::InterpOrder::Cic,
     };
     let mut sim = PicSimulation::new(params, electrons, SpeciesTable::with_standard_species());
     sim.run(200);
@@ -172,7 +176,7 @@ fn pulsed_wave_heats_particles_only_during_passage() {
 
     // Phase 1: long before the pulse — nothing happens.
     let steps_to = |t_end: f64, kernel: &mut _, ens: &mut AosEnsemble<f64>| {
-        let mut k: &mut PushKernel<_, _, _> = kernel;
+        let k: &mut PushKernel<_, _, _> = kernel;
         while k.time() < t_end {
             ens.for_each_mut(k);
             k.advance_time();
@@ -190,7 +194,10 @@ fn pulsed_wave_heats_particles_only_during_passage() {
     // Phase 2: through the pulse.
     steps_to(25.0e-15, &mut kernel, &mut ens);
     let gamma_after = mean_gamma(&ens);
-    assert!(gamma_after > 1.5, "pulse did not heat the ensemble: γ = {gamma_after}");
+    assert!(
+        gamma_after > 1.5,
+        "pulse did not heat the ensemble: γ = {gamma_after}"
+    );
 
     // Phase 3: long after — free streaming, γ essentially frozen.
     steps_to(60.0e-15, &mut kernel, &mut ens);

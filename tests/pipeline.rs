@@ -2,11 +2,9 @@
 //! schedules, exercised together through the public API.
 
 use pic_bench::{bench_dt, build_ensemble, dipole_wave, BenchConfig};
-use pic_boris::{AnalyticalSource, BorisPusher, PushKernel, SharedPushKernel};
+use pic_boris::{AnalyticalSource, BorisPusher, SharedPushKernel};
 use pic_fields::PrecalculatedFields;
-use pic_particles::{
-    AosEnsemble, Layout, ParticleAccess, SoaEnsemble, SpeciesTable,
-};
+use pic_particles::{AosEnsemble, Layout, ParticleAccess, SoaEnsemble, SpeciesTable};
 use pic_perfmodel::Scenario;
 use pic_runtime::{parallel_sweep, Schedule, Topology};
 
@@ -41,7 +39,11 @@ fn every_schedule_produces_the_serial_result() {
         run_steps(&mut ens, &Topology::single(1), Schedule::StaticChunks, 20);
         ens
     };
-    for schedule in [Schedule::StaticChunks, Schedule::dynamic(), Schedule::numa()] {
+    for schedule in [
+        Schedule::StaticChunks,
+        Schedule::dynamic(),
+        Schedule::numa(),
+    ] {
         for topo in [Topology::single(3), Topology::uniform(2, 2)] {
             let mut ens: SoaEnsemble<f64> = build_ensemble(2_000, 10);
             run_steps(&mut ens, &topo, schedule, 20);
@@ -83,15 +85,23 @@ fn precalculated_scenario_uses_global_indices_across_chunks() {
     let run = |topology: &Topology, schedule: Schedule| -> SoaEnsemble<f64> {
         let mut ens: SoaEnsemble<f64> = build_ensemble(1_111, 4);
         let source = pic_boris::PrecalculatedSource::new(&pre);
-        let shared =
-            SharedPushKernel { source: &source, pusher: BorisPusher, table: &table, dt, time: 0.0 };
+        let shared = SharedPushKernel {
+            source: &source,
+            pusher: BorisPusher,
+            table: &table,
+            dt,
+            time: 0.0,
+        };
         parallel_sweep(&mut ens, topology, schedule, |_| shared.to_kernel());
         ens
     };
 
     let serial = run(&Topology::single(1), Schedule::StaticChunks);
     let tiny_grains = run(&Topology::uniform(2, 2), Schedule::Dynamic { grain: 7 });
-    let numa = run(&Topology::uniform(2, 3), Schedule::NumaDomains { grain: 13 });
+    let numa = run(
+        &Topology::uniform(2, 3),
+        Schedule::NumaDomains { grain: 13 },
+    );
     for i in 0..serial.len() {
         assert_eq!(serial.get(i), tiny_grains.get(i), "dynamic particle {i}");
         assert_eq!(serial.get(i), numa.get(i), "numa particle {i}");
@@ -134,15 +144,11 @@ fn bench_harness_matches_direct_execution_cost_metricwise() {
 
 #[test]
 fn sorted_ensemble_produces_same_physics() {
-    use pic_particles::sort::{sort_by_morton, CellGrid};
     use pic_math::Vec3;
+    use pic_particles::sort::{sort_by_morton, CellGrid};
 
     let lambda = pic_math::constants::BENCH_WAVELENGTH;
-    let grid = CellGrid::new(
-        Vec3::splat(-lambda),
-        Vec3::splat(lambda),
-        [16, 16, 16],
-    );
+    let grid = CellGrid::new(Vec3::splat(-lambda), Vec3::splat(lambda), [16, 16, 16]);
     let mut sorted: AosEnsemble<f64> = build_ensemble(2_000, 5);
     sort_by_morton(&mut sorted, &grid);
     let mut unsorted: AosEnsemble<f64> = build_ensemble(2_000, 5);

@@ -1,0 +1,178 @@
+//! Offline stand-in for the `crossbeam` crate (API subset of 0.8).
+//!
+//! Provides the two pieces this workspace uses:
+//!
+//! - [`thread::scope`] / scoped [`thread::Scope::spawn`], implemented on
+//!   top of `std::thread::scope` (std has had scoped threads since 1.63,
+//!   so the upstream crate is pure overhead here);
+//! - [`queue::SegQueue`], an unbounded MPMC queue. Upstream's is
+//!   lock-free; this one is a mutexed `VecDeque`, which is more than
+//!   enough for the sweep's work-stealing pattern (threads pop entire
+//!   particle chunks, so queue traffic is thousands of ops per sweep, not
+//!   millions).
+
+#![warn(missing_docs)]
+
+/// Scoped threads (subset of `crossbeam::thread`).
+pub mod thread {
+    use std::any::Any;
+    use std::marker::PhantomData;
+    use std::panic::{catch_unwind, AssertUnwindSafe};
+
+    /// Result of a scope or of joining a scoped thread.
+    pub type Result<T> = std::result::Result<T, Box<dyn Any + Send + 'static>>;
+
+    /// A scope handle; passed to the closure of [`scope`] and to every
+    /// spawned thread's closure (which this workspace ignores as `|_|`).
+    pub struct Scope<'scope, 'env: 'scope> {
+        inner: &'scope std::thread::Scope<'scope, 'env>,
+    }
+
+    /// Handle to a scoped thread.
+    pub struct ScopedJoinHandle<'scope, T> {
+        inner: std::thread::ScopedJoinHandle<'scope, T>,
+        _marker: PhantomData<&'scope ()>,
+    }
+
+    impl<'scope, T> ScopedJoinHandle<'scope, T> {
+        /// Waits for the thread to finish; `Err` if it panicked.
+        pub fn join(self) -> Result<T> {
+            self.inner.join()
+        }
+    }
+
+    impl<'scope, 'env> Scope<'scope, 'env> {
+        /// Spawns a scoped thread. The closure receives a scope reference
+        /// for nested spawning; as in crossbeam, it may borrow from the
+        /// enclosing environment.
+        pub fn spawn<F, T>(&self, f: F) -> ScopedJoinHandle<'scope, T>
+        where
+            F: FnOnce(&Scope<'scope, 'env>) -> T + Send + 'scope,
+            T: Send + 'scope,
+        {
+            let inner_scope = self.inner;
+            let handle = inner_scope.spawn(move || f(&Scope { inner: inner_scope }));
+            ScopedJoinHandle {
+                inner: handle,
+                _marker: PhantomData,
+            }
+        }
+    }
+
+    /// Creates a scope for spawning threads that may borrow local
+    /// variables. Returns `Err` when the scope closure itself panics
+    /// (matching crossbeam; unjoined panicked children also surface here).
+    pub fn scope<'env, F, R>(f: F) -> Result<R>
+    where
+        F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+    {
+        catch_unwind(AssertUnwindSafe(|| {
+            std::thread::scope(|s| f(&Scope { inner: s }))
+        }))
+    }
+}
+
+/// Concurrent queues (subset of `crossbeam::queue`).
+pub mod queue {
+    use std::collections::VecDeque;
+    use std::sync::Mutex;
+
+    /// An unbounded MPMC FIFO queue.
+    pub struct SegQueue<T> {
+        inner: Mutex<VecDeque<T>>,
+    }
+
+    impl<T> SegQueue<T> {
+        /// Creates an empty queue.
+        pub fn new() -> SegQueue<T> {
+            SegQueue {
+                inner: Mutex::new(VecDeque::new()),
+            }
+        }
+
+        /// Appends an element at the back.
+        pub fn push(&self, value: T) {
+            self.inner
+                .lock()
+                .expect("SegQueue poisoned")
+                .push_back(value);
+        }
+
+        /// Removes the front element, or `None` when empty.
+        pub fn pop(&self) -> Option<T> {
+            self.inner.lock().expect("SegQueue poisoned").pop_front()
+        }
+
+        /// Number of queued elements.
+        pub fn len(&self) -> usize {
+            self.inner.lock().expect("SegQueue poisoned").len()
+        }
+
+        /// Whether the queue is empty.
+        pub fn is_empty(&self) -> bool {
+            self.len() == 0
+        }
+    }
+
+    impl<T> Default for SegQueue<T> {
+        fn default() -> SegQueue<T> {
+            SegQueue::new()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::queue::SegQueue;
+
+    #[test]
+    fn queue_is_fifo() {
+        let q = SegQueue::new();
+        q.push(1);
+        q.push(2);
+        assert_eq!(q.len(), 2);
+        assert_eq!(q.pop(), Some(1));
+        assert_eq!(q.pop(), Some(2));
+        assert_eq!(q.pop(), None);
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn scope_spawns_and_joins_borrowing_threads() {
+        let data = [1u64, 2, 3, 4];
+        let total: u64 = super::thread::scope(|s| {
+            let handles: Vec<_> = data
+                .chunks(2)
+                .map(|c| s.spawn(move |_| c.iter().sum::<u64>()))
+                .collect();
+            handles.into_iter().map(|h| h.join().expect("join")).sum()
+        })
+        .expect("scope");
+        assert_eq!(total, 10);
+    }
+
+    #[test]
+    fn queue_drains_concurrently() {
+        let q = SegQueue::new();
+        for i in 0..1000 {
+            q.push(i);
+        }
+        let seen: usize = super::thread::scope(|s| {
+            let handles: Vec<_> = (0..4)
+                .map(|_| {
+                    let q = &q;
+                    s.spawn(move |_| {
+                        let mut n = 0;
+                        while q.pop().is_some() {
+                            n += 1;
+                        }
+                        n
+                    })
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().expect("join")).sum()
+        })
+        .expect("scope");
+        assert_eq!(seen, 1000);
+    }
+}
