@@ -25,6 +25,7 @@
 //! host, clearly labeled. The model regenerates the paper's *shape*; the
 //! measurements ground the functional code. See DESIGN.md §2.
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod emit;

@@ -1,0 +1,51 @@
+//! Workspace invariant linter. Run from anywhere inside the repo:
+//!
+//! ```text
+//! cargo run -p pic-check --bin pic-lint
+//! ```
+//!
+//! Scans every `.rs` file, prints one line per finding, and exits
+//! non-zero when anything fires. See `pic_check` (crates/check/src/lib.rs)
+//! for the rule table, allowlists, and the justification-comment syntax.
+
+use std::path::Path;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    // Resolve the workspace root: explicit argument, else walk up from
+    // this crate's manifest (works under `cargo run`), else from cwd.
+    let arg = std::env::args().nth(1);
+    let root = match &arg {
+        Some(p) => Some(Path::new(p).to_path_buf()),
+        None => {
+            let start = Path::new(env!("CARGO_MANIFEST_DIR")).to_path_buf();
+            pic_check::find_workspace_root(&start).or_else(|| {
+                std::env::current_dir()
+                    .ok()
+                    .and_then(|d| pic_check::find_workspace_root(&d))
+            })
+        }
+    };
+    let Some(root) = root else {
+        eprintln!("pic-lint: could not locate the workspace root (pass it as an argument)");
+        return ExitCode::from(2);
+    };
+
+    let diags = match pic_check::lint_workspace(&root) {
+        Ok(d) => d,
+        Err(e) => {
+            eprintln!("pic-lint: failed to scan {}: {e}", root.display());
+            return ExitCode::from(2);
+        }
+    };
+
+    if diags.is_empty() {
+        println!("pic-lint: workspace clean");
+        return ExitCode::SUCCESS;
+    }
+    for d in &diags {
+        println!("{d}");
+    }
+    println!("pic-lint: {} finding(s)", diags.len());
+    ExitCode::FAILURE
+}

@@ -1,0 +1,55 @@
+//! Deliberately broken telemetry protocol, used as a self-check that
+//! the interleave model checker actually catches races.
+//!
+//! The telemetry `Registry` contract is *drain after join*: worker
+//! threads `record_chunk` into relaxed atomics, the coordinator joins
+//! them, and only then reads `totals()` (the join provides the
+//! happens-before edge). This binary drains *before* joining — the
+//! classic bug the contract exists to prevent — and asserts the stale
+//! total is still exact, which some interleaving must falsify.
+//!
+//! Built with `RUSTFLAGS="--cfg interleave"`, the checker explores
+//! schedules until one produces a stale read, the assertion fails, and
+//! the process exits non-zero. CI runs this and **requires failure**;
+//! if this binary ever exits 0 the checker has gone blind.
+
+#[cfg(interleave)]
+fn main() {
+    use pic_telemetry::Registry;
+    use std::sync::Arc;
+
+    interleave::model(|| {
+        let reg = Arc::new(Registry::new(2));
+        let handles: Vec<_> = (0..2)
+            .map(|tid| {
+                let reg = Arc::clone(&reg);
+                interleave::thread::spawn(move || {
+                    reg.handle(tid).record_chunk(5);
+                })
+            })
+            .collect();
+
+        // BUG: totals are read before join — no happens-before edge
+        // with the workers' record_chunk stores.
+        let particles = reg.grand_totals().particles;
+        assert_eq!(particles, 10, "drain-before-join read a stale total");
+
+        for h in handles {
+            h.join();
+        }
+    });
+
+    // Reaching here means no interleaving falsified the assertion —
+    // the checker failed its self-check.
+    println!("seeded-race: BUG NOT CAUGHT — model checker is blind");
+}
+
+#[cfg(not(interleave))]
+fn main() {
+    eprintln!(
+        "seeded-race is a model-checker self-check; rebuild with \
+         RUSTFLAGS=\"--cfg interleave\" to run it (expected outcome: \
+         panic + non-zero exit)"
+    );
+    std::process::exit(2);
+}

@@ -1,0 +1,421 @@
+//! `pic-check`: static analysis and concurrency verification for the
+//! Boris-pusher workspace.
+//!
+//! Two halves:
+//!
+//! 1. **`pic-lint`** (this library + `src/bin/pic_lint.rs`): a
+//!    lexer-level source scanner — no `syn`, offline-safe — enforcing
+//!    repo invariants that protect the paper reproduction:
+//!
+//!    | rule | protects |
+//!    |------|----------|
+//!    | `precision-pollution` | no `f64`/`f32` tokens, casts, or literal suffixes inside `Real`-generic code — an `f64` literal in a generic kernel silently turns the float rows of Table 2 into double precision |
+//!    | `ordering-justification` | every `Ordering::SeqCst`/`Ordering::Relaxed` carries an adjacent `// ordering:` comment arguing why it is sound |
+//!    | `unsafe-outside-allowlist` | `unsafe` appears only in the audited lock-free queue (`vendor/crossbeam/src/queue.rs`) |
+//!    | `forbid-unsafe-attr` | every other crate keeps `#![forbid(unsafe_code)]` in its `lib.rs` |
+//!    | `instant-outside-telemetry` | wall-clock reads (`std::time::Instant`) stay inside the measuring layers (`pic-telemetry`, `pic-bench`) plus two audited call sites |
+//!    | `unwrap-in-lib` | no `.unwrap()` / `.expect("…")` in library code outside tests |
+//!
+//!    A finding can be suppressed at a specific line by an adjacent
+//!    justification comment: `// lint: allow(<rule>): <reason>` on the
+//!    same line or within the three preceding lines. The `unsafe` and
+//!    `forbid` rules only honor the central allowlists in this file —
+//!    widening the unsafe surface must be a reviewed change here, not a
+//!    drive-by comment.
+//!
+//! 2. **The interleave suites** (`tests/interleave_*.rs`, built with
+//!    `RUSTFLAGS="--cfg interleave"`): exhaustive model checking of the
+//!    telemetry `Registry` drain-after-join protocol and the lock-free
+//!    `SegQueue` push/pop linearizability, including a seeded
+//!    drain-*before*-join bug that the checker must catch (see
+//!    `src/bin/seeded_race.rs` and the CI self-check).
+
+#![forbid(unsafe_code)]
+
+pub mod scan;
+
+use scan::{scan, word_hits, Scanned};
+use std::fmt;
+use std::path::{Path, PathBuf};
+
+/// How many preceding lines a justification comment may sit above its
+/// use site and still count as "adjacent".
+const ADJACENT_LINES: usize = 3;
+
+/// Files allowed to contain `unsafe` (and whose crates are exempt from
+/// the `forbid-unsafe-attr` rule). Everything here must explain every
+/// block with a `// SAFETY:` comment (the clippy
+/// `undocumented_unsafe_blocks` lint enforces that layer).
+const UNSAFE_ALLOW: &[(&str, &str)] = &[(
+    "vendor/crossbeam/src/queue.rs",
+    "lock-free segmented queue: slot ownership mediated by atomics, model-checked under interleave",
+)];
+
+/// Crates whose `src/lib.rs` may omit `#![forbid(unsafe_code)]`.
+const FORBID_ATTR_EXEMPT: &[&str] = &["vendor/crossbeam"];
+
+/// Files allowed to use `std::time::Instant` besides the measuring
+/// crates (`crates/telemetry`, `crates/bench`), each with the reason.
+const INSTANT_ALLOW: &[(&str, &str)] = &[
+    (
+        "crates/runtime/src/sweep.rs",
+        "per-chunk kernel timing, compiled only under the `telemetry` feature",
+    ),
+    (
+        "crates/device/src/queue.rs",
+        "host-side wall time feeding the modeled-GPU event timeline",
+    ),
+];
+
+/// Directory prefixes where `precision-pollution` applies: the kernel
+/// layers the paper benchmarks (pusher math and particle storage).
+/// Setup, field-table sampling, and diagnostics code elsewhere converts
+/// at the f64 boundary by design.
+const PRECISION_SCOPE: &[&str] = &["crates/core/src/", "crates/particles/src/"];
+
+/// One lint finding.
+#[derive(Clone, Debug, Eq, PartialEq)]
+pub struct Diagnostic {
+    /// Workspace-relative path with forward slashes.
+    pub path: String,
+    /// 1-based line number.
+    pub line: usize,
+    /// Stable rule name (usable in `// lint: allow(<rule>): …`).
+    pub rule: &'static str,
+    /// Human-readable explanation.
+    pub message: String,
+}
+
+impl fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}:{}: [{}] {}",
+            self.path, self.line, self.rule, self.message
+        )
+    }
+}
+
+/// True for paths whose whole content is test/bench/example code.
+fn is_test_path(path: &str) -> bool {
+    path.split('/')
+        .any(|seg| seg == "tests" || seg == "benches" || seg == "examples")
+}
+
+/// True for library source files of workspace member crates (the
+/// domain of the `unwrap-in-lib` rule).
+fn is_lib_source(path: &str) -> bool {
+    path.starts_with("crates/") && path.contains("/src/") && !is_test_path(path)
+}
+
+fn allowlisted(list: &[(&str, &str)], path: &str) -> bool {
+    list.iter().any(|(p, _)| *p == path)
+}
+
+/// Line spans (0-based, inclusive) of `#[cfg(test)]` / `#[test]` items,
+/// found by brace matching on blanked code.
+fn test_regions(s: &Scanned) -> Vec<(usize, usize)> {
+    let mut out = Vec::new();
+    for (i, line) in s.code.iter().enumerate() {
+        if line.contains("#[cfg(test)]") || line.contains("#[test]") {
+            if let Some(span) = brace_region(s, i) {
+                out.push(span);
+            }
+        }
+    }
+    out
+}
+
+fn in_regions(regions: &[(usize, usize)], line: usize) -> bool {
+    regions.iter().any(|&(a, b)| line >= a && line <= b)
+}
+
+/// From `start_line`, finds the first `{` and returns the line span up
+/// to its matching `}`.
+fn brace_region(s: &Scanned, start_line: usize) -> Option<(usize, usize)> {
+    let mut depth = 0i32;
+    let mut opened = false;
+    for (li, line) in s.code.iter().enumerate().skip(start_line) {
+        for c in line.chars() {
+            match c {
+                '{' => {
+                    depth += 1;
+                    opened = true;
+                }
+                '}' => depth -= 1,
+                _ => {}
+            }
+            if opened && depth == 0 {
+                return Some((start_line, li));
+            }
+        }
+    }
+    None
+}
+
+/// Line spans of code generic over the `Real` trait: bodies of `fn` or
+/// `impl` items whose header (up to the opening `{`) names `Real`.
+fn real_generic_regions(s: &Scanned) -> Vec<(usize, usize)> {
+    let mut out = Vec::new();
+    for (i, line) in s.code.iter().enumerate() {
+        let has_item =
+            !word_hits(line, "fn", false).is_empty() || !word_hits(line, "impl", false).is_empty();
+        if !has_item {
+            continue;
+        }
+        // Header: from this line to the line with the first `{`
+        // (capped; headers in this workspace are short).
+        let mut header = String::new();
+        let mut body_start = None;
+        for (j, hline) in s.code.iter().enumerate().skip(i).take(30) {
+            match hline.find('{') {
+                Some(pos) => {
+                    header.push_str(&hline[..pos]);
+                    body_start = Some(j);
+                    break;
+                }
+                None => {
+                    header.push_str(hline);
+                    header.push(' ');
+                }
+            }
+        }
+        let (Some(start), false) = (body_start, word_hits(&header, "Real", false).is_empty())
+        else {
+            continue;
+        };
+        if let Some(span) = brace_region(s, start) {
+            out.push(span);
+        }
+    }
+    out
+}
+
+/// Classifies an `f64`/`f32` word hit at byte offset `at`: true when it
+/// is an `as` cast target or a numeric literal suffix (`1.0f64`,
+/// `2_f32`) — the forms that force a concrete float width.
+fn is_cast_or_suffix(line: &str, at: usize) -> bool {
+    let before = &line[..at];
+    // Literal suffix: digit, `.`, or digit + `_` immediately before.
+    let mut rev = before.chars().rev();
+    match rev.next() {
+        Some(c) if c.is_ascii_digit() || c == '.' => return true,
+        Some('_') if rev.next().is_some_and(|c| c.is_ascii_digit()) => return true,
+        _ => {}
+    }
+    // Cast: the previous token is the keyword `as`.
+    let trimmed = before.trim_end();
+    trimmed.ends_with("as")
+        && !trimmed
+            .chars()
+            .rev()
+            .nth(2)
+            .is_some_and(|c| c.is_alphanumeric() || c == '_')
+}
+
+/// Does a `// lint: allow(<rule>): …` comment justify `line`?
+fn justified(s: &Scanned, line: usize, rule: &str) -> bool {
+    s.comment_near(line, ADJACENT_LINES, &format!("lint: allow({rule})"))
+}
+
+/// Lints one source file. `path` must be workspace-relative with
+/// forward slashes — it decides which rules apply.
+pub fn lint_source(path: &str, text: &str) -> Vec<Diagnostic> {
+    let s = scan(text);
+    let mut out = Vec::new();
+    let tests = test_regions(&s);
+    let diag = |line: usize, rule: &'static str, message: String| Diagnostic {
+        path: path.to_string(),
+        line: line + 1,
+        rule,
+        message,
+    };
+
+    // unsafe-outside-allowlist — applies everywhere, no inline escape.
+    if !allowlisted(UNSAFE_ALLOW, path) {
+        for (i, line) in s.code.iter().enumerate() {
+            if !word_hits(line, "unsafe", false).is_empty() {
+                out.push(diag(
+                    i,
+                    "unsafe-outside-allowlist",
+                    "`unsafe` outside the audited allowlist (see UNSAFE_ALLOW in \
+                     crates/check/src/lib.rs); lock-free code belongs in the \
+                     vendored queue, everything else stays safe Rust"
+                        .to_string(),
+                ));
+            }
+        }
+    }
+
+    // forbid-unsafe-attr — crate roots must pin #![forbid(unsafe_code)].
+    if let Some(krate) = path
+        .strip_suffix("/src/lib.rs")
+        .filter(|k| !FORBID_ATTR_EXEMPT.contains(k))
+    {
+        let has = s.code.iter().any(|l| l.contains("#![forbid(unsafe_code)]"));
+        if !has {
+            out.push(diag(
+                0,
+                "forbid-unsafe-attr",
+                format!(
+                    "crate `{krate}` has no `#![forbid(unsafe_code)]`; add it (or add the \
+                     crate to FORBID_ATTR_EXEMPT in crates/check/src/lib.rs with a reason)"
+                ),
+            ));
+        }
+    }
+
+    // ordering-justification — production code only.
+    if !is_test_path(path) {
+        for (i, line) in s.code.iter().enumerate() {
+            if in_regions(&tests, i) {
+                continue;
+            }
+            for variant in ["Ordering::Relaxed", "Ordering::SeqCst"] {
+                if line.contains(variant)
+                    && !s.comment_near(i, ADJACENT_LINES, "ordering:")
+                    && !justified(&s, i, "ordering-justification")
+                {
+                    out.push(diag(
+                        i,
+                        "ordering-justification",
+                        format!(
+                            "{variant} without an adjacent `// ordering:` comment arguing \
+                             why this ordering is sound"
+                        ),
+                    ));
+                }
+            }
+        }
+    }
+
+    // precision-pollution — Real-generic kernel bodies must stay
+    // generic: no `… as f64` casts, no `1.0f64` literal suffixes.
+    // Plain type mentions (`Vec3<f64>`, `from_f64(x: f64)`) are
+    // boundary conversions the Real design intends and are not flagged.
+    if PRECISION_SCOPE.iter().any(|p| path.starts_with(p)) {
+        let regions = real_generic_regions(&s);
+        for (i, line) in s.code.iter().enumerate() {
+            if !in_regions(&regions, i) || justified(&s, i, "precision-pollution") {
+                continue;
+            }
+            for ty in ["f64", "f32"] {
+                if word_hits(line, ty, true)
+                    .into_iter()
+                    .any(|at| is_cast_or_suffix(line, at))
+                {
+                    out.push(diag(
+                        i,
+                        "precision-pollution",
+                        format!(
+                            "`as {ty}` cast or `{ty}` literal suffix inside Real-generic \
+                             code forces a concrete width and corrupts the float-vs-double \
+                             comparison (paper Table 2); use the Real trait's conversions \
+                             instead"
+                        ),
+                    ));
+                }
+            }
+        }
+    }
+
+    // instant-outside-telemetry.
+    let instant_scope = (path.starts_with("crates/") || path.starts_with("src/"))
+        && !path.starts_with("crates/telemetry/")
+        && !path.starts_with("crates/bench/")
+        && !allowlisted(INSTANT_ALLOW, path);
+    if instant_scope {
+        for (i, line) in s.code.iter().enumerate() {
+            if !word_hits(line, "Instant", false).is_empty()
+                && !justified(&s, i, "instant-outside-telemetry")
+            {
+                out.push(diag(
+                    i,
+                    "instant-outside-telemetry",
+                    "wall-clock timing belongs to pic-telemetry / pic-bench (or an \
+                     INSTANT_ALLOW entry in crates/check/src/lib.rs); scattered timers \
+                     skew the NSPS measurements the paper tables depend on"
+                        .to_string(),
+                ));
+            }
+        }
+    }
+
+    // unwrap-in-lib.
+    if is_lib_source(path) {
+        for (i, line) in s.code.iter().enumerate() {
+            if in_regions(&tests, i) || justified(&s, i, "unwrap-in-lib") {
+                continue;
+            }
+            for needle in [".unwrap()", ".expect(\""] {
+                if line.contains(needle) {
+                    out.push(diag(
+                        i,
+                        "unwrap-in-lib",
+                        format!(
+                            "`{needle}…` in library code; return an error, propagate the \
+                             panic payload, or justify with `// lint: allow(unwrap-in-lib): …`"
+                        ),
+                    ));
+                }
+            }
+        }
+    }
+
+    out
+}
+
+/// Recursively collects workspace `.rs` files (skipping `target/` and
+/// dot-directories), sorted for deterministic output.
+pub fn workspace_sources(root: &Path) -> std::io::Result<Vec<PathBuf>> {
+    let mut out = Vec::new();
+    let mut stack = vec![root.to_path_buf()];
+    while let Some(dir) = stack.pop() {
+        for entry in std::fs::read_dir(&dir)? {
+            let entry = entry?;
+            let path = entry.path();
+            let name = entry.file_name();
+            let name = name.to_string_lossy().into_owned();
+            if path.is_dir() {
+                if name != "target" && !name.starts_with('.') {
+                    stack.push(path);
+                }
+            } else if name.ends_with(".rs") {
+                out.push(path);
+            }
+        }
+    }
+    out.sort();
+    Ok(out)
+}
+
+/// Lints every source file under `root`; diagnostics carry
+/// workspace-relative paths.
+pub fn lint_workspace(root: &Path) -> std::io::Result<Vec<Diagnostic>> {
+    let mut out = Vec::new();
+    for path in workspace_sources(root)? {
+        let rel = path
+            .strip_prefix(root)
+            .unwrap_or(&path)
+            .to_string_lossy()
+            .replace('\\', "/");
+        let text = std::fs::read_to_string(&path)?;
+        out.extend(lint_source(&rel, &text));
+    }
+    Ok(out)
+}
+
+/// Locates the workspace root: walks up from `start` to the first
+/// directory whose `Cargo.toml` declares `[workspace]`.
+pub fn find_workspace_root(start: &Path) -> Option<PathBuf> {
+    let mut dir = Some(start.to_path_buf());
+    while let Some(d) = dir {
+        if std::fs::read_to_string(d.join("Cargo.toml"))
+            .is_ok_and(|text| text.contains("[workspace]"))
+        {
+            return Some(d);
+        }
+        dir = d.parent().map(Path::to_path_buf);
+    }
+    None
+}

@@ -1,0 +1,146 @@
+//! Exhaustive model checking of the lock-free `SegQueue` protocol
+//! (`vendor/crossbeam/src/queue.rs`).
+//!
+//! Build with `RUSTFLAGS="--cfg interleave"`. Every instrumented atomic
+//! in push/pop becomes a scheduling decision point, and the checker
+//! runs the closures below under **every** thread interleaving, so
+//! these tests are linearizability proofs over the explored state
+//! space, not probabilistic stress tests.
+#![cfg(interleave)]
+
+use crossbeam::queue::SegQueue;
+use std::sync::Arc;
+
+/// Pop with bounded retry: under the model, a reserved-but-unwritten
+/// slot makes `pop` back off internally, and yielding lets the pusher
+/// finish. A `None` here means genuinely empty at linearization time.
+fn pop_until_some(q: &SegQueue<usize>) -> usize {
+    loop {
+        if let Some(v) = q.pop() {
+            return v;
+        }
+        interleave::thread::yield_now();
+    }
+}
+
+#[test]
+fn concurrent_pushes_neither_lose_nor_duplicate() {
+    let explored = interleave::model_counted(|| {
+        let q = Arc::new(SegQueue::new());
+        let handles: Vec<_> = (0..2)
+            .map(|tid| {
+                let q = Arc::clone(&q);
+                interleave::thread::spawn(move || {
+                    q.push(10 * tid + 1);
+                    q.push(10 * tid + 2);
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join();
+        }
+        // Drain on the joining thread: exactly the sweep's handoff.
+        let mut got = Vec::new();
+        while let Some(v) = q.pop() {
+            got.push(v);
+        }
+        got.sort_unstable();
+        assert_eq!(got, vec![1, 2, 11, 12], "lost or duplicated push");
+        assert!(q.pop().is_none());
+    });
+    assert!(
+        explored > 1,
+        "expected multiple interleavings, got {explored}"
+    );
+}
+
+#[test]
+fn per_producer_fifo_is_preserved() {
+    interleave::model(|| {
+        let q = Arc::new(SegQueue::new());
+        let handles: Vec<_> = (0..2)
+            .map(|tid| {
+                let q = Arc::clone(&q);
+                interleave::thread::spawn(move || {
+                    q.push(10 * tid + 1);
+                    q.push(10 * tid + 2);
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join();
+        }
+        let mut got = Vec::new();
+        while let Some(v) = q.pop() {
+            got.push(v);
+        }
+        // Whatever the global order, each producer's elements appear in
+        // its program order.
+        for tid in 0..2 {
+            let mine: Vec<_> = got.iter().filter(|v| **v / 10 == tid).collect();
+            assert_eq!(mine, vec![&(10 * tid + 1), &(10 * tid + 2)]);
+        }
+    });
+}
+
+#[test]
+fn concurrent_poppers_partition_the_elements() {
+    interleave::model(|| {
+        let q = Arc::new(SegQueue::new());
+        q.push(1usize);
+        q.push(2);
+        let handles: Vec<_> = (0..2)
+            .map(|_| {
+                let q = Arc::clone(&q);
+                interleave::thread::spawn(move || pop_until_some(&q))
+            })
+            .collect();
+        let mut got: Vec<usize> = handles.into_iter().map(|h| h.join()).collect();
+        got.sort_unstable();
+        // Each popper got exactly one element; nothing lost, nothing
+        // handed out twice.
+        assert_eq!(got, vec![1, 2]);
+        assert!(q.pop().is_none());
+    });
+}
+
+#[test]
+fn concurrent_push_and_pop_hand_off_every_element() {
+    interleave::model(|| {
+        let q = Arc::new(SegQueue::new());
+        let producer = {
+            let q = Arc::clone(&q);
+            interleave::thread::spawn(move || {
+                q.push(7usize);
+                q.push(8);
+            })
+        };
+        let consumer = {
+            let q = Arc::clone(&q);
+            interleave::thread::spawn(move || {
+                let a = pop_until_some(&q);
+                let b = pop_until_some(&q);
+                (a, b)
+            })
+        };
+        producer.join();
+        let (a, b) = consumer.join();
+        // Single producer + single consumer: strict FIFO.
+        assert_eq!((a, b), (7, 8));
+        assert!(q.pop().is_none());
+    });
+}
+
+#[test]
+fn pop_on_empty_is_none_in_every_schedule() {
+    interleave::model(|| {
+        let q = Arc::new(SegQueue::<usize>::new());
+        let t = {
+            let q = Arc::clone(&q);
+            interleave::thread::spawn(move || q.pop())
+        };
+        assert!(t.join().is_none());
+        q.push(3);
+        assert_eq!(q.pop(), Some(3));
+    });
+}

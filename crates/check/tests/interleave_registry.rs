@@ -1,0 +1,117 @@
+//! Exhaustive model checking of the telemetry `Registry` protocol.
+//!
+//! Build with `RUSTFLAGS="--cfg interleave"`; without it this file is
+//! empty (the instrumented atomics only exist in that configuration).
+//!
+//! Verified claims (crates/telemetry/src/registry.rs module docs):
+//! relaxed per-slot counters are exact when drained *after* joining the
+//! workers, for **every** interleaving; and the converse — draining
+//! before join — is observably racy, i.e. the checker finds the bad
+//! schedule (the same seeded bug CI runs via the `seeded-race` binary).
+#![cfg(interleave)]
+
+use pic_telemetry::Registry;
+use std::sync::Arc;
+
+#[test]
+fn concurrent_record_chunk_totals_exact_after_join() {
+    let explored = interleave::model_counted(|| {
+        let reg = Arc::new(Registry::new(2));
+        let handles: Vec<_> = (0..2)
+            .map(|tid| {
+                let reg = Arc::clone(&reg);
+                interleave::thread::spawn(move || {
+                    reg.handle(tid).record_chunk(3);
+                    reg.handle(tid).record_chunk(4);
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join();
+        }
+        // Drain AFTER join: totals must be exact in every schedule.
+        let g = reg.grand_totals();
+        assert_eq!(g.particles, 14);
+        assert_eq!(g.chunks, 4);
+        let per_thread = reg.totals();
+        assert!(per_thread.iter().all(|t| t.particles == 7 && t.chunks == 2));
+    });
+    assert!(
+        explored > 1,
+        "expected multiple interleavings, got {explored}"
+    );
+}
+
+#[test]
+fn concurrent_add_and_busy_time_totals_exact_after_join() {
+    interleave::model(|| {
+        let reg = Arc::new(Registry::new(2));
+        let handles: Vec<_> = (0..2)
+            .map(|tid| {
+                let reg = Arc::clone(&reg);
+                interleave::thread::spawn(move || {
+                    let h = reg.handle(tid);
+                    h.add(1, 10, 100);
+                    h.add_busy_ns(5);
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join();
+        }
+        let g = reg.grand_totals();
+        assert_eq!((g.chunks, g.particles, g.busy_ns), (2, 20, 210));
+    });
+}
+
+#[test]
+fn drain_before_join_is_caught() {
+    // The deliberately broken protocol: read totals while workers may
+    // still be recording. Some interleaving must observe a stale total,
+    // so the model as a whole must fail.
+    let result = std::panic::catch_unwind(|| {
+        interleave::model(|| {
+            let reg = Arc::new(Registry::new(2));
+            let handles: Vec<_> = (0..2)
+                .map(|tid| {
+                    let reg = Arc::clone(&reg);
+                    interleave::thread::spawn(move || {
+                        reg.handle(tid).record_chunk(5);
+                    })
+                })
+                .collect();
+            let stale = reg.grand_totals().particles;
+            for h in handles {
+                h.join();
+            }
+            assert_eq!(stale, 10, "drain-before-join must be observably racy");
+        });
+    });
+    assert!(
+        result.is_err(),
+        "model checker failed to catch the drain-before-join race"
+    );
+}
+
+#[test]
+fn reset_between_sweeps_is_race_free() {
+    interleave::model(|| {
+        let reg = Arc::new(Registry::new(1));
+        let worker = {
+            let reg = Arc::clone(&reg);
+            interleave::thread::spawn(move || {
+                reg.handle(0).record_chunk(2);
+            })
+        };
+        worker.join();
+        reg.reset();
+        let worker2 = {
+            let reg = Arc::clone(&reg);
+            interleave::thread::spawn(move || {
+                reg.handle(0).record_chunk(9);
+            })
+        };
+        worker2.join();
+        assert_eq!(reg.grand_totals().particles, 9);
+    });
+}

@@ -37,6 +37,7 @@
 //! assert!(p.gamma > 1.0);
 //! ```
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod batch;

@@ -88,6 +88,8 @@ impl TaskTimeline {
             .iter()
             .copied()
             .enumerate()
+            // lint: allow(unwrap-in-lib): modeled times are finite by
+            // construction and slot_free is sized > 0 in new().
             .min_by(|a, b| a.1.partial_cmp(&b.1).expect("finite times"))
             .expect("slots > 0");
         let start = ready.max(free_at);

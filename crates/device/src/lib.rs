@@ -18,6 +18,7 @@
 //! * [`Queue`] — kernel submission with profiling [`Event`]s, including
 //!   the first-launch JIT penalty the paper measures (§5.3).
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod buffer;

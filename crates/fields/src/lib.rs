@@ -13,6 +13,7 @@
 //! For the full PIC substrate the crate also provides grid-based field
 //! storage with CIC/TSC interpolation ([`grid`]).
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod dipole;

@@ -153,6 +153,8 @@ impl<R: Real> CellEnsemble<R> {
     pub fn occupancy(&self) -> (usize, f64, usize) {
         let min = self.cells.iter().map(Vec::len).min().unwrap_or(0);
         let max = self.cells.iter().map(Vec::len).max().unwrap_or(0);
+        // lint: allow(precision-pollution): occupancy statistic over
+        // integer counts, outside the Real-typed kernel math.
         let mean = self.len() as f64 / self.cell_count() as f64;
         (min, mean, max)
     }

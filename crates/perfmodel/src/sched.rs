@@ -149,11 +149,15 @@ impl SchedSim {
                 impl Ord for T {
                     fn cmp(&self, o: &T) -> std::cmp::Ordering {
                         // Reversed: smallest finish time pops first.
+                        // lint: allow(unwrap-in-lib): grain times are
+                        // finite model outputs; NaN cannot enter the heap.
                         o.0.partial_cmp(&self.0).expect("finite times")
                     }
                 }
                 let mut heap: BinaryHeap<T> = (0..self.threads).map(|_| T(0.0)).collect();
                 for &b in bounds {
+                    // lint: allow(unwrap-in-lib): heap was seeded with one
+                    // entry per thread and threads is validated non-zero.
                     let T(free_at) = heap.pop().expect("threads > 0");
                     heap.push(T(free_at + grain_time(b)));
                 }

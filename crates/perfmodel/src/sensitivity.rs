@@ -114,6 +114,8 @@ pub fn sensitivity_ranking(delta: f64) -> Vec<(Knob, f64)> {
             (k, up.max(down))
         })
         .collect();
+    // lint: allow(unwrap-in-lib): sensitivities are ratios of finite
+    // model outputs; NaN would indicate a bug worth the panic.
     out.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("finite sensitivities"));
     out
 }

@@ -58,7 +58,7 @@ where
     }
 
     let block = n.div_ceil(threads);
-    let partials: Vec<T> = crossbeam::thread::scope(|scope| {
+    let partials = crossbeam::thread::scope(|scope| {
         let handles: Vec<_> = (0..threads)
             .map(|tid| {
                 let identity = identity.clone();
@@ -77,10 +77,10 @@ where
             .collect();
         handles
             .into_iter()
-            .map(|h| h.join().expect("worker panicked"))
+            .map(|h| crate::sync::join_or_propagate(h.join()))
             .collect()
-    })
-    .expect("scope panicked");
+    });
+    let partials: Vec<T> = crate::sync::join_or_propagate(partials);
 
     partials.into_iter().fold(identity, combine)
 }

@@ -1,8 +1,8 @@
 //! The parallel particle sweep.
 
 use crate::schedule::Schedule;
+use crate::sync::{join_or_propagate, WorkQueue};
 use crate::topology::Topology;
-use crossbeam::queue::SegQueue;
 use pic_math::Real;
 use pic_particles::{ParticleAccess, ParticleKernel};
 
@@ -166,7 +166,7 @@ where
             let chunk_size = n.div_ceil(threads).max(1);
             let chunks = store.split_mut(chunk_size);
             // Chunk i goes to thread i — OpenMP static.
-            let reports: Vec<ThreadReport> = crossbeam::thread::scope(|scope| {
+            let reports: Vec<ThreadReport> = join_or_propagate(crossbeam::thread::scope(|scope| {
                 let handles: Vec<_> = chunks
                     .into_iter()
                     .enumerate()
@@ -188,10 +188,9 @@ where
                     .collect();
                 handles
                     .into_iter()
-                    .map(|h| h.join().expect("worker panicked"))
+                    .map(|h| join_or_propagate(h.join()))
                     .collect()
-            })
-            .expect("scope panicked");
+            }));
             let mut threads_vec = reports;
             // Threads beyond the chunk count did no work but still appear.
             for tid in threads_vec.len()..threads {
@@ -210,7 +209,7 @@ where
 
         Schedule::Dynamic { grain } => {
             let grain = Schedule::resolve_grain(grain, n, threads);
-            let queue = SegQueue::new();
+            let queue = WorkQueue::new();
             for chunk in store.split_mut(grain) {
                 queue.push(chunk);
             }
@@ -220,7 +219,7 @@ where
         Schedule::Guided { min_grain } => {
             // Decreasing chunk sizes, consumed from a shared queue.
             let sizes = Schedule::guided_sizes(n, threads, min_grain);
-            let queue = SegQueue::new();
+            let queue = WorkQueue::new();
             for chunk in store.split_sizes_mut(&sizes) {
                 queue.push(chunk);
             }
@@ -232,8 +231,8 @@ where
             let mut chunks = store.split_mut(grain);
             // Assign contiguous grain runs to domains proportionally.
             let shares = topology.partition_items(chunks.len());
-            let queues: Vec<SegQueue<A::ChunkMut<'_>>> =
-                (0..topology.domains()).map(|_| SegQueue::new()).collect();
+            let queues: Vec<WorkQueue<A::ChunkMut<'_>>> =
+                (0..topology.domains()).map(|_| WorkQueue::new()).collect();
             // Distribute from the back to keep pop order irrelevant.
             for (d, &share) in shares.iter().enumerate().rev() {
                 for chunk in chunks.split_off(chunks.len() - share) {
@@ -258,10 +257,10 @@ where
     C: ParticleAccess<R> + 'q,
     K: ParticleKernel<R> + Send,
     F: Fn(usize) -> K + Sync,
-    Q: Fn(usize) -> Option<&'q SegQueue<C>> + Sync,
+    Q: Fn(usize) -> Option<&'q WorkQueue<C>> + Sync,
 {
     let threads = topology.total_threads();
-    let reports: Vec<ThreadReport> = crossbeam::thread::scope(|scope| {
+    let reports: Vec<ThreadReport> = join_or_propagate(crossbeam::thread::scope(|scope| {
         let handles: Vec<_> = (0..threads)
             .map(|tid| {
                 let queue_of = &queue_of;
@@ -287,10 +286,9 @@ where
             .collect();
         handles
             .into_iter()
-            .map(|h| h.join().expect("worker panicked"))
+            .map(|h| join_or_propagate(h.join()))
             .collect()
-    })
-    .expect("scope panicked");
+    }));
     SweepReport { threads: reports }
 }
 

@@ -1,0 +1,27 @@
+//! Synchronization primitives behind the sweep, routed through one
+//! place so the model-checked build swaps in instrumented versions.
+//!
+//! [`WorkQueue`] is the queue that backs the Dynamic / Guided /
+//! NumaDomains schedules. It aliases `crossbeam::queue::SegQueue`,
+//! whose atomics are themselves `cfg(interleave)`-switched: building
+//! the workspace with `RUSTFLAGS="--cfg interleave"` turns every queue
+//! operation into a model-checker decision point, and the suites in
+//! `crates/check` exhaustively verify the push/pop protocol and the
+//! per-domain handoff pattern the sweep relies on (fill queues, spawn
+//! workers that drain them, join, read reports).
+
+/// The work-distribution queue used by queued schedules — lock-free
+/// segmented MPMC; see `crossbeam::queue::SegQueue` for the protocol
+/// and its verification story.
+pub type WorkQueue<T> = crossbeam::queue::SegQueue<T>;
+
+/// Propagates a worker-thread panic to the caller instead of minting a
+/// new panic at the join site (which would lose the original payload).
+/// Used for every scope/join result in this crate, keeping library code
+/// free of `unwrap`/`expect` (pic-lint's `unwrap-in-lib` rule).
+pub(crate) fn join_or_propagate<T>(result: crossbeam::thread::Result<T>) -> T {
+    match result {
+        Ok(v) => v,
+        Err(payload) => std::panic::resume_unwind(payload),
+    }
+}

@@ -22,6 +22,7 @@
 //! the discrete continuity equation to rounding, and a cold uniform plasma
 //! oscillates at the Langmuir frequency `ω_p = √(4πn e²/m)`.
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod absorber;

@@ -112,6 +112,8 @@ impl<R: Real> FieldProbe<R> {
                 buf[a]
                     .norm2()
                     .partial_cmp(&buf[b].norm2())
+                    // lint: allow(unwrap-in-lib): FFT magnitudes of finite
+                    // samples are finite, so the comparison is total.
                     .expect("finite spectrum")
             })
             .unwrap_or(1);

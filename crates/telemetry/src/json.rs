@@ -330,7 +330,9 @@ impl<'a> Parser<'a> {
                     let rest = &self.bytes[self.pos..];
                     let s = std::str::from_utf8(rest)
                         .map_err(|_| self.error("invalid UTF-8 in string"))?;
-                    let c = s.chars().next().unwrap();
+                    let Some(c) = s.chars().next() else {
+                        return Err(self.error("truncated string"));
+                    };
                     out.push(c);
                     self.pos += c.len_utf8();
                 }
@@ -361,7 +363,8 @@ impl<'a> Parser<'a> {
                 self.pos += 1;
             }
         }
-        let text = std::str::from_utf8(&self.bytes[start..self.pos]).unwrap();
+        let text = std::str::from_utf8(&self.bytes[start..self.pos])
+            .map_err(|_| self.error("bad number"))?;
         text.parse::<f64>()
             .map(Value::Num)
             .map_err(|_| self.error("bad number"))

@@ -23,6 +23,7 @@
 //! * [`json`] — the dependency-free JSON reader/writer the schema rides
 //!   on (the workspace builds offline; serde is not available).
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod json;

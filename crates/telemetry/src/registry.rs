@@ -6,8 +6,20 @@
 //! layer reads all slots after the workers have joined. Relaxed ordering
 //! suffices because the thread join that precedes every drain is already
 //! a synchronization point.
+//!
+//! That claim is no longer comment-ware: the drain-after-join protocol
+//! is exhaustively verified under the vendored `interleave` model
+//! checker (`crates/check/tests/interleave_registry.rs`, built with
+//! `--cfg interleave`), including a seeded drain-*before*-join variant
+//! that the checker must catch.
 
+// Under `--cfg interleave` the counters become model-checker decision
+// points; the registry's logic is identical in both builds.
+#[cfg(interleave)]
+use interleave::sync::atomic::{AtomicU64, Ordering};
+#[cfg(not(interleave))]
 use std::sync::atomic::{AtomicU64, Ordering};
+
 use std::time::Instant;
 
 /// One worker thread's counters, padded to avoid false sharing between
@@ -80,6 +92,9 @@ impl Registry {
     pub fn totals(&self) -> Vec<ThreadTotals> {
         self.slots
             .iter()
+            // ordering: Relaxed — the caller drains after joining the
+            // workers; the join is the happens-before edge, so the loads
+            // need no ordering of their own (model-checked, see module docs).
             .map(|s| ThreadTotals {
                 chunks: s.chunks.load(Ordering::Relaxed),
                 particles: s.particles.load(Ordering::Relaxed),
@@ -91,6 +106,8 @@ impl Registry {
     /// Zeroes every slot.
     pub fn reset(&self) {
         for s in self.slots.iter() {
+            // ordering: Relaxed — reset happens between sweeps, with no
+            // workers live; synchronization comes from spawn/join edges.
             s.chunks.store(0, Ordering::Relaxed);
             s.particles.store(0, Ordering::Relaxed);
             s.busy_ns.store(0, Ordering::Relaxed);
@@ -120,6 +137,8 @@ impl Handle<'_> {
     /// Records one executed work item covering `particles` particles.
     #[inline]
     pub fn record_chunk(&self, particles: usize) {
+        // ordering: Relaxed — only the owning worker writes this slot,
+        // and readers drain after join (the synchronization point).
         self.slot.chunks.fetch_add(1, Ordering::Relaxed);
         self.slot
             .particles
@@ -130,6 +149,8 @@ impl Handle<'_> {
     /// when absorbing an already-aggregated report).
     #[inline]
     pub fn add(&self, chunks: u64, particles: u64, busy_ns: u64) {
+        // ordering: Relaxed — per-slot single writer + drain-after-join,
+        // as in record_chunk above.
         self.slot.chunks.fetch_add(chunks, Ordering::Relaxed);
         self.slot.particles.fetch_add(particles, Ordering::Relaxed);
         self.slot.busy_ns.fetch_add(busy_ns, Ordering::Relaxed);
@@ -138,6 +159,7 @@ impl Handle<'_> {
     /// Adds `ns` nanoseconds of busy time.
     #[inline]
     pub fn add_busy_ns(&self, ns: u64) {
+        // ordering: Relaxed — per-slot single writer + drain-after-join.
         self.slot.busy_ns.fetch_add(ns, Ordering::Relaxed);
     }
 

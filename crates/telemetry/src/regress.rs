@@ -120,8 +120,13 @@ pub fn compare(
             continue;
         }
         seen.push(key.clone());
-        // Honor last-wins on the baseline side too.
-        let b = &baseline[lookup(baseline, &key).unwrap()];
+        // Honor last-wins on the baseline side too; `key` came from
+        // `baseline`, so the lookup can only miss if `key()` is
+        // non-deterministic — skip rather than panic in that case.
+        let Some(bi) = lookup(baseline, &key) else {
+            continue;
+        };
+        let b = &baseline[bi];
         match lookup(candidate, &key) {
             Some(ci) => {
                 let c = &candidate[ci];

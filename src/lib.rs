@@ -14,6 +14,7 @@
 //! * [`pic_sim`] — the full PIC substrate.
 //! * [`pic_bench`] — the NSPS benchmark harness.
 
+#![forbid(unsafe_code)]
 pub use pic_bench;
 pub use pic_boris;
 pub use pic_device;

@@ -99,6 +99,7 @@ fn measured_run_accounts_for_every_particle_step() {
 
 fn temp_path(name: &str) -> PathBuf {
     let dir = std::env::temp_dir().join("boris_oneapi_telemetry_it");
+    #[allow(clippy::unwrap_used)] // test helper; tmpdir creation is infallible in CI
     std::fs::create_dir_all(&dir).unwrap();
     dir.join(name)
 }

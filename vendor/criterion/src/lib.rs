@@ -8,6 +8,7 @@
 //! throughput when configured). No statistics engine, no HTML reports,
 //! no network, no dependencies.
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 use std::time::{Duration, Instant};

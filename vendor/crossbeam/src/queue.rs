@@ -1,0 +1,418 @@
+//! Concurrent queues (subset of `crossbeam::queue`).
+//!
+//! [`SegQueue`] here is a real lock-free segmented MPMC queue (it
+//! replaced the seed's mutexed `VecDeque` stand-in). Design:
+//!
+//! * Storage is a singly linked list of fixed-size **segments** of
+//!   [`SEG`] slots each. Pushers claim slots with a per-segment
+//!   `fetch_add` reservation counter; poppers advance a per-segment
+//!   consume counter with CAS. A slot moves `EMPTY → WRITTEN → READ`
+//!   exactly once, so elements are neither lost nor duplicated.
+//! * When a segment fills, *any* pusher that overflows it may install
+//!   the next segment (CAS on `next`, then help-advance `tail`), so no
+//!   single stalled thread can block installation — push is lock-free.
+//!   Pop is lock-free among poppers; its one wait loop (an in-flight
+//!   push that reserved the head slot but has not yet published it)
+//!   spins via [`backoff`], which under `--cfg interleave` is a
+//!   scheduler yield the model checker treats fairly.
+//! * **Reclamation is deferred to `Drop`**: segments are never freed
+//!   while the queue is shared, which kills the ABA problem without
+//!   epochs or hazard pointers. Memory grows with *total pushes* (one
+//!   segment per [`SEG`] elements), not live elements — the right
+//!   trade-off here because the sweep builds one queue per invocation,
+//!   pushes a few thousand chunk handles, and drops it at the end.
+//!
+//! Push/pop linearizability and the no-lost/no-duplicated-element
+//! property are exhaustively checked under the `interleave` model
+//! checker — see `crates/check/tests/interleave_queue.rs`.
+
+// Under `--cfg interleave` every atomic below becomes a model-checker
+// decision point; the algorithm itself is identical in both builds.
+#[cfg(interleave)]
+use interleave::sync::atomic::{AtomicPtr, AtomicUsize, Ordering};
+#[cfg(not(interleave))]
+use std::sync::atomic::{AtomicPtr, AtomicUsize, Ordering};
+
+use std::cell::UnsafeCell;
+use std::marker::PhantomData;
+use std::mem::MaybeUninit;
+use std::ptr;
+
+/// Slots per segment. 32 keeps a segment (32 × pointer-ish elements +
+/// three counters) around half a page while amortizing one allocation
+/// per 32 pushes.
+const SEG: usize = 32;
+
+/// Slot states. A slot advances strictly `EMPTY → WRITTEN → READ`.
+const EMPTY: usize = 0;
+const WRITTEN: usize = 1;
+const READ: usize = 2;
+
+/// Spin hint for pop's single wait loop (in-flight push at the head
+/// slot). Under the model checker this must be a fair yield, not a raw
+/// spin, so exploration stays finite.
+#[cfg(interleave)]
+fn backoff() {
+    interleave::thread::yield_now();
+}
+#[cfg(not(interleave))]
+fn backoff() {
+    std::hint::spin_loop();
+}
+
+struct Slot<T> {
+    value: UnsafeCell<MaybeUninit<T>>,
+    state: AtomicUsize,
+}
+
+struct Segment<T> {
+    /// Next free slot index for pushers; grows past `SEG` when full
+    /// (overflowing reservations trigger next-segment installation).
+    reserve: AtomicUsize,
+    /// Next slot index for poppers; `>= SEG` means exhausted.
+    consume: AtomicUsize,
+    next: AtomicPtr<Segment<T>>,
+    slots: [Slot<T>; SEG],
+}
+
+impl<T> Segment<T> {
+    fn boxed() -> Box<Segment<T>> {
+        Box::new(Segment {
+            reserve: AtomicUsize::new(0),
+            consume: AtomicUsize::new(0),
+            next: AtomicPtr::new(ptr::null_mut()),
+            slots: std::array::from_fn(|_| Slot {
+                value: UnsafeCell::new(MaybeUninit::uninit()),
+                state: AtomicUsize::new(EMPTY),
+            }),
+        })
+    }
+}
+
+/// An unbounded lock-free MPMC FIFO queue (API subset of
+/// `crossbeam::queue::SegQueue`). See the module docs for the design
+/// and its deferred-reclamation trade-off.
+pub struct SegQueue<T> {
+    head: AtomicPtr<Segment<T>>,
+    tail: AtomicPtr<Segment<T>>,
+    /// The original first segment; `Drop` walks the `next` chain from
+    /// here, so advancing `head` never orphans a segment.
+    first: *mut Segment<T>,
+    /// The queue logically owns `T`s (it drops them), which dropck must
+    /// know despite storage being behind raw pointers.
+    marker: PhantomData<T>,
+}
+
+// SAFETY: the queue hands each element to exactly one popper (slot-state
+// protocol below), so it is Send/Sync whenever T itself may move between
+// threads — the standard MPMC bounds, matching upstream crossbeam.
+unsafe impl<T: Send> Send for SegQueue<T> {}
+// SAFETY: as above; shared access only touches atomics and slots whose
+// exclusive ownership is mediated by the reserve/consume counters.
+unsafe impl<T: Send> Sync for SegQueue<T> {}
+
+impl<T> SegQueue<T> {
+    /// Creates an empty queue.
+    pub fn new() -> SegQueue<T> {
+        let first = Box::into_raw(Segment::boxed());
+        SegQueue {
+            head: AtomicPtr::new(first),
+            tail: AtomicPtr::new(first),
+            first,
+            marker: PhantomData,
+        }
+    }
+
+    /// Appends an element at the back. Lock-free: a stalled thread
+    /// cannot prevent others from completing their pushes.
+    pub fn push(&self, value: T) {
+        loop {
+            let tail = self.tail.load(Ordering::Acquire);
+            // SAFETY: segments are only freed in Drop (&mut self), so a
+            // pointer loaded from tail stays valid for this whole call.
+            let seg = unsafe { &*tail };
+            // ordering: Relaxed suffices for the reservation ticket —
+            // publication of the value is ordered by the slot-state
+            // Release store below, not by the counter.
+            let i = seg.reserve.fetch_add(1, Ordering::Relaxed);
+            if i < SEG {
+                // SAFETY: the fetch_add above made index i ours alone;
+                // no other thread reads the slot until state != EMPTY.
+                unsafe { (*seg.slots[i].value.get()).write(value) };
+                // ordering: Release publishes the value write above to
+                // the popper that Acquire-loads state == WRITTEN.
+                seg.slots[i].state.store(WRITTEN, Ordering::Release);
+                return;
+            }
+            // Segment full — install the next segment, or help whoever
+            // already did, then retry. Any overflowing pusher may do
+            // this, which is what makes push lock-free.
+            let next = seg.next.load(Ordering::Acquire);
+            if next.is_null() {
+                let candidate = Box::into_raw(Segment::boxed());
+                match seg.next.compare_exchange(
+                    ptr::null_mut(),
+                    candidate,
+                    Ordering::AcqRel,
+                    Ordering::Acquire,
+                ) {
+                    Ok(_) => {
+                        let _ = self.tail.compare_exchange(
+                            tail,
+                            candidate,
+                            Ordering::AcqRel,
+                            Ordering::Acquire,
+                        );
+                    }
+                    // SAFETY: the CAS failed, so `candidate` was never
+                    // shared; reclaiming the fresh allocation is sound.
+                    Err(_) => unsafe { drop(Box::from_raw(candidate)) },
+                }
+            } else {
+                let _ = self
+                    .tail
+                    .compare_exchange(tail, next, Ordering::AcqRel, Ordering::Acquire);
+            }
+        }
+    }
+
+    /// Removes the front element, or `None` when empty.
+    ///
+    /// Linearization: a successful pop linearizes at the winning CAS on
+    /// `consume`; an empty return linearizes at the `reserve` load that
+    /// observed no reservation past `consume` (or at the null `next`
+    /// load for an exhausted segment).
+    pub fn pop(&self) -> Option<T> {
+        loop {
+            let head = self.head.load(Ordering::Acquire);
+            // SAFETY: segments are only freed in Drop (&mut self).
+            let seg = unsafe { &*head };
+            let c = seg.consume.load(Ordering::Acquire);
+            if c >= SEG {
+                // Segment exhausted; advance to the next one (help-CAS,
+                // losing the race just means someone else advanced it).
+                let next = seg.next.load(Ordering::Acquire);
+                if next.is_null() {
+                    // All SEG slots consumed and no next segment ever
+                    // installed ⇒ no completed push is unconsumed.
+                    return None;
+                }
+                let _ = self
+                    .head
+                    .compare_exchange(head, next, Ordering::AcqRel, Ordering::Acquire);
+                continue;
+            }
+            // ordering: Acquire pairs with the pusher's Release store of
+            // WRITTEN, making the value write visible before we read it.
+            let st = seg.slots[c].state.load(Ordering::Acquire);
+            if st == READ {
+                // Stale `consume` snapshot — another popper already took
+                // slot c and advanced; reread.
+                continue;
+            }
+            if st == EMPTY {
+                // ordering: Acquire so a reservation made before our
+                // consume load is not missed (false "empty").
+                let r = seg.reserve.load(Ordering::Acquire);
+                if c >= r {
+                    // No push has even reserved slot c: queue is empty.
+                    return None;
+                }
+                // A pusher reserved slot c but has not published it yet.
+                // FIFO requires waiting for that one write; this is the
+                // queue's only wait loop.
+                backoff();
+                continue;
+            }
+            debug_assert_eq!(st, WRITTEN);
+            if seg
+                .consume
+                .compare_exchange(c, c + 1, Ordering::AcqRel, Ordering::Acquire)
+                .is_ok()
+            {
+                // SAFETY: winning the CAS for index c grants exclusive
+                // read ownership of that slot; state was WRITTEN, so the
+                // value is fully initialized and visible (Acquire above).
+                let v = unsafe { (*seg.slots[c].value.get()).assume_init_read() };
+                // ordering: Release so Drop (or debug inspection) that
+                // Acquire-reads READ knows the value has been moved out.
+                seg.slots[c].state.store(READ, Ordering::Release);
+                return Some(v);
+            }
+            // Lost the CAS to another popper; retry from the top.
+        }
+    }
+
+    /// Number of queued elements. A racy snapshot under concurrent use
+    /// (exact when quiescent) — same caveat as upstream crossbeam.
+    pub fn len(&self) -> usize {
+        let mut n = 0;
+        let mut p = self.head.load(Ordering::Acquire);
+        while !p.is_null() {
+            // SAFETY: segments are only freed in Drop (&mut self).
+            let seg = unsafe { &*p };
+            let r = seg.reserve.load(Ordering::Acquire).min(SEG);
+            let c = seg.consume.load(Ordering::Acquire).min(SEG);
+            n += r.saturating_sub(c);
+            p = seg.next.load(Ordering::Acquire);
+        }
+        n
+    }
+
+    /// Whether the queue is empty (same snapshot caveat as [`len`]).
+    ///
+    /// [`len`]: SegQueue::len
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+impl<T> Default for SegQueue<T> {
+    fn default() -> SegQueue<T> {
+        SegQueue::new()
+    }
+}
+
+impl<T> Drop for SegQueue<T> {
+    fn drop(&mut self) {
+        // &mut self ⇒ no concurrent operations; walk every segment ever
+        // allocated (from `first`, which head-advances never move) and
+        // free unconsumed values, then the segments themselves.
+        let mut p = self.first;
+        while !p.is_null() {
+            // SAFETY: `first` and the `next` chain own their segments
+            // exclusively here; each is freed exactly once.
+            let seg = unsafe { Box::from_raw(p) };
+            for slot in seg.slots.iter() {
+                // ordering: Relaxed — &mut self already synchronizes
+                // with every past push/pop via the caller's happens-
+                // before edge (e.g. thread join).
+                if slot.state.load(Ordering::Relaxed) == WRITTEN {
+                    // SAFETY: WRITTEN means initialized and never moved
+                    // out; dropping in place exactly once.
+                    unsafe { (*slot.value.get()).assume_init_drop() };
+                }
+            }
+            // ordering: Relaxed — exclusive access, as above.
+            p = seg.next.load(Ordering::Relaxed);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::{SegQueue, SEG};
+
+    #[test]
+    fn queue_is_fifo() {
+        let q = SegQueue::new();
+        q.push(1);
+        q.push(2);
+        assert_eq!(q.len(), 2);
+        assert_eq!(q.pop(), Some(1));
+        assert_eq!(q.pop(), Some(2));
+        assert_eq!(q.pop(), None);
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn crosses_segment_boundaries() {
+        let q = SegQueue::new();
+        let n = 5 * SEG + 7;
+        for i in 0..n {
+            q.push(i);
+        }
+        assert_eq!(q.len(), n);
+        for i in 0..n {
+            assert_eq!(q.pop(), Some(i), "FIFO across segments");
+        }
+        assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    fn interleaved_push_pop_stays_fifo() {
+        let q = SegQueue::new();
+        let mut next_pop = 0;
+        for i in 0..(3 * SEG) {
+            q.push(i);
+            if i % 3 == 0 {
+                assert_eq!(q.pop(), Some(next_pop));
+                next_pop += 1;
+            }
+        }
+        while let Some(v) = q.pop() {
+            assert_eq!(v, next_pop);
+            next_pop += 1;
+        }
+        assert_eq!(next_pop, 3 * SEG);
+    }
+
+    #[test]
+    fn drop_releases_unpopped_values() {
+        // Drop with live elements must drop each exactly once.
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        static DROPS: AtomicUsize = AtomicUsize::new(0);
+        struct D;
+        impl Drop for D {
+            fn drop(&mut self) {
+                DROPS.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+        let q = SegQueue::new();
+        for _ in 0..(SEG + 3) {
+            q.push(D);
+        }
+        drop(q.pop()); // one dropped by the consumer
+        drop(q); // the rest dropped by the queue
+        assert_eq!(DROPS.load(Ordering::Relaxed), SEG + 3);
+    }
+
+    #[test]
+    fn concurrent_producers_and_consumers_lose_nothing() {
+        // Stress (non-exhaustive; the exhaustive version runs under the
+        // interleave model checker in crates/check).
+        let q = SegQueue::new();
+        let produced: usize = 4 * 1000;
+        let counted = std::thread::scope(|s| {
+            for p in 0..4 {
+                let q = &q;
+                s.spawn(move || {
+                    for i in 0..1000 {
+                        q.push(p * 1000 + i);
+                    }
+                });
+            }
+            let consumers: Vec<_> = (0..4)
+                .map(|_| {
+                    let q = &q;
+                    s.spawn(move || {
+                        let mut got = Vec::new();
+                        let mut dry = 0;
+                        while dry < 1000 {
+                            match q.pop() {
+                                Some(v) => {
+                                    got.push(v);
+                                    dry = 0;
+                                }
+                                None => {
+                                    dry += 1;
+                                    std::thread::yield_now();
+                                }
+                            }
+                        }
+                        got
+                    })
+                })
+                .collect();
+            consumers
+                .into_iter()
+                .flat_map(|h| h.join().expect("consumer"))
+                .collect::<Vec<_>>()
+        });
+        assert_eq!(counted.len(), produced, "no lost or duplicated element");
+        let mut sorted = counted;
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(sorted.len(), produced, "no duplicated element");
+    }
+}

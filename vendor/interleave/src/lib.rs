@@ -1,0 +1,817 @@
+//! Bounded exhaustive-interleaving model checker — an offline, minimal
+//! analogue of the `loom` crate (API-compatible subset).
+//!
+//! [`model`] runs a closure many times, each time under a different
+//! thread interleaving, until every schedule (at the granularity of
+//! instrumented operations) has been explored or an iteration bound is
+//! hit. Threads created with [`thread::spawn`] and atomics from
+//! [`sync::atomic`] are instrumented: before every atomic operation the
+//! running thread parks and a deterministic scheduler decides who runs
+//! next. The schedule tree is explored depth-first: each execution
+//! records, at every decision, which threads were runnable and which was
+//! chosen; the next execution replays the longest prefix that still has
+//! an untried alternative and diverges there.
+//!
+//! Scope and honest limitations (documented, not hidden):
+//!
+//! * The exploration is **sequentially consistent**: it enumerates
+//!   interleavings of whole atomic operations. It finds logic races
+//!   (lost updates, drain-before-join, lost/duplicated queue elements,
+//!   deadlocks) but does **not** model C11 weak-memory reorderings, so
+//!   it cannot distinguish `Relaxed` from `SeqCst`. Ordering choices
+//!   must still be argued in `// ordering:` comments (and `pic-lint`
+//!   enforces that they are).
+//! * Unsynchronized non-atomic shared access is not detected (loom
+//!   instruments `UnsafeCell`; we do not). Executions are serialized —
+//!   exactly one thread runs between decisions — so such access cannot
+//!   physically race *during checking*; it is simply not reported.
+//! * A panic in any model thread (a failed assertion) aborts the
+//!   current execution and makes [`model`] panic with the failing
+//!   schedule, so `#[should_panic]`-style regression tests can assert
+//!   that a seeded bug *is* caught.
+//!
+//! The iteration bound defaults to 500 000 executions and can be raised
+//! with the `INTERLEAVE_MAX_ITERS` environment variable; hitting the
+//! bound panics (an *inexhaustive* pass must never look like a green
+//! one). A per-execution step bound (100 000 decisions) turns livelocks
+//! into failures. Spin loops must call [`thread::yield_now`], which
+//! deprioritizes the caller until another thread has run — this is the
+//! standard fairness assumption that keeps busy-wait loops finite.
+
+#![forbid(unsafe_code)]
+use std::cell::RefCell;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::{Arc, Condvar, Mutex};
+
+/// Default cap on explored executions per [`model`] call.
+const DEFAULT_MAX_ITERS: usize = 500_000;
+/// Cap on scheduling decisions within one execution (livelock guard).
+const MAX_STEPS: usize = 100_000;
+
+thread_local! {
+    static CURRENT: RefCell<Option<Ctx>> = const { RefCell::new(None) };
+}
+
+#[derive(Clone)]
+struct Ctx {
+    exec: Arc<Exec>,
+    tid: usize,
+}
+
+fn current() -> Option<Ctx> {
+    CURRENT.with(|c| c.borrow().clone())
+}
+
+/// Panic payload used to unwind secondary threads once an execution has
+/// already failed; the wrapper swallows it without recording a second
+/// failure.
+struct Abort;
+
+#[derive(Clone, Copy, Debug, Eq, PartialEq)]
+enum Status {
+    /// Parked at a decision point, eligible to be scheduled.
+    Runnable,
+    /// The one thread currently executing between decision points.
+    Running,
+    /// Waiting for another thread to finish.
+    BlockedJoin(usize),
+    Finished,
+}
+
+/// One scheduling decision: which threads could run, which one did.
+#[derive(Clone, Debug)]
+struct Choice {
+    chosen: usize,
+    enabled: Vec<usize>,
+}
+
+struct State {
+    threads: Vec<Status>,
+    yielded: Vec<bool>,
+    active: usize,
+    /// Forced choice prefix being replayed this execution.
+    schedule: Vec<usize>,
+    /// Choices actually made (grows past `schedule`).
+    trace: Vec<Choice>,
+    failed: Option<String>,
+    /// Real OS threads that have not yet exited.
+    live: usize,
+}
+
+struct Exec {
+    state: Mutex<State>,
+    cv: Condvar,
+}
+
+impl Exec {
+    fn new(schedule: Vec<usize>) -> Exec {
+        Exec {
+            state: Mutex::new(State {
+                threads: Vec::new(),
+                yielded: Vec::new(),
+                active: usize::MAX,
+                schedule,
+                trace: Vec::new(),
+                failed: None,
+                live: 0,
+            }),
+            cv: Condvar::new(),
+        }
+    }
+
+    /// Picks the next thread to run and records the decision. Returns
+    /// `None` when no thread is runnable (all finished, or deadlock —
+    /// the caller distinguishes). Must be called with the lock held.
+    fn pick(&self, st: &mut State) -> Option<usize> {
+        let runnable: Vec<usize> = (0..st.threads.len())
+            .filter(|&t| st.threads[t] == Status::Runnable)
+            .collect();
+        if runnable.is_empty() {
+            return None;
+        }
+        // Fairness for spin loops: prefer threads that have not called
+        // yield_now() since the last reset; when everyone has, reset.
+        let mut enabled: Vec<usize> = runnable
+            .iter()
+            .copied()
+            .filter(|&t| !st.yielded[t])
+            .collect();
+        if enabled.is_empty() {
+            for y in st.yielded.iter_mut() {
+                *y = false;
+            }
+            enabled = runnable;
+        }
+        let idx = st.trace.len();
+        let chosen = if idx < st.schedule.len() {
+            let forced = st.schedule[idx];
+            if !enabled.contains(&forced) {
+                st.failed = Some(format!(
+                    "interleave: nondeterministic execution — replay chose \
+                     thread {forced} at step {idx} but enabled set is {enabled:?}"
+                ));
+                self.cv.notify_all();
+                return None;
+            }
+            forced
+        } else {
+            enabled[0] // enabled is ascending by construction
+        };
+        st.trace.push(Choice { chosen, enabled });
+        if st.trace.len() > MAX_STEPS {
+            st.failed = Some(format!(
+                "interleave: execution exceeded {MAX_STEPS} decisions — \
+                 livelock, or a spin loop missing thread::yield_now()"
+            ));
+            self.cv.notify_all();
+            return None;
+        }
+        st.active = chosen;
+        Some(chosen)
+    }
+
+    fn abort_if_failed(&self, st: &State) {
+        if st.failed.is_some() {
+            std::panic::panic_any(Abort);
+        }
+    }
+
+    /// A decision point: parks the calling thread, schedules a successor
+    /// (possibly itself), and returns once this thread is active again.
+    fn yield_point(&self, tid: usize, set_yielded: bool) {
+        let mut st = self.state.lock().expect("interleave state poisoned");
+        self.abort_if_failed(&st);
+        if set_yielded {
+            st.yielded[tid] = true;
+        }
+        st.threads[tid] = Status::Runnable;
+        match self.pick(&mut st) {
+            Some(next) if next == tid => {
+                st.threads[tid] = Status::Running;
+                return;
+            }
+            Some(_) => {
+                self.cv.notify_all();
+            }
+            None => {
+                // pick() recorded the failure (it cannot be "all
+                // finished": this thread is runnable).
+                self.abort_if_failed(&st);
+                unreachable!("pick returned None with a runnable thread");
+            }
+        }
+        loop {
+            st = self.cv.wait(st).expect("interleave state poisoned");
+            self.abort_if_failed(&st);
+            if st.active == tid && st.threads[tid] == Status::Runnable {
+                st.threads[tid] = Status::Running;
+                return;
+            }
+        }
+    }
+
+    /// Marks `tid` finished, wakes joiners, schedules a successor, and
+    /// decrements the live-thread count. Runs in every wrapper exit path.
+    fn finish_thread(&self, tid: usize, failure: Option<String>) {
+        let mut st = self.state.lock().expect("interleave state poisoned");
+        if let Some(msg) = failure {
+            if st.failed.is_none() {
+                let sched: Vec<usize> = st.trace.iter().map(|c| c.chosen).collect();
+                st.failed = Some(format!(
+                    "interleave: model thread {tid} failed: {msg}\n\
+                     failing schedule (thread ids, one per decision): {sched:?}"
+                ));
+            }
+        }
+        st.threads[tid] = Status::Finished;
+        for t in 0..st.threads.len() {
+            if st.threads[t] == Status::BlockedJoin(tid) {
+                st.threads[t] = Status::Runnable;
+            }
+        }
+        if st.failed.is_none() {
+            let any_unfinished = st.threads.iter().any(|&s| s != Status::Finished);
+            if any_unfinished && self.pick(&mut st).is_none() && st.failed.is_none() {
+                let blocked: Vec<usize> = (0..st.threads.len())
+                    .filter(|&t| matches!(st.threads[t], Status::BlockedJoin(_)))
+                    .collect();
+                st.failed = Some(format!(
+                    "interleave: deadlock — threads {blocked:?} blocked in join \
+                     with no runnable thread"
+                ));
+            }
+        }
+        st.live -= 1;
+        self.cv.notify_all();
+    }
+
+    /// Blocks the caller until thread `target` has finished.
+    fn wait_joined(&self, tid: usize, target: usize) {
+        let mut st = self.state.lock().expect("interleave state poisoned");
+        self.abort_if_failed(&st);
+        if st.threads[target] == Status::Finished {
+            return;
+        }
+        st.threads[tid] = Status::BlockedJoin(target);
+        match self.pick(&mut st) {
+            Some(_) => self.cv.notify_all(),
+            None => {
+                self.abort_if_failed(&st);
+                // No runnable thread and we just blocked: deadlock.
+                st.failed = Some(format!(
+                    "interleave: deadlock — thread {tid} joined thread {target} \
+                     with no runnable thread"
+                ));
+                self.cv.notify_all();
+                std::panic::panic_any(Abort);
+            }
+        }
+        loop {
+            st = self.cv.wait(st).expect("interleave state poisoned");
+            self.abort_if_failed(&st);
+            if st.active == tid && st.threads[tid] == Status::Runnable {
+                st.threads[tid] = Status::Running;
+                return;
+            }
+        }
+    }
+}
+
+/// Suppress the default panic-hook backtrace inside model threads: the
+/// failure is re-reported (with its schedule) by [`model`] itself.
+fn install_quiet_hook() {
+    use std::sync::Once;
+    static ONCE: Once = Once::new();
+    ONCE.call_once(|| {
+        let prev = std::panic::take_hook();
+        std::panic::set_hook(Box::new(move |info| {
+            if current().is_none() {
+                prev(info);
+            }
+        }));
+    });
+}
+
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "model thread panicked (non-string payload)".to_string()
+    }
+}
+
+/// Given a finished execution's trace, the forced prefix for the next
+/// unexplored schedule, or `None` when the tree is exhausted.
+fn next_schedule(trace: &[Choice]) -> Option<Vec<usize>> {
+    for i in (0..trace.len()).rev() {
+        let c = &trace[i];
+        if let Some(&alt) = c.enabled.iter().find(|&&t| t > c.chosen) {
+            let mut sched: Vec<usize> = trace[..i].iter().map(|x| x.chosen).collect();
+            sched.push(alt);
+            return Some(sched);
+        }
+    }
+    None
+}
+
+/// Runs `f` under every interleaving of its instrumented operations.
+///
+/// Panics with the failing schedule if any execution panics, deadlocks,
+/// or livelocks — and panics if the iteration bound is exceeded, so an
+/// incomplete exploration can never pass silently.
+pub fn model<F>(f: F)
+where
+    F: Fn() + Send + Sync + 'static,
+{
+    install_quiet_hook();
+    let max_iters = std::env::var("INTERLEAVE_MAX_ITERS")
+        .ok()
+        .and_then(|v| v.parse::<usize>().ok())
+        .unwrap_or(DEFAULT_MAX_ITERS);
+    let f = Arc::new(f);
+    let mut schedule: Vec<usize> = Vec::new();
+    let mut iters = 0usize;
+    loop {
+        iters += 1;
+        assert!(
+            iters <= max_iters,
+            "interleave: exceeded {max_iters} executions without exhausting \
+             the schedule tree; shrink the test or raise INTERLEAVE_MAX_ITERS"
+        );
+        let exec = Arc::new(Exec::new(schedule.clone()));
+        {
+            let mut st = exec.state.lock().expect("interleave state poisoned");
+            st.threads.push(Status::Runnable); // root = thread 0
+            st.yielded.push(false);
+            st.live = 1;
+        }
+        let (e2, f2) = (exec.clone(), f.clone());
+        let root = std::thread::Builder::new()
+            .name("interleave-root".into())
+            .spawn(move || run_model_thread(e2, 0, move || f2()))
+            .expect("spawn interleave root");
+        // Kick off: the first decision can only choose thread 0.
+        {
+            let mut st = exec.state.lock().expect("interleave state poisoned");
+            exec.pick(&mut st);
+            exec.cv.notify_all();
+        }
+        {
+            let mut st = exec.state.lock().expect("interleave state poisoned");
+            while st.live > 0 {
+                st = exec.cv.wait(st).expect("interleave state poisoned");
+            }
+        }
+        root.join().expect("interleave root thread lost");
+        let st = exec.state.lock().expect("interleave state poisoned");
+        if let Some(msg) = &st.failed {
+            panic!("{msg}\n(after {iters} explored executions)");
+        }
+        match next_schedule(&st.trace) {
+            Some(next) => schedule = next,
+            None => return, // exhausted: every interleaving passed
+        }
+    }
+}
+
+/// Body shared by the root thread and [`thread::spawn`]ed threads:
+/// park until first scheduled, run the closure, then run the finish
+/// protocol no matter how the closure exited.
+fn run_model_thread<T>(exec: Arc<Exec>, tid: usize, f: impl FnOnce() -> T) -> Option<T> {
+    CURRENT.with(|c| {
+        *c.borrow_mut() = Some(Ctx {
+            exec: exec.clone(),
+            tid,
+        })
+    });
+    // Initial park: wait to be scheduled for the first time.
+    {
+        let mut st = exec.state.lock().expect("interleave state poisoned");
+        loop {
+            if st.failed.is_some() {
+                break;
+            }
+            if st.active == tid && st.threads[tid] == Status::Runnable {
+                st.threads[tid] = Status::Running;
+                break;
+            }
+            st = exec.cv.wait(st).expect("interleave state poisoned");
+        }
+        if st.failed.is_some() {
+            drop(st);
+            CURRENT.with(|c| *c.borrow_mut() = None);
+            exec.finish_thread(tid, None);
+            return None;
+        }
+    }
+    let out = catch_unwind(AssertUnwindSafe(f));
+    CURRENT.with(|c| *c.borrow_mut() = None);
+    match out {
+        Ok(v) => {
+            exec.finish_thread(tid, None);
+            Some(v)
+        }
+        Err(payload) => {
+            if payload.downcast_ref::<Abort>().is_some() {
+                exec.finish_thread(tid, None);
+            } else {
+                exec.finish_thread(tid, Some(panic_message(payload.as_ref())));
+            }
+            None
+        }
+    }
+}
+
+/// Model-aware threads (subset of `std::thread` / `loom::thread`).
+pub mod thread {
+    use super::{current, Abort, Status};
+
+    /// Handle to a model thread. Unlike `std`, [`JoinHandle::join`]
+    /// returns `T` directly: a panicked child always fails the whole
+    /// model execution, so there is no `Err` case to surface.
+    pub struct JoinHandle<T> {
+        tid: usize,
+        real: std::thread::JoinHandle<Option<T>>,
+        exec: std::sync::Arc<super::Exec>,
+    }
+
+    impl<T> JoinHandle<T> {
+        /// Waits for the thread to finish and returns its result.
+        pub fn join(self) -> T {
+            let me = current().expect("interleave join outside model()");
+            self.exec.wait_joined(me.tid, self.tid);
+            match self.real.join() {
+                Ok(Some(v)) => v,
+                // Child panicked or was aborted: the failure is already
+                // recorded; unwind this thread quietly.
+                _ => std::panic::panic_any(Abort),
+            }
+        }
+    }
+
+    /// Spawns a model thread. Must be called inside [`super::model`].
+    pub fn spawn<F, T>(f: F) -> JoinHandle<T>
+    where
+        F: FnOnce() -> T + Send + 'static,
+        T: Send + 'static,
+    {
+        let me = current().expect("interleave spawn outside model()");
+        let exec = me.exec;
+        let tid = {
+            let mut st = exec.state.lock().expect("interleave state poisoned");
+            let tid = st.threads.len();
+            st.threads.push(Status::Runnable);
+            st.yielded.push(false);
+            st.live += 1;
+            tid
+        };
+        let e2 = exec.clone();
+        let real = std::thread::Builder::new()
+            .name(format!("interleave-{tid}"))
+            .spawn(move || super::run_model_thread(e2, tid, f))
+            .expect("spawn interleave thread");
+        JoinHandle { tid, real, exec }
+    }
+
+    /// Spin-loop hint: deprioritizes the calling thread until another
+    /// thread has run, keeping busy-wait loops finite under exploration.
+    /// Outside [`super::model`] this is `std::thread::yield_now`.
+    pub fn yield_now() {
+        match current() {
+            Some(ctx) => ctx.exec.yield_point(ctx.tid, true),
+            None => std::thread::yield_now(),
+        }
+    }
+}
+
+/// Model-aware synchronization primitives.
+pub mod sync {
+    /// Model-aware atomics (subset of `std::sync::atomic`). Each
+    /// operation is a scheduling decision point inside [`crate::model`];
+    /// outside a model run they behave exactly like the std types, so
+    /// code built with `--cfg interleave` still works untested paths.
+    pub mod atomic {
+        pub use std::sync::atomic::Ordering;
+
+        fn decision() {
+            if let Some(ctx) = super::super::current() {
+                ctx.exec.yield_point(ctx.tid, false);
+            }
+        }
+
+        macro_rules! int_atomic {
+            ($name:ident, $std:ty, $int:ty) => {
+                /// Instrumented integer atomic; see module docs.
+                #[derive(Default, Debug)]
+                pub struct $name {
+                    inner: $std,
+                }
+
+                impl $name {
+                    /// Creates a new atomic.
+                    pub const fn new(v: $int) -> $name {
+                        $name {
+                            inner: <$std>::new(v),
+                        }
+                    }
+
+                    /// Atomic load (a decision point under the model).
+                    pub fn load(&self, order: Ordering) -> $int {
+                        decision();
+                        self.inner.load(order)
+                    }
+
+                    /// Atomic store (a decision point under the model).
+                    pub fn store(&self, v: $int, order: Ordering) {
+                        decision();
+                        self.inner.store(v, order);
+                    }
+
+                    /// Atomic swap (a decision point under the model).
+                    pub fn swap(&self, v: $int, order: Ordering) -> $int {
+                        decision();
+                        self.inner.swap(v, order)
+                    }
+
+                    /// Atomic add, returning the previous value.
+                    pub fn fetch_add(&self, v: $int, order: Ordering) -> $int {
+                        decision();
+                        self.inner.fetch_add(v, order)
+                    }
+
+                    /// Atomic subtract, returning the previous value.
+                    pub fn fetch_sub(&self, v: $int, order: Ordering) -> $int {
+                        decision();
+                        self.inner.fetch_sub(v, order)
+                    }
+
+                    /// Atomic compare-and-exchange.
+                    pub fn compare_exchange(
+                        &self,
+                        cur: $int,
+                        new: $int,
+                        success: Ordering,
+                        failure: Ordering,
+                    ) -> Result<$int, $int> {
+                        decision();
+                        self.inner.compare_exchange(cur, new, success, failure)
+                    }
+
+                    /// Weak CAS; never fails spuriously under the model
+                    /// (a strict subset of permitted weak behaviours).
+                    pub fn compare_exchange_weak(
+                        &self,
+                        cur: $int,
+                        new: $int,
+                        success: Ordering,
+                        failure: Ordering,
+                    ) -> Result<$int, $int> {
+                        self.compare_exchange(cur, new, success, failure)
+                    }
+
+                    /// Consumes the atomic, returning the value.
+                    pub fn into_inner(self) -> $int {
+                        self.inner.into_inner()
+                    }
+                }
+            };
+        }
+
+        int_atomic!(AtomicUsize, std::sync::atomic::AtomicUsize, usize);
+        int_atomic!(AtomicU64, std::sync::atomic::AtomicU64, u64);
+        int_atomic!(AtomicU32, std::sync::atomic::AtomicU32, u32);
+
+        /// Instrumented boolean atomic; see module docs.
+        #[derive(Default, Debug)]
+        pub struct AtomicBool {
+            inner: std::sync::atomic::AtomicBool,
+        }
+
+        impl AtomicBool {
+            /// Creates a new atomic.
+            pub const fn new(v: bool) -> AtomicBool {
+                AtomicBool {
+                    inner: std::sync::atomic::AtomicBool::new(v),
+                }
+            }
+
+            /// Atomic load (a decision point under the model).
+            pub fn load(&self, order: Ordering) -> bool {
+                decision();
+                self.inner.load(order)
+            }
+
+            /// Atomic store (a decision point under the model).
+            pub fn store(&self, v: bool, order: Ordering) {
+                decision();
+                self.inner.store(v, order);
+            }
+
+            /// Atomic swap (a decision point under the model).
+            pub fn swap(&self, v: bool, order: Ordering) -> bool {
+                decision();
+                self.inner.swap(v, order)
+            }
+        }
+
+        /// Instrumented pointer atomic; see module docs.
+        #[derive(Debug)]
+        pub struct AtomicPtr<T> {
+            inner: std::sync::atomic::AtomicPtr<T>,
+        }
+
+        impl<T> Default for AtomicPtr<T> {
+            fn default() -> AtomicPtr<T> {
+                AtomicPtr::new(std::ptr::null_mut())
+            }
+        }
+
+        impl<T> AtomicPtr<T> {
+            /// Creates a new atomic pointer.
+            pub const fn new(p: *mut T) -> AtomicPtr<T> {
+                AtomicPtr {
+                    inner: std::sync::atomic::AtomicPtr::new(p),
+                }
+            }
+
+            /// Atomic load (a decision point under the model).
+            pub fn load(&self, order: Ordering) -> *mut T {
+                decision();
+                self.inner.load(order)
+            }
+
+            /// Atomic store (a decision point under the model).
+            pub fn store(&self, p: *mut T, order: Ordering) {
+                decision();
+                self.inner.store(p, order);
+            }
+
+            /// Atomic swap (a decision point under the model).
+            pub fn swap(&self, p: *mut T, order: Ordering) -> *mut T {
+                decision();
+                self.inner.swap(p, order)
+            }
+
+            /// Atomic compare-and-exchange.
+            pub fn compare_exchange(
+                &self,
+                cur: *mut T,
+                new: *mut T,
+                success: Ordering,
+                failure: Ordering,
+            ) -> Result<*mut T, *mut T> {
+                decision();
+                self.inner.compare_exchange(cur, new, success, failure)
+            }
+
+            /// Non-instrumented load for `Drop` impls that hold `&mut
+            /// self` (no concurrency possible, no decision needed).
+            pub fn load_exclusive(&mut self) -> *mut T {
+                *self.inner.get_mut()
+            }
+        }
+    }
+}
+
+/// Like [`model`], but returns how many executions were explored —
+/// test-support API so suites can assert exploration really branched.
+pub fn model_counted<F>(f: F) -> usize
+where
+    F: Fn() + Send + Sync + 'static,
+{
+    let count = Arc::new(Mutex::new(0usize));
+    let c2 = count.clone();
+    model(move || {
+        *c2.lock().expect("count lock") += 1;
+        f();
+    });
+    let n = *count.lock().expect("count lock");
+    n
+}
+
+#[cfg(test)]
+mod tests {
+    use super::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+    use super::{model, model_counted, thread};
+    use std::collections::HashSet;
+    use std::sync::{Arc, Mutex};
+
+    #[test]
+    fn single_thread_runs_once() {
+        let n = model_counted(|| {
+            let a = AtomicUsize::new(0);
+            a.store(7, Ordering::SeqCst);
+            assert_eq!(a.load(Ordering::SeqCst), 7);
+        });
+        assert_eq!(n, 1, "no concurrency ⇒ exactly one schedule");
+    }
+
+    #[test]
+    fn explores_both_orders_of_two_stores() {
+        // Two threads store different values; across all schedules both
+        // final values must be observed.
+        let finals: Arc<Mutex<HashSet<usize>>> = Arc::new(Mutex::new(HashSet::new()));
+        let f2 = finals.clone();
+        model(move || {
+            let a = Arc::new(AtomicUsize::new(0));
+            let (a1, a2) = (a.clone(), a.clone());
+            let t1 = thread::spawn(move || a1.store(1, Ordering::SeqCst));
+            let t2 = thread::spawn(move || a2.store(2, Ordering::SeqCst));
+            t1.join();
+            t2.join();
+            f2.lock().expect("finals").insert(a.load(Ordering::SeqCst));
+        });
+        let finals = finals.lock().expect("finals");
+        assert_eq!(
+            *finals,
+            HashSet::from([1, 2]),
+            "exploration must cover both store orders"
+        );
+    }
+
+    #[test]
+    fn catches_lost_update() {
+        // Non-atomic read-modify-write built from two atomic ops: the
+        // classic lost update. The checker must find the interleaving
+        // where the final count is 1, failing the assertion.
+        let result = std::panic::catch_unwind(|| {
+            model(|| {
+                let a = Arc::new(AtomicUsize::new(0));
+                let workers: Vec<_> = (0..2)
+                    .map(|_| {
+                        let a = a.clone();
+                        thread::spawn(move || {
+                            let v = a.load(Ordering::SeqCst);
+                            a.store(v + 1, Ordering::SeqCst);
+                        })
+                    })
+                    .collect();
+                for w in workers {
+                    w.join();
+                }
+                assert_eq!(a.load(Ordering::SeqCst), 2, "lost update");
+            });
+        });
+        let msg = match result {
+            Ok(()) => panic!("checker missed the lost update"),
+            Err(p) => super::panic_message(p.as_ref()),
+        };
+        assert!(msg.contains("lost update"), "wrong failure: {msg}");
+        assert!(msg.contains("failing schedule"), "no schedule in: {msg}");
+    }
+
+    #[test]
+    fn fetch_add_has_no_lost_update() {
+        // The same pattern with a proper RMW passes exhaustively.
+        let n = model_counted(|| {
+            let a = Arc::new(AtomicUsize::new(0));
+            let workers: Vec<_> = (0..2)
+                .map(|_| {
+                    let a = a.clone();
+                    thread::spawn(move || {
+                        a.fetch_add(1, Ordering::SeqCst);
+                    })
+                })
+                .collect();
+            for w in workers {
+                w.join();
+            }
+            assert_eq!(a.load(Ordering::SeqCst), 2);
+        });
+        assert!(n > 1, "two threads must yield multiple schedules, got {n}");
+    }
+
+    #[test]
+    fn yield_now_keeps_spin_loops_finite() {
+        model(|| {
+            let flag = Arc::new(AtomicBool::new(false));
+            let f = flag.clone();
+            let spinner = thread::spawn(move || {
+                while !f.load(Ordering::SeqCst) {
+                    thread::yield_now();
+                }
+            });
+            flag.store(true, Ordering::SeqCst);
+            spinner.join();
+        });
+    }
+
+    #[test]
+    fn join_returns_value() {
+        model(|| {
+            let t = thread::spawn(|| 41usize);
+            assert_eq!(t.join() + 1, 42);
+        });
+    }
+
+    #[test]
+    fn atomics_work_outside_model() {
+        // cfg(interleave) builds run ordinary tests too; the wrappers
+        // must degrade to plain std atomics with no scheduler around.
+        let a = AtomicUsize::new(1);
+        assert_eq!(a.fetch_add(1, Ordering::Relaxed), 1);
+        assert_eq!(a.load(Ordering::Relaxed), 2);
+    }
+}

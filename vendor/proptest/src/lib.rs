@@ -12,6 +12,7 @@
 //! **not shrunk**. Shrinking matters for exploratory fuzzing; these suite
 //! runs are regression gates where reproducibility matters more.
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 use rand::rngs::StdRng;

@@ -16,6 +16,7 @@
 //! all in-repo tests are either statistical or same-stream comparisons,
 //! which this generator satisfies.
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 /// Low-level source of randomness (subset of `rand_core::RngCore`).
@@ -257,7 +258,9 @@ pub mod rngs {
         fn from_seed(seed: [u8; 32]) -> StdRng {
             let mut s = [0u64; 4];
             for (i, chunk) in seed.chunks(8).enumerate() {
-                s[i] = u64::from_le_bytes(chunk.try_into().unwrap());
+                let mut bytes = [0u8; 8];
+                bytes.copy_from_slice(chunk);
+                s[i] = u64::from_le_bytes(bytes);
             }
             // An all-zero state is a fixed point of xoshiro; nudge it.
             if s == [0; 4] {
