@@ -81,6 +81,11 @@ pub fn bench_record(
         } else {
             0.0
         },
+        // Bench-harness runs never queue and are never batched with
+        // other work; the serving layer overrides these.
+        queue_wait_ns: 0.0,
+        batch_size: 1,
+        outcome: "completed".to_string(),
     }
 }
 

@@ -5,17 +5,14 @@
 //! benchmark ensemble under a chosen schedule, repeating the paper's
 //! 10-iteration protocol and reporting the paper's NSPS metric.
 
-use crate::scenario::{bench_dt, build_ensemble, dipole_wave, BenchConfig};
-use pic_boris::{
-    AnalyticalSource, BorisPusher, FieldSource, PrecalculatedSource, SharedPushKernel,
-};
-use pic_fields::PrecalculatedFields;
+use crate::run::{merge_thread_stats, run_mdipole_steps, MdipoleScenario};
+use crate::scenario::{build_ensemble, BenchConfig};
 use pic_math::stats::Summary;
 use pic_math::Real;
-use pic_particles::{AosEnsemble, Layout, ParticleAccess, SoaEnsemble, SpeciesTable};
+use pic_particles::{AosEnsemble, Layout, ParticleAccess, SoaEnsemble};
 use pic_perfmodel::Scenario;
-use pic_runtime::{parallel_sweep, Schedule, Topology};
-use pic_telemetry::{Registry, ThreadStat};
+use pic_runtime::{Schedule, Topology};
+use pic_telemetry::ThreadStat;
 use std::time::Instant;
 
 /// Result of one measured configuration.
@@ -112,68 +109,27 @@ fn measure_store<R: Real, A: ParticleAccess<R>>(
     topology: &Topology,
     schedule: Schedule,
 ) -> MeasuredRun {
-    let table = SpeciesTable::<R>::with_standard_species();
-    let wave = dipole_wave::<R>();
-    let dt = R::from_f64(bench_dt());
-
-    match scenario {
-        Scenario::Analytical => {
-            let source = AnalyticalSource::new(wave);
-            run_iterations(store, &source, &table, dt, cfg, topology, schedule)
-        }
-        Scenario::Precalculated => {
-            let positions: Vec<_> = (0..store.len()).map(|i| store.get(i).position).collect();
-            let pre = PrecalculatedFields::from_sampler(&wave, positions, R::ZERO);
-            let source = PrecalculatedSource::new(&pre);
-            run_iterations(store, &source, &table, dt, cfg, topology, schedule)
-        }
-    }
-}
-
-fn run_iterations<R: Real, A: ParticleAccess<R>, F: FieldSource<R> + Copy>(
-    store: &mut A,
-    source: &F,
-    table: &SpeciesTable<R>,
-    dt: R,
-    cfg: &BenchConfig,
-    topology: &Topology,
-    schedule: Schedule,
-) -> MeasuredRun {
+    // Field context (including the Precalculated sampling pass) is built
+    // once, before the first Instant::now().
+    let ctx = MdipoleScenario::prepare(scenario, store);
     let mut iteration_ns = Vec::with_capacity(cfg.iterations);
-    let registry = Registry::new(topology.total_threads());
-    let mut domains = vec![0usize; topology.total_threads()];
+    let mut thread_stats: Vec<ThreadStat> = Vec::new();
     let mut time = R::ZERO;
     for _ in 0..cfg.iterations {
         let start = Instant::now();
-        for _ in 0..cfg.steps_per_iteration {
-            let shared = SharedPushKernel {
-                source,
-                pusher: BorisPusher,
-                table,
-                dt,
-                time,
-            };
-            let report = parallel_sweep(store, topology, schedule, |_tid| shared.to_kernel());
-            report.record_into(&registry);
-            for t in &report.threads {
-                domains[t.thread] = t.domain;
-            }
-            time += dt;
-        }
+        let run = run_mdipole_steps(
+            store,
+            &ctx,
+            cfg.steps_per_iteration,
+            &mut time,
+            topology,
+            schedule,
+            None,
+            &mut |_, _| true,
+        );
         iteration_ns.push(start.elapsed().as_nanos() as f64);
+        merge_thread_stats(&mut thread_stats, &run.thread_stats);
     }
-    let thread_stats = registry
-        .totals()
-        .into_iter()
-        .enumerate()
-        .map(|(tid, t)| ThreadStat {
-            thread: tid as u64,
-            domain: domains[tid] as u64,
-            chunks: t.chunks,
-            particles: t.particles,
-            busy_ns: t.busy_ns,
-        })
-        .collect();
     MeasuredRun {
         iteration_ns,
         work: cfg.work_per_iteration(),

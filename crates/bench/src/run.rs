@@ -1,0 +1,340 @@
+//! The shared m-dipole step runner: Table-2 workload wiring in one place.
+//!
+//! Both entry points into the benchmark physics — the one-shot harness
+//! (`measure_nsps` / `reproduce`) and the `pic-serve` job service — drive
+//! the same scenario: electrons in the 0.1 PW standing m-dipole wave,
+//! pushed by the Boris kernel under a chosen schedule. This module owns
+//! that wiring so the paper's §5.2 parameters exist exactly once.
+//!
+//! The Precalculated scenario samples the fields at the *initial*
+//! particle positions, once, in [`MdipoleScenario::prepare`] — outside
+//! any timed or deadline-checked region — mirroring the paper's setup
+//! where scenario 1 "excludes all operations from measurements except
+//! for particle motion".
+
+use crate::scenario::{bench_dt, dipole_wave};
+use pic_boris::{
+    AnalyticalSource, BorisPusher, FieldSource, PrecalculatedSource, SharedPushKernel,
+};
+use pic_fields::{DipoleStandingWave, PrecalculatedFields};
+use pic_math::Real;
+use pic_particles::{ParticleAccess, SpeciesTable};
+use pic_perfmodel::Scenario;
+use pic_runtime::{
+    parallel_sweep, parallel_sweep_cancellable, CancelToken, Schedule, SweepReport, Topology,
+};
+use pic_telemetry::ThreadStat;
+
+/// Field context for the benchmark workload, built once per run and
+/// reused across every step (and, in the serving layer, across every job
+/// of a batch).
+pub enum MdipoleScenario<R: Real> {
+    /// Fields evaluated analytically at each particle position (paper
+    /// scenario 2).
+    Analytical(AnalyticalSource<DipoleStandingWave<R>>),
+    /// Fields sampled once per particle at preparation time (paper
+    /// scenario 1).
+    Precalculated(PrecalculatedFields<R>),
+}
+
+impl<R: Real> MdipoleScenario<R> {
+    /// Builds the field context for `scenario` from `store`'s *current*
+    /// positions. For [`Scenario::Precalculated`] this is the expensive
+    /// sampling pass; call it before entering any timed region.
+    pub fn prepare<A: ParticleAccess<R>>(scenario: Scenario, store: &A) -> MdipoleScenario<R> {
+        let wave = dipole_wave::<R>();
+        match scenario {
+            Scenario::Analytical => MdipoleScenario::Analytical(AnalyticalSource::new(wave)),
+            Scenario::Precalculated => {
+                let positions: Vec<_> = (0..store.len()).map(|i| store.get(i).position).collect();
+                MdipoleScenario::Precalculated(PrecalculatedFields::from_sampler(
+                    &wave,
+                    positions,
+                    R::ZERO,
+                ))
+            }
+        }
+    }
+}
+
+/// What [`run_mdipole_steps`] actually did.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct MdipoleRun {
+    /// Steps fully completed (every particle pushed).
+    pub steps_done: usize,
+    /// Per-thread totals over the completed portion, indexed by thread id.
+    pub thread_stats: Vec<ThreadStat>,
+    /// True when the run stopped before `steps` — cancelled, or halted by
+    /// the `on_step` callback.
+    pub interrupted: bool,
+}
+
+/// Advances `store` by up to `steps` pusher steps of the m-dipole
+/// benchmark, starting at simulation time `*time` (advanced in place by
+/// one `bench_dt` per completed step, so callers can span several calls
+/// over one continuous trajectory).
+///
+/// `cancel`, when provided, is polled between steps *and* at every chunk
+/// boundary inside each sweep; a cancelled run returns with
+/// `interrupted = true` and `steps_done` counting only fully swept steps.
+/// `on_step` runs after each completed step and returns `false` to stop
+/// early — the serving layer uses it for per-job deadline checks.
+#[allow(clippy::too_many_arguments)]
+pub fn run_mdipole_steps<R: Real, A: ParticleAccess<R>>(
+    store: &mut A,
+    ctx: &MdipoleScenario<R>,
+    steps: usize,
+    time: &mut R,
+    topology: &Topology,
+    schedule: Schedule,
+    cancel: Option<&CancelToken>,
+    on_step: &mut dyn FnMut(usize, &SweepReport) -> bool,
+) -> MdipoleRun {
+    match ctx {
+        MdipoleScenario::Analytical(source) => drive(
+            store, source, steps, time, topology, schedule, cancel, on_step,
+        ),
+        MdipoleScenario::Precalculated(pre) => {
+            let source = PrecalculatedSource::new(pre);
+            drive(
+                store, &source, steps, time, topology, schedule, cancel, on_step,
+            )
+        }
+    }
+}
+
+/// Accumulates per-thread totals from `extra` into `totals`, growing
+/// `totals` as needed. Both slices are indexed by thread id.
+pub fn merge_thread_stats(totals: &mut Vec<ThreadStat>, extra: &[ThreadStat]) {
+    if totals.len() < extra.len() {
+        totals.resize(extra.len(), ThreadStat::default());
+    }
+    for t in extra {
+        let slot = &mut totals[t.thread as usize];
+        slot.thread = t.thread;
+        slot.domain = t.domain;
+        slot.chunks += t.chunks;
+        slot.particles += t.particles;
+        slot.busy_ns += t.busy_ns;
+    }
+}
+
+fn merge_report(totals: &mut Vec<ThreadStat>, report: &SweepReport) {
+    for t in &report.threads {
+        if totals.len() <= t.thread {
+            totals.resize(t.thread + 1, ThreadStat::default());
+        }
+        let slot = &mut totals[t.thread];
+        slot.thread = t.thread as u64;
+        slot.domain = t.domain as u64;
+        slot.chunks += t.chunks as u64;
+        slot.particles += t.particles as u64;
+        slot.busy_ns += t.busy_ns;
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn drive<R: Real, A: ParticleAccess<R>, F: FieldSource<R>>(
+    store: &mut A,
+    source: &F,
+    steps: usize,
+    time: &mut R,
+    topology: &Topology,
+    schedule: Schedule,
+    cancel: Option<&CancelToken>,
+    on_step: &mut dyn FnMut(usize, &SweepReport) -> bool,
+) -> MdipoleRun {
+    let table = SpeciesTable::<R>::with_standard_species();
+    let dt = R::from_f64(bench_dt());
+    let mut thread_stats: Vec<ThreadStat> = Vec::new();
+    let mut steps_done = 0;
+    for step in 0..steps {
+        if cancel.is_some_and(CancelToken::is_cancelled) {
+            return MdipoleRun {
+                steps_done,
+                thread_stats,
+                interrupted: true,
+            };
+        }
+        let shared = SharedPushKernel {
+            source,
+            pusher: BorisPusher,
+            table: &table,
+            dt,
+            time: *time,
+        };
+        let report = match cancel {
+            Some(token) => {
+                parallel_sweep_cancellable(store, topology, schedule, |_| shared.to_kernel(), token)
+            }
+            None => parallel_sweep(store, topology, schedule, |_| shared.to_kernel()),
+        };
+        merge_report(&mut thread_stats, &report);
+        if report.total_particles() < store.len() {
+            // Cancelled mid-sweep: the store holds a mix of old and new
+            // positions, so the step does not count and time stands still.
+            return MdipoleRun {
+                steps_done,
+                thread_stats,
+                interrupted: true,
+            };
+        }
+        *time += dt;
+        steps_done = step + 1;
+        if !on_step(step, &report) {
+            return MdipoleRun {
+                steps_done,
+                thread_stats,
+                interrupted: steps_done < steps,
+            };
+        }
+    }
+    MdipoleRun {
+        steps_done,
+        thread_stats,
+        interrupted: false,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scenario::build_ensemble;
+    use pic_particles::{AosEnsemble, SoaEnsemble};
+
+    #[test]
+    fn runner_completes_all_steps_and_advances_time() {
+        for scenario in Scenario::all() {
+            let mut store: SoaEnsemble<f32> = build_ensemble(500, 3);
+            let ctx = MdipoleScenario::prepare(scenario, &store);
+            let mut time = 0.0f32;
+            let run = run_mdipole_steps(
+                &mut store,
+                &ctx,
+                4,
+                &mut time,
+                &Topology::single(2),
+                Schedule::dynamic(),
+                None,
+                &mut |_, _| true,
+            );
+            assert_eq!(run.steps_done, 4, "{scenario}");
+            assert!(!run.interrupted);
+            let pushed: u64 = run.thread_stats.iter().map(|t| t.particles).sum();
+            assert_eq!(pushed, 500 * 4);
+            assert!((time - 4.0 * bench_dt() as f32).abs() < 1e-3 * bench_dt() as f32);
+        }
+    }
+
+    #[test]
+    fn runner_matches_direct_sweeps_between_layouts() {
+        let mut aos: AosEnsemble<f64> = build_ensemble(200, 9);
+        let mut soa: SoaEnsemble<f64> = build_ensemble(200, 9);
+        let ctx_a = MdipoleScenario::prepare(Scenario::Analytical, &aos);
+        let ctx_s = MdipoleScenario::prepare(Scenario::Analytical, &soa);
+        let (mut ta, mut ts) = (0.0f64, 0.0f64);
+        run_mdipole_steps(
+            &mut aos,
+            &ctx_a,
+            3,
+            &mut ta,
+            &Topology::single(1),
+            Schedule::StaticChunks,
+            None,
+            &mut |_, _| true,
+        );
+        run_mdipole_steps(
+            &mut soa,
+            &ctx_s,
+            3,
+            &mut ts,
+            &Topology::uniform(2, 2),
+            Schedule::numa(),
+            None,
+            &mut |_, _| true,
+        );
+        for i in 0..200 {
+            assert_eq!(aos.get(i), soa.get(i), "particle {i}");
+        }
+    }
+
+    #[test]
+    fn precancelled_runner_does_nothing() {
+        let mut store: AosEnsemble<f32> = build_ensemble(100, 1);
+        let ctx = MdipoleScenario::prepare(Scenario::Precalculated, &store);
+        let token = CancelToken::new();
+        token.cancel();
+        let mut time = 0.0f32;
+        let run = run_mdipole_steps(
+            &mut store,
+            &ctx,
+            5,
+            &mut time,
+            &Topology::single(1),
+            Schedule::StaticChunks,
+            Some(&token),
+            &mut |_, _| true,
+        );
+        assert_eq!(run.steps_done, 0);
+        assert!(run.interrupted);
+        assert_eq!(time, 0.0);
+        let fresh: AosEnsemble<f32> = build_ensemble(100, 1);
+        for i in 0..100 {
+            assert_eq!(store.get(i), fresh.get(i), "particle {i} was pushed");
+        }
+    }
+
+    #[test]
+    fn on_step_false_stops_the_run_early() {
+        let mut store: SoaEnsemble<f64> = build_ensemble(100, 5);
+        let ctx = MdipoleScenario::prepare(Scenario::Analytical, &store);
+        let mut time = 0.0f64;
+        let run = run_mdipole_steps(
+            &mut store,
+            &ctx,
+            10,
+            &mut time,
+            &Topology::single(1),
+            Schedule::StaticChunks,
+            None,
+            &mut |step, _| step < 2,
+        );
+        assert_eq!(run.steps_done, 3, "stops after the step that said no");
+        assert!(run.interrupted);
+    }
+
+    #[test]
+    fn merge_thread_stats_accumulates_and_grows() {
+        let mut totals = Vec::new();
+        let a = [ThreadStat {
+            thread: 0,
+            domain: 0,
+            chunks: 2,
+            particles: 10,
+            busy_ns: 5,
+        }];
+        let b = [
+            ThreadStat {
+                thread: 0,
+                domain: 0,
+                chunks: 1,
+                particles: 4,
+                busy_ns: 2,
+            },
+            ThreadStat {
+                thread: 1,
+                domain: 1,
+                chunks: 3,
+                particles: 6,
+                busy_ns: 9,
+            },
+        ];
+        merge_thread_stats(&mut totals, &a);
+        merge_thread_stats(&mut totals, &b);
+        assert_eq!(totals.len(), 2);
+        assert_eq!(totals[0].particles, 14);
+        assert_eq!(totals[0].chunks, 3);
+        assert_eq!(totals[1].domain, 1);
+        assert_eq!(totals[1].busy_ns, 9);
+    }
+}

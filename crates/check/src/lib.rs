@@ -65,6 +65,11 @@ const INSTANT_ALLOW: &[(&str, &str)] = &[
         "crates/device/src/queue.rs",
         "host-side wall time feeding the modeled-GPU event timeline",
     ),
+    (
+        "crates/serve/src/clock.rs",
+        "the job service's single clock read point; queue-wait and \
+         timeout accounting go through it, never through ad-hoc timers",
+    ),
 ];
 
 /// Directory prefixes where `precision-pollution` applies: the kernel

@@ -118,6 +118,15 @@ fn instant_stays_in_the_measuring_layers() {
     assert!(rules("crates/bench/src/demo.rs", bad).is_empty());
     assert!(rules("crates/runtime/src/sweep.rs", bad).is_empty());
 
+    // The job service gets exactly one clock module; the rest of the
+    // crate must route wall-time reads through it.
+    assert!(rules("crates/serve/src/clock.rs", bad).is_empty());
+    assert_eq!(
+        rules("crates/serve/src/scheduler.rs", bad),
+        vec!["instant-outside-telemetry"],
+        "only clock.rs is allowlisted in pic-serve"
+    );
+
     let justified =
         "// lint: allow(instant-outside-telemetry): cold-path setup timing\nfn f() { let t = Instant::now(); }\n";
     assert!(rules(LIB, justified).is_empty());

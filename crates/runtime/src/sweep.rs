@@ -1,5 +1,6 @@
 //! The parallel particle sweep.
 
+use crate::cancel::CancelToken;
 use crate::schedule::Schedule;
 use crate::sync::{join_or_propagate, WorkQueue};
 use crate::topology::Topology;
@@ -41,11 +42,13 @@ impl SweepReport {
     }
 
     /// Load imbalance: the busiest thread's particle count divided by the
-    /// mean (1.0 = perfectly balanced; returns 1.0 for empty sweeps).
+    /// mean (1.0 = perfectly balanced). Empty and single-thread reports
+    /// have no imbalance to speak of and return 0.0 — never NaN — so the
+    /// metric stays safe to emit per batch from the serving layer.
     pub fn imbalance(&self) -> f64 {
         let total = self.total_particles();
-        if total == 0 || self.threads.is_empty() {
-            return 1.0;
+        if total == 0 || self.threads.len() <= 1 {
+            return 0.0;
         }
         let mean = total as f64 / self.threads.len() as f64;
         let max = self.threads.iter().map(|t| t.particles).max().unwrap_or(0);
@@ -59,11 +62,13 @@ impl SweepReport {
     }
 
     /// Busy-time load imbalance: the busiest thread's kernel time divided
-    /// by the mean (1.0 = perfectly balanced; 1.0 when untimed or empty).
+    /// by the mean (1.0 = perfectly balanced). Untimed, empty and
+    /// single-thread reports return 0.0 (undefined, not ideal) — never
+    /// NaN — matching [`imbalance`](Self::imbalance).
     pub fn time_imbalance(&self) -> f64 {
         let total = self.total_busy_ns();
-        if total == 0 || self.threads.is_empty() {
-            return 1.0;
+        if total == 0 || self.threads.len() <= 1 {
+            return 0.0;
         }
         let mean = total as f64 / self.threads.len() as f64;
         let max = self.threads.iter().map(|t| t.busy_ns).max().unwrap_or(0);
@@ -143,21 +148,91 @@ where
     K: ParticleKernel<R> + Send,
     F: Fn(usize) -> K + Sync,
 {
+    sweep_impl(store, topology, schedule, kernel_factory, None)
+}
+
+/// [`parallel_sweep`] with cooperative cancellation: workers poll
+/// `cancel` at every chunk boundary and stop pulling work once it is
+/// set. Chunks already started run to completion (the per-particle loop
+/// is never interrupted), so an interrupted sweep still produces a
+/// consistent ensemble and an accurate report — it just covers fewer
+/// particles. Callers detect interruption by comparing
+/// `report.total_particles()` against `store.len()`.
+///
+/// Granularity: under the queued schedules every grain is a checkpoint;
+/// under [`Schedule::StaticChunks`] each thread checks once before its
+/// single block; the serial fast path splits the range into grains so a
+/// single-threaded service worker can still stop mid-ensemble.
+pub fn parallel_sweep_cancellable<R, A, K, F>(
+    store: &mut A,
+    topology: &Topology,
+    schedule: Schedule,
+    kernel_factory: F,
+    cancel: &CancelToken,
+) -> SweepReport
+where
+    R: Real,
+    A: ParticleAccess<R>,
+    K: ParticleKernel<R> + Send,
+    F: Fn(usize) -> K + Sync,
+{
+    sweep_impl(store, topology, schedule, kernel_factory, Some(cancel))
+}
+
+fn sweep_impl<R, A, K, F>(
+    store: &mut A,
+    topology: &Topology,
+    schedule: Schedule,
+    kernel_factory: F,
+    cancel: Option<&CancelToken>,
+) -> SweepReport
+where
+    R: Real,
+    A: ParticleAccess<R>,
+    K: ParticleKernel<R> + Send,
+    F: Fn(usize) -> K + Sync,
+{
     let n = store.len();
     let threads = topology.total_threads();
+    let cancelled = || cancel.is_some_and(CancelToken::is_cancelled);
 
     // Serial fast path: one thread, no queues, no spawning.
     if threads == 1 {
         let mut kernel = kernel_factory(0);
-        let (busy_ns, ()) = timed(|| store.for_each_mut(&mut kernel));
+        let mut report = ThreadReport {
+            thread: 0,
+            domain: 0,
+            ..ThreadReport::default()
+        };
+        match cancel {
+            None => {
+                let (busy_ns, ()) = timed(|| store.for_each_mut(&mut kernel));
+                report.chunks = 1;
+                report.particles = n;
+                report.busy_ns = busy_ns;
+            }
+            Some(token) => {
+                // Split into grains so cancellation has boundaries to
+                // land on even without worker threads.
+                let grain = match schedule {
+                    Schedule::Dynamic { grain } | Schedule::NumaDomains { grain } => grain,
+                    Schedule::Guided { min_grain } => min_grain,
+                    Schedule::StaticChunks => 0,
+                };
+                let grain = Schedule::resolve_grain(grain, n, 2);
+                for mut chunk in store.split_mut(grain) {
+                    if token.is_cancelled() {
+                        break;
+                    }
+                    report.chunks += 1;
+                    report.particles += chunk.len();
+                    let (busy_ns, ()) = timed(|| chunk.for_each_mut(&mut kernel));
+                    report.busy_ns += busy_ns;
+                }
+            }
+        }
         return SweepReport {
-            threads: vec![ThreadReport {
-                thread: 0,
-                domain: 0,
-                chunks: 1,
-                particles: n,
-                busy_ns,
-            }],
+            threads: vec![report],
         };
     }
 
@@ -172,17 +247,21 @@ where
                     .enumerate()
                     .map(|(tid, mut chunk)| {
                         let factory = &kernel_factory;
+                        let cancelled = &cancelled;
                         scope.spawn(move |_| {
-                            let particles = chunk.len();
-                            let mut kernel = factory(tid);
-                            let (busy_ns, ()) = timed(|| chunk.for_each_mut(&mut kernel));
-                            ThreadReport {
+                            let mut report = ThreadReport {
                                 thread: tid,
                                 domain: topology.domain_of(tid),
-                                chunks: 1,
-                                particles,
-                                busy_ns,
+                                ..ThreadReport::default()
+                            };
+                            if !cancelled() {
+                                let mut kernel = factory(tid);
+                                report.particles = chunk.len();
+                                report.chunks = 1;
+                                let (busy_ns, ()) = timed(|| chunk.for_each_mut(&mut kernel));
+                                report.busy_ns = busy_ns;
                             }
+                            report
                         })
                     })
                     .collect();
@@ -213,7 +292,7 @@ where
             for chunk in store.split_mut(grain) {
                 queue.push(chunk);
             }
-            run_queued(topology, &kernel_factory, |_domain| Some(&queue))
+            run_queued(topology, &kernel_factory, |_domain| Some(&queue), cancel)
         }
 
         Schedule::Guided { min_grain } => {
@@ -223,7 +302,7 @@ where
             for chunk in store.split_sizes_mut(&sizes) {
                 queue.push(chunk);
             }
-            run_queued(topology, &kernel_factory, |_domain| Some(&queue))
+            run_queued(topology, &kernel_factory, |_domain| Some(&queue), cancel)
         }
 
         Schedule::NumaDomains { grain } => {
@@ -240,17 +319,23 @@ where
                 }
             }
             debug_assert!(chunks.is_empty());
-            run_queued(topology, &kernel_factory, |domain| queues.get(domain))
+            run_queued(
+                topology,
+                &kernel_factory,
+                |domain| queues.get(domain),
+                cancel,
+            )
         }
     }
 }
 
 /// Spawns one worker per topology thread; each drains the queue returned
-/// by `queue_of` for its domain.
+/// by `queue_of` for its domain, checking `cancel` before every pop.
 fn run_queued<'q, R, C, K, F, Q>(
     topology: &Topology,
     kernel_factory: &F,
     queue_of: Q,
+    cancel: Option<&CancelToken>,
 ) -> SweepReport
 where
     R: Real,
@@ -273,7 +358,16 @@ where
                     };
                     if let Some(queue) = queue_of(domain) {
                         let mut kernel = kernel_factory(tid);
-                        while let Some(mut chunk) = queue.pop() {
+                        loop {
+                            // Chunk-boundary cancellation: checked before
+                            // the pop so a cancelled sweep never claims
+                            // work it will not do.
+                            if cancel.is_some_and(CancelToken::is_cancelled) {
+                                break;
+                            }
+                            let Some(mut chunk) = queue.pop() else {
+                                break;
+                            };
                             report.chunks += 1;
                             report.particles += chunk.len();
                             let (busy_ns, ()) = timed(|| chunk.for_each_mut(&mut kernel));
@@ -467,8 +561,26 @@ mod tests {
             increment_kernel,
         );
         assert!((report.imbalance() - 1.0).abs() < 1e-12);
-        // An empty report defaults to balanced.
-        assert_eq!(SweepReport::default().imbalance(), 1.0);
+        // Empty and single-thread reports have no imbalance: 0.0, not
+        // NaN and not a fake "perfectly balanced" 1.0.
+        assert_eq!(SweepReport::default().imbalance(), 0.0);
+        let single = SweepReport {
+            threads: vec![ThreadReport {
+                thread: 0,
+                domain: 0,
+                chunks: 3,
+                particles: 1000,
+                busy_ns: 5,
+            }],
+        };
+        assert_eq!(single.imbalance(), 0.0);
+        assert_eq!(single.time_imbalance(), 0.0);
+        // A multi-thread report with zero work is also undefined.
+        let idle = SweepReport {
+            threads: vec![ThreadReport::default(), ThreadReport::default()],
+        };
+        assert_eq!(idle.imbalance(), 0.0);
+        assert!(idle.imbalance().is_finite() && idle.time_imbalance().is_finite());
         // A lopsided synthetic report.
         let lopsided = SweepReport {
             threads: vec![
@@ -493,8 +605,8 @@ mod tests {
 
     #[test]
     fn time_imbalance_metric() {
-        // Untimed (or telemetry-off) reports default to balanced.
-        assert_eq!(SweepReport::default().time_imbalance(), 1.0);
+        // Untimed (or telemetry-off) reports have no defined imbalance.
+        assert_eq!(SweepReport::default().time_imbalance(), 0.0);
         let report = SweepReport {
             threads: vec![
                 ThreadReport {
@@ -570,6 +682,81 @@ mod tests {
             );
             assert_eq!(report.total_particles(), 0, "{schedule:?}");
         }
+    }
+
+    #[test]
+    fn precancelled_sweep_does_no_work() {
+        use crate::cancel::CancelToken;
+        for schedule in [
+            Schedule::StaticChunks,
+            Schedule::dynamic(),
+            Schedule::guided(),
+            Schedule::numa(),
+        ] {
+            for topo in [Topology::single(1), Topology::uniform(2, 2)] {
+                let mut ens: AosEnsemble<f64> = ensemble(503);
+                let token = CancelToken::new();
+                token.cancel();
+                let report =
+                    parallel_sweep_cancellable(&mut ens, &topo, schedule, increment_kernel, &token);
+                assert_eq!(report.total_particles(), 0, "{schedule:?} {topo:?}");
+                for i in 0..ens.len() {
+                    assert_eq!(ens.get(i).weight, 0.0, "particle {i} was touched");
+                }
+                assert_eq!(report.threads.len(), topo.total_threads());
+            }
+        }
+    }
+
+    #[test]
+    fn uncancelled_token_is_a_no_op() {
+        use crate::cancel::CancelToken;
+        for topo in [Topology::single(1), Topology::uniform(2, 2)] {
+            let mut ens: AosEnsemble<f64> = ensemble(1003);
+            let token = CancelToken::new();
+            let report = parallel_sweep_cancellable(
+                &mut ens,
+                &topo,
+                Schedule::dynamic(),
+                increment_kernel,
+                &token,
+            );
+            assert_eq!(report.total_particles(), 1003);
+            for i in 0..ens.len() {
+                assert_eq!(ens.get(i).weight, 1.0);
+            }
+        }
+    }
+
+    #[test]
+    fn cancellation_stops_at_a_chunk_boundary() {
+        use crate::cancel::CancelToken;
+        // The kernel itself cancels the token while processing the first
+        // chunk; the serial worker must stop before pulling a second one,
+        // leaving a partial but chunk-aligned sweep.
+        let mut ens: AosEnsemble<f64> = ensemble(1000);
+        let token = CancelToken::new();
+        let kernel_token = token.clone();
+        let report = parallel_sweep_cancellable(
+            &mut ens,
+            &Topology::single(1),
+            Schedule::Dynamic { grain: 100 },
+            move |_tid| {
+                let t = kernel_token.clone();
+                DynKernel(move |_i, v: &mut dyn ParticleView<f64>| {
+                    t.cancel();
+                    let w = v.weight();
+                    v.set_weight(w + 1.0);
+                })
+            },
+            &token,
+        );
+        // Exactly the first grain ran: started chunks complete, no new
+        // chunk is claimed after the flag is up.
+        assert_eq!(report.total_particles(), 100);
+        assert_eq!(report.total_chunks(), 1);
+        assert_eq!(ens.get(99).weight, 1.0);
+        assert_eq!(ens.get(100).weight, 0.0);
     }
 
     #[test]

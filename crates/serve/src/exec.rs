@@ -1,0 +1,204 @@
+//! Batch execution: one combined sweep per batch of compatible jobs.
+//!
+//! The scheduler guarantees every batch is homogeneous (same scenario,
+//! layout, precision, step count), so all its jobs' ensembles can be
+//! concatenated into one store and pushed by one
+//! [`pic_bench::run_mdipole_steps`] call — the per-sweep thread-pool and
+//! dispatch overhead is paid once per batch instead of once per job,
+//! which is the whole point of coalescing. Cancellation and timeouts are
+//! observed at step boundaries via the runner's `on_step` hook (and at
+//! chunk boundaries through the shared [`CancelToken`]); a job that
+//! drops out mid-batch finishes `Cancelled`/`TimedOut` while the
+//! survivors keep running.
+
+use crate::job::{JobReport, Outcome};
+use crate::scheduler::{Batch, JobState, Shared};
+use pic_bench::{build_ensemble, run_mdipole_steps, MdipoleScenario};
+use pic_math::Real;
+use pic_particles::io::write_ensemble;
+use pic_particles::{AosEnsemble, Layout, ParticleStore, SoaEnsemble};
+use pic_perfmodel::Precision;
+use pic_runtime::CancelToken;
+use pic_telemetry::ThreadStat;
+use std::sync::Arc;
+
+/// Executes one batch to terminality: every still-live job of `batch`
+/// has a published outcome when this returns. Runs on a worker thread;
+/// a panic here is caught by the worker and turns into
+/// `Rejected{worker-panic}` for the whole batch.
+pub(crate) fn run_batch(shared: &Shared, batch: &Batch) {
+    let now = shared.clock.now_ns();
+    let mut claimed: Vec<Arc<JobState>> = Vec::with_capacity(batch.jobs.len());
+    for job in &batch.jobs {
+        if !job.claim() {
+            continue; // cancelled (or otherwise finished) while queued
+        }
+        if let Some(seed) = shared.cfg.fault_inject_seed {
+            if job.spec.seed == seed {
+                panic!("fault injection: job {} seed {seed}", job.id);
+            }
+        }
+        if job.cancel_pending() {
+            shared.finish(job, Outcome::Cancelled);
+            continue;
+        }
+        if job.timed_out_at(now) {
+            shared.finish(job, Outcome::TimedOut);
+            continue;
+        }
+        claimed.push(job.clone());
+    }
+    if claimed.is_empty() {
+        return;
+    }
+    // The scheduler only batches compatible jobs; the first claimed
+    // job's physics configuration speaks for the whole batch.
+    let spec = &claimed[0].spec;
+    match (spec.layout, spec.precision) {
+        (Layout::Aos, Precision::F32) => run_typed::<f32, AosEnsemble<f32>>(shared, &claimed),
+        (Layout::Aos, Precision::F64) => run_typed::<f64, AosEnsemble<f64>>(shared, &claimed),
+        (Layout::Soa, Precision::F32) => run_typed::<f32, SoaEnsemble<f32>>(shared, &claimed),
+        (Layout::Soa, Precision::F64) => run_typed::<f64, SoaEnsemble<f64>>(shared, &claimed),
+    }
+}
+
+fn run_typed<R: Real, S: ParticleStore<R>>(shared: &Shared, jobs: &[Arc<JobState>]) {
+    // Build the combined ensemble and remember each job's span in it.
+    let mut store = S::default();
+    let mut spans: Vec<(usize, usize)> = Vec::with_capacity(jobs.len());
+    for job in jobs {
+        let offset = store.len();
+        let ensemble: S = build_ensemble(job.spec.particles, job.spec.seed);
+        for i in 0..ensemble.len() {
+            store.push(ensemble.get(i));
+        }
+        spans.push((offset, job.spec.particles));
+    }
+    // Field preparation (the Precalculated sampling pass) stays outside
+    // the timed region, mirroring the bench harness.
+    let ctx = MdipoleScenario::<R>::prepare(jobs[0].spec.scenario, &store);
+    let token = CancelToken::new();
+    let mut alive: Vec<bool> = vec![true; jobs.len()];
+    let start_ns = shared.clock.now_ns();
+    let mut on_step = |_step: usize, _report: &pic_runtime::SweepReport| {
+        let now = shared.clock.now_ns();
+        let mut any_alive = false;
+        for (k, job) in jobs.iter().enumerate() {
+            if !alive[k] {
+                continue;
+            }
+            if job.cancel_pending() {
+                shared.finish(job, Outcome::Cancelled);
+                alive[k] = false;
+            } else if job.timed_out_at(now) {
+                shared.finish(job, Outcome::TimedOut);
+                alive[k] = false;
+            } else {
+                any_alive = true;
+            }
+        }
+        if !any_alive {
+            token.cancel();
+        }
+        any_alive
+    };
+    let mut time = R::ZERO;
+    let run = run_mdipole_steps(
+        &mut store,
+        &ctx,
+        jobs[0].spec.steps,
+        &mut time,
+        &shared.cfg.topology,
+        shared.cfg.schedule,
+        Some(&token),
+        &mut on_step,
+    );
+    let run_ns = shared.clock.now_ns().saturating_sub(start_ns);
+    let denom = (store.len() as u64 * run.steps_done.max(1) as u64).max(1);
+    let nsps = run_ns as f64 / denom as f64;
+    let imbalance = count_imbalance(&run.thread_stats, |t| t.particles);
+    let time_imbalance = count_imbalance(&run.thread_stats, |t| t.busy_ns);
+    for (k, job) in jobs.iter().enumerate() {
+        if !alive[k] {
+            continue;
+        }
+        let particles = job
+            .spec
+            .return_particles
+            .then(|| extract_span::<R, S>(&store, spans[k]))
+            .flatten();
+        let report = JobReport {
+            nsps,
+            queue_wait_ns: start_ns.saturating_sub(job.submitted_ns),
+            run_ns,
+            batch_size: jobs.len(),
+            steps_done: run.steps_done,
+            imbalance,
+            time_imbalance,
+            particles,
+        };
+        shared.finish(job, Outcome::Completed(report));
+    }
+}
+
+/// Serializes one job's slice of the combined store via
+/// `pic_particles::io`. Returns `None` only on a (never expected)
+/// formatting failure — the job still completes, just without the dump.
+fn extract_span<R: Real, S: ParticleStore<R>>(
+    store: &S,
+    (offset, len): (usize, usize),
+) -> Option<String> {
+    let mut own = S::default();
+    for i in offset..offset + len {
+        own.push(store.get(i));
+    }
+    let mut buf: Vec<u8> = Vec::new();
+    write_ensemble(&own, &mut buf).ok()?;
+    String::from_utf8(buf).ok()
+}
+
+/// Busiest-thread-over-mean minus one, as a fraction; 0.0 for empty or
+/// single-thread runs (PR 4 semantics, matching `SweepReport`).
+fn count_imbalance<F: Fn(&ThreadStat) -> u64>(stats: &[ThreadStat], field: F) -> f64 {
+    let active: Vec<u64> = stats.iter().map(&field).filter(|&v| v > 0).collect();
+    if active.len() <= 1 {
+        return 0.0;
+    }
+    let total: u64 = active.iter().sum();
+    let max = active.iter().copied().max().unwrap_or(0);
+    if total == 0 {
+        return 0.0;
+    }
+    let mean = total as f64 / active.len() as f64;
+    max as f64 / mean - 1.0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn stat(thread: u64, particles: u64, busy_ns: u64) -> ThreadStat {
+        ThreadStat {
+            thread,
+            domain: 0,
+            chunks: 1,
+            particles,
+            busy_ns,
+        }
+    }
+
+    #[test]
+    fn imbalance_is_zero_for_degenerate_runs() {
+        assert_eq!(count_imbalance(&[], |t| t.particles), 0.0);
+        assert_eq!(count_imbalance(&[stat(0, 10, 5)], |t| t.particles), 0.0);
+    }
+
+    #[test]
+    fn imbalance_measures_spread() {
+        let stats = [stat(0, 30, 3), stat(1, 10, 1)];
+        let by_count = count_imbalance(&stats, |t| t.particles);
+        assert!((by_count - 0.5).abs() < 1e-12, "{by_count}");
+        let by_time = count_imbalance(&stats, |t| t.busy_ns);
+        assert!((by_time - 0.5).abs() < 1e-12, "{by_time}");
+    }
+}

@@ -1,0 +1,208 @@
+//! Pumps wire-protocol lines between an I/O pair and a [`Server`].
+//!
+//! Requests are read line-by-line from any `BufRead`; responses are
+//! funneled through an internal channel to a dedicated writer thread, so
+//! job-completion notifiers (which fire on scheduler threads) and
+//! synchronous replies interleave without tearing lines. The writer
+//! thread owns the output until every response for this connection has
+//! been written — including the terminal response of every job submitted
+//! on it — because each submission's notifier holds a channel sender and
+//! the writer only exits when all senders are dropped.
+//!
+//! The `pic-serve` binary wires this to stdin/stdout (`--stdio`) or to
+//! accepted Unix-domain-socket connections (`--socket`).
+
+use crate::proto::{
+    accepted_line, cancel_result_line, error_line, outcome_line, parse_request, rejected_line,
+    shutting_down_line, stats_line, Request,
+};
+use crate::scheduler::{Server, ShutdownReport};
+use std::io::{self, BufRead, Write};
+use std::sync::mpsc;
+use std::thread;
+
+/// What a finished [`serve_lines`] session hands back.
+pub struct ServeOutcome<O> {
+    /// The output sink, returned once every response has been written.
+    pub output: O,
+    /// The drained server's final stats and telemetry records.
+    pub report: ShutdownReport,
+}
+
+/// Serves one connection: reads requests from `input` until EOF or a
+/// `shutdown` request, writing every response (including asynchronous
+/// job outcomes) to `output`. Returns the output plus whether shutdown
+/// was requested. The server itself keeps running — callers owning
+/// multiple connections decide when to drain it.
+pub fn serve_connection<I, O>(server: &Server, input: I, output: O) -> io::Result<(O, bool)>
+where
+    I: BufRead,
+    O: Write + Send + 'static,
+{
+    let (tx, rx) = mpsc::channel::<String>();
+    let writer = thread::spawn(move || -> io::Result<O> {
+        let mut output = output;
+        for line in rx {
+            output.write_all(line.as_bytes())?;
+            output.write_all(b"\n")?;
+            output.flush()?;
+        }
+        Ok(output)
+    });
+    let mut shutdown_requested = false;
+    for line in input.lines() {
+        let line = line?;
+        if line.trim().is_empty() {
+            continue;
+        }
+        let response = match parse_request(&line) {
+            Err(why) => error_line(&why),
+            Ok(Request::Submit { tag, spec }) => {
+                let notify_tx = tx.clone();
+                let notify_tag = tag.clone();
+                let notifier = Box::new(move |id: u64, outcome: &crate::job::Outcome| {
+                    // The connection may already be gone; a dead channel
+                    // just drops the notification.
+                    let _ = notify_tx.send(outcome_line(id, notify_tag.as_deref(), outcome));
+                });
+                match server.submit(spec, Some(notifier)) {
+                    Ok(ticket) => accepted_line(ticket.id(), tag.as_deref()),
+                    Err(reason) => rejected_line(None, tag.as_deref(), &reason),
+                }
+            }
+            Ok(Request::Cancel { id }) => cancel_result_line(id, server.cancel_job(id)),
+            Ok(Request::Stats) => stats_line(&server.stats()),
+            Ok(Request::Shutdown) => {
+                shutdown_requested = true;
+                shutting_down_line()
+            }
+        };
+        if tx.send(response).is_err() {
+            break; // writer died (I/O error); surface it via join below
+        }
+        if shutdown_requested {
+            break;
+        }
+    }
+    // Drop our sender; the writer exits once every in-flight job's
+    // notifier (each holding a clone) has fired and dropped too — i.e.
+    // once every job submitted on this connection is terminal. The
+    // caller must drain the server concurrently or afterwards only if
+    // jobs are still queued when shutdown was NOT requested; for the
+    // shutdown path, `serve_lines` drains before the writer can finish.
+    drop(tx);
+    let output = writer
+        .join()
+        .map_err(|_| io::Error::other("response writer panicked"))??;
+    Ok((output, shutdown_requested))
+}
+
+/// Serves one connection to completion, then drains the server: the
+/// single-connection (`--stdio`) entry point. Every submitted job's
+/// terminal response is written before this returns, because
+/// [`serve_connection`] only returns once its writer thread — kept
+/// alive by every pending job's notifier — has exited, and the server
+/// is still executing jobs during that wait.
+pub fn serve_lines<I, O>(server: Server, input: I, output: O) -> io::Result<ServeOutcome<O>>
+where
+    I: BufRead,
+    O: Write + Send + 'static,
+{
+    let connection = serve_connection(&server, input, output);
+    let report = server.shutdown();
+    let (output, _) = connection?;
+    Ok(ServeOutcome { output, report })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scheduler::ServeConfig;
+    use pic_telemetry::json::{parse, Value};
+    use std::io::Cursor;
+
+    fn served(input: &str, cfg: ServeConfig) -> (Vec<String>, ShutdownReport) {
+        let server = Server::start(cfg, "frontend-test");
+        let out = serve_lines(server, Cursor::new(input.to_string()), Vec::<u8>::new())
+            .expect("serve_lines");
+        let text = String::from_utf8(out.output).expect("utf8");
+        (text.lines().map(str::to_owned).collect(), out.report)
+    }
+
+    fn types(lines: &[String]) -> Vec<String> {
+        lines
+            .iter()
+            .map(|l| {
+                parse(l)
+                    .expect("json line")
+                    .get("type")
+                    .and_then(Value::as_str)
+                    .expect("type field")
+                    .to_owned()
+            })
+            .collect()
+    }
+
+    #[test]
+    fn submit_gets_accepted_then_exactly_one_terminal_response() {
+        let input = r#"{"op":"submit","tag":"t1","spec":{"particles":50,"steps":2}}"#;
+        let (lines, report) = served(input, ServeConfig::default());
+        let kinds = types(&lines);
+        assert_eq!(kinds.iter().filter(|k| *k == "accepted").count(), 1);
+        assert_eq!(kinds.iter().filter(|k| *k == "completed").count(), 1);
+        assert_eq!(report.stats.completed, 1);
+        assert_eq!(report.records.len(), 1);
+        assert_eq!(report.records[0].outcome, "completed");
+        let completed = lines
+            .iter()
+            .find(|l| l.contains("\"completed\""))
+            .expect("completed line");
+        let v = parse(completed).expect("json");
+        assert_eq!(v.get("tag").and_then(Value::as_str), Some("t1"));
+        assert!(v.get("nsps").and_then(Value::as_f64).is_some());
+    }
+
+    #[test]
+    fn garbage_and_unknown_ops_get_error_responses() {
+        let input = "not json\n{\"op\":\"warp\"}\n{\"op\":\"stats\"}";
+        let (lines, _) = served(input, ServeConfig::default());
+        let kinds = types(&lines);
+        assert_eq!(kinds.iter().filter(|k| *k == "error").count(), 2);
+        assert_eq!(kinds.iter().filter(|k| *k == "stats").count(), 1);
+    }
+
+    #[test]
+    fn shutdown_op_acknowledges_and_stops_reading() {
+        let input = "{\"op\":\"shutdown\"}\n{\"op\":\"stats\"}";
+        let (lines, _) = served(input, ServeConfig::default());
+        let kinds = types(&lines);
+        assert_eq!(kinds, vec!["shutting-down".to_string()]);
+    }
+
+    #[test]
+    fn invalid_spec_is_rejected_synchronously() {
+        let input = r#"{"op":"submit","spec":{"particles":0}}"#;
+        let (lines, report) = served(input, ServeConfig::default());
+        let kinds = types(&lines);
+        assert_eq!(kinds, vec!["rejected".to_string()]);
+        assert_eq!(report.stats.rejected, 1);
+        assert_eq!(report.records.len(), 1, "shed jobs still emit records");
+        assert_eq!(report.records[0].outcome, "rejected");
+    }
+
+    #[test]
+    fn return_particles_round_trips_through_particle_io() {
+        let input = r#"{"op":"submit","spec":{"particles":8,"steps":1,"layout":"aos","return_particles":true}}"#;
+        let (lines, _) = served(input, ServeConfig::default());
+        let completed = lines
+            .iter()
+            .find(|l| l.contains("\"completed\""))
+            .expect("completed line");
+        let v = parse(completed).expect("json");
+        let dump = v.get("particles").and_then(Value::as_str).expect("dump");
+        let store: pic_particles::AosEnsemble<f32> =
+            pic_particles::io::read_ensemble(dump.as_bytes()).expect("parses back");
+        use pic_particles::ParticleAccess;
+        assert_eq!(store.len(), 8);
+    }
+}

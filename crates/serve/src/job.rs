@@ -1,0 +1,428 @@
+//! The typed job API: what a client asks for and what it gets back.
+//!
+//! A [`JobSpec`] names one simulation request in the benchmark's terms —
+//! scenario, layout, precision, particle count, steps — plus the serving
+//! knobs: priority lane, optional wall-clock timeout and deadline, a
+//! seed for the deterministic initial ensemble, and whether the final
+//! particle state should be returned (via `pic_particles::io`).
+//!
+//! Every job admitted by the scheduler terminates in exactly one
+//! [`Outcome`]; jobs refused at admission get an explicit
+//! [`RejectReason`] — the service never drops work silently.
+
+use pic_particles::Layout;
+use pic_perfmodel::{Precision, Scenario};
+use pic_telemetry::json::Value;
+
+/// Priority lane of a job. Higher lanes are dispatched first.
+#[derive(Clone, Copy, Debug, Default, Eq, PartialEq)]
+pub enum Priority {
+    /// Dispatched before everything else.
+    High,
+    /// The default lane.
+    #[default]
+    Normal,
+    /// Dispatched only when higher lanes are empty.
+    Low,
+}
+
+impl Priority {
+    /// Lane index: 0 = high … 2 = low.
+    pub fn lane(self) -> usize {
+        match self {
+            Priority::High => 0,
+            Priority::Normal => 1,
+            Priority::Low => 2,
+        }
+    }
+
+    /// Wire name.
+    pub fn name(self) -> &'static str {
+        match self {
+            Priority::High => "high",
+            Priority::Normal => "normal",
+            Priority::Low => "low",
+        }
+    }
+
+    /// Parses a wire name.
+    pub fn parse(s: &str) -> Option<Priority> {
+        match s {
+            "high" => Some(Priority::High),
+            "normal" => Some(Priority::Normal),
+            "low" => Some(Priority::Low),
+            _ => None,
+        }
+    }
+}
+
+/// One simulation job request.
+#[derive(Clone, Debug, PartialEq)]
+pub struct JobSpec {
+    /// Benchmark scenario to run (paper §5.2).
+    pub scenario: Scenario,
+    /// Particle storage layout.
+    pub layout: Layout,
+    /// Floating-point precision of the kernel.
+    pub precision: Precision,
+    /// Macroparticles in the job's ensemble.
+    pub particles: usize,
+    /// Pusher steps to integrate.
+    pub steps: usize,
+    /// Priority lane.
+    pub priority: Priority,
+    /// Wall-clock budget from admission, milliseconds; exceeded jobs
+    /// terminate `TimedOut` at the next step boundary. `None` = no limit.
+    pub timeout_ms: Option<u64>,
+    /// Client deadline used for dispatch ordering (earlier first within
+    /// a lane). Not an enforcement mechanism — that is `timeout_ms`.
+    pub deadline_ms: Option<u64>,
+    /// Seed of the deterministic initial ensemble.
+    pub seed: u64,
+    /// Return the final particle state in the completion report.
+    pub return_particles: bool,
+}
+
+impl Default for JobSpec {
+    fn default() -> JobSpec {
+        JobSpec {
+            scenario: Scenario::Analytical,
+            layout: Layout::Soa,
+            precision: Precision::F32,
+            particles: 1_000,
+            steps: 10,
+            priority: Priority::Normal,
+            timeout_ms: None,
+            deadline_ms: None,
+            seed: 42,
+            return_particles: false,
+        }
+    }
+}
+
+impl JobSpec {
+    /// Checks the spec against the service limits; `Err` holds a
+    /// human-readable reason for a `Rejected{Invalid}` response.
+    pub fn validate(&self, max_particles: usize, max_steps: usize) -> Result<(), String> {
+        if self.particles == 0 {
+            return Err("particles must be > 0".to_string());
+        }
+        if self.particles > max_particles {
+            return Err(format!(
+                "particles {} exceeds service limit {max_particles}",
+                self.particles
+            ));
+        }
+        if self.steps == 0 {
+            return Err("steps must be > 0".to_string());
+        }
+        if self.steps > max_steps {
+            return Err(format!(
+                "steps {} exceeds service limit {max_steps}",
+                self.steps
+            ));
+        }
+        Ok(())
+    }
+
+    /// Serializes for the wire protocol.
+    pub fn to_value(&self) -> Value {
+        let mut entries = vec![
+            ("scenario", Value::Str(scenario_wire(self.scenario).into())),
+            ("layout", Value::Str(self.layout.name().into())),
+            ("precision", Value::Str(self.precision.name().into())),
+            ("particles", Value::Num(self.particles as f64)),
+            ("steps", Value::Num(self.steps as f64)),
+            ("priority", Value::Str(self.priority.name().into())),
+            ("seed", Value::Num(self.seed as f64)),
+            ("return_particles", Value::Bool(self.return_particles)),
+        ];
+        if let Some(t) = self.timeout_ms {
+            entries.push(("timeout_ms", Value::Num(t as f64)));
+        }
+        if let Some(d) = self.deadline_ms {
+            entries.push(("deadline_ms", Value::Num(d as f64)));
+        }
+        Value::obj(entries)
+    }
+
+    /// Parses a wire-protocol spec object. Missing optional fields take
+    /// their defaults; a missing or malformed required field is an error.
+    pub fn from_value(v: &Value) -> Result<JobSpec, String> {
+        let dflt = JobSpec::default();
+        let scenario = match v.get("scenario").and_then(Value::as_str) {
+            Some(s) => parse_scenario(s).ok_or_else(|| format!("unknown scenario {s:?}"))?,
+            None => dflt.scenario,
+        };
+        let layout = match v.get("layout").and_then(Value::as_str) {
+            Some(s) => parse_layout(s).ok_or_else(|| format!("unknown layout {s:?}"))?,
+            None => dflt.layout,
+        };
+        let precision = match v.get("precision").and_then(Value::as_str) {
+            Some(s) => parse_precision(s).ok_or_else(|| format!("unknown precision {s:?}"))?,
+            None => dflt.precision,
+        };
+        let priority = match v.get("priority").and_then(Value::as_str) {
+            Some(s) => Priority::parse(s).ok_or_else(|| format!("unknown priority {s:?}"))?,
+            None => dflt.priority,
+        };
+        let particles = v
+            .get("particles")
+            .map(|x| x.as_u64().ok_or("particles must be a non-negative integer"))
+            .transpose()?
+            .map_or(dflt.particles, |n| n as usize);
+        let steps = v
+            .get("steps")
+            .map(|x| x.as_u64().ok_or("steps must be a non-negative integer"))
+            .transpose()?
+            .map_or(dflt.steps, |n| n as usize);
+        let seed = v
+            .get("seed")
+            .map(|x| x.as_u64().ok_or("seed must be a non-negative integer"))
+            .transpose()?
+            .unwrap_or(dflt.seed);
+        let timeout_ms = v
+            .get("timeout_ms")
+            .map(|x| {
+                x.as_u64()
+                    .ok_or("timeout_ms must be a non-negative integer")
+            })
+            .transpose()?;
+        let deadline_ms = v
+            .get("deadline_ms")
+            .map(|x| {
+                x.as_u64()
+                    .ok_or("deadline_ms must be a non-negative integer")
+            })
+            .transpose()?;
+        let return_particles = match v.get("return_particles") {
+            Some(Value::Bool(b)) => *b,
+            Some(_) => return Err("return_particles must be a boolean".to_string()),
+            None => dflt.return_particles,
+        };
+        Ok(JobSpec {
+            scenario,
+            layout,
+            precision,
+            particles,
+            steps,
+            priority,
+            timeout_ms,
+            deadline_ms,
+            seed,
+            return_particles,
+        })
+    }
+
+    /// True when two specs can share one batch: identical physics
+    /// configuration (the combined sweep must be one homogeneous
+    /// kernel), differing only in sizing, seed, priority or limits.
+    pub fn batch_compatible(&self, other: &JobSpec) -> bool {
+        self.scenario == other.scenario
+            && self.layout == other.layout
+            && self.precision == other.precision
+            && self.steps == other.steps
+    }
+}
+
+/// Wire name of a scenario (lowercase; `Scenario::name` is the paper's
+/// table label).
+pub fn scenario_wire(s: Scenario) -> &'static str {
+    match s {
+        Scenario::Precalculated => "precalculated",
+        Scenario::Analytical => "analytical",
+    }
+}
+
+/// Parses a wire scenario name.
+pub fn parse_scenario(s: &str) -> Option<Scenario> {
+    match s {
+        "precalculated" => Some(Scenario::Precalculated),
+        "analytical" => Some(Scenario::Analytical),
+        _ => None,
+    }
+}
+
+/// Parses a wire layout name (both `"AoS"` and `"aos"` spellings).
+pub fn parse_layout(s: &str) -> Option<Layout> {
+    match s {
+        "AoS" | "aos" => Some(Layout::Aos),
+        "SoA" | "soa" => Some(Layout::Soa),
+        _ => None,
+    }
+}
+
+/// Parses a wire precision name.
+pub fn parse_precision(s: &str) -> Option<Precision> {
+    match s {
+        "float" | "f32" => Some(Precision::F32),
+        "double" | "f64" => Some(Precision::F64),
+        _ => None,
+    }
+}
+
+/// Why a submission was refused. Always reported explicitly.
+#[derive(Clone, Debug, Eq, PartialEq)]
+pub enum RejectReason {
+    /// The bounded admission queue is full (load shedding).
+    QueueFull,
+    /// The service is draining for shutdown.
+    ShuttingDown,
+    /// The spec failed validation.
+    Invalid(String),
+    /// The worker executing the job's batch panicked.
+    WorkerPanic,
+}
+
+impl RejectReason {
+    /// Wire name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            RejectReason::QueueFull => "queue-full",
+            RejectReason::ShuttingDown => "shutting-down",
+            RejectReason::Invalid(_) => "invalid",
+            RejectReason::WorkerPanic => "worker-panic",
+        }
+    }
+
+    /// Human-readable detail.
+    pub fn detail(&self) -> String {
+        match self {
+            RejectReason::QueueFull => "admission queue full; retry later".to_string(),
+            RejectReason::ShuttingDown => "service is draining".to_string(),
+            RejectReason::Invalid(why) => why.clone(),
+            RejectReason::WorkerPanic => "worker panicked while executing the job".to_string(),
+        }
+    }
+}
+
+/// Measured results of a completed job.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct JobReport {
+    /// Batch throughput: nanoseconds per particle per step over the
+    /// batch the job ran in (the paper's NSPS metric).
+    pub nsps: f64,
+    /// Time the job waited in the queue before its batch started, ns.
+    pub queue_wait_ns: u64,
+    /// Wall time of the batch sweep, ns.
+    pub run_ns: u64,
+    /// Jobs coalesced into the batch (1 = ran alone).
+    pub batch_size: usize,
+    /// Steps actually integrated (equals the spec's `steps` unless the
+    /// batch stopped early).
+    pub steps_done: usize,
+    /// Particle-count load imbalance of the batch sweep (0.0 when
+    /// single-threaded).
+    pub imbalance: f64,
+    /// Busy-time load imbalance of the batch sweep.
+    pub time_imbalance: f64,
+    /// Final particle state (`pic_particles::io` text format), present
+    /// when the spec asked for `return_particles`.
+    pub particles: Option<String>,
+}
+
+/// The exactly-once terminal state of a job.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Outcome {
+    /// Ran to completion.
+    Completed(JobReport),
+    /// Refused — at admission or by worker-panic isolation.
+    Rejected(RejectReason),
+    /// Cancelled by request before or during execution.
+    Cancelled,
+    /// Exceeded its wall-clock timeout.
+    TimedOut,
+}
+
+impl Outcome {
+    /// Telemetry/wire name of the outcome.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Outcome::Completed(_) => "completed",
+            Outcome::Rejected(_) => "rejected",
+            Outcome::Cancelled => "cancelled",
+            Outcome::TimedOut => "timed-out",
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn spec_round_trips_through_the_wire_value() {
+        let spec = JobSpec {
+            scenario: Scenario::Precalculated,
+            layout: Layout::Aos,
+            precision: Precision::F64,
+            particles: 777,
+            steps: 3,
+            priority: Priority::High,
+            timeout_ms: Some(1_500),
+            deadline_ms: Some(9),
+            seed: 1,
+            return_particles: true,
+        };
+        let back = JobSpec::from_value(&spec.to_value()).unwrap();
+        assert_eq!(back, spec);
+    }
+
+    #[test]
+    fn missing_fields_take_defaults() {
+        let spec = JobSpec::from_value(&Value::obj([])).unwrap();
+        assert_eq!(spec, JobSpec::default());
+    }
+
+    #[test]
+    fn bad_fields_are_named_errors() {
+        let v = Value::obj([("scenario", Value::Str("warp-drive".into()))]);
+        let err = JobSpec::from_value(&v).unwrap_err();
+        assert!(err.contains("warp-drive"), "{err}");
+        let v = Value::obj([("particles", Value::Str("many".into()))]);
+        assert!(JobSpec::from_value(&v).is_err());
+    }
+
+    #[test]
+    fn validation_enforces_service_limits() {
+        let mut spec = JobSpec::default();
+        assert!(spec.validate(10_000, 100).is_ok());
+        spec.particles = 0;
+        assert!(spec.validate(10_000, 100).is_err());
+        spec.particles = 20_000;
+        assert!(spec.validate(10_000, 100).unwrap_err().contains("limit"));
+        spec.particles = 10;
+        spec.steps = 101;
+        assert!(spec.validate(10_000, 100).is_err());
+    }
+
+    #[test]
+    fn batch_compatibility_ignores_sizing_but_not_physics() {
+        let a = JobSpec::default();
+        let mut b = JobSpec {
+            particles: 5,
+            seed: 9,
+            priority: Priority::Low,
+            ..JobSpec::default()
+        };
+        assert!(a.batch_compatible(&b));
+        b.precision = Precision::F64;
+        assert!(!a.batch_compatible(&b));
+        let c = JobSpec {
+            steps: 11,
+            ..JobSpec::default()
+        };
+        assert!(!a.batch_compatible(&c));
+    }
+
+    #[test]
+    fn names_are_stable() {
+        assert_eq!(Priority::parse("high"), Some(Priority::High));
+        assert_eq!(Priority::Normal.lane(), 1);
+        assert_eq!(RejectReason::QueueFull.name(), "queue-full");
+        assert_eq!(Outcome::Cancelled.name(), "cancelled");
+        assert_eq!(parse_layout("SoA"), Some(Layout::Soa));
+        assert_eq!(parse_precision("double"), Some(Precision::F64));
+        assert_eq!(parse_scenario("analytical"), Some(Scenario::Analytical));
+    }
+}

@@ -1,0 +1,42 @@
+//! `pic-serve`: a batched, admission-controlled simulation job service.
+//!
+//! The paper's observation — pusher throughput is governed by how work
+//! is batched, laid out and scheduled across workers — extends directly
+//! to a serving layer. This crate turns the one-shot benchmark harness
+//! into a multi-tenant service, std-only and offline-safe:
+//!
+//! * [`job`] — the typed job API: a [`JobSpec`](job::JobSpec) names a
+//!   benchmark scenario, layout, precision, particle count, step count,
+//!   priority and deadline; a terminal [`Outcome`](job::Outcome) is
+//!   guaranteed exactly once per admitted job.
+//! * [`scheduler`] — the [`Server`](scheduler::Server): a bounded
+//!   admission queue with load shedding, three priority lanes feeding a
+//!   dispatcher that coalesces small compatible jobs into one
+//!   [`pic_bench::run_mdipole_steps`] sweep (amortising per-job overhead
+//!   exactly as the paper's per-iteration overhead analysis predicts),
+//!   and a worker pool with panic isolation and respawn.
+//! * [`proto`] — the versioned line-delimited JSON wire protocol.
+//! * [`frontend`] — pumps requests from any `BufRead` into the server
+//!   and responses back out; the `pic-serve` binary wires it to
+//!   stdin/stdout or a Unix-domain socket.
+//! * [`clock`] — the service's single wall-clock read point (the
+//!   `pic-lint` `instant-outside-telemetry` allowlist names this module
+//!   and nothing else in the crate).
+//!
+//! Every job — including shed ones — emits a `pic-telemetry`
+//! [`pic_telemetry::BenchRecord`] carrying queue wait, batch size, NSPS
+//! and outcome, so the `regress` gate can watch the service path the
+//! same way it watches the bench path.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod clock;
+pub mod exec;
+pub mod frontend;
+pub mod job;
+pub mod proto;
+pub mod scheduler;
+
+pub use job::{JobReport, JobSpec, Outcome, Priority, RejectReason};
+pub use scheduler::{CancelResult, JobTicket, ServeConfig, ServeStats, Server, ShutdownReport};

@@ -1,0 +1,255 @@
+//! The versioned, line-delimited JSON wire protocol.
+//!
+//! One request per line in, one response object per line out (see
+//! EXPERIMENTS.md §"Wire protocol" for the full schema). Every message
+//! carries `"proto": 1`; requests from a newer protocol major are
+//! answered with an `error` response instead of being misread, matching
+//! the `BenchRecord` schema-gate policy.
+//!
+//! Requests: `submit` (a [`JobSpec`] under `"spec"`, with an optional
+//! client `"tag"` echoed in every response about that job), `cancel`,
+//! `stats`, `shutdown`. Responses: `accepted`, `rejected`, `completed`,
+//! `cancelled`, `timed-out`, `cancel-result`, `stats`, `shutting-down`,
+//! `error`. A submission always gets `accepted` or `rejected`
+//! synchronously; each accepted job later gets exactly one terminal
+//! response.
+
+use crate::job::{JobSpec, Outcome};
+use crate::scheduler::{CancelResult, ServeStats};
+use pic_telemetry::json::{parse, Value};
+
+/// Protocol version spoken by this build.
+pub const PROTO_VERSION: u64 = 1;
+
+/// A parsed request line.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Request {
+    /// Submit a job; `tag` is echoed in all responses about it.
+    Submit {
+        /// Client-chosen correlation tag.
+        tag: Option<String>,
+        /// The job to run.
+        spec: JobSpec,
+    },
+    /// Cancel a job by server-assigned id.
+    Cancel {
+        /// The id from the `accepted` response.
+        id: u64,
+    },
+    /// Request a stats snapshot.
+    Stats,
+    /// Drain in-flight jobs and stop.
+    Shutdown,
+}
+
+/// Parses one request line. The error string is ready for an
+/// [`error_line`] response.
+pub fn parse_request(line: &str) -> Result<Request, String> {
+    let v = parse(line).map_err(|e| format!("bad JSON: {e}"))?;
+    if let Some(proto) = v.get("proto") {
+        let proto = proto
+            .as_u64()
+            .ok_or("proto must be a non-negative integer")?;
+        if proto > PROTO_VERSION {
+            return Err(format!(
+                "request speaks protocol {proto}, this build speaks up to {PROTO_VERSION}"
+            ));
+        }
+    }
+    let op = v
+        .get("op")
+        .and_then(Value::as_str)
+        .ok_or("missing \"op\" field")?;
+    match op {
+        "submit" => {
+            let tag = v.get("tag").and_then(Value::as_str).map(str::to_owned);
+            let spec = match v.get("spec") {
+                Some(sv) => JobSpec::from_value(sv)?,
+                None => JobSpec::default(),
+            };
+            Ok(Request::Submit { tag, spec })
+        }
+        "cancel" => {
+            let id = v
+                .get("id")
+                .and_then(Value::as_u64)
+                .ok_or("cancel needs a numeric \"id\"")?;
+            Ok(Request::Cancel { id })
+        }
+        "stats" => Ok(Request::Stats),
+        "shutdown" => Ok(Request::Shutdown),
+        other => Err(format!("unknown op {other:?}")),
+    }
+}
+
+fn base(kind: &str) -> Vec<(&'static str, Value)> {
+    vec![
+        ("proto", Value::Num(PROTO_VERSION as f64)),
+        ("type", Value::Str(kind.to_string())),
+    ]
+}
+
+fn with_tag(
+    mut entries: Vec<(&'static str, Value)>,
+    tag: Option<&str>,
+) -> Vec<(&'static str, Value)> {
+    if let Some(t) = tag {
+        entries.push(("tag", Value::Str(t.to_string())));
+    }
+    entries
+}
+
+/// `accepted` response: the job got a slot and a server id.
+pub fn accepted_line(id: u64, tag: Option<&str>) -> String {
+    let mut e = base("accepted");
+    e.push(("id", Value::Num(id as f64)));
+    Value::obj(with_tag(e, tag)).to_json()
+}
+
+/// `rejected` response for an admission refusal (no server id) or a
+/// terminal rejection of an admitted job (id present).
+pub fn rejected_line(
+    id: Option<u64>,
+    tag: Option<&str>,
+    reason: &crate::job::RejectReason,
+) -> String {
+    let mut e = base("rejected");
+    if let Some(id) = id {
+        e.push(("id", Value::Num(id as f64)));
+    }
+    e.push(("reason", Value::Str(reason.name().to_string())));
+    e.push(("detail", Value::Str(reason.detail())));
+    Value::obj(with_tag(e, tag)).to_json()
+}
+
+/// The terminal response for an admitted job.
+pub fn outcome_line(id: u64, tag: Option<&str>, outcome: &Outcome) -> String {
+    match outcome {
+        Outcome::Rejected(reason) => rejected_line(Some(id), tag, reason),
+        Outcome::Cancelled => {
+            let mut e = base("cancelled");
+            e.push(("id", Value::Num(id as f64)));
+            Value::obj(with_tag(e, tag)).to_json()
+        }
+        Outcome::TimedOut => {
+            let mut e = base("timed-out");
+            e.push(("id", Value::Num(id as f64)));
+            Value::obj(with_tag(e, tag)).to_json()
+        }
+        Outcome::Completed(r) => {
+            let mut e = base("completed");
+            e.push(("id", Value::Num(id as f64)));
+            e.push(("nsps", Value::Num(r.nsps)));
+            e.push(("queue_wait_ns", Value::Num(r.queue_wait_ns as f64)));
+            e.push(("run_ns", Value::Num(r.run_ns as f64)));
+            e.push(("batch_size", Value::Num(r.batch_size as f64)));
+            e.push(("steps_done", Value::Num(r.steps_done as f64)));
+            e.push(("imbalance", Value::Num(r.imbalance)));
+            e.push(("time_imbalance", Value::Num(r.time_imbalance)));
+            if let Some(p) = &r.particles {
+                e.push(("particles", Value::Str(p.clone())));
+            }
+            Value::obj(with_tag(e, tag)).to_json()
+        }
+    }
+}
+
+/// Response to a `cancel` request.
+pub fn cancel_result_line(id: u64, result: CancelResult) -> String {
+    let mut e = base("cancel-result");
+    e.push(("id", Value::Num(id as f64)));
+    e.push(("result", Value::Str(result.name().to_string())));
+    Value::obj(e).to_json()
+}
+
+/// Response to a `stats` request.
+pub fn stats_line(stats: &ServeStats) -> String {
+    let mut e = base("stats");
+    e.push(("submitted", Value::Num(stats.submitted as f64)));
+    e.push(("completed", Value::Num(stats.completed as f64)));
+    e.push(("rejected", Value::Num(stats.rejected as f64)));
+    e.push(("cancelled", Value::Num(stats.cancelled as f64)));
+    e.push(("timed_out", Value::Num(stats.timed_out as f64)));
+    e.push(("depth", Value::Num(stats.depth as f64)));
+    Value::obj(e).to_json()
+}
+
+/// Acknowledgment of a `shutdown` request (drain follows).
+pub fn shutting_down_line() -> String {
+    Value::obj(base("shutting-down")).to_json()
+}
+
+/// Response to an unintelligible line.
+pub fn error_line(message: &str) -> String {
+    let mut e = base("error");
+    e.push(("message", Value::Str(message.to_string())));
+    Value::obj(e).to_json()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::job::RejectReason;
+
+    #[test]
+    fn submit_line_parses_spec_and_tag() {
+        let line = r#"{"proto":1,"op":"submit","tag":"a","spec":{"scenario":"analytical","particles":100,"steps":2,"priority":"high"}}"#;
+        let Ok(Request::Submit { tag, spec }) = parse_request(line) else {
+            panic!("not a submit");
+        };
+        assert_eq!(tag.as_deref(), Some("a"));
+        assert_eq!(spec.particles, 100);
+        assert_eq!(spec.priority, crate::job::Priority::High);
+    }
+
+    #[test]
+    fn newer_protocol_is_refused() {
+        let err = parse_request(r#"{"proto":99,"op":"stats"}"#).unwrap_err();
+        assert!(err.contains("protocol 99"), "{err}");
+    }
+
+    #[test]
+    fn malformed_lines_are_errors_not_panics() {
+        assert!(parse_request("not json").is_err());
+        assert!(parse_request(r#"{"op":"warp"}"#).is_err());
+        assert!(parse_request(r#"{"op":"cancel"}"#).is_err());
+    }
+
+    #[test]
+    fn responses_are_single_json_lines() {
+        let lines = [
+            accepted_line(3, Some("t")),
+            rejected_line(None, None, &RejectReason::QueueFull),
+            outcome_line(3, Some("t"), &Outcome::Cancelled),
+            cancel_result_line(3, CancelResult::Requested),
+            shutting_down_line(),
+            error_line("nope"),
+        ];
+        for line in lines {
+            assert!(!line.contains('\n'));
+            let v = parse(&line).unwrap();
+            assert_eq!(v.get("proto").and_then(Value::as_u64), Some(PROTO_VERSION));
+            assert!(v.get("type").and_then(Value::as_str).is_some());
+        }
+    }
+
+    #[test]
+    fn completed_response_carries_the_report() {
+        let report = crate::job::JobReport {
+            nsps: 12.5,
+            queue_wait_ns: 100,
+            run_ns: 5_000,
+            batch_size: 3,
+            steps_done: 7,
+            imbalance: 1.1,
+            time_imbalance: 0.0,
+            particles: Some("# header\n".to_string()),
+        };
+        let line = outcome_line(9, None, &Outcome::Completed(report));
+        let v = parse(&line).unwrap();
+        assert_eq!(v.get("type").and_then(Value::as_str), Some("completed"));
+        assert_eq!(v.get("batch_size").and_then(Value::as_u64), Some(3));
+        assert_eq!(v.get("steps_done").and_then(Value::as_u64), Some(7));
+        assert!(v.get("particles").is_some());
+    }
+}

@@ -1,0 +1,933 @@
+//! The admission-controlled, batching job scheduler.
+//!
+//! Three priority lanes (PR 3's lock-free `SegQueue`) feed a dispatcher
+//! thread that stages jobs, orders them by (priority, deadline), and
+//! coalesces small compatible jobs into batches — one combined
+//! `parallel_sweep` per batch, so per-job overhead amortises the way the
+//! paper's per-iteration overhead analysis predicts. Worker threads
+//! drain the batch queue; a panicking batch takes its worker down, the
+//! dispatcher respawns a clean one, and the batch's jobs terminate
+//! `Rejected{worker-panic}` instead of vanishing.
+//!
+//! **Exactly-once terminality.** A job's `phase` atomic moves
+//! `QUEUED → RUNNING → DONE` (or straight to `DONE`); every transition
+//! to `DONE` happens through one compare-exchange, so no job can be
+//! double-completed, double-executed, or lost — the saturation test and
+//! the telemetry reconciliation in `tests/soak.rs` check this end to
+//! end, and `crates/check/tests/interleave_serve.rs` model-checks the
+//! admission/drain protocol below exhaustively.
+//!
+//! **Admission/drain protocol.** `submit` claims a depth slot *first*
+//! (`depth.fetch_add`), then re-checks `draining`: if set, it returns
+//! the slot and rejects. The dispatcher and workers exit only when
+//! `draining && depth == 0`. Under sequential consistency either the
+//! producer observes `draining`, or the consumers observe its
+//! `depth > 0` — a submission can never slip past a drained exit.
+
+use crate::clock::Clock;
+use crate::exec;
+use crate::job::{JobSpec, Outcome, RejectReason};
+use pic_runtime::sync::WorkQueue;
+use pic_runtime::{Schedule, Topology};
+use pic_telemetry::{BenchRecord, SCHEMA_VERSION};
+use std::collections::HashMap;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, AtomicU8, AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard, PoisonError};
+use std::thread::{self, JoinHandle};
+use std::time::Duration;
+
+/// How long an idle dispatcher/worker sleeps between queue polls.
+const IDLE_WAIT: Duration = Duration::from_micros(200);
+
+/// Job phase: admitted, waiting in a lane or a batch.
+pub(crate) const QUEUED: u8 = 0;
+/// Job phase: claimed by a worker, executing.
+pub(crate) const RUNNING: u8 = 1;
+/// Job phase: terminal; the outcome is published.
+pub(crate) const DONE: u8 = 2;
+
+/// Callback fired exactly once with a job's terminal outcome.
+pub type Notifier = Box<dyn FnOnce(u64, &Outcome) + Send>;
+
+/// Locks a mutex, treating poisoning as benign: every critical section
+/// below leaves the data consistent even if a panic interrupts it.
+pub(crate) fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+/// Service sizing and execution configuration.
+#[derive(Clone, Debug)]
+pub struct ServeConfig {
+    /// Worker threads executing batches. `0` = admission-only (used by
+    /// tests to exercise queue behavior deterministically).
+    pub workers: usize,
+    /// Bound of the admission queue: jobs admitted but not yet terminal.
+    /// Submissions beyond it are shed with `Rejected{queue-full}`.
+    pub queue_capacity: usize,
+    /// Per-job particle-count limit.
+    pub max_particles: usize,
+    /// Per-job step-count limit.
+    pub max_steps: usize,
+    /// Jobs at or below this particle count may be coalesced.
+    pub coalesce_max_particles: usize,
+    /// Combined particle budget of one coalesced batch.
+    pub batch_particle_budget: usize,
+    /// Thread topology of each batch sweep.
+    pub topology: Topology,
+    /// Schedule of each batch sweep.
+    pub schedule: Schedule,
+    /// Test hook: a job whose seed matches panics inside its worker,
+    /// exercising panic isolation and respawn. `None` in production.
+    pub fault_inject_seed: Option<u64>,
+}
+
+impl Default for ServeConfig {
+    fn default() -> ServeConfig {
+        ServeConfig {
+            workers: 2,
+            queue_capacity: 64,
+            max_particles: 1_000_000,
+            max_steps: 10_000,
+            coalesce_max_particles: 5_000,
+            batch_particle_budget: 20_000,
+            topology: Topology::single(1),
+            schedule: Schedule::dynamic(),
+            fault_inject_seed: None,
+        }
+    }
+}
+
+/// One admitted job's shared state.
+pub(crate) struct JobState {
+    /// Server-assigned id (1-based, dense).
+    pub id: u64,
+    /// The request.
+    pub spec: JobSpec,
+    /// Admission time, service-clock ns.
+    pub submitted_ns: u64,
+    /// `QUEUED` / `RUNNING` / `DONE`.
+    pub phase: AtomicU8,
+    /// Set by `cancel_job`; observed at claim time and step boundaries.
+    pub cancel_requested: AtomicBool,
+    /// Times a worker claimed this job. Must never exceed 1.
+    pub executions: AtomicU32,
+    outcome: Mutex<Option<Outcome>>,
+    done: Condvar,
+    notifier: Mutex<Option<Notifier>>,
+}
+
+impl JobState {
+    /// Claims the job for execution: `QUEUED → RUNNING`, exactly once.
+    pub fn claim(&self) -> bool {
+        // ordering: SeqCst — the claim must be totally ordered against
+        // cancel_job's QUEUED→DONE attempt so exactly one side wins.
+        if self
+            .phase
+            .compare_exchange(QUEUED, RUNNING, Ordering::SeqCst, Ordering::SeqCst)
+            .is_ok()
+        {
+            // ordering: Relaxed — diagnostic counter; read only after
+            // the job is terminal (publication via phase/outcome).
+            self.executions.fetch_add(1, Ordering::Relaxed);
+            return true;
+        }
+        false
+    }
+
+    /// True once the outcome is published.
+    pub fn is_terminal(&self) -> bool {
+        // ordering: SeqCst — paired with the finish transition.
+        self.phase.load(Ordering::SeqCst) == DONE
+    }
+
+    /// True when the job's wall-clock budget is exhausted at `now_ns`.
+    pub fn timed_out_at(&self, now_ns: u64) -> bool {
+        match self.spec.timeout_ms {
+            Some(budget_ms) => now_ns.saturating_sub(self.submitted_ns) >= budget_ms * 1_000_000,
+            None => false,
+        }
+    }
+
+    /// True when cancellation was requested (the job may already have
+    /// terminated for another reason).
+    pub fn cancel_pending(&self) -> bool {
+        // ordering: Relaxed — advisory monotonic flag; a stale read
+        // only delays the cancel by one chunk/step boundary.
+        self.cancel_requested.load(Ordering::Relaxed)
+    }
+}
+
+/// A group of claimed-together jobs executed as one combined sweep.
+pub(crate) struct Batch {
+    /// Jobs in dispatch order. Invariant: mutually `batch_compatible`.
+    pub jobs: Vec<Arc<JobState>>,
+}
+
+/// State shared by the server handle, dispatcher and workers.
+pub(crate) struct Shared {
+    pub cfg: ServeConfig,
+    pub label: String,
+    pub clock: Clock,
+    /// Priority lanes, index = `Priority::lane()`.
+    pub lanes: [WorkQueue<Arc<JobState>>; 3],
+    /// Formed batches awaiting a worker.
+    pub batches: WorkQueue<Batch>,
+    /// Jobs admitted but not yet terminal (the bounded-queue depth).
+    pub depth: AtomicUsize,
+    /// Set once by `shutdown`; never cleared.
+    pub draining: AtomicBool,
+    /// Ids handed out (== submissions attempted, including rejects).
+    next_id: AtomicU64,
+    index: Mutex<HashMap<u64, Arc<JobState>>>,
+    records: Mutex<Vec<BenchRecord>>,
+    completed: AtomicU64,
+    rejected: AtomicU64,
+    cancelled: AtomicU64,
+    timed_out: AtomicU64,
+    /// Jobs observed with more than one execution (must stay 0).
+    pub exec_overruns: AtomicU64,
+}
+
+impl Shared {
+    /// Publishes `outcome` as the job's terminal state — exactly once.
+    /// Returns false if another party already finished the job.
+    pub fn finish(&self, job: &Arc<JobState>, outcome: Outcome) -> bool {
+        // ordering: SeqCst — the unique non-DONE→DONE transition; total
+        // order guarantees exactly one winner among worker, canceller
+        // and drain paths.
+        let mut cur = job.phase.load(Ordering::SeqCst);
+        loop {
+            if cur == DONE {
+                return false;
+            }
+            // ordering: SeqCst — see above.
+            match job
+                .phase
+                .compare_exchange(cur, DONE, Ordering::SeqCst, Ordering::SeqCst)
+            {
+                Ok(_) => break,
+                Err(now) => cur = now,
+            }
+        }
+        // ordering: Relaxed — diagnostic; phase is already DONE.
+        if job.executions.load(Ordering::Relaxed) > 1 {
+            // ordering: Relaxed — diagnostic counter.
+            self.exec_overruns.fetch_add(1, Ordering::Relaxed);
+        }
+        *lock(&job.outcome) = Some(outcome.clone());
+        job.done.notify_all();
+        lock(&self.index).remove(&job.id);
+        self.emit_record(job.id, &job.spec, &outcome, job.submitted_ns);
+        self.bump(&outcome);
+        let notifier = lock(&job.notifier).take();
+        // ordering: SeqCst — the depth slot is released only after the
+        // outcome is published, so `draining && depth == 0` at an exit
+        // point implies every admitted job already has its outcome.
+        self.depth.fetch_sub(1, Ordering::SeqCst);
+        if let Some(notify) = notifier {
+            notify(job.id, &outcome);
+        }
+        true
+    }
+
+    /// Finishes the job only if it is still in `expected` phase.
+    pub fn finish_if(&self, job: &Arc<JobState>, expected: u8, outcome: Outcome) -> bool {
+        // ordering: SeqCst — same uniqueness argument as `finish`.
+        if job
+            .phase
+            .compare_exchange(expected, DONE, Ordering::SeqCst, Ordering::SeqCst)
+            .is_ok()
+        {
+            *lock(&job.outcome) = Some(outcome.clone());
+            job.done.notify_all();
+            lock(&self.index).remove(&job.id);
+            self.emit_record(job.id, &job.spec, &outcome, job.submitted_ns);
+            self.bump(&outcome);
+            let notifier = lock(&job.notifier).take();
+            // ordering: SeqCst — see `finish`.
+            self.depth.fetch_sub(1, Ordering::SeqCst);
+            if let Some(notify) = notifier {
+                notify(job.id, &outcome);
+            }
+            return true;
+        }
+        false
+    }
+
+    fn bump(&self, outcome: &Outcome) {
+        let counter = match outcome {
+            Outcome::Completed(_) => &self.completed,
+            Outcome::Rejected(_) => &self.rejected,
+            Outcome::Cancelled => &self.cancelled,
+            Outcome::TimedOut => &self.timed_out,
+        };
+        // ordering: Relaxed — monotonic stats counters, read for
+        // snapshots only.
+        counter.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Appends the job's telemetry record. Every submission — admitted
+    /// or shed — produces exactly one record, so a record count always
+    /// reconciles with a submission count.
+    pub fn emit_record(&self, id: u64, spec: &JobSpec, outcome: &Outcome, submitted_ns: u64) {
+        let report = match outcome {
+            Outcome::Completed(r) => Some(r),
+            _ => None,
+        };
+        let queue_wait_ns = report.map_or_else(
+            || self.clock.now_ns().saturating_sub(submitted_ns) as f64,
+            |r| r.queue_wait_ns as f64,
+        );
+        let nsps = report.map_or(0.0, |r| r.nsps);
+        let rec = BenchRecord {
+            schema: SCHEMA_VERSION,
+            label: format!("{}/job{}", self.label, id),
+            layout: spec.layout.name().to_string(),
+            scenario: spec.scenario.name().to_string(),
+            precision: spec.precision.name().to_string(),
+            schedule: self.cfg.schedule.paper_name().to_string(),
+            threads: self.cfg.topology.total_threads() as u64,
+            domains: self.cfg.topology.domains() as u64,
+            particles: spec.particles as u64,
+            steps_per_iteration: spec.steps as u64,
+            iterations: 1,
+            iteration_ns: report.map_or_else(Vec::new, |r| vec![r.run_ns as f64]),
+            warmup_nsps: nsps,
+            steady_nsps: nsps,
+            mean_nsps: nsps,
+            imbalance: report.map_or(0.0, |r| r.imbalance),
+            time_imbalance: report.map_or(0.0, |r| r.time_imbalance),
+            thread_stats: Vec::new(),
+            flops_per_particle: 0.0,
+            bytes_per_particle: 0.0,
+            model_nsps: 0.0,
+            model_ratio: 0.0,
+            queue_wait_ns,
+            batch_size: report.map_or(0, |r| r.batch_size as u64),
+            outcome: outcome.name().to_string(),
+        };
+        lock(&self.records).push(rec);
+    }
+
+    fn stats_snapshot(&self) -> ServeStats {
+        ServeStats {
+            // ordering: Relaxed — snapshot of monotonic counters.
+            submitted: self.next_id.load(Ordering::Relaxed),
+            completed: self.completed.load(Ordering::Relaxed),
+            rejected: self.rejected.load(Ordering::Relaxed),
+            // ordering: Relaxed — snapshot of monotonic counters.
+            cancelled: self.cancelled.load(Ordering::Relaxed),
+            timed_out: self.timed_out.load(Ordering::Relaxed),
+            // ordering: SeqCst — consistent with admission/finish.
+            depth: self.depth.load(Ordering::SeqCst),
+            exec_overruns: self.exec_overruns.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// Counter snapshot of the service.
+#[derive(Clone, Debug, Default, Eq, PartialEq)]
+pub struct ServeStats {
+    /// Submissions attempted (including shed ones).
+    pub submitted: u64,
+    /// Jobs that ran to completion.
+    pub completed: u64,
+    /// Jobs shed at admission or failed by worker panic.
+    pub rejected: u64,
+    /// Jobs cancelled by request.
+    pub cancelled: u64,
+    /// Jobs that exceeded their wall-clock budget.
+    pub timed_out: u64,
+    /// Jobs admitted but not yet terminal.
+    pub depth: usize,
+    /// Jobs observed executing more than once (invariant: 0).
+    pub exec_overruns: u64,
+}
+
+/// Everything `shutdown` hands back after the drain.
+#[derive(Clone, Debug)]
+pub struct ShutdownReport {
+    /// Final counters.
+    pub stats: ServeStats,
+    /// One telemetry record per submission, in finish order.
+    pub records: Vec<BenchRecord>,
+}
+
+/// Result of a cancellation request.
+#[derive(Clone, Copy, Debug, Eq, PartialEq)]
+pub enum CancelResult {
+    /// The job was still queued; it is now terminally `Cancelled`.
+    Done,
+    /// The job is running; it will stop at the next chunk boundary.
+    Requested,
+    /// The job already reached a terminal outcome.
+    AlreadyTerminal,
+    /// No such job (never admitted, or already terminal and forgotten).
+    Unknown,
+}
+
+impl CancelResult {
+    /// Wire name.
+    pub fn name(self) -> &'static str {
+        match self {
+            CancelResult::Done => "done",
+            CancelResult::Requested => "requested",
+            CancelResult::AlreadyTerminal => "already-terminal",
+            CancelResult::Unknown => "unknown",
+        }
+    }
+}
+
+/// Handle to a submitted job.
+pub struct JobTicket {
+    state: Arc<JobState>,
+}
+
+impl std::fmt::Debug for JobTicket {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("JobTicket")
+            .field("id", &self.state.id)
+            .field("outcome", &self.outcome())
+            .finish()
+    }
+}
+
+impl JobTicket {
+    /// Server-assigned job id.
+    pub fn id(&self) -> u64 {
+        self.state.id
+    }
+
+    /// The outcome, if the job already terminated.
+    pub fn outcome(&self) -> Option<Outcome> {
+        lock(&self.state.outcome).clone()
+    }
+
+    /// Blocks until the job terminates.
+    pub fn wait(&self) -> Outcome {
+        let mut guard = lock(&self.state.outcome);
+        loop {
+            if let Some(outcome) = guard.clone() {
+                return outcome;
+            }
+            guard = self
+                .state
+                .done
+                .wait(guard)
+                .unwrap_or_else(PoisonError::into_inner);
+        }
+    }
+}
+
+/// The running service: admission, scheduling, execution, drain.
+pub struct Server {
+    shared: Arc<Shared>,
+    dispatcher: JoinHandle<()>,
+}
+
+impl Server {
+    /// Starts the dispatcher and worker pool.
+    pub fn start(cfg: ServeConfig, label: &str) -> Server {
+        let shared = Arc::new(Shared {
+            cfg,
+            label: label.to_string(),
+            clock: Clock::new(),
+            lanes: [WorkQueue::new(), WorkQueue::new(), WorkQueue::new()],
+            batches: WorkQueue::new(),
+            depth: AtomicUsize::new(0),
+            draining: AtomicBool::new(false),
+            next_id: AtomicU64::new(0),
+            index: Mutex::new(HashMap::new()),
+            records: Mutex::new(Vec::new()),
+            completed: AtomicU64::new(0),
+            rejected: AtomicU64::new(0),
+            cancelled: AtomicU64::new(0),
+            timed_out: AtomicU64::new(0),
+            exec_overruns: AtomicU64::new(0),
+        });
+        let dispatcher = {
+            let shared = shared.clone();
+            thread::spawn(move || dispatcher_loop(shared))
+        };
+        Server { shared, dispatcher }
+    }
+
+    /// Submits a job. `Ok` means admitted: the ticket (and the notifier,
+    /// if given) will see exactly one terminal outcome. `Err` is an
+    /// explicit refusal — the job never entered the queue, and a
+    /// telemetry record of the shed was still emitted.
+    pub fn submit(
+        &self,
+        spec: JobSpec,
+        notifier: Option<Notifier>,
+    ) -> Result<JobTicket, RejectReason> {
+        let shared = &self.shared;
+        // ordering: Relaxed — id allocation only needs uniqueness.
+        let id = shared.next_id.fetch_add(1, Ordering::Relaxed) + 1;
+        let submitted_ns = shared.clock.now_ns();
+        if let Err(why) = spec.validate(shared.cfg.max_particles, shared.cfg.max_steps) {
+            return Err(self.shed(id, spec, RejectReason::Invalid(why), submitted_ns));
+        }
+        // ordering: SeqCst — the admission/drain protocol: claim the
+        // depth slot first, then re-check draining. Either this thread
+        // sees `draining` and backs out, or the drain exit sees
+        // `depth > 0` and keeps consuming. Model-checked in
+        // crates/check/tests/interleave_serve.rs.
+        let prev = shared.depth.fetch_add(1, Ordering::SeqCst);
+        // ordering: SeqCst — see above.
+        if shared.draining.load(Ordering::SeqCst) {
+            // ordering: SeqCst — return the slot taken above.
+            shared.depth.fetch_sub(1, Ordering::SeqCst);
+            return Err(self.shed(id, spec, RejectReason::ShuttingDown, submitted_ns));
+        }
+        if prev >= shared.cfg.queue_capacity {
+            // ordering: SeqCst — return the slot taken above.
+            shared.depth.fetch_sub(1, Ordering::SeqCst);
+            return Err(self.shed(id, spec, RejectReason::QueueFull, submitted_ns));
+        }
+        let lane = spec.priority.lane();
+        let job = Arc::new(JobState {
+            id,
+            spec,
+            submitted_ns,
+            phase: AtomicU8::new(QUEUED),
+            cancel_requested: AtomicBool::new(false),
+            executions: AtomicU32::new(0),
+            outcome: Mutex::new(None),
+            done: Condvar::new(),
+            notifier: Mutex::new(notifier),
+        });
+        lock(&shared.index).insert(id, job.clone());
+        shared.lanes[lane].push(job.clone());
+        Ok(JobTicket { state: job })
+    }
+
+    fn shed(
+        &self,
+        id: u64,
+        spec: JobSpec,
+        reason: RejectReason,
+        submitted_ns: u64,
+    ) -> RejectReason {
+        let outcome = Outcome::Rejected(reason.clone());
+        self.shared.emit_record(id, &spec, &outcome, submitted_ns);
+        self.shared.bump(&outcome);
+        reason
+    }
+
+    /// Requests cancellation of job `id`.
+    pub fn cancel_job(&self, id: u64) -> CancelResult {
+        let job = lock(&self.shared.index).get(&id).cloned();
+        let Some(job) = job else {
+            return CancelResult::Unknown;
+        };
+        // ordering: Relaxed — advisory flag, observed at claim time and
+        // step boundaries; the QUEUED→DONE race below is what decides.
+        job.cancel_requested.store(true, Ordering::Relaxed);
+        if self.shared.finish_if(&job, QUEUED, Outcome::Cancelled) {
+            return CancelResult::Done;
+        }
+        if job.is_terminal() {
+            return CancelResult::AlreadyTerminal;
+        }
+        CancelResult::Requested
+    }
+
+    /// Counter snapshot.
+    pub fn stats(&self) -> ServeStats {
+        self.shared.stats_snapshot()
+    }
+
+    /// Drains every in-flight job, stops all threads, and returns the
+    /// final stats plus the per-job telemetry records.
+    pub fn shutdown(self) -> ShutdownReport {
+        // ordering: SeqCst — the drain flag's store must be totally
+        // ordered against admission's depth claim (see `submit`).
+        self.shared.draining.store(true, Ordering::SeqCst);
+        // The dispatcher exits only at depth == 0 and joins its workers
+        // first; a panicked dispatcher still leaves consistent stats.
+        let _ = self.dispatcher.join();
+        ShutdownReport {
+            stats: self.shared.stats_snapshot(),
+            records: std::mem::take(&mut *lock(&self.shared.records)),
+        }
+    }
+}
+
+/// Orders staged jobs by (lane, deadline, id) and groups adjacent
+/// compatible small jobs under the particle budget. Pure, for direct
+/// unit testing — end-to-end batch sizes depend on dispatch timing.
+pub(crate) fn form_batches(
+    mut staged: Vec<Arc<JobState>>,
+    coalesce_max: usize,
+    budget: usize,
+) -> Vec<Batch> {
+    staged.sort_by_key(|j| {
+        (
+            j.spec.priority.lane(),
+            j.spec.deadline_ms.unwrap_or(u64::MAX),
+            j.id,
+        )
+    });
+    let mut out: Vec<(Batch, usize)> = Vec::new();
+    for job in staged {
+        let n = job.spec.particles;
+        if n <= coalesce_max {
+            if let Some((batch, total)) = out.last_mut() {
+                let fits = *total + n <= budget
+                    && batch.jobs.iter().all(|b| {
+                        b.spec.particles <= coalesce_max && b.spec.batch_compatible(&job.spec)
+                    });
+                if fits {
+                    batch.jobs.push(job);
+                    *total += n;
+                    continue;
+                }
+            }
+        }
+        out.push((Batch { jobs: vec![job] }, n));
+    }
+    out.into_iter().map(|(batch, _)| batch).collect()
+}
+
+fn dispatcher_loop(shared: Arc<Shared>) {
+    let mut workers: Vec<JoinHandle<()>> = (0..shared.cfg.workers)
+        .map(|_| spawn_worker(shared.clone()))
+        .collect();
+    loop {
+        respawn_dead(&mut workers, &shared);
+        let mut staged: Vec<Arc<JobState>> = Vec::new();
+        for lane in &shared.lanes {
+            while let Some(job) = lane.pop() {
+                staged.push(job);
+            }
+        }
+        // Jobs cancelled while still in a lane are already terminal.
+        staged.retain(|job| !job.is_terminal());
+        // ordering: SeqCst — see the drain-exit check below.
+        if shared.draining.load(Ordering::SeqCst) && shared.cfg.workers == 0 {
+            // Admission-only configuration (tests): no worker can ever
+            // execute the backlog, so the drain cancels it explicitly
+            // rather than hanging — never silently.
+            for job in staged.drain(..) {
+                shared.finish(&job, Outcome::Cancelled);
+            }
+            while let Some(batch) = shared.batches.pop() {
+                for job in &batch.jobs {
+                    shared.finish(job, Outcome::Cancelled);
+                }
+            }
+        }
+        if !staged.is_empty() {
+            for batch in form_batches(
+                staged,
+                shared.cfg.coalesce_max_particles,
+                shared.cfg.batch_particle_budget,
+            ) {
+                shared.batches.push(batch);
+            }
+            continue;
+        }
+        // ordering: SeqCst — the drain-exit check of the protocol: a
+        // zero depth observed after the drain flag means every admitted
+        // job is terminal (see `submit` for the pairing argument).
+        if shared.draining.load(Ordering::SeqCst) && shared.depth.load(Ordering::SeqCst) == 0 {
+            break;
+        }
+        thread::sleep(IDLE_WAIT);
+    }
+    for worker in workers {
+        let _ = worker.join();
+    }
+}
+
+fn respawn_dead(workers: &mut Vec<JoinHandle<()>>, shared: &Arc<Shared>) {
+    let mut i = 0;
+    while i < workers.len() {
+        if workers[i].is_finished() {
+            let dead = workers.swap_remove(i);
+            let _ = dead.join();
+            // ordering: SeqCst — matches the worker's own exit check; a
+            // normally-exited (drained) worker is not replaced.
+            let drained =
+                shared.draining.load(Ordering::SeqCst) && shared.depth.load(Ordering::SeqCst) == 0;
+            if !drained {
+                workers.push(spawn_worker(shared.clone()));
+            }
+        } else {
+            i += 1;
+        }
+    }
+}
+
+fn spawn_worker(shared: Arc<Shared>) -> JoinHandle<()> {
+    thread::spawn(move || worker_loop(shared))
+}
+
+fn worker_loop(shared: Arc<Shared>) {
+    loop {
+        match shared.batches.pop() {
+            Some(batch) => {
+                let panicked =
+                    catch_unwind(AssertUnwindSafe(|| exec::run_batch(&shared, &batch))).is_err();
+                if panicked {
+                    // Panic isolation: the batch's jobs terminate
+                    // explicitly instead of vanishing, and this thread
+                    // dies so the dispatcher replaces it with a clean
+                    // one.
+                    for job in &batch.jobs {
+                        shared.finish(job, Outcome::Rejected(RejectReason::WorkerPanic));
+                    }
+                    return;
+                }
+            }
+            None => {
+                // ordering: SeqCst — the drain-exit check; see
+                // `dispatcher_loop`.
+                if shared.draining.load(Ordering::SeqCst)
+                    && shared.depth.load(Ordering::SeqCst) == 0
+                {
+                    return;
+                }
+                thread::sleep(IDLE_WAIT);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+pub(crate) fn test_job(id: u64, spec: JobSpec) -> Arc<JobState> {
+    Arc::new(JobState {
+        id,
+        spec,
+        submitted_ns: 0,
+        phase: AtomicU8::new(QUEUED),
+        cancel_requested: AtomicBool::new(false),
+        executions: AtomicU32::new(0),
+        outcome: Mutex::new(None),
+        done: Condvar::new(),
+        notifier: Mutex::new(None),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::job::Priority;
+
+    fn spec(particles: usize) -> JobSpec {
+        JobSpec {
+            particles,
+            ..JobSpec::default()
+        }
+    }
+
+    #[test]
+    fn batches_coalesce_compatible_small_jobs_under_budget() {
+        let jobs = vec![
+            test_job(1, spec(100)),
+            test_job(2, spec(200)),
+            test_job(3, spec(300)),
+        ];
+        let batches = form_batches(jobs, 1_000, 10_000);
+        assert_eq!(batches.len(), 1);
+        assert_eq!(batches[0].jobs.len(), 3);
+    }
+
+    #[test]
+    fn big_jobs_ride_alone_and_split_small_runs() {
+        let jobs = vec![
+            test_job(1, spec(100)),
+            test_job(2, spec(5_000)),
+            test_job(3, spec(100)),
+        ];
+        let batches = form_batches(jobs, 1_000, 10_000);
+        assert_eq!(batches.len(), 3, "the big job splits the run");
+        assert_eq!(batches[1].jobs[0].id, 2);
+    }
+
+    #[test]
+    fn budget_caps_batch_growth() {
+        let jobs = (1..=5).map(|i| test_job(i, spec(400))).collect();
+        let batches = form_batches(jobs, 1_000, 1_000);
+        assert_eq!(batches.len(), 3, "400+400, 400+400, 400");
+        assert_eq!(batches[0].jobs.len(), 2);
+        assert_eq!(batches[2].jobs.len(), 1);
+    }
+
+    #[test]
+    fn incompatible_physics_never_shares_a_batch() {
+        let mut double = spec(100);
+        double.precision = pic_perfmodel::Precision::F64;
+        let jobs = vec![test_job(1, spec(100)), test_job(2, double)];
+        let batches = form_batches(jobs, 1_000, 10_000);
+        assert_eq!(batches.len(), 2);
+    }
+
+    #[test]
+    fn dispatch_order_is_priority_then_deadline_then_id() {
+        let mut low = spec(100);
+        low.priority = Priority::Low;
+        let mut urgent = spec(100);
+        urgent.priority = Priority::High;
+        urgent.deadline_ms = Some(5);
+        let mut later = spec(100);
+        later.priority = Priority::High;
+        later.deadline_ms = Some(50);
+        let jobs = vec![test_job(1, low), test_job(2, later), test_job(3, urgent)];
+        let batches = form_batches(jobs, 0, 0); // no coalescing
+        let order: Vec<u64> = batches.iter().map(|b| b.jobs[0].id).collect();
+        assert_eq!(order, vec![3, 2, 1]);
+    }
+
+    #[test]
+    fn claim_is_exactly_once() {
+        let job = test_job(1, spec(10));
+        assert!(job.claim());
+        assert!(!job.claim(), "second claim must fail");
+        // ordering: test-only read.
+        assert_eq!(job.executions.load(Ordering::Relaxed), 1);
+    }
+
+    fn quick_cfg() -> ServeConfig {
+        ServeConfig {
+            workers: 1,
+            ..ServeConfig::default()
+        }
+    }
+
+    #[test]
+    fn submitted_job_completes_with_a_report_and_a_record() {
+        let server = Server::start(quick_cfg(), "sched-test");
+        let ticket = server
+            .submit(spec(200), None)
+            .unwrap_or_else(|r| panic!("admission refused: {r:?}"));
+        let Outcome::Completed(report) = ticket.wait() else {
+            panic!("expected completion, got {:?}", ticket.outcome());
+        };
+        assert_eq!(report.steps_done, 10);
+        assert!(report.nsps > 0.0);
+        assert!(report.batch_size >= 1);
+        let out = server.shutdown();
+        assert_eq!(out.stats.completed, 1);
+        assert_eq!(out.stats.depth, 0);
+        assert_eq!(out.stats.exec_overruns, 0);
+        assert_eq!(out.records.len(), 1);
+        assert_eq!(out.records[0].outcome, "completed");
+        assert_eq!(out.records[0].label, "sched-test/job1");
+    }
+
+    #[test]
+    fn full_queue_sheds_explicitly_and_recovers() {
+        // workers: 0 — nothing drains the lanes, so capacity is exact.
+        let cfg = ServeConfig {
+            workers: 0,
+            queue_capacity: 2,
+            ..ServeConfig::default()
+        };
+        let server = Server::start(cfg, "shed-test");
+        let t1 = server.submit(spec(10), None);
+        let t2 = server.submit(spec(10), None);
+        assert!(t1.is_ok() && t2.is_ok());
+        match server.submit(spec(10), None) {
+            Err(RejectReason::QueueFull) => {}
+            other => panic!("expected queue-full, got {other:?}"),
+        }
+        // Free a slot by cancelling a queued job; admission works again.
+        let id = t1.as_ref().map(JobTicket::id).unwrap_or_default();
+        assert_eq!(server.cancel_job(id), CancelResult::Done);
+        assert!(server.submit(spec(10), None).is_ok());
+        let out = server.shutdown();
+        assert_eq!(out.stats.rejected, 1);
+        assert_eq!(out.stats.cancelled, 3, "drain cancels the queued jobs");
+        assert_eq!(out.records.len(), 4, "one record per submission");
+    }
+
+    #[test]
+    fn cancelling_a_queued_job_yields_cancelled_outcome() {
+        let cfg = ServeConfig {
+            workers: 0,
+            ..ServeConfig::default()
+        };
+        let server = Server::start(cfg, "cancel-test");
+        let ticket = server
+            .submit(spec(10), None)
+            .unwrap_or_else(|r| panic!("admission refused: {r:?}"));
+        assert_eq!(server.cancel_job(ticket.id()), CancelResult::Done);
+        assert_eq!(ticket.wait(), Outcome::Cancelled);
+        assert_eq!(server.cancel_job(ticket.id()), CancelResult::Unknown);
+        assert_eq!(server.cancel_job(999), CancelResult::Unknown);
+        server.shutdown();
+    }
+
+    #[test]
+    fn exhausted_budget_times_the_job_out() {
+        let server = Server::start(quick_cfg(), "timeout-test");
+        let mut s = spec(100);
+        s.timeout_ms = Some(0); // already expired at claim time
+        let ticket = server
+            .submit(s, None)
+            .unwrap_or_else(|r| panic!("admission refused: {r:?}"));
+        assert_eq!(ticket.wait(), Outcome::TimedOut);
+        let out = server.shutdown();
+        assert_eq!(out.stats.timed_out, 1);
+        assert_eq!(out.records[0].outcome, "timed-out");
+    }
+
+    #[test]
+    fn worker_panic_rejects_the_job_and_the_pool_recovers() {
+        let cfg = ServeConfig {
+            workers: 1,
+            fault_inject_seed: Some(0xdead),
+            ..ServeConfig::default()
+        };
+        let server = Server::start(cfg, "panic-test");
+        let mut bomb = spec(10);
+        bomb.seed = 0xdead;
+        let t_bomb = server
+            .submit(bomb, None)
+            .unwrap_or_else(|r| panic!("admission refused: {r:?}"));
+        assert_eq!(
+            t_bomb.wait(),
+            Outcome::Rejected(RejectReason::WorkerPanic),
+            "panic isolation turns the crash into an explicit outcome"
+        );
+        // The lone worker died with the panic; a respawned one must
+        // pick this job up.
+        let t_next = server
+            .submit(spec(50), None)
+            .unwrap_or_else(|r| panic!("admission refused: {r:?}"));
+        assert!(
+            matches!(t_next.wait(), Outcome::Completed(_)),
+            "pool recovered after the panic"
+        );
+        let out = server.shutdown();
+        assert_eq!(out.stats.rejected, 1);
+        assert_eq!(out.stats.completed, 1);
+    }
+
+    #[test]
+    fn draining_server_refuses_new_work() {
+        let server = Server::start(quick_cfg(), "drain-test");
+        // ordering: test-only — simulate the drain flag directly.
+        server.shared.draining.store(true, Ordering::SeqCst);
+        match server.submit(spec(10), None) {
+            Err(RejectReason::ShuttingDown) => {}
+            other => panic!("expected shutting-down, got {other:?}"),
+        }
+        let out = server.shutdown();
+        assert_eq!(out.stats.rejected, 1);
+        assert_eq!(out.stats.depth, 0);
+    }
+
+    #[test]
+    fn timeout_accounting_uses_the_submission_time() {
+        let mut s = spec(10);
+        s.timeout_ms = Some(2);
+        let job = test_job(1, s);
+        assert!(!job.timed_out_at(1_999_999));
+        assert!(job.timed_out_at(2_000_000));
+        assert!(!test_job(2, spec(10)).timed_out_at(u64::MAX), "no budget");
+    }
+}

@@ -1,0 +1,177 @@
+//! Saturation soak: hammer the service with hundreds of concurrent
+//! submissions across every lane, including cancels, zero-budget
+//! timeouts and load-shedding, then prove the exactly-once contract:
+//! every submission reaches exactly one terminal outcome, no job runs
+//! twice, and the telemetry records reconcile one-per-submission with
+//! the outcome counters.
+//!
+//! Ignored by default (it is a stress test, not a unit test); CI runs
+//! it in a dedicated step with `cargo test -p pic-serve -- --ignored`.
+
+use pic_serve::{JobSpec, Outcome, Priority, RejectReason, ServeConfig, Server};
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread;
+
+const JOBS: usize = 240;
+const CLIENTS: usize = 8;
+
+fn job_for(i: usize) -> JobSpec {
+    let mut spec = JobSpec {
+        particles: 20 + (i % 7) * 30,
+        steps: 1 + i % 4,
+        seed: i as u64,
+        ..JobSpec::default()
+    };
+    spec.priority = match i % 3 {
+        0 => Priority::High,
+        1 => Priority::Normal,
+        _ => Priority::Low,
+    };
+    if i.is_multiple_of(5) {
+        spec.precision = pic_perfmodel::Precision::F64;
+    }
+    if i.is_multiple_of(4) {
+        spec.layout = pic_particles::Layout::Aos;
+    }
+    if i.is_multiple_of(11) {
+        spec.scenario = pic_perfmodel::Scenario::Precalculated;
+    }
+    if i.is_multiple_of(17) {
+        spec.timeout_ms = Some(0); // expired on arrival → TimedOut
+    }
+    if i.is_multiple_of(13) {
+        spec.deadline_ms = Some((i % 29) as u64);
+    }
+    spec
+}
+
+#[test]
+#[ignore = "saturation stress test; run via cargo test -p pic-serve -- --ignored"]
+fn saturation_yields_exactly_one_terminal_outcome_per_job() {
+    let cfg = ServeConfig {
+        workers: 4,
+        queue_capacity: 32, // small on purpose: force load shedding
+        ..ServeConfig::default()
+    };
+    let server = Arc::new(Server::start(cfg, "soak"));
+    // outcome name -> count, plus every admitted id exactly once.
+    let outcomes: Arc<Mutex<HashMap<String, u64>>> = Arc::new(Mutex::new(HashMap::new()));
+    let notified: Arc<Mutex<Vec<u64>>> = Arc::new(Mutex::new(Vec::new()));
+    let sheds = Arc::new(AtomicU64::new(0));
+    let handles: Vec<_> = (0..CLIENTS)
+        .map(|c| {
+            let server = server.clone();
+            let outcomes = outcomes.clone();
+            let notified = notified.clone();
+            let sheds = sheds.clone();
+            thread::spawn(move || {
+                for i in (c..JOBS).step_by(CLIENTS) {
+                    let outcomes = outcomes.clone();
+                    let notified = notified.clone();
+                    let notifier = Box::new(move |id: u64, outcome: &Outcome| {
+                        *outcomes
+                            .lock()
+                            .unwrap()
+                            .entry(outcome.name().to_string())
+                            .or_insert(0) += 1;
+                        notified.lock().unwrap().push(id);
+                    });
+                    match server.submit(job_for(i), Some(notifier)) {
+                        Ok(ticket) => {
+                            // A slice of clients cancels their job right
+                            // away — some while queued, some mid-run.
+                            if i.is_multiple_of(19) {
+                                server.cancel_job(ticket.id());
+                            }
+                            if i.is_multiple_of(23) {
+                                assert!(
+                                    !matches!(
+                                        ticket.wait(),
+                                        Outcome::Rejected(RejectReason::QueueFull)
+                                    ),
+                                    "admitted jobs never report queue-full"
+                                );
+                            }
+                        }
+                        Err(
+                            RejectReason::QueueFull
+                            | RejectReason::ShuttingDown
+                            | RejectReason::Invalid(_),
+                        ) => {
+                            sheds.fetch_add(1, Ordering::Relaxed);
+                        }
+                        Err(RejectReason::WorkerPanic) => {
+                            panic!("admission can never report a worker panic")
+                        }
+                    }
+                }
+            })
+        })
+        .collect();
+    for h in handles {
+        h.join().expect("client thread");
+    }
+    let server = Arc::into_inner(server).expect("sole owner after join");
+    let report = server.shutdown();
+    let stats = report.stats;
+
+    assert_eq!(stats.submitted, JOBS as u64, "every submission got an id");
+    assert_eq!(stats.depth, 0, "drain left nothing in flight");
+    assert_eq!(stats.exec_overruns, 0, "no job executed twice");
+    let terminal = stats.completed + stats.rejected + stats.cancelled + stats.timed_out;
+    assert_eq!(terminal, JOBS as u64, "exactly one terminal outcome each");
+    assert!(stats.completed > 0, "the service did real work");
+    assert!(
+        stats.rejected >= sheds.load(Ordering::Relaxed),
+        "every shed is counted as a rejection"
+    );
+    assert!(stats.timed_out > 0, "zero-budget jobs timed out");
+
+    // Notifier-side reconciliation: every *admitted* job fired its
+    // notifier exactly once.
+    let mut ids = notified.lock().unwrap().clone();
+    let admitted = JOBS as u64 - sheds.load(Ordering::Relaxed);
+    assert_eq!(
+        ids.len() as u64,
+        admitted,
+        "one notification per admitted job"
+    );
+    ids.sort_unstable();
+    ids.dedup();
+    assert_eq!(ids.len() as u64, admitted, "no id notified twice");
+
+    // Telemetry reconciliation: one record per submission, outcomes
+    // matching the counters.
+    assert_eq!(report.records.len(), JOBS, "one record per submission");
+    let mut by_outcome: HashMap<&str, u64> = HashMap::new();
+    for rec in &report.records {
+        *by_outcome.entry(rec.outcome.as_str()).or_insert(0) += 1;
+        assert_eq!(rec.schema, pic_telemetry::SCHEMA_VERSION);
+        if rec.outcome == "completed" {
+            assert!(
+                rec.batch_size >= 1,
+                "{}: completed jobs ran in a batch",
+                rec.label
+            );
+            assert!(rec.mean_nsps > 0.0, "{}: NSPS recorded", rec.label);
+        }
+    }
+    assert_eq!(
+        by_outcome.get("completed").copied().unwrap_or(0),
+        stats.completed
+    );
+    assert_eq!(
+        by_outcome.get("rejected").copied().unwrap_or(0),
+        stats.rejected
+    );
+    assert_eq!(
+        by_outcome.get("cancelled").copied().unwrap_or(0),
+        stats.cancelled
+    );
+    assert_eq!(
+        by_outcome.get("timed-out").copied().unwrap_or(0),
+        stats.timed_out
+    );
+}

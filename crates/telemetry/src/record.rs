@@ -82,6 +82,16 @@ pub struct BenchRecord {
     pub model_nsps: f64,
     /// `steady_nsps / model_nsps` (0 when no prediction).
     pub model_ratio: f64,
+    /// Time the job spent queued before execution started, nanoseconds
+    /// (0 for bench-harness records, which never queue).
+    pub queue_wait_ns: f64,
+    /// Number of jobs coalesced into the batch this record's work ran
+    /// in (1 for bench-harness records; 0 for jobs that never ran).
+    pub batch_size: u64,
+    /// Terminal outcome of the producing job: `"completed"`,
+    /// `"rejected"`, `"cancelled"` or `"timed-out"` (bench-harness
+    /// records always complete).
+    pub outcome: String,
 }
 
 impl BenchRecord {
@@ -147,6 +157,9 @@ impl BenchRecord {
             ("bytes_per_particle", num(self.bytes_per_particle)),
             ("model_nsps", num(self.model_nsps)),
             ("model_ratio", num(self.model_ratio)),
+            ("queue_wait_ns", num(self.queue_wait_ns)),
+            ("batch_size", int(self.batch_size)),
+            ("outcome", Value::Str(self.outcome.clone())),
         ])
         .to_json()
     }
@@ -196,6 +209,20 @@ impl BenchRecord {
             bytes_per_particle: field_f64(&v, "bytes_per_particle")?,
             model_nsps: field_f64(&v, "model_nsps")?,
             model_ratio: field_f64(&v, "model_ratio")?,
+            // Service fields are additive within schema 1: records
+            // written before the serving layer existed simply lack
+            // them, so absence falls back to the defaults instead of
+            // failing the whole record.
+            queue_wait_ns: v
+                .get("queue_wait_ns")
+                .and_then(Value::as_f64)
+                .unwrap_or(0.0),
+            batch_size: v.get("batch_size").and_then(Value::as_u64).unwrap_or(0),
+            outcome: v
+                .get("outcome")
+                .and_then(Value::as_str)
+                .unwrap_or("")
+                .to_owned(),
         })
     }
 }
@@ -323,6 +350,9 @@ pub(crate) fn sample_record(label: &str, steady_nsps: f64) -> BenchRecord {
         bytes_per_particle: 54.0,
         model_nsps: 0.0,
         model_ratio: 0.0,
+        queue_wait_ns: 0.0,
+        batch_size: 1,
+        outcome: "completed".into(),
     }
 }
 
@@ -365,6 +395,26 @@ mod tests {
     fn missing_field_is_reported_by_name() {
         let err = BenchRecord::from_json(r#"{"schema": 1}"#).unwrap_err();
         assert!(err.to_string().contains("label"), "{err}");
+    }
+
+    #[test]
+    fn pre_service_record_parses_with_default_service_fields() {
+        // A line written before queue_wait_ns/batch_size/outcome existed
+        // must still load: the fields are additive within schema 1.
+        let mut r = sample_record("old", 42.0);
+        r.queue_wait_ns = 0.0;
+        r.batch_size = 0;
+        r.outcome = String::new();
+        let mut v = parse(&r.to_json()).unwrap();
+        if let Value::Obj(map) = &mut v {
+            for key in ["queue_wait_ns", "batch_size", "outcome"] {
+                assert!(map.remove(key).is_some());
+            }
+        }
+        let stripped = v.to_json();
+        assert!(!stripped.contains("queue_wait_ns"));
+        let back = BenchRecord::from_json(&stripped).unwrap();
+        assert_eq!(back, r);
     }
 
     #[test]
