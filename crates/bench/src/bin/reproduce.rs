@@ -18,7 +18,9 @@
 //!
 //! The measured companions live in the bench targets (`cargo bench`).
 
-use pic_bench::{bench_record, fmt_cell, measure_nsps, print_banner, BenchConfig, Table};
+use pic_bench::{
+    bench_record, fmt_cell, measure_nsps_variant, print_banner, BenchConfig, KernelVariant, Table,
+};
 use pic_particles::Layout;
 use pic_perfmodel::{CpuModel, GpuModel, Parallelization, Precision, Scenario};
 use pic_runtime::{Schedule, Topology};
@@ -115,7 +117,10 @@ fn warmup() {
 }
 
 /// Measures every layout × scenario cell at single precision under the
-/// three paper schedules and writes `BENCH_<label>.json`.
+/// paper schedules (plus the auto-tuned one) with the SoA fast path,
+/// adds scalar and gather/scatter baseline runs on the SoA cells so the
+/// `kernel_variant` field distinguishes implementations, and writes
+/// `BENCH_<label>.json`.
 fn emit_metrics(label: &str) -> std::io::Result<std::path::PathBuf> {
     let cfg = BenchConfig::from_env();
     let threads = std::thread::available_parallelism()
@@ -132,37 +137,51 @@ fn emit_metrics(label: &str) -> std::io::Result<std::path::PathBuf> {
         Schedule::StaticChunks,
         Schedule::dynamic(),
         Schedule::numa(),
+        Schedule::auto(),
     ];
     let mut records = Vec::new();
     print_banner(
         "Measured metrics",
         "Real kernels on this host; steady-state NSPS per configuration.",
     );
+    let mut measure_one = |layout, scenario, schedule, variant| {
+        let run = measure_nsps_variant::<f32>(layout, scenario, &cfg, &topology, schedule, variant);
+        let rec = bench_record(
+            label,
+            layout,
+            scenario,
+            Precision::F32,
+            schedule,
+            variant,
+            &topology,
+            &cfg,
+            &run,
+        );
+        println!(
+            "  {:<4} {:<20} {:<10} {:<8} steady {:8.2} ns  warmup {:8.2} ns  imbalance {:.3}  order {:.2}",
+            rec.layout,
+            rec.scenario,
+            rec.schedule,
+            rec.kernel_variant,
+            rec.steady_nsps,
+            rec.warmup_nsps,
+            rec.imbalance,
+            rec.order_fraction,
+        );
+        records.push(rec);
+    };
     for layout in [Layout::Aos, Layout::Soa] {
         for scenario in Scenario::all() {
             for schedule in schedules {
-                let run = measure_nsps::<f32>(layout, scenario, &cfg, &topology, schedule);
-                let rec = bench_record(
-                    label,
-                    layout,
-                    scenario,
-                    Precision::F32,
-                    schedule,
-                    &topology,
-                    &cfg,
-                    &run,
-                );
-                println!(
-                    "  {:<4} {:<20} {:<10} steady {:8.2} ns  warmup {:8.2} ns  imbalance {:.3}",
-                    rec.layout,
-                    rec.scenario,
-                    rec.schedule,
-                    rec.steady_nsps,
-                    rec.warmup_nsps,
-                    rec.imbalance
-                );
-                records.push(rec);
+                measure_one(layout, scenario, schedule, KernelVariant::SoaFast);
             }
+        }
+    }
+    // Baselines for the fast-path comparison: same SoA cells, dynamic
+    // schedule, driven by the scalar and gather/scatter kernels.
+    for scenario in Scenario::all() {
+        for variant in [KernelVariant::Scalar, KernelVariant::Batch] {
+            measure_one(Layout::Soa, scenario, Schedule::dynamic(), variant);
         }
     }
     let path = std::path::PathBuf::from(format!("BENCH_{label}.json"));

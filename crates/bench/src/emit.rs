@@ -8,6 +8,7 @@
 //! through here so artifacts stay schema-consistent.
 
 use crate::measure::MeasuredRun;
+use crate::run::KernelVariant;
 use crate::scenario::BenchConfig;
 use pic_boris::{BorisPusher, Pusher};
 use pic_particles::Layout;
@@ -21,7 +22,11 @@ use pic_telemetry::{BenchRecord, SCHEMA_VERSION};
 pub fn parallelization_of(schedule: Schedule) -> Parallelization {
     match schedule {
         Schedule::StaticChunks => Parallelization::OpenMp,
-        Schedule::Dynamic { .. } | Schedule::Guided { .. } => Parallelization::Dpcpp,
+        // Auto-tuned scheduling is dynamic scheduling with a measured
+        // grain, so it maps to the same paper row.
+        Schedule::Dynamic { .. } | Schedule::Guided { .. } | Schedule::AutoTuned => {
+            Parallelization::Dpcpp
+        }
         Schedule::NumaDomains { .. } => Parallelization::DpcppNuma,
     }
 }
@@ -38,6 +43,7 @@ pub fn bench_record(
     scenario: Scenario,
     precision: Precision,
     schedule: Schedule,
+    variant: KernelVariant,
     topology: &Topology,
     cfg: &BenchConfig,
     run: &MeasuredRun,
@@ -86,6 +92,8 @@ pub fn bench_record(
         queue_wait_ns: 0.0,
         batch_size: 1,
         outcome: "completed".to_string(),
+        kernel_variant: variant.name().to_string(),
+        order_fraction: run.order_fraction,
     }
 }
 
@@ -106,6 +114,7 @@ mod tests {
             Scenario::Precalculated,
             Precision::F32,
             schedule,
+            KernelVariant::SoaFast,
             &topo,
             &cfg,
             &run,
@@ -113,6 +122,13 @@ mod tests {
         assert_eq!(rec.schema, SCHEMA_VERSION);
         assert_eq!(rec.layout, "SoA");
         assert_eq!(rec.schedule, "DPC++ NUMA");
+        assert_eq!(rec.kernel_variant, "soa-fast");
+        // Morton-sorted start: clearly above the ~0.5 of a random fill.
+        assert!(
+            (0.0..=1.0).contains(&rec.order_fraction) && rec.order_fraction > 0.6,
+            "{}",
+            rec.order_fraction
+        );
         assert_eq!(rec.threads, 4);
         assert_eq!(rec.domains, 2);
         assert_eq!(rec.iteration_ns.len(), cfg.iterations);
@@ -149,5 +165,6 @@ mod tests {
             parallelization_of(Schedule::numa()),
             Parallelization::DpcppNuma
         );
+        assert_eq!(parallelization_of(Schedule::auto()), Parallelization::Dpcpp);
     }
 }

@@ -5,11 +5,13 @@
 //! benchmark ensemble under a chosen schedule, repeating the paper's
 //! 10-iteration protocol and reporting the paper's NSPS metric.
 
-use crate::run::{merge_thread_stats, run_mdipole_steps, MdipoleScenario};
+use crate::run::{merge_thread_stats, run_mdipole_steps, KernelVariant, MdipoleScenario};
 use crate::scenario::{build_ensemble, BenchConfig};
+use pic_math::constants::BENCH_WAVELENGTH;
 use pic_math::stats::Summary;
-use pic_math::Real;
-use pic_particles::{AosEnsemble, Layout, ParticleAccess, SoaEnsemble};
+use pic_math::{Real, Vec3};
+use pic_particles::sort::{cell_order_fraction, CellGrid, PeriodicSorter, SortOrder};
+use pic_particles::{AosEnsemble, Layout, ParticleStore, SoaEnsemble};
 use pic_perfmodel::Scenario;
 use pic_runtime::{Schedule, Topology};
 use pic_telemetry::ThreadStat;
@@ -26,6 +28,9 @@ pub struct MeasuredRun {
     /// by thread id (busy time is 0 when `pic-runtime` is built without
     /// its `telemetry` feature).
     pub thread_stats: Vec<ThreadStat>,
+    /// Fraction of adjacent particle pairs in nondecreasing cell order at
+    /// the start of the measured region (after any locality sort).
+    pub order_fraction: f64,
 }
 
 impl MeasuredRun {
@@ -90,25 +95,65 @@ pub fn measure_nsps<R: Real>(
     topology: &Topology,
     schedule: Schedule,
 ) -> MeasuredRun {
+    measure_nsps_variant::<R>(
+        layout,
+        scenario,
+        cfg,
+        topology,
+        schedule,
+        KernelVariant::SoaFast,
+    )
+}
+
+/// [`measure_nsps`] with an explicit kernel variant — the entry point for
+/// fast-path vs gather/scatter comparisons.
+pub fn measure_nsps_variant<R: Real>(
+    layout: Layout,
+    scenario: Scenario,
+    cfg: &BenchConfig,
+    topology: &Topology,
+    schedule: Schedule,
+    variant: KernelVariant,
+) -> MeasuredRun {
     match layout {
         Layout::Aos => {
             let mut store: AosEnsemble<R> = build_ensemble(cfg.particles, 42);
-            measure_store(&mut store, scenario, cfg, topology, schedule)
+            measure_store(&mut store, scenario, cfg, topology, schedule, variant)
         }
         Layout::Soa => {
             let mut store: SoaEnsemble<R> = build_ensemble(cfg.particles, 42);
-            measure_store(&mut store, scenario, cfg, topology, schedule)
+            measure_store(&mut store, scenario, cfg, topology, schedule, variant)
         }
     }
 }
 
-fn measure_store<R: Real, A: ParticleAccess<R>>(
+/// The locality-sorting grid of the bench harness: 32³ cells over the
+/// bounding cube of the initial 0.6λ sphere.
+fn bench_grid() -> CellGrid {
+    let r = 0.6 * BENCH_WAVELENGTH;
+    CellGrid::new(Vec3::splat(-r), Vec3::splat(r), [32, 32, 32])
+}
+
+fn measure_store<R: Real, A: ParticleStore<R>>(
     store: &mut A,
     scenario: Scenario,
     cfg: &BenchConfig,
     topology: &Topology,
     schedule: Schedule,
+    variant: KernelVariant,
 ) -> MeasuredRun {
+    let grid = bench_grid();
+    // The fast path reads precalculated fields as contiguous slices, so
+    // memory order *is* access order: Morton-sort once up front (before
+    // the fields are sampled — re-sorting later would desynchronize the
+    // per-index field array) to turn the random sphere fill into
+    // streaming reads. The gathered baseline is left unsorted on purpose:
+    // it measures the current layout as-is.
+    if variant == KernelVariant::SoaFast && scenario == Scenario::Precalculated {
+        PeriodicSorter::with_order(grid, cfg.steps_per_iteration.max(1), SortOrder::Morton)
+            .sort_now(store);
+    }
+    let order_fraction = cell_order_fraction(store, &grid);
     // Field context (including the Precalculated sampling pass) is built
     // once, before the first Instant::now().
     let ctx = MdipoleScenario::prepare(scenario, store);
@@ -124,6 +169,7 @@ fn measure_store<R: Real, A: ParticleAccess<R>>(
             &mut time,
             topology,
             schedule,
+            variant,
             None,
             &mut |_, _| true,
         );
@@ -134,6 +180,7 @@ fn measure_store<R: Real, A: ParticleAccess<R>>(
         iteration_ns,
         work: cfg.work_per_iteration(),
         thread_stats,
+        order_fraction,
     }
 }
 
@@ -169,5 +216,58 @@ mod tests {
         );
         assert!(run.nsps() > 0.0);
         assert_eq!(run.work, cfg.work_per_iteration());
+    }
+
+    #[test]
+    fn fast_path_precalculated_run_is_morton_sorted() {
+        let cfg = BenchConfig::quick();
+        let topo = Topology::single(1);
+        let fast = measure_nsps_variant::<f32>(
+            Layout::Soa,
+            Scenario::Precalculated,
+            &cfg,
+            &topo,
+            Schedule::StaticChunks,
+            KernelVariant::SoaFast,
+        );
+        let batch = measure_nsps_variant::<f32>(
+            Layout::Soa,
+            Scenario::Precalculated,
+            &cfg,
+            &topo,
+            Schedule::StaticChunks,
+            KernelVariant::Batch,
+        );
+        for run in [&fast, &batch] {
+            assert!((0.0..=1.0).contains(&run.order_fraction), "{run:?}");
+        }
+        // The fast-path run starts from a Morton-sorted ensemble; the
+        // gathered baseline keeps the random sphere fill. Morton order is
+        // not monotone in the *linear* cell index, so the sorted fraction
+        // lands well above random (~0.5) but below a full cell sort.
+        assert!(fast.order_fraction > batch.order_fraction + 0.1);
+        assert!(fast.order_fraction > 0.6, "{}", fast.order_fraction);
+    }
+
+    #[test]
+    fn variants_measure_the_same_physics() {
+        // Same config, different kernels: both must do the same work and
+        // report positive throughput.
+        let cfg = BenchConfig::quick();
+        let topo = Topology::single(2);
+        for variant in KernelVariant::all() {
+            let run = measure_nsps_variant::<f32>(
+                Layout::Soa,
+                Scenario::Analytical,
+                &cfg,
+                &topo,
+                Schedule::auto(),
+                variant,
+            );
+            assert!(run.nsps() > 0.0, "{variant}");
+            let pushed: u64 = run.thread_stats.iter().map(|t| t.particles).sum();
+            let expect = (cfg.particles * cfg.steps_per_iteration * cfg.iterations) as u64;
+            assert_eq!(pushed, expect, "{variant}");
+        }
     }
 }

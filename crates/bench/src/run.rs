@@ -14,16 +14,57 @@
 
 use crate::scenario::{bench_dt, dipole_wave};
 use pic_boris::{
-    AnalyticalSource, BorisPusher, FieldSource, PrecalculatedSource, SharedPushKernel,
+    AnalyticalSource, BatchBorisKernel, BorisPusher, FieldSource, PrecalculatedSource,
+    SharedPushKernel, SoaBorisKernel,
 };
 use pic_fields::{DipoleStandingWave, PrecalculatedFields};
 use pic_math::Real;
-use pic_particles::{ParticleAccess, SpeciesTable};
+use pic_particles::{ParticleAccess, ParticleKernel, SpeciesTable};
 use pic_perfmodel::Scenario;
 use pic_runtime::{
-    parallel_sweep, parallel_sweep_cancellable, CancelToken, Schedule, SweepReport, Topology,
+    parallel_sweep, parallel_sweep_cancellable, CancelToken, GrainTuner, Schedule, SweepReport,
+    Topology,
 };
 use pic_telemetry::ThreadStat;
+
+/// Which pusher kernel implementation drives the sweep.
+#[derive(Clone, Copy, Debug, Default, Eq, PartialEq)]
+pub enum KernelVariant {
+    /// The per-particle reference kernel (one proxy view per particle).
+    Scalar,
+    /// The blocked gather → compute → scatter kernel of [`pic_boris::batch`].
+    Batch,
+    /// The zero-gather direct-slice fast path of [`pic_boris::soa_boris`]
+    /// (falls back to the scalar arithmetic on AoS stores).
+    #[default]
+    SoaFast,
+}
+
+impl KernelVariant {
+    /// Telemetry name, stored in `BenchRecord::kernel_variant`.
+    pub fn name(&self) -> &'static str {
+        match self {
+            KernelVariant::Scalar => "scalar",
+            KernelVariant::Batch => "batch",
+            KernelVariant::SoaFast => "soa-fast",
+        }
+    }
+
+    /// Every variant, in comparison order.
+    pub fn all() -> [KernelVariant; 3] {
+        [
+            KernelVariant::Scalar,
+            KernelVariant::Batch,
+            KernelVariant::SoaFast,
+        ]
+    }
+}
+
+impl std::fmt::Display for KernelVariant {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
 
 /// Field context for the benchmark workload, built once per run and
 /// reused across every step (and, in the serving layer, across every job
@@ -79,6 +120,12 @@ pub struct MdipoleRun {
 /// `interrupted = true` and `steps_done` counting only fully swept steps.
 /// `on_step` runs after each completed step and returns `false` to stop
 /// early — the serving layer uses it for per-job deadline checks.
+///
+/// `variant` selects the pusher implementation (scalar reference, blocked
+/// gather/scatter, or the zero-gather SoA fast path); all variants
+/// integrate the same trajectories. Under [`Schedule::AutoTuned`] the
+/// first few steps probe grain sizes via [`GrainTuner`] and the rest run
+/// at the measured best.
 #[allow(clippy::too_many_arguments)]
 pub fn run_mdipole_steps<R: Real, A: ParticleAccess<R>>(
     store: &mut A,
@@ -87,17 +134,18 @@ pub fn run_mdipole_steps<R: Real, A: ParticleAccess<R>>(
     time: &mut R,
     topology: &Topology,
     schedule: Schedule,
+    variant: KernelVariant,
     cancel: Option<&CancelToken>,
     on_step: &mut dyn FnMut(usize, &SweepReport) -> bool,
 ) -> MdipoleRun {
     match ctx {
         MdipoleScenario::Analytical(source) => drive(
-            store, source, steps, time, topology, schedule, cancel, on_step,
+            store, source, steps, time, topology, schedule, variant, cancel, on_step,
         ),
         MdipoleScenario::Precalculated(pre) => {
             let source = PrecalculatedSource::new(pre);
             drive(
-                store, &source, steps, time, topology, schedule, cancel, on_step,
+                store, &source, steps, time, topology, schedule, variant, cancel, on_step,
             )
         }
     }
@@ -133,6 +181,25 @@ fn merge_report(totals: &mut Vec<ThreadStat>, report: &SweepReport) {
     }
 }
 
+/// Runs one sweep, with or without a cancellation token.
+fn sweep_once<R, A, K>(
+    store: &mut A,
+    topology: &Topology,
+    schedule: Schedule,
+    cancel: Option<&CancelToken>,
+    factory: impl Fn(usize) -> K + Sync,
+) -> SweepReport
+where
+    R: Real,
+    A: ParticleAccess<R>,
+    K: ParticleKernel<R> + Send,
+{
+    match cancel {
+        Some(token) => parallel_sweep_cancellable(store, topology, schedule, factory, token),
+        None => parallel_sweep(store, topology, schedule, factory),
+    }
+}
+
 #[allow(clippy::too_many_arguments)]
 fn drive<R: Real, A: ParticleAccess<R>, F: FieldSource<R>>(
     store: &mut A,
@@ -141,11 +208,19 @@ fn drive<R: Real, A: ParticleAccess<R>, F: FieldSource<R>>(
     time: &mut R,
     topology: &Topology,
     schedule: Schedule,
+    variant: KernelVariant,
     cancel: Option<&CancelToken>,
     on_step: &mut dyn FnMut(usize, &SweepReport) -> bool,
 ) -> MdipoleRun {
     let table = SpeciesTable::<R>::with_standard_species();
     let dt = R::from_f64(bench_dt());
+    // Auto-tuned scheduling: probe a grain ladder over the first steps,
+    // then lock in the cheapest (falls back to the default grain when
+    // telemetry is off — every probe ties).
+    let mut tuner = match schedule {
+        Schedule::AutoTuned => Some(GrainTuner::new(store.len(), topology.total_threads())),
+        _ => None,
+    };
     let mut thread_stats: Vec<ThreadStat> = Vec::new();
     let mut steps_done = 0;
     for step in 0..steps {
@@ -156,19 +231,34 @@ fn drive<R: Real, A: ParticleAccess<R>, F: FieldSource<R>>(
                 interrupted: true,
             };
         }
-        let shared = SharedPushKernel {
-            source,
-            pusher: BorisPusher,
-            table: &table,
-            dt,
-            time: *time,
-        };
-        let report = match cancel {
-            Some(token) => {
-                parallel_sweep_cancellable(store, topology, schedule, |_| shared.to_kernel(), token)
+        let effective = tuner.as_ref().map_or(schedule, GrainTuner::schedule);
+        let report = match variant {
+            KernelVariant::Scalar => {
+                let shared = SharedPushKernel {
+                    source,
+                    pusher: BorisPusher,
+                    table: &table,
+                    dt,
+                    time: *time,
+                };
+                sweep_once(store, topology, effective, cancel, |_| shared.to_kernel())
             }
-            None => parallel_sweep(store, topology, schedule, |_| shared.to_kernel()),
+            KernelVariant::Batch => {
+                let (tbl, t) = (&table, *time);
+                sweep_once(store, topology, effective, cancel, move |_| {
+                    BatchBorisKernel::new(source, tbl, dt, t)
+                })
+            }
+            KernelVariant::SoaFast => {
+                let (tbl, t) = (&table, *time);
+                sweep_once(store, topology, effective, cancel, move |_| {
+                    SoaBorisKernel::new(source, tbl, dt, t)
+                })
+            }
         };
+        if let Some(t) = tuner.as_mut() {
+            t.observe(&report);
+        }
         merge_report(&mut thread_stats, &report);
         if report.total_particles() < store.len() {
             // Cancelled mid-sweep: the store holds a mix of old and new
@@ -205,25 +295,83 @@ mod tests {
     #[test]
     fn runner_completes_all_steps_and_advances_time() {
         for scenario in Scenario::all() {
-            let mut store: SoaEnsemble<f32> = build_ensemble(500, 3);
-            let ctx = MdipoleScenario::prepare(scenario, &store);
-            let mut time = 0.0f32;
-            let run = run_mdipole_steps(
+            for variant in KernelVariant::all() {
+                let mut store: SoaEnsemble<f32> = build_ensemble(500, 3);
+                let ctx = MdipoleScenario::prepare(scenario, &store);
+                let mut time = 0.0f32;
+                let run = run_mdipole_steps(
+                    &mut store,
+                    &ctx,
+                    4,
+                    &mut time,
+                    &Topology::single(2),
+                    Schedule::dynamic(),
+                    variant,
+                    None,
+                    &mut |_, _| true,
+                );
+                assert_eq!(run.steps_done, 4, "{scenario} {variant}");
+                assert!(!run.interrupted);
+                let pushed: u64 = run.thread_stats.iter().map(|t| t.particles).sum();
+                assert_eq!(pushed, 500 * 4);
+                assert!((time - 4.0 * bench_dt() as f32).abs() < 1e-3 * bench_dt() as f32);
+            }
+        }
+    }
+
+    #[test]
+    fn variants_agree_on_the_same_trajectories() {
+        let run_with = |variant: KernelVariant| -> SoaEnsemble<f64> {
+            let mut store: SoaEnsemble<f64> = build_ensemble(100, 11);
+            let ctx = MdipoleScenario::prepare(Scenario::Analytical, &store);
+            let mut time = 0.0f64;
+            run_mdipole_steps(
                 &mut store,
                 &ctx,
-                4,
+                5,
                 &mut time,
                 &Topology::single(2),
                 Schedule::dynamic(),
+                variant,
                 None,
                 &mut |_, _| true,
             );
-            assert_eq!(run.steps_done, 4, "{scenario}");
-            assert!(!run.interrupted);
-            let pushed: u64 = run.thread_stats.iter().map(|t| t.particles).sum();
-            assert_eq!(pushed, 500 * 4);
-            assert!((time - 4.0 * bench_dt() as f32).abs() < 1e-3 * bench_dt() as f32);
+            store
+        };
+        let scalar = run_with(KernelVariant::Scalar);
+        let fast = run_with(KernelVariant::SoaFast);
+        let batch = run_with(KernelVariant::Batch);
+        for i in 0..100 {
+            // The fast path is bitwise-identical to scalar; the gathered
+            // path agrees within its documented scatter rounding.
+            assert_eq!(scalar.get(i), fast.get(i), "particle {i}");
+            let a = scalar.get(i);
+            let b = batch.get(i);
+            let scale = a.momentum.norm().max(1e-30);
+            assert!((a.momentum - b.momentum).norm() / scale <= 1e-12, "{i}");
         }
+    }
+
+    #[test]
+    fn auto_schedule_completes_and_probes_grains() {
+        let mut store: SoaEnsemble<f32> = build_ensemble(400, 13);
+        let ctx = MdipoleScenario::prepare(Scenario::Precalculated, &store);
+        let mut time = 0.0f32;
+        let run = run_mdipole_steps(
+            &mut store,
+            &ctx,
+            6,
+            &mut time,
+            &Topology::single(2),
+            Schedule::auto(),
+            KernelVariant::SoaFast,
+            None,
+            &mut |_, _| true,
+        );
+        assert_eq!(run.steps_done, 6);
+        assert!(!run.interrupted);
+        let pushed: u64 = run.thread_stats.iter().map(|t| t.particles).sum();
+        assert_eq!(pushed, 400 * 6);
     }
 
     #[test]
@@ -240,6 +388,7 @@ mod tests {
             &mut ta,
             &Topology::single(1),
             Schedule::StaticChunks,
+            KernelVariant::SoaFast,
             None,
             &mut |_, _| true,
         );
@@ -250,6 +399,7 @@ mod tests {
             &mut ts,
             &Topology::uniform(2, 2),
             Schedule::numa(),
+            KernelVariant::SoaFast,
             None,
             &mut |_, _| true,
         );
@@ -272,6 +422,7 @@ mod tests {
             &mut time,
             &Topology::single(1),
             Schedule::StaticChunks,
+            KernelVariant::default(),
             Some(&token),
             &mut |_, _| true,
         );
@@ -296,6 +447,7 @@ mod tests {
             &mut time,
             &Topology::single(1),
             Schedule::StaticChunks,
+            KernelVariant::default(),
             None,
             &mut |step, _| step < 2,
         );

@@ -43,7 +43,26 @@ impl<'a, R: Real, F: FieldSource<R>> BatchBorisKernel<'a, R, F> {
     }
 
     /// Advances every particle in `store` by one step.
+    ///
+    /// When the store is SoA-backed this delegates to the zero-gather
+    /// direct-slice path of [`crate::SoaBorisKernel`] — the gather/
+    /// scatter round-trip below only pays off when the layout forces it.
+    /// Both paths produce identical trajectories (within the documented
+    /// scatter rounding of the gathered path; the fast path is bitwise-
+    /// equal to the scalar reference).
     pub fn sweep<A: ParticleAccess<R>>(&self, store: &mut A) {
+        if let Some(mut lanes) = store.soa_lanes_mut() {
+            let fast =
+                crate::soa_boris::SoaBorisKernel::new(self.source, self.table, self.dt, self.time);
+            fast.run_lanes(&mut lanes);
+            return;
+        }
+        self.sweep_gathered(store);
+    }
+
+    /// The original gather → compute → scatter sweep, kept callable so
+    /// benchmarks can measure the round-trip cost against the fast path.
+    pub fn sweep_gathered<A: ParticleAccess<R>>(&self, store: &mut A) {
         let n = store.len();
         let base = store.base_index();
         let mut i = 0;
@@ -140,6 +159,22 @@ impl<'a, R: Real, F: FieldSource<R>> BatchBorisKernel<'a, R, F> {
             p.position += vel * self.dt;
             store.set(start + l, &p);
         }
+    }
+}
+
+/// Lets the parallel runtime drive the *gathered* path chunk by chunk —
+/// the benchmark's gather/scatter baseline. Single-particle applications
+/// use the scalar reference arithmetic, same as the sweep's tail.
+impl<R: Real, F: FieldSource<R>> pic_particles::ParticleKernel<R> for BatchBorisKernel<'_, R, F> {
+    #[inline(always)]
+    fn apply<V: pic_particles::ParticleView<R>>(&mut self, index: usize, view: &mut V) {
+        let field = self.source.field(index, view.position(), self.time);
+        let species = self.table.get(view.species());
+        BorisPusher.push(view, &field, species, self.dt);
+    }
+
+    fn apply_chunk<A: ParticleAccess<R>>(&mut self, chunk: &mut A) {
+        self.sweep_gathered(chunk);
     }
 }
 
@@ -245,6 +280,64 @@ mod tests {
         let mut ens = AosEnsemble::<f64>::new();
         bk.sweep(&mut ens);
         assert!(ens.is_empty());
+    }
+
+    #[test]
+    fn soa_sweep_delegates_to_fast_path_and_matches_gathered_aos() {
+        // Regression for the layout split: `sweep` on an SoA store now takes
+        // the direct-slice fast path while an AoS store keeps the gathered
+        // path. Both must agree on the same initial conditions to within the
+        // documented scatter rounding of the gathered path.
+        let table = SpeciesTable::<f64>::with_standard_species();
+        let wave = DipoleStandingWave::<f64>::new(BENCH_POWER, BENCH_OMEGA);
+        let source = AnalyticalSource::new(&wave);
+        let dt = 0.005 * 2.0 * std::f64::consts::PI / BENCH_OMEGA;
+
+        let mut aos: AosEnsemble<f64> = ensemble(37);
+        let mut soa: SoaEnsemble<f64> = ensemble(37);
+        for step in 0..10 {
+            let time = dt * step as f64;
+            let bk = BatchBorisKernel::new(&source, &table, dt, time);
+            bk.sweep(&mut aos);
+            bk.sweep(&mut soa);
+        }
+        for i in 0..aos.len() {
+            let a = aos.get(i);
+            let b = soa.get(i);
+            let scale = a.momentum.norm().max(1e-30);
+            assert!(
+                (a.momentum - b.momentum).norm() / scale <= 1e-12,
+                "AoS/SoA sweep diverged at particle {i}"
+            );
+            let pscale = a.position.norm().max(1e-30);
+            assert!((a.position - b.position).norm() / pscale <= 1e-12);
+        }
+    }
+
+    #[test]
+    fn gathered_sweep_still_matches_scalar_on_soa() {
+        // The gathered path stays available for benchmarking; it must keep
+        // matching the scalar reference on SoA stores too.
+        let table = SpeciesTable::<f64>::with_standard_species();
+        let wave = DipoleStandingWave::<f64>::new(BENCH_POWER, BENCH_OMEGA);
+        let source = AnalyticalSource::new(&wave);
+        let dt = 0.005 * 2.0 * std::f64::consts::PI / BENCH_OMEGA;
+
+        let mut scalar: SoaEnsemble<f64> = ensemble(21);
+        let mut gathered: SoaEnsemble<f64> = ensemble(21);
+        let mut k = PushKernel::new(AnalyticalSource::new(&wave), BorisPusher, &table, dt);
+        for step in 0..10 {
+            scalar.for_each_mut(&mut k);
+            k.advance_time();
+            let bk = BatchBorisKernel::new(&source, &table, dt, dt * step as f64);
+            bk.sweep_gathered(&mut gathered);
+        }
+        for i in 0..scalar.len() {
+            let a = scalar.get(i);
+            let b = gathered.get(i);
+            let scale = a.momentum.norm().max(1e-30);
+            assert!((a.momentum - b.momentum).norm() / scale <= 1e-12);
+        }
     }
 
     #[test]

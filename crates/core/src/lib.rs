@@ -18,6 +18,8 @@
 //!   sampling (scenario 2) or precalculated arrays (scenario 1).
 //! * [`batch`] — an explicitly blocked (8-wide) Boris kernel mirroring the
 //!   AVX-512 vectorization of the paper's C++ loop.
+//! * [`soa_boris`] — the zero-gather fast path: the same blocked arithmetic
+//!   run directly over SoA component slices, no gather/scatter round-trip.
 //! * [`diag`] — ensemble diagnostics (kinetic energy, mean γ, …).
 //!
 //! # Example: one gyration step
@@ -47,6 +49,7 @@ pub mod higuera;
 pub mod kernel;
 pub mod pusher;
 pub mod radiation;
+pub mod soa_boris;
 pub mod trajectory;
 pub mod vay;
 
@@ -58,4 +61,5 @@ pub use kernel::{
 };
 pub use pusher::{OpTally, Pusher};
 pub use radiation::RadiationReactionPusher;
+pub use soa_boris::SoaBorisKernel;
 pub use vay::VayPusher;

@@ -1,0 +1,469 @@
+//! Zero-gather SoA Boris kernel — the direct-slice fast path.
+//!
+//! [`crate::BatchBorisKernel`] pays a gather/scatter round-trip into
+//! lane-local arrays even when the store is already a
+//! [`pic_particles::SoaEnsemble`]: every particle is copied out through
+//! `get`, updated, and copied back through `set`. This module removes
+//! that round-trip. [`SoaBorisKernel`] runs the Boris update as
+//! straight-line per-lane loops *directly over the SoA component
+//! columns* obtained from [`ParticleAccess::soa_lanes_mut`]: unit-stride
+//! loads, unit-stride stores, no gather, no scatter, and fields sampled
+//! a lane-block at a time through [`FieldSource::field_block`].
+//!
+//! The arithmetic order per lane is exactly that of [`BorisPusher`]
+//! (the hoisted species constants and time factors are loop-invariant
+//! pure computations), so fast-path and scalar runs produce
+//! bitwise-identical trajectories — property-tested below. On non-SoA
+//! collections the kernel degrades gracefully to the scalar per-view
+//! path.
+
+use crate::boris::BorisPusher;
+use crate::kernel::FieldSource;
+use crate::pusher::{gamma_of_u, half_kick_coef, momentum_from_u, u_from_momentum, Pusher};
+use pic_fields::EbSlices;
+use pic_math::constants::LIGHT_VELOCITY;
+use pic_math::{Real, Vec3};
+use pic_particles::{
+    ParticleAccess, ParticleKernel, ParticleView, SoaLanesMut, SpeciesId, SpeciesTable,
+};
+
+pub use crate::batch::LANES;
+
+/// Fixed-width array views of one block of [`LANES`] lanes.
+///
+/// Narrowing every column to `&mut [R; LANES]` once per block makes the
+/// hot loop's trip count a compile-time constant and removes all bounds
+/// checks from its body — the difference between vertical SIMD and
+/// scalar code on wide-FMA targets.
+struct Block<'b, R> {
+    x: &'b mut [R; LANES],
+    y: &'b mut [R; LANES],
+    z: &'b mut [R; LANES],
+    px: &'b mut [R; LANES],
+    py: &'b mut [R; LANES],
+    pz: &'b mut [R; LANES],
+    gamma: &'b mut [R; LANES],
+    species: &'b [SpeciesId; LANES],
+}
+
+impl<'b, R: Real> Block<'b, R> {
+    /// Views the block of lanes `[start, start + LANES)`. Callers
+    /// guarantee the block is in bounds (`run_lanes` iterates full
+    /// blocks only).
+    #[inline(always)]
+    fn at(lanes: &'b mut SoaLanesMut<'_, R>, start: usize) -> Self {
+        #[inline(always)]
+        fn arr<T>(col: &mut [T], start: usize) -> &mut [T; LANES] {
+            match col[start..].first_chunk_mut::<LANES>() {
+                Some(a) => a,
+                None => unreachable!("lane block out of bounds"),
+            }
+        }
+        let species = match lanes.species[start..].first_chunk::<LANES>() {
+            Some(a) => a,
+            None => unreachable!("lane block out of bounds"),
+        };
+        Block {
+            x: arr(lanes.x, start),
+            y: arr(lanes.y, start),
+            z: arr(lanes.z, start),
+            px: arr(lanes.px, start),
+            py: arr(lanes.py, start),
+            pz: arr(lanes.pz, start),
+            gamma: arr(lanes.gamma, start),
+            species,
+        }
+    }
+}
+
+/// The zero-gather SoA Boris kernel.
+///
+/// Being a [`ParticleKernel`], it drops into every place the scalar
+/// [`crate::PushKernel`] fits — including the parallel runtime, which
+/// invokes kernels through [`ParticleKernel::apply_chunk`] so this
+/// kernel's whole-chunk override takes the direct-slice path on SoA
+/// chunks automatically.
+#[derive(Clone, Copy, Debug)]
+pub struct SoaBorisKernel<'a, R, F> {
+    source: &'a F,
+    table: &'a SpeciesTable<R>,
+    dt: R,
+    time: R,
+}
+
+impl<'a, R: Real, F: FieldSource<R>> SoaBorisKernel<'a, R, F> {
+    /// Creates a kernel for one sweep at simulation time `time`.
+    pub fn new(source: &'a F, table: &'a SpeciesTable<R>, dt: R, time: R) -> Self {
+        SoaBorisKernel {
+            source,
+            table,
+            dt,
+            time,
+        }
+    }
+
+    /// Advances every particle behind `lanes` by one step, operating
+    /// directly on the component columns. Full blocks of [`LANES`]
+    /// particles run the straight-line vectorizable loop; the
+    /// `len % LANES` remainder runs the reference scalar path.
+    pub fn run_lanes(&self, lanes: &mut SoaLanesMut<'_, R>) {
+        let n = lanes.x.len();
+        let blocks = n / LANES;
+        for b in 0..blocks {
+            self.lane_block(lanes, b * LANES);
+        }
+        // Scalar remainder, bitwise-identical by construction: it *is*
+        // the reference implementation.
+        for i in (blocks * LANES)..n {
+            let species = self.table.get(lanes.species[i]);
+            let pos = Vec3::new(lanes.x[i], lanes.y[i], lanes.z[i]);
+            let field = self.source.field(lanes.base + i, pos, self.time);
+            let eps = half_kick_coef(species, self.dt);
+            let p_old = Vec3::new(lanes.px[i], lanes.py[i], lanes.pz[i]);
+            let u_old = u_from_momentum(p_old, species.mass);
+            let (u_new, _gamma_n) = BorisPusher::rotate_kick(u_old, &field, eps);
+            let gamma_new = gamma_of_u(u_new);
+            let p_new = momentum_from_u(u_new, species.mass);
+            let v = p_new / (gamma_new * species.mass);
+            lanes.px[i] = p_new.x;
+            lanes.py[i] = p_new.y;
+            lanes.pz[i] = p_new.z;
+            lanes.gamma[i] = gamma_new;
+            lanes.x[i] = pos.x + v.x * self.dt;
+            lanes.y[i] = pos.y + v.y * self.dt;
+            lanes.z[i] = pos.z + v.z * self.dt;
+        }
+    }
+
+    /// One full block of [`LANES`] particles starting at column index
+    /// `start`: species constants, then a blocked field sample, then the
+    /// straight-line Boris update written back in place.
+    ///
+    /// Every column is narrowed to a `&mut [R; LANES]` array view first:
+    /// with the trip count a compile-time constant and no bounds checks
+    /// left in the loop body, the update loop below compiles to pure
+    /// vertical SIMD on targets with wide FMA.
+    #[inline]
+    fn lane_block(&self, lanes: &mut SoaLanesMut<'_, R>, start: usize) {
+        let base = lanes.base;
+        let Block {
+            x,
+            y,
+            z,
+            px,
+            py,
+            pz,
+            gamma,
+            species,
+        } = Block::at(lanes, start);
+        // Loop-invariant species constants, one lane each. These are the
+        // exact expressions the scalar helpers evaluate per particle.
+        let mut eps = [R::ZERO; LANES];
+        let mut inv_mc = [R::ZERO; LANES];
+        let mut mc = [R::ZERO; LANES];
+        let mut mass = [R::ZERO; LANES];
+        for l in 0..LANES {
+            let sp = self.table.get(species[l]);
+            eps[l] = half_kick_coef(sp, self.dt);
+            inv_mc[l] = (sp.mass * R::from_f64(LIGHT_VELOCITY)).recip();
+            mc[l] = sp.mass * R::from_f64(LIGHT_VELOCITY);
+            mass[l] = sp.mass;
+        }
+
+        // Blocked field sample straight out of the position columns.
+        let mut ex = [R::ZERO; LANES];
+        let mut ey = [R::ZERO; LANES];
+        let mut ez = [R::ZERO; LANES];
+        let mut bx = [R::ZERO; LANES];
+        let mut by = [R::ZERO; LANES];
+        let mut bz = [R::ZERO; LANES];
+        {
+            let mut out = EbSlices {
+                ex: &mut ex,
+                ey: &mut ey,
+                ez: &mut ez,
+                bx: &mut bx,
+                by: &mut by,
+                bz: &mut bz,
+            };
+            self.source
+                .field_block(base + start, &x[..], &y[..], &z[..], self.time, &mut out);
+        }
+
+        // Load: u = p/(mc), straight out of the momentum columns at unit
+        // stride into block-local arrays.
+        let mut ux = [R::ZERO; LANES];
+        let mut uy = [R::ZERO; LANES];
+        let mut uz = [R::ZERO; LANES];
+        for l in 0..LANES {
+            ux[l] = px[l] * inv_mc[l];
+            uy[l] = py[l] * inv_mc[l];
+            uz[l] = pz[l] * inv_mc[l];
+        }
+
+        // Compute: straight-line per-lane Boris over block-local arrays
+        // only — no column references in the body, which is what lets the
+        // compiler turn the unrolled block into vertical SIMD. Same op
+        // order as BorisPusher::push, lane by lane.
+        let mut unx = [R::ZERO; LANES];
+        let mut uny = [R::ZERO; LANES];
+        let mut unz = [R::ZERO; LANES];
+        let mut gam = [R::ZERO; LANES];
+        for l in 0..LANES {
+            // Half electric kick: u⁻ = u + ε·E.
+            let umx = ex[l].mul_add(eps[l], ux[l]);
+            let umy = ey[l].mul_add(eps[l], uy[l]);
+            let umz = ez[l].mul_add(eps[l], uz[l]);
+            let gamma_n = (R::ONE + (umx * umx + umy * umy + umz * umz)).sqrt();
+            let coef = eps[l] / gamma_n;
+            let tx = bx[l] * coef;
+            let ty = by[l] * coef;
+            let tz = bz[l] * coef;
+            let t2 = tx * tx + ty * ty + tz * tz;
+            let sc = R::TWO / (R::ONE + t2);
+            let sx = tx * sc;
+            let sy = ty * sc;
+            let sz = tz * sc;
+            // u' = u⁻ + u⁻ × t
+            let upx = umx + (umy * tz - umz * ty);
+            let upy = umy + (umz * tx - umx * tz);
+            let upz = umz + (umx * ty - umy * tx);
+            // u⁺ = u⁻ + u' × s
+            let uqx = umx + (upy * sz - upz * sy);
+            let uqy = umy + (upz * sx - upx * sz);
+            let uqz = umz + (upx * sy - upy * sx);
+            // Second half kick.
+            unx[l] = ex[l].mul_add(eps[l], uqx);
+            uny[l] = ey[l].mul_add(eps[l], uqy);
+            unz[l] = ez[l].mul_add(eps[l], uqz);
+            gam[l] = (R::ONE + (unx[l] * unx[l] + uny[l] * uny[l] + unz[l] * unz[l])).sqrt();
+        }
+
+        // Store: p = u·mc, v = p/(γm), x += v·dt — written straight back
+        // to the columns at unit stride.
+        for l in 0..LANES {
+            let pnx = unx[l] * mc[l];
+            let pny = uny[l] * mc[l];
+            let pnz = unz[l] * mc[l];
+            let denom = gam[l] * mass[l];
+            let vx = pnx / denom;
+            let vy = pny / denom;
+            let vz = pnz / denom;
+            px[l] = pnx;
+            py[l] = pny;
+            pz[l] = pnz;
+            gamma[l] = gam[l];
+            x[l] += vx * self.dt;
+            y[l] += vy * self.dt;
+            z[l] += vz * self.dt;
+        }
+    }
+
+    /// Scalar reference update of one particle through its view — the
+    /// same sequence [`BorisPusher::push`] performs.
+    #[inline(always)]
+    fn push_view<V: ParticleView<R>>(&self, index: usize, view: &mut V) {
+        let field = self.source.field(index, view.position(), self.time);
+        let species = self.table.get(view.species());
+        BorisPusher.push(view, &field, species, self.dt);
+    }
+}
+
+impl<R: Real, F: FieldSource<R>> ParticleKernel<R> for SoaBorisKernel<'_, R, F> {
+    #[inline(always)]
+    fn apply<V: ParticleView<R>>(&mut self, index: usize, view: &mut V) {
+        self.push_view(index, view);
+    }
+
+    fn apply_chunk<A: ParticleAccess<R>>(&mut self, chunk: &mut A) {
+        match chunk.soa_lanes_mut() {
+            Some(mut lanes) => self.run_lanes(&mut lanes),
+            None => chunk.for_each_mut(self),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::kernel::{AnalyticalSource, PrecalculatedSource, PushKernel};
+    use pic_fields::{DipoleStandingWave, PrecalculatedFields};
+    use pic_math::constants::{BENCH_OMEGA, BENCH_POWER, BENCH_WAVELENGTH};
+    use pic_particles::{Particle, SoaEnsemble, SpeciesId};
+    use proptest::prelude::*;
+
+    const DIPOLE_SPECIES: [SpeciesId; 2] =
+        [SpeciesTable::<f64>::ELECTRON, SpeciesTable::<f64>::POSITRON];
+
+    /// Builds one particle from raw proptest scalars at precision `R`.
+    fn particle<R: Real>(raw: &(f64, f64, f64, f64, f64, f64, u8)) -> Particle<R> {
+        let (x, y, z, ux, uy, uz, sp) = *raw;
+        let species = DIPOLE_SPECIES[(sp % 2) as usize];
+        let table = SpeciesTable::<R>::with_standard_species();
+        let mass = table.get(species).mass;
+        let u = Vec3::new(R::from_f64(ux), R::from_f64(uy), R::from_f64(uz));
+        let momentum = momentum_from_u(u, mass);
+        let mut p = Particle::at_rest(
+            Vec3::new(
+                R::from_f64(x * BENCH_WAVELENGTH),
+                R::from_f64(y * BENCH_WAVELENGTH),
+                R::from_f64(z * BENCH_WAVELENGTH),
+            ),
+            R::ONE,
+            species,
+        );
+        p.momentum = momentum;
+        p.gamma = gamma_of_u(u);
+        p
+    }
+
+    /// Runs `steps` of scalar vs fast path at precision `R` and asserts
+    /// bitwise-equal trajectories.
+    fn assert_parity<R: Real>(raw: &[(f64, f64, f64, f64, f64, f64, u8)], steps: usize) {
+        let table = SpeciesTable::<R>::with_standard_species();
+        let wave = DipoleStandingWave::<R>::new(BENCH_POWER, BENCH_OMEGA);
+        let source = AnalyticalSource::new(&wave);
+        let dt = R::from_f64(0.005 * 2.0 * std::f64::consts::PI / BENCH_OMEGA);
+
+        let mut scalar: SoaEnsemble<R> = raw.iter().map(particle::<R>).collect();
+        let mut fast: SoaEnsemble<R> = raw.iter().map(particle::<R>).collect();
+
+        let mut k = PushKernel::new(AnalyticalSource::new(&wave), BorisPusher, &table, dt);
+        let mut time = R::ZERO;
+        for _ in 0..steps {
+            scalar.for_each_mut(&mut k);
+            k.advance_time();
+
+            let mut fk = SoaBorisKernel::new(&source, &table, dt, time);
+            fk.apply_chunk(&mut fast);
+            time += dt;
+        }
+        for i in 0..scalar.len() {
+            assert_eq!(scalar.get(i), fast.get(i), "particle {i} diverged");
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(24))]
+
+        /// Bitwise trajectory parity over random states — f64, with
+        /// lengths spanning full blocks and a scalar remainder tail.
+        #[test]
+        fn fast_path_bitwise_matches_scalar_f64(
+            raw in prop::collection::vec(
+                (-0.9f64..0.9, -0.9f64..0.9, -0.9f64..0.9,
+                 -5.0f64..5.0, -5.0f64..5.0, -5.0f64..5.0, 0u8..2),
+                1..40),
+        ) {
+            assert_parity::<f64>(&raw, 4);
+        }
+
+        /// Same, single precision.
+        #[test]
+        fn fast_path_bitwise_matches_scalar_f32(
+            raw in prop::collection::vec(
+                (-0.9f64..0.9, -0.9f64..0.9, -0.9f64..0.9,
+                 -5.0f64..5.0, -5.0f64..5.0, -5.0f64..5.0, 0u8..2),
+                1..40),
+        ) {
+            assert_parity::<f32>(&raw, 4);
+        }
+    }
+
+    #[test]
+    fn remainder_tail_lengths_are_exact() {
+        // Deterministic spot-check of every tail length around one block.
+        for n in [1, 7, 8, 9, 15, 16, 17] {
+            let raw: Vec<(f64, f64, f64, f64, f64, f64, u8)> = (0..n)
+                .map(|i| {
+                    let s = 0.05 * (i as f64 + 1.0);
+                    (0.3 - s, s - 0.2, 0.1 + s, s, -s, 0.5 * s, (i % 2) as u8)
+                })
+                .collect();
+            assert_parity::<f64>(&raw, 3);
+            assert_parity::<f32>(&raw, 3);
+        }
+    }
+
+    #[test]
+    fn precalculated_fast_path_matches_scalar() {
+        // The contiguous-slice field_block override must agree with the
+        // per-index path bit for bit.
+        let table = SpeciesTable::<f64>::with_standard_species();
+        let wave = DipoleStandingWave::<f64>::new(BENCH_POWER, BENCH_OMEGA);
+        let raw: Vec<(f64, f64, f64, f64, f64, f64, u8)> = (0..21)
+            .map(|i| {
+                let s = 0.04 * (i as f64 + 1.0);
+                (s - 0.4, 0.4 - s, 0.2 * s, -s, s, 2.0 * s, (i % 2) as u8)
+            })
+            .collect();
+        let mut scalar: SoaEnsemble<f64> = raw.iter().map(particle::<f64>).collect();
+        let mut fast: SoaEnsemble<f64> = raw.iter().map(particle::<f64>).collect();
+        let positions: Vec<Vec3<f64>> = (0..scalar.len()).map(|i| scalar.get(i).position).collect();
+        let pre = PrecalculatedFields::from_sampler(&wave, positions, 0.0);
+        let dt = 1e-16;
+
+        let src = PrecalculatedSource::new(&pre);
+        let mut k = PushKernel::new(src, BorisPusher, &table, dt);
+        scalar.for_each_mut(&mut k);
+        let mut fk = SoaBorisKernel::new(&src, &table, dt, 0.0);
+        fk.apply_chunk(&mut fast);
+        for i in 0..scalar.len() {
+            assert_eq!(scalar.get(i), fast.get(i), "particle {i}");
+        }
+    }
+
+    #[test]
+    fn chunked_sweep_matches_whole_ensemble() {
+        // Splitting into runtime-style chunks (with nonzero base offsets)
+        // must not change the result.
+        let table = SpeciesTable::<f64>::with_standard_species();
+        let wave = DipoleStandingWave::<f64>::new(BENCH_POWER, BENCH_OMEGA);
+        let source = AnalyticalSource::new(&wave);
+        let dt = 0.005 * 2.0 * std::f64::consts::PI / BENCH_OMEGA;
+        let raw: Vec<(f64, f64, f64, f64, f64, f64, u8)> = (0..53)
+            .map(|i| {
+                let s = 0.015 * (i as f64 + 1.0);
+                (s - 0.4, 0.4 - s, 0.25 * s, s, -0.5 * s, s, (i % 2) as u8)
+            })
+            .collect();
+        let mut whole: SoaEnsemble<f64> = raw.iter().map(particle::<f64>).collect();
+        let mut chunked: SoaEnsemble<f64> = raw.iter().map(particle::<f64>).collect();
+
+        let mut k = SoaBorisKernel::new(&source, &table, dt, 0.0);
+        k.apply_chunk(&mut whole);
+        for chunk in &mut chunked.split_mut(19) {
+            let mut kc = SoaBorisKernel::new(&source, &table, dt, 0.0);
+            kc.apply_chunk(chunk);
+        }
+        for i in 0..whole.len() {
+            assert_eq!(whole.get(i), chunked.get(i), "particle {i}");
+        }
+    }
+
+    #[test]
+    fn aos_fallback_matches_scalar() {
+        // On AoS stores the kernel has no lanes and must take the
+        // per-view path — still bitwise-equal to the scalar reference.
+        use pic_particles::AosEnsemble;
+        let table = SpeciesTable::<f64>::with_standard_species();
+        let wave = DipoleStandingWave::<f64>::new(BENCH_POWER, BENCH_OMEGA);
+        let source = AnalyticalSource::new(&wave);
+        let dt = 0.005 * 2.0 * std::f64::consts::PI / BENCH_OMEGA;
+        let raw: Vec<(f64, f64, f64, f64, f64, f64, u8)> = (0..13)
+            .map(|i| {
+                let s = 0.06 * (i as f64 + 1.0);
+                (s - 0.4, 0.4 - s, 0.3 * s, -s, s, 0.25 * s, (i % 2) as u8)
+            })
+            .collect();
+        let mut scalar: AosEnsemble<f64> = raw.iter().map(particle::<f64>).collect();
+        let mut fast: AosEnsemble<f64> = raw.iter().map(particle::<f64>).collect();
+        let mut k = PushKernel::new(AnalyticalSource::new(&wave), BorisPusher, &table, dt);
+        scalar.for_each_mut(&mut k);
+        let mut fk = SoaBorisKernel::new(&source, &table, dt, 0.0);
+        fk.apply_chunk(&mut fast);
+        for i in 0..scalar.len() {
+            assert_eq!(scalar.get(i), fast.get(i), "particle {i}");
+        }
+    }
+}

@@ -118,6 +118,36 @@ impl<R: Real> PrecalculatedFields<R> {
     pub fn memory_bytes(&self) -> usize {
         6 * self.len() * R::BYTES
     }
+
+    /// Electric field x column (one entry per particle).
+    pub fn exs(&self) -> &[R] {
+        &self.ex
+    }
+
+    /// Electric field y column.
+    pub fn eys(&self) -> &[R] {
+        &self.ey
+    }
+
+    /// Electric field z column.
+    pub fn ezs(&self) -> &[R] {
+        &self.ez
+    }
+
+    /// Magnetic field x column.
+    pub fn bxs(&self) -> &[R] {
+        &self.bx
+    }
+
+    /// Magnetic field y column.
+    pub fn bys(&self) -> &[R] {
+        &self.by
+    }
+
+    /// Magnetic field z column.
+    pub fn bzs(&self) -> &[R] {
+        &self.bz
+    }
 }
 
 #[cfg(test)]

@@ -49,6 +49,72 @@ impl<R: Real, S: FieldSampler<R> + ?Sized> FieldSampler<R> for &S {
     }
 }
 
+/// Destination slices for one lane-block of field values, one component
+/// per slice (structure-of-arrays, mirroring `SoaEnsemble`).
+///
+/// All six slices must have the same length as the position slices
+/// passed alongside them; batch samplers write every element.
+pub struct EbSlices<'a, R> {
+    /// Electric field x components.
+    pub ex: &'a mut [R],
+    /// Electric field y components.
+    pub ey: &'a mut [R],
+    /// Electric field z components.
+    pub ez: &'a mut [R],
+    /// Magnetic field x components.
+    pub bx: &'a mut [R],
+    /// Magnetic field y components.
+    pub by: &'a mut [R],
+    /// Magnetic field z components.
+    pub bz: &'a mut [R],
+}
+
+/// Extension of [`FieldSampler`] that fills a whole lane-block of field
+/// values per call, so the hot sweep loop can evaluate fields as
+/// vectorizable component loops instead of one [`EB`] at a time.
+///
+/// The default implementation loops over [`FieldSampler::sample`] and is
+/// bitwise-identical to per-particle sampling by construction; samplers
+/// with a profitable straight-line form (the analytical m-dipole)
+/// override it with hoisted, per-lane component loops that keep the
+/// exact same arithmetic order per element.
+pub trait BatchSampler<R: Real>: FieldSampler<R> {
+    /// Samples the field at `(xs[i], ys[i], zs[i], time)` for every `i`
+    /// and writes the components into `out`.
+    fn sample_into(&self, xs: &[R], ys: &[R], zs: &[R], time: R, out: &mut EbSlices<'_, R>) {
+        for i in 0..xs.len() {
+            let f = self.sample(Vec3::new(xs[i], ys[i], zs[i]), time);
+            out.ex[i] = f.e.x;
+            out.ey[i] = f.e.y;
+            out.ez[i] = f.e.z;
+            out.bx[i] = f.b.x;
+            out.by[i] = f.b.y;
+            out.bz[i] = f.b.z;
+        }
+    }
+}
+
+/// A batch sampler can be shared by reference.
+impl<R: Real, S: BatchSampler<R> + ?Sized> BatchSampler<R> for &S {
+    fn sample_into(&self, xs: &[R], ys: &[R], zs: &[R], time: R, out: &mut EbSlices<'_, R>) {
+        (**self).sample_into(xs, ys, zs, time, out)
+    }
+}
+
+// Samplers without a profitable straight-line form keep the per-point
+// default; listing them here keeps the `BatchSampler` universe closed
+// over every in-crate `FieldSampler`.
+impl<R: Real> BatchSampler<R> for crate::dipole::TabulatedDipoleWave<R> {}
+impl<R: Real> BatchSampler<R> for crate::dipole_pulse::DipolePulse<R> {}
+impl<R: Real> BatchSampler<R> for crate::gaussian_beam::GaussianBeam<R> {}
+impl<R: Real> BatchSampler<R> for crate::grid::EmGrid<R> {}
+impl<R: Real> BatchSampler<R> for crate::plane_wave::PlaneWave<R> {}
+impl<R: Real> BatchSampler<R> for crate::uniform::UniformFields<R> {}
+impl<R: Real, S: FieldSampler<R>, E: crate::envelope::Envelope> BatchSampler<R>
+    for crate::envelope::Enveloped<S, E>
+{
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -80,5 +146,39 @@ mod tests {
         let c = Constant;
         assert_eq!(total_e(&c), 3.0);
         assert_eq!(total_e(&c), 3.0); // still owned by caller
+    }
+
+    #[test]
+    fn default_batch_sampling_matches_per_point() {
+        struct Linear;
+        impl FieldSampler<f64> for Linear {
+            fn sample(&self, pos: Vec3<f64>, time: f64) -> EB<f64> {
+                EB::new(pos * 2.0, Vec3::new(time, -pos.y, pos.z * pos.x))
+            }
+        }
+        impl BatchSampler<f64> for Linear {}
+        let xs = [0.5, -1.0, 3.25];
+        let ys = [2.0, 0.0, -0.125];
+        let zs = [-4.0, 1.5, 0.75];
+        let (mut ex, mut ey, mut ez) = ([0.0; 3], [0.0; 3], [0.0; 3]);
+        let (mut bx, mut by, mut bz) = ([0.0; 3], [0.0; 3], [0.0; 3]);
+        let mut out = EbSlices {
+            ex: &mut ex,
+            ey: &mut ey,
+            ez: &mut ez,
+            bx: &mut bx,
+            by: &mut by,
+            bz: &mut bz,
+        };
+        Linear.sample_into(&xs, &ys, &zs, 0.25, &mut out);
+        for i in 0..3 {
+            let f = Linear.sample(Vec3::new(xs[i], ys[i], zs[i]), 0.25);
+            assert_eq!(ex[i], f.e.x);
+            assert_eq!(ey[i], f.e.y);
+            assert_eq!(ez[i], f.e.z);
+            assert_eq!(bx[i], f.b.x);
+            assert_eq!(by[i], f.b.y);
+            assert_eq!(bz[i], f.b.z);
+        }
     }
 }

@@ -54,6 +54,6 @@ pub mod view;
 pub use aos::{AosChunkMut, AosEnsemble};
 pub use cells::CellEnsemble;
 pub use particle::Particle;
-pub use soa::{SoaChunkMut, SoaEnsemble, SoaRefMut};
+pub use soa::{SoaChunkMut, SoaEnsemble, SoaLanesMut, SoaRefMut};
 pub use species::{Species, SpeciesId, SpeciesTable};
 pub use view::{DynKernel, Layout, ParticleAccess, ParticleKernel, ParticleStore, ParticleView};

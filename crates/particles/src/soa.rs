@@ -256,6 +256,36 @@ impl<'a, R: Real> SoaChunkMut<'a, R> {
     }
 }
 
+/// Direct mutable access to the component columns of a SoA collection,
+/// for kernels that process whole lanes without per-particle views.
+///
+/// `base` is the index of the first lane relative to the owning ensemble
+/// (0 for ensembles, the chunk offset for chunks), so kernels reading
+/// per-particle side arrays (precalculated fields) can address them.
+/// The weight column is omitted: the pushers never touch it, and leaving
+/// it out keeps the hot loop's live-slice count minimal.
+#[derive(Debug)]
+pub struct SoaLanesMut<'a, R> {
+    /// Global index of lane 0 in the owning ensemble.
+    pub base: usize,
+    /// Position x column.
+    pub x: &'a mut [R],
+    /// Position y column.
+    pub y: &'a mut [R],
+    /// Position z column.
+    pub z: &'a mut [R],
+    /// Momentum x column.
+    pub px: &'a mut [R],
+    /// Momentum y column.
+    pub py: &'a mut [R],
+    /// Momentum z column.
+    pub pz: &'a mut [R],
+    /// Cached Lorentz-factor column.
+    pub gamma: &'a mut [R],
+    /// Species-id column (read-only: pushers never change species).
+    pub species: &'a [SpeciesId],
+}
+
 fn split_chunks<'a, R: Real>(full: SoaChunkMut<'a, R>, sizes: &[usize]) -> Vec<SoaChunkMut<'a, R>> {
     assert_eq!(
         sizes.iter().sum::<usize>(),
@@ -338,6 +368,20 @@ macro_rules! soa_access_body {
 impl<R: Real> ParticleAccess<R> for SoaEnsemble<R> {
     soa_access_body!();
 
+    fn soa_lanes_mut(&mut self) -> Option<SoaLanesMut<'_, R>> {
+        Some(SoaLanesMut {
+            base: 0,
+            x: &mut self.x,
+            y: &mut self.y,
+            z: &mut self.z,
+            px: &mut self.px,
+            py: &mut self.py,
+            pz: &mut self.pz,
+            gamma: &mut self.gamma,
+            species: &self.species,
+        })
+    }
+
     fn split_sizes_mut(&mut self, sizes: &[usize]) -> Vec<Self::ChunkMut<'_>> {
         split_chunks(self.full_chunk(), sizes)
     }
@@ -348,6 +392,20 @@ impl<'c, R: Real> ParticleAccess<R> for SoaChunkMut<'c, R> {
 
     fn base_index(&self) -> usize {
         self.offset
+    }
+
+    fn soa_lanes_mut(&mut self) -> Option<SoaLanesMut<'_, R>> {
+        Some(SoaLanesMut {
+            base: self.offset,
+            x: &mut *self.x,
+            y: &mut *self.y,
+            z: &mut *self.z,
+            px: &mut *self.px,
+            py: &mut *self.py,
+            pz: &mut *self.pz,
+            gamma: &mut *self.gamma,
+            species: &*self.species,
+        })
     }
 
     fn split_sizes_mut(&mut self, sizes: &[usize]) -> Vec<Self::ChunkMut<'_>> {
@@ -525,5 +583,23 @@ mod tests {
     fn empty_split_is_empty() {
         let mut ens = SoaEnsemble::<f64>::new();
         assert!(ens.split_mut(8).is_empty());
+    }
+
+    #[test]
+    fn lanes_expose_columns_with_chunk_base() {
+        let mut ens = sample(10);
+        {
+            let lanes = ens.soa_lanes_mut().expect("SoA ensemble has lanes");
+            assert_eq!(lanes.base, 0);
+            assert_eq!(lanes.x.len(), 10);
+            lanes.px[3] = 42.0;
+        }
+        assert_eq!(ens.get(3).momentum.x, 42.0);
+        let mut chunks = ens.split_mut(4);
+        let lanes = chunks[1].soa_lanes_mut().expect("SoA chunk has lanes");
+        assert_eq!(lanes.base, 4);
+        assert_eq!(lanes.x.len(), 4);
+        assert_eq!(lanes.x[0], 4.0);
+        assert_eq!(lanes.species.len(), 4);
     }
 }

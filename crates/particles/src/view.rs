@@ -188,6 +188,17 @@ pub trait ParticleKernel<R: Real> {
     /// Processes one particle. `index` is the particle's global index in
     /// the owning ensemble (chunk offsets included).
     fn apply<V: ParticleView<R>>(&mut self, index: usize, view: &mut V);
+
+    /// Processes every particle of `chunk`. The default loops over
+    /// [`apply`](Self::apply) through the layout-native views; kernels
+    /// with a faster whole-chunk form (the zero-gather SoA Boris path)
+    /// override this to dispatch on [`ParticleAccess::soa_lanes_mut`].
+    fn apply_chunk<A: ParticleAccess<R>>(&mut self, chunk: &mut A)
+    where
+        Self: Sized,
+    {
+        chunk.for_each_mut(self);
+    }
 }
 
 /// Adapts a closure over `&mut dyn ParticleView` into a [`ParticleKernel`].
@@ -270,6 +281,15 @@ pub trait ParticleAccess<R: Real>: Send {
             let mut v = self.view_mut(i);
             kernel.apply(base + i, &mut v);
         }
+    }
+
+    /// Direct mutable access to the structure-of-arrays component columns,
+    /// when this collection is SoA-backed. `None` (the default) means the
+    /// layout has no contiguous columns and callers must go through the
+    /// per-particle views; `Some` lets kernels run straight-line lane
+    /// loops with no gather/scatter.
+    fn soa_lanes_mut(&mut self) -> Option<crate::soa::SoaLanesMut<'_, R>> {
+        None
     }
 
     /// Splits the collection into disjoint mutable chunks of the given

@@ -32,6 +32,13 @@ pub enum Schedule {
         /// Particles per work item; 0 chooses automatically per domain.
         grain: usize,
     },
+    /// Dynamic scheduling whose grain is *measured*, not guessed: the
+    /// driver probes a few grain sizes around the TBB-like default during
+    /// the first iterations (using per-thread `busy_ns` from the sweep
+    /// report) and locks in the cheapest one — see
+    /// [`crate::tune::GrainTuner`]. Handed directly to the sweep it
+    /// behaves as [`Schedule::Dynamic`] with automatic granularity.
+    AutoTuned,
 }
 
 impl Schedule {
@@ -48,6 +55,21 @@ impl Schedule {
     /// Guided scheduling with automatic minimum granularity.
     pub fn guided() -> Schedule {
         Schedule::Guided { min_grain: 0 }
+    }
+
+    /// Dynamic scheduling with measured (auto-tuned) granularity.
+    pub fn auto() -> Schedule {
+        Schedule::AutoTuned
+    }
+
+    /// The grain request this schedule carries (0 = automatic). The
+    /// static and auto-tuned schedules request automatic granularity.
+    pub fn grain_request(&self) -> usize {
+        match self {
+            Schedule::Dynamic { grain } | Schedule::NumaDomains { grain } => *grain,
+            Schedule::Guided { min_grain } => *min_grain,
+            Schedule::StaticChunks | Schedule::AutoTuned => 0,
+        }
     }
 
     /// The decreasing chunk sizes of guided scheduling: each chunk is
@@ -86,6 +108,7 @@ impl Schedule {
             Schedule::Dynamic { .. } => "DPC++",
             Schedule::Guided { .. } => "OpenMP guided",
             Schedule::NumaDomains { .. } => "DPC++ NUMA",
+            Schedule::AutoTuned => "DPC++ auto",
         }
     }
 }
@@ -105,6 +128,16 @@ mod tests {
         assert_eq!(Schedule::StaticChunks.paper_name(), "OpenMP");
         assert_eq!(Schedule::dynamic().paper_name(), "DPC++");
         assert_eq!(Schedule::numa().to_string(), "DPC++ NUMA");
+        assert_eq!(Schedule::auto().paper_name(), "DPC++ auto");
+    }
+
+    #[test]
+    fn grain_requests() {
+        assert_eq!(Schedule::Dynamic { grain: 64 }.grain_request(), 64);
+        assert_eq!(Schedule::Guided { min_grain: 9 }.grain_request(), 9);
+        assert_eq!(Schedule::NumaDomains { grain: 5 }.grain_request(), 5);
+        assert_eq!(Schedule::StaticChunks.grain_request(), 0);
+        assert_eq!(Schedule::auto().grain_request(), 0);
     }
 
     #[test]

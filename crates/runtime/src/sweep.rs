@@ -206,7 +206,7 @@ where
         };
         match cancel {
             None => {
-                let (busy_ns, ()) = timed(|| store.for_each_mut(&mut kernel));
+                let (busy_ns, ()) = timed(|| kernel.apply_chunk(store));
                 report.chunks = 1;
                 report.particles = n;
                 report.busy_ns = busy_ns;
@@ -214,19 +214,14 @@ where
             Some(token) => {
                 // Split into grains so cancellation has boundaries to
                 // land on even without worker threads.
-                let grain = match schedule {
-                    Schedule::Dynamic { grain } | Schedule::NumaDomains { grain } => grain,
-                    Schedule::Guided { min_grain } => min_grain,
-                    Schedule::StaticChunks => 0,
-                };
-                let grain = Schedule::resolve_grain(grain, n, 2);
+                let grain = Schedule::resolve_grain(schedule.grain_request(), n, 2);
                 for mut chunk in store.split_mut(grain) {
                     if token.is_cancelled() {
                         break;
                     }
                     report.chunks += 1;
                     report.particles += chunk.len();
-                    let (busy_ns, ()) = timed(|| chunk.for_each_mut(&mut kernel));
+                    let (busy_ns, ()) = timed(|| kernel.apply_chunk(&mut chunk));
                     report.busy_ns += busy_ns;
                 }
             }
@@ -258,7 +253,7 @@ where
                                 let mut kernel = factory(tid);
                                 report.particles = chunk.len();
                                 report.chunks = 1;
-                                let (busy_ns, ()) = timed(|| chunk.for_each_mut(&mut kernel));
+                                let (busy_ns, ()) = timed(|| kernel.apply_chunk(&mut chunk));
                                 report.busy_ns = busy_ns;
                             }
                             report
@@ -286,8 +281,10 @@ where
             }
         }
 
-        Schedule::Dynamic { grain } => {
-            let grain = Schedule::resolve_grain(grain, n, threads);
+        // A bare AutoTuned schedule (no driver-side tuner) behaves as
+        // dynamic with automatic granularity.
+        Schedule::Dynamic { .. } | Schedule::AutoTuned => {
+            let grain = Schedule::resolve_grain(schedule.grain_request(), n, threads);
             let queue = WorkQueue::new();
             for chunk in store.split_mut(grain) {
                 queue.push(chunk);
@@ -370,7 +367,7 @@ where
                             };
                             report.chunks += 1;
                             report.particles += chunk.len();
-                            let (busy_ns, ()) = timed(|| chunk.for_each_mut(&mut kernel));
+                            let (busy_ns, ()) = timed(|| kernel.apply_chunk(&mut chunk));
                             report.busy_ns += busy_ns;
                         }
                     }
@@ -444,6 +441,7 @@ mod tests {
             Schedule::dynamic(),
             Schedule::guided(),
             Schedule::numa(),
+            Schedule::auto(),
         ] {
             check_each_particle_once::<SoaEnsemble<f64>>(schedule, Topology::uniform(2, 3));
         }

@@ -1,0 +1,161 @@
+//! Adaptive grain autotuning for the queued schedules.
+//!
+//! The TBB-like default grain `n/(8·threads)` is a guess: on some
+//! ensemble sizes a coarser grain wins (less queue traffic), on others a
+//! finer one does (better load balance). [`GrainTuner`] turns the guess
+//! into a measurement — it probes a small ladder of grain sizes around
+//! the default during the first sweeps of a run, scores each probe by the
+//! *critical path* (the busiest thread's `busy_ns` from the
+//! [`SweepReport`]), and locks in the cheapest. Drivers use it with
+//! [`Schedule::auto`](crate::Schedule::auto): probe while
+//! [`GrainTuner::is_settled`] is false, then run the rest of the
+//! iterations at [`GrainTuner::best_grain`].
+//!
+//! Without the `telemetry` feature every `busy_ns` is zero, all probes
+//! tie, and the tie-break keeps the default grain — auto-tuning degrades
+//! to the untuned behaviour instead of picking an arbitrary candidate.
+
+use crate::schedule::Schedule;
+use crate::sweep::SweepReport;
+
+/// Probes a short ladder of grain sizes and settles on the cheapest.
+#[derive(Clone, Debug)]
+pub struct GrainTuner {
+    /// Grain candidates, default first (index 0 wins all ties).
+    candidates: Vec<usize>,
+    /// Critical-path cost (max per-thread busy ns) per observed probe.
+    costs: Vec<u64>,
+}
+
+impl GrainTuner {
+    /// Builds a tuner for a sweep over `items` particles on `threads`
+    /// workers. Candidates are the TBB-like default grain, half of it and
+    /// double it (deduplicated — tiny ensembles may collapse to fewer
+    /// probes, never zero).
+    pub fn new(items: usize, threads: usize) -> GrainTuner {
+        let default = Schedule::resolve_grain(0, items, threads);
+        let mut candidates = vec![default];
+        for candidate in [(default / 2).max(1), default.saturating_mul(2)] {
+            if !candidates.contains(&candidate) {
+                candidates.push(candidate);
+            }
+        }
+        GrainTuner {
+            candidates,
+            costs: Vec::new(),
+        }
+    }
+
+    /// The grain the next probe sweep should run at, or `None` once every
+    /// candidate has been measured.
+    pub fn next_grain(&self) -> Option<usize> {
+        self.candidates.get(self.costs.len()).copied()
+    }
+
+    /// The schedule for the next sweep: the pending probe while tuning,
+    /// the winning grain afterwards. Always a concrete
+    /// [`Schedule::Dynamic`], safe to hand to the sweep directly.
+    pub fn schedule(&self) -> Schedule {
+        let grain = self.next_grain().unwrap_or_else(|| self.best_grain());
+        Schedule::Dynamic { grain }
+    }
+
+    /// Records the report of the sweep that ran at [`Self::next_grain`].
+    /// A no-op once settled.
+    pub fn observe(&mut self, report: &SweepReport) {
+        if self.costs.len() < self.candidates.len() {
+            let critical = report.threads.iter().map(|t| t.busy_ns).max().unwrap_or(0);
+            self.costs.push(critical);
+        }
+    }
+
+    /// True once every candidate has been measured.
+    pub fn is_settled(&self) -> bool {
+        self.costs.len() >= self.candidates.len()
+    }
+
+    /// The cheapest measured grain. Ties — including the all-zero costs
+    /// of a telemetry-off build — resolve to the earliest candidate,
+    /// i.e. the untuned default. Before any observation this *is* the
+    /// default grain.
+    pub fn best_grain(&self) -> usize {
+        let mut best = 0;
+        for (i, &cost) in self.costs.iter().enumerate() {
+            if cost < self.costs[best] {
+                best = i;
+            }
+        }
+        self.candidates[best]
+    }
+
+    /// Number of probe sweeps this tuner wants in total.
+    pub fn probes(&self) -> usize {
+        self.candidates.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sweep::ThreadReport;
+
+    fn report(busy: &[u64]) -> SweepReport {
+        SweepReport {
+            threads: busy
+                .iter()
+                .enumerate()
+                .map(|(i, &b)| ThreadReport {
+                    thread: i,
+                    domain: 0,
+                    chunks: 1,
+                    particles: 1,
+                    busy_ns: b,
+                })
+                .collect(),
+        }
+    }
+
+    #[test]
+    fn probes_ladder_around_default() {
+        let t = GrainTuner::new(64_000, 8);
+        // default = 64000/(8·8) = 1000 → ladder [1000, 500, 2000].
+        assert_eq!(t.probes(), 3);
+        assert_eq!(t.next_grain(), Some(1000));
+        assert_eq!(t.schedule(), Schedule::Dynamic { grain: 1000 });
+    }
+
+    #[test]
+    fn tiny_ensembles_deduplicate_candidates() {
+        // default = 1 → half = 1 (dup), double = 2.
+        let t = GrainTuner::new(3, 8);
+        assert_eq!(t.probes(), 2);
+        assert_eq!(t.next_grain(), Some(1));
+    }
+
+    #[test]
+    fn settles_on_cheapest_probe() {
+        let mut t = GrainTuner::new(64_000, 8);
+        t.observe(&report(&[900, 1000])); // grain 1000: critical 1000
+        assert!(!t.is_settled());
+        t.observe(&report(&[700, 650])); // grain 500: critical 700
+        t.observe(&report(&[1200, 100])); // grain 2000: critical 1200
+        assert!(t.is_settled());
+        assert_eq!(t.best_grain(), 500);
+        assert_eq!(t.schedule(), Schedule::Dynamic { grain: 500 });
+        // Further observations are ignored.
+        t.observe(&report(&[1]));
+        assert_eq!(t.best_grain(), 500);
+    }
+
+    #[test]
+    fn ties_keep_the_default_grain() {
+        // Telemetry off: every probe reports zero busy time. The tuner
+        // must fall back to the default grain, not an arbitrary winner.
+        let mut t = GrainTuner::new(64_000, 8);
+        let default = t.next_grain().unwrap();
+        while !t.is_settled() {
+            t.observe(&report(&[0, 0]));
+        }
+        assert_eq!(t.best_grain(), default);
+    }
+}

@@ -13,7 +13,7 @@
 
 use crate::job::{JobReport, Outcome};
 use crate::scheduler::{Batch, JobState, Shared};
-use pic_bench::{build_ensemble, run_mdipole_steps, MdipoleScenario};
+use pic_bench::{build_ensemble, run_mdipole_steps, KernelVariant, MdipoleScenario};
 use pic_math::Real;
 use pic_particles::io::write_ensemble;
 use pic_particles::{AosEnsemble, Layout, ParticleStore, SoaEnsemble};
@@ -103,6 +103,8 @@ fn run_typed<R: Real, S: ParticleStore<R>>(shared: &Shared, jobs: &[Arc<JobState
         any_alive
     };
     let mut time = R::ZERO;
+    // Service batches always take the fast path: zero-gather on SoA
+    // stores, scalar arithmetic (bitwise-identical trajectories) on AoS.
     let run = run_mdipole_steps(
         &mut store,
         &ctx,
@@ -110,6 +112,7 @@ fn run_typed<R: Real, S: ParticleStore<R>>(shared: &Shared, jobs: &[Arc<JobState
         &mut time,
         &shared.cfg.topology,
         shared.cfg.schedule,
+        KernelVariant::SoaFast,
         Some(&token),
         &mut on_step,
     );

@@ -306,6 +306,11 @@ impl Shared {
             queue_wait_ns,
             batch_size: report.map_or(0, |r| r.batch_size as u64),
             outcome: outcome.name().to_string(),
+            // Batches run through the SoA fast path (exec.rs); the
+            // service does no locality sorting, so order is whatever the
+            // sphere fill produced (unmeasured here).
+            kernel_variant: pic_bench::KernelVariant::SoaFast.name().to_string(),
+            order_fraction: 0.0,
         };
         lock(&self.records).push(rec);
     }

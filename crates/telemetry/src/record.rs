@@ -92,13 +92,21 @@ pub struct BenchRecord {
     /// `"rejected"`, `"cancelled"` or `"timed-out"` (bench-harness
     /// records always complete).
     pub outcome: String,
+    /// Pusher kernel variant that produced the record: `"scalar"`,
+    /// `"batch"` (gather/scatter) or `"soa-fast"` (direct-slice fast
+    /// path). Empty for records written before variants existed.
+    pub kernel_variant: String,
+    /// Fraction of adjacent particle pairs in nondecreasing cell order
+    /// when the measured run started: 1.0 = fully sorted, ~0.5 = random.
+    /// 0 for records written before locality sorting was instrumented.
+    pub order_fraction: f64,
 }
 
 impl BenchRecord {
     /// The identity key used to match records across two files: every
     /// field that names the configuration, none that measures it.
     pub fn key(&self) -> String {
-        format!(
+        let mut key = format!(
             "{}|{}|{}|{}|t{}|d{}|n{}|s{}",
             self.layout,
             self.scenario,
@@ -108,7 +116,14 @@ impl BenchRecord {
             self.domains,
             self.particles,
             self.steps_per_iteration,
-        )
+        );
+        // Additive: variant-less (pre-fast-path) records keep their old
+        // key so existing baselines still match.
+        if !self.kernel_variant.is_empty() {
+            key.push_str("|k");
+            key.push_str(&self.kernel_variant);
+        }
+        key
     }
 
     /// Serializes to one JSON line (no trailing newline).
@@ -160,6 +175,8 @@ impl BenchRecord {
             ("queue_wait_ns", num(self.queue_wait_ns)),
             ("batch_size", int(self.batch_size)),
             ("outcome", Value::Str(self.outcome.clone())),
+            ("kernel_variant", Value::Str(self.kernel_variant.clone())),
+            ("order_fraction", num(self.order_fraction)),
         ])
         .to_json()
     }
@@ -223,6 +240,16 @@ impl BenchRecord {
                 .and_then(Value::as_str)
                 .unwrap_or("")
                 .to_owned(),
+            // Fast-path fields are likewise additive within schema 1.
+            kernel_variant: v
+                .get("kernel_variant")
+                .and_then(Value::as_str)
+                .unwrap_or("")
+                .to_owned(),
+            order_fraction: v
+                .get("order_fraction")
+                .and_then(Value::as_f64)
+                .unwrap_or(0.0),
         })
     }
 }
@@ -353,6 +380,8 @@ pub(crate) fn sample_record(label: &str, steady_nsps: f64) -> BenchRecord {
         queue_wait_ns: 0.0,
         batch_size: 1,
         outcome: "completed".into(),
+        kernel_variant: "soa-fast".into(),
+        order_fraction: 0.93,
     }
 }
 
@@ -405,9 +434,17 @@ mod tests {
         r.queue_wait_ns = 0.0;
         r.batch_size = 0;
         r.outcome = String::new();
+        r.kernel_variant = String::new();
+        r.order_fraction = 0.0;
         let mut v = parse(&r.to_json()).unwrap();
         if let Value::Obj(map) = &mut v {
-            for key in ["queue_wait_ns", "batch_size", "outcome"] {
+            for key in [
+                "queue_wait_ns",
+                "batch_size",
+                "outcome",
+                "kernel_variant",
+                "order_fraction",
+            ] {
                 assert!(map.remove(key).is_some());
             }
         }
@@ -415,6 +452,20 @@ mod tests {
         assert!(!stripped.contains("queue_wait_ns"));
         let back = BenchRecord::from_json(&stripped).unwrap();
         assert_eq!(back, r);
+    }
+
+    #[test]
+    fn kernel_variant_distinguishes_keys_additively() {
+        // Two records differing only in variant must not collide, while a
+        // pre-variant record keeps the historical key format.
+        let fast = sample_record("a", 10.0);
+        let mut batch = sample_record("a", 10.0);
+        batch.kernel_variant = "batch".into();
+        assert_ne!(fast.key(), batch.key());
+        assert!(fast.key().ends_with("|ksoa-fast"));
+        let mut legacy = sample_record("a", 10.0);
+        legacy.kernel_variant = String::new();
+        assert!(!legacy.key().contains("|k"));
     }
 
     #[test]

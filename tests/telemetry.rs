@@ -1,7 +1,7 @@
 //! Integration tests of the observability layer: sweep accounting under
 //! every schedule, BenchRecord persistence, and the regression gate.
 
-use pic_bench::{bench_record, measure_nsps, BenchConfig};
+use pic_bench::{bench_record, measure_nsps, BenchConfig, KernelVariant};
 use pic_particles::{AosEnsemble, DynKernel, Layout, ParticleStore, ParticleView};
 use pic_perfmodel::{Precision, Scenario};
 use pic_runtime::{parallel_sweep, Schedule, Topology};
@@ -122,6 +122,7 @@ fn bench_record_round_trips_through_a_file() {
         Scenario::Analytical,
         Precision::F32,
         schedule,
+        KernelVariant::SoaFast,
         &topo,
         &cfg,
         &run,
@@ -146,6 +147,7 @@ fn regression_gate_flags_a_2x_slowdown_and_passes_identical_records() {
         Scenario::Precalculated,
         Precision::F32,
         schedule,
+        KernelVariant::SoaFast,
         &topo,
         &cfg,
         &run,
