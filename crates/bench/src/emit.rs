@@ -94,6 +94,9 @@ pub fn bench_record(
         outcome: "completed".to_string(),
         kernel_variant: variant.name().to_string(),
         order_fraction: run.order_fraction,
+        cache_hit: false,
+        resumes: 0,
+        resumed_from_step: 0,
     }
 }
 

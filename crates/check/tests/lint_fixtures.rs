@@ -126,6 +126,21 @@ fn instant_stays_in_the_measuring_layers() {
         vec!["instant-outside-telemetry"],
         "only clock.rs is allowlisted in pic-serve"
     );
+    // The cache/checkpoint subsystem is deliberately step-based, not
+    // wall-clock-based: checkpoints land at step-segment boundaries and
+    // the kill plan keys on (seed, step). None of its modules earned an
+    // allowlist slot, and the lint must keep firing there.
+    for module in [
+        "crates/serve/src/cache.rs",
+        "crates/serve/src/checkpoint.rs",
+        "crates/serve/src/exec.rs",
+    ] {
+        assert_eq!(
+            rules(module, bad),
+            vec!["instant-outside-telemetry"],
+            "{module} must route wall-time reads through clock.rs"
+        );
+    }
 
     let justified =
         "// lint: allow(instant-outside-telemetry): cold-path setup timing\nfn f() { let t = Instant::now(); }\n";

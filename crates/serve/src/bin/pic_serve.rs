@@ -7,7 +7,8 @@
 //!
 //! ```text
 //! pic-serve [--stdio | --socket PATH] [--workers N] [--queue-depth N]
-//!           [--threads N] [--label NAME] [--telemetry PATH]
+//!           [--threads N] [--cache N] [--checkpoint-interval N]
+//!           [--label NAME] [--telemetry PATH]
 //! ```
 
 use pic_runtime::Topology;
@@ -33,7 +34,8 @@ struct Args {
 
 fn usage() -> String {
     "usage: pic-serve [--stdio | --socket PATH] [--workers N] \
-     [--queue-depth N] [--threads N] [--label NAME] [--telemetry PATH]"
+     [--queue-depth N] [--threads N] [--cache N] \
+     [--checkpoint-interval N] [--label NAME] [--telemetry PATH]"
         .to_string()
 }
 
@@ -75,6 +77,13 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
                 let threads = parse_count("--threads", &value("--threads")?)?.max(1);
                 args.cfg.topology = Topology::single(threads);
             }
+            "--cache" => {
+                args.cfg.cache_capacity = parse_count("--cache", &value("--cache")?)?;
+            }
+            "--checkpoint-interval" => {
+                args.cfg.checkpoint_interval =
+                    parse_count("--checkpoint-interval", &value("--checkpoint-interval")?)?;
+            }
             "--label" => args.label = value("--label")?,
             "--telemetry" => args.telemetry = Some(PathBuf::from(value("--telemetry")?)),
             "--help" | "-h" => return Err(usage()),
@@ -95,8 +104,16 @@ fn finish(report: &ShutdownReport, telemetry: Option<&PathBuf>) -> io::Result<()
     }
     let s = &report.stats;
     eprintln!(
-        "pic-serve: {} submitted, {} completed, {} rejected, {} cancelled, {} timed out",
-        s.submitted, s.completed, s.rejected, s.cancelled, s.timed_out
+        "pic-serve: {} submitted, {} completed ({} cache hits, {} coalesced), \
+         {} rejected, {} cancelled, {} timed out, {} resumed",
+        s.submitted,
+        s.completed,
+        s.cache_hits,
+        s.coalesced,
+        s.rejected,
+        s.cancelled,
+        s.timed_out,
+        s.resumed
     );
     Ok(())
 }

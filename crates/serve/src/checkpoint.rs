@@ -1,0 +1,179 @@
+//! In-memory checkpoint store and the fault-injection kill plan.
+//!
+//! Jobs are integrated in segments of `checkpoint_interval` steps; after
+//! each segment the worker snapshots every still-alive job's particle
+//! span through `pic_particles::io::write_ensemble` and parks it here,
+//! tagged with the absolute step count reached. When a worker dies
+//! mid-batch (panic, injected fault), the scheduler requeues the
+//! victims instead of rejecting them, and the next worker resumes each
+//! one from its latest snapshot. The snapshot text format is shortest-
+//! round-trip exact (`{:e}` formatting — `tests/checkpoint.rs` and the
+//! io proptests prove bitwise fidelity in both precisions), so a
+//! resumed trajectory is bit-identical to an uninterrupted one.
+//!
+//! [`KillPlan`] is the test-only half: a deterministic, seeded schedule
+//! of `(job seed, step)` kill-points. Workers consult it at step
+//! boundaries and panic when a point fires, which lets the
+//! fault-injection harness kill workers at exactly chosen moments with
+//! zero timing dependence. Production servers run with no plan
+//! (`ServeConfig::kill_plan = None`) and pay one `Option` check.
+
+use std::collections::{HashMap, HashSet};
+use std::sync::{Arc, Mutex, MutexGuard, PoisonError};
+
+/// Recover the guard from a poisoned lock: checkpoint state is a map of
+/// complete snapshots, each inserted or removed atomically under the
+/// lock, so a panic elsewhere never leaves a torn entry.
+fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+/// One parked snapshot: the absolute step the job has reached and the
+/// `pic_particles::io` text of its span at that step.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Snapshot {
+    /// Steps integrated so far (resume continues from here).
+    pub step: usize,
+    /// Ensemble text in the self-describing snapshot format.
+    pub text: String,
+}
+
+/// Per-job checkpoint snapshots, keyed by job id.
+///
+/// Entries live from the first segment boundary until the job reaches a
+/// terminal outcome (the scheduler removes them in its finish path), so
+/// the store never outgrows the set of in-flight jobs.
+#[derive(Default)]
+pub struct CheckpointStore {
+    snapshots: Mutex<HashMap<u64, Snapshot>>,
+}
+
+impl CheckpointStore {
+    /// An empty store.
+    pub fn new() -> CheckpointStore {
+        CheckpointStore::default()
+    }
+
+    /// The step a restarted job should resume from: its snapshot's step,
+    /// or 0 when it never reached a segment boundary.
+    pub fn step_of(&self, id: u64) -> usize {
+        lock(&self.snapshots).get(&id).map_or(0, |s| s.step)
+    }
+
+    /// The full snapshot for `id`, if one is parked.
+    pub fn snapshot(&self, id: u64) -> Option<Snapshot> {
+        lock(&self.snapshots).get(&id).cloned()
+    }
+
+    /// Parks (or replaces) the snapshot for `id`.
+    pub fn put(&self, id: u64, step: usize, text: String) {
+        lock(&self.snapshots).insert(id, Snapshot { step, text });
+    }
+
+    /// Drops the snapshot for `id` (job reached a terminal outcome, or
+    /// its snapshot failed to parse and the job restarts from step 0).
+    pub fn remove(&self, id: u64) {
+        lock(&self.snapshots).remove(&id);
+    }
+
+    /// Snapshots currently parked.
+    pub fn len(&self) -> usize {
+        lock(&self.snapshots).len()
+    }
+
+    /// True when no snapshots are parked.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+/// A deterministic schedule of kill-points for fault-injection tests.
+///
+/// Each point is `(job seed, absolute step)`: when a worker finishes
+/// that step of a job with that seed and the point is armed, [`fire`]
+/// disarms it and the worker panics. One-shot semantics (remove-and-
+/// return) guarantee the retried job does not die at the same point
+/// again unless the schedule armed it twice at different steps.
+///
+/// Points are keyed by job *seed*, not job id, so a harness can script
+/// kills before submitting (ids are allocated at admission).
+///
+/// Cloning shares the underlying schedule (`Arc`), letting the harness
+/// keep a handle while the server consults the same plan.
+///
+/// [`fire`]: KillPlan::fire
+#[derive(Clone, Debug, Default)]
+pub struct KillPlan {
+    points: Arc<Mutex<HashSet<(u64, usize)>>>,
+}
+
+impl KillPlan {
+    /// An empty plan (nothing ever fires).
+    pub fn new() -> KillPlan {
+        KillPlan::default()
+    }
+
+    /// Arms a kill-point: the first worker to complete `step` of a job
+    /// seeded with `seed` will panic.
+    pub fn arm(&self, seed: u64, step: usize) {
+        lock(&self.points).insert((seed, step));
+    }
+
+    /// Consumes the kill-point for `(seed, step)` if armed; `true` means
+    /// the caller must panic now.
+    pub fn fire(&self, seed: u64, step: usize) -> bool {
+        lock(&self.points).remove(&(seed, step))
+    }
+
+    /// Kill-points still armed (a clean harness run drains to 0).
+    pub fn armed(&self) -> usize {
+        lock(&self.points).len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn store_round_trips_and_reports_step() {
+        let store = CheckpointStore::new();
+        assert_eq!(store.step_of(7), 0, "no snapshot means step 0");
+        assert!(store.snapshot(7).is_none());
+        store.put(7, 25, "# snap\n".to_string());
+        assert_eq!(store.step_of(7), 25);
+        assert_eq!(
+            store.snapshot(7),
+            Some(Snapshot {
+                step: 25,
+                text: "# snap\n".to_string()
+            })
+        );
+        store.put(7, 50, "# snap2\n".to_string());
+        assert_eq!(store.step_of(7), 50, "replace keeps the latest");
+        assert_eq!(store.len(), 1);
+        store.remove(7);
+        assert!(store.is_empty());
+        assert_eq!(store.step_of(7), 0);
+    }
+
+    #[test]
+    fn kill_points_are_one_shot() {
+        let plan = KillPlan::new();
+        plan.arm(42, 10);
+        assert_eq!(plan.armed(), 1);
+        assert!(!plan.fire(42, 9), "wrong step does not fire");
+        assert!(!plan.fire(41, 10), "wrong seed does not fire");
+        assert!(plan.fire(42, 10));
+        assert!(!plan.fire(42, 10), "second fire is disarmed");
+        assert_eq!(plan.armed(), 0);
+    }
+
+    #[test]
+    fn clones_share_the_schedule() {
+        let plan = KillPlan::new();
+        let handle = plan.clone();
+        handle.arm(1, 5);
+        assert!(plan.fire(1, 5), "server sees the harness's points");
+    }
+}

@@ -10,26 +10,56 @@
 //! chunk boundaries through the shared [`CancelToken`]); a job that
 //! drops out mid-batch finishes `Cancelled`/`TimedOut` while the
 //! survivors keep running.
+//!
+//! **Checkpoint/resume.** With `checkpoint_interval > 0` the batch is
+//! integrated in segments; between segments every live job's span is
+//! snapshotted into the scheduler's [`CheckpointStore`]. A job whose
+//! worker died resumes here from its snapshot: the simulation clock is
+//! reconstructed by the same repeated `t += dt` accumulation the
+//! uninterrupted run used, and — for the Precalculated scenario — the
+//! field context is rebuilt from the job's *initial* seeded ensemble,
+//! so the per-particle field samples match the original run exactly.
+//! Both together make a resumed trajectory bitwise-identical to an
+//! uninterrupted one (`tests/fault_injection.rs` proves it across
+//! seeded kill schedules).
 
-use crate::job::{JobReport, Outcome};
-use crate::scheduler::{Batch, JobState, Shared};
-use pic_bench::{build_ensemble, run_mdipole_steps, KernelVariant, MdipoleScenario};
+use crate::cache::{CacheKey, CachedResult};
+use crate::job::{JobReport, Outcome, RejectReason};
+use crate::scheduler::{lock, Batch, JobState, Shared};
+use pic_bench::{
+    bench_dt, build_ensemble, merge_thread_stats, run_mdipole_steps, KernelVariant, MdipoleScenario,
+};
 use pic_math::Real;
-use pic_particles::io::write_ensemble;
+use pic_particles::io::{read_ensemble, write_ensemble};
 use pic_particles::{AosEnsemble, Layout, ParticleStore, SoaEnsemble};
 use pic_perfmodel::Precision;
 use pic_runtime::CancelToken;
 use pic_telemetry::ThreadStat;
+use std::collections::BTreeMap;
+use std::sync::atomic::Ordering;
 use std::sync::Arc;
 
 /// Executes one batch to terminality: every still-live job of `batch`
-/// has a published outcome when this returns. Runs on a worker thread;
-/// a panic here is caught by the worker and turns into
-/// `Rejected{worker-panic}` for the whole batch.
+/// has a published outcome (or sits requeued for a resume) when this
+/// returns. Runs on a worker thread; a panic here is caught by the
+/// worker, which requeues the batch's jobs for checkpoint resume.
 pub(crate) fn run_batch(shared: &Shared, batch: &Batch) {
     let now = shared.clock.now_ns();
     let mut claimed: Vec<Arc<JobState>> = Vec::with_capacity(batch.jobs.len());
     for job in &batch.jobs {
+        // Claim-time cache check: the key may have been filled after
+        // this job was admitted (it lost the admission race against an
+        // identical job, or was requeued past a completed duplicate).
+        if shared.cfg.cache_capacity > 0 {
+            let hit = lock(&shared.cache).lookup(CacheKey::of(&job.spec));
+            if let Some(result) = hit {
+                if shared.finish(job, Outcome::Completed(result.to_report(&job.spec))) {
+                    // ordering: Relaxed — monotonic stats counter.
+                    shared.cache_hits.fetch_add(1, Ordering::Relaxed);
+                }
+                continue;
+            }
+        }
         if !job.claim() {
             continue; // cancelled (or otherwise finished) while queued
         }
@@ -51,94 +81,240 @@ pub(crate) fn run_batch(shared: &Shared, batch: &Batch) {
     if claimed.is_empty() {
         return;
     }
-    // The scheduler only batches compatible jobs; the first claimed
-    // job's physics configuration speaks for the whole batch.
-    let spec = &claimed[0].spec;
-    match (spec.layout, spec.precision) {
-        (Layout::Aos, Precision::F32) => run_typed::<f32, AosEnsemble<f32>>(shared, &claimed),
-        (Layout::Aos, Precision::F64) => run_typed::<f64, AosEnsemble<f64>>(shared, &claimed),
-        (Layout::Soa, Precision::F32) => run_typed::<f32, SoaEnsemble<f32>>(shared, &claimed),
-        (Layout::Soa, Precision::F64) => run_typed::<f64, SoaEnsemble<f64>>(shared, &claimed),
+    // Resumed jobs must start at their own checkpoint step, so the
+    // batch splits into same-start-step groups (almost always one).
+    // BTreeMap keeps the group order deterministic.
+    let mut groups: BTreeMap<usize, Vec<Arc<JobState>>> = BTreeMap::new();
+    for job in claimed {
+        let start = shared.checkpoints.step_of(job.id);
+        groups.entry(start).or_default().push(job);
+    }
+    for (start_step, jobs) in groups {
+        // The scheduler only batches compatible jobs; the first job's
+        // physics configuration speaks for the whole group.
+        let spec = &jobs[0].spec;
+        match (spec.layout, spec.precision) {
+            (Layout::Aos, Precision::F32) => {
+                run_typed::<f32, AosEnsemble<f32>>(shared, &jobs, start_step)
+            }
+            (Layout::Aos, Precision::F64) => {
+                run_typed::<f64, AosEnsemble<f64>>(shared, &jobs, start_step)
+            }
+            (Layout::Soa, Precision::F32) => {
+                run_typed::<f32, SoaEnsemble<f32>>(shared, &jobs, start_step)
+            }
+            (Layout::Soa, Precision::F64) => {
+                run_typed::<f64, SoaEnsemble<f64>>(shared, &jobs, start_step)
+            }
+        }
     }
 }
 
-fn run_typed<R: Real, S: ParticleStore<R>>(shared: &Shared, jobs: &[Arc<JobState>]) {
-    // Build the combined ensemble and remember each job's span in it.
+/// Requeues a claimed job whose execution cannot proceed (unreadable
+/// checkpoint, stalled sweep); a job out of resume budget terminates
+/// `Rejected{worker-panic}` instead of vanishing.
+fn requeue_or_reject(shared: &Shared, job: &Arc<JobState>) {
+    if !shared.try_requeue(job) {
+        shared.finish(job, Outcome::Rejected(RejectReason::WorkerPanic));
+    }
+}
+
+fn run_typed<R: Real, S: ParticleStore<R>>(
+    shared: &Shared,
+    group: &[Arc<JobState>],
+    start_step: usize,
+) {
+    // Build the combined stores and remember each job's span: `initial`
+    // holds the seeded t=0 ensembles (the Precalculated field context
+    // must sample at initial positions to match an uninterrupted run),
+    // `store` the states being pushed — checkpoint snapshots when
+    // resuming, the initial ensembles otherwise.
+    let mut runnable: Vec<Arc<JobState>> = Vec::with_capacity(group.len());
+    let mut initial = S::default();
     let mut store = S::default();
-    let mut spans: Vec<(usize, usize)> = Vec::with_capacity(jobs.len());
-    for job in jobs {
+    let mut spans: Vec<(usize, usize)> = Vec::with_capacity(group.len());
+    for job in group {
+        let seeded: S = build_ensemble(job.spec.particles, job.spec.seed);
+        let mut current: Option<S> = None;
+        if start_step > 0 {
+            let parsed = shared
+                .checkpoints
+                .snapshot(job.id)
+                .and_then(|snap| read_ensemble::<R, S, _>(snap.text.as_bytes()).ok())
+                .filter(|ens: &S| ens.len() == job.spec.particles);
+            match parsed {
+                Some(ens) => current = Some(ens),
+                None => {
+                    // Missing or unreadable snapshot (never expected —
+                    // it was written in-memory). Drop it and retry the
+                    // job from step 0, or fail it explicitly.
+                    shared.checkpoints.remove(job.id);
+                    requeue_or_reject(shared, job);
+                    continue;
+                }
+            }
+            // ordering: Relaxed — diagnostic, read after terminality.
+            job.resume_step.store(start_step as u64, Ordering::Relaxed);
+        }
         let offset = store.len();
-        let ensemble: S = build_ensemble(job.spec.particles, job.spec.seed);
-        for i in 0..ensemble.len() {
-            store.push(ensemble.get(i));
+        for i in 0..seeded.len() {
+            initial.push(seeded.get(i));
+        }
+        let source = current.unwrap_or(seeded);
+        for i in 0..source.len() {
+            store.push(source.get(i));
         }
         spans.push((offset, job.spec.particles));
+        runnable.push(job.clone());
     }
+    if runnable.is_empty() {
+        return;
+    }
+    let jobs = &runnable[..];
     // Field preparation (the Precalculated sampling pass) stays outside
     // the timed region, mirroring the bench harness.
-    let ctx = MdipoleScenario::<R>::prepare(jobs[0].spec.scenario, &store);
+    let ctx = MdipoleScenario::<R>::prepare(jobs[0].spec.scenario, &initial);
     let token = CancelToken::new();
     let mut alive: Vec<bool> = vec![true; jobs.len()];
     let start_ns = shared.clock.now_ns();
-    let mut on_step = |_step: usize, _report: &pic_runtime::SweepReport| {
-        let now = shared.clock.now_ns();
-        let mut any_alive = false;
-        for (k, job) in jobs.iter().enumerate() {
-            if !alive[k] {
-                continue;
-            }
-            if job.cancel_pending() {
-                shared.finish(job, Outcome::Cancelled);
-                alive[k] = false;
-            } else if job.timed_out_at(now) {
-                shared.finish(job, Outcome::TimedOut);
-                alive[k] = false;
-            } else {
-                any_alive = true;
-            }
-        }
-        if !any_alive {
-            token.cancel();
-        }
-        any_alive
-    };
+    // Reconstruct the simulation clock by repeated accumulation — the
+    // exact op sequence the runner itself uses (`*time += dt` per step);
+    // one multiplication would differ in the last ulp and break the
+    // bitwise resume guarantee.
+    let dt = R::from_f64(bench_dt());
     let mut time = R::ZERO;
-    // Service batches always take the fast path: zero-gather on SoA
-    // stores, scalar arithmetic (bitwise-identical trajectories) on AoS.
-    let run = run_mdipole_steps(
-        &mut store,
-        &ctx,
-        jobs[0].spec.steps,
-        &mut time,
-        &shared.cfg.topology,
-        shared.cfg.schedule,
-        KernelVariant::SoaFast,
-        Some(&token),
-        &mut on_step,
-    );
+    for _ in 0..start_step {
+        time += dt;
+    }
+    let total = jobs[0].spec.steps;
+    let interval = shared.cfg.checkpoint_interval;
+    let mut abs = start_step;
+    let mut thread_stats: Vec<ThreadStat> = Vec::new();
+    let mut halted = false;
+    while abs < total && !halted {
+        let seg = match interval {
+            0 => total - abs,
+            n => (total - abs).min(n),
+        };
+        let seg_base = abs;
+        let mut on_step = |step: usize, _report: &pic_runtime::SweepReport| {
+            let now = shared.clock.now_ns();
+            let mut any_alive = false;
+            for (k, job) in jobs.iter().enumerate() {
+                if !alive[k] {
+                    continue;
+                }
+                if job.cancel_pending() {
+                    shared.finish(job, Outcome::Cancelled);
+                    alive[k] = false;
+                } else if job.timed_out_at(now) {
+                    shared.finish(job, Outcome::TimedOut);
+                    alive[k] = false;
+                } else {
+                    any_alive = true;
+                }
+            }
+            if !any_alive {
+                token.cancel();
+                return false;
+            }
+            // Deterministic fault injection: a kill-point armed for the
+            // absolute step boundary just completed takes this worker
+            // down; the scheduler requeues the victims for resume.
+            if let Some(plan) = &shared.cfg.kill_plan {
+                for (k, job) in jobs.iter().enumerate() {
+                    if alive[k] && plan.fire(job.spec.seed, seg_base + step + 1) {
+                        panic!("kill-point: job {} at step {}", job.id, seg_base + step + 1);
+                    }
+                }
+            }
+            true
+        };
+        // Service batches always take the fast path: zero-gather on SoA
+        // stores, scalar arithmetic (bitwise-identical trajectories) on
+        // AoS.
+        let run = run_mdipole_steps(
+            &mut store,
+            &ctx,
+            seg,
+            &mut time,
+            &shared.cfg.topology,
+            shared.cfg.schedule,
+            KernelVariant::SoaFast,
+            Some(&token),
+            &mut on_step,
+        );
+        abs += run.steps_done;
+        merge_thread_stats(&mut thread_stats, &run.thread_stats);
+        if run.interrupted || run.steps_done < seg {
+            halted = true;
+        }
+        // Segment boundary: snapshot every live job so a later worker
+        // death resumes from here instead of step 0.
+        if !halted && interval > 0 && abs < total {
+            for (k, job) in jobs.iter().enumerate() {
+                if !alive[k] {
+                    continue;
+                }
+                if let Some(text) = extract_span::<R, S>(&store, spans[k]) {
+                    shared.checkpoints.put(job.id, abs, text);
+                }
+            }
+        }
+    }
     let run_ns = shared.clock.now_ns().saturating_sub(start_ns);
-    let denom = (store.len() as u64 * run.steps_done.max(1) as u64).max(1);
+    let executed = abs.saturating_sub(start_step);
+    let denom = (store.len() as u64 * executed.max(1) as u64).max(1);
     let nsps = run_ns as f64 / denom as f64;
-    let imbalance = count_imbalance(&run.thread_stats, |t| t.particles);
-    let time_imbalance = count_imbalance(&run.thread_stats, |t| t.busy_ns);
+    let imbalance = count_imbalance(&thread_stats, |t| t.particles);
+    let time_imbalance = count_imbalance(&thread_stats, |t| t.busy_ns);
     for (k, job) in jobs.iter().enumerate() {
         if !alive[k] {
             continue;
         }
-        let particles = job
-            .spec
-            .return_particles
+        if abs < total {
+            // The sweep stalled without a terminal reason (unreachable
+            // through the runner's contract); never strand the job.
+            requeue_or_reject(shared, job);
+            continue;
+        }
+        let dump = (job.spec.return_particles || shared.cfg.cache_capacity > 0)
             .then(|| extract_span::<R, S>(&store, spans[k]))
             .flatten();
+        // Fill the cache before finishing: the finish path serves this
+        // job's coalesced followers straight from the cache entry.
+        if shared.cfg.cache_capacity > 0 {
+            lock(&shared.cache).insert(
+                CacheKey::of(&job.spec),
+                CachedResult {
+                    nsps,
+                    run_ns,
+                    batch_size: jobs.len(),
+                    steps_done: abs,
+                    imbalance,
+                    time_imbalance,
+                    particles: dump.clone(),
+                },
+            );
+        }
         let report = JobReport {
             nsps,
             queue_wait_ns: start_ns.saturating_sub(job.submitted_ns),
             run_ns,
             batch_size: jobs.len(),
-            steps_done: run.steps_done,
+            steps_done: abs,
             imbalance,
             time_imbalance,
-            particles,
+            particles: if job.spec.return_particles {
+                dump
+            } else {
+                None
+            },
+            cache_hit: false,
+            // ordering: Relaxed — diagnostics, published with the
+            // outcome below.
+            resumes: u64::from(job.resumes.load(Ordering::Relaxed)),
+            resumed_from_step: job.resume_step.load(Ordering::Relaxed),
         };
         shared.finish(job, Outcome::Completed(report));
     }

@@ -319,6 +319,16 @@ pub struct JobReport {
     /// Final particle state (`pic_particles::io` text format), present
     /// when the spec asked for `return_particles`.
     pub particles: Option<String>,
+    /// True when the result was served from the deterministic result
+    /// cache (or coalesced onto a duplicate in flight) instead of a
+    /// fresh sweep. Cache hits always report `queue_wait_ns = 0`.
+    pub cache_hit: bool,
+    /// Times the job was requeued after a worker death and picked up
+    /// again (0 = ran uninterrupted).
+    pub resumes: u64,
+    /// Step the final execution resumed from (0 = started from the
+    /// initial ensemble; meaningful when `resumes > 0`).
+    pub resumed_from_step: u64,
 }
 
 /// The exactly-once terminal state of a job.

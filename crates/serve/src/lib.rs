@@ -15,6 +15,15 @@
 //!   [`pic_bench::run_mdipole_steps`] sweep (amortising per-job overhead
 //!   exactly as the paper's per-iteration overhead analysis predicts),
 //!   and a worker pool with panic isolation and respawn.
+//! * [`cache`] — the deterministic result cache: completed jobs are
+//!   memoized under a canonical content hash of their physics identity
+//!   (seeded runs are pure functions of their spec), so repeat
+//!   submissions cost a lookup (`queue_wait_ns = 0`) instead of a
+//!   sweep, and concurrent duplicates coalesce onto one run.
+//! * [`checkpoint`] — in-memory particle-store checkpoints written at
+//!   step-segment boundaries, plus the deterministic [`KillPlan`] fault
+//!   hook; a job whose worker dies resumes from its last snapshot with
+//!   a bitwise-identical trajectory.
 //! * [`proto`] — the versioned line-delimited JSON wire protocol.
 //! * [`frontend`] — pumps requests from any `BufRead` into the server
 //!   and responses back out; the `pic-serve` binary wires it to
@@ -31,6 +40,8 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod cache;
+pub mod checkpoint;
 pub mod clock;
 pub mod exec;
 pub mod frontend;
@@ -38,5 +49,7 @@ pub mod job;
 pub mod proto;
 pub mod scheduler;
 
+pub use cache::{CacheKey, CacheStats, CachedResult, ResultCache, CACHE_SCHEMA};
+pub use checkpoint::{CheckpointStore, KillPlan, Snapshot};
 pub use job::{JobReport, JobSpec, Outcome, Priority, RejectReason};
 pub use scheduler::{CancelResult, JobTicket, ServeConfig, ServeStats, Server, ShutdownReport};

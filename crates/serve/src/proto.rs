@@ -146,6 +146,11 @@ pub fn outcome_line(id: u64, tag: Option<&str>, outcome: &Outcome) -> String {
             e.push(("steps_done", Value::Num(r.steps_done as f64)));
             e.push(("imbalance", Value::Num(r.imbalance)));
             e.push(("time_imbalance", Value::Num(r.time_imbalance)));
+            e.push(("cache_hit", Value::Bool(r.cache_hit)));
+            if r.resumes > 0 {
+                e.push(("resumes", Value::Num(r.resumes as f64)));
+                e.push(("resumed_from_step", Value::Num(r.resumed_from_step as f64)));
+            }
             if let Some(p) = &r.particles {
                 e.push(("particles", Value::Str(p.clone())));
             }
@@ -171,6 +176,9 @@ pub fn stats_line(stats: &ServeStats) -> String {
     e.push(("cancelled", Value::Num(stats.cancelled as f64)));
     e.push(("timed_out", Value::Num(stats.timed_out as f64)));
     e.push(("depth", Value::Num(stats.depth as f64)));
+    e.push(("cache_hits", Value::Num(stats.cache_hits as f64)));
+    e.push(("coalesced", Value::Num(stats.coalesced as f64)));
+    e.push(("resumed", Value::Num(stats.resumed as f64)));
     Value::obj(e).to_json()
 }
 
@@ -244,12 +252,51 @@ mod tests {
             imbalance: 1.1,
             time_imbalance: 0.0,
             particles: Some("# header\n".to_string()),
+            cache_hit: false,
+            resumes: 2,
+            resumed_from_step: 5,
         };
         let line = outcome_line(9, None, &Outcome::Completed(report));
         let v = parse(&line).unwrap();
         assert_eq!(v.get("type").and_then(Value::as_str), Some("completed"));
         assert_eq!(v.get("batch_size").and_then(Value::as_u64), Some(3));
         assert_eq!(v.get("steps_done").and_then(Value::as_u64), Some(7));
+        assert_eq!(v.get("cache_hit"), Some(&Value::Bool(false)));
+        assert_eq!(v.get("resumes").and_then(Value::as_u64), Some(2));
+        assert_eq!(v.get("resumed_from_step").and_then(Value::as_u64), Some(5));
         assert!(v.get("particles").is_some());
+    }
+
+    #[test]
+    fn uninterrupted_completion_omits_resume_fields() {
+        let report = crate::job::JobReport {
+            nsps: 1.0,
+            steps_done: 10,
+            batch_size: 1,
+            cache_hit: true,
+            ..Default::default()
+        };
+        let line = outcome_line(2, None, &Outcome::Completed(report));
+        let v = parse(&line).unwrap();
+        assert_eq!(v.get("cache_hit"), Some(&Value::Bool(true)));
+        assert!(v.get("resumes").is_none());
+        assert!(v.get("resumed_from_step").is_none());
+    }
+
+    #[test]
+    fn stats_line_carries_cache_and_resume_counters() {
+        let stats = ServeStats {
+            submitted: 5,
+            completed: 4,
+            cache_hits: 2,
+            coalesced: 1,
+            resumed: 3,
+            ..Default::default()
+        };
+        let line = stats_line(&stats);
+        let v = parse(&line).unwrap();
+        assert_eq!(v.get("cache_hits").and_then(Value::as_u64), Some(2));
+        assert_eq!(v.get("coalesced").and_then(Value::as_u64), Some(1));
+        assert_eq!(v.get("resumed").and_then(Value::as_u64), Some(3));
     }
 }

@@ -23,7 +23,23 @@
 //! `draining && depth == 0`. Under sequential consistency either the
 //! producer observes `draining`, or the consumers observe its
 //! `depth > 0` — a submission can never slip past a drained exit.
+//!
+//! **Cache/coalesce/resume protocol.** Admission consults the
+//! deterministic result cache first: a hit completes the job on the
+//! spot (`queue_wait_ns = 0`, no depth slot). A miss whose [`CacheKey`]
+//! is already in flight registers as a *follower* of the running
+//! primary — it holds a depth slot and is cancellable, but never enters
+//! a lane; when the primary completes it fills the cache and its
+//! followers are served from it (`coalesced`). A primary that dies
+//! (panic, kill-point) is requeued up to `max_resumes` times and
+//! resumes from its last [`CheckpointStore`] snapshot; if it fails
+//! terminally, the oldest live follower is promoted into a lane so the
+//! key always makes progress. The protocol is model-checked in
+//! `crates/check/tests/interleave_cache.rs` and fault-injected
+//! end-to-end in `crates/serve/tests/fault_injection.rs`.
 
+use crate::cache::{CacheKey, CachedResult, ResultCache};
+use crate::checkpoint::{CheckpointStore, KillPlan};
 use crate::clock::Clock;
 use crate::exec;
 use crate::job::{JobSpec, Outcome, RejectReason};
@@ -80,6 +96,18 @@ pub struct ServeConfig {
     /// Test hook: a job whose seed matches panics inside its worker,
     /// exercising panic isolation and respawn. `None` in production.
     pub fault_inject_seed: Option<u64>,
+    /// Completed results kept in the deterministic cache (LRU-evicted).
+    /// `0` disables caching, follower coalescing and claim-time hits.
+    pub cache_capacity: usize,
+    /// Steps between particle-store checkpoints inside a running batch.
+    /// `0` disables checkpointing: a killed job restarts from step 0.
+    pub checkpoint_interval: usize,
+    /// Times a worker-death victim is requeued before it terminates
+    /// `Rejected{worker-panic}` like a poison job should.
+    pub max_resumes: u32,
+    /// Test hook: deterministic kill-points fired at step boundaries
+    /// (see [`KillPlan`]). `None` in production.
+    pub kill_plan: Option<KillPlan>,
 }
 
 impl Default for ServeConfig {
@@ -94,6 +122,10 @@ impl Default for ServeConfig {
             topology: Topology::single(1),
             schedule: Schedule::dynamic(),
             fault_inject_seed: None,
+            cache_capacity: 128,
+            checkpoint_interval: 0,
+            max_resumes: 3,
+            kill_plan: None,
         }
     }
 }
@@ -110,8 +142,14 @@ pub(crate) struct JobState {
     pub phase: AtomicU8,
     /// Set by `cancel_job`; observed at claim time and step boundaries.
     pub cancel_requested: AtomicBool,
-    /// Times a worker claimed this job. Must never exceed 1.
+    /// Times a worker claimed this job. Must never exceed
+    /// `1 + resumes`.
     pub executions: AtomicU32,
+    /// Times the job was requeued after a worker death.
+    pub resumes: AtomicU32,
+    /// Checkpoint step the latest execution resumed from (0 = started
+    /// from the initial ensemble).
+    pub resume_step: AtomicU64,
     outcome: Mutex<Option<Outcome>>,
     done: Condvar,
     notifier: Mutex<Option<Notifier>>,
@@ -177,6 +215,13 @@ pub(crate) struct Shared {
     pub depth: AtomicUsize,
     /// Set once by `shutdown`; never cleared.
     pub draining: AtomicBool,
+    /// The deterministic result cache (None-equivalent at capacity 0).
+    pub cache: Mutex<ResultCache>,
+    /// In-flight cache keys: the running primary plus the followers
+    /// waiting to be served from its result.
+    inflight: Mutex<HashMap<u64, Inflight>>,
+    /// Per-job resume snapshots, written at segment boundaries.
+    pub checkpoints: CheckpointStore,
     /// Ids handed out (== submissions attempted, including rejects).
     next_id: AtomicU64,
     index: Mutex<HashMap<u64, Arc<JobState>>>,
@@ -185,8 +230,22 @@ pub(crate) struct Shared {
     rejected: AtomicU64,
     cancelled: AtomicU64,
     timed_out: AtomicU64,
-    /// Jobs observed with more than one execution (must stay 0).
+    /// Jobs served from the result cache (at submit or claim time).
+    pub cache_hits: AtomicU64,
+    /// Followers served from their primary's freshly cached result.
+    pub coalesced: AtomicU64,
+    /// Requeues after a worker death (checkpoint resumes).
+    pub resumed: AtomicU64,
+    /// Jobs observed with more executions than `1 + resumes` allows
+    /// (must stay 0).
     pub exec_overruns: AtomicU64,
+}
+
+/// One in-flight cache key: the job currently responsible for producing
+/// the result, and the identical submissions waiting on it.
+struct Inflight {
+    primary: u64,
+    followers: Vec<Arc<JobState>>,
 }
 
 impl Shared {
@@ -210,8 +269,10 @@ impl Shared {
                 Err(now) => cur = now,
             }
         }
-        // ordering: Relaxed — diagnostic; phase is already DONE.
-        if job.executions.load(Ordering::Relaxed) > 1 {
+        // ordering: Relaxed — diagnostic; phase is already DONE. Each
+        // resume legitimately re-claims the job once, so the invariant
+        // is `executions <= 1 + resumes`.
+        if job.executions.load(Ordering::Relaxed) > 1 + job.resumes.load(Ordering::Relaxed) {
             // ordering: Relaxed — diagnostic counter.
             self.exec_overruns.fetch_add(1, Ordering::Relaxed);
         }
@@ -225,6 +286,7 @@ impl Shared {
         // outcome is published, so `draining && depth == 0` at an exit
         // point implies every admitted job already has its outcome.
         self.depth.fetch_sub(1, Ordering::SeqCst);
+        self.after_finish(job, &outcome);
         if let Some(notify) = notifier {
             notify(job.id, &outcome);
         }
@@ -247,12 +309,125 @@ impl Shared {
             let notifier = lock(&job.notifier).take();
             // ordering: SeqCst — see `finish`.
             self.depth.fetch_sub(1, Ordering::SeqCst);
+            self.after_finish(job, &outcome);
             if let Some(notify) = notifier {
                 notify(job.id, &outcome);
             }
             return true;
         }
         false
+    }
+
+    /// Post-terminality bookkeeping for the cache/resume protocol:
+    /// drops the job's checkpoint and resolves its in-flight cache
+    /// entry. A completed primary's followers are served from the
+    /// result it just cached; a failed primary's oldest live follower
+    /// is promoted into a lane so the key keeps making progress.
+    fn after_finish(&self, job: &Arc<JobState>, outcome: &Outcome) {
+        self.checkpoints.remove(job.id);
+        if self.cfg.cache_capacity == 0 {
+            return;
+        }
+        let key = CacheKey::of(&job.spec);
+        let mut to_serve: Vec<Arc<JobState>> = Vec::new();
+        let mut to_promote: Option<Arc<JobState>> = None;
+        {
+            let mut inflight = lock(&self.inflight);
+            let Some(mut entry) = inflight.remove(&key.hash()) else {
+                return;
+            };
+            if entry.primary != job.id {
+                // A follower terminated on its own (cancelled while
+                // waiting): just forget it, the entry stays.
+                entry.followers.retain(|f| f.id != job.id);
+                inflight.insert(key.hash(), entry);
+                return;
+            }
+            match outcome {
+                Outcome::Completed(_) => to_serve = entry.followers,
+                _ => {
+                    entry.followers.retain(|f| !f.is_terminal());
+                    if !entry.followers.is_empty() {
+                        let next = entry.followers.remove(0);
+                        to_promote = Some(next.clone());
+                        inflight.insert(
+                            key.hash(),
+                            Inflight {
+                                primary: next.id,
+                                followers: entry.followers,
+                            },
+                        );
+                    }
+                }
+            }
+        }
+        // Outside the inflight lock: `finish` recurses into
+        // `after_finish`, which must be able to retake it.
+        for follower in to_serve {
+            self.serve_follower(&follower, key);
+        }
+        if let Some(promoted) = to_promote {
+            self.lanes[promoted.spec.priority.lane()].push(promoted);
+        }
+    }
+
+    /// Terminates a follower from its completed primary's cached
+    /// result (or, in the never-expected case that the result did not
+    /// reach the cache, requeues it into a lane to run itself).
+    fn serve_follower(&self, follower: &Arc<JobState>, key: CacheKey) {
+        if follower.is_terminal() {
+            return;
+        }
+        if follower.timed_out_at(self.clock.now_ns()) {
+            self.finish(follower, Outcome::TimedOut);
+            return;
+        }
+        let hit = lock(&self.cache).lookup(key);
+        match hit {
+            Some(result) => {
+                let outcome = Outcome::Completed(result.to_report(&follower.spec));
+                if self.finish(follower, outcome) {
+                    // ordering: Relaxed — monotonic stats counter.
+                    self.coalesced.fetch_add(1, Ordering::Relaxed);
+                }
+            }
+            None => self.lanes[follower.spec.priority.lane()].push(follower.clone()),
+        }
+    }
+
+    /// Requeues a worker-death victim for a checkpoint resume. Returns
+    /// false when the job is already terminal or its resume budget is
+    /// exhausted — the caller then rejects it as a poison job.
+    pub fn try_requeue(&self, job: &Arc<JobState>) -> bool {
+        if job.is_terminal() {
+            return false;
+        }
+        // ordering: Relaxed — the budget is only advanced by the one
+        // thread handling this job's death (the panicking worker's
+        // cleanup); publication rides on the lane queue.
+        if job.resumes.load(Ordering::Relaxed) >= self.cfg.max_resumes {
+            return false;
+        }
+        // ordering: SeqCst — the inverse of `claim`; must be totally
+        // ordered against concurrent cancel/finish DONE transitions so
+        // a terminal job is never requeued.
+        match job
+            .phase
+            .compare_exchange(RUNNING, QUEUED, Ordering::SeqCst, Ordering::SeqCst)
+        {
+            Ok(_) => {
+                // ordering: Relaxed — diagnostic counters (see above).
+                job.resumes.fetch_add(1, Ordering::Relaxed);
+                // ordering: Relaxed — monotonic stats counter.
+                self.resumed.fetch_add(1, Ordering::Relaxed);
+            }
+            // Never claimed (a batch mate of the victim): requeue it
+            // without charging its resume budget.
+            Err(QUEUED) => {}
+            Err(_) => return false,
+        }
+        self.lanes[job.spec.priority.lane()].push(job.clone());
+        true
     }
 
     fn bump(&self, outcome: &Outcome) {
@@ -311,6 +486,9 @@ impl Shared {
             // sphere fill produced (unmeasured here).
             kernel_variant: pic_bench::KernelVariant::SoaFast.name().to_string(),
             order_fraction: 0.0,
+            cache_hit: report.is_some_and(|r| r.cache_hit),
+            resumes: report.map_or(0, |r| r.resumes),
+            resumed_from_step: report.map_or(0, |r| r.resumed_from_step),
         };
         lock(&self.records).push(rec);
     }
@@ -326,6 +504,10 @@ impl Shared {
             timed_out: self.timed_out.load(Ordering::Relaxed),
             // ordering: SeqCst — consistent with admission/finish.
             depth: self.depth.load(Ordering::SeqCst),
+            // ordering: Relaxed — snapshot of monotonic counters.
+            cache_hits: self.cache_hits.load(Ordering::Relaxed),
+            coalesced: self.coalesced.load(Ordering::Relaxed),
+            resumed: self.resumed.load(Ordering::Relaxed),
             exec_overruns: self.exec_overruns.load(Ordering::Relaxed),
         }
     }
@@ -346,7 +528,14 @@ pub struct ServeStats {
     pub timed_out: u64,
     /// Jobs admitted but not yet terminal.
     pub depth: usize,
-    /// Jobs observed executing more than once (invariant: 0).
+    /// Jobs served from the deterministic result cache.
+    pub cache_hits: u64,
+    /// Duplicate submissions served from their primary's fresh result.
+    pub coalesced: u64,
+    /// Checkpoint resumes after worker deaths.
+    pub resumed: u64,
+    /// Jobs observed executing more often than their resume budget
+    /// allows (invariant: 0).
     pub exec_overruns: u64,
 }
 
@@ -434,6 +623,7 @@ pub struct Server {
 impl Server {
     /// Starts the dispatcher and worker pool.
     pub fn start(cfg: ServeConfig, label: &str) -> Server {
+        let cache = ResultCache::new(cfg.cache_capacity);
         let shared = Arc::new(Shared {
             cfg,
             label: label.to_string(),
@@ -442,6 +632,9 @@ impl Server {
             batches: WorkQueue::new(),
             depth: AtomicUsize::new(0),
             draining: AtomicBool::new(false),
+            cache: Mutex::new(cache),
+            inflight: Mutex::new(HashMap::new()),
+            checkpoints: CheckpointStore::new(),
             next_id: AtomicU64::new(0),
             index: Mutex::new(HashMap::new()),
             records: Mutex::new(Vec::new()),
@@ -449,6 +642,9 @@ impl Server {
             rejected: AtomicU64::new(0),
             cancelled: AtomicU64::new(0),
             timed_out: AtomicU64::new(0),
+            cache_hits: AtomicU64::new(0),
+            coalesced: AtomicU64::new(0),
+            resumed: AtomicU64::new(0),
             exec_overruns: AtomicU64::new(0),
         });
         let dispatcher = {
@@ -473,6 +669,18 @@ impl Server {
         let submitted_ns = shared.clock.now_ns();
         if let Err(why) = spec.validate(shared.cfg.max_particles, shared.cfg.max_steps) {
             return Err(self.shed(id, spec, RejectReason::Invalid(why), submitted_ns));
+        }
+        // Result cache first: a hit terminates on the spot — no depth
+        // slot, no queue, `queue_wait_ns = 0`. A draining server skips
+        // the cache so shutdown semantics stay uniform.
+        //
+        // ordering: SeqCst — consistent with the drain flag's store.
+        let key = CacheKey::of(&spec);
+        if shared.cfg.cache_capacity > 0 && !shared.draining.load(Ordering::SeqCst) {
+            let hit = lock(&shared.cache).lookup(key);
+            if let Some(result) = hit {
+                return Ok(self.complete_cached(id, spec, submitted_ns, notifier, result));
+            }
         }
         // ordering: SeqCst — the admission/drain protocol: claim the
         // depth slot first, then re-check draining. Either this thread
@@ -499,13 +707,76 @@ impl Server {
             phase: AtomicU8::new(QUEUED),
             cancel_requested: AtomicBool::new(false),
             executions: AtomicU32::new(0),
+            resumes: AtomicU32::new(0),
+            resume_step: AtomicU64::new(0),
             outcome: Mutex::new(None),
             done: Condvar::new(),
             notifier: Mutex::new(notifier),
         });
+        // Coalesce duplicates: if this key is already in flight, the
+        // job becomes a follower — admitted (depth slot, cancellable via
+        // the index) but kept out of the lanes; the primary's completion
+        // serves it. Otherwise it is the key's new primary.
+        let mut follower = false;
+        if shared.cfg.cache_capacity > 0 {
+            let mut inflight = lock(&shared.inflight);
+            match inflight.get_mut(&key.hash()) {
+                Some(entry) => {
+                    entry.followers.push(job.clone());
+                    follower = true;
+                }
+                None => {
+                    inflight.insert(
+                        key.hash(),
+                        Inflight {
+                            primary: id,
+                            followers: Vec::new(),
+                        },
+                    );
+                }
+            }
+        }
         lock(&shared.index).insert(id, job.clone());
-        shared.lanes[lane].push(job.clone());
+        if !follower {
+            shared.lanes[lane].push(job.clone());
+        }
         Ok(JobTicket { state: job })
+    }
+
+    /// Terminates a cache-hit submission immediately: the job is born
+    /// `DONE` with the memoized report, never holds a depth slot, and
+    /// still produces its telemetry record (one record per submission).
+    fn complete_cached(
+        &self,
+        id: u64,
+        spec: JobSpec,
+        submitted_ns: u64,
+        notifier: Option<Notifier>,
+        result: CachedResult,
+    ) -> JobTicket {
+        let shared = &self.shared;
+        let outcome = Outcome::Completed(result.to_report(&spec));
+        let job = Arc::new(JobState {
+            id,
+            spec,
+            submitted_ns,
+            phase: AtomicU8::new(DONE),
+            cancel_requested: AtomicBool::new(false),
+            executions: AtomicU32::new(0),
+            resumes: AtomicU32::new(0),
+            resume_step: AtomicU64::new(0),
+            outcome: Mutex::new(Some(outcome.clone())),
+            done: Condvar::new(),
+            notifier: Mutex::new(None),
+        });
+        shared.emit_record(id, &job.spec, &outcome, submitted_ns);
+        shared.bump(&outcome);
+        // ordering: Relaxed — monotonic stats counter.
+        shared.cache_hits.fetch_add(1, Ordering::Relaxed);
+        if let Some(notify) = notifier {
+            notify(id, &outcome);
+        }
+        JobTicket { state: job }
     }
 
     fn shed(
@@ -677,12 +948,16 @@ fn worker_loop(shared: Arc<Shared>) {
                 let panicked =
                     catch_unwind(AssertUnwindSafe(|| exec::run_batch(&shared, &batch))).is_err();
                 if panicked {
-                    // Panic isolation: the batch's jobs terminate
-                    // explicitly instead of vanishing, and this thread
-                    // dies so the dispatcher replaces it with a clean
-                    // one.
+                    // Panic isolation: each of the batch's jobs is
+                    // requeued for a checkpoint resume; one that has
+                    // exhausted its resume budget (a poison job) is
+                    // terminated explicitly instead of vanishing. This
+                    // thread dies either way, so the dispatcher
+                    // replaces it with a clean one.
                     for job in &batch.jobs {
-                        shared.finish(job, Outcome::Rejected(RejectReason::WorkerPanic));
+                        if !shared.try_requeue(job) {
+                            shared.finish(job, Outcome::Rejected(RejectReason::WorkerPanic));
+                        }
                     }
                     return;
                 }
@@ -710,6 +985,8 @@ pub(crate) fn test_job(id: u64, spec: JobSpec) -> Arc<JobState> {
         phase: AtomicU8::new(QUEUED),
         cancel_requested: AtomicBool::new(false),
         executions: AtomicU32::new(0),
+        resumes: AtomicU32::new(0),
+        resume_step: AtomicU64::new(0),
         outcome: Mutex::new(None),
         done: Condvar::new(),
         notifier: Mutex::new(None),
@@ -924,6 +1201,70 @@ mod tests {
         let out = server.shutdown();
         assert_eq!(out.stats.rejected, 1);
         assert_eq!(out.stats.depth, 0);
+    }
+
+    #[test]
+    fn repeat_submission_is_served_from_the_cache() {
+        let server = Server::start(quick_cfg(), "cache-test");
+        let first = server
+            .submit(spec(300), None)
+            .unwrap_or_else(|r| panic!("admission refused: {r:?}"));
+        assert!(matches!(first.wait(), Outcome::Completed(_)));
+        // Identical physics: served without a sweep, queue wait zero.
+        let again = server
+            .submit(spec(300), None)
+            .unwrap_or_else(|r| panic!("admission refused: {r:?}"));
+        let Outcome::Completed(report) = again.wait() else {
+            panic!("expected completion, got {:?}", again.outcome());
+        };
+        assert!(report.cache_hit, "second submission must hit the cache");
+        assert_eq!(report.queue_wait_ns, 0);
+        // Different physics: a genuine run.
+        let other = server
+            .submit(spec(301), None)
+            .unwrap_or_else(|r| panic!("admission refused: {r:?}"));
+        let Outcome::Completed(report) = other.wait() else {
+            panic!("expected completion, got {:?}", other.outcome());
+        };
+        assert!(!report.cache_hit);
+        let out = server.shutdown();
+        assert_eq!(out.stats.completed, 3);
+        assert_eq!(out.stats.cache_hits, 1);
+        assert_eq!(out.stats.depth, 0);
+        assert_eq!(out.records.len(), 3, "hits emit records too");
+        assert!(out.records.iter().any(|r| r.cache_hit));
+    }
+
+    #[test]
+    fn requeue_respects_the_resume_budget() {
+        let cfg = ServeConfig {
+            workers: 0,
+            max_resumes: 2,
+            ..ServeConfig::default()
+        };
+        let server = Server::start(cfg, "requeue-test");
+        let job = test_job(1, spec(10));
+        // A never-claimed batch mate requeues without charging budget.
+        assert!(server.shared.try_requeue(&job));
+        // ordering: test-only read.
+        assert_eq!(job.resumes.load(Ordering::Relaxed), 0);
+        // A claimed victim charges one resume per requeue.
+        for expected in 1..=2u32 {
+            assert!(job.claim());
+            assert!(server.shared.try_requeue(&job));
+            // ordering: test-only read.
+            assert_eq!(job.resumes.load(Ordering::Relaxed), expected);
+        }
+        assert!(job.claim());
+        assert!(
+            !server.shared.try_requeue(&job),
+            "budget of 2 is exhausted on the third death"
+        );
+        assert_eq!(server.stats().resumed, 2);
+        // The hand-built job never held a depth slot; drain it from the
+        // lane so shutdown's accounting stays balanced.
+        while server.shared.lanes[1].pop().is_some() {}
+        server.shutdown();
     }
 
     #[test]

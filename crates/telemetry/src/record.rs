@@ -100,6 +100,15 @@ pub struct BenchRecord {
     /// when the measured run started: 1.0 = fully sorted, ~0.5 = random.
     /// 0 for records written before locality sorting was instrumented.
     pub order_fraction: f64,
+    /// True when the job was served from the result cache (or coalesced
+    /// onto an identical in-flight job) instead of running a sweep.
+    /// False for bench-harness records and pre-cache service records.
+    pub cache_hit: bool,
+    /// Times the producing job was requeued after a worker death and
+    /// resumed from a checkpoint (0 = uninterrupted).
+    pub resumes: u64,
+    /// Step the final execution resumed from (0 unless `resumes > 0`).
+    pub resumed_from_step: u64,
 }
 
 impl BenchRecord {
@@ -177,6 +186,9 @@ impl BenchRecord {
             ("outcome", Value::Str(self.outcome.clone())),
             ("kernel_variant", Value::Str(self.kernel_variant.clone())),
             ("order_fraction", num(self.order_fraction)),
+            ("cache_hit", Value::Bool(self.cache_hit)),
+            ("resumes", int(self.resumes)),
+            ("resumed_from_step", int(self.resumed_from_step)),
         ])
         .to_json()
     }
@@ -250,6 +262,13 @@ impl BenchRecord {
                 .get("order_fraction")
                 .and_then(Value::as_f64)
                 .unwrap_or(0.0),
+            // Cache/resume fields are likewise additive within schema 1.
+            cache_hit: matches!(v.get("cache_hit"), Some(Value::Bool(true))),
+            resumes: v.get("resumes").and_then(Value::as_u64).unwrap_or(0),
+            resumed_from_step: v
+                .get("resumed_from_step")
+                .and_then(Value::as_u64)
+                .unwrap_or(0),
         })
     }
 }
@@ -382,6 +401,9 @@ pub(crate) fn sample_record(label: &str, steady_nsps: f64) -> BenchRecord {
         outcome: "completed".into(),
         kernel_variant: "soa-fast".into(),
         order_fraction: 0.93,
+        cache_hit: false,
+        resumes: 0,
+        resumed_from_step: 0,
     }
 }
 
@@ -444,6 +466,9 @@ mod tests {
                 "outcome",
                 "kernel_variant",
                 "order_fraction",
+                "cache_hit",
+                "resumes",
+                "resumed_from_step",
             ] {
                 assert!(map.remove(key).is_some());
             }

@@ -6,18 +6,19 @@
 
 use pic_bench::{bench_dt, build_ensemble, dipole_wave};
 use pic_boris::{AnalyticalSource, BorisPusher, PushKernel};
+use pic_math::Real;
 use pic_particles::io::{read_ensemble, write_ensemble};
 use pic_particles::{AosEnsemble, ParticleAccess, SoaEnsemble, SpeciesTable};
 
-fn push_steps<S: ParticleAccess<f64>>(ens: &mut S, steps: usize, start_step: usize) {
-    let table = SpeciesTable::<f64>::with_standard_species();
-    let wave = dipole_wave::<f64>();
-    let dt = bench_dt();
+fn push_steps<R: Real, S: ParticleAccess<R>>(ens: &mut S, steps: usize, start_step: usize) {
+    let table = SpeciesTable::<R>::with_standard_species();
+    let wave = dipole_wave::<R>();
+    let dt = R::from_f64(bench_dt());
     let mut kernel = PushKernel::new(AnalyticalSource::new(&wave), BorisPusher, &table, dt);
     // Reconstruct the clock exactly as the uninterrupted run built it —
     // by repeated accumulation, not one multiplication (the two differ in
     // the last ulp, which a bitwise restart comparison would see).
-    let mut t = 0.0;
+    let mut t = R::ZERO;
     for _ in 0..start_step {
         t += dt;
     }
@@ -64,6 +65,60 @@ fn checkpoint_can_switch_layouts() {
     for i in 0..reference.len() {
         assert_eq!(reference.get(i), soa_leg.get(i), "particle {i}");
     }
+}
+
+#[test]
+fn f32_checkpoint_restart_is_exact_in_aos() {
+    // The snapshot text is written as f64 (`{:e}` is shortest-round-trip
+    // exact) and f32 → f64 widening is lossless, so the f32 round-trip
+    // must be bitwise too.
+    let mut reference: AosEnsemble<f32> = build_ensemble(200, 9);
+    push_steps(&mut reference, 30, 0);
+
+    let mut first_leg: AosEnsemble<f32> = build_ensemble(200, 9);
+    push_steps(&mut first_leg, 12, 0);
+    let mut snapshot = Vec::new();
+    write_ensemble(&first_leg, &mut snapshot).expect("write snapshot");
+
+    let mut resumed: AosEnsemble<f32> = read_ensemble(snapshot.as_slice()).expect("read");
+    push_steps(&mut resumed, 18, 12);
+
+    for i in 0..reference.len() {
+        assert_eq!(reference.get(i), resumed.get(i), "f32 aos particle {i}");
+    }
+}
+
+#[test]
+fn f32_checkpoint_restart_is_exact_in_soa() {
+    let mut reference: SoaEnsemble<f32> = build_ensemble(240, 21);
+    push_steps(&mut reference, 36, 0);
+
+    let mut first_leg: SoaEnsemble<f32> = build_ensemble(240, 21);
+    push_steps(&mut first_leg, 15, 0);
+    let mut snapshot = Vec::new();
+    write_ensemble(&first_leg, &mut snapshot).expect("write snapshot");
+
+    let mut resumed: SoaEnsemble<f32> = read_ensemble(snapshot.as_slice()).expect("read");
+    push_steps(&mut resumed, 21, 15);
+
+    for i in 0..reference.len() {
+        assert_eq!(reference.get(i), resumed.get(i), "f32 soa particle {i}");
+    }
+}
+
+#[test]
+fn truncated_snapshot_is_invalid_data_not_a_panic() {
+    let ens: SoaEnsemble<f64> = build_ensemble(5, 3);
+    let mut snapshot = Vec::new();
+    write_ensemble(&ens, &mut snapshot).unwrap();
+    let text = String::from_utf8(snapshot).unwrap();
+    // Cut mid-way through the last particle line: the partial row can
+    // never have its nine fields, so the reader must surface a clean
+    // InvalidData error instead of panicking or silently accepting.
+    let last_row_start = text.trim_end().rfind('\n').expect("multi-line snapshot") + 1;
+    let cut = &text.as_bytes()[..last_row_start + 5];
+    let err = read_ensemble::<f64, SoaEnsemble<f64>, _>(cut).expect_err("truncated snapshot");
+    assert_eq!(err.kind(), std::io::ErrorKind::InvalidData);
 }
 
 #[test]
