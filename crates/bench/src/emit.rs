@@ -97,6 +97,8 @@ pub fn bench_record(
         cache_hit: false,
         resumes: 0,
         resumed_from_step: 0,
+        shards: 0,
+        shard_id: 0,
     }
 }
 

@@ -37,5 +37,5 @@ pub mod table;
 pub use emit::{bench_record, parallelization_of};
 pub use measure::{measure_nsps, measure_nsps_variant, MeasuredRun};
 pub use run::{merge_thread_stats, run_mdipole_steps, KernelVariant, MdipoleRun, MdipoleScenario};
-pub use scenario::{bench_dt, build_ensemble, dipole_wave, BenchConfig};
+pub use scenario::{bench_dt, build_ensemble, build_ensemble_range, dipole_wave, BenchConfig};
 pub use table::{fmt_cell, print_banner, Table};

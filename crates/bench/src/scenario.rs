@@ -13,7 +13,7 @@
 use pic_fields::DipoleStandingWave;
 use pic_math::constants::{BENCH_OMEGA, BENCH_POWER, BENCH_WAVELENGTH};
 use pic_math::{Real, Vec3};
-use pic_particles::init::{fill_sphere_at_rest, SphereDist};
+use pic_particles::init::{fill_sphere_at_rest, fill_sphere_at_rest_range, SphereDist};
 use pic_particles::{ParticleStore, SpeciesTable};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -109,6 +109,35 @@ pub fn build_ensemble<R: Real, S: ParticleStore<R>>(n: usize, seed: u64) -> S {
     store
 }
 
+/// Builds the `[offset, offset + len)` shard of the `n_total`-particle
+/// seeded ensemble [`build_ensemble`] produces — bitwise-identical to
+/// the corresponding slice of the full fill (the serving layer's domain
+/// decomposition depends on this; see
+/// `pic_particles::init::fill_sphere_at_rest_range` for why the seeded
+/// stream is replayed rather than skipped).
+pub fn build_ensemble_range<R: Real, S: ParticleStore<R>>(
+    n_total: usize,
+    seed: u64,
+    offset: usize,
+    len: usize,
+) -> S {
+    let mut store = S::default();
+    fill_sphere_at_rest_range(
+        &mut store,
+        n_total,
+        offset,
+        offset.saturating_add(len),
+        &SphereDist {
+            center: Vec3::zero(),
+            radius: 0.6 * BENCH_WAVELENGTH,
+        },
+        1.0,
+        SpeciesTable::<R>::ELECTRON,
+        &mut StdRng::seed_from_u64(seed),
+    );
+    store
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -142,6 +171,21 @@ mod tests {
         }
         let a2: AosEnsemble<f64> = build_ensemble(100, 8);
         assert_ne!(a.get(0), a2.get(0));
+    }
+
+    #[test]
+    fn range_ensembles_match_the_full_build_slice() {
+        let full: SoaEnsemble<f32> = build_ensemble(60, 5);
+        let mut rebuilt = Vec::new();
+        for (offset, len) in [(0usize, 21usize), (21, 20), (41, 19)] {
+            let shard: SoaEnsemble<f32> = build_ensemble_range(60, 5, offset, len);
+            assert_eq!(shard.len(), len);
+            for i in 0..len {
+                assert_eq!(shard.get(i), full.get(offset + i));
+                rebuilt.push(shard.get(i));
+            }
+        }
+        assert_eq!(rebuilt.len(), full.len(), "shards cover the ensemble");
     }
 
     #[test]

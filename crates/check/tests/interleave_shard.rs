@@ -1,0 +1,196 @@
+//! Exhaustive model checking of the `pic-serve` shard gather barrier
+//! (`crates/serve/src/shard.rs` + the scheduler's fan-out/notifier
+//! path).
+//!
+//! Build with `RUSTFLAGS="--cfg interleave"`. The model reduces one
+//! sharded job to its synchronization skeleton:
+//!
+//! * each shard's phase atomic moves `QUEUED → RUNNING → DONE`, every
+//!   `→ DONE` through one compare-exchange (the scheduler's
+//!   exactly-once finish);
+//! * the successful finisher — worker or canceller — reports the shard
+//!   into its gather slot exactly once (the notifier fires once,
+//!   because `finish` takes it with the phase CAS won);
+//! * the reporter that takes `remaining` to zero merges; everyone else
+//!   returns without merging;
+//! * a crashed worker requeues its shard (`RUNNING → QUEUED`, the
+//!   scheduler's `try_requeue`) *without* reporting — a shard that has
+//!   not terminated cannot reach the gather — and a later claim re-runs
+//!   it.
+//!
+//! The checker explores every interleaving, so these are proofs over
+//! the modeled state space: every shard reports exactly once, the merge
+//! runs exactly once, and a crash/resume can neither double-report nor
+//! double-merge.
+#![cfg(interleave)]
+
+use interleave::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+
+const QUEUED: usize = 0;
+const RUNNING: usize = 1;
+const DONE: usize = 2;
+
+/// The gather barrier of one sharded job, plus per-shard phases.
+struct ShardJob {
+    phases: Vec<AtomicUsize>,
+    /// Reports landed per shard (invariant: exactly 1 at quiescence).
+    reported: Vec<AtomicUsize>,
+    /// Shards still outstanding; the 1 → 0 decrement elects the merger.
+    remaining: AtomicUsize,
+    /// Merges performed (invariant: exactly 1 at quiescence).
+    merges: AtomicUsize,
+}
+
+impl ShardJob {
+    fn new(shards: usize) -> ShardJob {
+        ShardJob {
+            phases: (0..shards).map(|_| AtomicUsize::new(QUEUED)).collect(),
+            reported: (0..shards).map(|_| AtomicUsize::new(0)).collect(),
+            remaining: AtomicUsize::new(shards),
+            merges: AtomicUsize::new(0),
+        }
+    }
+
+    /// The notifier path: called only by the one winner of a shard's
+    /// `→ DONE` transition. Reports the slot, and merges if this report
+    /// completed the set.
+    fn report(&self, shard: usize) {
+        self.reported[shard].fetch_add(1, Ordering::SeqCst);
+        if self.remaining.fetch_sub(1, Ordering::SeqCst) == 1 {
+            self.merges.fetch_add(1, Ordering::SeqCst);
+        }
+    }
+
+    /// A worker executing one shard. `crashes` worker deaths strike
+    /// before completion; each requeues the shard without reporting,
+    /// and the loop models the next worker's re-claim.
+    fn run_shard(&self, shard: usize, crashes: usize) {
+        let mut crashes = crashes;
+        loop {
+            if self.phases[shard]
+                .compare_exchange(QUEUED, RUNNING, Ordering::SeqCst, Ordering::SeqCst)
+                .is_err()
+            {
+                // Finished by someone else (a canceller) while queued.
+                return;
+            }
+            if crashes > 0 {
+                // Worker death mid-run: try_requeue releases the claim;
+                // the crashed execution must NOT reach the gather.
+                crashes -= 1;
+                self.phases[shard].store(QUEUED, Ordering::SeqCst);
+                continue;
+            }
+            if self.phases[shard]
+                .compare_exchange(RUNNING, DONE, Ordering::SeqCst, Ordering::SeqCst)
+                .is_ok()
+            {
+                self.report(shard);
+            }
+            return;
+        }
+    }
+
+    /// A canceller racing the worker: the scheduler's
+    /// `finish_if(QUEUED, Cancelled)` — it terminates (and reports) the
+    /// shard only if it wins the `QUEUED → DONE` transition.
+    fn cancel_shard(&self, shard: usize) {
+        if self.phases[shard]
+            .compare_exchange(QUEUED, DONE, Ordering::SeqCst, Ordering::SeqCst)
+            .is_ok()
+        {
+            self.report(shard);
+        }
+    }
+
+    /// Quiescence invariants: all shards terminal, each reported
+    /// exactly once, exactly one merge.
+    fn assert_quiescent(&self) {
+        for (i, phase) in self.phases.iter().enumerate() {
+            assert_eq!(phase.load(Ordering::SeqCst), DONE, "shard {i} terminal");
+        }
+        for (i, n) in self.reported.iter().enumerate() {
+            assert_eq!(
+                n.load(Ordering::SeqCst),
+                1,
+                "shard {i} must report exactly once"
+            );
+        }
+        assert_eq!(self.remaining.load(Ordering::SeqCst), 0);
+        assert_eq!(
+            self.merges.load(Ordering::SeqCst),
+            1,
+            "the merge must run exactly once"
+        );
+    }
+}
+
+/// Two shards on two workers, all interleavings: each reports once and
+/// exactly one of them — the last reporter — merges.
+#[test]
+fn every_shard_reports_once_and_one_merge_runs() {
+    let explored = interleave::model_counted(|| {
+        let job = Arc::new(ShardJob::new(2));
+        let other = {
+            let job = Arc::clone(&job);
+            interleave::thread::spawn(move || job.run_shard(1, 0))
+        };
+        job.run_shard(0, 0);
+        other.join();
+        job.assert_quiescent();
+    });
+    assert!(
+        explored > 1,
+        "expected multiple interleavings, got {explored}"
+    );
+}
+
+/// A shard crashes and resumes while its sibling completes: the crashed
+/// execution never reaches the gather, the resumed one reports once,
+/// and the merge still runs exactly once — no double-merge, no lost
+/// shard.
+#[test]
+fn crashed_shard_requeues_without_double_merge() {
+    let explored = interleave::model_counted(|| {
+        let job = Arc::new(ShardJob::new(2));
+        let sibling = {
+            let job = Arc::clone(&job);
+            interleave::thread::spawn(move || job.run_shard(1, 0))
+        };
+        // Shard 0 dies once mid-run, requeues, and a fresh claim
+        // completes it.
+        job.run_shard(0, 1);
+        sibling.join();
+        job.assert_quiescent();
+    });
+    assert!(
+        explored > 1,
+        "expected multiple interleavings, got {explored}"
+    );
+}
+
+/// Cancellation racing the worker on the same shard: the phase CAS
+/// elects exactly one terminal transition — worker completion or
+/// cancel — so the gather still sees exactly one report per shard and
+/// one merge, in every interleaving.
+#[test]
+fn cancel_racing_a_worker_yields_one_terminal_transition() {
+    let explored = interleave::model_counted(|| {
+        let job = Arc::new(ShardJob::new(2));
+        let worker = {
+            let job = Arc::clone(&job);
+            interleave::thread::spawn(move || job.run_shard(1, 0))
+        };
+        // The canceller targets shard 1 while its worker runs; shard 0
+        // completes normally on this thread.
+        job.cancel_shard(1);
+        job.run_shard(0, 0);
+        worker.join();
+        job.assert_quiescent();
+    });
+    assert!(
+        explored > 1,
+        "expected multiple interleavings, got {explored}"
+    );
+}

@@ -94,6 +94,45 @@ pub fn fill_sphere_at_rest<R, S, G>(
     }
 }
 
+/// Fills `store` with the `[start, end)` index range of the same
+/// `n_total`-particle sphere fill [`fill_sphere_at_rest`] produces.
+///
+/// The isotropic direction sampler is a rejection loop, so each particle
+/// consumes a *variable* number of RNG draws — a shard cannot fast-
+/// forward the stream to its offset. Instead the full seeded sequence is
+/// replayed from particle 0 and only the range is kept, which makes the
+/// extracted range bitwise-identical to the corresponding slice of the
+/// full fill (the shard-invariance property the serving layer's domain
+/// decomposition rests on).
+#[allow(clippy::too_many_arguments)]
+pub fn fill_sphere_at_rest_range<R, S, G>(
+    store: &mut S,
+    n_total: usize,
+    start: usize,
+    end: usize,
+    sphere: &SphereDist,
+    weight: f64,
+    species: SpeciesId,
+    rng: &mut G,
+) where
+    R: Real,
+    S: ParticleStore<R>,
+    G: Rng + ?Sized,
+{
+    let end = end.min(n_total);
+    store.reserve(end.saturating_sub(start));
+    for i in 0..end {
+        let pos = sample_sphere(sphere, rng);
+        if i >= start {
+            store.push(Particle::at_rest(
+                Vec3::from_f64(pos),
+                R::from_f64(weight),
+                species,
+            ));
+        }
+    }
+}
+
 /// Fills `store` with `n` particles uniformly distributed in `bounds` with
 /// non-relativistic Maxwellian momenta of temperature `temperature_erg`
 /// (momentum spread per axis: √(m·k_B T), with the temperature given in
@@ -263,6 +302,58 @@ mod tests {
         for i in 0..100 {
             assert_eq!(aos.get(i), soa.get(i));
         }
+    }
+
+    #[test]
+    fn range_fill_matches_the_full_fill_slice() {
+        let d = SphereDist {
+            center: Vec3::zero(),
+            radius: 1.0,
+        };
+        let mut full = SoaEnsemble::<f64>::new();
+        fill_sphere_at_rest(&mut full, 37, &d, 1.0, EL, &mut StdRng::seed_from_u64(11));
+        for (start, end) in [(0, 37), (0, 13), (13, 25), (25, 37), (36, 37)] {
+            let mut part = SoaEnsemble::<f64>::new();
+            fill_sphere_at_rest_range(
+                &mut part,
+                37,
+                start,
+                end,
+                &d,
+                1.0,
+                EL,
+                &mut StdRng::seed_from_u64(11),
+            );
+            assert_eq!(part.len(), end - start);
+            for i in 0..part.len() {
+                assert_eq!(part.get(i), full.get(start + i), "range ({start},{end})");
+            }
+        }
+        // An out-of-bounds end is clamped; an empty range stays empty.
+        let mut clamped = SoaEnsemble::<f64>::new();
+        fill_sphere_at_rest_range(
+            &mut clamped,
+            37,
+            30,
+            99,
+            &d,
+            1.0,
+            EL,
+            &mut StdRng::seed_from_u64(11),
+        );
+        assert_eq!(clamped.len(), 7);
+        let mut empty = SoaEnsemble::<f64>::new();
+        fill_sphere_at_rest_range(
+            &mut empty,
+            37,
+            5,
+            5,
+            &d,
+            1.0,
+            EL,
+            &mut StdRng::seed_from_u64(11),
+        );
+        assert_eq!(empty.len(), 0);
     }
 
     #[test]

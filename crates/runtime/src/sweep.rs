@@ -75,6 +75,27 @@ impl SweepReport {
         max as f64 / mean
     }
 
+    /// Merges per-shard imbalance metrics into one job-level figure,
+    /// weighting each shard by its particle count — a plain mean would
+    /// let a tiny tail shard's imbalance count as much as a full-size
+    /// shard's. `shards` holds `(particles, imbalance)` pairs.
+    ///
+    /// Degenerate-input hygiene, matching [`imbalance`](Self::imbalance):
+    /// an empty or zero-particle set merges to 0.0 (never NaN), and a
+    /// single shard merges to *exactly* its own value — the unsharded
+    /// figure — with no arithmetic applied.
+    pub fn merge_shard_imbalance(shards: &[(usize, f64)]) -> f64 {
+        if let [(_, only)] = shards {
+            return *only;
+        }
+        let total: usize = shards.iter().map(|s| s.0).sum();
+        if total == 0 {
+            return 0.0;
+        }
+        let weighted: f64 = shards.iter().map(|&(n, imb)| imb * n as f64).sum();
+        weighted / total as f64
+    }
+
     /// Drains this report into a telemetry registry, accumulating each
     /// thread's totals into its slot. The registry must have at least as
     /// many slots as the report has threads.
@@ -625,6 +646,30 @@ mod tests {
         };
         assert_eq!(report.total_busy_ns(), 4000);
         assert!((report.time_imbalance() - 1.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn shard_imbalance_merge_weights_by_particle_count() {
+        // A 900-particle shard at 1.5 dominates a 100-particle shard at
+        // 3.0: the merge is 0.9·1.5 + 0.1·3.0, not the plain mean 2.25.
+        let merged = SweepReport::merge_shard_imbalance(&[(900, 1.5), (100, 3.0)]);
+        assert!((merged - 1.65).abs() < 1e-12, "{merged}");
+        // Degenerate inputs: empty and zero-particle sets merge to 0.0.
+        assert_eq!(SweepReport::merge_shard_imbalance(&[]), 0.0);
+        assert_eq!(
+            SweepReport::merge_shard_imbalance(&[(0, 2.0), (0, 4.0)]),
+            0.0
+        );
+    }
+
+    #[test]
+    fn one_shard_merge_is_exactly_the_unsharded_value() {
+        // Pin the degenerate single-shard case bitwise: no weighting
+        // arithmetic may perturb the value (0.1 has no exact binary
+        // representation, so `x * n / n` would not be a no-op).
+        let awkward = 0.1 + 0.2; // 0.30000000000000004…
+        let merged = SweepReport::merge_shard_imbalance(&[(12_345, awkward)]);
+        assert_eq!(merged.to_bits(), awkward.to_bits());
     }
 
     #[cfg(feature = "telemetry")]

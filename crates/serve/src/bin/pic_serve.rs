@@ -8,6 +8,7 @@
 //! ```text
 //! pic-serve [--stdio | --socket PATH] [--workers N] [--queue-depth N]
 //!           [--threads N] [--cache N] [--checkpoint-interval N]
+//!           [--shard-threshold N] [--shards K|auto]
 //!           [--label NAME] [--telemetry PATH]
 //! ```
 
@@ -35,7 +36,8 @@ struct Args {
 fn usage() -> String {
     "usage: pic-serve [--stdio | --socket PATH] [--workers N] \
      [--queue-depth N] [--threads N] [--cache N] \
-     [--checkpoint-interval N] [--label NAME] [--telemetry PATH]"
+     [--checkpoint-interval N] [--shard-threshold N] [--shards K|auto] \
+     [--label NAME] [--telemetry PATH]"
         .to_string()
 }
 
@@ -84,6 +86,19 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
                 args.cfg.checkpoint_interval =
                     parse_count("--checkpoint-interval", &value("--checkpoint-interval")?)?;
             }
+            "--shard-threshold" => {
+                args.cfg.shard_threshold =
+                    parse_count("--shard-threshold", &value("--shard-threshold")?)?;
+            }
+            "--shards" => {
+                let raw = value("--shards")?;
+                // "auto" = one shard per worker, decided at fan-out time.
+                args.cfg.shards = if raw == "auto" {
+                    0
+                } else {
+                    parse_count("--shards", &raw)?
+                };
+            }
             "--label" => args.label = value("--label")?,
             "--telemetry" => args.telemetry = Some(PathBuf::from(value("--telemetry")?)),
             "--help" | "-h" => return Err(usage()),
@@ -105,7 +120,7 @@ fn finish(report: &ShutdownReport, telemetry: Option<&PathBuf>) -> io::Result<()
     let s = &report.stats;
     eprintln!(
         "pic-serve: {} submitted, {} completed ({} cache hits, {} coalesced), \
-         {} rejected, {} cancelled, {} timed out, {} resumed",
+         {} rejected, {} cancelled, {} timed out, {} resumed, {} sharded",
         s.submitted,
         s.completed,
         s.cache_hits,
@@ -113,7 +128,8 @@ fn finish(report: &ShutdownReport, telemetry: Option<&PathBuf>) -> io::Result<()
         s.rejected,
         s.cancelled,
         s.timed_out,
-        s.resumed
+        s.resumed,
+        s.sharded
     );
     Ok(())
 }

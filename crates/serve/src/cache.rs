@@ -113,6 +113,11 @@ pub struct CachedResult {
     /// can serve `return_particles` even when the producing spec did
     /// not ask for it.
     pub particles: Option<String>,
+    /// Shards the producing run was decomposed into (0 = monolithic).
+    /// The key is identical either way — sharding changes how a spec is
+    /// *executed*, never what it computes — so a hit may be served from
+    /// a sharded producer to an unsharded requester and vice versa.
+    pub shards: usize,
 }
 
 impl CachedResult {
@@ -136,6 +141,7 @@ impl CachedResult {
             cache_hit: true,
             resumes: 0,
             resumed_from_step: 0,
+            shards: self.shards,
         }
     }
 }
@@ -284,6 +290,7 @@ mod tests {
             imbalance: 0.0,
             time_imbalance: 0.0,
             particles: Some("# dump\n".to_string()),
+            shards: 0,
         }
     }
 

@@ -119,6 +119,18 @@ impl KillPlan {
         lock(&self.points).insert((seed, step));
     }
 
+    /// Arms a kill-point for one shard of a sharded job: the worker
+    /// running shard `shard_id` (0-based) of a job seeded with `seed`
+    /// will panic after completing `step`. Sibling shards and the
+    /// monolithic run of the same seed are unaffected — shard workers
+    /// consult the plan under [`shard_kill_key`], which separates each
+    /// shard from every other and from the parent seed.
+    ///
+    /// [`shard_kill_key`]: crate::shard::shard_kill_key
+    pub fn arm_shard(&self, seed: u64, shard_id: usize, step: usize) {
+        self.arm(crate::shard::shard_kill_key(seed, shard_id), step);
+    }
+
     /// Consumes the kill-point for `(seed, step)` if armed; `true` means
     /// the caller must panic now.
     pub fn fire(&self, seed: u64, step: usize) -> bool {

@@ -26,8 +26,10 @@
 use crate::cache::{CacheKey, CachedResult};
 use crate::job::{JobReport, Outcome, RejectReason};
 use crate::scheduler::{lock, Batch, JobState, Shared};
+use crate::shard::shard_kill_key;
 use pic_bench::{
-    bench_dt, build_ensemble, merge_thread_stats, run_mdipole_steps, KernelVariant, MdipoleScenario,
+    bench_dt, build_ensemble, build_ensemble_range, merge_thread_stats, run_mdipole_steps,
+    KernelVariant, MdipoleScenario,
 };
 use pic_math::Real;
 use pic_particles::io::{read_ensemble, write_ensemble};
@@ -50,7 +52,9 @@ pub(crate) fn run_batch(shared: &Shared, batch: &Batch) {
         // Claim-time cache check: the key may have been filled after
         // this job was admitted (it lost the admission race against an
         // identical job, or was requeued past a completed duplicate).
-        if shared.cfg.cache_capacity > 0 {
+        // Shard sub-jobs skip it — their spec's key aliases a genuine
+        // small job's, and the gather needs their real execution.
+        if shared.cfg.cache_capacity > 0 && job.shard.is_none() {
             let hit = lock(&shared.cache).lookup(CacheKey::of(&job.spec));
             if let Some(result) = hit {
                 if shared.finish(job, Outcome::Completed(result.to_report(&job.spec))) {
@@ -134,7 +138,18 @@ fn run_typed<R: Real, S: ParticleStore<R>>(
     let mut store = S::default();
     let mut spans: Vec<(usize, usize)> = Vec::with_capacity(group.len());
     for job in group {
-        let seeded: S = build_ensemble(job.spec.particles, job.spec.seed);
+        // A shard sub-job seeds the *parent's* RNG stream and keeps its
+        // plan range, so concatenating the shards reproduces the
+        // monolithic ensemble bitwise.
+        let seeded: S = match &job.shard {
+            Some(ctx) => build_ensemble_range(
+                ctx.parent_particles,
+                job.spec.seed,
+                ctx.offset,
+                job.spec.particles,
+            ),
+            None => build_ensemble(job.spec.particles, job.spec.seed),
+        };
         let mut current: Option<S> = None;
         if start_step > 0 {
             let parsed = shared
@@ -223,7 +238,14 @@ fn run_typed<R: Real, S: ParticleStore<R>>(
             // down; the scheduler requeues the victims for resume.
             if let Some(plan) = &shared.cfg.kill_plan {
                 for (k, job) in jobs.iter().enumerate() {
-                    if alive[k] && plan.fire(job.spec.seed, seg_base + step + 1) {
+                    // A shard sub-job consults the plan under its shard
+                    // kill key, so a point armed via `arm_shard` takes
+                    // down exactly one shard's worker.
+                    let key = match &job.shard {
+                        Some(ctx) => shard_kill_key(job.spec.seed, ctx.shard_id),
+                        None => job.spec.seed,
+                    };
+                    if alive[k] && plan.fire(key, seg_base + step + 1) {
                         panic!("kill-point: job {} at step {}", job.id, seg_base + step + 1);
                     }
                 }
@@ -283,7 +305,10 @@ fn run_typed<R: Real, S: ParticleStore<R>>(
             .flatten();
         // Fill the cache before finishing: the finish path serves this
         // job's coalesced followers straight from the cache entry.
-        if shared.cfg.cache_capacity > 0 {
+        // Shard sub-jobs never populate the cache — their spec's key
+        // aliases a genuine small job's (same seed, fewer particles)
+        // and their dump is only one slice of that job's ensemble.
+        if shared.cfg.cache_capacity > 0 && job.shard.is_none() {
             lock(&shared.cache).insert(
                 CacheKey::of(&job.spec),
                 CachedResult {
@@ -294,6 +319,7 @@ fn run_typed<R: Real, S: ParticleStore<R>>(
                     imbalance,
                     time_imbalance,
                     particles: dump.clone(),
+                    shards: 0,
                 },
             );
         }
@@ -315,6 +341,7 @@ fn run_typed<R: Real, S: ParticleStore<R>>(
             // outcome below.
             resumes: u64::from(job.resumes.load(Ordering::Relaxed)),
             resumed_from_step: job.resume_step.load(Ordering::Relaxed),
+            shards: job.shard.as_ref().map_or(0, |c| c.shards),
         };
         shared.finish(job, Outcome::Completed(report));
     }

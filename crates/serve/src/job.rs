@@ -329,6 +329,10 @@ pub struct JobReport {
     /// Step the final execution resumed from (0 = started from the
     /// initial ensemble; meaningful when `resumes > 0`).
     pub resumed_from_step: u64,
+    /// Shards the job was domain-decomposed into (0 = ran monolithic).
+    /// A sharded completion carries the *merged* measurements: its dump
+    /// is bitwise-identical to the monolithic run's.
+    pub shards: usize,
 }
 
 /// The exactly-once terminal state of a job.

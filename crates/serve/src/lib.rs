@@ -24,6 +24,11 @@
 //!   step-segment boundaries, plus the deterministic [`KillPlan`] fault
 //!   hook; a job whose worker dies resumes from its last snapshot with
 //!   a bitwise-identical trajectory.
+//! * [`shard`] — domain decomposition: an over-threshold job is split
+//!   along a deterministic [`ShardPlan`](shard::ShardPlan) into shard
+//!   sub-jobs flowing through the ordinary lanes, and a scatter-gather
+//!   barrier merges the per-shard dumps and diagnostics into one
+//!   completed response that is bitwise shard-count-invariant.
 //! * [`proto`] — the versioned line-delimited JSON wire protocol.
 //! * [`frontend`] — pumps requests from any `BufRead` into the server
 //!   and responses back out; the `pic-serve` binary wires it to
@@ -48,8 +53,10 @@ pub mod frontend;
 pub mod job;
 pub mod proto;
 pub mod scheduler;
+pub mod shard;
 
 pub use cache::{CacheKey, CacheStats, CachedResult, ResultCache, CACHE_SCHEMA};
 pub use checkpoint::{CheckpointStore, KillPlan, Snapshot};
 pub use job::{JobReport, JobSpec, Outcome, Priority, RejectReason};
 pub use scheduler::{CancelResult, JobTicket, ServeConfig, ServeStats, Server, ShutdownReport};
+pub use shard::{merge_dumps, shard_kill_key, ShardPlan};

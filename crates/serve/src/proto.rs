@@ -147,6 +147,11 @@ pub fn outcome_line(id: u64, tag: Option<&str>, outcome: &Outcome) -> String {
             e.push(("imbalance", Value::Num(r.imbalance)));
             e.push(("time_imbalance", Value::Num(r.time_imbalance)));
             e.push(("cache_hit", Value::Bool(r.cache_hit)));
+            // Additive: present only for domain-decomposed completions,
+            // so pre-sharding clients never see the field.
+            if r.shards > 0 {
+                e.push(("shards", Value::Num(r.shards as f64)));
+            }
             if r.resumes > 0 {
                 e.push(("resumes", Value::Num(r.resumes as f64)));
                 e.push(("resumed_from_step", Value::Num(r.resumed_from_step as f64)));
@@ -179,6 +184,7 @@ pub fn stats_line(stats: &ServeStats) -> String {
     e.push(("cache_hits", Value::Num(stats.cache_hits as f64)));
     e.push(("coalesced", Value::Num(stats.coalesced as f64)));
     e.push(("resumed", Value::Num(stats.resumed as f64)));
+    e.push(("sharded", Value::Num(stats.sharded as f64)));
     Value::obj(e).to_json()
 }
 
@@ -255,6 +261,7 @@ mod tests {
             cache_hit: false,
             resumes: 2,
             resumed_from_step: 5,
+            shards: 0,
         };
         let line = outcome_line(9, None, &Outcome::Completed(report));
         let v = parse(&line).unwrap();
@@ -265,6 +272,24 @@ mod tests {
         assert_eq!(v.get("resumes").and_then(Value::as_u64), Some(2));
         assert_eq!(v.get("resumed_from_step").and_then(Value::as_u64), Some(5));
         assert!(v.get("particles").is_some());
+        assert!(
+            v.get("shards").is_none(),
+            "monolithic completions omit the shards field"
+        );
+    }
+
+    #[test]
+    fn sharded_completion_reports_its_shard_count() {
+        let report = crate::job::JobReport {
+            nsps: 2.0,
+            steps_done: 10,
+            batch_size: 1,
+            shards: 4,
+            ..Default::default()
+        };
+        let line = outcome_line(5, None, &Outcome::Completed(report));
+        let v = parse(&line).unwrap();
+        assert_eq!(v.get("shards").and_then(Value::as_u64), Some(4));
     }
 
     #[test]
@@ -291,6 +316,7 @@ mod tests {
             cache_hits: 2,
             coalesced: 1,
             resumed: 3,
+            sharded: 1,
             ..Default::default()
         };
         let line = stats_line(&stats);
@@ -298,5 +324,6 @@ mod tests {
         assert_eq!(v.get("cache_hits").and_then(Value::as_u64), Some(2));
         assert_eq!(v.get("coalesced").and_then(Value::as_u64), Some(1));
         assert_eq!(v.get("resumed").and_then(Value::as_u64), Some(3));
+        assert_eq!(v.get("sharded").and_then(Value::as_u64), Some(1));
     }
 }

@@ -42,9 +42,10 @@ use crate::cache::{CacheKey, CachedResult, ResultCache};
 use crate::checkpoint::{CheckpointStore, KillPlan};
 use crate::clock::Clock;
 use crate::exec;
-use crate::job::{JobSpec, Outcome, RejectReason};
+use crate::job::{JobReport, JobSpec, Outcome, RejectReason};
+use crate::shard::{merge_dumps, Gather, ShardCtx, ShardPlan};
 use pic_runtime::sync::WorkQueue;
-use pic_runtime::{Schedule, Topology};
+use pic_runtime::{Schedule, SweepReport, Topology};
 use pic_telemetry::{BenchRecord, SCHEMA_VERSION};
 use std::collections::HashMap;
 use std::panic::{catch_unwind, AssertUnwindSafe};
@@ -108,6 +109,13 @@ pub struct ServeConfig {
     /// Test hook: deterministic kill-points fired at step boundaries
     /// (see [`KillPlan`]). `None` in production.
     pub kill_plan: Option<KillPlan>,
+    /// Particle count above which an admitted job is domain-decomposed
+    /// into shard sub-jobs that run through the normal lanes and are
+    /// scatter-gathered back into one completion. `0` disables sharding.
+    pub shard_threshold: usize,
+    /// Shards an over-threshold job splits into. `0` = auto (one shard
+    /// per worker); always clamped to the job's particle count.
+    pub shards: usize,
 }
 
 impl Default for ServeConfig {
@@ -126,6 +134,8 @@ impl Default for ServeConfig {
             checkpoint_interval: 0,
             max_resumes: 3,
             kill_plan: None,
+            shard_threshold: 0,
+            shards: 0,
         }
     }
 }
@@ -150,6 +160,13 @@ pub(crate) struct JobState {
     /// Checkpoint step the latest execution resumed from (0 = started
     /// from the initial ensemble).
     pub resume_step: AtomicU64,
+    /// `Some` when this job is a shard sub-job of a decomposed parent:
+    /// its place in the plan and the gather it reports into.
+    pub shard: Option<ShardCtx>,
+    /// Shard sub-jobs of this job, set before they enter the lanes and
+    /// cleared when the gather completes (breaking the parent↔child
+    /// `Arc` cycle). Empty for monolithic jobs.
+    pub children: Mutex<Vec<Arc<JobState>>>,
     outcome: Mutex<Option<Outcome>>,
     done: Condvar,
     notifier: Mutex<Option<Notifier>>,
@@ -193,6 +210,17 @@ impl JobState {
         // ordering: Relaxed — advisory monotonic flag; a stale read
         // only delays the cancel by one chunk/step boundary.
         self.cancel_requested.load(Ordering::Relaxed)
+    }
+
+    /// Telemetry shard coordinates: `(shards, shard_id)` with shard_id
+    /// 0 for the merged parent and 1-based for sub-jobs; `None` for an
+    /// ordinary monolithic job.
+    pub fn shard_meta(&self) -> Option<(u64, u64)> {
+        if let Some(ctx) = &self.shard {
+            return Some((ctx.shards as u64, ctx.shard_id as u64 + 1));
+        }
+        let children = lock(&self.children).len();
+        (children > 0).then_some((children as u64, 0))
     }
 }
 
@@ -239,6 +267,8 @@ pub(crate) struct Shared {
     /// Jobs observed with more executions than `1 + resumes` allows
     /// (must stay 0).
     pub exec_overruns: AtomicU64,
+    /// Over-threshold jobs fanned out into shard sub-jobs.
+    pub sharded: AtomicU64,
 }
 
 /// One in-flight cache key: the job currently responsible for producing
@@ -279,7 +309,13 @@ impl Shared {
         *lock(&job.outcome) = Some(outcome.clone());
         job.done.notify_all();
         lock(&self.index).remove(&job.id);
-        self.emit_record(job.id, &job.spec, &outcome, job.submitted_ns);
+        self.emit_record(
+            job.id,
+            &job.spec,
+            &outcome,
+            job.submitted_ns,
+            job.shard_meta(),
+        );
         self.bump(&outcome);
         let notifier = lock(&job.notifier).take();
         // ordering: SeqCst — the depth slot is released only after the
@@ -304,7 +340,13 @@ impl Shared {
             *lock(&job.outcome) = Some(outcome.clone());
             job.done.notify_all();
             lock(&self.index).remove(&job.id);
-            self.emit_record(job.id, &job.spec, &outcome, job.submitted_ns);
+            self.emit_record(
+                job.id,
+                &job.spec,
+                &outcome,
+                job.submitted_ns,
+                job.shard_meta(),
+            );
             self.bump(&outcome);
             let notifier = lock(&job.notifier).take();
             // ordering: SeqCst — see `finish`.
@@ -325,6 +367,14 @@ impl Shared {
     /// is promoted into a lane so the key keeps making progress.
     fn after_finish(&self, job: &Arc<JobState>, outcome: &Outcome) {
         self.checkpoints.remove(job.id);
+        // Shard sub-jobs stay out of the cache/inflight protocol
+        // entirely: their spec (same seed, the shard's particle count)
+        // would alias the [`CacheKey`] of a genuine small job, so they
+        // must neither resolve nor populate that key. Only the parent's
+        // merged result is cached, under the parent's unchanged key.
+        if job.shard.is_some() {
+            return;
+        }
         if self.cfg.cache_capacity == 0 {
             return;
         }
@@ -444,8 +494,18 @@ impl Shared {
 
     /// Appends the job's telemetry record. Every submission — admitted
     /// or shed — produces exactly one record, so a record count always
-    /// reconciles with a submission count.
-    pub fn emit_record(&self, id: u64, spec: &JobSpec, outcome: &Outcome, submitted_ns: u64) {
+    /// reconciles with a submission count (shard sub-jobs take ids from
+    /// the same counter, so the invariant covers them too). `shard` is
+    /// the record's `(shards, shard_id)` coordinates, `None` for
+    /// monolithic jobs.
+    pub fn emit_record(
+        &self,
+        id: u64,
+        spec: &JobSpec,
+        outcome: &Outcome,
+        submitted_ns: u64,
+        shard: Option<(u64, u64)>,
+    ) {
         let report = match outcome {
             Outcome::Completed(r) => Some(r),
             _ => None,
@@ -489,6 +549,8 @@ impl Shared {
             cache_hit: report.is_some_and(|r| r.cache_hit),
             resumes: report.map_or(0, |r| r.resumes),
             resumed_from_step: report.map_or(0, |r| r.resumed_from_step),
+            shards: shard.map_or(0, |(k, _)| k),
+            shard_id: shard.map_or(0, |(_, i)| i),
         };
         lock(&self.records).push(rec);
     }
@@ -509,8 +571,191 @@ impl Shared {
             coalesced: self.coalesced.load(Ordering::Relaxed),
             resumed: self.resumed.load(Ordering::Relaxed),
             exec_overruns: self.exec_overruns.load(Ordering::Relaxed),
+            // ordering: Relaxed — snapshot of monotonic counters.
+            sharded: self.sharded.load(Ordering::Relaxed),
         }
     }
+
+    /// Merges the outcomes of every shard sub-job into the parent's one
+    /// terminal outcome. Runs exactly once per sharded job — the last
+    /// shard to report through [`Gather::report`] calls it.
+    ///
+    /// A shard that failed fails the whole job with the first
+    /// non-completed outcome in shard order (deterministic). Otherwise
+    /// the merged dump is the header plus the shards' bodies in plan
+    /// order — bitwise what the monolithic run would have produced —
+    /// and the merged measurements reconcile against the per-shard
+    /// records: `run_ns`/`steps_done` are the critical path (max),
+    /// `resumes` the sum, imbalance the particle-weighted mean.
+    pub(crate) fn finish_sharded(&self, gather: &Gather, outcomes: Vec<Outcome>) {
+        let parent = &gather.parent;
+        if let Some(bad) = outcomes
+            .iter()
+            .find(|o| !matches!(o, Outcome::Completed(_)))
+        {
+            self.finish(parent, bad.clone());
+            lock(&parent.children).clear();
+            return;
+        }
+        let reports: Vec<&JobReport> = outcomes
+            .iter()
+            .filter_map(|o| match o {
+                Outcome::Completed(r) => Some(r),
+                _ => None,
+            })
+            .collect();
+        let dumps: Vec<&str> = reports
+            .iter()
+            .filter_map(|r| r.particles.as_deref())
+            .collect();
+        let merged = if dumps.len() == reports.len() {
+            merge_dumps(&dumps)
+        } else {
+            // A shard completed without its dump (never expected — shard
+            // specs always set `return_particles`). The parent still
+            // completes, just without a merged state or cache entry.
+            None
+        };
+        let run_ns = reports.iter().map(|r| r.run_ns).max().unwrap_or(0);
+        let steps_done = reports.iter().map(|r| r.steps_done).max().unwrap_or(0);
+        let queue_wait_ns = reports.iter().map(|r| r.queue_wait_ns).min().unwrap_or(0);
+        let weigh = |field: fn(&JobReport) -> f64| -> f64 {
+            let per_shard: Vec<(usize, f64)> = reports
+                .iter()
+                .zip(&gather.ranges)
+                .map(|(r, &(_, len))| (len, field(r)))
+                .collect();
+            SweepReport::merge_shard_imbalance(&per_shard)
+        };
+        let imbalance = weigh(|r| r.imbalance);
+        let time_imbalance = weigh(|r| r.time_imbalance);
+        let work = parent.spec.particles as f64 * steps_done as f64;
+        let nsps = if work > 0.0 {
+            run_ns as f64 / work
+        } else {
+            0.0
+        };
+        // Fill the cache before finishing: `after_finish` serves the
+        // parent's coalesced followers straight from this entry.
+        if self.cfg.cache_capacity > 0 {
+            if let Some(dump) = &merged {
+                lock(&self.cache).insert(
+                    CacheKey::of(&parent.spec),
+                    CachedResult {
+                        nsps,
+                        run_ns,
+                        batch_size: 1,
+                        steps_done,
+                        imbalance,
+                        time_imbalance,
+                        particles: Some(dump.clone()),
+                        shards: reports.len(),
+                    },
+                );
+            }
+        }
+        let report = JobReport {
+            nsps,
+            queue_wait_ns,
+            run_ns,
+            batch_size: 1,
+            steps_done,
+            imbalance,
+            time_imbalance,
+            particles: if parent.spec.return_particles {
+                merged
+            } else {
+                None
+            },
+            cache_hit: false,
+            resumes: reports.iter().map(|r| r.resumes).sum(),
+            resumed_from_step: reports
+                .iter()
+                .map(|r| r.resumed_from_step)
+                .max()
+                .unwrap_or(0),
+            shards: reports.len(),
+        };
+        self.finish(parent, Outcome::Completed(report));
+        lock(&parent.children).clear();
+    }
+}
+
+/// Fans an admitted over-threshold job out into shard sub-jobs: one
+/// child per [`ShardPlan`] range, each with its own depth slot, index
+/// entry and a gather-reporting notifier, pushed through the parent's
+/// priority lane. The parent never enters a lane — the last shard's
+/// report completes it via [`Shared::finish_sharded`].
+fn fan_out(shared: &Arc<Shared>, parent: &Arc<JobState>, shards: usize) {
+    let plan = ShardPlan::new(parent.spec.particles, shards);
+    let gather = Arc::new(Gather::new(parent.clone(), plan.ranges().to_vec()));
+    let mut children: Vec<Arc<JobState>> = Vec::with_capacity(plan.shards());
+    for (shard_id, &(offset, len)) in plan.ranges().iter().enumerate() {
+        // ordering: Relaxed — id allocation only needs uniqueness.
+        let id = shared.next_id.fetch_add(1, Ordering::Relaxed) + 1;
+        let mut spec = parent.spec.clone();
+        spec.particles = len;
+        // The gather needs every shard's final state regardless of what
+        // the requester asked for.
+        spec.return_particles = true;
+        let report_into = shared.clone();
+        let g = gather.clone();
+        let notifier: Notifier = Box::new(move |_, outcome| {
+            if let Some(all) = g.report(shard_id, outcome) {
+                report_into.finish_sharded(&g, all);
+            }
+        });
+        let child = Arc::new(JobState {
+            id,
+            spec,
+            submitted_ns: parent.submitted_ns,
+            phase: AtomicU8::new(QUEUED),
+            cancel_requested: AtomicBool::new(false),
+            executions: AtomicU32::new(0),
+            resumes: AtomicU32::new(0),
+            resume_step: AtomicU64::new(0),
+            shard: Some(ShardCtx {
+                shard_id,
+                shards: plan.shards(),
+                offset,
+                parent_particles: parent.spec.particles,
+            }),
+            children: Mutex::new(Vec::new()),
+            outcome: Mutex::new(None),
+            done: Condvar::new(),
+            notifier: Mutex::new(Some(notifier)),
+        });
+        // Internal derived work claims its depth slot unconditionally —
+        // the parent already passed admission control, and the drain
+        // protocol must see every child.
+        // ordering: SeqCst — same slot accounting as `submit`.
+        shared.depth.fetch_add(1, Ordering::SeqCst);
+        lock(&shared.index).insert(id, child.clone());
+        children.push(child);
+    }
+    // Publish the children on the parent *before* any shard can run:
+    // a fast child's finish path reads `shard_meta` off the parent.
+    *lock(&parent.children) = children.clone();
+    // ordering: Relaxed — monotonic stats counter.
+    shared.sharded.fetch_add(1, Ordering::Relaxed);
+    let lane = parent.spec.priority.lane();
+    for child in children {
+        shared.lanes[lane].push(child);
+    }
+}
+
+/// Shards an admitted spec splits into: 1 (monolithic) unless sharding
+/// is enabled and the job is over the threshold.
+fn shard_count(cfg: &ServeConfig, spec: &JobSpec) -> usize {
+    if cfg.shard_threshold == 0 || spec.particles <= cfg.shard_threshold {
+        return 1;
+    }
+    let k = if cfg.shards == 0 {
+        cfg.workers.max(1)
+    } else {
+        cfg.shards
+    };
+    k.clamp(1, spec.particles)
 }
 
 /// Counter snapshot of the service.
@@ -537,6 +782,8 @@ pub struct ServeStats {
     /// Jobs observed executing more often than their resume budget
     /// allows (invariant: 0).
     pub exec_overruns: u64,
+    /// Over-threshold jobs fanned out into shard sub-jobs.
+    pub sharded: u64,
 }
 
 /// Everything `shutdown` hands back after the drain.
@@ -646,6 +893,7 @@ impl Server {
             coalesced: AtomicU64::new(0),
             resumed: AtomicU64::new(0),
             exec_overruns: AtomicU64::new(0),
+            sharded: AtomicU64::new(0),
         });
         let dispatcher = {
             let shared = shared.clone();
@@ -709,6 +957,8 @@ impl Server {
             executions: AtomicU32::new(0),
             resumes: AtomicU32::new(0),
             resume_step: AtomicU64::new(0),
+            shard: None,
+            children: Mutex::new(Vec::new()),
             outcome: Mutex::new(None),
             done: Condvar::new(),
             notifier: Mutex::new(notifier),
@@ -738,7 +988,12 @@ impl Server {
         }
         lock(&shared.index).insert(id, job.clone());
         if !follower {
-            shared.lanes[lane].push(job.clone());
+            let k = shard_count(&shared.cfg, &job.spec);
+            if k >= 2 {
+                fan_out(shared, &job, k);
+            } else {
+                shared.lanes[lane].push(job.clone());
+            }
         }
         Ok(JobTicket { state: job })
     }
@@ -765,11 +1020,13 @@ impl Server {
             executions: AtomicU32::new(0),
             resumes: AtomicU32::new(0),
             resume_step: AtomicU64::new(0),
+            shard: None,
+            children: Mutex::new(Vec::new()),
             outcome: Mutex::new(Some(outcome.clone())),
             done: Condvar::new(),
             notifier: Mutex::new(None),
         });
-        shared.emit_record(id, &job.spec, &outcome, submitted_ns);
+        shared.emit_record(id, &job.spec, &outcome, submitted_ns, None);
         shared.bump(&outcome);
         // ordering: Relaxed — monotonic stats counter.
         shared.cache_hits.fetch_add(1, Ordering::Relaxed);
@@ -787,7 +1044,8 @@ impl Server {
         submitted_ns: u64,
     ) -> RejectReason {
         let outcome = Outcome::Rejected(reason.clone());
-        self.shared.emit_record(id, &spec, &outcome, submitted_ns);
+        self.shared
+            .emit_record(id, &spec, &outcome, submitted_ns, None);
         self.shared.bump(&outcome);
         reason
     }
@@ -801,6 +1059,22 @@ impl Server {
         // ordering: Relaxed — advisory flag, observed at claim time and
         // step boundaries; the QUEUED→DONE race below is what decides.
         job.cancel_requested.store(true, Ordering::Relaxed);
+        // A sharded parent terminates only through its gather: cancel
+        // propagates to every child (queued ones terminate on the spot,
+        // running ones stop at the next step boundary), and the first
+        // `Cancelled` child outcome cancels the merged parent.
+        let children: Vec<Arc<JobState>> = lock(&job.children).clone();
+        if !children.is_empty() {
+            for child in &children {
+                // ordering: Relaxed — see above.
+                child.cancel_requested.store(true, Ordering::Relaxed);
+                self.shared.finish_if(child, QUEUED, Outcome::Cancelled);
+            }
+            if job.is_terminal() {
+                return CancelResult::AlreadyTerminal;
+            }
+            return CancelResult::Requested;
+        }
         if self.shared.finish_if(&job, QUEUED, Outcome::Cancelled) {
             return CancelResult::Done;
         }
@@ -849,11 +1123,16 @@ pub(crate) fn form_batches(
     let mut out: Vec<(Batch, usize)> = Vec::new();
     for job in staged {
         let n = job.spec.particles;
-        if n <= coalesce_max {
+        // Shard sub-jobs always ride alone: a kill-point aimed at one
+        // shard must take down only that shard's worker, and the
+        // invariance tests rely on per-shard batches being independent.
+        if n <= coalesce_max && job.shard.is_none() {
             if let Some((batch, total)) = out.last_mut() {
                 let fits = *total + n <= budget
                     && batch.jobs.iter().all(|b| {
-                        b.spec.particles <= coalesce_max && b.spec.batch_compatible(&job.spec)
+                        b.shard.is_none()
+                            && b.spec.particles <= coalesce_max
+                            && b.spec.batch_compatible(&job.spec)
                     });
                 if fits {
                     batch.jobs.push(job);
@@ -987,6 +1266,8 @@ pub(crate) fn test_job(id: u64, spec: JobSpec) -> Arc<JobState> {
         executions: AtomicU32::new(0),
         resumes: AtomicU32::new(0),
         resume_step: AtomicU64::new(0),
+        shard: None,
+        children: Mutex::new(Vec::new()),
         outcome: Mutex::new(None),
         done: Condvar::new(),
         notifier: Mutex::new(None),

@@ -1,0 +1,259 @@
+//! Domain decomposition of one job into shard sub-jobs, and the
+//! scatter-gather collector that reassembles their results.
+//!
+//! The paper's strong-scaling story (Fig. 1) is about one big ensemble
+//! spread over many workers. The serving layer reproduces it by
+//! *sharding*: an over-threshold [`JobSpec`](crate::job::JobSpec) is
+//! split along a [`ShardPlan`] — contiguous, seed-stable index ranges
+//! over the initial seeded ensemble — into sub-jobs that flow through
+//! the ordinary lanes, one particle store per shard. Because the Boris
+//! pusher is particle-independent (no particle-particle interaction in
+//! either benchmark scenario) and the seeded fill is index-stable, the
+//! concatenation of the shard results is bitwise-identical to the
+//! monolithic run — the shard-count-invariance suite
+//! (`tests/shard_invariance.rs`) proves it for K ∈ {1, 2, 3, 8} in both
+//! layouts and precisions.
+//!
+//! [`Gather`] is the barrier on the way back: every shard reports its
+//! terminal outcome exactly once (the scheduler's exactly-once finish
+//! guarantees this), the last reporter wins the merge, and a shard that
+//! crashes and resumes from its checkpoint reports only on its final
+//! terminality — so a double-merge is impossible by construction. The
+//! protocol is model-checked exhaustively in
+//! `crates/check/tests/interleave_shard.rs`.
+
+use crate::job::Outcome;
+use crate::scheduler::{lock, JobState};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// Deterministic partition of `particles` into contiguous shard ranges.
+///
+/// The plan is a pure function of `(particles, shards)`: re-planning the
+/// same inputs yields the same ranges, ranges are disjoint, cover
+/// `0..particles` exactly, and — for `particles > 0` — no shard is ever
+/// empty (the shard count is clamped to the particle count). The first
+/// `particles % shards` shards carry one extra particle.
+#[derive(Clone, Debug, Eq, PartialEq)]
+pub struct ShardPlan {
+    particles: usize,
+    ranges: Vec<(usize, usize)>,
+}
+
+impl ShardPlan {
+    /// Plans `shards` contiguous ranges over `0..particles`. `shards`
+    /// is clamped to `1..=particles`; `particles == 0` yields an empty
+    /// plan.
+    pub fn new(particles: usize, shards: usize) -> ShardPlan {
+        if particles == 0 {
+            return ShardPlan {
+                particles,
+                ranges: Vec::new(),
+            };
+        }
+        let k = shards.clamp(1, particles);
+        let base = particles / k;
+        let extra = particles % k;
+        let mut ranges = Vec::with_capacity(k);
+        let mut offset = 0;
+        for i in 0..k {
+            let len = base + usize::from(i < extra);
+            ranges.push((offset, len));
+            offset += len;
+        }
+        ShardPlan { particles, ranges }
+    }
+
+    /// The planned `(offset, len)` ranges, in shard order.
+    pub fn ranges(&self) -> &[(usize, usize)] {
+        &self.ranges
+    }
+
+    /// Number of shards actually planned (after clamping).
+    pub fn shards(&self) -> usize {
+        self.ranges.len()
+    }
+
+    /// Total particles covered by the plan.
+    pub fn particles(&self) -> usize {
+        self.particles
+    }
+}
+
+/// Derives the [`KillPlan`](crate::checkpoint::KillPlan) key for one
+/// shard of a sharded job: a SplitMix64-style mix of the parent seed and
+/// the shard index, so a fault-injection harness can kill exactly one
+/// shard's worker while its siblings run untouched.
+pub fn shard_kill_key(seed: u64, shard_id: usize) -> u64 {
+    let mut z = seed ^ (shard_id as u64 + 1).wrapping_mul(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// Concatenates per-shard particle dumps (in shard order) into the dump
+/// the monolithic run would have produced: the shared header line once,
+/// then every shard's body lines. Returns `None` when the dumps are
+/// inconsistent (empty set, or differing header lines) — never a torn
+/// merge.
+pub fn merge_dumps(dumps: &[&str]) -> Option<String> {
+    let first = dumps.first()?;
+    let header_end = first.find('\n')?;
+    let header = &first[..header_end + 1];
+    let mut out = String::with_capacity(dumps.iter().map(|d| d.len()).sum());
+    out.push_str(header);
+    for dump in dumps {
+        let body = dump.strip_prefix(header)?;
+        out.push_str(body);
+    }
+    Some(out)
+}
+
+/// Execution context attached to one shard sub-job.
+pub(crate) struct ShardCtx {
+    /// Shard index, `0..shards`.
+    pub shard_id: usize,
+    /// Total shards of the parent job.
+    pub shards: usize,
+    /// First parent-ensemble index owned by this shard.
+    pub offset: usize,
+    /// Particle count of the parent's full ensemble (the seeded fill
+    /// the shard's range is extracted from). The shard's reporting path
+    /// is its notifier, which owns the [`Gather`] handle.
+    pub parent_particles: usize,
+}
+
+/// The scatter-gather barrier of one sharded job.
+///
+/// Each shard's terminal outcome lands in its slot exactly once (the
+/// report rides the scheduler's exactly-once notifier); the reporter
+/// that takes `remaining` to zero — and only that one — receives the
+/// full outcome vector to merge. A shard that dies and requeues has not
+/// terminated, so it cannot report early, and a slot can never be
+/// filled twice.
+pub(crate) struct Gather {
+    /// The parent job the merged result completes.
+    pub parent: Arc<JobState>,
+    /// The plan's `(offset, len)` ranges, for particle-count weighting.
+    pub ranges: Vec<(usize, usize)>,
+    slots: Mutex<Vec<Option<Outcome>>>,
+    remaining: AtomicUsize,
+}
+
+impl Gather {
+    /// A collector expecting one report per range of `ranges`.
+    pub fn new(parent: Arc<JobState>, ranges: Vec<(usize, usize)>) -> Gather {
+        let shards = ranges.len();
+        Gather {
+            parent,
+            ranges,
+            slots: Mutex::new(vec![None; shards]),
+            remaining: AtomicUsize::new(shards),
+        }
+    }
+
+    /// Records shard `shard_id`'s terminal outcome. Returns the full
+    /// outcome vector (in shard order) exactly once — to the caller
+    /// whose report completed the set; every other call returns `None`.
+    pub fn report(&self, shard_id: usize, outcome: &Outcome) -> Option<Vec<Outcome>> {
+        {
+            let mut slots = lock(&self.slots);
+            let slot = slots.get_mut(shard_id)?;
+            if slot.is_some() {
+                // A double report would double-decrement `remaining`;
+                // the exactly-once finish makes this unreachable, but
+                // the barrier stays safe even if it were not.
+                return None;
+            }
+            *slot = Some(outcome.clone());
+        }
+        // ordering: SeqCst — the slot write above must be visible to
+        // the final reporter before its decrement observes zero
+        // remaining; total order makes exactly one caller see the
+        // 1 → 0 transition.
+        if self.remaining.fetch_sub(1, Ordering::SeqCst) == 1 {
+            let slots = lock(&self.slots);
+            return slots.iter().cloned().collect::<Option<Vec<_>>>();
+        }
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::job::JobSpec;
+    use crate::scheduler::test_job;
+
+    #[test]
+    fn plan_covers_disjointly_without_empty_shards() {
+        for (n, k) in [(10, 3), (7, 7), (100, 8), (5, 1), (3, 9)] {
+            let plan = ShardPlan::new(n, k);
+            assert!(plan.shards() >= 1 && plan.shards() <= n.min(k.max(1)));
+            let mut next = 0;
+            for &(offset, len) in plan.ranges() {
+                assert_eq!(offset, next, "contiguous and disjoint");
+                assert!(len > 0, "no empty shard for n={n} k={k}");
+                next = offset + len;
+            }
+            assert_eq!(next, n, "covers 0..{n}");
+            assert_eq!(plan, ShardPlan::new(n, k), "stable under re-planning");
+        }
+    }
+
+    #[test]
+    fn plan_of_zero_particles_is_empty() {
+        let plan = ShardPlan::new(0, 4);
+        assert_eq!(plan.shards(), 0);
+        assert!(plan.ranges().is_empty());
+    }
+
+    #[test]
+    fn remainder_particles_go_to_the_leading_shards() {
+        let plan = ShardPlan::new(10, 3);
+        assert_eq!(plan.ranges(), &[(0, 4), (4, 3), (7, 3)]);
+    }
+
+    #[test]
+    fn kill_keys_separate_shards_and_parent() {
+        let seed = 42;
+        let keys: Vec<u64> = (0..4).map(|i| shard_kill_key(seed, i)).collect();
+        for (i, &a) in keys.iter().enumerate() {
+            assert_ne!(a, seed, "shard key must not alias the parent seed");
+            for &b in &keys[i + 1..] {
+                assert_ne!(a, b, "shard keys must be distinct");
+            }
+        }
+        assert_eq!(
+            shard_kill_key(seed, 2),
+            shard_kill_key(seed, 2),
+            "deterministic"
+        );
+    }
+
+    #[test]
+    fn dump_merge_is_header_plus_concatenated_bodies() {
+        let a = "# h\n1 2\n3 4\n";
+        let b = "# h\n5 6\n";
+        assert_eq!(
+            merge_dumps(&[a, b]).as_deref(),
+            Some("# h\n1 2\n3 4\n5 6\n")
+        );
+        assert_eq!(merge_dumps(&[a]).as_deref(), Some(a), "K=1 is identity");
+        assert_eq!(merge_dumps(&[]), None);
+        assert_eq!(merge_dumps(&[a, "# other\n5 6\n"]), None, "header mismatch");
+    }
+
+    #[test]
+    fn gather_releases_the_outcomes_exactly_once() {
+        let parent = test_job(1, JobSpec::default());
+        let gather = Gather::new(parent, vec![(0, 2), (2, 2), (4, 1)]);
+        let done = Outcome::Cancelled;
+        assert!(gather.report(0, &done).is_none());
+        assert!(gather.report(0, &done).is_none(), "double report is inert");
+        assert!(gather.report(2, &done).is_none());
+        let all = gather.report(1, &done).expect("last report merges");
+        assert_eq!(all.len(), 3);
+        assert!(gather.report(1, &done).is_none(), "merge happens once");
+    }
+}

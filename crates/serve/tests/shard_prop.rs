@@ -1,0 +1,74 @@
+//! Property tests for the deterministic shard partitioner.
+//!
+//! `ShardPlan` is the foundation the shard-count-invariance guarantee
+//! rests on: the scheduler's fan-out, the range-seeded ensemble build
+//! and the gather's particle-count weighting all reuse its ranges, so
+//! the partition itself must be disjoint, covering, never-empty and a
+//! pure function of its inputs. Proptest sweeps the `(particles,
+//! shards)` space far beyond the unit tests' hand-picked cases.
+
+use pic_serve::ShardPlan;
+use proptest::prelude::*;
+
+proptest! {
+    /// Ranges are contiguous, disjoint, and cover `0..particles`
+    /// exactly — no particle is lost or simulated twice.
+    #[test]
+    fn ranges_partition_the_ensemble(
+        particles in 1usize..20_000,
+        shards in 1usize..64,
+    ) {
+        let plan = ShardPlan::new(particles, shards);
+        let mut next = 0usize;
+        for &(offset, len) in plan.ranges() {
+            prop_assert_eq!(offset, next, "contiguous, disjoint ranges");
+            next = offset + len;
+        }
+        prop_assert_eq!(next, particles, "ranges cover 0..particles");
+        prop_assert_eq!(plan.particles(), particles);
+    }
+
+    /// No shard is ever empty: an empty shard would submit an invalid
+    /// zero-particle sub-job and stall its gather slot forever.
+    #[test]
+    fn no_shard_is_empty(
+        particles in 1usize..20_000,
+        shards in 1usize..64,
+    ) {
+        let plan = ShardPlan::new(particles, shards);
+        prop_assert!(plan.shards() >= 1);
+        prop_assert!(plan.shards() <= shards.max(1).min(particles));
+        for &(_, len) in plan.ranges() {
+            prop_assert!(len > 0, "no empty shard");
+        }
+    }
+
+    /// The plan is a pure function of `(particles, shards)`: replanning
+    /// yields identical ranges, so a resumed shard rebuilds exactly the
+    /// range it was born with.
+    #[test]
+    fn replanning_is_stable(
+        particles in 1usize..20_000,
+        shards in 1usize..64,
+    ) {
+        let plan = ShardPlan::new(particles, shards);
+        prop_assert_eq!(&plan, &ShardPlan::new(particles, shards));
+        // Stability is structural, not incidental: the same inputs give
+        // the same shard count too.
+        prop_assert_eq!(plan.shards(), ShardPlan::new(particles, shards).shards());
+    }
+
+    /// Shard sizes are balanced to within one particle — the plan's
+    /// whole point is a near-uniform decomposition of the ensemble.
+    #[test]
+    fn shard_sizes_differ_by_at_most_one(
+        particles in 1usize..20_000,
+        shards in 1usize..64,
+    ) {
+        let plan = ShardPlan::new(particles, shards);
+        let lens: Vec<usize> = plan.ranges().iter().map(|r| r.1).collect();
+        let min = lens.iter().copied().min().unwrap_or(0);
+        let max = lens.iter().copied().max().unwrap_or(0);
+        prop_assert!(max - min <= 1, "balanced to within one particle");
+    }
+}

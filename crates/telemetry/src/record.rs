@@ -109,6 +109,12 @@ pub struct BenchRecord {
     pub resumes: u64,
     /// Step the final execution resumed from (0 unless `resumes > 0`).
     pub resumed_from_step: u64,
+    /// Shard count of the sharded job this record belongs to (0 =
+    /// unsharded, the historical default).
+    pub shards: u64,
+    /// Position within a sharded job when `shards > 0`: 0 = the merged
+    /// parent record, 1..=shards = the individual shard sub-jobs.
+    pub shard_id: u64,
 }
 
 impl BenchRecord {
@@ -131,6 +137,13 @@ impl BenchRecord {
         if !self.kernel_variant.is_empty() {
             key.push_str("|k");
             key.push_str(&self.kernel_variant);
+        }
+        // Additive: unsharded records keep their old key, while the
+        // shards of one job (which may share a particle count) and its
+        // merged parent stay distinct from each other and from an
+        // unsharded run of the same spec.
+        if self.shards > 0 {
+            key.push_str(&format!("|S{}.{}", self.shards, self.shard_id));
         }
         key
     }
@@ -189,6 +202,8 @@ impl BenchRecord {
             ("cache_hit", Value::Bool(self.cache_hit)),
             ("resumes", int(self.resumes)),
             ("resumed_from_step", int(self.resumed_from_step)),
+            ("shards", int(self.shards)),
+            ("shard_id", int(self.shard_id)),
         ])
         .to_json()
     }
@@ -269,6 +284,9 @@ impl BenchRecord {
                 .get("resumed_from_step")
                 .and_then(Value::as_u64)
                 .unwrap_or(0),
+            // Sharding fields are likewise additive within schema 1.
+            shards: v.get("shards").and_then(Value::as_u64).unwrap_or(0),
+            shard_id: v.get("shard_id").and_then(Value::as_u64).unwrap_or(0),
         })
     }
 }
@@ -404,6 +422,8 @@ pub(crate) fn sample_record(label: &str, steady_nsps: f64) -> BenchRecord {
         cache_hit: false,
         resumes: 0,
         resumed_from_step: 0,
+        shards: 0,
+        shard_id: 0,
     }
 }
 
@@ -469,6 +489,8 @@ mod tests {
                 "cache_hit",
                 "resumes",
                 "resumed_from_step",
+                "shards",
+                "shard_id",
             ] {
                 assert!(map.remove(key).is_some());
             }
@@ -491,6 +513,31 @@ mod tests {
         let mut legacy = sample_record("a", 10.0);
         legacy.kernel_variant = String::new();
         assert!(!legacy.key().contains("|k"));
+    }
+
+    #[test]
+    fn shard_fields_distinguish_keys_additively() {
+        // Two shards of one job can share a particle count; the merged
+        // parent shares the spec with an unsharded run. All four keys
+        // must stay distinct, while pre-sharding records keep theirs.
+        let unsharded = sample_record("a", 10.0);
+        assert!(!unsharded.key().contains("|S"));
+        let mut parent = sample_record("a", 10.0);
+        parent.shards = 2;
+        parent.shard_id = 0;
+        let mut shard1 = sample_record("a", 10.0);
+        shard1.shards = 2;
+        shard1.shard_id = 1;
+        let mut shard2 = sample_record("a", 10.0);
+        shard2.shards = 2;
+        shard2.shard_id = 2;
+        let keys = [unsharded.key(), parent.key(), shard1.key(), shard2.key()];
+        for (i, a) in keys.iter().enumerate() {
+            for b in &keys[i + 1..] {
+                assert_ne!(a, b);
+            }
+        }
+        assert!(parent.key().ends_with("|S2.0"));
     }
 
     #[test]

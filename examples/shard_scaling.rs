@@ -1,0 +1,90 @@
+//! Shard strong scaling on this host, next to the perfmodel prediction.
+//!
+//! ```text
+//! cargo run --release --example shard_scaling
+//! PIC_SHARD_PARTICLES=1000000 PIC_SHARD_STEPS=10 cargo run --release --example shard_scaling
+//! ```
+//!
+//! Submits the same over-threshold job to `pic-serve` at several shard
+//! counts K and prints, for each K, the merged NSPS the service reports
+//! (the slowest shard's run time over the whole job's particle-steps —
+//! the critical path a K-worker machine would observe) and the measured
+//! end-to-end wall time on *this* host. Alongside, the calibrated
+//! `pic-perfmodel` CPU model prints the Fig. 1 strong-scaling speedups
+//! for the paper's 48-core node — the curve a shard-per-core deployment
+//! is modeled to follow.
+//!
+//! Shard-count invariance (the merged dump is bitwise-identical at
+//! every K) is proven by `crates/serve/tests/shard_invariance.rs`; this
+//! example is about the performance side of the same decomposition.
+
+use std::time::Instant;
+
+use pic_particles::Layout;
+use pic_perfmodel::{CpuModel, Parallelization, Precision, Scenario};
+use pic_serve::{JobSpec, Outcome, ServeConfig, Server};
+
+fn env_usize(key: &str, default: usize) -> usize {
+    std::env::var(key)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+fn main() {
+    let particles = env_usize("PIC_SHARD_PARTICLES", 1_000_000);
+    let steps = env_usize("PIC_SHARD_STEPS", 10);
+    let workers = env_usize("PIC_SHARD_WORKERS", 4);
+
+    println!("=== Modeled shard-per-core speedup (Endeavour node, Precalculated/SoA/float) ===");
+    let model = CpuModel::endeavour();
+    let curve = model.speedup_curve(
+        Scenario::Precalculated,
+        Layout::Soa,
+        Precision::F32,
+        Parallelization::DpcppNuma,
+    );
+    for k in [1usize, 2, 4, 8, 16, 32, 48] {
+        if let Some(s) = curve.get(k - 1) {
+            println!("  K={k:<2}  S(K)={s:.2}");
+        }
+    }
+
+    println!();
+    println!(
+        "=== Measured on this host: {particles} particles x {steps} steps, \
+         {workers} workers ==="
+    );
+    let mut base_wall = None;
+    for k in [1usize, 2, 4, 8] {
+        let cfg = ServeConfig {
+            workers,
+            cache_capacity: 0, // every K must run for real
+            shard_threshold: 1000,
+            shards: k,
+            ..ServeConfig::default()
+        };
+        let server = Server::start(cfg, &format!("shard-scaling-k{k}"));
+        let spec = JobSpec {
+            particles,
+            steps,
+            seed: 99,
+            ..JobSpec::default()
+        };
+        let start = Instant::now();
+        let outcome = server.submit(spec, None).expect("admitted").wait();
+        let wall = start.elapsed();
+        server.shutdown();
+        let Outcome::Completed(report) = outcome else {
+            panic!("K={k}: job did not complete: {outcome:?}");
+        };
+        let wall_ms = wall.as_secs_f64() * 1e3;
+        let base = *base_wall.get_or_insert(wall_ms);
+        println!(
+            "  K={k:<2}  shards={:<2}  merged NSPS={:.3}  wall={wall_ms:.0} ms  S(K)={:.2}",
+            report.shards,
+            report.nsps,
+            base / wall_ms,
+        );
+    }
+}
