@@ -1,0 +1,380 @@
+//! Token-tree builder on top of the [`scan`](crate::scan) lexer.
+//!
+//! `scan` already strips comments and blanks string/char interiors; this
+//! module tokenizes the surviving code channel and folds the flat token
+//! stream into a brace/paren/bracket tree. Still no `syn` — the builder
+//! must stay offline-safe and total: *any* input (including half-edited
+//! soup with unbalanced delimiters) produces a tree, and flattening the
+//! tree reproduces the input token stream exactly. That round-trip is
+//! the invariant the proptest suite (`tests/analyze_prop.rs`) hammers.
+
+use crate::scan::Scanned;
+
+/// One delimiter family.
+#[derive(Clone, Copy, Debug, Eq, PartialEq)]
+pub enum Delim {
+    Paren,
+    Bracket,
+    Brace,
+}
+
+impl Delim {
+    fn of_open(c: char) -> Option<Delim> {
+        match c {
+            '(' => Some(Delim::Paren),
+            '[' => Some(Delim::Bracket),
+            '{' => Some(Delim::Brace),
+            _ => None,
+        }
+    }
+
+    fn of_close(c: char) -> Option<Delim> {
+        match c {
+            ')' => Some(Delim::Paren),
+            ']' => Some(Delim::Bracket),
+            '}' => Some(Delim::Brace),
+            _ => None,
+        }
+    }
+}
+
+/// One lexical token of the blanked code channel.
+#[derive(Clone, Debug, Eq, PartialEq)]
+pub enum Tok {
+    /// Identifier or keyword.
+    Ident(String),
+    /// Numeric literal (possibly with suffix / embedded `_`).
+    Num(String),
+    /// Lifetime (`'a`, `'static`).
+    Lifetime(String),
+    /// A (blanked) string literal.
+    Str,
+    /// A (blanked) char or byte literal.
+    Ch,
+    /// Any other single punctuation char.
+    Punct(char),
+    /// Opening delimiter.
+    Open(Delim),
+    /// Closing delimiter.
+    Close(Delim),
+}
+
+/// A token with its 0-based source line.
+#[derive(Clone, Debug, Eq, PartialEq)]
+pub struct RawTok {
+    pub tok: Tok,
+    pub line: usize,
+}
+
+/// A delimited group in the tree.
+#[derive(Clone, Debug)]
+pub struct Group {
+    pub delim: Delim,
+    /// 0-based line of the opening delimiter.
+    pub open_line: usize,
+    /// 0-based line of the closing delimiter (last consumed line when
+    /// the group never closed).
+    pub close_line: usize,
+    /// False when the input ended (or an outer close intervened) before
+    /// this group's closing delimiter. `flatten` then emits no closer,
+    /// preserving the round-trip.
+    pub closed: bool,
+    pub children: Vec<Node>,
+}
+
+/// One node of the token tree.
+#[derive(Clone, Debug)]
+pub enum Node {
+    Leaf(RawTok),
+    Group(Group),
+}
+
+impl Node {
+    /// The 0-based line this node starts on.
+    pub fn line(&self) -> usize {
+        match self {
+            Node::Leaf(t) => t.line,
+            Node::Group(g) => g.open_line,
+        }
+    }
+}
+
+fn ident_start(c: char) -> bool {
+    c.is_alphabetic() || c == '_'
+}
+
+fn ident_cont(c: char) -> bool {
+    c.is_alphanumeric() || c == '_'
+}
+
+/// Tokenizes the blanked code channel of a scanned file. String and
+/// char literals arrive from `scan` with their interiors removed but
+/// delimiters intact; a multi-line string contributes its opening `"`
+/// on one line and its closing `"` on a later line, which this pass
+/// pairs back into a single [`Tok::Str`].
+pub fn tokenize(s: &Scanned) -> Vec<RawTok> {
+    let mut out = Vec::new();
+    let mut in_str: Option<usize> = None; // line the open quote was on
+    for (li, line) in s.code.iter().enumerate() {
+        let chars: Vec<char> = line.chars().collect();
+        let mut i = 0usize;
+        while i < chars.len() {
+            let c = chars[i];
+            if let Some(open_line) = in_str {
+                if c == '"' {
+                    out.push(RawTok {
+                        tok: Tok::Str,
+                        line: open_line,
+                    });
+                    in_str = None;
+                }
+                i += 1;
+                continue;
+            }
+            if c.is_whitespace() {
+                i += 1;
+            } else if c == '"' {
+                in_str = Some(li);
+                i += 1;
+            } else if c == '\'' {
+                let next = chars.get(i + 1).copied();
+                if next == Some('\'') {
+                    out.push(RawTok {
+                        tok: Tok::Ch,
+                        line: li,
+                    });
+                    i += 2;
+                } else if next.is_some_and(ident_start) {
+                    let mut j = i + 1;
+                    while chars.get(j).copied().is_some_and(ident_cont) {
+                        j += 1;
+                    }
+                    out.push(RawTok {
+                        tok: Tok::Lifetime(chars[i + 1..j].iter().collect()),
+                        line: li,
+                    });
+                    i = j;
+                } else {
+                    // Stray quote (soup input): keep it as punctuation
+                    // so the round-trip stays exact.
+                    out.push(RawTok {
+                        tok: Tok::Punct('\''),
+                        line: li,
+                    });
+                    i += 1;
+                }
+            } else if ident_start(c) {
+                let mut j = i + 1;
+                while chars.get(j).copied().is_some_and(ident_cont) {
+                    j += 1;
+                }
+                out.push(RawTok {
+                    tok: Tok::Ident(chars[i..j].iter().collect()),
+                    line: li,
+                });
+                i = j;
+            } else if c.is_ascii_digit() {
+                let mut j = i + 1;
+                loop {
+                    let k = chars.get(j).copied();
+                    if k.is_some_and(ident_cont) {
+                        j += 1;
+                    } else if k == Some('.')
+                        && chars
+                            .get(j + 1)
+                            .copied()
+                            .is_some_and(|d| d.is_ascii_digit())
+                    {
+                        // `1.5` continues the literal; `0..n` does not.
+                        j += 1;
+                    } else {
+                        break;
+                    }
+                }
+                out.push(RawTok {
+                    tok: Tok::Num(chars[i..j].iter().collect()),
+                    line: li,
+                });
+                i = j;
+            } else if let Some(d) = Delim::of_open(c) {
+                out.push(RawTok {
+                    tok: Tok::Open(d),
+                    line: li,
+                });
+                i += 1;
+            } else if let Some(d) = Delim::of_close(c) {
+                out.push(RawTok {
+                    tok: Tok::Close(d),
+                    line: li,
+                });
+                i += 1;
+            } else {
+                out.push(RawTok {
+                    tok: Tok::Punct(c),
+                    line: li,
+                });
+                i += 1;
+            }
+        }
+    }
+    out
+}
+
+fn attach(stack: &mut [Group], root: &mut Vec<Node>, node: Node) {
+    match stack.last_mut() {
+        Some(g) => g.children.push(node),
+        None => root.push(node),
+    }
+}
+
+/// Folds a flat token stream into a delimiter tree. Total on any input:
+/// an orphan closer becomes a leaf, an unclosed group is folded in with
+/// `closed == false`, and a mismatched closer first folds the unmatched
+/// inner groups as unclosed.
+pub fn build(toks: &[RawTok]) -> Vec<Node> {
+    let mut root: Vec<Node> = Vec::new();
+    let mut stack: Vec<Group> = Vec::new();
+    let mut last_line = 0usize;
+    for t in toks {
+        last_line = t.line;
+        match t.tok {
+            Tok::Open(d) => stack.push(Group {
+                delim: d,
+                open_line: t.line,
+                close_line: t.line,
+                closed: false,
+                children: Vec::new(),
+            }),
+            Tok::Close(d) => {
+                if stack.iter().any(|g| g.delim == d) {
+                    while let Some(mut g) = stack.pop() {
+                        if g.delim == d {
+                            g.closed = true;
+                            g.close_line = t.line;
+                            attach(&mut stack, &mut root, Node::Group(g));
+                            break;
+                        }
+                        // Unmatched inner group: fold it, unclosed.
+                        g.close_line = t.line;
+                        attach(&mut stack, &mut root, Node::Group(g));
+                    }
+                } else {
+                    attach(&mut stack, &mut root, Node::Leaf(t.clone()));
+                }
+            }
+            _ => attach(&mut stack, &mut root, Node::Leaf(t.clone())),
+        }
+    }
+    while let Some(mut g) = stack.pop() {
+        g.close_line = last_line;
+        attach(&mut stack, &mut root, Node::Group(g));
+    }
+    root
+}
+
+/// Inverse of [`build`]: reproduces the exact token stream the tree was
+/// built from (unclosed groups contribute no closing token, orphan
+/// closers were kept as leaves).
+pub fn flatten(nodes: &[Node], out: &mut Vec<RawTok>) {
+    for n in nodes {
+        match n {
+            Node::Leaf(t) => out.push(t.clone()),
+            Node::Group(g) => {
+                out.push(RawTok {
+                    tok: Tok::Open(g.delim),
+                    line: g.open_line,
+                });
+                flatten(&g.children, out);
+                if g.closed {
+                    out.push(RawTok {
+                        tok: Tok::Close(g.delim),
+                        line: g.close_line,
+                    });
+                }
+            }
+        }
+    }
+}
+
+/// Checks the structural invariant `build` promises: every `closed`
+/// group's children are themselves well-formed, and no `Close` leaf has
+/// a matching open anywhere above it (it must be a genuine orphan).
+pub fn well_formed(nodes: &[Node]) -> bool {
+    nodes.iter().all(|n| match n {
+        Node::Leaf(_) => true,
+        Node::Group(g) => g.open_line <= g.close_line && well_formed(&g.children),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scan::scan;
+
+    fn parse(text: &str) -> Vec<Node> {
+        build(&tokenize(&scan(text)))
+    }
+
+    fn round_trips(text: &str) {
+        let toks = tokenize(&scan(text));
+        let tree = build(&toks);
+        let mut flat = Vec::new();
+        flatten(&tree, &mut flat);
+        assert_eq!(flat, toks, "round-trip failed for {text:?}");
+        assert!(well_formed(&tree));
+    }
+
+    #[test]
+    fn balanced_code_builds_nested_groups() {
+        let tree = parse("fn f(a: usize) -> [u8; 2] { g(a)[0] }");
+        // Top level: fn, f, (…), -, >, […], {…}
+        let groups: Vec<_> = tree
+            .iter()
+            .filter_map(|n| match n {
+                Node::Group(g) => Some(g.delim),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(groups, vec![Delim::Paren, Delim::Bracket, Delim::Brace]);
+        round_trips("fn f(a: usize) -> [u8; 2] { g(a)[0] }");
+    }
+
+    #[test]
+    fn strings_chars_lifetimes_tokenize() {
+        let toks = tokenize(&scan("let s = \"x[\"; let c = 'y'; let l: &'a str;"));
+        assert!(toks.iter().any(|t| t.tok == Tok::Str));
+        assert!(toks.iter().any(|t| t.tok == Tok::Ch));
+        assert!(toks.iter().any(|t| t.tok == Tok::Lifetime("a".to_string())));
+        // The `[` inside the string must not open a group.
+        assert!(!toks.iter().any(|t| t.tok == Tok::Open(Delim::Bracket)));
+    }
+
+    #[test]
+    fn multiline_string_is_one_token() {
+        let toks = tokenize(&scan("let s = \"line one\nline two\";\nlet t = 1;"));
+        let strs = toks.iter().filter(|t| t.tok == Tok::Str).count();
+        assert_eq!(strs, 1);
+    }
+
+    #[test]
+    fn soup_round_trips() {
+        for soup in [
+            "} orphan { unclosed ( mixed [ ) ",
+            "((((",
+            "]]]]",
+            "{ [ } ]",
+            "a ) b ( c",
+            "'",
+        ] {
+            round_trips(soup);
+        }
+    }
+
+    #[test]
+    fn numbers_do_not_eat_ranges() {
+        let toks = tokenize(&scan("for i in 0..10 { x[i] = 1.5e3; }"));
+        assert!(toks.iter().any(|t| t.tok == Tok::Num("0".to_string())));
+        assert!(toks.iter().any(|t| t.tok == Tok::Num("10".to_string())));
+        assert!(toks.iter().any(|t| t.tok == Tok::Num("1.5e3".to_string())));
+    }
+}

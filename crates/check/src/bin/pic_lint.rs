@@ -14,7 +14,15 @@ use std::process::ExitCode;
 fn main() -> ExitCode {
     // Resolve the workspace root: explicit argument, else walk up from
     // this crate's manifest (works under `cargo run`), else from cwd.
-    let arg = std::env::args().nth(1);
+    let mut json = false;
+    let mut arg: Option<String> = None;
+    for a in std::env::args().skip(1) {
+        if a == "--json" {
+            json = true;
+        } else {
+            arg = Some(a);
+        }
+    }
     let root = match &arg {
         Some(p) => Some(Path::new(p).to_path_buf()),
         None => {
@@ -39,6 +47,14 @@ fn main() -> ExitCode {
         }
     };
 
+    if json {
+        println!("{}", pic_check::diagnostics_json("pic-lint", &diags));
+        return if diags.is_empty() {
+            ExitCode::SUCCESS
+        } else {
+            ExitCode::FAILURE
+        };
+    }
     if diags.is_empty() {
         println!("pic-lint: workspace clean");
         return ExitCode::SUCCESS;

@@ -32,6 +32,7 @@
 
 #![forbid(unsafe_code)]
 
+pub mod analyze;
 pub mod scan;
 
 use scan::{scan, word_hits, Scanned};
@@ -78,17 +79,79 @@ const INSTANT_ALLOW: &[(&str, &str)] = &[
 /// at the f64 boundary by design.
 const PRECISION_SCOPE: &[&str] = &["crates/core/src/", "crates/particles/src/"];
 
-/// One lint finding.
+/// One finding, shared by `pic-lint` and `pic-analyze`.
 #[derive(Clone, Debug, Eq, PartialEq)]
 pub struct Diagnostic {
     /// Workspace-relative path with forward slashes.
     pub path: String,
     /// 1-based line number.
     pub line: usize,
-    /// Stable rule name (usable in `// lint: allow(<rule>): …`).
+    /// Stable rule name (usable in `// lint: allow(<rule>): …` /
+    /// `// analyze: allow(<rule>): …`).
     pub rule: &'static str,
     /// Human-readable explanation.
     pub message: String,
+    /// Optional fix hint, rendered on its own line and in `--json`.
+    pub hint: Option<String>,
+}
+
+impl Diagnostic {
+    /// A diagnostic with no fix hint (the common case in `pic-lint`).
+    pub fn new(path: String, line: usize, rule: &'static str, message: String) -> Diagnostic {
+        Diagnostic {
+            path,
+            line,
+            rule,
+            message,
+            hint: None,
+        }
+    }
+
+    /// Serializes to a single JSON object (hand-rolled: the workspace
+    /// builds offline with no serde).
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{");
+        out.push_str(&format!("\"path\":{}", json_str(&self.path)));
+        out.push_str(&format!(",\"line\":{}", self.line));
+        out.push_str(&format!(",\"rule\":{}", json_str(self.rule)));
+        out.push_str(&format!(",\"message\":{}", json_str(&self.message)));
+        if let Some(h) = &self.hint {
+            out.push_str(&format!(",\"hint\":{}", json_str(h)));
+        }
+        out.push('}');
+        out
+    }
+}
+
+/// JSON string literal with the escapes the wire needs.
+fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+/// Renders a diagnostic list as one JSON document:
+/// `{"tool":…,"count":N,"diagnostics":[…]}`.
+pub fn diagnostics_json(tool: &str, diags: &[Diagnostic]) -> String {
+    let body: Vec<String> = diags.iter().map(Diagnostic::to_json).collect();
+    format!(
+        "{{\"tool\":{},\"count\":{},\"diagnostics\":[{}]}}",
+        json_str(tool),
+        diags.len(),
+        body.join(",")
+    )
 }
 
 impl fmt::Display for Diagnostic {
@@ -97,7 +160,11 @@ impl fmt::Display for Diagnostic {
             f,
             "{}:{}: [{}] {}",
             self.path, self.line, self.rule, self.message
-        )
+        )?;
+        if let Some(h) = &self.hint {
+            write!(f, "\n    hint: {h}")?;
+        }
+        Ok(())
     }
 }
 
@@ -118,7 +185,12 @@ fn allowlisted(list: &[(&str, &str)], path: &str) -> bool {
 }
 
 /// Line spans (0-based, inclusive) of `#[cfg(test)]` / `#[test]` items,
-/// found by brace matching on blanked code.
+/// found by brace matching on blanked code. Shared with the `analyze`
+/// passes, which skip test regions for most rules.
+pub fn test_item_regions(s: &Scanned) -> Vec<(usize, usize)> {
+    test_regions(s)
+}
+
 fn test_regions(s: &Scanned) -> Vec<(usize, usize)> {
     let mut out = Vec::new();
     for (i, line) in s.code.iter().enumerate() {
@@ -229,11 +301,8 @@ pub fn lint_source(path: &str, text: &str) -> Vec<Diagnostic> {
     let s = scan(text);
     let mut out = Vec::new();
     let tests = test_regions(&s);
-    let diag = |line: usize, rule: &'static str, message: String| Diagnostic {
-        path: path.to_string(),
-        line: line + 1,
-        rule,
-        message,
+    let diag = |line: usize, rule: &'static str, message: String| {
+        Diagnostic::new(path.to_string(), line + 1, rule, message)
     };
 
     // unsafe-outside-allowlist — applies everywhere, no inline escape.

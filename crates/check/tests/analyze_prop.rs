@@ -1,0 +1,102 @@
+//! Property tests for the token-tree builder: on arbitrary delimiter /
+//! string / comment soup, `build` must be total (never panic), its
+//! output well-formed, and `flatten` must reproduce the exact token
+//! stream it was built from.
+
+use pic_check::analyze::tree::{build, flatten, tokenize, well_formed};
+use pic_check::scan::scan;
+use proptest::prelude::*;
+
+/// The alphabet the generator draws from — heavy on the constructs the
+/// scanner and tree-builder special-case.
+const PIECES: [&str; 24] = [
+    "(",
+    ")",
+    "[",
+    "]",
+    "{",
+    "}",
+    "\"",
+    "'",
+    "'a",
+    "''",
+    "ident",
+    "x7",
+    "_",
+    "0.5",
+    "10",
+    "0..10",
+    "..",
+    ";",
+    ",",
+    "::",
+    "// comment",
+    "/* block",
+    "*/",
+    "\n",
+];
+
+fn assemble(indices: &[usize]) -> String {
+    let mut out = String::new();
+    for &i in indices {
+        out.push_str(PIECES[i % PIECES.len()]);
+        out.push(' ');
+    }
+    out
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    /// Any soup tokenizes and builds without panicking, the tree is
+    /// well-formed, and flattening reproduces the token stream exactly.
+    #[test]
+    fn soup_round_trips(indices in prop::collection::vec(0usize..PIECES.len(), 0..48)) {
+        let text = assemble(&indices);
+        let toks = tokenize(&scan(&text));
+        let tree = build(&toks);
+        prop_assert!(well_formed(&tree));
+        let mut flat = Vec::new();
+        flatten(&tree, &mut flat);
+        prop_assert_eq!(flat, toks);
+    }
+
+    /// Raw character soup (not just piece-level): the scanner and
+    /// tokenizer stay total on arbitrary short strings too.
+    #[test]
+    fn char_soup_never_panics(bytes in prop::collection::vec(32u8..127, 0..64)) {
+        let text: String = bytes.iter().map(|&b| b as char).collect();
+        let toks = tokenize(&scan(&text));
+        let tree = build(&toks);
+        prop_assert!(well_formed(&tree));
+        let mut flat = Vec::new();
+        flatten(&tree, &mut flat);
+        prop_assert_eq!(flat, toks);
+    }
+
+    /// Balanced input stays balanced: wrapping any soup in one brace
+    /// pair yields a tree whose outermost group is closed.
+    #[test]
+    fn outer_braces_always_close(indices in prop::collection::vec(0usize..PIECES.len(), 0..32)) {
+        // Drop unbalanced-by-construction pieces for this property.
+        let body: String = indices
+            .iter()
+            .map(|&i| PIECES[i % PIECES.len()])
+            .filter(|p| {
+                !matches!(
+                    *p,
+                    "(" | ")" | "[" | "]" | "{" | "}" | "\"" | "'" | "// comment" | "/* block"
+                        | "*/"
+                )
+            })
+            .collect::<Vec<_>>()
+            .join(" ");
+        let text = format!("{{ {body} }}");
+        let tree = build(&tokenize(&scan(&text)));
+        let closed_outer = tree.iter().any(|n| match n {
+            pic_check::analyze::tree::Node::Group(g) => g.closed,
+            pic_check::analyze::tree::Node::Leaf(_) => false,
+        });
+        prop_assert!(closed_outer, "no closed outer group in {text:?}");
+    }
+}

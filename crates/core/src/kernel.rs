@@ -33,6 +33,8 @@ pub trait FieldSource<R: Real>: Send + Sync {
         time: R,
         out: &mut EbSlices<'_, R>,
     ) {
+        // bounds: the runtime slices xs/ys/zs and every EbSlices lane to the
+        // same chunk length, so `i < xs.len()` indexes all of them in range.
         for i in 0..xs.len() {
             let f = self.field(base + i, Vec3::new(xs[i], ys[i], zs[i]), time);
             out.ex[i] = f.e.x;
@@ -113,6 +115,9 @@ impl<R: Real> FieldSource<R> for PrecalculatedSource<'_, R> {
         out: &mut EbSlices<'_, R>,
     ) {
         let n = xs.len();
+        // bounds: the sweep hands out chunks of the same ensemble the
+        // precalculated table was built for, so `base + n` never exceeds
+        // the stored lane length.
         out.ex.copy_from_slice(&self.fields.exs()[base..base + n]);
         out.ey.copy_from_slice(&self.fields.eys()[base..base + n]);
         out.ez.copy_from_slice(&self.fields.ezs()[base..base + n]);

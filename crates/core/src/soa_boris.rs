@@ -52,15 +52,21 @@ impl<'b, R: Real> Block<'b, R> {
     /// blocks only).
     #[inline(always)]
     fn at(lanes: &'b mut SoaLanesMut<'_, R>, start: usize) -> Self {
+        // bounds: `run_lanes` only forms full blocks (`start + LANES <= len`),
+        // so every `col[start..]` slice holds at least LANES elements.
         #[inline(always)]
         fn arr<T>(col: &mut [T], start: usize) -> &mut [T; LANES] {
             match col[start..].first_chunk_mut::<LANES>() {
                 Some(a) => a,
+                // analyze: allow(purity-panic): cold branch — unreachable by
+                // the full-block invariant above, kept as a loud guard.
                 None => unreachable!("lane block out of bounds"),
             }
         }
         let species = match lanes.species[start..].first_chunk::<LANES>() {
             Some(a) => a,
+            // analyze: allow(purity-panic): cold branch — unreachable by the
+            // full-block invariant above, kept as a loud guard.
             None => unreachable!("lane block out of bounds"),
         };
         Block {
@@ -107,6 +113,8 @@ impl<'a, R: Real, F: FieldSource<R>> SoaBorisKernel<'a, R, F> {
     /// particles run the straight-line vectorizable loop; the
     /// `len % LANES` remainder runs the reference scalar path.
     pub fn run_lanes(&self, lanes: &mut SoaLanesMut<'_, R>) {
+        // bounds: all SoA columns share length `n` (checked at SoaLanesMut
+        // construction); both loops below index strictly below `n`.
         let n = lanes.x.len();
         let blocks = n / LANES;
         for b in 0..blocks {
@@ -145,6 +153,9 @@ impl<'a, R: Real, F: FieldSource<R>> SoaBorisKernel<'a, R, F> {
     /// vertical SIMD on targets with wide FMA.
     #[inline]
     fn lane_block(&self, lanes: &mut SoaLanesMut<'_, R>, start: usize) {
+        // bounds: every index in this fn is `[l]` with `l in 0..LANES` into
+        // `[R; LANES]` block-local arrays or the Block's LANES-sized column
+        // views — in range by construction.
         let base = lanes.base;
         let Block {
             x,

@@ -193,6 +193,8 @@ impl<R: Real> BatchSampler<R> for DipoleStandingWave<R> {
     fn sample_into(&self, xs: &[R], ys: &[R], zs: &[R], time: R, out: &mut EbSlices<'_, R>) {
         let two_a0 = R::TWO * self.amplitude;
         let (sin_t, cos_t) = (self.omega * time).sin_cos();
+        // bounds: the runtime slices xs/ys/zs and every EbSlices lane to the
+        // same chunk length, so `i < xs.len()` indexes all of them in range.
         for i in 0..xs.len() {
             let (x, y, z) = (xs[i], ys[i], zs[i]);
             let r2 = Vec3::new(x, y, z).norm2();

@@ -111,6 +111,8 @@ impl<R: Real> ScalarGrid<R> {
 
     #[inline(always)]
     fn wrap(&self, i: isize, axis: usize) -> usize {
+        // bounds: `axis` is a literal 0/1/2 at every call site; `dims` is
+        // `[usize; 3]`.
         let n = self.dims[axis] as isize;
         if self.periodic {
             (((i % n) + n) % n) as usize
@@ -122,6 +124,7 @@ impl<R: Real> ScalarGrid<R> {
     /// Linear index of node `(i, j, k)` (x-fastest).
     #[inline(always)]
     pub fn index(&self, i: usize, j: usize, k: usize) -> usize {
+        // bounds: `dims` is `[usize; 3]` indexed with literals only.
         debug_assert!(i < self.dims[0] && j < self.dims[1] && k < self.dims[2]);
         (k * self.dims[1] + j) * self.dims[0] + i
     }
@@ -133,6 +136,8 @@ impl<R: Real> ScalarGrid<R> {
     /// Panics if an index is out of range.
     #[inline(always)]
     pub fn get(&self, i: usize, j: usize, k: usize) -> R {
+        // bounds: in range whenever `(i, j, k) < dims` (debug-asserted in
+        // `index`); out-of-range is this accessor's documented panic.
         self.data[self.index(i, j, k)]
     }
 

@@ -93,6 +93,8 @@ impl<R: Real> PrecalculatedFields<R> {
     /// Panics if `i >= len()`.
     #[inline(always)]
     pub fn get(&self, i: usize) -> EB<R> {
+        // bounds: all six component columns share `len()`; `i >= len()` is
+        // this accessor's documented panic.
         EB {
             e: Vec3::new(self.ex[i], self.ey[i], self.ez[i]),
             b: Vec3::new(self.bx[i], self.by[i], self.bz[i]),

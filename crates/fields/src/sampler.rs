@@ -82,6 +82,8 @@ pub trait BatchSampler<R: Real>: FieldSampler<R> {
     /// Samples the field at `(xs[i], ys[i], zs[i], time)` for every `i`
     /// and writes the components into `out`.
     fn sample_into(&self, xs: &[R], ys: &[R], zs: &[R], time: R, out: &mut EbSlices<'_, R>) {
+        // bounds: the runtime slices xs/ys/zs and every EbSlices lane to the
+        // same chunk length, so `i < xs.len()` indexes all of them in range.
         for i in 0..xs.len() {
             let f = self.sample(Vec3::new(xs[i], ys[i], zs[i]), time);
             out.ex[i] = f.e.x;

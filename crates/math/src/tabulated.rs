@@ -75,6 +75,8 @@ impl<R: Real> RadialTable<R> {
         let base = s.floor().min(R::from_usize(table.len() - 2));
         let frac = (s - base).clamp(R::ZERO, R::ONE);
         let i = base.to_f64() as usize;
+        // bounds: `base` is clamped to `table.len() - 2` above, so both `i`
+        // and `i + 1` are in range.
         table[i] + (table[i + 1] - table[i]) * frac
     }
 

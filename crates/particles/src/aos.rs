@@ -150,6 +150,8 @@ impl<R: Real> ParticleAccess<R> for AosEnsemble<R> {
 
     #[inline(always)]
     fn view_mut(&mut self, i: usize) -> Self::ViewMut<'_> {
+        // bounds: sweeps iterate `i < len()`; an out-of-range view request
+        // is the documented panic of the ensemble accessors.
         &mut self.items[i]
     }
 
@@ -199,6 +201,8 @@ impl<'c, R: Real> ParticleAccess<R> for AosChunkMut<'c, R> {
 
     #[inline(always)]
     fn view_mut(&mut self, i: usize) -> Self::ViewMut<'_> {
+        // bounds: sweeps iterate `i < len()`; an out-of-range view request
+        // is the documented panic of the ensemble accessors.
         &mut self.items[i]
     }
 

@@ -122,6 +122,8 @@ impl<R: Real> SpeciesTable<R> {
     /// Panics if `id` was not issued by this table.
     #[inline]
     pub fn get(&self, id: SpeciesId) -> &Species<R> {
+        // bounds: `SpeciesId`s are only issued by `register`, which returns
+        // the index it pushed; a foreign id is this fn's documented panic.
         &self.entries[id.0 as usize]
     }
 

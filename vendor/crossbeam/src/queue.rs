@@ -131,15 +131,16 @@ impl<T> SegQueue<T> {
             // SAFETY: segments are only freed in Drop (&mut self), so a
             // pointer loaded from tail stays valid for this whole call.
             let seg = unsafe { &*tail };
-            // ordering: Relaxed suffices for the reservation ticket —
-            // publication of the value is ordered by the slot-state
-            // Release store below, not by the counter.
-            let i = seg.reserve.fetch_add(1, Ordering::Relaxed);
+            // ordering: Release — pop's empty-vs-pending check
+            // Acquire-loads `reserve` and must observe a reservation made
+            // before it saw the slot EMPTY; value publication itself is
+            // still ordered by the slot-state Release/Acquire pair below.
+            let i = seg.reserve.fetch_add(1, Ordering::Release);
             if i < SEG {
                 // SAFETY: the fetch_add above made index i ours alone;
                 // no other thread reads the slot until state != EMPTY.
                 unsafe { (*seg.slots[i].value.get()).write(value) };
-                // ordering: Release publishes the value write above to
+                // ordering: Release — publishes the value write above to
                 // the popper that Acquire-loads state == WRITTEN.
                 seg.slots[i].state.store(WRITTEN, Ordering::Release);
                 return;
@@ -202,8 +203,8 @@ impl<T> SegQueue<T> {
                     .compare_exchange(head, next, Ordering::AcqRel, Ordering::Acquire);
                 continue;
             }
-            // ordering: Acquire pairs with the pusher's Release store of
-            // WRITTEN, making the value write visible before we read it.
+            // ordering: Acquire — pairs with the pusher's Release store
+            // of WRITTEN, making the value write visible before we read.
             let st = seg.slots[c].state.load(Ordering::Acquire);
             if st == READ {
                 // Stale `consume` snapshot — another popper already took
@@ -211,8 +212,9 @@ impl<T> SegQueue<T> {
                 continue;
             }
             if st == EMPTY {
-                // ordering: Acquire so a reservation made before our
-                // consume load is not missed (false "empty").
+                // ordering: Acquire — pairs with the pusher's Release
+                // `fetch_add` on `reserve`, so a reservation made before
+                // our consume load is not missed (false "empty").
                 let r = seg.reserve.load(Ordering::Acquire);
                 if c >= r {
                     // No push has even reserved slot c: queue is empty.
@@ -234,7 +236,7 @@ impl<T> SegQueue<T> {
                 // read ownership of that slot; state was WRITTEN, so the
                 // value is fully initialized and visible (Acquire above).
                 let v = unsafe { (*seg.slots[c].value.get()).assume_init_read() };
-                // ordering: Release so Drop (or debug inspection) that
+                // ordering: Release — so Drop (or debug inspection) that
                 // Acquire-reads READ knows the value has been moved out.
                 seg.slots[c].state.store(READ, Ordering::Release);
                 return Some(v);
