@@ -16,14 +16,21 @@
 //! / `PIC_BENCH_STEPS` / `PIC_BENCH_ITERS`. Feed two such files to the
 //! `regress` binary to gate performance changes.
 //!
+//! `--device <name>` (`p630`, `iris-xe-max`) additionally runs the
+//! Table 3 cells through the device execution backend and appends
+//! records carrying the `device` dimension — feed the file to the
+//! `table3_gate` binary to assert the paper's AoS/SoA coalescing gap
+//! and JIT warm-up shape.
+//!
 //! The measured companions live in the bench targets (`cargo bench`).
 
 use pic_bench::{
-    bench_record, fmt_cell, measure_nsps_variant, print_banner, BenchConfig, KernelVariant, Table,
+    bench_record, device_record, fmt_cell, measure_device_nsps, measure_nsps_variant, print_banner,
+    BenchConfig, KernelVariant, Table,
 };
 use pic_particles::Layout;
 use pic_perfmodel::{CpuModel, GpuModel, Parallelization, Precision, Scenario};
-use pic_runtime::{Schedule, Topology};
+use pic_runtime::{ExecTarget, Schedule, Topology};
 use std::process::ExitCode;
 
 fn table2() {
@@ -121,7 +128,7 @@ fn warmup() {
 /// adds scalar and gather/scatter baseline runs on the SoA cells so the
 /// `kernel_variant` field distinguishes implementations, and writes
 /// `BENCH_<label>.json`.
-fn emit_metrics(label: &str) -> std::io::Result<std::path::PathBuf> {
+fn emit_metrics(label: &str, device: ExecTarget) -> std::io::Result<std::path::PathBuf> {
     let cfg = BenchConfig::from_env();
     let threads = std::thread::available_parallelism()
         .map_or(2, |n| n.get())
@@ -184,6 +191,31 @@ fn emit_metrics(label: &str) -> std::io::Result<std::path::PathBuf> {
             measure_one(Layout::Soa, scenario, Schedule::dynamic(), variant);
         }
     }
+    // Device-backend lane: the Table 3 cells for the selected device
+    // (both layouts × both scenarios, single precision), each from a
+    // cold executor so the first launch pays the JIT factor. These
+    // records carry the additive `device` dimension the Table 3 gate
+    // consumes.
+    if !device.is_host() {
+        for layout in [Layout::Aos, Layout::Soa] {
+            for scenario in Scenario::all() {
+                let run = measure_device_nsps::<f32>(layout, scenario, &cfg, device);
+                let rec =
+                    device_record(label, layout, scenario, Precision::F32, device, &cfg, &run);
+                println!(
+                    "  {:<4} {:<20} {:<10} {:<8} steady {:8.2} ns  warmup {:8.2} ns  device {}",
+                    rec.layout,
+                    rec.scenario,
+                    rec.schedule,
+                    rec.kernel_variant,
+                    rec.steady_nsps,
+                    rec.warmup_nsps,
+                    rec.device,
+                );
+                records.push(rec);
+            }
+        }
+    }
     let path = std::path::PathBuf::from(format!("BENCH_{label}.json"));
     pic_telemetry::write_records(&path, &records)?;
     Ok(path)
@@ -193,6 +225,7 @@ fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut emit = false;
     let mut label = String::from("host");
+    let mut device = ExecTarget::Host;
     let mut it = args.iter();
     while let Some(arg) = it.next() {
         match arg.as_str() {
@@ -204,9 +237,23 @@ fn main() -> ExitCode {
                     return ExitCode::from(2);
                 }
             },
+            "--device" => match it.next().map(|d| ExecTarget::parse(d)) {
+                Some(Some(t)) => device = t,
+                Some(None) => {
+                    eprintln!(
+                        "unknown device (expected one of: {})",
+                        ExecTarget::all().map(|t| t.name()).join(", ")
+                    );
+                    return ExitCode::from(2);
+                }
+                None => {
+                    eprintln!("--device requires a name");
+                    return ExitCode::from(2);
+                }
+            },
             other => {
                 eprintln!("unknown argument '{other}'");
-                eprintln!("usage: reproduce [--emit-metrics] [--label <name>]");
+                eprintln!("usage: reproduce [--emit-metrics] [--label <name>] [--device <name>]");
                 return ExitCode::from(2);
             }
         }
@@ -228,7 +275,7 @@ fn main() -> ExitCode {
     println!("Measured companions: cargo bench -p pic-bench (see EXPERIMENTS.md).");
 
     if emit {
-        match emit_metrics(&label) {
+        match emit_metrics(&label, device) {
             Ok(path) => println!("Telemetry written to {}.", path.display()),
             Err(e) => {
                 eprintln!("failed to write metrics: {e}");

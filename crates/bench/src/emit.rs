@@ -99,6 +99,9 @@ pub fn bench_record(
         resumed_from_step: 0,
         shards: 0,
         shard_id: 0,
+        // Host-harness records have no device dimension; the device
+        // backend's records are built by `crate::device_record`.
+        device: String::new(),
     }
 }
 

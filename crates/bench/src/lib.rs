@@ -28,12 +28,17 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod device_run;
 pub mod emit;
 pub mod measure;
 pub mod run;
 pub mod scenario;
 pub mod table;
 
+pub use device_run::{
+    device_record, gpu_model_of, measure_device_nsps, precision_of, run_device_steps,
+    DeviceMeasuredRun, DeviceRun,
+};
 pub use emit::{bench_record, parallelization_of};
 pub use measure::{measure_nsps, measure_nsps_variant, MeasuredRun};
 pub use run::{merge_thread_stats, run_mdipole_steps, KernelVariant, MdipoleRun, MdipoleScenario};

@@ -166,6 +166,29 @@ fn make_scratch() -> Vec<f64> {
         )],
     ),
     (
+        "allocation-behind-device-kernel-entry",
+        "purity-alloc",
+        &[(
+            "crates/demo/src/exec.rs",
+            r#"
+pub struct DeviceExecutor;
+
+impl DeviceExecutor {
+    pub fn execute_chunk(&self, out: &mut [f64]) {
+        let staged = stage(out.len());
+        for (o, s) in out.iter_mut().zip(staged.iter()) {
+            *o += *s;
+        }
+    }
+}
+
+fn stage(n: usize) -> Vec<f64> {
+    Vec::with_capacity(n)
+}
+"#,
+        )],
+    ),
+    (
         "lock-inside-pusher",
         "purity-lock",
         &[(

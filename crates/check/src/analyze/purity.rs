@@ -3,6 +3,8 @@
 //! From the fast-path root set —
 //!
 //! * `SoaBorisKernel::apply_chunk` (the zero-gather SoA kernel),
+//! * `DeviceExecutor::execute_chunk` (the device backend's kernel
+//!   entry — what a `parallel_for` body would compile from),
 //! * every `Pusher::push` impl (the scalar pushers),
 //! * every `BatchSampler::sample_into` (batched field sampling,
 //!   including the trait's default body),
@@ -86,6 +88,7 @@ pub fn roots(idx: &Index) -> Vec<usize> {
                 return false;
             }
             (f.name == "apply_chunk" && f.impl_type.as_deref() == Some("SoaBorisKernel"))
+                || (f.name == "execute_chunk" && f.impl_type.as_deref() == Some("DeviceExecutor"))
                 || (f.name == "push" && f.impl_trait.as_deref() == Some("Pusher"))
                 || (f.name == "sample_into" && f.impl_trait.as_deref() == Some("BatchSampler"))
                 || (f.name == "field_block" && f.impl_trait.as_deref() == Some("FieldSource"))

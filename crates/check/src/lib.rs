@@ -63,8 +63,9 @@ const INSTANT_ALLOW: &[(&str, &str)] = &[
         "per-chunk kernel timing, compiled only under the `telemetry` feature",
     ),
     (
-        "crates/device/src/queue.rs",
-        "host-side wall time feeding the modeled-GPU event timeline",
+        "crates/device/src/clock.rs",
+        "the device layer's single clock read point; queue and executor \
+         wall time feeding the modeled-GPU event timeline goes through it",
     ),
     (
         "crates/serve/src/clock.rs",

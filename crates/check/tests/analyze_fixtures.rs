@@ -43,8 +43,9 @@ fn every_seeded_fixture_is_caught() {
         "analyzer is blind to seeded fixture(s): {}",
         missed.join(", ")
     );
-    // One fixture per rule, and every rule family is represented.
-    assert_eq!(results.len(), 12);
+    // Every rule family is represented (purity-alloc has two fixtures:
+    // the host kernel root and the device executor root).
+    assert_eq!(results.len(), 13);
     for family in ["atomics-", "purity-", "lock-order-"] {
         assert!(
             results.iter().any(|(_, rule, _)| rule.starts_with(family)),

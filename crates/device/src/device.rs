@@ -1,7 +1,7 @@
 //! Execution targets.
 
 use pic_perfmodel::GpuModel;
-use pic_runtime::{Schedule, Topology};
+use pic_runtime::{ExecTarget, Schedule, Topology};
 
 /// How a device executes kernels.
 #[derive(Clone, Debug)]
@@ -104,18 +104,29 @@ impl Device {
         ]
     }
 
-    /// Selects a device by name: `"host"`, `"p630"` or `"iris"`
-    /// (case-insensitive). The analogue of SYCL's selector mechanism.
+    /// Selects a device by name: `"host"`, `"p630"` or `"iris"` /
+    /// `"iris-xe-max"` (case-insensitive, same vocabulary as
+    /// [`pic_runtime::ExecTarget::parse`]). The analogue of SYCL's
+    /// selector mechanism.
     ///
     /// # Errors
     ///
     /// Returns the unrecognized name as `Err` so callers can report it.
     pub fn select(name: &str) -> Result<Device, String> {
-        match name.to_ascii_lowercase().as_str() {
-            "host" | "cpu" => Ok(Device::host_default()),
-            "p630" => Ok(Device::p630()),
-            "iris" | "iris_xe_max" => Ok(Device::iris_xe_max()),
-            other => Err(other.to_string()),
+        match ExecTarget::parse(name) {
+            Some(t) => Ok(Device::from_target(t)),
+            None => Err(name.to_ascii_lowercase()),
+        }
+    }
+
+    /// The device for a [`pic_runtime::ExecTarget`] — the bridge from
+    /// the runtime-level target vocabulary (which the bench harness and
+    /// the job service speak) to an executable device.
+    pub fn from_target(target: ExecTarget) -> Device {
+        match target {
+            ExecTarget::Host => Device::host_default(),
+            ExecTarget::P630 => Device::p630(),
+            ExecTarget::IrisXeMax => Device::iris_xe_max(),
         }
     }
 
@@ -160,8 +171,19 @@ mod tests {
     fn select_by_name() {
         assert_eq!(Device::select("P630").unwrap().name(), "P630");
         assert_eq!(Device::select("iris").unwrap().name(), "Iris Xe Max");
+        assert_eq!(Device::select("iris-xe-max").unwrap().name(), "Iris Xe Max");
         assert!(!Device::select("host").unwrap().is_gpu());
         assert_eq!(Device::select("fpga").unwrap_err(), "fpga");
+    }
+
+    #[test]
+    fn from_target_covers_every_exec_target() {
+        assert!(!Device::from_target(ExecTarget::Host).is_gpu());
+        assert_eq!(Device::from_target(ExecTarget::P630).name(), "P630");
+        assert_eq!(
+            Device::from_target(ExecTarget::IrisXeMax).name(),
+            "Iris Xe Max"
+        );
     }
 
     #[test]

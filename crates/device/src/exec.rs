@@ -1,0 +1,620 @@
+//! The device execution backend: USM staging, launch recording, and
+//! roofline-timed execution of the SoA fast path (ROADMAP item 2).
+//!
+//! [`DeviceExecutor`] is the subsystem that routes the real benchmark
+//! kernels — `SoaBorisKernel::apply_chunk`, and through its analytical
+//! field source `BatchSampler::sample_into` — behind the device
+//! abstractions this crate already had:
+//!
+//! 1. particle columns and precalculated field blocks are **staged**
+//!    through [`UsmBuffer`]s (shared allocations on GPUs, host
+//!    allocations on the CPU), with every byte accounted in a
+//!    [`UsmLedger`];
+//! 2. each kernel launch is **recorded** into a [`LaunchGraph`]
+//!    (validated topologically — a cyclic dependency is a hard error)
+//!    and an in-order [`TaskTimeline`];
+//! 3. execution is **functional**: the kernel runs on the host over the
+//!    staged columns, bitwise-identical to the host sweep, while the
+//!    reported time comes from the `pic-perfmodel` GPU roofline (EU
+//!    count, bandwidth, per-layout coalescing efficiency, JIT
+//!    first-launch penalty) — the hardware-substitution contract of
+//!    DESIGN.md §2.
+//!
+//! The staging round trip is bitwise-lossless by construction: columns
+//! are copied verbatim, the chunk view starts at global index 0 (so
+//! per-particle precalculated field tables stay aligned), and the SoA
+//! kernel is already proven bitwise-equal to the scalar reference.
+
+use crate::clock::Stopwatch;
+use crate::device::{Backend, Device};
+use crate::event::Event;
+use crate::graph::{LaunchGraph, NodeId, Ordering, TaskTimeline};
+use crate::queue::SweepProfile;
+use crate::usm::{AllocKind, UsmBuffer};
+use pic_boris::{FieldSource, SoaBorisKernel};
+use pic_fields::PrecalculatedFields;
+use pic_math::{Real, Vec3};
+use pic_particles::{Particle, ParticleAccess, ParticleKernel, SoaChunkMut, SpeciesId};
+use std::cell::Cell;
+use std::rc::Rc;
+
+/// USM allocation/free accounting for one executor: every staged buffer
+/// records its allocation here and its release on drop, so tests can
+/// assert the backend neither leaks nor double-frees device memory.
+#[derive(Debug, Default)]
+pub struct UsmLedger {
+    allocs: Cell<usize>,
+    frees: Cell<usize>,
+    live_bytes: Cell<usize>,
+    peak_bytes: Cell<usize>,
+}
+
+impl UsmLedger {
+    /// A fresh ledger with nothing allocated.
+    pub fn new() -> UsmLedger {
+        UsmLedger::default()
+    }
+
+    /// Records one allocation of `bytes`.
+    pub fn record_alloc(&self, bytes: usize) {
+        self.allocs.set(self.allocs.get() + 1);
+        let live = self.live_bytes.get() + bytes;
+        self.live_bytes.set(live);
+        self.peak_bytes.set(self.peak_bytes.get().max(live));
+    }
+
+    /// Records one free of `bytes`.
+    pub fn record_free(&self, bytes: usize) {
+        self.frees.set(self.frees.get() + 1);
+        self.live_bytes
+            .set(self.live_bytes.get().saturating_sub(bytes));
+    }
+
+    /// Allocations recorded so far.
+    pub fn allocs(&self) -> usize {
+        self.allocs.get()
+    }
+
+    /// Frees recorded so far.
+    pub fn frees(&self) -> usize {
+        self.frees.get()
+    }
+
+    /// Bytes currently allocated.
+    pub fn live_bytes(&self) -> usize {
+        self.live_bytes.get()
+    }
+
+    /// High-water mark of live bytes.
+    pub fn peak_bytes(&self) -> usize {
+        self.peak_bytes.get()
+    }
+
+    /// `true` when every allocation has been matched by a free and no
+    /// bytes remain live.
+    pub fn balanced(&self) -> bool {
+        self.allocs.get() == self.frees.get() && self.live_bytes.get() == 0
+    }
+}
+
+/// The particle columns of one ensemble, staged through USM buffers in
+/// SoA form. Works for *both* source layouts — staging reads through
+/// [`ParticleAccess::get`], so an AoS ensemble is transposed into
+/// columns on upload and transposed back on
+/// [`write_back`](Self::write_back) — which is exactly how the device
+/// backend gives the AoS layout its (coalescing-penalized) device path.
+#[derive(Debug)]
+pub struct StagedEnsemble<R> {
+    x: UsmBuffer<R>,
+    y: UsmBuffer<R>,
+    z: UsmBuffer<R>,
+    px: UsmBuffer<R>,
+    py: UsmBuffer<R>,
+    pz: UsmBuffer<R>,
+    weight: UsmBuffer<R>,
+    gamma: UsmBuffer<R>,
+    species: UsmBuffer<SpeciesId>,
+    bytes: usize,
+    ledger: Rc<UsmLedger>,
+}
+
+impl<R: Real> StagedEnsemble<R> {
+    /// Number of staged particles.
+    pub fn len(&self) -> usize {
+        self.x.len()
+    }
+
+    /// `true` when no particles are staged.
+    pub fn is_empty(&self) -> bool {
+        self.x.is_empty()
+    }
+
+    /// Total host↔device migrations across the nine component buffers
+    /// (shared allocations only).
+    pub fn migrations(&self) -> usize {
+        self.x.migrations()
+            + self.y.migrations()
+            + self.z.migrations()
+            + self.px.migrations()
+            + self.py.migrations()
+            + self.pz.migrations()
+            + self.weight.migrations()
+            + self.gamma.migrations()
+            + self.species.migrations()
+    }
+
+    /// A full-span chunk view over the staged columns (global base 0),
+    /// ready for [`DeviceExecutor::execute_chunk`]. Device-side access:
+    /// shared buffers migrate to the device on first touch.
+    pub fn chunk_mut(&mut self) -> SoaChunkMut<'_, R> {
+        SoaChunkMut::from_columns(
+            0,
+            self.x.device_mut(),
+            self.y.device_mut(),
+            self.z.device_mut(),
+            self.px.device_mut(),
+            self.py.device_mut(),
+            self.pz.device_mut(),
+            self.weight.device_mut(),
+            self.gamma.device_mut(),
+            self.species.device_mut(),
+        )
+    }
+
+    /// Copies the staged particles back into `store` (host-side access;
+    /// shared buffers migrate back). `store` must have the same length
+    /// the columns were staged from.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `store.len()` differs from the staged length.
+    pub fn write_back<A: ParticleAccess<R>>(&self, store: &mut A) {
+        assert_eq!(
+            store.len(),
+            self.len(),
+            "write_back: store length changed since staging"
+        );
+        let (x, y, z) = (self.x.host(), self.y.host(), self.z.host());
+        let (px, py, pz) = (self.px.host(), self.py.host(), self.pz.host());
+        let (weight, gamma) = (self.weight.host(), self.gamma.host());
+        let species = self.species.host();
+        for i in 0..store.len() {
+            // bounds: all nine columns share `len()`, asserted equal to
+            // `store.len()` above.
+            store.set(
+                i,
+                &Particle {
+                    position: Vec3::new(x[i], y[i], z[i]),
+                    momentum: Vec3::new(px[i], py[i], pz[i]),
+                    weight: weight[i],
+                    gamma: gamma[i],
+                    species: species[i],
+                },
+            );
+        }
+    }
+}
+
+impl<R> Drop for StagedEnsemble<R> {
+    fn drop(&mut self) {
+        self.ledger.record_free(self.bytes);
+    }
+}
+
+/// A precalculated field block staged through USM buffers, one buffer
+/// per component column.
+#[derive(Debug)]
+pub struct StagedFields<R> {
+    ex: UsmBuffer<R>,
+    ey: UsmBuffer<R>,
+    ez: UsmBuffer<R>,
+    bx: UsmBuffer<R>,
+    by: UsmBuffer<R>,
+    bz: UsmBuffer<R>,
+    bytes: usize,
+    ledger: Rc<UsmLedger>,
+}
+
+impl<R: Real> StagedFields<R> {
+    /// Number of staged field values (one per particle).
+    pub fn len(&self) -> usize {
+        self.ex.len()
+    }
+
+    /// `true` when no field values are staged.
+    pub fn is_empty(&self) -> bool {
+        self.ex.is_empty()
+    }
+
+    /// Rebuilds the field table from the staged columns. The copy is
+    /// bitwise-verbatim, so a kernel reading the rebuilt table samples
+    /// exactly the values that were staged.
+    pub fn fields(&self) -> PrecalculatedFields<R> {
+        PrecalculatedFields::from_columns(
+            self.ex.device().to_vec(),
+            self.ey.device().to_vec(),
+            self.ez.device().to_vec(),
+            self.bx.device().to_vec(),
+            self.by.device().to_vec(),
+            self.bz.device().to_vec(),
+        )
+    }
+}
+
+impl<R> Drop for StagedFields<R> {
+    fn drop(&mut self) {
+        self.ledger.record_free(self.bytes);
+    }
+}
+
+/// The device execution backend (see the module docs for the contract).
+///
+/// # Example
+///
+/// ```
+/// use pic_device::{Device, DeviceExecutor, SweepProfile};
+/// use pic_boris::{AnalyticalSource, SoaBorisKernel};
+/// use pic_fields::UniformFields;
+/// use pic_math::Vec3;
+/// use pic_particles::{Layout, Particle, SoaEnsemble, SpeciesTable};
+/// use pic_perfmodel::{Precision, Scenario};
+///
+/// let mut exec = DeviceExecutor::new(Device::p630());
+/// let mut ens: SoaEnsemble<f32> = (0..64).map(|_| Particle::default()).collect();
+/// let mut staged = exec.stage_ensemble(&ens);
+/// let field = UniformFields::magnetic(Vec3::new(0.0, 0.0, 1.0));
+/// let source = AnalyticalSource::new(field);
+/// let table = SpeciesTable::<f32>::with_standard_species();
+/// let kernel = SoaBorisKernel::new(&source, &table, 1e-12, 0.0);
+/// let profile = SweepProfile::new(Scenario::Analytical, Layout::Soa, Precision::F32);
+/// let e = exec.launch_boris(&mut staged, kernel, profile);
+/// assert!(e.first_launch && e.modeled_ns.is_some());
+/// staged.write_back(&mut ens);
+/// ```
+#[derive(Debug)]
+pub struct DeviceExecutor {
+    device: Device,
+    launches: usize,
+    timeline: TaskTimeline,
+    graph: LaunchGraph,
+    last_node: Option<NodeId>,
+    ledger: Rc<UsmLedger>,
+}
+
+impl DeviceExecutor {
+    /// A cold (un-JITted) executor bound to `device`, with an in-order
+    /// submission timeline — the queue shape the paper's port uses.
+    pub fn new(device: Device) -> DeviceExecutor {
+        DeviceExecutor {
+            device,
+            launches: 0,
+            timeline: TaskTimeline::new(Ordering::InOrder, 1),
+            graph: LaunchGraph::new(),
+            last_node: None,
+            ledger: Rc::new(UsmLedger::new()),
+        }
+    }
+
+    /// The bound device.
+    pub fn device(&self) -> &Device {
+        &self.device
+    }
+
+    /// Kernel launches so far (staging nodes not counted).
+    pub fn launches(&self) -> usize {
+        self.launches
+    }
+
+    /// The recorded launch dependency graph.
+    pub fn graph(&self) -> &LaunchGraph {
+        &self.graph
+    }
+
+    /// The modeled in-order execution timeline.
+    pub fn timeline(&self) -> &TaskTimeline {
+        &self.timeline
+    }
+
+    /// The USM allocation ledger shared with every staged buffer.
+    pub fn ledger(&self) -> &Rc<UsmLedger> {
+        &self.ledger
+    }
+
+    /// USM allocation kind for this device: shared (migrating)
+    /// allocations on GPUs, plain host allocations on the CPU.
+    pub fn alloc_kind(&self) -> AllocKind {
+        if self.device.is_gpu() {
+            AllocKind::Shared
+        } else {
+            AllocKind::Host
+        }
+    }
+
+    /// Records a non-kernel node (staging, write-back) into the graph,
+    /// chained in-order after the previous node.
+    fn record_node(&mut self, name: &str, duration_s: f64) -> NodeId {
+        let id = self.graph.add_node(name, duration_s);
+        if let Some(prev) = self.last_node {
+            self.graph.add_edge(prev, id);
+        }
+        self.last_node = Some(id);
+        id
+    }
+
+    /// Stages the particle columns of `store` through USM buffers
+    /// (ledger-accounted; recorded as a `stage` node in the graph).
+    pub fn stage_ensemble<R: Real, A: ParticleAccess<R>>(
+        &mut self,
+        store: &A,
+    ) -> StagedEnsemble<R> {
+        let kind = self.alloc_kind();
+        let n = store.len();
+        let mut x = Vec::with_capacity(n);
+        let mut y = Vec::with_capacity(n);
+        let mut z = Vec::with_capacity(n);
+        let mut px = Vec::with_capacity(n);
+        let mut py = Vec::with_capacity(n);
+        let mut pz = Vec::with_capacity(n);
+        let mut weight = Vec::with_capacity(n);
+        let mut gamma = Vec::with_capacity(n);
+        let mut species = Vec::with_capacity(n);
+        for i in 0..n {
+            let p = store.get(i);
+            x.push(p.position.x);
+            y.push(p.position.y);
+            z.push(p.position.z);
+            px.push(p.momentum.x);
+            py.push(p.momentum.y);
+            pz.push(p.momentum.z);
+            weight.push(p.weight);
+            gamma.push(p.gamma);
+            species.push(p.species);
+        }
+        let bytes = 8 * n * R::BYTES + n * std::mem::size_of::<SpeciesId>();
+        self.ledger.record_alloc(bytes);
+        self.record_node("stage-ensemble", 0.0);
+        StagedEnsemble {
+            x: UsmBuffer::from_vec(kind, x),
+            y: UsmBuffer::from_vec(kind, y),
+            z: UsmBuffer::from_vec(kind, z),
+            px: UsmBuffer::from_vec(kind, px),
+            py: UsmBuffer::from_vec(kind, py),
+            pz: UsmBuffer::from_vec(kind, pz),
+            weight: UsmBuffer::from_vec(kind, weight),
+            gamma: UsmBuffer::from_vec(kind, gamma),
+            species: UsmBuffer::from_vec(kind, species),
+            bytes,
+            ledger: Rc::clone(&self.ledger),
+        }
+    }
+
+    /// Stages a precalculated field block through USM buffers
+    /// (ledger-accounted; recorded as a `stage` node in the graph).
+    pub fn stage_fields<R: Real>(&mut self, pre: &PrecalculatedFields<R>) -> StagedFields<R> {
+        let kind = self.alloc_kind();
+        let bytes = pre.memory_bytes();
+        self.ledger.record_alloc(bytes);
+        self.record_node("stage-fields", 0.0);
+        StagedFields {
+            ex: UsmBuffer::from_vec(kind, pre.exs().to_vec()),
+            ey: UsmBuffer::from_vec(kind, pre.eys().to_vec()),
+            ez: UsmBuffer::from_vec(kind, pre.ezs().to_vec()),
+            bx: UsmBuffer::from_vec(kind, pre.bxs().to_vec()),
+            by: UsmBuffer::from_vec(kind, pre.bys().to_vec()),
+            bz: UsmBuffer::from_vec(kind, pre.bzs().to_vec()),
+            bytes,
+            ledger: Rc::clone(&self.ledger),
+        }
+    }
+
+    /// Launches one Boris sweep over the staged columns: functional
+    /// execution on the host (bitwise-identical to the host sweep),
+    /// timing from the GPU roofline model on GPU devices — with the
+    /// first launch of this executor paying the JIT factor (§5.3) —
+    /// and measured wall time on the host device.
+    pub fn launch_boris<R: Real, F: FieldSource<R>>(
+        &mut self,
+        staged: &mut StagedEnsemble<R>,
+        kernel: SoaBorisKernel<'_, R, F>,
+        profile: SweepProfile,
+    ) -> Event {
+        let n = staged.len();
+        let first_launch = self.launches == 0;
+        let watch = Stopwatch::start();
+        {
+            let mut kernel = kernel;
+            let mut chunk = staged.chunk_mut();
+            self.execute_chunk(&mut kernel, &mut chunk);
+        }
+        let modeled_ns = match self.device.backend() {
+            Backend::HostCpu { .. } => None,
+            Backend::SimulatedGpu { model } => {
+                let steady = model.nsps(profile.scenario, profile.layout, profile.precision);
+                let factor = if first_launch {
+                    model.cal.first_iteration_factor
+                } else {
+                    1.0
+                };
+                Some(steady * factor * n as f64)
+            }
+        };
+        self.launches += 1;
+        let event = Event {
+            device: self.device.name().to_string(),
+            wall: watch.elapsed(),
+            modeled_ns,
+            particles: n,
+            first_launch,
+        };
+        let seconds = event.time_ns() * 1e-9;
+        self.record_node("boris-push", seconds);
+        self.timeline.submit(seconds, &[]);
+        event
+    }
+
+    /// The hot path: functionally executes one staged chunk with the
+    /// SoA Boris kernel. This is a pic-analyze purity root — nothing
+    /// reachable from here may allocate, lock, or perform IO.
+    pub fn execute_chunk<R: Real, F: FieldSource<R>>(
+        &self,
+        kernel: &mut SoaBorisKernel<'_, R, F>,
+        chunk: &mut SoaChunkMut<'_, R>,
+    ) {
+        kernel.apply_chunk(chunk);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pic_boris::AnalyticalSource;
+    use pic_fields::UniformFields;
+    use pic_particles::{AosEnsemble, Layout, Particle, ParticleStore, SoaEnsemble, SpeciesTable};
+    use pic_perfmodel::{Precision, Scenario};
+
+    fn ensemble<S: ParticleStore<f32> + Default>(n: usize) -> S {
+        let mut s = S::default();
+        for i in 0..n {
+            s.push(Particle::at_rest(
+                Vec3::new(i as f32 * 1e-4, 0.0, 0.0),
+                1.0,
+                SpeciesId(0),
+            ));
+        }
+        s
+    }
+
+    fn profile() -> SweepProfile {
+        SweepProfile::new(Scenario::Analytical, Layout::Soa, Precision::F32)
+    }
+
+    #[test]
+    fn ledger_accounts_every_staged_buffer_and_balances_on_drop() {
+        let mut exec = DeviceExecutor::new(Device::p630());
+        let ens: SoaEnsemble<f32> = ensemble(100);
+        let pre = PrecalculatedFields::<f32>::zeros(100);
+        {
+            let staged = exec.stage_ensemble(&ens);
+            let fields = exec.stage_fields(&pre);
+            assert_eq!(exec.ledger().allocs(), 2);
+            assert_eq!(exec.ledger().frees(), 0);
+            // 8 f32 columns + 2-byte species, plus 6 f32 field columns.
+            assert_eq!(exec.ledger().live_bytes(), 100 * (8 * 4 + 2) + 100 * 6 * 4);
+            assert_eq!(staged.len(), 100);
+            assert_eq!(fields.len(), 100);
+        }
+        assert!(exec.ledger().balanced(), "drop must free every byte");
+        assert_eq!(exec.ledger().frees(), 2);
+        assert_eq!(exec.ledger().peak_bytes(), 100 * (8 * 4 + 2) + 100 * 6 * 4);
+    }
+
+    #[test]
+    fn staging_round_trips_both_layouts_bitwise() {
+        let mut exec = DeviceExecutor::new(Device::iris_xe_max());
+        let aos: AosEnsemble<f32> = ensemble(37);
+        let soa: SoaEnsemble<f32> = ensemble(37);
+        let staged_a = exec.stage_ensemble(&aos);
+        let staged_s = exec.stage_ensemble(&soa);
+        let mut back_a: AosEnsemble<f32> = ensemble(37);
+        let mut back_s: SoaEnsemble<f32> = ensemble(37);
+        staged_a.write_back(&mut back_a);
+        staged_s.write_back(&mut back_s);
+        for i in 0..37 {
+            assert_eq!(back_a.get(i), aos.get(i));
+            assert_eq!(back_s.get(i), soa.get(i));
+            assert_eq!(back_a.get(i), back_s.get(i));
+        }
+    }
+
+    #[test]
+    fn launches_chain_in_order_through_graph_and_timeline() {
+        let mut exec = DeviceExecutor::new(Device::p630());
+        let ens: SoaEnsemble<f32> = ensemble(64);
+        let mut staged = exec.stage_ensemble(&ens);
+        let field = UniformFields::magnetic(Vec3::new(0.0, 0.0, 1.0));
+        let source = AnalyticalSource::new(field);
+        let table = SpeciesTable::<f32>::with_standard_species();
+        let e1 = exec.launch_boris(
+            &mut staged,
+            SoaBorisKernel::new(&source, &table, 1e-12, 0.0),
+            profile(),
+        );
+        let e2 = exec.launch_boris(
+            &mut staged,
+            SoaBorisKernel::new(&source, &table, 1e-12, 0.0),
+            profile(),
+        );
+        assert!(e1.first_launch && !e2.first_launch);
+        // JIT factor: the cold launch is exactly 1.5x the steady one.
+        let ratio = e1.modeled_ns.unwrap() / e2.modeled_ns.unwrap();
+        assert!((ratio - 1.5).abs() < 1e-12, "ratio = {ratio}");
+        assert_eq!(exec.launches(), 2);
+        // Graph: stage + 2 kernels, in submission order, acyclic.
+        let order = exec
+            .graph()
+            .topo_order()
+            .expect("in-order graph is a chain");
+        assert_eq!(order.len(), 3);
+        assert_eq!(exec.graph().name(order[0]), "stage-ensemble");
+        assert_eq!(exec.graph().name(order[1]), "boris-push");
+        // Timeline holds both kernel launches, serialized.
+        assert_eq!(exec.timeline().len(), 2);
+        let expect = (e1.time_ns() + e2.time_ns()) * 1e-9;
+        assert!((exec.timeline().makespan() - expect).abs() < 1e-15);
+        // Critical path equals the timeline makespan (pure chain).
+        let cp = exec.graph().critical_path().expect("acyclic");
+        assert!((cp - expect).abs() < 1e-15);
+    }
+
+    #[test]
+    fn host_executor_measures_wall_time_instead_of_model() {
+        let mut exec = DeviceExecutor::new(Device::host_default());
+        let ens: SoaEnsemble<f32> = ensemble(32);
+        let mut staged = exec.stage_ensemble(&ens);
+        assert_eq!(exec.alloc_kind(), AllocKind::Host);
+        let field = UniformFields::magnetic(Vec3::new(0.0, 0.0, 1.0));
+        let source = AnalyticalSource::new(field);
+        let table = SpeciesTable::<f32>::with_standard_species();
+        let e = exec.launch_boris(
+            &mut staged,
+            SoaBorisKernel::new(&source, &table, 1e-12, 0.0),
+            profile(),
+        );
+        assert!(e.modeled_ns.is_none());
+        assert_eq!(e.particles, 32);
+    }
+
+    #[test]
+    fn shared_buffers_migrate_between_launch_and_write_back() {
+        let mut exec = DeviceExecutor::new(Device::p630());
+        let mut ens: SoaEnsemble<f32> = ensemble(16);
+        let mut staged = exec.stage_ensemble(&ens);
+        assert_eq!(exec.alloc_kind(), AllocKind::Shared);
+        let field = UniformFields::magnetic(Vec3::new(0.0, 0.0, 1.0));
+        let source = AnalyticalSource::new(field);
+        let table = SpeciesTable::<f32>::with_standard_species();
+        exec.launch_boris(
+            &mut staged,
+            SoaBorisKernel::new(&source, &table, 1e-12, 0.0),
+            profile(),
+        );
+        // Launch migrated all nine columns host -> device...
+        assert_eq!(staged.migrations(), 9);
+        staged.write_back(&mut ens);
+        // ...and write-back migrated them all back.
+        assert_eq!(staged.migrations(), 18);
+    }
+
+    #[test]
+    fn staged_fields_rebuild_bitwise() {
+        let mut exec = DeviceExecutor::new(Device::p630());
+        let mut pre = PrecalculatedFields::<f64>::zeros(5);
+        pre.set(
+            3,
+            pic_fields::EB::new(Vec3::new(1.0, 2.0, 3.0), Vec3::new(4.0, 5.0, 6.0)),
+        );
+        let staged = exec.stage_fields(&pre);
+        assert_eq!(staged.fields(), pre);
+        assert!(!staged.is_empty());
+    }
+}

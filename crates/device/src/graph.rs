@@ -125,6 +125,176 @@ impl TaskTimeline {
     }
 }
 
+/// Identifier of a node within a [`LaunchGraph`].
+#[derive(Clone, Copy, Debug, Eq, Hash, Ord, PartialEq, PartialOrd)]
+pub struct NodeId(usize);
+
+/// A dependency cycle found by [`LaunchGraph::topo_order`], naming the
+/// launches involved so the error message points at the bad submission.
+#[derive(Clone, Debug, Eq, PartialEq)]
+pub struct CycleError {
+    /// Names of the launches left unordered by the cycle (the strongly
+    /// connected remainder of the graph, in submission order).
+    pub involved: Vec<String>,
+}
+
+impl std::fmt::Display for CycleError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "dependency cycle among launches: {}",
+            self.involved.join(" -> ")
+        )
+    }
+}
+
+impl std::error::Error for CycleError {}
+
+#[derive(Clone, Debug)]
+struct LaunchNode {
+    name: String,
+    duration: f64,
+    deps: Vec<NodeId>,
+}
+
+/// A recorded kernel-launch dependency graph.
+///
+/// Unlike [`TaskTimeline`] — which schedules as it goes and therefore
+/// cannot even *represent* a cycle — the launch graph records edges
+/// first and validates at execution time, the way an out-of-order SYCL
+/// queue materializes its DAG from `depends_on` lists. The
+/// [`DeviceExecutor`](crate::DeviceExecutor) records every launch here;
+/// [`topo_order`](Self::topo_order) is the execution-order proof (Kahn's
+/// algorithm), and a cycle is a hard error naming the launches involved.
+///
+/// # Example
+///
+/// ```
+/// use pic_device::graph::LaunchGraph;
+///
+/// let mut g = LaunchGraph::new();
+/// let stage = g.add_node("stage", 1e-4);
+/// let kernel = g.add_node("kernel", 2e-3);
+/// g.add_edge(stage, kernel);
+/// let order = g.topo_order().expect("acyclic");
+/// assert_eq!(order, vec![stage, kernel]);
+/// ```
+#[derive(Clone, Debug, Default)]
+pub struct LaunchGraph {
+    nodes: Vec<LaunchNode>,
+}
+
+impl LaunchGraph {
+    /// An empty graph.
+    pub fn new() -> LaunchGraph {
+        LaunchGraph::default()
+    }
+
+    /// Records a launch of `duration` seconds with no dependencies yet.
+    pub fn add_node(&mut self, name: &str, duration: f64) -> NodeId {
+        assert!(duration >= 0.0, "LaunchGraph: negative duration");
+        self.nodes.push(LaunchNode {
+            name: name.to_string(),
+            duration,
+            deps: Vec::new(),
+        });
+        NodeId(self.nodes.len() - 1)
+    }
+
+    /// Declares that `to` depends on `from` (edge `from -> to`). Cycles
+    /// are representable here; [`topo_order`](Self::topo_order) rejects
+    /// them at validation time.
+    ///
+    /// # Panics
+    ///
+    /// Panics when either id is unknown.
+    pub fn add_edge(&mut self, from: NodeId, to: NodeId) {
+        assert!(
+            from.0 < self.nodes.len() && to.0 < self.nodes.len(),
+            "LaunchGraph: unknown node id"
+        );
+        self.nodes[to.0].deps.push(from);
+    }
+
+    /// Number of recorded launches.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// `true` when nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// The name a node was recorded under.
+    pub fn name(&self, id: NodeId) -> &str {
+        &self.nodes[id.0].name
+    }
+
+    /// A topological execution order (Kahn's algorithm; ties broken by
+    /// submission order, so the result is deterministic).
+    ///
+    /// # Errors
+    ///
+    /// [`CycleError`] when the recorded dependencies contain a cycle,
+    /// naming the launches that could not be ordered.
+    pub fn topo_order(&self) -> Result<Vec<NodeId>, CycleError> {
+        let n = self.nodes.len();
+        let mut indegree = vec![0usize; n];
+        let mut out_edges: Vec<Vec<usize>> = vec![Vec::new(); n];
+        for (i, node) in self.nodes.iter().enumerate() {
+            for d in &node.deps {
+                indegree[i] += 1;
+                out_edges[d.0].push(i);
+            }
+        }
+        // Kahn worklist, kept sorted by submission index for determinism.
+        let mut ready: Vec<usize> = (0..n).filter(|&i| indegree[i] == 0).collect();
+        let mut order = Vec::with_capacity(n);
+        let mut placed = vec![false; n];
+        while let Some(&i) = ready.first() {
+            ready.remove(0);
+            placed[i] = true;
+            order.push(NodeId(i));
+            for &j in &out_edges[i] {
+                indegree[j] -= 1;
+                if indegree[j] == 0 {
+                    let at = ready.partition_point(|&k| k < j);
+                    ready.insert(at, j);
+                }
+            }
+        }
+        if order.len() == n {
+            Ok(order)
+        } else {
+            Err(CycleError {
+                involved: (0..n)
+                    .filter(|&i| !placed[i])
+                    .map(|i| self.nodes[i].name.clone())
+                    .collect(),
+            })
+        }
+    }
+
+    /// Total modeled time along the critical path, seconds — the
+    /// makespan of the DAG on an unboundedly parallel device.
+    ///
+    /// # Errors
+    ///
+    /// [`CycleError`] when the graph is cyclic (a cycle has no finite
+    /// critical path).
+    pub fn critical_path(&self) -> Result<f64, CycleError> {
+        let order = self.topo_order()?;
+        let mut finish = vec![0.0f64; self.nodes.len()];
+        for id in order {
+            let node = &self.nodes[id.0];
+            let ready = node.deps.iter().map(|d| finish[d.0]).fold(0.0f64, f64::max);
+            finish[id.0] = ready + node.duration;
+        }
+        Ok(finish.into_iter().fold(0.0, f64::max))
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -210,5 +380,55 @@ mod tests {
     #[should_panic(expected = "zero slots")]
     fn zero_slots_panics() {
         let _ = TaskTimeline::new(Ordering::InOrder, 0);
+    }
+
+    #[test]
+    fn launch_graph_diamond_topo_order_is_deterministic() {
+        // stage -> {kernel_a, kernel_b} -> gather
+        let mut g = LaunchGraph::new();
+        let stage = g.add_node("stage", 1.0);
+        let a = g.add_node("kernel_a", 2.0);
+        let b = g.add_node("kernel_b", 3.0);
+        let gather = g.add_node("gather", 1.0);
+        g.add_edge(stage, a);
+        g.add_edge(stage, b);
+        g.add_edge(a, gather);
+        g.add_edge(b, gather);
+        let order = g.topo_order().expect("diamond is acyclic");
+        assert_eq!(order, vec![stage, a, b, gather]);
+        // Critical path: stage + kernel_b + gather.
+        assert_eq!(g.critical_path().expect("acyclic"), 5.0);
+        assert_eq!(g.name(b), "kernel_b");
+        assert_eq!(g.len(), 4);
+    }
+
+    #[test]
+    fn launch_graph_rejects_cycles_naming_the_launches() {
+        let mut g = LaunchGraph::new();
+        let upload = g.add_node("upload", 1.0);
+        let push = g.add_node("push", 1.0);
+        let sample = g.add_node("sample", 1.0);
+        g.add_edge(upload, push);
+        g.add_edge(push, sample);
+        g.add_edge(sample, push); // push <-> sample cycle
+        let err = g.topo_order().expect_err("cycle must be rejected");
+        assert_eq!(err.involved, vec!["push".to_string(), "sample".to_string()]);
+        assert!(err.to_string().contains("push -> sample"));
+        assert!(g.critical_path().is_err());
+    }
+
+    #[test]
+    fn launch_graph_independent_nodes_keep_submission_order() {
+        let mut g = LaunchGraph::new();
+        let ids: Vec<NodeId> = (0..4).map(|i| g.add_node(&format!("k{i}"), 1.0)).collect();
+        assert_eq!(g.topo_order().expect("no edges"), ids);
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown node id")]
+    fn launch_graph_edge_to_unknown_node_panics() {
+        let mut g = LaunchGraph::new();
+        let a = g.add_node("a", 1.0);
+        g.add_edge(a, NodeId(7));
     }
 }

@@ -17,20 +17,29 @@
 //!   describes as the alternative, with transfer accounting.
 //! * [`Queue`] — kernel submission with profiling [`Event`]s, including
 //!   the first-launch JIT penalty the paper measures (§5.3).
+//! * [`DeviceExecutor`] — the execution backend that stages particle
+//!   columns and field blocks through USM, records launches into a
+//!   validated [`LaunchGraph`], and runs the real SoA Boris fast path
+//!   functionally while timing it with the GPU roofline (ROADMAP
+//!   item 2; Table 3 reproduction).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod buffer;
+pub mod clock;
 pub mod device;
 pub mod event;
+pub mod exec;
 pub mod graph;
 pub mod queue;
 pub mod usm;
 
 pub use buffer::{AccessMode, Accessor, Buffer, Target};
+pub use clock::Stopwatch;
 pub use device::{Backend, Device};
 pub use event::Event;
-pub use graph::{Ordering, TaskId, TaskTimeline};
+pub use exec::{DeviceExecutor, StagedEnsemble, StagedFields, UsmLedger};
+pub use graph::{CycleError, LaunchGraph, NodeId, Ordering, TaskId, TaskTimeline};
 pub use queue::{Queue, SweepProfile};
 pub use usm::{AllocKind, UsmBuffer};

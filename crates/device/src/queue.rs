@@ -1,5 +1,6 @@
 //! Kernel submission queues (the analogue of `sycl::queue`).
 
+use crate::clock::Stopwatch;
 use crate::device::{Backend, Device};
 use crate::event::Event;
 use crate::graph::{Ordering, TaskTimeline};
@@ -7,7 +8,6 @@ use pic_math::Real;
 use pic_particles::{ParticleAccess, ParticleKernel};
 use pic_perfmodel::{Precision, Scenario};
 use pic_runtime::parallel_sweep;
-use std::time::Instant;
 
 /// What the submitted sweep does, for the performance model: which
 /// benchmark scenario, which data layout, which precision.
@@ -119,7 +119,7 @@ impl Queue {
     {
         let n = store.len();
         let first_launch = self.launches == 0;
-        let start = Instant::now();
+        let watch = Stopwatch::start();
         let modeled_ns = match self.device.backend() {
             Backend::HostCpu { topology, schedule } => {
                 parallel_sweep(store, topology, *schedule, factory);
@@ -141,7 +141,7 @@ impl Queue {
         self.launches += 1;
         let event = Event {
             device: self.device.name().to_string(),
-            wall: start.elapsed(),
+            wall: watch.elapsed(),
             modeled_ns,
             particles: n,
             first_launch,

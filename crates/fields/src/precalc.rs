@@ -52,6 +52,34 @@ impl<R: Real> PrecalculatedFields<R> {
         }
     }
 
+    /// Reassembles an array from six externally owned component columns
+    /// (the device backend stages the columns through USM buffers and
+    /// rebuilds the array on the host side). All columns must have equal
+    /// length; the values are taken verbatim, so a round trip through
+    /// [`exs`](Self::exs)…[`bzs`](Self::bzs) is bitwise-identical.
+    pub fn from_columns(
+        ex: Vec<R>,
+        ey: Vec<R>,
+        ez: Vec<R>,
+        bx: Vec<R>,
+        by: Vec<R>,
+        bz: Vec<R>,
+    ) -> PrecalculatedFields<R> {
+        let n = ex.len();
+        assert!(
+            ey.len() == n && ez.len() == n && bx.len() == n && by.len() == n && bz.len() == n,
+            "from_columns: all six component columns must have equal length"
+        );
+        PrecalculatedFields {
+            ex,
+            ey,
+            ez,
+            bx,
+            by,
+            bz,
+        }
+    }
+
     /// Precomputes field values from `sampler` at the given particle
     /// positions and time — the setup phase of the paper's scenario 1.
     pub fn from_sampler<S, I>(sampler: &S, positions: I, time: R) -> PrecalculatedFields<R>
@@ -189,6 +217,37 @@ mod tests {
         for (i, &pos) in positions.iter().enumerate() {
             assert_eq!(pre.get(i), wave.sample(pos, t), "particle {i}");
         }
+    }
+
+    #[test]
+    fn from_columns_round_trips_bitwise() {
+        let wave = DipoleStandingWave::<f32>::new(BENCH_POWER, BENCH_OMEGA);
+        let positions: Vec<Vec3<f32>> = (0..17)
+            .map(|i| Vec3::splat(0.02 * BENCH_WAVELENGTH as f32 * i as f32))
+            .collect();
+        let pre = PrecalculatedFields::from_sampler(&wave, positions.iter().copied(), 0.1);
+        let rebuilt = PrecalculatedFields::from_columns(
+            pre.exs().to_vec(),
+            pre.eys().to_vec(),
+            pre.ezs().to_vec(),
+            pre.bxs().to_vec(),
+            pre.bys().to_vec(),
+            pre.bzs().to_vec(),
+        );
+        assert_eq!(rebuilt, pre);
+    }
+
+    #[test]
+    #[should_panic(expected = "equal length")]
+    fn from_columns_rejects_ragged_columns() {
+        let _ = PrecalculatedFields::<f64>::from_columns(
+            vec![0.0; 3],
+            vec![0.0; 2],
+            vec![0.0; 3],
+            vec![0.0; 3],
+            vec![0.0; 3],
+            vec![0.0; 3],
+        );
     }
 
     #[test]

@@ -202,6 +202,50 @@ pub struct SoaChunkMut<'a, R> {
 }
 
 impl<'a, R: Real> SoaChunkMut<'a, R> {
+    /// Assembles a chunk view from externally owned component columns —
+    /// the seam the device backend uses to run the SoA fast path over
+    /// USM-staged buffers. `offset` is the global index of lane 0 (so
+    /// per-particle side tables such as precalculated fields stay
+    /// addressable); all columns must have equal length.
+    #[allow(clippy::too_many_arguments)]
+    pub fn from_columns(
+        offset: usize,
+        x: &'a mut [R],
+        y: &'a mut [R],
+        z: &'a mut [R],
+        px: &'a mut [R],
+        py: &'a mut [R],
+        pz: &'a mut [R],
+        weight: &'a mut [R],
+        gamma: &'a mut [R],
+        species: &'a mut [SpeciesId],
+    ) -> SoaChunkMut<'a, R> {
+        let n = x.len();
+        assert!(
+            y.len() == n
+                && z.len() == n
+                && px.len() == n
+                && py.len() == n
+                && pz.len() == n
+                && weight.len() == n
+                && gamma.len() == n
+                && species.len() == n,
+            "from_columns: all component columns must have equal length"
+        );
+        SoaChunkMut {
+            offset,
+            x,
+            y,
+            z,
+            px,
+            py,
+            pz,
+            weight,
+            gamma,
+            species,
+        }
+    }
+
     fn split_at(self, mid: usize) -> (SoaChunkMut<'a, R>, SoaChunkMut<'a, R>) {
         let (x0, x1) = self.x.split_at_mut(mid);
         let (y0, y1) = self.y.split_at_mut(mid);
@@ -583,6 +627,48 @@ mod tests {
     fn empty_split_is_empty() {
         let mut ens = SoaEnsemble::<f64>::new();
         assert!(ens.split_mut(8).is_empty());
+    }
+
+    #[test]
+    fn from_columns_builds_a_chunk_over_external_storage() {
+        let mut x = vec![1.0f64, 2.0];
+        let mut y = vec![0.0; 2];
+        let mut z = vec![0.0; 2];
+        let mut px = vec![0.0; 2];
+        let mut py = vec![0.0; 2];
+        let mut pz = vec![5.0, 6.0];
+        let mut w = vec![1.0; 2];
+        let mut g = vec![1.0; 2];
+        let mut sp = vec![SpeciesId(0); 2];
+        {
+            let mut chunk = SoaChunkMut::from_columns(
+                7, &mut x, &mut y, &mut z, &mut px, &mut py, &mut pz, &mut w, &mut g, &mut sp,
+            );
+            assert_eq!(chunk.len(), 2);
+            assert_eq!(chunk.base_index(), 7);
+            assert_eq!(chunk.get(1).momentum.z, 6.0);
+            let lanes = chunk.soa_lanes_mut().expect("chunk has lanes");
+            assert_eq!(lanes.base, 7);
+            lanes.px[0] = 3.5;
+        }
+        assert_eq!(px[0], 3.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "equal length")]
+    fn from_columns_rejects_ragged_columns() {
+        let mut x = vec![1.0f64, 2.0];
+        let mut y = vec![0.0; 3];
+        let mut z = vec![0.0; 2];
+        let mut px = vec![0.0; 2];
+        let mut py = vec![0.0; 2];
+        let mut pz = vec![0.0; 2];
+        let mut w = vec![1.0; 2];
+        let mut g = vec![1.0; 2];
+        let mut sp = vec![SpeciesId(0); 2];
+        let _ = SoaChunkMut::from_columns(
+            0, &mut x, &mut y, &mut z, &mut px, &mut py, &mut pz, &mut w, &mut g, &mut sp,
+        );
     }
 
     #[test]

@@ -1,0 +1,110 @@
+//! Execution-target vocabulary shared by every layer that can route a
+//! sweep to a backend.
+//!
+//! The runtime itself only ever executes on the host — the device crate
+//! supplies the modeled-GPU backends — but the *name* of the target has
+//! to live below both so the bench harness, the job service, and the
+//! device executor agree on spellings. [`ExecTarget`] is that shared
+//! vocabulary: a closed enum of the paper's two test GPUs plus the host,
+//! with one canonical wire spelling each and a forgiving parser for the
+//! aliases users actually type.
+
+use std::fmt;
+
+/// Where a sweep executes: the host CPU or one of the paper's Intel GPUs
+/// (modeled — kernels run functionally on the host, timing comes from
+/// the `pic-perfmodel` roofline).
+#[derive(Clone, Copy, Debug, Default, Eq, Hash, PartialEq)]
+pub enum ExecTarget {
+    /// The host CPU — real execution, real timing.
+    #[default]
+    Host,
+    /// Intel UHD Graphics P630 (the paper's integrated test GPU).
+    P630,
+    /// Intel Iris Xe Max (the paper's discrete test GPU).
+    IrisXeMax,
+}
+
+impl ExecTarget {
+    /// Every target, hosts first — iteration order used by sweeps and
+    /// `--device all` style expansions.
+    pub fn all() -> [ExecTarget; 3] {
+        [ExecTarget::Host, ExecTarget::P630, ExecTarget::IrisXeMax]
+    }
+
+    /// The canonical wire spelling (`host` / `p630` / `iris-xe-max`).
+    /// This is the form stored in `BenchRecord::device` and in the
+    /// pic-serve `JobSpec` after parse-time canonicalization.
+    pub fn name(self) -> &'static str {
+        match self {
+            ExecTarget::Host => "host",
+            ExecTarget::P630 => "p630",
+            ExecTarget::IrisXeMax => "iris-xe-max",
+        }
+    }
+
+    /// Parses a user-facing spelling, case-insensitively. Accepts the
+    /// canonical names plus the aliases in circulation (`cpu`, `iris`,
+    /// `iris_xe_max`). Returns `None` for unknown devices — callers
+    /// reject, never guess.
+    pub fn parse(s: &str) -> Option<ExecTarget> {
+        match s.to_ascii_lowercase().as_str() {
+            "host" | "cpu" => Some(ExecTarget::Host),
+            "p630" => Some(ExecTarget::P630),
+            "iris" | "iris-xe-max" | "iris_xe_max" => Some(ExecTarget::IrisXeMax),
+            _ => None,
+        }
+    }
+
+    /// True for the host target (real timing, no roofline model).
+    pub fn is_host(self) -> bool {
+        matches!(self, ExecTarget::Host)
+    }
+}
+
+impl fmt::Display for ExecTarget {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn canonical_names_round_trip_through_parse() {
+        for t in ExecTarget::all() {
+            assert_eq!(ExecTarget::parse(t.name()), Some(t));
+        }
+    }
+
+    #[test]
+    fn aliases_and_case_are_forgiven() {
+        assert_eq!(ExecTarget::parse("CPU"), Some(ExecTarget::Host));
+        assert_eq!(ExecTarget::parse("iris"), Some(ExecTarget::IrisXeMax));
+        assert_eq!(
+            ExecTarget::parse("Iris_Xe_Max"),
+            Some(ExecTarget::IrisXeMax)
+        );
+        assert_eq!(
+            ExecTarget::parse("IRIS-XE-MAX"),
+            Some(ExecTarget::IrisXeMax)
+        );
+        assert_eq!(ExecTarget::parse("P630"), Some(ExecTarget::P630));
+    }
+
+    #[test]
+    fn unknown_devices_are_rejected_not_guessed() {
+        assert_eq!(ExecTarget::parse(""), None);
+        assert_eq!(ExecTarget::parse("a100"), None);
+        assert_eq!(ExecTarget::parse("iris xe"), None);
+    }
+
+    #[test]
+    fn default_is_host() {
+        assert!(ExecTarget::default().is_host());
+        assert!(!ExecTarget::P630.is_host());
+        assert_eq!(format!("{}", ExecTarget::IrisXeMax), "iris-xe-max");
+    }
+}

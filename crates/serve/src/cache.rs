@@ -53,6 +53,13 @@ impl CacheKey {
         h.write_u64(spec.steps as u64);
         h.write(PUSHER_NAME.as_bytes());
         h.write_u64(CACHE_SCHEMA);
+        // Additive: host jobs (the only kind that existed before the
+        // device backend) keep their exact pre-device hash, while a
+        // device job — even though its trajectories are bitwise equal —
+        // must not serve a host job's measurements or vice versa.
+        if spec.device != "host" {
+            h.write(spec.device.as_bytes());
+        }
         CacheKey(h.finish())
     }
 
@@ -335,6 +342,10 @@ mod tests {
             },
             JobSpec {
                 steps: 11,
+                ..JobSpec::default()
+            },
+            JobSpec {
+                device: "iris-xe-max".to_string(),
                 ..JobSpec::default()
             },
         ] {

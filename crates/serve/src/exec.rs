@@ -22,20 +22,27 @@
 //! Both together make a resumed trajectory bitwise-identical to an
 //! uninterrupted one (`tests/fault_injection.rs` proves it across
 //! seeded kill schedules).
+//!
+//! **Device jobs.** A spec whose `device` names a modeled GPU runs each
+//! segment through [`pic_bench::run_device_steps`] instead of the host
+//! sweep — the same kernel over staged columns, so trajectories (and
+//! therefore checkpoints, resumes, and cache dumps) stay bitwise
+//! identical to a host run; only the reported NSPS differs, coming from
+//! the accumulated modeled kernel time rather than wall clock.
 
 use crate::cache::{CacheKey, CachedResult};
 use crate::job::{JobReport, Outcome, RejectReason};
 use crate::scheduler::{lock, Batch, JobState, Shared};
 use crate::shard::shard_kill_key;
 use pic_bench::{
-    bench_dt, build_ensemble, build_ensemble_range, merge_thread_stats, run_mdipole_steps,
-    KernelVariant, MdipoleScenario,
+    bench_dt, build_ensemble, build_ensemble_range, merge_thread_stats, run_device_steps,
+    run_mdipole_steps, KernelVariant, MdipoleScenario,
 };
 use pic_math::Real;
 use pic_particles::io::{read_ensemble, write_ensemble};
 use pic_particles::{AosEnsemble, Layout, ParticleStore, SoaEnsemble};
 use pic_perfmodel::Precision;
-use pic_runtime::CancelToken;
+use pic_runtime::{CancelToken, ExecTarget};
 use pic_telemetry::ThreadStat;
 use std::collections::BTreeMap;
 use std::sync::atomic::Ordering;
@@ -189,6 +196,9 @@ fn run_typed<R: Real, S: ParticleStore<R>>(
     // Field preparation (the Precalculated sampling pass) stays outside
     // the timed region, mirroring the bench harness.
     let ctx = MdipoleScenario::<R>::prepare(jobs[0].spec.scenario, &initial);
+    // Validation guarantees the device name parses; Host is a safe
+    // fallback for a spec that somehow bypassed it.
+    let target = ExecTarget::parse(&jobs[0].spec.device).unwrap_or_default();
     let token = CancelToken::new();
     let mut alive: Vec<bool> = vec![true; jobs.len()];
     let start_ns = shared.clock.now_ns();
@@ -205,6 +215,7 @@ fn run_typed<R: Real, S: ParticleStore<R>>(
     let interval = shared.cfg.checkpoint_interval;
     let mut abs = start_step;
     let mut thread_stats: Vec<ThreadStat> = Vec::new();
+    let mut device_ns = 0.0f64;
     let mut halted = false;
     while abs < total && !halted {
         let seg = match interval {
@@ -212,7 +223,7 @@ fn run_typed<R: Real, S: ParticleStore<R>>(
             n => (total - abs).min(n),
         };
         let seg_base = abs;
-        let mut on_step = |step: usize, _report: &pic_runtime::SweepReport| {
+        let mut boundary = |step: usize| {
             let now = shared.clock.now_ns();
             let mut any_alive = false;
             for (k, job) in jobs.iter().enumerate() {
@@ -254,21 +265,38 @@ fn run_typed<R: Real, S: ParticleStore<R>>(
         };
         // Service batches always take the fast path: zero-gather on SoA
         // stores, scalar arithmetic (bitwise-identical trajectories) on
-        // AoS.
-        let run = run_mdipole_steps(
-            &mut store,
-            &ctx,
-            seg,
-            &mut time,
-            &shared.cfg.topology,
-            shared.cfg.schedule,
-            KernelVariant::SoaFast,
-            Some(&token),
-            &mut on_step,
-        );
-        abs += run.steps_done;
-        merge_thread_stats(&mut thread_stats, &run.thread_stats);
-        if run.interrupted || run.steps_done < seg {
+        // AoS. Device jobs run the same kernel through the device
+        // backend's staged columns — same trajectories, modeled timing.
+        let (steps_done, interrupted) = if target.is_host() {
+            let run = run_mdipole_steps(
+                &mut store,
+                &ctx,
+                seg,
+                &mut time,
+                &shared.cfg.topology,
+                shared.cfg.schedule,
+                KernelVariant::SoaFast,
+                Some(&token),
+                &mut |step, _report| boundary(step),
+            );
+            merge_thread_stats(&mut thread_stats, &run.thread_stats);
+            (run.steps_done, run.interrupted)
+        } else {
+            let run = run_device_steps(
+                &mut store,
+                &ctx,
+                seg,
+                &mut time,
+                jobs[0].spec.layout,
+                target,
+                Some(&token),
+                &mut |step, _event| boundary(step),
+            );
+            device_ns += run.total_ns();
+            (run.steps_done, run.interrupted)
+        };
+        abs += steps_done;
+        if interrupted || steps_done < seg {
             halted = true;
         }
         // Segment boundary: snapshot every live job so a later worker
@@ -287,7 +315,13 @@ fn run_typed<R: Real, S: ParticleStore<R>>(
     let run_ns = shared.clock.now_ns().saturating_sub(start_ns);
     let executed = abs.saturating_sub(start_step);
     let denom = (store.len() as u64 * executed.max(1) as u64).max(1);
-    let nsps = run_ns as f64 / denom as f64;
+    // Host jobs report wall time per particle-step; device jobs report
+    // the accumulated modeled kernel time (the Table 3 quantity).
+    let nsps = if target.is_host() {
+        run_ns as f64 / denom as f64
+    } else {
+        device_ns / denom as f64
+    };
     let imbalance = count_imbalance(&thread_stats, |t| t.particles);
     let time_imbalance = count_imbalance(&thread_stats, |t| t.busy_ns);
     for (k, job) in jobs.iter().enumerate() {

@@ -12,6 +12,7 @@
 
 use pic_particles::Layout;
 use pic_perfmodel::{Precision, Scenario};
+use pic_runtime::ExecTarget;
 use pic_telemetry::json::Value;
 
 /// Priority lane of a job. Higher lanes are dispatched first.
@@ -81,6 +82,11 @@ pub struct JobSpec {
     pub seed: u64,
     /// Return the final particle state in the completion report.
     pub return_particles: bool,
+    /// Execution target: `"host"` (the default) runs the batch sweep on
+    /// the host thread pool; `"p630"` / `"iris-xe-max"` route it through
+    /// the device backend (same trajectories bitwise, modeled timing).
+    /// Unknown names are shed at validation with `Rejected{invalid}`.
+    pub device: String,
 }
 
 impl Default for JobSpec {
@@ -96,6 +102,7 @@ impl Default for JobSpec {
             deadline_ms: None,
             seed: 42,
             return_particles: false,
+            device: "host".to_string(),
         }
     }
 }
@@ -122,6 +129,13 @@ impl JobSpec {
                 self.steps
             ));
         }
+        if ExecTarget::parse(&self.device).is_none() {
+            return Err(format!(
+                "unknown device {:?} (expected one of: {})",
+                self.device,
+                ExecTarget::all().map(|t| t.name()).join(", ")
+            ));
+        }
         Ok(())
     }
 
@@ -142,6 +156,11 @@ impl JobSpec {
         }
         if let Some(d) = self.deadline_ms {
             entries.push(("deadline_ms", Value::Num(d as f64)));
+        }
+        // Additive wire field: host jobs stay byte-identical to the
+        // pre-device protocol.
+        if self.device != "host" {
+            entries.push(("device", Value::Str(self.device.clone())));
         }
         Value::obj(entries)
     }
@@ -200,6 +219,13 @@ impl JobSpec {
             Some(_) => return Err("return_particles must be a boolean".to_string()),
             None => dflt.return_particles,
         };
+        // Canonicalize known aliases (`iris` → `iris-xe-max`); unknown
+        // names are kept verbatim so `validate` can shed them with the
+        // offending string in the reason.
+        let device = match v.get("device").and_then(Value::as_str) {
+            Some(s) => ExecTarget::parse(s).map_or_else(|| s.to_string(), |t| t.name().to_string()),
+            None => dflt.device.clone(),
+        };
         Ok(JobSpec {
             scenario,
             layout,
@@ -211,6 +237,7 @@ impl JobSpec {
             deadline_ms,
             seed,
             return_particles,
+            device,
         })
     }
 
@@ -222,6 +249,7 @@ impl JobSpec {
             && self.layout == other.layout
             && self.precision == other.precision
             && self.steps == other.steps
+            && self.device == other.device
     }
 }
 
@@ -377,9 +405,26 @@ mod tests {
             deadline_ms: Some(9),
             seed: 1,
             return_particles: true,
+            device: "p630".to_string(),
         };
         let back = JobSpec::from_value(&spec.to_value()).unwrap();
         assert_eq!(back, spec);
+    }
+
+    #[test]
+    fn device_is_additive_on_the_wire() {
+        // Host specs serialize without a device entry at all, so the
+        // wire format is byte-identical to the pre-device protocol.
+        assert!(JobSpec::default().to_value().get("device").is_none());
+        // Known aliases canonicalize; unknown names survive verbatim so
+        // validation can name them in the rejection.
+        let v = Value::obj([("device", Value::Str("iris".into()))]);
+        assert_eq!(JobSpec::from_value(&v).unwrap().device, "iris-xe-max");
+        let v = Value::obj([("device", Value::Str("fpga".into()))]);
+        let spec = JobSpec::from_value(&v).unwrap();
+        assert_eq!(spec.device, "fpga");
+        let err = spec.validate(10_000, 100).unwrap_err();
+        assert!(err.contains("fpga"), "{err}");
     }
 
     #[test]
@@ -427,6 +472,13 @@ mod tests {
             ..JobSpec::default()
         };
         assert!(!a.batch_compatible(&c));
+        // A device job must never share a batch with a host job: the
+        // whole batch runs through one backend.
+        let d = JobSpec {
+            device: "p630".to_string(),
+            ..JobSpec::default()
+        };
+        assert!(!a.batch_compatible(&d));
     }
 
     #[test]

@@ -551,6 +551,13 @@ impl Shared {
             resumed_from_step: report.map_or(0, |r| r.resumed_from_step),
             shards: shard.map_or(0, |(k, _)| k),
             shard_id: shard.map_or(0, |(_, i)| i),
+            // Host jobs keep the legacy empty dimension; device jobs
+            // carry their modeled target so the records stay distinct.
+            device: if spec.device == "host" {
+                String::new()
+            } else {
+                spec.device.clone()
+            },
         };
         lock(&self.records).push(rec);
     }

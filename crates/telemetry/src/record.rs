@@ -115,6 +115,10 @@ pub struct BenchRecord {
     /// Position within a sharded job when `shards > 0`: 0 = the merged
     /// parent record, 1..=shards = the individual shard sub-jobs.
     pub shard_id: u64,
+    /// Execution target that produced the record: `"p630"` or
+    /// `"iris-xe-max"` for device-backend runs, empty for host runs and
+    /// for records written before the device backend existed.
+    pub device: String,
 }
 
 impl BenchRecord {
@@ -144,6 +148,12 @@ impl BenchRecord {
         // unsharded run of the same spec.
         if self.shards > 0 {
             key.push_str(&format!("|S{}.{}", self.shards, self.shard_id));
+        }
+        // Additive: host records keep their old key, while runs of the
+        // same spec on different modeled devices stay distinct.
+        if !self.device.is_empty() {
+            key.push_str("|D");
+            key.push_str(&self.device);
         }
         key
     }
@@ -204,6 +214,7 @@ impl BenchRecord {
             ("resumed_from_step", int(self.resumed_from_step)),
             ("shards", int(self.shards)),
             ("shard_id", int(self.shard_id)),
+            ("device", Value::Str(self.device.clone())),
         ])
         .to_json()
     }
@@ -287,6 +298,12 @@ impl BenchRecord {
             // Sharding fields are likewise additive within schema 1.
             shards: v.get("shards").and_then(Value::as_u64).unwrap_or(0),
             shard_id: v.get("shard_id").and_then(Value::as_u64).unwrap_or(0),
+            // The device dimension is likewise additive within schema 1.
+            device: v
+                .get("device")
+                .and_then(Value::as_str)
+                .unwrap_or("")
+                .to_owned(),
         })
     }
 }
@@ -424,6 +441,7 @@ pub(crate) fn sample_record(label: &str, steady_nsps: f64) -> BenchRecord {
         resumed_from_step: 0,
         shards: 0,
         shard_id: 0,
+        device: String::new(),
     }
 }
 
@@ -491,6 +509,7 @@ mod tests {
                 "resumed_from_step",
                 "shards",
                 "shard_id",
+                "device",
             ] {
                 assert!(map.remove(key).is_some());
             }
@@ -538,6 +557,24 @@ mod tests {
             }
         }
         assert!(parent.key().ends_with("|S2.0"));
+    }
+
+    #[test]
+    fn device_distinguishes_keys_additively() {
+        // The same spec run on different modeled devices must not
+        // collide, while host records keep the historical key format.
+        let host = sample_record("a", 10.0);
+        let mut p630 = sample_record("a", 10.0);
+        p630.device = "p630".into();
+        let mut iris = sample_record("a", 10.0);
+        iris.device = "iris-xe-max".into();
+        assert_ne!(host.key(), p630.key());
+        assert_ne!(p630.key(), iris.key());
+        assert!(p630.key().ends_with("|Dp630"));
+        assert!(iris.key().ends_with("|Diris-xe-max"));
+        // Host records keep the historical key: the device run's key is
+        // exactly the host key plus the appended dimension.
+        assert_eq!(format!("{}|Dp630", host.key()), p630.key());
     }
 
     #[test]
