@@ -102,6 +102,8 @@ pub fn bench_record(
         // Host-harness records have no device dimension; the device
         // backend's records are built by `crate::device_record`.
         device: String::new(),
+        pinned: false,
+        gather_ns: 0.0,
     }
 }
 

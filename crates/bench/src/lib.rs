@@ -37,10 +37,10 @@ pub mod table;
 
 pub use device_run::{
     device_record, gpu_model_of, measure_device_nsps, precision_of, run_device_steps,
-    DeviceMeasuredRun, DeviceRun,
+    shard_pipeline, DeviceMeasuredRun, DeviceRun,
 };
 pub use emit::{bench_record, parallelization_of};
-pub use measure::{measure_nsps, measure_nsps_variant, MeasuredRun};
+pub use measure::{bench_grid, measure_nsps, measure_nsps_variant, MeasuredRun};
 pub use run::{merge_thread_stats, run_mdipole_steps, KernelVariant, MdipoleRun, MdipoleScenario};
 pub use scenario::{bench_dt, build_ensemble, build_ensemble_range, dipole_wave, BenchConfig};
 pub use table::{fmt_cell, print_banner, Table};

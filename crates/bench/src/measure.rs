@@ -128,8 +128,9 @@ pub fn measure_nsps_variant<R: Real>(
 }
 
 /// The locality-sorting grid of the bench harness: 32³ cells over the
-/// bounding cube of the initial 0.6λ sphere.
-pub(crate) fn bench_grid() -> CellGrid {
+/// bounding cube of the initial 0.6λ sphere. Public so the serve layer
+/// can apply the same per-shard Morton pre-sort the harness uses.
+pub fn bench_grid() -> CellGrid {
     let r = 0.6 * BENCH_WAVELENGTH;
     CellGrid::new(Vec3::splat(-r), Vec3::splat(r), [32, 32, 32])
 }

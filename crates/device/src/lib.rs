@@ -22,6 +22,10 @@
 //!   validated [`LaunchGraph`], and runs the real SoA Boris fast path
 //!   functionally while timing it with the GPU roofline (ROADMAP
 //!   item 2; Table 3 reproduction).
+//! * [`ShardPipeline`] — the pinned K-queue shard schedule: per-shard
+//!   staging overlapped with the single compute engine's kernel chain,
+//!   modeled on a two-slot timeline and cross-checked against the
+//!   recorded launch graph (ROADMAP item 1's device half).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -32,6 +36,7 @@ pub mod device;
 pub mod event;
 pub mod exec;
 pub mod graph;
+pub mod pipeline;
 pub mod queue;
 pub mod usm;
 
@@ -41,5 +46,6 @@ pub use device::{Backend, Device};
 pub use event::Event;
 pub use exec::{DeviceExecutor, StagedEnsemble, StagedFields, UsmLedger};
 pub use graph::{CycleError, LaunchGraph, NodeId, Ordering, TaskId, TaskTimeline};
+pub use pipeline::{ShardPipeline, ShardSchedule};
 pub use queue::{Queue, SweepProfile};
 pub use usm::{AllocKind, UsmBuffer};

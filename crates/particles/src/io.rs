@@ -123,6 +123,267 @@ where
     Ok(store)
 }
 
+/// A contiguous range of particles as typed columns — the zero-copy
+/// gather payload for domain-decomposed runs.
+///
+/// Columns are stored widened to `f64` (lossless for both supported
+/// precisions), exactly the values [`write_ensemble`] would print, so a
+/// segment can reproduce the text dump of its range bitwise via
+/// [`write_text`](Self::write_text) without the producer serializing
+/// anything. A merger splices segments back into a store by range
+/// ([`splice_into`](Self::splice_into)) or concatenates them
+/// ([`append`](Self::append)) — both are plain column copies, no
+/// parsing, no float formatting.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct ColumnSegment {
+    x: Vec<f64>,
+    y: Vec<f64>,
+    z: Vec<f64>,
+    px: Vec<f64>,
+    py: Vec<f64>,
+    pz: Vec<f64>,
+    weight: Vec<f64>,
+    gamma: Vec<f64>,
+    species: Vec<u16>,
+}
+
+/// Magic tag leading the binary encoding of a [`ColumnSegment`].
+const SEGMENT_MAGIC: [u8; 8] = *b"PICSEG01";
+
+impl ColumnSegment {
+    /// Captures `len` particles of `store` starting at `offset` as
+    /// widened columns.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `offset + len` exceeds `store.len()`.
+    pub fn from_store<R, A>(store: &A, offset: usize, len: usize) -> ColumnSegment
+    where
+        R: Real,
+        A: ParticleAccess<R>,
+    {
+        assert!(
+            offset
+                .checked_add(len)
+                .is_some_and(|end| end <= store.len()),
+            "segment range {offset}+{len} out of bounds for store of {}",
+            store.len()
+        );
+        let mut seg = ColumnSegment::with_capacity(len);
+        for i in offset..offset + len {
+            let p = store.get(i);
+            let pos = p.position.to_f64();
+            let mom = p.momentum.to_f64();
+            seg.x.push(pos.x);
+            seg.y.push(pos.y);
+            seg.z.push(pos.z);
+            seg.px.push(mom.x);
+            seg.py.push(mom.y);
+            seg.pz.push(mom.z);
+            seg.weight.push(p.weight.to_f64());
+            seg.gamma.push(p.gamma.to_f64());
+            seg.species.push(p.species.0);
+        }
+        seg
+    }
+
+    /// An empty segment with room for `len` particles per column.
+    pub fn with_capacity(len: usize) -> ColumnSegment {
+        ColumnSegment {
+            x: Vec::with_capacity(len),
+            y: Vec::with_capacity(len),
+            z: Vec::with_capacity(len),
+            px: Vec::with_capacity(len),
+            py: Vec::with_capacity(len),
+            pz: Vec::with_capacity(len),
+            weight: Vec::with_capacity(len),
+            gamma: Vec::with_capacity(len),
+            species: Vec::with_capacity(len),
+        }
+    }
+
+    /// Number of particles in the segment.
+    pub fn len(&self) -> usize {
+        self.species.len()
+    }
+
+    /// `true` when the segment holds no particles.
+    pub fn is_empty(&self) -> bool {
+        self.species.is_empty()
+    }
+
+    /// Approximate payload size in bytes (the splice cost unit).
+    pub fn byte_len(&self) -> usize {
+        8 * self.len() * std::mem::size_of::<f64>() + self.len() * std::mem::size_of::<u16>()
+    }
+
+    /// Splices the segment's particles into `store` starting at
+    /// `offset`, narrowing back to the store's precision (exact for
+    /// values that were widened from it).
+    ///
+    /// # Panics
+    ///
+    /// Panics when `offset + self.len()` exceeds `store.len()`.
+    pub fn splice_into<R, A>(&self, store: &mut A, offset: usize)
+    where
+        R: Real,
+        A: ParticleAccess<R>,
+    {
+        assert!(
+            offset
+                .checked_add(self.len())
+                .is_some_and(|end| end <= store.len()),
+            "segment splice {offset}+{} out of bounds for store of {}",
+            self.len(),
+            store.len()
+        );
+        for i in 0..self.len() {
+            store.set(
+                offset + i,
+                &Particle {
+                    position: Vec3::from_f64(Vec3::new(self.x[i], self.y[i], self.z[i])),
+                    momentum: Vec3::from_f64(Vec3::new(self.px[i], self.py[i], self.pz[i])),
+                    weight: R::from_f64(self.weight[i]),
+                    gamma: R::from_f64(self.gamma[i]),
+                    species: SpeciesId(self.species[i]),
+                },
+            );
+        }
+    }
+
+    /// Appends every particle of `other` after this segment's — the
+    /// in-order gather splice (column `extend`s, no per-field work).
+    pub fn append(&mut self, other: &ColumnSegment) {
+        self.x.extend_from_slice(&other.x);
+        self.y.extend_from_slice(&other.y);
+        self.z.extend_from_slice(&other.z);
+        self.px.extend_from_slice(&other.px);
+        self.py.extend_from_slice(&other.py);
+        self.pz.extend_from_slice(&other.pz);
+        self.weight.extend_from_slice(&other.weight);
+        self.gamma.extend_from_slice(&other.gamma);
+        self.species.extend_from_slice(&other.species);
+    }
+
+    /// Writes the particle lines (no header) in exactly the format of
+    /// [`write_ensemble`]: a segment captured from a store reproduces
+    /// that store range's dump bytes verbatim.
+    ///
+    /// # Errors
+    ///
+    /// Propagates any I/O error from `out`.
+    pub fn write_text<W: Write>(&self, out: &mut W) -> io::Result<()> {
+        for i in 0..self.len() {
+            writeln!(
+                out,
+                "{:e} {:e} {:e} {:e} {:e} {:e} {:e} {:e} {}",
+                self.x[i],
+                self.y[i],
+                self.z[i],
+                self.px[i],
+                self.py[i],
+                self.pz[i],
+                self.weight[i],
+                self.gamma[i],
+                self.species[i]
+            )?;
+        }
+        Ok(())
+    }
+
+    /// Encodes the segment as a self-describing little-endian byte
+    /// stream (magic, count, eight `f64` columns, species column).
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let n = self.len();
+        let mut out = Vec::with_capacity(SEGMENT_MAGIC.len() + 8 + self.byte_len());
+        out.extend_from_slice(&SEGMENT_MAGIC);
+        out.extend_from_slice(&(n as u64).to_le_bytes());
+        for col in [
+            &self.x,
+            &self.y,
+            &self.z,
+            &self.px,
+            &self.py,
+            &self.pz,
+            &self.weight,
+            &self.gamma,
+        ] {
+            for v in col {
+                out.extend_from_slice(&v.to_le_bytes());
+            }
+        }
+        for s in &self.species {
+            out.extend_from_slice(&s.to_le_bytes());
+        }
+        out
+    }
+
+    /// Decodes a segment written by [`to_bytes`](Self::to_bytes).
+    ///
+    /// # Errors
+    ///
+    /// Returns `InvalidData` for a bad magic tag, a truncated stream, or
+    /// trailing bytes — a mangled shard payload must fail loudly, never
+    /// splice garbage.
+    pub fn from_bytes(bytes: &[u8]) -> io::Result<ColumnSegment> {
+        let bad = |msg: String| io::Error::new(io::ErrorKind::InvalidData, msg);
+        if bytes.len() < SEGMENT_MAGIC.len() + 8 {
+            return Err(bad(format!(
+                "segment header truncated: {} bytes",
+                bytes.len()
+            )));
+        }
+        let (magic, rest) = bytes.split_at(SEGMENT_MAGIC.len());
+        if magic != SEGMENT_MAGIC {
+            return Err(bad("bad segment magic".to_string()));
+        }
+        let (count, mut rest) = rest.split_at(8);
+        // unwrap-free: split_at(8) guarantees exactly 8 bytes.
+        let n64 = u64::from_le_bytes(count.try_into().unwrap_or([0; 8]));
+        let n = usize::try_from(n64).map_err(|_| bad(format!("segment count {n64} overflows")))?;
+        let per = 8 * std::mem::size_of::<f64>() + std::mem::size_of::<u16>();
+        let expect = n
+            .checked_mul(per)
+            .ok_or_else(|| bad(format!("segment count {n64} overflows")))?;
+        if rest.len() != expect {
+            return Err(bad(format!(
+                "segment of {n} particles needs {expect} payload bytes, got {}",
+                rest.len()
+            )));
+        }
+        let mut read_col = || {
+            let (raw, tail) = rest.split_at(n * 8);
+            rest = tail;
+            raw.chunks_exact(8)
+                .map(|c| f64::from_le_bytes(c.try_into().unwrap_or([0; 8])))
+                .collect::<Vec<f64>>()
+        };
+        let x = read_col();
+        let y = read_col();
+        let z = read_col();
+        let px = read_col();
+        let py = read_col();
+        let pz = read_col();
+        let weight = read_col();
+        let gamma = read_col();
+        let species = rest
+            .chunks_exact(2)
+            .map(|c| u16::from_le_bytes(c.try_into().unwrap_or([0; 2])))
+            .collect();
+        Ok(ColumnSegment {
+            x,
+            y,
+            z,
+            px,
+            py,
+            pz,
+            weight,
+            gamma,
+            species,
+        })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -183,6 +444,110 @@ mod tests {
             read_ensemble::<f64, AosEnsemble<f64>, _>("1 2 3 4 5 6 7 8 not-a-species\n".as_bytes())
                 .unwrap_err();
         assert_eq!(err2.kind(), io::ErrorKind::InvalidData);
+    }
+
+    #[test]
+    fn segment_text_matches_write_ensemble_bytes() {
+        let ens = sample();
+        let mut whole = Vec::new();
+        write_ensemble(&ens, &mut whole).unwrap();
+        // Header + the two range segments, spliced in order.
+        let mut spliced = format!("{HEADER}\n").into_bytes();
+        for (offset, len) in [(0usize, 10usize), (10, 15)] {
+            let seg = ColumnSegment::from_store(&ens, offset, len);
+            assert_eq!(seg.len(), len);
+            seg.write_text(&mut spliced).unwrap();
+        }
+        assert_eq!(whole, spliced, "segment text must be dump bytes verbatim");
+    }
+
+    #[test]
+    fn segment_splice_round_trips_both_layouts() {
+        let ens = sample();
+        let seg = ColumnSegment::from_store(&ens, 5, 12);
+        let mut back: AosEnsemble<f64> = sample();
+        let mut soa: SoaEnsemble<f64> = (0..ens.len()).map(|i| ens.get(i)).collect();
+        seg.splice_into(&mut back, 5);
+        seg.splice_into(&mut soa, 5);
+        for i in 0..ens.len() {
+            assert_eq!(back.get(i), ens.get(i));
+            assert_eq!(soa.get(i), ens.get(i));
+        }
+    }
+
+    #[test]
+    fn segment_append_concatenates_ranges() {
+        let ens = sample();
+        let mut merged = ColumnSegment::from_store(&ens, 0, 10);
+        merged.append(&ColumnSegment::from_store(&ens, 10, 15));
+        assert_eq!(merged, ColumnSegment::from_store(&ens, 0, 25));
+        assert_eq!(merged.byte_len(), 25 * (8 * 8 + 2));
+    }
+
+    #[test]
+    fn segment_binary_codec_round_trips() {
+        let ens = sample();
+        let seg = ColumnSegment::from_store(&ens, 0, ens.len());
+        let back = ColumnSegment::from_bytes(&seg.to_bytes()).unwrap();
+        assert_eq!(back, seg);
+        let empty = ColumnSegment::default();
+        assert!(empty.is_empty());
+        assert_eq!(ColumnSegment::from_bytes(&empty.to_bytes()).unwrap(), empty);
+    }
+
+    #[test]
+    fn truncated_or_mangled_segment_is_invalid_data() {
+        let ens = sample();
+        let bytes = ColumnSegment::from_bytes(&ColumnSegment::from_store(&ens, 0, 4).to_bytes())
+            .unwrap()
+            .to_bytes();
+        // Truncated payload, truncated header, bad magic, trailing junk:
+        // all must surface as InvalidData, never a panic or silent data.
+        let cases: Vec<Vec<u8>> = vec![
+            bytes[..bytes.len() - 3].to_vec(),
+            bytes[..7].to_vec(),
+            {
+                let mut b = bytes.clone();
+                b[0] ^= 0xff;
+                b
+            },
+            {
+                let mut b = bytes.clone();
+                b.push(0);
+                b
+            },
+        ];
+        for (i, case) in cases.iter().enumerate() {
+            let err = ColumnSegment::from_bytes(case).expect_err("case must fail");
+            assert_eq!(err.kind(), io::ErrorKind::InvalidData, "case {i}");
+        }
+    }
+
+    #[test]
+    fn f32_segment_widening_is_lossless() {
+        let ens: SoaEnsemble<f32> = (0..8)
+            .map(|i| {
+                Particle::new(
+                    Vec3::new(i as f32 * 0.37, -1.5, 0.25 * i as f32),
+                    Vec3::splat(1.0e-19_f32),
+                    1.0 + i as f32,
+                    SpeciesId(i as u16 % 2),
+                    ELECTRON_MASS as f32,
+                )
+            })
+            .collect();
+        let seg = ColumnSegment::from_store(&ens, 0, 8);
+        let mut back: SoaEnsemble<f32> = (0..8).map(|_| Particle::default()).collect();
+        seg.splice_into(&mut back, 0);
+        for i in 0..8 {
+            assert_eq!(back.get(i), ens.get(i), "f64 widening must round-trip");
+        }
+        // And the text path matches write_ensemble on the f32 store too.
+        let mut whole = Vec::new();
+        write_ensemble(&ens, &mut whole).unwrap();
+        let mut text = format!("{HEADER}\n").into_bytes();
+        seg.write_text(&mut text).unwrap();
+        assert_eq!(whole, text);
     }
 
     #[test]

@@ -53,6 +53,7 @@ pub mod view;
 
 pub use aos::{AosChunkMut, AosEnsemble};
 pub use cells::CellEnsemble;
+pub use io::ColumnSegment;
 pub use particle::Particle;
 pub use soa::{SoaChunkMut, SoaEnsemble, SoaLanesMut, SoaRefMut};
 pub use species::{Species, SpeciesId, SpeciesTable};

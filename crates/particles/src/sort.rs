@@ -117,18 +117,63 @@ pub fn sort_by_cell<R: Real, S: ParticleStore<R>>(store: &mut S, grid: &CellGrid
 
 /// Sorts the ensemble by Morton code (comparison sort, O(n log n)).
 pub fn sort_by_morton<R: Real, S: ParticleStore<R>>(store: &mut S, grid: &CellGrid) {
+    let perm = morton_perm(store, grid);
+    apply_perm(store, &perm);
+}
+
+/// The stable Morton permutation of `store`: `perm[dst] = src` — the
+/// particle that lands at position `dst` after a Morton sort. Identity
+/// for stores of fewer than two particles.
+///
+/// Exposing the permutation (instead of only sorting in place) lets a
+/// caller that must *restore* the original order — e.g. a shard sub-job
+/// whose dump bytes must stay bitwise shard-count-invariant — sort for
+/// locality, run, and then undo via [`invert_perm`] + [`apply_perm`].
+pub fn morton_perm<R: Real, A: ParticleAccess<R>>(store: &A, grid: &CellGrid) -> Vec<usize> {
     let n = store.len();
     if n <= 1 {
-        return;
+        return (0..n).collect();
     }
     let mut order: Vec<(u64, usize)> = (0..n)
         .map(|i| (grid.morton_index(store.get(i).position.to_f64()), i))
         .collect();
     order.sort_by_key(|&(key, idx)| (key, idx));
+    order.into_iter().map(|(_, src)| src).collect()
+}
+
+/// Reorders `store` so that position `dst` holds the particle that was
+/// at `perm[dst]`.
+///
+/// # Panics
+///
+/// Panics when `perm.len() != store.len()` (an out-of-range `perm`
+/// entry panics on the indexing below; a non-permutation silently
+/// duplicates particles — callers pass permutations from
+/// [`morton_perm`] / [`invert_perm`]).
+pub fn apply_perm<R: Real, S: ParticleStore<R>>(store: &mut S, perm: &[usize]) {
+    assert_eq!(perm.len(), store.len(), "permutation length mismatch");
     let particles = store.to_particles();
-    for (dst, &(_, src)) in order.iter().enumerate() {
+    for (dst, &src) in perm.iter().enumerate() {
         store.set(dst, &particles[src]);
     }
+}
+
+/// The inverse permutation: applying [`apply_perm`] with `perm` and then
+/// with `invert_perm(perm)` restores the original order.
+///
+/// # Panics
+///
+/// Panics when `perm` is not a permutation of `0..perm.len()`.
+pub fn invert_perm(perm: &[usize]) -> Vec<usize> {
+    let mut inv = vec![usize::MAX; perm.len()];
+    for (dst, &src) in perm.iter().enumerate() {
+        assert!(
+            src < perm.len() && inv[src] == usize::MAX,
+            "invert_perm: not a permutation"
+        );
+        inv[src] = dst;
+    }
+    inv
 }
 
 /// Schedules the "periodic" in Hi-Chi's periodic sorting: counts steps and
@@ -480,6 +525,38 @@ mod tests {
         seen.sort_by(|a, b| a.partial_cmp(b).unwrap());
         let expect: Vec<f64> = (0..257).map(|i| i as f64).collect();
         assert_eq!(seen, expect);
+    }
+
+    #[test]
+    fn morton_perm_round_trips_through_its_inverse() {
+        let g = grid();
+        let mut ens: SoaEnsemble<f64> = random_ensemble(300, 61);
+        let before = ens.to_particles();
+        let perm = morton_perm(&ens, &g);
+        apply_perm(&mut ens, &perm);
+        // The permuted store is exactly the in-place Morton sort...
+        let mut reference: SoaEnsemble<f64> = SoaEnsemble::from_particles(before.iter().cloned());
+        sort_by_morton(&mut reference, &g);
+        assert_eq!(ens.to_particles(), reference.to_particles());
+        // ...and the inverse restores the original order bitwise.
+        apply_perm(&mut ens, &invert_perm(&perm));
+        assert_eq!(ens.to_particles(), before);
+    }
+
+    #[test]
+    fn tiny_perms_are_identity() {
+        let g = grid();
+        let empty = SoaEnsemble::<f64>::new();
+        assert!(morton_perm(&empty, &g).is_empty());
+        let one: AosEnsemble<f64> = random_ensemble(1, 62);
+        assert_eq!(morton_perm(&one, &g), vec![0]);
+        assert_eq!(invert_perm(&[]), Vec::<usize>::new());
+    }
+
+    #[test]
+    #[should_panic(expected = "not a permutation")]
+    fn invert_perm_rejects_duplicates() {
+        let _ = invert_perm(&[0, 0, 2]);
     }
 
     #[test]

@@ -149,6 +149,8 @@ impl CachedResult {
             resumes: 0,
             resumed_from_step: 0,
             shards: self.shards,
+            columns: None,
+            gather_ns: 0,
         }
     }
 }

@@ -40,7 +40,8 @@ use pic_bench::{
 };
 use pic_math::Real;
 use pic_particles::io::{read_ensemble, write_ensemble};
-use pic_particles::{AosEnsemble, Layout, ParticleStore, SoaEnsemble};
+use pic_particles::sort::{apply_perm, invert_perm, morton_perm};
+use pic_particles::{AosEnsemble, ColumnSegment, Layout, ParticleStore, SoaEnsemble};
 use pic_perfmodel::Precision;
 use pic_runtime::{CancelToken, ExecTarget};
 use pic_telemetry::ThreadStat;
@@ -193,6 +194,27 @@ fn run_typed<R: Real, S: ParticleStore<R>>(
         return;
     }
     let jobs = &runnable[..];
+    // Pinned shard execution: pre-sort the shard's sub-range into
+    // Morton order so neighbouring particles touch neighbouring field
+    // cells (shard sub-jobs always ride alone, so the whole combined
+    // store is this one span). The permutation is computed from the
+    // *initial* t=0 ensemble — deterministic across resumes, whose
+    // checkpoint snapshots are stored in original order — and
+    // everything that leaves the worker (checkpoints, dumps, column
+    // segments) is restored through the inverse permutation. The Boris
+    // kernel is particle-independent, so execution order cannot change
+    // any particle's arithmetic: results stay bitwise identical to an
+    // unpinned run.
+    let pinned_shard = shared.cfg.pinned && jobs.len() == 1 && jobs[0].shard.is_some();
+    let shard_id = jobs[0].shard.as_ref().map_or(0, |c| c.shard_id);
+    let restore: Option<Vec<usize>> = if pinned_shard && store.len() > 1 {
+        let perm = morton_perm(&initial, &pic_bench::bench_grid());
+        apply_perm(&mut initial, &perm);
+        apply_perm(&mut store, &perm);
+        Some(invert_perm(&perm))
+    } else {
+        None
+    };
     // Field preparation (the Precalculated sampling pass) stays outside
     // the timed region, mirroring the bench harness.
     let ctx = MdipoleScenario::<R>::prepare(jobs[0].spec.scenario, &initial);
@@ -268,16 +290,33 @@ fn run_typed<R: Real, S: ParticleStore<R>>(
         // AoS. Device jobs run the same kernel through the device
         // backend's staged columns — same trajectories, modeled timing.
         let (steps_done, interrupted) = if target.is_host() {
+            // A pinned shard sweeps with its own per-shard tuned grain
+            // (re-resolved each segment so observations feed forward),
+            // falling back to the service-wide schedule until its
+            // affinity slot has settled.
+            let schedule = if pinned_shard {
+                shared
+                    .affinity
+                    .schedule_for(shard_id)
+                    .unwrap_or(shared.cfg.schedule)
+            } else {
+                shared.cfg.schedule
+            };
             let run = run_mdipole_steps(
                 &mut store,
                 &ctx,
                 seg,
                 &mut time,
                 &shared.cfg.topology,
-                shared.cfg.schedule,
+                schedule,
                 KernelVariant::SoaFast,
                 Some(&token),
-                &mut |step, _report| boundary(step),
+                &mut |step, report| {
+                    if pinned_shard {
+                        shared.affinity.observe(shard_id, report);
+                    }
+                    boundary(step)
+                },
             );
             merge_thread_stats(&mut thread_stats, &run.thread_stats);
             (run.steps_done, run.interrupted)
@@ -306,7 +345,7 @@ fn run_typed<R: Real, S: ParticleStore<R>>(
                 if !alive[k] {
                     continue;
                 }
-                if let Some(text) = extract_span::<R, S>(&store, spans[k]) {
+                if let Some(text) = extract_span::<R, S>(&store, spans[k], restore.as_deref()) {
                     shared.checkpoints.put(job.id, abs, text);
                 }
             }
@@ -334,8 +373,22 @@ fn run_typed<R: Real, S: ParticleStore<R>>(
             requeue_or_reject(shared, job);
             continue;
         }
-        let dump = (job.spec.return_particles || shared.cfg.cache_capacity > 0)
-            .then(|| extract_span::<R, S>(&store, spans[k]))
+        // Shard sub-jobs hand their slice back as a typed column
+        // segment (spliced by the gather without re-parsing) instead of
+        // rendering text nobody reads; monolithic jobs keep the text
+        // dump for requesters and the cache.
+        let is_shard = job.shard.is_some();
+        let columns = is_shard.then(|| {
+            Box::new(match restore.as_deref() {
+                Some(inv) => {
+                    let own = copy_span::<R, S>(&store, spans[k], Some(inv));
+                    ColumnSegment::from_store(&own, 0, own.len())
+                }
+                None => ColumnSegment::from_store(&store, spans[k].0, spans[k].1),
+            })
+        });
+        let dump = (!is_shard && (job.spec.return_particles || shared.cfg.cache_capacity > 0))
+            .then(|| extract_span::<R, S>(&store, spans[k], restore.as_deref()))
             .flatten();
         // Fill the cache before finishing: the finish path serves this
         // job's coalesced followers straight from the cache entry.
@@ -376,9 +429,37 @@ fn run_typed<R: Real, S: ParticleStore<R>>(
             resumes: u64::from(job.resumes.load(Ordering::Relaxed)),
             resumed_from_step: job.resume_step.load(Ordering::Relaxed),
             shards: job.shard.as_ref().map_or(0, |c| c.shards),
+            columns,
+            gather_ns: 0,
         };
         shared.finish(job, Outcome::Completed(report));
     }
+}
+
+/// Copies one job's slice of the combined store into its own store,
+/// optionally through a restore permutation (`own[i] =
+/// store[offset + inv[i]]`) so a Morton-pre-sorted span leaves the
+/// worker in its original particle order. A length-mismatched
+/// permutation (never expected) falls back to the plain copy.
+fn copy_span<R: Real, S: ParticleStore<R>>(
+    store: &S,
+    (offset, len): (usize, usize),
+    restore: Option<&[usize]>,
+) -> S {
+    let mut own = S::default();
+    match restore {
+        Some(inv) if inv.len() == len => {
+            for &src in inv {
+                own.push(store.get(offset + src));
+            }
+        }
+        _ => {
+            for i in offset..offset + len {
+                own.push(store.get(i));
+            }
+        }
+    }
+    own
 }
 
 /// Serializes one job's slice of the combined store via
@@ -386,12 +467,10 @@ fn run_typed<R: Real, S: ParticleStore<R>>(
 /// formatting failure — the job still completes, just without the dump.
 fn extract_span<R: Real, S: ParticleStore<R>>(
     store: &S,
-    (offset, len): (usize, usize),
+    span: (usize, usize),
+    restore: Option<&[usize]>,
 ) -> Option<String> {
-    let mut own = S::default();
-    for i in offset..offset + len {
-        own.push(store.get(i));
-    }
+    let own = copy_span::<R, S>(store, span, restore);
     let mut buf: Vec<u8> = Vec::new();
     write_ensemble(&own, &mut buf).ok()?;
     String::from_utf8(buf).ok()

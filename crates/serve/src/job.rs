@@ -10,7 +10,7 @@
 //! [`Outcome`]; jobs refused at admission get an explicit
 //! [`RejectReason`] — the service never drops work silently.
 
-use pic_particles::Layout;
+use pic_particles::{ColumnSegment, Layout};
 use pic_perfmodel::{Precision, Scenario};
 use pic_runtime::ExecTarget;
 use pic_telemetry::json::Value;
@@ -361,6 +361,16 @@ pub struct JobReport {
     /// A sharded completion carries the *merged* measurements: its dump
     /// is bitwise-identical to the monolithic run's.
     pub shards: usize,
+    /// Final particle state of a shard sub-job as a typed column
+    /// segment, spliced by the gather without text re-parsing. `None`
+    /// for monolithic jobs and for merged parents (which report text
+    /// through `particles` instead). Boxed so the common monolithic
+    /// report doesn't carry the nine column vectors inline.
+    pub columns: Option<Box<ColumnSegment>>,
+    /// Time the scatter-gather merge spent splicing and rendering the
+    /// shard results, ns. Non-zero only on the merged parent of a
+    /// sharded completion.
+    pub gather_ns: u64,
 }
 
 /// The exactly-once terminal state of a job.

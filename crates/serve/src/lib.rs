@@ -27,8 +27,12 @@
 //! * [`shard`] — domain decomposition: an over-threshold job is split
 //!   along a deterministic [`ShardPlan`](shard::ShardPlan) into shard
 //!   sub-jobs flowing through the ordinary lanes, and a scatter-gather
-//!   barrier merges the per-shard dumps and diagnostics into one
-//!   completed response that is bitwise shard-count-invariant.
+//!   barrier splices the shards' typed column segments (text dumps are
+//!   the legacy fallback) and merges diagnostics into one completed
+//!   response that is bitwise shard-count-invariant. With
+//!   [`ServeConfig::pinned`](scheduler::ServeConfig) each shard is
+//!   bound to a dedicated worker slot — its own queue, per-shard grain
+//!   tuning and an independent Morton pre-sort of its sub-range.
 //! * [`proto`] — the versioned line-delimited JSON wire protocol.
 //! * [`frontend`] — pumps requests from any `BufRead` into the server
 //!   and responses back out; the `pic-serve` binary wires it to
@@ -59,4 +63,4 @@ pub use cache::{CacheKey, CacheStats, CachedResult, ResultCache, CACHE_SCHEMA};
 pub use checkpoint::{CheckpointStore, KillPlan, Snapshot};
 pub use job::{JobReport, JobSpec, Outcome, Priority, RejectReason};
 pub use scheduler::{CancelResult, JobTicket, ServeConfig, ServeStats, Server, ShutdownReport};
-pub use shard::{merge_dumps, shard_kill_key, ShardPlan};
+pub use shard::{merge_dumps, merge_segments, shard_kill_key, ShardPlan};

@@ -152,6 +152,10 @@ pub fn outcome_line(id: u64, tag: Option<&str>, outcome: &Outcome) -> String {
             if r.shards > 0 {
                 e.push(("shards", Value::Num(r.shards as f64)));
             }
+            // Additive likewise: only merged parents measure a gather.
+            if r.gather_ns > 0 {
+                e.push(("gather_ns", Value::Num(r.gather_ns as f64)));
+            }
             if r.resumes > 0 {
                 e.push(("resumes", Value::Num(r.resumes as f64)));
                 e.push(("resumed_from_step", Value::Num(r.resumed_from_step as f64)));
@@ -262,6 +266,8 @@ mod tests {
             resumes: 2,
             resumed_from_step: 5,
             shards: 0,
+            columns: None,
+            gather_ns: 0,
         };
         let line = outcome_line(9, None, &Outcome::Completed(report));
         let v = parse(&line).unwrap();
@@ -276,6 +282,10 @@ mod tests {
             v.get("shards").is_none(),
             "monolithic completions omit the shards field"
         );
+        assert!(
+            v.get("gather_ns").is_none(),
+            "monolithic completions omit the gather_ns field"
+        );
     }
 
     #[test]
@@ -285,11 +295,13 @@ mod tests {
             steps_done: 10,
             batch_size: 1,
             shards: 4,
+            gather_ns: 750,
             ..Default::default()
         };
         let line = outcome_line(5, None, &Outcome::Completed(report));
         let v = parse(&line).unwrap();
         assert_eq!(v.get("shards").and_then(Value::as_u64), Some(4));
+        assert_eq!(v.get("gather_ns").and_then(Value::as_u64), Some(750));
     }
 
     #[test]

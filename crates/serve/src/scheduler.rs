@@ -43,9 +43,10 @@ use crate::checkpoint::{CheckpointStore, KillPlan};
 use crate::clock::Clock;
 use crate::exec;
 use crate::job::{JobReport, JobSpec, Outcome, RejectReason};
-use crate::shard::{merge_dumps, Gather, ShardCtx, ShardPlan};
+use crate::shard::{merge_dumps, merge_segments, Gather, ShardCtx, ShardPlan};
+use pic_particles::ColumnSegment;
 use pic_runtime::sync::WorkQueue;
-use pic_runtime::{Schedule, SweepReport, Topology};
+use pic_runtime::{AffinityMap, ExecTarget, Schedule, SweepReport, Topology};
 use pic_telemetry::{BenchRecord, SCHEMA_VERSION};
 use std::collections::HashMap;
 use std::panic::{catch_unwind, AssertUnwindSafe};
@@ -116,6 +117,13 @@ pub struct ServeConfig {
     /// Shards an over-threshold job splits into. `0` = auto (one shard
     /// per worker); always clamped to the job's particle count.
     pub shards: usize,
+    /// Pin shard sub-jobs to execution units: shard `k` always
+    /// dispatches to worker `k mod workers` (with a per-shard grain
+    /// tuner that persists across executions of the decomposition), and
+    /// a sharded device job is merged as a K-queue pipeline whose
+    /// staging overlaps the compute chain. `false` keeps the unpinned
+    /// behavior: any worker takes any shard, one device queue.
+    pub pinned: bool,
 }
 
 impl Default for ServeConfig {
@@ -136,6 +144,7 @@ impl Default for ServeConfig {
             kill_plan: None,
             shard_threshold: 0,
             shards: 0,
+            pinned: false,
         }
     }
 }
@@ -239,6 +248,13 @@ pub(crate) struct Shared {
     pub lanes: [WorkQueue<Arc<JobState>>; 3],
     /// Formed batches awaiting a worker.
     pub batches: WorkQueue<Batch>,
+    /// Per-worker pinned batch queues (index = worker slot). Used only
+    /// under `cfg.pinned`: shard batches are routed to their affinity
+    /// slot's queue, everything else rides the shared `batches` queue.
+    pub pinned_batches: Vec<WorkQueue<Batch>>,
+    /// Shard→worker bindings with per-shard grain tuners, populated at
+    /// dispatch time under `cfg.pinned`.
+    pub affinity: AffinityMap,
     /// Jobs admitted but not yet terminal (the bounded-queue depth).
     pub depth: AtomicUsize,
     /// Set once by `shutdown`; never cleared.
@@ -558,6 +574,8 @@ impl Shared {
             } else {
                 spec.device.clone()
             },
+            pinned: self.cfg.pinned && shard.is_some(),
+            gather_ns: report.map_or(0.0, |r| r.gather_ns as f64),
         };
         lock(&self.records).push(rec);
     }
@@ -611,19 +629,60 @@ impl Shared {
                 _ => None,
             })
             .collect();
-        let dumps: Vec<&str> = reports
+        // Columnar gather: shards return typed column segments, spliced
+        // here by plan order and rendered to the io text format exactly
+        // once — and only when something downstream (the requester or
+        // the result cache) will read the text at all. Shards that
+        // somehow completed with a legacy text dump instead fall back to
+        // the concatenation path; a shard with neither leaves the parent
+        // completed but without a merged state or cache entry.
+        let gather_start = self.clock.now_ns();
+        let need_text = parent.spec.return_particles || self.cfg.cache_capacity > 0;
+        let segments: Vec<&ColumnSegment> = reports
             .iter()
-            .filter_map(|r| r.particles.as_deref())
+            .filter_map(|r| r.columns.as_deref())
             .collect();
-        let merged = if dumps.len() == reports.len() {
-            merge_dumps(&dumps)
-        } else {
-            // A shard completed without its dump (never expected — shard
-            // specs always set `return_particles`). The parent still
-            // completes, just without a merged state or cache entry.
+        let merged = if !need_text {
             None
+        } else if segments.len() == reports.len() {
+            merge_segments(&segments)
+        } else {
+            let dumps: Vec<&str> = reports
+                .iter()
+                .filter_map(|r| r.particles.as_deref())
+                .collect();
+            if dumps.len() == reports.len() {
+                merge_dumps(&dumps)
+            } else {
+                None
+            }
         };
-        let run_ns = reports.iter().map(|r| r.run_ns).max().unwrap_or(0);
+        let gather_ns = self.clock.now_ns().saturating_sub(gather_start);
+        let mut run_ns = reports.iter().map(|r| r.run_ns).max().unwrap_or(0);
+        // Pinned device sharding: one queue per shard lets shard k+1's
+        // column staging overlap shard k's kernel, so the merged wall
+        // time is the modeled pipeline makespan over the shards' kernel
+        // times (per-shard nsps × work recovers the roofline number the
+        // device lane reported), not the critical-path max alone.
+        if self.cfg.pinned {
+            let target = ExecTarget::parse(&parent.spec.device).unwrap_or_default();
+            if !target.is_host() {
+                let shards: Vec<(usize, f64)> = gather
+                    .ranges
+                    .iter()
+                    .zip(&reports)
+                    .map(|(&(_, len), r)| (len, r.nsps * len as f64 * r.steps_done as f64))
+                    .collect();
+                if let Some(pipe) = pic_bench::shard_pipeline(
+                    target,
+                    parent.spec.scenario,
+                    parent.spec.precision,
+                    &shards,
+                ) {
+                    run_ns = (pipe.makespan() * 1e9).round() as u64;
+                }
+            }
+        }
         let steps_done = reports.iter().map(|r| r.steps_done).max().unwrap_or(0);
         let queue_wait_ns = reports.iter().map(|r| r.queue_wait_ns).min().unwrap_or(0);
         let weigh = |field: fn(&JobReport) -> f64| -> f64 {
@@ -682,6 +741,8 @@ impl Shared {
                 .max()
                 .unwrap_or(0),
             shards: reports.len(),
+            columns: None,
+            gather_ns,
         };
         self.finish(parent, Outcome::Completed(report));
         lock(&parent.children).clear();
@@ -878,12 +939,15 @@ impl Server {
     /// Starts the dispatcher and worker pool.
     pub fn start(cfg: ServeConfig, label: &str) -> Server {
         let cache = ResultCache::new(cfg.cache_capacity);
+        let worker_slots = cfg.workers;
         let shared = Arc::new(Shared {
             cfg,
             label: label.to_string(),
             clock: Clock::new(),
             lanes: [WorkQueue::new(), WorkQueue::new(), WorkQueue::new()],
             batches: WorkQueue::new(),
+            pinned_batches: (0..worker_slots).map(|_| WorkQueue::new()).collect(),
+            affinity: AffinityMap::new(worker_slots),
             depth: AtomicUsize::new(0),
             draining: AtomicBool::new(false),
             cache: Mutex::new(cache),
@@ -1153,9 +1217,28 @@ pub(crate) fn form_batches(
     out.into_iter().map(|(batch, _)| batch).collect()
 }
 
+/// Resolves the worker slot a batch is pinned to, or `None` when the
+/// batch rides the shared queue. Only shard sub-job batches pin (they
+/// always ride alone — see `form_batches`); the binding is established
+/// once per shard in the [`AffinityMap`] so resumes and respawns land
+/// on the same slot, keeping the shard's tuner state warm.
+fn pinned_slot(shared: &Shared, batch: &Batch) -> Option<usize> {
+    if !shared.cfg.pinned || shared.pinned_batches.is_empty() {
+        return None;
+    }
+    let job = batch.jobs.first()?;
+    let ctx = job.shard.as_ref()?;
+    let slot = shared.affinity.bind(
+        ctx.shard_id,
+        job.spec.particles,
+        shared.cfg.topology.total_threads(),
+    );
+    Some(slot % shared.pinned_batches.len())
+}
+
 fn dispatcher_loop(shared: Arc<Shared>) {
-    let mut workers: Vec<JoinHandle<()>> = (0..shared.cfg.workers)
-        .map(|_| spawn_worker(shared.clone()))
+    let mut workers: Vec<(usize, JoinHandle<()>)> = (0..shared.cfg.workers)
+        .map(|slot| (slot, spawn_worker(shared.clone(), slot)))
         .collect();
     loop {
         respawn_dead(&mut workers, &shared);
@@ -1180,6 +1263,13 @@ fn dispatcher_loop(shared: Arc<Shared>) {
                     shared.finish(job, Outcome::Cancelled);
                 }
             }
+            for queue in &shared.pinned_batches {
+                while let Some(batch) = queue.pop() {
+                    for job in &batch.jobs {
+                        shared.finish(job, Outcome::Cancelled);
+                    }
+                }
+            }
         }
         if !staged.is_empty() {
             for batch in form_batches(
@@ -1187,7 +1277,10 @@ fn dispatcher_loop(shared: Arc<Shared>) {
                 shared.cfg.coalesce_max_particles,
                 shared.cfg.batch_particle_budget,
             ) {
-                shared.batches.push(batch);
+                match pinned_slot(&shared, &batch) {
+                    Some(slot) => shared.pinned_batches[slot].push(batch),
+                    None => shared.batches.push(batch),
+                }
             }
             continue;
         }
@@ -1199,23 +1292,25 @@ fn dispatcher_loop(shared: Arc<Shared>) {
         }
         thread::sleep(IDLE_WAIT);
     }
-    for worker in workers {
+    for (_, worker) in workers {
         let _ = worker.join();
     }
 }
 
-fn respawn_dead(workers: &mut Vec<JoinHandle<()>>, shared: &Arc<Shared>) {
+fn respawn_dead(workers: &mut Vec<(usize, JoinHandle<()>)>, shared: &Arc<Shared>) {
     let mut i = 0;
     while i < workers.len() {
-        if workers[i].is_finished() {
-            let dead = workers.swap_remove(i);
+        if workers[i].1.is_finished() {
+            let (slot, dead) = workers.swap_remove(i);
             let _ = dead.join();
             // ordering: SeqCst — matches the worker's own exit check; a
             // normally-exited (drained) worker is not replaced.
             let drained =
                 shared.draining.load(Ordering::SeqCst) && shared.depth.load(Ordering::SeqCst) == 0;
             if !drained {
-                workers.push(spawn_worker(shared.clone()));
+                // The replacement inherits the dead worker's slot so
+                // shards pinned to it keep their queue and tuner state.
+                workers.push((slot, spawn_worker(shared.clone(), slot)));
             }
         } else {
             i += 1;
@@ -1223,13 +1318,21 @@ fn respawn_dead(workers: &mut Vec<JoinHandle<()>>, shared: &Arc<Shared>) {
     }
 }
 
-fn spawn_worker(shared: Arc<Shared>) -> JoinHandle<()> {
-    thread::spawn(move || worker_loop(shared))
+fn spawn_worker(shared: Arc<Shared>, slot: usize) -> JoinHandle<()> {
+    thread::spawn(move || worker_loop(shared, slot))
 }
 
-fn worker_loop(shared: Arc<Shared>) {
+fn worker_loop(shared: Arc<Shared>, slot: usize) {
     loop {
-        match shared.batches.pop() {
+        // Own pinned queue first: a shard bound to this slot must never
+        // be stolen by another worker, and the shared queue must never
+        // starve this slot's pinned work.
+        let next = shared
+            .pinned_batches
+            .get(slot)
+            .and_then(|queue| queue.pop())
+            .or_else(|| shared.batches.pop());
+        match next {
             Some(batch) => {
                 let panicked =
                     catch_unwind(AssertUnwindSafe(|| exec::run_batch(&shared, &batch))).is_err();

@@ -24,6 +24,9 @@
 
 use crate::job::Outcome;
 use crate::scheduler::{lock, JobState};
+use pic_particles::io::HEADER;
+use pic_particles::ColumnSegment;
+use std::io::Write;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
 
@@ -100,13 +103,39 @@ pub fn merge_dumps(dumps: &[&str]) -> Option<String> {
     let first = dumps.first()?;
     let header_end = first.find('\n')?;
     let header = &first[..header_end + 1];
-    let mut out = String::with_capacity(dumps.iter().map(|d| d.len()).sum());
+    // Exact pre-size: the shared header once, plus each dump's body
+    // (its length minus the header line it repeats). Summing whole
+    // dump lengths would over-allocate by (K-1) header lines.
+    let bodies: usize = dumps
+        .iter()
+        .map(|d| d.len().saturating_sub(header.len()))
+        .sum();
+    let mut out = String::with_capacity(header.len() + bodies);
     out.push_str(header);
     for dump in dumps {
         let body = dump.strip_prefix(header)?;
         out.push_str(body);
     }
     Some(out)
+}
+
+/// Renders spliced shard [`ColumnSegment`]s into the text dump the
+/// monolithic run would have produced: the `pic_particles::io` header
+/// once, then every segment's rows in shard order — typed columns
+/// straight to text, with no per-shard re-parsing or intermediate
+/// per-shard dump strings (the streaming replacement for
+/// [`merge_dumps`], which survives as the legacy-text fallback).
+/// Returns `None` for an empty segment set or a formatting failure.
+pub fn merge_segments(segments: &[&ColumnSegment]) -> Option<String> {
+    if segments.is_empty() {
+        return None;
+    }
+    let mut out: Vec<u8> = Vec::new();
+    writeln!(out, "{HEADER}").ok()?;
+    for seg in segments {
+        seg.write_text(&mut out).ok()?;
+    }
+    String::from_utf8(out).ok()
 }
 
 /// Execution context attached to one shard sub-job.
@@ -242,6 +271,35 @@ mod tests {
         assert_eq!(merge_dumps(&[a]).as_deref(), Some(a), "K=1 is identity");
         assert_eq!(merge_dumps(&[]), None);
         assert_eq!(merge_dumps(&[a, "# other\n5 6\n"]), None, "header mismatch");
+    }
+
+    #[test]
+    fn dump_merge_pre_sizes_exactly() {
+        // The merged buffer must be allocated once, at exactly its
+        // final length — no (K-1)-headers over-allocation, no growth
+        // reallocations while splicing.
+        let dumps = ["# h\n1 2\n3 4\n", "# h\n5 6\n", "# h\n7 8\n9 0\n"];
+        let merged = merge_dumps(&dumps).unwrap();
+        assert_eq!(merged.capacity(), merged.len(), "exact pre-size");
+        assert_eq!(merged, "# h\n1 2\n3 4\n5 6\n7 8\n9 0\n");
+    }
+
+    #[test]
+    fn segment_merge_matches_the_monolithic_dump() {
+        use pic_particles::io::write_ensemble;
+        use pic_particles::SoaEnsemble;
+
+        let whole: SoaEnsemble<f64> = pic_bench::build_ensemble(25, 7);
+        let mut expect: Vec<u8> = Vec::new();
+        write_ensemble(&whole, &mut expect).unwrap();
+        let segs: Vec<ColumnSegment> = [(0usize, 10usize), (10, 9), (19, 6)]
+            .iter()
+            .map(|&(off, len)| ColumnSegment::from_store(&whole, off, len))
+            .collect();
+        let refs: Vec<&ColumnSegment> = segs.iter().collect();
+        let merged = merge_segments(&refs).expect("segments merge");
+        assert_eq!(merged.as_bytes(), expect, "bitwise the monolithic dump");
+        assert_eq!(merge_segments(&[]), None, "empty set is explicit");
     }
 
     #[test]

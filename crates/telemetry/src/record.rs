@@ -119,6 +119,16 @@ pub struct BenchRecord {
     /// `"iris-xe-max"` for device-backend runs, empty for host runs and
     /// for records written before the device backend existed.
     pub device: String,
+    /// True when the record's shard ran pinned to a dedicated worker
+    /// slot (or is the merged parent of a pinned sharded job). False
+    /// for unpinned runs and for records written before shard pinning
+    /// existed.
+    pub pinned: bool,
+    /// Nanoseconds the scheduler spent merging shard results into the
+    /// parent's dump (columnar splice or legacy text concatenation).
+    /// Non-zero only on merged parent records; 0 for records written
+    /// before the gather was instrumented.
+    pub gather_ns: f64,
 }
 
 impl BenchRecord {
@@ -154,6 +164,13 @@ impl BenchRecord {
         if !self.device.is_empty() {
             key.push_str("|D");
             key.push_str(&self.device);
+        }
+        // Additive: unpinned records keep their old key, while pinned
+        // and unpinned runs of the same sharded spec stay distinct
+        // (they schedule differently, so their measurements are not
+        // interchangeable). `gather_ns` is a measurement, not identity.
+        if self.pinned {
+            key.push_str("|P");
         }
         key
     }
@@ -215,6 +232,8 @@ impl BenchRecord {
             ("shards", int(self.shards)),
             ("shard_id", int(self.shard_id)),
             ("device", Value::Str(self.device.clone())),
+            ("pinned", Value::Bool(self.pinned)),
+            ("gather_ns", num(self.gather_ns)),
         ])
         .to_json()
     }
@@ -304,6 +323,9 @@ impl BenchRecord {
                 .and_then(Value::as_str)
                 .unwrap_or("")
                 .to_owned(),
+            // Pinning/gather fields are likewise additive within schema 1.
+            pinned: matches!(v.get("pinned"), Some(Value::Bool(true))),
+            gather_ns: v.get("gather_ns").and_then(Value::as_f64).unwrap_or(0.0),
         })
     }
 }
@@ -442,6 +464,8 @@ pub(crate) fn sample_record(label: &str, steady_nsps: f64) -> BenchRecord {
         shards: 0,
         shard_id: 0,
         device: String::new(),
+        pinned: false,
+        gather_ns: 0.0,
     }
 }
 
@@ -510,6 +534,8 @@ mod tests {
                 "shards",
                 "shard_id",
                 "device",
+                "pinned",
+                "gather_ns",
             ] {
                 assert!(map.remove(key).is_some());
             }
@@ -575,6 +601,22 @@ mod tests {
         // Host records keep the historical key: the device run's key is
         // exactly the host key plus the appended dimension.
         assert_eq!(format!("{}|Dp630", host.key()), p630.key());
+    }
+
+    #[test]
+    fn pinned_distinguishes_keys_additively() {
+        // Pinned and unpinned runs of the same sharded spec schedule
+        // differently, so their records must not collide — while
+        // pre-pinning (unpinned) records keep the historical key, and
+        // gather_ns stays a measurement with no key impact.
+        let unpinned = sample_record("a", 10.0);
+        let mut pinned = sample_record("a", 10.0);
+        pinned.pinned = true;
+        assert_ne!(unpinned.key(), pinned.key());
+        assert_eq!(format!("{}|P", unpinned.key()), pinned.key());
+        let mut gathered = sample_record("a", 10.0);
+        gathered.gather_ns = 12_345.0;
+        assert_eq!(unpinned.key(), gathered.key());
     }
 
     #[test]
